@@ -1,0 +1,93 @@
+//! abl1 — ablation: similarity metrics for imprecise migration [13].
+//!
+//! Compares the three string metrics and the combined scorer on role
+//! vocabularies of increasing size, and measures end-to-end fuzzy role
+//! matching inside a migration transform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetsec_middleware::MiddlewareKind;
+use hetsec_rbac::{PermissionGrant, RbacPolicy, RoleAssignment};
+use hetsec_translate::similarity::{
+    best_match, combined_similarity, dice_bigram, jaro_winkler, levenshtein_similarity,
+};
+use hetsec_translate::{transform_policy, MigrationSpec};
+use std::hint::black_box;
+
+fn role_vocab(n: usize) -> Vec<String> {
+    let stems = [
+        "Manager", "Clerk", "Assistant", "Auditor", "Director", "Analyst", "Operator", "Admin",
+    ];
+    (0..n)
+        .map(|i| format!("{}{}", stems[i % stems.len()], i / stems.len()))
+        .collect()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl1_similarity");
+    let pairs = [
+        ("Manager", "Managers"),
+        ("SalesManager", "Manager"),
+        ("Clerk", "Clerks"),
+        ("Assistant", "Asistant"),
+    ];
+    for (name, f) in [
+        ("levenshtein", levenshtein_similarity as fn(&str, &str) -> f64),
+        ("jaro_winkler", jaro_winkler as fn(&str, &str) -> f64),
+        ("dice_bigram", dice_bigram as fn(&str, &str) -> f64),
+        ("combined", combined_similarity as fn(&str, &str) -> f64),
+    ] {
+        group.bench_function(BenchmarkId::new("metric", name), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (a, b2) in pairs {
+                    acc += f(a, b2);
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    for vocab_size in [8usize, 64, 512] {
+        let vocab = role_vocab(vocab_size);
+        group.throughput(Throughput::Elements(vocab_size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("best_match", vocab_size),
+            &vocab,
+            |b, v| {
+                b.iter(|| {
+                    black_box(best_match(
+                        "Managers3",
+                        v.iter().map(String::as_str),
+                        0.85,
+                    ))
+                })
+            },
+        );
+    }
+
+    // End-to-end fuzzy transform: 64 drifted roles against a canon.
+    let mut policy = RbacPolicy::new();
+    for i in 0..64 {
+        policy.grant(PermissionGrant::new(
+            "D",
+            format!("Managers{i}"),
+            "T",
+            "read",
+        ));
+        policy.assign(RoleAssignment::new(format!("u{i}"), "D", format!("Managers{i}")));
+    }
+    let spec = MigrationSpec::domain("D", "E")
+        .with_target_roles((0..64).map(|i| format!("Manager{i}")).collect::<Vec<_>>());
+    group.bench_function("fuzzy_transform_64_roles", |b| {
+        b.iter(|| {
+            let (out, renames) =
+                transform_policy(&policy, MiddlewareKind::Ejb, MiddlewareKind::Ejb, &spec);
+            assert_eq!(renames.len(), 64);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

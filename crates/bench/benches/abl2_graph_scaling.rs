@@ -1,0 +1,84 @@
+//! abl2 — ablation: condensed-graph engine scaling.
+//!
+//! Measures the availability-driven wave evaluator on wide fan-out
+//! graphs, deep chains, and nested condensed subgraphs — the substrate
+//! cost underneath WebCom scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetsec_graphs::{evaluate_arith, GraphBuilder, GraphTemplate, Source, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn fanout_graph(width: usize) -> GraphTemplate {
+    let mut b = GraphBuilder::new("fanout", 1);
+    let leaves: Vec<_> = (0..width)
+        .map(|i| {
+            let c = b.constant(&format!("c{i}"), i as i64);
+            b.primitive(&format!("n{i}"), "add", vec![Source::Param(0), Source::Node(c)])
+        })
+        .collect();
+    let gathered = b.primitive(
+        "gather",
+        "list",
+        leaves.iter().map(|&n| Source::Node(n)).collect(),
+    );
+    let sum = b.primitive("sum", "sum_list", vec![Source::Node(gathered)]);
+    b.output(Source::Node(sum)).unwrap()
+}
+
+fn chain_graph(depth: usize) -> GraphTemplate {
+    let mut b = GraphBuilder::new("chain", 1);
+    let one = b.constant("one", 1i64);
+    let mut cur = b.primitive("n0", "add", vec![Source::Param(0), Source::Node(one)]);
+    for i in 1..depth {
+        cur = b.primitive(&format!("n{i}"), "add", vec![Source::Node(cur), Source::Node(one)]);
+    }
+    b.output(Source::Node(cur)).unwrap()
+}
+
+fn nested_graph(depth: usize) -> GraphTemplate {
+    let mut inner = Arc::new({
+        let mut b = GraphBuilder::new("inc", 1);
+        let one = b.constant("one", 1i64);
+        let n = b.primitive("add", "add", vec![Source::Param(0), Source::Node(one)]);
+        b.output(Source::Node(n)).unwrap()
+    });
+    for i in 0..depth {
+        inner = Arc::new({
+            let mut b = GraphBuilder::new(&format!("wrap{i}"), 1);
+            let c = b.condensed("call", inner.clone(), vec![Source::Param(0)]);
+            b.output(Source::Node(c)).unwrap()
+        });
+    }
+    GraphTemplate::clone(&inner)
+}
+
+fn bench_abl2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl2_graph_scaling");
+    group.sample_size(20);
+    for width in [16usize, 64, 256] {
+        let g = fanout_graph(width);
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_with_input(BenchmarkId::new("fanout", width), &g, |b, g| {
+            b.iter(|| black_box(evaluate_arith(g, &[Value::Int(1)]).unwrap()))
+        });
+    }
+    for depth in [16usize, 64, 256] {
+        let g = chain_graph(depth);
+        group.throughput(Throughput::Elements(depth as u64));
+        group.bench_with_input(BenchmarkId::new("chain", depth), &g, |b, g| {
+            b.iter(|| black_box(evaluate_arith(g, &[Value::Int(0)]).unwrap()))
+        });
+    }
+    for depth in [4usize, 16, 64] {
+        let g = nested_graph(depth);
+        group.throughput(Throughput::Elements(depth as u64));
+        group.bench_with_input(BenchmarkId::new("nested_condensed", depth), &g, |b, g| {
+            b.iter(|| black_box(evaluate_arith(g, &[Value::Int(0)]).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abl2);
+criterion_main!(benches);

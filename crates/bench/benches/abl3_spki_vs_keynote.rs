@@ -1,0 +1,71 @@
+//! abl3 — ablation: the two trust-management back-ends.
+//!
+//! The paper's footnote 1 notes Secure WebCom supports both KeyNote and
+//! SPKI/SDSI. This bench compares the cost of (a) encoding an RBAC
+//! policy and (b) answering an authorisation query under each back-end
+//! as the policy grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetsec_keynote::session::KeyNoteSession;
+use hetsec_rbac::fixtures::synthetic_policy;
+use hetsec_spki::encode_rbac;
+use hetsec_translate::{encode_policy, SymbolicDirectory, APP_DOMAIN};
+use std::hint::black_box;
+
+fn bench_abl3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl3_spki_vs_keynote");
+    group.sample_size(20);
+    let dir = SymbolicDirectory::default();
+    for scale in [1usize, 4, 16] {
+        let policy = synthetic_policy(scale, 4, 3, 4);
+        let rows = (policy.grant_count() + policy.assignment_count()) as u64;
+        group.throughput(Throughput::Elements(rows));
+
+        group.bench_with_input(BenchmarkId::new("encode_keynote", rows), &policy, |b, p| {
+            b.iter(|| black_box(encode_policy(p, "KWebCom", &dir)))
+        });
+        group.bench_with_input(BenchmarkId::new("encode_spki", rows), &policy, |b, p| {
+            b.iter(|| black_box(encode_rbac(p, "Kwebcom")))
+        });
+
+        // Query cost: the same positive decision under both back-ends.
+        let mut kn = KeyNoteSession::permissive();
+        for a in encode_policy(&policy, "KWebCom", &dir) {
+            kn.add_policy_assertion(a).unwrap();
+        }
+        let spki = encode_rbac(&policy, "Kwebcom");
+        let attrs: hetsec_keynote::ActionAttributes = [
+            ("app_domain", APP_DOMAIN),
+            ("Domain", "Dom0"),
+            ("Role", "Role0"),
+            ("ObjectType", "Obj0"),
+            ("Permission", "perm0"),
+        ]
+        .into_iter()
+        .collect();
+        group.bench_with_input(BenchmarkId::new("query_keynote", rows), &rows, |b, _| {
+            b.iter(|| {
+                let r = kn.query_action(&["Kuser-0-0-0"], &attrs);
+                assert!(r.is_authorized());
+                black_box(r)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("query_spki", rows), &rows, |b, _| {
+            b.iter(|| {
+                let ok = spki.check(
+                    &"user-0-0-0".into(),
+                    &"Dom0".into(),
+                    &"Role0".into(),
+                    "Obj0",
+                    &"perm0".into(),
+                );
+                assert!(ok);
+                black_box(ok)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abl3);
+criterion_main!(benches);

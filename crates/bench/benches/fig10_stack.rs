@@ -1,0 +1,141 @@
+//! fig10 — "Stacked Security Architecture in WebCom".
+//!
+//! Measures mediation latency as layers are plugged in one by one
+//! (L2 only, L1+L2, L0+L1+L2, L0..L3) and under the three combination
+//! rules, quantifying the paper's trade-off between stack depth and
+//! mediation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsec_ejb::EjbMiddleware;
+use hetsec_middleware::component::ComponentRef;
+use hetsec_middleware::naming::{EjbDomain, MiddlewareKind};
+use hetsec_middleware::security::MiddlewareSecurity;
+use hetsec_os::unix::{Mode, UnixObject, UnixSecurity, UnixUser};
+use hetsec_rbac::{PermissionGrant, RoleAssignment};
+use hetsec_translate::{encode_policy, SymbolicDirectory};
+use hetsec_webcom::{
+    ApplicationLayer, AuthzContext, AuthzStack, CombinationRule, MiddlewareLayer, ScheduledAction,
+    TrustLayer, TrustManager, UnixOsLayer,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct Layers {
+    os: Arc<UnixOsLayer>,
+    middleware: Arc<MiddlewareLayer>,
+    trust: Arc<TrustLayer>,
+    app: Arc<ApplicationLayer>,
+    ctx: AuthzContext,
+}
+
+fn layers() -> Layers {
+    let domain = EjbDomain::new("h", "s", "j");
+    let ds = domain.to_string();
+    let ejb = Arc::new(EjbMiddleware::new(domain));
+    ejb.grant(&PermissionGrant::new(ds.as_str(), "Manager", "SalariesBean", "read"))
+        .unwrap();
+    ejb.assign(&RoleAssignment::new("bob", ds.as_str(), "Manager"))
+        .unwrap();
+
+    let tm = Arc::new(TrustManager::permissive());
+    let mut policy = hetsec_rbac::RbacPolicy::new();
+    policy.grant(PermissionGrant::new(ds.as_str(), "Manager", "SalariesBean", "read"));
+    policy.assign(RoleAssignment::new("Bob", ds.as_str(), "Manager"));
+    for a in encode_policy(&policy, "KWebCom", &SymbolicDirectory::default()) {
+        tm.add_policy_assertion(a).unwrap();
+    }
+
+    let os = Arc::new(UnixSecurity::new());
+    os.add_user("bob", UnixUser { uid: 1, gid: 1, groups: vec![] });
+    os.set_object(
+        "SalariesBean",
+        UnixObject { owner: 1, group: 1, mode: Mode::from_octal(0o700) },
+    );
+
+    let ctx = AuthzContext::new(
+        "bob",
+        "Kbob",
+        ScheduledAction::new(
+            ComponentRef::new(MiddlewareKind::Ejb, ds.as_str(), "SalariesBean", "read"),
+            ds.as_str(),
+            "Manager",
+        ),
+    );
+    Layers {
+        os: Arc::new(UnixOsLayer::new(os, ["SalariesBean".to_string()])),
+        middleware: Arc::new(MiddlewareLayer::new(ejb)),
+        trust: Arc::new(TrustLayer::new(tm)),
+        app: Arc::new(ApplicationLayer::denying(Vec::new())),
+        ctx,
+    }
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_stack");
+    let l = layers();
+
+    let configs: [(&str, Vec<Arc<dyn hetsec_webcom::AuthzLayer>>); 4] = [
+        ("L2", vec![l.trust.clone() as _]),
+        ("L1+L2", vec![l.middleware.clone() as _, l.trust.clone() as _]),
+        (
+            "L0+L1+L2",
+            vec![l.os.clone() as _, l.middleware.clone() as _, l.trust.clone() as _],
+        ),
+        (
+            "L0..L3",
+            vec![
+                l.os.clone() as _,
+                l.middleware.clone() as _,
+                l.trust.clone() as _,
+                l.app.clone() as _,
+            ],
+        ),
+    ];
+    for (name, layer_set) in &configs {
+        let mut stack = AuthzStack::new();
+        for layer in layer_set {
+            stack.push(layer.clone());
+        }
+        group.bench_with_input(BenchmarkId::new("layers", name), name, |b, _| {
+            b.iter(|| {
+                let d = stack.decide(&l.ctx);
+                assert!(d.permitted);
+                black_box(d)
+            })
+        });
+    }
+
+    // Combination rules over the full stack.
+    for (rule_name, rule) in [
+        ("all_present", CombinationRule::AllPresentMustGrant),
+        ("first_opinion", CombinationRule::FirstOpinion),
+    ] {
+        let mut stack = AuthzStack::new().with_rule(rule);
+        stack.push(l.os.clone());
+        stack.push(l.middleware.clone());
+        stack.push(l.trust.clone());
+        stack.push(l.app.clone());
+        group.bench_with_input(BenchmarkId::new("rule", rule_name), rule_name, |b, _| {
+            b.iter(|| black_box(stack.decide(&l.ctx)))
+        });
+    }
+
+    // Denied path (unknown principal) for the full stack.
+    let mut stack = AuthzStack::new();
+    stack.push(l.os.clone());
+    stack.push(l.middleware.clone());
+    stack.push(l.trust.clone());
+    stack.push(l.app.clone());
+    let denied_ctx = AuthzContext::new("mallory", "Kmallory", l.ctx.action.clone());
+    group.bench_function("denied_full_stack", |b| {
+        b.iter(|| {
+            let d = stack.decide(&denied_ctx);
+            assert!(!d.permitted);
+            black_box(d)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

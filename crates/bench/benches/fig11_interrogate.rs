@@ -1,0 +1,76 @@
+//! fig11 — "The WebCom Integrated Development Environment".
+//!
+//! Measures the IDE's interrogation pipeline: extracting the component
+//! palette from the middlewares, computing authorised (domain, role,
+//! user) combinations per component, and resolving partial execution
+//! specifications, as the deployment grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetsec_ejb::EjbMiddleware;
+use hetsec_middleware::naming::EjbDomain;
+use hetsec_middleware::security::MiddlewareSecurity;
+use hetsec_rbac::{PermissionGrant, RoleAssignment};
+use hetsec_webcom::{interrogate, resolve_spec, PartialSpec};
+use std::hint::black_box;
+
+fn server(beans: usize, methods: usize, users: usize) -> (EjbMiddleware, String) {
+    let d = EjbDomain::new("h", "s", "Palette");
+    let m = EjbMiddleware::new(d.clone());
+    let ds = d.to_string();
+    for b in 0..beans {
+        for me in 0..methods {
+            m.grant(&PermissionGrant::new(
+                ds.as_str(),
+                format!("Role{}", me % 3),
+                format!("Bean{b}"),
+                format!("method{me}"),
+            ))
+            .unwrap();
+        }
+    }
+    for u in 0..users {
+        m.assign(&RoleAssignment::new(
+            format!("user{u}"),
+            ds.as_str(),
+            format!("Role{}", u % 3),
+        ))
+        .unwrap();
+    }
+    (m, ds)
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_interrogate");
+    group.sample_size(15);
+    for (beans, methods, users) in [(4usize, 3usize, 6usize), (16, 6, 24), (64, 6, 96)] {
+        let (m, ds) = server(beans, methods, users);
+        let components = (beans * methods) as u64;
+        group.throughput(Throughput::Elements(components));
+        group.bench_with_input(
+            BenchmarkId::new("build_palette", components),
+            &components,
+            |b, _| b.iter(|| black_box(interrogate(&[&m]))),
+        );
+        let palette = interrogate(&[&m]);
+        let spec = PartialSpec::any().in_domain(ds.as_str()).as_role("Role1");
+        group.bench_with_input(
+            BenchmarkId::new("resolve_all_specs", components),
+            &components,
+            |b, _| {
+                b.iter(|| {
+                    let mut resolved = 0usize;
+                    for entry in &palette.entries {
+                        if resolve_spec(entry, &spec).is_some() {
+                            resolved += 1;
+                        }
+                    }
+                    black_box(resolved)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! fig1 — "RBAC relations for a Salaries Database".
+//!
+//! The figure's artefact is the common RBAC policy implemented "in each
+//! of these Middleware systems in a common manner". The bench measures
+//! commissioning (import) throughput of the Figure 1 policy and scaled
+//! synthetic policies into each middleware simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetsec_com::ComMiddleware;
+use hetsec_corba::CorbaMiddleware;
+use hetsec_ejb::EjbMiddleware;
+use hetsec_middleware::naming::{CorbaDomain, EjbDomain};
+use hetsec_middleware::security::MiddlewareSecurity;
+use hetsec_rbac::fixtures::synthetic_policy;
+use hetsec_rbac::RbacPolicy;
+use std::hint::black_box;
+
+/// Renames domains (and permissions for COM) so a synthetic policy fits
+/// one middleware instance.
+fn shape_for(domain: &str, com_rights: bool, src: &RbacPolicy) -> RbacPolicy {
+    let mut out = RbacPolicy::new();
+    let rights = ["Launch", "Access", "RunAs"];
+    for (i, g) in src.grants().enumerate() {
+        let mut g = g.clone();
+        g.domain = domain.into();
+        if com_rights {
+            g.permission = rights[i % 3].into();
+        }
+        out.grant(g);
+    }
+    for a in src.assignments() {
+        let mut a = a.clone();
+        a.domain = domain.into();
+        out.assign(a);
+    }
+    out
+}
+
+fn bench_commission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_policy_commission");
+    group.sample_size(20);
+    for scale in [1usize, 4, 16] {
+        let policy = synthetic_policy(scale, 4, 3, 4);
+        let rows = (policy.grant_count() + policy.assignment_count()) as u64;
+        group.throughput(Throughput::Elements(rows));
+
+        let ejb_domain = EjbDomain::new("h", "s", "Bench").to_string();
+        let ejb_shaped = shape_for(&ejb_domain, false, &policy);
+        group.bench_with_input(BenchmarkId::new("ejb", scale), &ejb_shaped, |b, p| {
+            b.iter(|| {
+                let m = EjbMiddleware::new(EjbDomain::new("h", "s", "Bench"));
+                black_box(m.import_policy(p))
+            });
+        });
+
+        let corba_domain = CorbaDomain::new("zeus", "bench").to_string();
+        let corba_shaped = shape_for(&corba_domain, false, &policy);
+        group.bench_with_input(BenchmarkId::new("corba", scale), &corba_shaped, |b, p| {
+            b.iter(|| {
+                let m = CorbaMiddleware::new(CorbaDomain::new("zeus", "bench"));
+                black_box(m.import_policy(p))
+            });
+        });
+
+        let com_shaped = shape_for("CORP", true, &policy);
+        group.bench_with_input(BenchmarkId::new("com", scale), &com_shaped, |b, p| {
+            b.iter(|| {
+                let m = ComMiddleware::new("CORP");
+                black_box(m.import_policy(p))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commission);
+criterion_main!(benches);

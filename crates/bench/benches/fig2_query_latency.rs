@@ -1,0 +1,55 @@
+//! fig2 — "Policy Credential allowing Manager Bob to read from and
+//! write to the database".
+//!
+//! Regenerates the Figure 2 policy credential and measures the KeyNote
+//! path it exercises: parsing the credential text and answering the
+//! Example 1 query (Bob requests read/write on SalariesDB).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsec_keynote::parser::parse_assertions;
+use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::ActionAttributes;
+use std::hint::black_box;
+
+const FIG2: &str = "Authorizer: POLICY\n\
+                    licensees: \"Kbob\"\n\
+                    Conditions: app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\");\n";
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_query_latency");
+
+    group.bench_function("parse_credential", |b| {
+        b.iter(|| black_box(parse_assertions(black_box(FIG2)).unwrap()))
+    });
+
+    group.bench_function("session_setup", |b| {
+        b.iter(|| {
+            let mut s = KeyNoteSession::permissive();
+            s.add_policy(black_box(FIG2)).unwrap();
+            black_box(s)
+        })
+    });
+
+    let mut session = KeyNoteSession::permissive();
+    session.add_policy(FIG2).unwrap();
+    let read_attrs: ActionAttributes = [("app_domain", "SalariesDB"), ("oper", "read")]
+        .into_iter()
+        .collect();
+    let denied_attrs: ActionAttributes = [("app_domain", "SalariesDB"), ("oper", "drop")]
+        .into_iter()
+        .collect();
+
+    group.bench_function("query_authorized", |b| {
+        b.iter(|| black_box(session.query_action(&["Kbob"], &read_attrs)))
+    });
+    group.bench_function("query_denied", |b| {
+        b.iter(|| black_box(session.query_action(&["Kbob"], &denied_attrs)))
+    });
+    group.bench_function("query_unknown_key", |b| {
+        b.iter(|| black_box(session.query_action(&["Kmallory"], &read_attrs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! fig3 — "WebCom-KeyNote Architecture".
+//!
+//! The figure shows the master/client fabric with trust-management
+//! mediation on both sides. The bench measures end-to-end scheduling
+//! throughput (master -> client -> reply) with 1..4 clients, and the
+//! marginal cost of the TM mediation by comparing against a fabric whose
+//! policies trust everything (mediation still runs, but the credential
+//! set is trivial).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetsec_graphs::Value;
+use hetsec_middleware::component::ComponentRef;
+use hetsec_middleware::naming::MiddlewareKind;
+use hetsec_webcom::{
+    spawn_client, ArithComponentExecutor, AuthzStack, Binding, ClientConfig, ClientHandle,
+    TrustLayer, TrustManager, WebComMaster,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn tm(policy: &str) -> Arc<TrustManager> {
+    let t = TrustManager::permissive();
+    t.add_policy(policy).unwrap();
+    Arc::new(t)
+}
+
+fn fabric(clients: usize, extra_credentials: usize) -> (WebComMaster, Vec<ClientHandle>) {
+    let mut client_policy = String::new();
+    for i in 0..clients {
+        client_policy.push_str(&format!(
+            "Authorizer: POLICY\nLicensees: \"Kc{i}\"\nConditions: app_domain==\"WebCom\";\n\n"
+        ));
+    }
+    let master = WebComMaster::new("Kmaster", tm(&client_policy));
+    let mut handles = Vec::new();
+    for i in 0..clients {
+        let master_trust = tm(
+            "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let user_tm = tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        // Load the user TM with irrelevant credentials to scale the
+        // mediation cost realistically.
+        for j in 0..extra_credentials {
+            user_tm
+                .add_credentials_text(&format!(
+                    "Authorizer: \"Kstray{j}\"\nLicensees: \"Kother{j}\"\n"
+                ))
+                .unwrap();
+        }
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(user_tm)));
+        let handle = spawn_client(ClientConfig {
+            name: format!("c{i}"),
+            key_text: format!("Kc{i}"),
+            master_trust,
+            stack: Arc::new(stack),
+            executor: Arc::new(ArithComponentExecutor),
+        });
+        master.register_client(&handle, vec!["Dom".into()]);
+        handles.push(handle);
+    }
+    master.bind(
+        "add",
+        Binding {
+            component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+            domain: "Dom".into(),
+            role: "Worker".into(),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+        },
+    );
+    (master, handles)
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_sched_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+    for clients in [1usize, 2, 4] {
+        let (master, handles) = fabric(clients, 0);
+        group.bench_with_input(
+            BenchmarkId::new("schedule_roundtrip", clients),
+            &clients,
+            |b, _| {
+                b.iter(|| {
+                    let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+                    assert!(out.is_ok());
+                    black_box(out)
+                })
+            },
+        );
+        for h in handles {
+            h.shutdown();
+        }
+    }
+    // Mediation cost: credential store size 0 vs 64 vs 256.
+    for creds in [0usize, 64, 256] {
+        let (master, handles) = fabric(1, creds);
+        group.bench_with_input(
+            BenchmarkId::new("mediation_credentials", creds),
+            &creds,
+            |b, _| {
+                b.iter(|| {
+                    let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+                    assert!(out.is_ok());
+                    black_box(out)
+                })
+            },
+        );
+        for h in handles {
+            h.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! fig7 — "Claire delegates her Role membership to Fred".
+//!
+//! Compares the two deployment styles the paper contrasts (§4.5): a
+//! **centralised** policy (every user listed in one Figure 5/6 bundle)
+//! against a **decentralised** one (a small core policy plus per-user
+//! delegation chains), measuring query latency and update cost (adding
+//! one user).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::ActionAttributes;
+use hetsec_rbac::{DomainRole, PermissionGrant, RbacPolicy, RoleAssignment};
+use hetsec_translate::{delegate_role, encode_policy, SymbolicDirectory};
+use std::hint::black_box;
+
+fn attrs() -> ActionAttributes {
+    [
+        ("app_domain", "WebCom"),
+        ("Domain", "Sales"),
+        ("Role", "Manager"),
+        ("ObjectType", "SalariesDB"),
+        ("Permission", "read"),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Centralised: all `users` in the UserRole table, one credential each
+/// from the WebCom key.
+fn centralised(users: usize) -> KeyNoteSession {
+    let dir = SymbolicDirectory::default();
+    let mut policy = RbacPolicy::new();
+    policy.grant(PermissionGrant::new("Sales", "Manager", "SalariesDB", "read"));
+    for i in 0..users {
+        policy.assign(RoleAssignment::new(format!("user{i}"), "Sales", "Manager"));
+    }
+    let mut s = KeyNoteSession::permissive();
+    for a in encode_policy(&policy, "KWebCom", &dir) {
+        s.add_policy_assertion(a).unwrap();
+    }
+    s
+}
+
+/// Decentralised: one root member (user0) in the table; every other user
+/// holds the role through a delegation credential from the previous one.
+fn decentralised(users: usize) -> KeyNoteSession {
+    let dir = SymbolicDirectory::default();
+    let mut policy = RbacPolicy::new();
+    policy.grant(PermissionGrant::new("Sales", "Manager", "SalariesDB", "read"));
+    policy.assign(RoleAssignment::new("user0", "Sales", "Manager"));
+    let mut s = KeyNoteSession::permissive();
+    for a in encode_policy(&policy, "KWebCom", &dir) {
+        s.add_policy_assertion(a).unwrap();
+    }
+    let role = DomainRole::new("Sales", "Manager");
+    for i in 1..users {
+        let cred = delegate_role(
+            &format!("user{}", i - 1).as_str().into(),
+            &format!("user{i}").as_str().into(),
+            &role,
+            &dir,
+        );
+        s.add_credential_parsed(cred).unwrap();
+    }
+    s
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_decentralised");
+    group.sample_size(20);
+    let a = attrs();
+    for users in [8usize, 32, 128] {
+        let central = centralised(users);
+        let decentral = decentralised(users);
+        let last = format!("Kuser{}", users - 1);
+        group.bench_with_input(
+            BenchmarkId::new("centralised_query", users),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    let r = central.query_action(&[last.as_str()], &a);
+                    assert!(r.is_authorized());
+                    black_box(r)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decentralised_query", users),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    let r = decentral.query_action(&[last.as_str()], &a);
+                    assert!(r.is_authorized());
+                    black_box(r)
+                })
+            },
+        );
+        // Update cost: adding one more user.
+        group.bench_with_input(
+            BenchmarkId::new("centralised_add_user", users),
+            &users,
+            |b, _| b.iter(|| black_box(centralised(users + 1))),
+        );
+        let dir = SymbolicDirectory::default();
+        let role = DomainRole::new("Sales", "Manager");
+        group.bench_with_input(
+            BenchmarkId::new("decentralised_add_user", users),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    // One locally-signed credential, no central rebuild.
+                    black_box(delegate_role(
+                        &format!("user{}", users - 1).as_str().into(),
+                        &"newcomer".into(),
+                        &role,
+                        &dir,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

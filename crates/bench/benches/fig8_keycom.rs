@@ -1,0 +1,107 @@
+//! fig8 — "Decentralised Middleware Architecture" (the KeyCom service).
+//!
+//! Measures the KeyCom path: validating a policy-update request's
+//! credentials and applying the update to the COM+ catalogue, for direct
+//! authority and for delegation chains of increasing depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetsec_com::ComMiddleware;
+use hetsec_rbac::RoleAssignment;
+use hetsec_translate::maintenance::PolicyChange;
+use hetsec_webcom::{KeyComService, PolicyUpdateRequest, TrustManager};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn service() -> KeyComService {
+    let tm = TrustManager::permissive();
+    tm.add_policy(
+        "Authorizer: POLICY\nLicensees: \"KAdmin\"\n\
+         Conditions: app_domain==\"WebCom\" && oper==\"administer\" && Domain==\"CORP\";\n",
+    )
+    .unwrap();
+    let com = Arc::new(ComMiddleware::new("CORP"));
+    com.catalog().register_application("SalariesDB");
+    KeyComService::new(Arc::new(tm), com)
+}
+
+/// A delegation chain KAdmin -> Kd1 -> ... -> Kd<depth>.
+fn delegation_chain(depth: usize) -> Vec<hetsec_keynote::Assertion> {
+    let mut out = Vec::new();
+    let mut prev = "KAdmin".to_string();
+    for i in 1..=depth {
+        let next = format!("Kd{i}");
+        out.push(
+            hetsec_keynote::parser::parse_assertion(&format!(
+                "Authorizer: \"{prev}\"\nLicensees: \"{next}\"\n\
+                 Conditions: app_domain==\"WebCom\" && oper==\"administer\" && Domain==\"CORP\";\n"
+            ))
+            .unwrap(),
+        );
+        prev = next;
+    }
+    out
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_keycom");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("direct_admin_update", |b| {
+        let svc = service();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let req = PolicyUpdateRequest {
+                requester: "KAdmin".to_string(),
+                credentials: vec![],
+                change: PolicyChange::Assign(RoleAssignment::new(
+                    format!("user{i}"),
+                    "CORP",
+                    "Manager",
+                )),
+            };
+            black_box(svc.handle(&req).unwrap())
+        })
+    });
+
+    for depth in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("delegated_update", depth),
+            &depth,
+            |b, &depth| {
+                let svc = service();
+                let chain = delegation_chain(depth);
+                let requester = format!("Kd{depth}");
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let req = PolicyUpdateRequest {
+                        requester: requester.clone(),
+                        credentials: chain.clone(),
+                        change: PolicyChange::Assign(RoleAssignment::new(
+                            format!("u{i}"),
+                            "CORP",
+                            "Manager",
+                        )),
+                    };
+                    black_box(svc.handle(&req).unwrap())
+                })
+            },
+        );
+    }
+
+    group.bench_function("refused_update", |b| {
+        let svc = service();
+        let req = PolicyUpdateRequest {
+            requester: "Kmallory".to_string(),
+            credentials: vec![],
+            change: PolicyChange::Assign(RoleAssignment::new("m", "CORP", "Manager")),
+        };
+        b.iter(|| black_box(svc.handle(&req).unwrap_err()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! fig9 — "Interoperating Security Policies" (systems W/X/Y/Z).
+//!
+//! Measures the three translation paths the figure shows: COM -> KeyNote
+//! comprehension (Y's policy serving keyless X), KeyNote -> COM
+//! configuration, and the legacy COM -> EJB migration (Z), including a
+//! full round-trip fidelity check per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetsec_com::ComMiddleware;
+use hetsec_ejb::EjbMiddleware;
+use hetsec_middleware::naming::EjbDomain;
+use hetsec_middleware::security::MiddlewareSecurity;
+use hetsec_rbac::{PermissionGrant, RoleAssignment};
+use hetsec_translate::{decode_policy, encode_policy, migrate, MigrationSpec, SymbolicDirectory};
+use std::hint::black_box;
+
+fn com_with(apps: usize, users: usize) -> ComMiddleware {
+    let m = ComMiddleware::new("CORPY");
+    let rights = ["Launch", "Access", "RunAs"];
+    for a in 0..apps {
+        for (ri, right) in rights.iter().enumerate() {
+            m.grant(&PermissionGrant::new(
+                "CORPY",
+                format!("Role{}", (a + ri) % 4),
+                format!("App{a}"),
+                *right,
+            ))
+            .unwrap();
+        }
+    }
+    for u in 0..users {
+        m.assign(&RoleAssignment::new(
+            format!("user{u}"),
+            "CORPY",
+            format!("Role{}", u % 4),
+        ))
+        .unwrap();
+    }
+    m
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_migration");
+    group.sample_size(15);
+    let dir = SymbolicDirectory::default();
+    for (apps, users) in [(2usize, 8usize), (8, 32), (16, 128)] {
+        let com = com_with(apps, users);
+        let exported = com.export_policy();
+        let rows = (exported.grant_count() + exported.assignment_count()) as u64;
+        group.throughput(Throughput::Elements(rows));
+
+        // Y -> X: comprehension into KeyNote.
+        group.bench_with_input(
+            BenchmarkId::new("com_to_keynote", rows),
+            &exported,
+            |b, p| b.iter(|| black_box(encode_policy(p, "KWebCom", &dir))),
+        );
+
+        // X -> Y: configuration back from KeyNote into a fresh COM box.
+        let credentials = encode_policy(&exported, "KWebCom", &dir);
+        group.bench_with_input(
+            BenchmarkId::new("keynote_to_com", rows),
+            &credentials,
+            |b, creds| {
+                b.iter(|| {
+                    let decoded = decode_policy(creds, "KWebCom", &dir);
+                    let fresh = ComMiddleware::new("CORPY");
+                    let report = fresh.import_policy(&decoded.policy);
+                    assert_eq!(report.skipped.len(), 0);
+                    black_box(report)
+                })
+            },
+        );
+
+        // Z: legacy COM -> replacement EJB migration.
+        let ejb_domain = EjbDomain::new("zhost", "srv", "Repl").to_string();
+        let spec = MigrationSpec::domain("CORPY", ejb_domain.clone());
+        group.bench_with_input(BenchmarkId::new("com_to_ejb", rows), &rows, |b, _| {
+            b.iter(|| {
+                let ejb = EjbMiddleware::new(EjbDomain::new("zhost", "srv", "Repl"));
+                let report = migrate(&com, &ejb, &spec);
+                assert!(report.import.skipped.is_empty());
+                black_box(report)
+            })
+        });
+
+        // Round-trip fidelity as a measured operation (encode+decode+eq).
+        group.bench_with_input(BenchmarkId::new("roundtrip_check", rows), &exported, |b, p| {
+            b.iter(|| {
+                let creds = encode_policy(p, "KWebCom", &dir);
+                let back = decode_policy(&creds, "KWebCom", &dir);
+                assert_eq!(&back.policy, p);
+                black_box(back)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,292 @@
+//! The `hetsec` command-line tool: policy translation from the shell.
+//!
+//! Subcommands (each reads/writes the serde_json form of
+//! [`hetsec_rbac::RbacPolicy`] or KeyNote assertion text):
+//!
+//! * `encode <policy.json>` — RBAC → KeyNote credentials (Figures 5-6);
+//! * `decode <credentials.kn>` — KeyNote → RBAC (JSON on stdout);
+//! * `check <policy.json> <user> <domain> <role> <object> <permission>`
+//!   — answer one authorisation query through the KeyNote back-end;
+//! * `migrate <policy.json> <from-domain> <to-domain> [from-kind to-kind]`
+//!   — domain remap + kind-level permission interpretation;
+//! * `spki-encode <policy.json>` — RBAC → SPKI/SDSI certificates;
+//! * `example-policy` — print the paper's Figure 1 policy as JSON.
+//!
+//! The dispatch logic lives here (library) so it is unit-testable; the
+//! binary in `main.rs` is a thin wrapper.
+
+use hetsec_keynote::parser::parse_assertions;
+use hetsec_keynote::print::print_assertion;
+use hetsec_keynote::session::KeyNoteSession;
+use hetsec_middleware::MiddlewareKind;
+use hetsec_rbac::fixtures::salaries_policy;
+use hetsec_rbac::RbacPolicy;
+use hetsec_translate::{
+    decode_policy, encode_policy, transform_policy, MigrationSpec, SymbolicDirectory, APP_DOMAIN,
+};
+
+/// The WebCom administration key used by the CLI.
+pub const CLI_WEBCOM_KEY: &str = "KWebCom";
+
+/// CLI errors, printable to stderr.
+#[derive(Debug)]
+pub enum CliError {
+    /// Usage problem.
+    Usage(String),
+    /// IO problem.
+    Io(std::io::Error),
+    /// JSON problem.
+    Json(serde_json::Error),
+    /// KeyNote parse problem.
+    KeyNote(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::KeyNote(e) => write!(f, "keynote error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+fn read_policy(path: &str) -> Result<RbacPolicy, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+fn parse_kind(s: &str) -> Result<MiddlewareKind, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "com" | "com+" | "complus" => Ok(MiddlewareKind::ComPlus),
+        "ejb" => Ok(MiddlewareKind::Ejb),
+        "corba" => Ok(MiddlewareKind::Corba),
+        other => Err(CliError::Usage(format!(
+            "unknown middleware kind `{other}` (use com|ejb|corba)"
+        ))),
+    }
+}
+
+/// Runs one CLI invocation; returns the text to print on stdout.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let usage = "hetsec <encode|decode|check|migrate|spki-encode|example-policy> ...";
+    let cmd = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
+    match cmd.as_str() {
+        "example-policy" => Ok(serde_json::to_string_pretty(&salaries_policy())?),
+        "encode" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("hetsec encode <policy.json>".into()))?;
+            let policy = read_policy(path)?;
+            let dir = SymbolicDirectory::default();
+            let out: Vec<String> = encode_policy(&policy, CLI_WEBCOM_KEY, &dir)
+                .iter()
+                .map(print_assertion)
+                .collect();
+            Ok(out.join("\n"))
+        }
+        "decode" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("hetsec decode <credentials.kn>".into()))?;
+            let text = std::fs::read_to_string(path)?;
+            let assertions =
+                parse_assertions(&text).map_err(|e| CliError::KeyNote(e.to_string()))?;
+            let dir = SymbolicDirectory::default();
+            let report = decode_policy(&assertions, CLI_WEBCOM_KEY, &dir);
+            let mut out = serde_json::to_string_pretty(&report.policy)?;
+            for skip in &report.skipped {
+                out.push_str(&format!("\n// skipped: {skip}"));
+            }
+            Ok(out)
+        }
+        "check" => {
+            let [path, user, domain, role, object, permission] = args.get(1..7).and_then(
+                |s| <&[String; 6]>::try_from(s).ok(),
+            ).ok_or_else(|| {
+                CliError::Usage(
+                    "hetsec check <policy.json> <user> <domain> <role> <object> <permission>"
+                        .into(),
+                )
+            })?
+            .clone();
+            let policy = read_policy(&path)?;
+            let dir = SymbolicDirectory::default();
+            let mut session = KeyNoteSession::permissive();
+            for a in encode_policy(&policy, CLI_WEBCOM_KEY, &dir) {
+                session
+                    .add_policy_assertion(a)
+                    .map_err(|e| CliError::KeyNote(e.to_string()))?;
+            }
+            let attrs = [
+                ("app_domain", APP_DOMAIN),
+                ("Domain", domain.as_str()),
+                ("Role", role.as_str()),
+                ("ObjectType", object.as_str()),
+                ("Permission", permission.as_str()),
+            ]
+            .into_iter()
+            .collect();
+            let key = format!("K{}", user.to_lowercase());
+            let result = session.query_action(&[key.as_str()], &attrs);
+            Ok(format!(
+                "{}: {user} as {domain}/{role} requesting {permission} on {object}",
+                result.value_name
+            ))
+        }
+        "migrate" => {
+            let (path, from_d, to_d) = match (args.get(1), args.get(2), args.get(3)) {
+                (Some(p), Some(f), Some(t)) => (p, f, t),
+                _ => {
+                    return Err(CliError::Usage(
+                        "hetsec migrate <policy.json> <from-domain> <to-domain> [from-kind to-kind]"
+                            .into(),
+                    ))
+                }
+            };
+            let from_kind = args.get(4).map(|s| parse_kind(s)).transpose()?.unwrap_or(MiddlewareKind::Ejb);
+            let to_kind = args.get(5).map(|s| parse_kind(s)).transpose()?.unwrap_or(MiddlewareKind::Ejb);
+            let policy = read_policy(path)?;
+            let spec = MigrationSpec::domain(from_d.clone(), to_d.clone());
+            let (out, renames) = transform_policy(&policy, from_kind, to_kind, &spec);
+            let mut text = serde_json::to_string_pretty(&out)?;
+            for (f, t, score) in renames {
+                text.push_str(&format!("\n// renamed {f} -> {t} (score {score:.2})"));
+            }
+            Ok(text)
+        }
+        "spki-encode" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("hetsec spki-encode <policy.json>".into()))?;
+            let policy = read_policy(path)?;
+            let spki = hetsec_spki::encode_rbac(&policy, "Kwebcom");
+            let mut out = String::new();
+            for entry in &spki.acl {
+                out.push_str(&format!(
+                    "(acl-entry (subject {}) (propagate) {})\n",
+                    entry.subject, entry.tag
+                ));
+            }
+            for cert in &spki.store.names {
+                out.push_str(&format!("{}\n", cert.to_sexp()));
+            }
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`; {usage}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn with_fixture_file<R>(f: impl FnOnce(&str) -> R) -> R {
+        let dir = std::env::temp_dir().join(format!("hetsec-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        std::fs::write(&path, serde_json::to_string(&salaries_policy()).unwrap()).unwrap();
+        f(path.to_str().unwrap())
+    }
+
+    #[test]
+    fn example_policy_prints_json() {
+        let out = run(&args(&["example-policy"])).unwrap();
+        let parsed: RbacPolicy = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed, salaries_policy());
+    }
+
+    #[test]
+    fn encode_emits_keynote_text() {
+        with_fixture_file(|path| {
+            let out = run(&args(&["encode", path])).unwrap();
+            assert!(out.contains("Authorizer: POLICY"));
+            assert!(out.contains("Kclaire"));
+            // The output parses back.
+            let assertions = parse_assertions(&out).unwrap();
+            assert_eq!(assertions.len(), 6); // fig5 + 5 memberships
+        })
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_via_files() {
+        with_fixture_file(|path| {
+            let encoded = run(&args(&["encode", path])).unwrap();
+            let kn_path = std::path::Path::new(path).with_extension("kn");
+            std::fs::write(&kn_path, &encoded).unwrap();
+            let decoded = run(&args(&["decode", kn_path.to_str().unwrap()])).unwrap();
+            let policy: RbacPolicy =
+                serde_json::from_str(decoded.split("\n//").next().unwrap()).unwrap();
+            assert_eq!(policy, salaries_policy());
+        })
+    }
+
+    #[test]
+    fn check_answers_queries() {
+        with_fixture_file(|path| {
+            let out = run(&args(&[
+                "check", path, "Claire", "Sales", "Manager", "SalariesDB", "read",
+            ]))
+            .unwrap();
+            assert!(out.starts_with("_MAX_TRUST"));
+            let out = run(&args(&[
+                "check", path, "Claire", "Sales", "Manager", "SalariesDB", "write",
+            ]))
+            .unwrap();
+            assert!(out.starts_with("_MIN_TRUST"));
+        })
+    }
+
+    #[test]
+    fn migrate_remaps_domains_and_interprets_permissions() {
+        with_fixture_file(|path| {
+            let out = run(&args(&["migrate", path, "Finance", "h/s/j", "com", "ejb"])).unwrap();
+            let policy: RbacPolicy =
+                serde_json::from_str(out.split("\n//").next().unwrap()).unwrap();
+            assert!(policy.domains().iter().any(|d| d.as_str() == "h/s/j"));
+            assert!(policy.domains().iter().all(|d| d.as_str() != "Finance"));
+        })
+    }
+
+    #[test]
+    fn spki_encode_emits_certs() {
+        with_fixture_file(|path| {
+            let out = run(&args(&["spki-encode", path])).unwrap();
+            assert!(out.contains("(acl-entry"));
+            assert!(out.contains("(cert (issuer (name Kwebcom"));
+        })
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["bogus"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["encode"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["check", "x"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["migrate", "p", "a", "b", "nope"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["encode", "/no/such/file.json"])),
+            Err(CliError::Io(_))
+        ));
+    }
+}

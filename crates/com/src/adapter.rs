@@ -1,0 +1,276 @@
+//! [`MiddlewareSecurity`] adapter for the COM+ catalogue.
+
+use crate::catalog::{ComCatalog, ComRight};
+use hetsec_middleware::naming::MiddlewareKind;
+use hetsec_middleware::security::{Decision, MiddlewareError, MiddlewareSecurity};
+use hetsec_rbac::{
+    Domain, ObjectType, Permission, PermissionGrant, RbacPolicy, Role, RoleAssignment, User,
+};
+use std::str::FromStr;
+
+/// A COM+ machine viewed through the common middleware-security surface.
+pub struct ComMiddleware {
+    catalog: ComCatalog,
+}
+
+impl ComMiddleware {
+    /// Wraps a fresh catalogue in NT domain `nt_domain`.
+    pub fn new(nt_domain: &str) -> Self {
+        ComMiddleware {
+            catalog: ComCatalog::new(nt_domain),
+        }
+    }
+
+    /// The underlying catalogue (for native administration, Figure 8).
+    pub fn catalog(&self) -> &ComCatalog {
+        &self.catalog
+    }
+
+    fn check_domain(&self, domain: &Domain) -> Result<(), MiddlewareError> {
+        if domain.as_str() != self.catalog.nt_domain_name() {
+            return Err(MiddlewareError::ForeignDomain {
+                domain: domain.clone(),
+                kind: MiddlewareKind::ComPlus,
+                instance: self.instance_name(),
+            });
+        }
+        Ok(())
+    }
+
+    fn parse_right(permission: &Permission) -> Result<ComRight, MiddlewareError> {
+        ComRight::from_str(permission.as_str())
+            .map_err(|()| MiddlewareError::UnsupportedPermission(permission.clone()))
+    }
+}
+
+impl MiddlewareSecurity for ComMiddleware {
+    fn kind(&self) -> MiddlewareKind {
+        MiddlewareKind::ComPlus
+    }
+
+    fn instance_name(&self) -> String {
+        format!("COM+@{}", self.catalog.nt_domain_name())
+    }
+
+    fn owned_domains(&self) -> Vec<Domain> {
+        vec![Domain::new(self.catalog.nt_domain_name())]
+    }
+
+    fn export_policy(&self) -> RbacPolicy {
+        let mut policy = RbacPolicy::new();
+        let domain = self.catalog.nt_domain_name().to_string();
+        for app in self.catalog.applications() {
+            if let Some(entry) = self.catalog.application(&app) {
+                for (role, rights) in entry.role_rights {
+                    for right in rights {
+                        policy.grant(PermissionGrant::new(
+                            domain.as_str(),
+                            role.as_str(),
+                            app.as_str(),
+                            right.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        for (role, members) in self.catalog.role_members() {
+            for user in members {
+                policy.assign(RoleAssignment::new(
+                    user.as_str(),
+                    domain.as_str(),
+                    role.as_str(),
+                ));
+            }
+        }
+        policy
+    }
+
+    fn grant(&self, grant: &PermissionGrant) -> Result<(), MiddlewareError> {
+        self.check_domain(&grant.domain)?;
+        let right = Self::parse_right(&grant.permission)?;
+        self.catalog
+            .grant_right(grant.object_type.as_str(), grant.role.as_str(), right);
+        Ok(())
+    }
+
+    fn revoke(&self, grant: &PermissionGrant) -> Result<(), MiddlewareError> {
+        self.check_domain(&grant.domain)?;
+        let right = Self::parse_right(&grant.permission)?;
+        if self
+            .catalog
+            .revoke_right(grant.object_type.as_str(), grant.role.as_str(), right)
+        {
+            Ok(())
+        } else {
+            Err(MiddlewareError::NotFound(format!("{grant}")))
+        }
+    }
+
+    fn assign(&self, assignment: &RoleAssignment) -> Result<(), MiddlewareError> {
+        self.check_domain(&assignment.domain)?;
+        self.catalog
+            .add_role_member(assignment.role.as_str(), assignment.user.as_str());
+        Ok(())
+    }
+
+    fn unassign(&self, assignment: &RoleAssignment) -> Result<(), MiddlewareError> {
+        self.check_domain(&assignment.domain)?;
+        if self
+            .catalog
+            .remove_role_member(assignment.role.as_str(), assignment.user.as_str())
+        {
+            Ok(())
+        } else {
+            Err(MiddlewareError::NotFound(format!("{assignment}")))
+        }
+    }
+
+    fn check(
+        &self,
+        user: &User,
+        domain: &Domain,
+        role: Option<&Role>,
+        object_type: &ObjectType,
+        permission: &Permission,
+    ) -> Decision {
+        if domain.as_str() != self.catalog.nt_domain_name() {
+            return Decision::denied(format!("foreign domain {domain}"));
+        }
+        let Ok(right) = ComRight::from_str(permission.as_str()) else {
+            return Decision::denied(format!("unsupported COM+ permission {permission}"));
+        };
+        let role_str = role.map(|r| r.as_str());
+        if self
+            .catalog
+            .check_right(user.as_str(), role_str, object_type.as_str(), right)
+        {
+            Decision::Granted
+        } else {
+            Decision::denied(format!("{user} lacks {right} on {object_type}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_middleware::security::MiddlewareSecurityExt;
+
+    fn fixture() -> ComMiddleware {
+        let m = ComMiddleware::new("CORP");
+        m.grant(&PermissionGrant::new("CORP", "Manager", "SalariesDB", "Access"))
+            .unwrap();
+        m.grant(&PermissionGrant::new("CORP", "Manager", "SalariesDB", "Launch"))
+            .unwrap();
+        m.assign(&RoleAssignment::new("bob", "CORP", "Manager")).unwrap();
+        m
+    }
+
+    #[test]
+    fn grant_and_check_through_trait() {
+        let m = fixture();
+        assert!(m.allows(
+            &"bob".into(),
+            &"CORP".into(),
+            &"SalariesDB".into(),
+            &"Access".into()
+        ));
+        assert!(!m.allows(
+            &"bob".into(),
+            &"CORP".into(),
+            &"SalariesDB".into(),
+            &"RunAs".into()
+        ));
+        let d = m.check(
+            &"bob".into(),
+            &"CORP".into(),
+            Some(&"Clerk".into()),
+            &"SalariesDB".into(),
+            &"Access".into(),
+        );
+        assert!(!d.is_granted());
+    }
+
+    #[test]
+    fn foreign_domain_rejected() {
+        let m = fixture();
+        let err = m
+            .grant(&PermissionGrant::new("OTHER", "R", "App", "Access"))
+            .unwrap_err();
+        assert!(matches!(err, MiddlewareError::ForeignDomain { .. }));
+        let d = m.check(
+            &"bob".into(),
+            &"OTHER".into(),
+            None,
+            &"SalariesDB".into(),
+            &"Access".into(),
+        );
+        assert!(!d.is_granted());
+    }
+
+    #[test]
+    fn unsupported_permission_rejected() {
+        let m = fixture();
+        let err = m
+            .grant(&PermissionGrant::new("CORP", "R", "App", "read"))
+            .unwrap_err();
+        assert!(matches!(err, MiddlewareError::UnsupportedPermission(_)));
+    }
+
+    #[test]
+    fn export_matches_native_state() {
+        let m = fixture();
+        let p = m.export_policy();
+        assert_eq!(p.grant_count(), 2);
+        assert_eq!(p.assignment_count(), 1);
+        assert!(p.check_access(&"bob".into(), &"SalariesDB".into(), &"Access".into()));
+    }
+
+    #[test]
+    fn import_skips_foreign_rows_and_bad_permissions() {
+        let m = ComMiddleware::new("CORP");
+        let mut unified = RbacPolicy::new();
+        unified.grant(PermissionGrant::new("CORP", "Manager", "App", "Access"));
+        unified.grant(PermissionGrant::new("ELSEWHERE", "R", "X", "Access"));
+        unified.grant(PermissionGrant::new("CORP", "Manager", "App", "read")); // not a COM right
+        unified.assign(RoleAssignment::new("bob", "CORP", "Manager"));
+        unified.assign(RoleAssignment::new("carol", "ELSEWHERE", "R"));
+        let report = m.import_policy(&unified);
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.skipped.len(), 3);
+        assert!(m.allows(&"bob".into(), &"CORP".into(), &"App".into(), &"Access".into()));
+    }
+
+    #[test]
+    fn revoke_and_unassign() {
+        let m = fixture();
+        m.revoke(&PermissionGrant::new("CORP", "Manager", "SalariesDB", "Launch"))
+            .unwrap();
+        assert!(!m.allows(
+            &"bob".into(),
+            &"CORP".into(),
+            &"SalariesDB".into(),
+            &"Launch".into()
+        ));
+        assert!(m
+            .revoke(&PermissionGrant::new("CORP", "Manager", "SalariesDB", "Launch"))
+            .is_err());
+        m.unassign(&RoleAssignment::new("bob", "CORP", "Manager")).unwrap();
+        assert!(!m.allows(
+            &"bob".into(),
+            &"CORP".into(),
+            &"SalariesDB".into(),
+            &"Access".into()
+        ));
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let m = fixture();
+        let exported = m.export_policy();
+        let m2 = ComMiddleware::new("CORP");
+        let report = m2.import_policy(&exported);
+        assert!(report.skipped.is_empty());
+        assert_eq!(m2.export_policy(), exported);
+    }
+}

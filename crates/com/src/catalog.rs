@@ -1,0 +1,317 @@
+//! The COM+ catalogue simulator (paper §2, "Microsoft COM+/.NET").
+//!
+//! COM's RBAC model extends the Windows security model: roles are unique
+//! to each NT domain, and the permissions are the coarse application
+//! rights `Launch`, `Access` and `RunAs`. The catalogue stores COM+
+//! applications (AppIDs) with their classes (CLSIDs) and per-application
+//! role→rights entries; role membership is domain-wide, resolved against
+//! the NT account database.
+//!
+//! In the common model: `Domain` = the NT domain name, `ObjectType` = the
+//! COM+ application name, `Permission` ∈ {Launch, Access, RunAs}.
+
+use hetsec_os::windows::NtDomain;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::str::FromStr;
+
+/// The three COM+ application rights the paper uses as permissions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ComRight {
+    /// Permission to launch (activate) the application.
+    Launch,
+    /// Permission to call methods on the application's classes.
+    Access,
+    /// Permission to configure the identity the application runs as.
+    RunAs,
+}
+
+impl ComRight {
+    /// All rights.
+    pub const ALL: [ComRight; 3] = [ComRight::Launch, ComRight::Access, ComRight::RunAs];
+}
+
+impl fmt::Display for ComRight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComRight::Launch => "Launch",
+            ComRight::Access => "Access",
+            ComRight::RunAs => "RunAs",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for ComRight {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "Launch" => Ok(ComRight::Launch),
+            "Access" => Ok(ComRight::Access),
+            "RunAs" => Ok(ComRight::RunAs),
+            _ => Err(()),
+        }
+    }
+}
+
+/// A COM+ application entry: classes plus role→rights.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComApplication {
+    /// Registered class ids (CLSIDs, by readable name here).
+    pub classes: BTreeSet<String>,
+    /// role name -> rights granted to that role on this application.
+    pub role_rights: BTreeMap<String, BTreeSet<ComRight>>,
+}
+
+/// The machine-wide COM+ catalogue.
+pub struct ComCatalog {
+    nt_domain_name: String,
+    inner: RwLock<CatalogState>,
+}
+
+#[derive(Debug, Default)]
+struct CatalogState {
+    apps: BTreeMap<String, ComApplication>,
+    /// Domain-wide role membership (paper: roles unique to each domain).
+    role_members: BTreeMap<String, BTreeSet<String>>,
+    nt: NtDomain,
+}
+
+impl ComCatalog {
+    /// An empty catalogue on a machine joined to `nt_domain`.
+    pub fn new(nt_domain: &str) -> Self {
+        ComCatalog {
+            nt_domain_name: nt_domain.to_string(),
+            inner: RwLock::new(CatalogState {
+                nt: NtDomain::new(nt_domain),
+                ..CatalogState::default()
+            }),
+        }
+    }
+
+    /// The NT domain this catalogue belongs to.
+    pub fn nt_domain_name(&self) -> &str {
+        &self.nt_domain_name
+    }
+
+    /// Registers an application (idempotent).
+    pub fn register_application(&self, app: &str) {
+        self.inner.write().apps.entry(app.to_string()).or_default();
+    }
+
+    /// Registers a class under an application (creating it).
+    pub fn register_class(&self, app: &str, class: &str) {
+        self.inner
+            .write()
+            .apps
+            .entry(app.to_string())
+            .or_default()
+            .classes
+            .insert(class.to_string());
+    }
+
+    /// Grants a right to a role on an application (creating both).
+    pub fn grant_right(&self, app: &str, role: &str, right: ComRight) -> bool {
+        let mut s = self.inner.write();
+        s.apps
+            .entry(app.to_string())
+            .or_default()
+            .role_rights
+            .entry(role.to_string())
+            .or_default()
+            .insert(right)
+    }
+
+    /// Revokes a right; returns false if it was absent.
+    pub fn revoke_right(&self, app: &str, role: &str, right: ComRight) -> bool {
+        let mut s = self.inner.write();
+        s.apps
+            .get_mut(app)
+            .and_then(|a| a.role_rights.get_mut(role))
+            .is_some_and(|rights| rights.remove(&right))
+    }
+
+    /// Adds a user to a domain role, registering the NT account.
+    pub fn add_role_member(&self, role: &str, user: &str) -> bool {
+        let mut s = self.inner.write();
+        s.nt.add_user(user);
+        s.role_members
+            .entry(role.to_string())
+            .or_default()
+            .insert(user.to_string())
+    }
+
+    /// Removes a user from a role.
+    pub fn remove_role_member(&self, role: &str, user: &str) -> bool {
+        self.inner
+            .write()
+            .role_members
+            .get_mut(role)
+            .is_some_and(|m| m.remove(user))
+    }
+
+    /// Roles a user belongs to.
+    pub fn roles_of(&self, user: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .role_members
+            .iter()
+            .filter(|(_, m)| m.contains(user))
+            .map(|(r, _)| r.clone())
+            .collect()
+    }
+
+    /// True when `user`, acting in `role` (or any role when `None`),
+    /// holds `right` on `app`.
+    pub fn check_right(&self, user: &str, role: Option<&str>, app: &str, right: ComRight) -> bool {
+        let s = self.inner.read();
+        let Some(a) = s.apps.get(app) else {
+            return false;
+        };
+        let member_roles: Vec<&String> = s
+            .role_members
+            .iter()
+            .filter(|(r, m)| m.contains(user) && role.is_none_or(|want| want == r.as_str()))
+            .map(|(r, _)| r)
+            .collect();
+        member_roles
+            .iter()
+            .any(|r| a.role_rights.get(*r).is_some_and(|rights| rights.contains(&right)))
+    }
+
+    /// Simulated activation: requires `Launch`.
+    pub fn launch(&self, user: &str, app: &str) -> Result<(), String> {
+        if self.check_right(user, None, app, ComRight::Launch) {
+            Ok(())
+        } else {
+            Err(format!("{user} lacks Launch on {app}"))
+        }
+    }
+
+    /// Simulated method call: requires `Access` and the class must exist.
+    pub fn call(&self, user: &str, app: &str, class: &str, method: &str) -> Result<String, String> {
+        {
+            let s = self.inner.read();
+            let Some(a) = s.apps.get(app) else {
+                return Err(format!("no such application {app}"));
+            };
+            if !a.classes.contains(class) {
+                return Err(format!("no such class {class} in {app}"));
+            }
+        }
+        if self.check_right(user, None, app, ComRight::Access) {
+            Ok(format!("{app}.{class}::{method} executed for {user}"))
+        } else {
+            Err(format!("{user} lacks Access on {app}"))
+        }
+    }
+
+    /// Snapshot of application names.
+    pub fn applications(&self) -> Vec<String> {
+        self.inner.read().apps.keys().cloned().collect()
+    }
+
+    /// Snapshot of one application.
+    pub fn application(&self, app: &str) -> Option<ComApplication> {
+        self.inner.read().apps.get(app).cloned()
+    }
+
+    /// Snapshot of role memberships.
+    pub fn role_members(&self) -> BTreeMap<String, BTreeSet<String>> {
+        self.inner.read().role_members.clone()
+    }
+
+    /// Access to the NT domain database (for the OS layer).
+    pub fn with_nt<R>(&self, f: impl FnOnce(&mut NtDomain) -> R) -> R {
+        f(&mut self.inner.write().nt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> ComCatalog {
+        let c = ComCatalog::new("CORP");
+        c.register_application("SalariesDB");
+        c.register_class("SalariesDB", "SalaryRecord");
+        c.grant_right("SalariesDB", "Manager", ComRight::Launch);
+        c.grant_right("SalariesDB", "Manager", ComRight::Access);
+        c.grant_right("SalariesDB", "Clerk", ComRight::Access);
+        c.add_role_member("Manager", "bob");
+        c.add_role_member("Clerk", "alice");
+        c
+    }
+
+    #[test]
+    fn rights_parse_and_display() {
+        for r in ComRight::ALL {
+            assert_eq!(r.to_string().parse::<ComRight>().unwrap(), r);
+        }
+        assert!("Fly".parse::<ComRight>().is_err());
+    }
+
+    #[test]
+    fn role_based_rights() {
+        let c = fixture();
+        assert!(c.check_right("bob", None, "SalariesDB", ComRight::Launch));
+        assert!(c.check_right("bob", None, "SalariesDB", ComRight::Access));
+        assert!(!c.check_right("bob", None, "SalariesDB", ComRight::RunAs));
+        assert!(c.check_right("alice", None, "SalariesDB", ComRight::Access));
+        assert!(!c.check_right("alice", None, "SalariesDB", ComRight::Launch));
+        assert!(!c.check_right("mallory", None, "SalariesDB", ComRight::Access));
+    }
+
+    #[test]
+    fn role_restricted_check() {
+        let c = fixture();
+        c.add_role_member("Clerk", "bob"); // bob also a clerk
+        assert!(c.check_right("bob", Some("Manager"), "SalariesDB", ComRight::Launch));
+        assert!(!c.check_right("bob", Some("Clerk"), "SalariesDB", ComRight::Launch));
+        assert!(c.check_right("bob", Some("Clerk"), "SalariesDB", ComRight::Access));
+        assert!(!c.check_right("bob", Some("Ghost"), "SalariesDB", ComRight::Access));
+    }
+
+    #[test]
+    fn launch_and_call() {
+        let c = fixture();
+        assert!(c.launch("bob", "SalariesDB").is_ok());
+        assert!(c.launch("alice", "SalariesDB").is_err());
+        let out = c.call("alice", "SalariesDB", "SalaryRecord", "Update").unwrap();
+        assert!(out.contains("SalaryRecord::Update"));
+        assert!(c.call("alice", "SalariesDB", "NoClass", "X").is_err());
+        assert!(c.call("alice", "NoApp", "C", "X").is_err());
+        assert!(c.call("mallory", "SalariesDB", "SalaryRecord", "X").is_err());
+    }
+
+    #[test]
+    fn revocation() {
+        let c = fixture();
+        assert!(c.revoke_right("SalariesDB", "Clerk", ComRight::Access));
+        assert!(!c.revoke_right("SalariesDB", "Clerk", ComRight::Access));
+        assert!(!c.check_right("alice", None, "SalariesDB", ComRight::Access));
+        assert!(c.remove_role_member("Manager", "bob"));
+        assert!(!c.check_right("bob", None, "SalariesDB", ComRight::Launch));
+    }
+
+    #[test]
+    fn membership_queries() {
+        let c = fixture();
+        assert_eq!(c.roles_of("bob"), vec!["Manager".to_string()]);
+        assert_eq!(c.applications(), vec!["SalariesDB".to_string()]);
+        let app = c.application("SalariesDB").unwrap();
+        assert!(app.classes.contains("SalaryRecord"));
+        assert_eq!(c.role_members()["Clerk"].len(), 1);
+    }
+
+    #[test]
+    fn nt_accounts_created_on_membership() {
+        let c = fixture();
+        assert!(c.with_nt(|d| d.has_user("alice")));
+        assert!(c.with_nt(|d| d.has_user("bob")));
+        assert!(!c.with_nt(|d| d.has_user("mallory")));
+    }
+}

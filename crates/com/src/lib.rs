@@ -1,0 +1,13 @@
+//! COM+/.NET middleware security simulator (paper §2).
+//!
+//! [`catalog`] models the COM+ catalogue — applications, classes, roles
+//! with `Launch`/`Access`/`RunAs` rights, and NT-domain role membership —
+//! and [`adapter`] exposes it through the common
+//! [`hetsec_middleware::MiddlewareSecurity`] surface so WebCom's KeyCom
+//! service (Figure 8) and the translation pipelines can drive it.
+
+pub mod adapter;
+pub mod catalog;
+
+pub use adapter::ComMiddleware;
+pub use catalog::{ComApplication, ComCatalog, ComRight};

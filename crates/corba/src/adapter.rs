@@ -1,0 +1,227 @@
+//! [`MiddlewareSecurity`] adapter for the ORB server.
+
+use crate::orb::OrbServer;
+use hetsec_middleware::naming::{CorbaDomain, MiddlewareKind};
+use hetsec_middleware::security::{Decision, MiddlewareError, MiddlewareSecurity};
+use hetsec_rbac::{
+    Domain, ObjectType, Permission, PermissionGrant, RbacPolicy, Role, RoleAssignment, User,
+};
+
+/// A CORBA ORB viewed through the common middleware-security surface.
+pub struct CorbaMiddleware {
+    orb: OrbServer,
+}
+
+impl CorbaMiddleware {
+    /// Wraps a fresh ORB.
+    pub fn new(domain: CorbaDomain) -> Self {
+        CorbaMiddleware {
+            orb: OrbServer::new(domain),
+        }
+    }
+
+    /// The underlying ORB (for native administration).
+    pub fn orb(&self) -> &OrbServer {
+        &self.orb
+    }
+
+    fn check_domain(&self, domain: &Domain) -> Result<(), MiddlewareError> {
+        if domain.as_str() != self.orb.domain().to_string() {
+            return Err(MiddlewareError::ForeignDomain {
+                domain: domain.clone(),
+                kind: MiddlewareKind::Corba,
+                instance: self.instance_name(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl MiddlewareSecurity for CorbaMiddleware {
+    fn kind(&self) -> MiddlewareKind {
+        MiddlewareKind::Corba
+    }
+
+    fn instance_name(&self) -> String {
+        format!("CORBA@{}", self.orb.domain())
+    }
+
+    fn owned_domains(&self) -> Vec<Domain> {
+        vec![self.orb.domain().to_domain()]
+    }
+
+    fn export_policy(&self) -> RbacPolicy {
+        let mut policy = RbacPolicy::new();
+        let domain = self.orb.domain().to_string();
+        for (role, by_iface) in self.orb.role_rights() {
+            for (iface, ops) in by_iface {
+                for op in ops {
+                    policy.grant(PermissionGrant::new(
+                        domain.as_str(),
+                        role.as_str(),
+                        iface.as_str(),
+                        op.as_str(),
+                    ));
+                }
+            }
+        }
+        for (role, members) in self.orb.role_members() {
+            for user in members {
+                policy.assign(RoleAssignment::new(
+                    user.as_str(),
+                    domain.as_str(),
+                    role.as_str(),
+                ));
+            }
+        }
+        policy
+    }
+
+    fn grant(&self, grant: &PermissionGrant) -> Result<(), MiddlewareError> {
+        self.check_domain(&grant.domain)?;
+        self.orb.grant_operation(
+            grant.role.as_str(),
+            grant.object_type.as_str(),
+            grant.permission.as_str(),
+        );
+        Ok(())
+    }
+
+    fn revoke(&self, grant: &PermissionGrant) -> Result<(), MiddlewareError> {
+        self.check_domain(&grant.domain)?;
+        if self.orb.revoke_operation(
+            grant.role.as_str(),
+            grant.object_type.as_str(),
+            grant.permission.as_str(),
+        ) {
+            Ok(())
+        } else {
+            Err(MiddlewareError::NotFound(format!("{grant}")))
+        }
+    }
+
+    fn assign(&self, assignment: &RoleAssignment) -> Result<(), MiddlewareError> {
+        self.check_domain(&assignment.domain)?;
+        self.orb
+            .add_role_member(assignment.role.as_str(), assignment.user.as_str());
+        Ok(())
+    }
+
+    fn unassign(&self, assignment: &RoleAssignment) -> Result<(), MiddlewareError> {
+        self.check_domain(&assignment.domain)?;
+        if self
+            .orb
+            .remove_role_member(assignment.role.as_str(), assignment.user.as_str())
+        {
+            Ok(())
+        } else {
+            Err(MiddlewareError::NotFound(format!("{assignment}")))
+        }
+    }
+
+    fn check(
+        &self,
+        user: &User,
+        domain: &Domain,
+        role: Option<&Role>,
+        object_type: &ObjectType,
+        permission: &Permission,
+    ) -> Decision {
+        if domain.as_str() != self.orb.domain().to_string() {
+            return Decision::denied(format!("foreign domain {domain}"));
+        }
+        match self.orb.check_invoke(
+            user.as_str(),
+            role.map(|r| r.as_str()),
+            object_type.as_str(),
+            permission.as_str(),
+        ) {
+            Ok(()) => Decision::Granted,
+            Err(e) => Decision::Denied(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_middleware::security::MiddlewareSecurityExt;
+
+    fn domain() -> CorbaDomain {
+        CorbaDomain::new("zeus", "SalariesOrb")
+    }
+
+    fn fixture() -> CorbaMiddleware {
+        let m = CorbaMiddleware::new(domain());
+        let d = domain().to_string();
+        m.grant(&PermissionGrant::new(d.as_str(), "Manager", "Salaries", "read"))
+            .unwrap();
+        m.assign(&RoleAssignment::new("claire", d.as_str(), "Manager"))
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn grant_and_check() {
+        let m = fixture();
+        let d: Domain = domain().to_string().as_str().into();
+        assert!(m.allows(&"claire".into(), &d, &"Salaries".into(), &"read".into()));
+        assert!(!m.allows(&"claire".into(), &d, &"Salaries".into(), &"write".into()));
+    }
+
+    #[test]
+    fn foreign_domain() {
+        let m = fixture();
+        assert!(m
+            .grant(&PermissionGrant::new("other:orb", "R", "I", "op"))
+            .is_err());
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let m = fixture();
+        let exported = m.export_policy();
+        let m2 = CorbaMiddleware::new(domain());
+        let report = m2.import_policy(&exported);
+        assert!(report.skipped.is_empty());
+        assert_eq!(m2.export_policy(), exported);
+    }
+
+    #[test]
+    fn revoke_and_unassign() {
+        let m = fixture();
+        let d = domain().to_string();
+        m.revoke(&PermissionGrant::new(d.as_str(), "Manager", "Salaries", "read"))
+            .unwrap();
+        assert!(m
+            .revoke(&PermissionGrant::new(d.as_str(), "Manager", "Salaries", "read"))
+            .is_err());
+        m.unassign(&RoleAssignment::new("claire", d.as_str(), "Manager"))
+            .unwrap();
+        assert!(m
+            .unassign(&RoleAssignment::new("claire", d.as_str(), "Manager"))
+            .is_err());
+    }
+
+    #[test]
+    fn role_pinned_check() {
+        let m = fixture();
+        let d: Domain = domain().to_string().as_str().into();
+        let ok = m.check(
+            &"claire".into(),
+            &d,
+            Some(&"Manager".into()),
+            &"Salaries".into(),
+            &"read".into(),
+        );
+        assert!(ok.is_granted());
+        let denied = m.check(
+            &"claire".into(),
+            &d,
+            Some(&"Clerk".into()),
+            &"Salaries".into(),
+            &"read".into(),
+        );
+        assert!(!denied.is_granted());
+    }
+}

@@ -1,0 +1,304 @@
+//! A small OMG IDL parser for interface registration.
+//!
+//! CORBA deployments of the paper's era declared their object types in
+//! IDL; this module parses the subset needed to populate the interface
+//! repository: `module` nesting and `interface` declarations with
+//! operation signatures. Parameter lists and types are accepted and
+//! discarded — mediation (paper §2) keys on interface + operation names.
+
+use crate::orb::OrbServer;
+use std::fmt;
+
+/// A parsed interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdlInterfaceDecl {
+    /// Scoped name (`Module::Interface` flattened with `::`).
+    pub name: String,
+    /// Operation names in declaration order.
+    pub operations: Vec<String>,
+}
+
+/// IDL parse errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdlError(pub String);
+
+impl fmt::Display for IdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IDL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for IdlError {}
+
+/// Strips `//` line comments and `/* */` block comments.
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' {
+            match chars.peek() {
+                Some('/') => {
+                    for c2 in chars.by_ref() {
+                        if c2 == '\n' {
+                            out.push('\n');
+                            break;
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for c2 in chars.by_ref() {
+                        if prev == '*' && c2 == '/' {
+                            break;
+                        }
+                        prev = c2;
+                    }
+                    out.push(' ');
+                }
+                _ => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Tokenises into identifiers, punctuation and scoped-name separators.
+fn tokenize(src: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            match c {
+                '{' | '}' | ';' | '(' | ')' | ',' => tokens.push(c.to_string()),
+                ':' if chars.peek() == Some(&':') => {
+                    chars.next();
+                    tokens.push("::".to_string());
+                }
+                _ => {} // whitespace and ignorable punctuation
+            }
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Parses IDL text into interface declarations.
+pub fn parse_idl(src: &str) -> Result<Vec<IdlInterfaceDecl>, IdlError> {
+    let cleaned = strip_comments(src);
+    let tokens = tokenize(&cleaned);
+    let mut out = Vec::new();
+    let mut scope: Vec<String> = Vec::new();
+    // Stack entries: true = module (contributes to scope), false = other
+    // brace we must match.
+    let mut braces: Vec<bool> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match tokens[i].as_str() {
+            "module" => {
+                let name = tokens
+                    .get(i + 1)
+                    .ok_or_else(|| IdlError("module needs a name".into()))?;
+                if tokens.get(i + 2).map(String::as_str) != Some("{") {
+                    return Err(IdlError(format!("module {name} needs a body")));
+                }
+                scope.push(name.clone());
+                braces.push(true);
+                i += 3;
+            }
+            "interface" => {
+                let name = tokens
+                    .get(i + 1)
+                    .ok_or_else(|| IdlError("interface needs a name".into()))?
+                    .clone();
+                // Skip inheritance up to '{' (or ';' for forward decls).
+                let mut j = i + 2;
+                while j < tokens.len() && tokens[j] != "{" && tokens[j] != ";" {
+                    j += 1;
+                }
+                if tokens.get(j).map(String::as_str) == Some(";") {
+                    i = j + 1; // forward declaration
+                    continue;
+                }
+                if tokens.get(j).map(String::as_str) != Some("{") {
+                    return Err(IdlError(format!("interface {name} needs a body")));
+                }
+                // Parse operations until the matching '}'.
+                let mut ops = Vec::new();
+                let mut k = j + 1;
+                while k < tokens.len() && tokens[k] != "}" {
+                    // An operation looks like: <type tokens> <name> ( ... ) ;
+                    // Find the next '(' and take the token before it.
+                    let mut p = k;
+                    while p < tokens.len() && tokens[p] != "(" && tokens[p] != "}" && tokens[p] != ";" {
+                        p += 1;
+                    }
+                    match tokens.get(p).map(String::as_str) {
+                        Some("(") => {
+                            if p == k {
+                                return Err(IdlError("operation missing name".into()));
+                            }
+                            ops.push(tokens[p - 1].clone());
+                            // Skip to the ')' then the ';'.
+                            while p < tokens.len() && tokens[p] != ")" {
+                                p += 1;
+                            }
+                            while p < tokens.len() && tokens[p] != ";" {
+                                p += 1;
+                            }
+                            k = p + 1;
+                        }
+                        Some(";") => {
+                            // Attribute-ish member; ignore.
+                            k = p + 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if tokens.get(k).map(String::as_str) != Some("}") {
+                    return Err(IdlError(format!("unclosed interface {name}")));
+                }
+                let scoped = if scope.is_empty() {
+                    name
+                } else {
+                    format!("{}::{}", scope.join("::"), name)
+                };
+                out.push(IdlInterfaceDecl {
+                    name: scoped,
+                    operations: ops,
+                });
+                i = k + 1;
+                // Optional trailing ';'.
+                if tokens.get(i).map(String::as_str) == Some(";") {
+                    i += 1;
+                }
+            }
+            "{" => {
+                braces.push(false);
+                i += 1;
+            }
+            "}" => {
+                match braces.pop() {
+                    Some(true) => {
+                        scope.pop();
+                    }
+                    Some(false) => {}
+                    None => return Err(IdlError("unbalanced '}'".into())),
+                }
+                i += 1;
+                if tokens.get(i).map(String::as_str) == Some(";") {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    if !braces.is_empty() {
+        return Err(IdlError("unbalanced '{'".into()));
+    }
+    Ok(out)
+}
+
+/// Parses IDL and registers every interface in the ORB. Returns the
+/// number of interfaces registered.
+pub fn load_idl(orb: &OrbServer, src: &str) -> Result<usize, IdlError> {
+    let decls = parse_idl(src)?;
+    for d in &decls {
+        let ops: Vec<&str> = d.operations.iter().map(String::as_str).collect();
+        orb.register_interface(&d.name, &ops);
+    }
+    Ok(decls.len())
+}
+
+/// The salaries IDL, as a realistic fixture.
+pub const SALARIES_IDL: &str = r#"
+// Salaries service (paper Fig. 1 shape)
+module Payroll {
+    interface Salaries {
+        long read(in string employee);
+        void write(in string employee, in long amount);
+    };
+    interface Audit {
+        void log(in string entry);
+    };
+};
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_middleware::naming::CorbaDomain;
+
+    #[test]
+    fn parses_the_salaries_idl() {
+        let decls = parse_idl(SALARIES_IDL).unwrap();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[0].name, "Payroll::Salaries");
+        assert_eq!(decls[0].operations, vec!["read", "write"]);
+        assert_eq!(decls[1].name, "Payroll::Audit");
+        assert_eq!(decls[1].operations, vec!["log"]);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let src = "interface I { /* block */ void a(); // line\n void b(); };";
+        let decls = parse_idl(src).unwrap();
+        assert_eq!(decls[0].operations, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn nested_modules_scope_names() {
+        let src = "module A { module B { interface C { void op(); }; }; };";
+        let decls = parse_idl(src).unwrap();
+        assert_eq!(decls[0].name, "A::B::C");
+    }
+
+    #[test]
+    fn forward_declarations_skipped() {
+        let src = "interface Fwd; interface Real { void go(); };";
+        let decls = parse_idl(src).unwrap();
+        assert_eq!(decls.len(), 1);
+        assert_eq!(decls[0].name, "Real");
+    }
+
+    #[test]
+    fn inheritance_clause_tolerated() {
+        let src = "interface Base { void a(); }; interface Derived : Base { void b(); };";
+        let decls = parse_idl(src).unwrap();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[1].operations, vec!["b"]);
+    }
+
+    #[test]
+    fn malformed_idl_rejected() {
+        assert!(parse_idl("module {").is_err());
+        assert!(parse_idl("interface I { void a(;").is_err());
+        assert!(parse_idl("module M { interface I { void a(); };").is_err());
+        assert!(parse_idl("}").is_err());
+    }
+
+    #[test]
+    fn loads_into_the_orb() {
+        let orb = OrbServer::new(CorbaDomain::new("zeus", "payroll"));
+        let n = load_idl(&orb, SALARIES_IDL).unwrap();
+        assert_eq!(n, 2);
+        let ifaces = orb.interfaces();
+        assert!(ifaces.contains_key("Payroll::Salaries"));
+        assert!(ifaces["Payroll::Salaries"].operations.contains("read"));
+        // Mediation works against IDL-declared operations.
+        orb.grant_operation("Manager", "Payroll::Salaries", "read");
+        orb.add_role_member("Manager", "claire");
+        assert!(orb.check_invoke("claire", None, "Payroll::Salaries", "read").is_ok());
+        assert!(orb.check_invoke("claire", None, "Payroll::Salaries", "write").is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! CORBA middleware security simulator (paper §2).
+//!
+//! [`orb`] models an ORB server — an interface repository of IDL
+//! interfaces, object references, and CORBASec-style role→operation
+//! mediation on a simulated GIOP request path — and [`adapter`] exposes
+//! it through the common [`hetsec_middleware::MiddlewareSecurity`]
+//! surface.
+
+pub mod adapter;
+pub mod idl;
+pub mod orb;
+
+pub use adapter::CorbaMiddleware;
+pub use idl::{load_idl, parse_idl, IdlError, IdlInterfaceDecl, SALARIES_IDL};
+pub use orb::{GiopReply, IdlInterface, ObjectRef, OrbServer};

@@ -1,0 +1,345 @@
+//! The CORBA ORB simulator (paper §2, "CORBA").
+//!
+//! An ORB server on a machine — the pair is the policy `Domain` — hosts
+//! an interface repository of IDL interfaces and object instances bound
+//! to them. Security follows the paper's reading of CORBASec: roles are
+//! unique to each domain, users are members of roles, and permissions
+//! are the operations (method calls) on objects of a given interface
+//! (the `ObjectType`).
+
+use hetsec_middleware::naming::CorbaDomain;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An IDL interface: a named set of operations.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdlInterface {
+    /// Operation names.
+    pub operations: BTreeSet<String>,
+}
+
+/// An interoperable object reference (simulated IOR).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectRef {
+    /// The hosting domain (`machine:orb-server`).
+    pub domain: String,
+    /// The interface the object implements.
+    pub interface: String,
+    /// Instance id.
+    pub instance: String,
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IOR:{}/{}/{}", self.domain, self.interface, self.instance)
+    }
+}
+
+/// Outcome of a simulated GIOP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GiopReply {
+    /// Normal reply with a synthetic payload.
+    Reply(String),
+    /// `CORBA::NO_PERMISSION`.
+    NoPermission(String),
+    /// `CORBA::OBJECT_NOT_EXIST` / `BAD_OPERATION`.
+    SystemException(String),
+}
+
+impl GiopReply {
+    /// True for a normal reply.
+    pub fn is_reply(&self) -> bool {
+        matches!(self, GiopReply::Reply(_))
+    }
+}
+
+#[derive(Debug, Default)]
+struct OrbState {
+    interfaces: BTreeMap<String, IdlInterface>,
+    /// instance id -> interface name.
+    objects: BTreeMap<String, String>,
+    /// role -> interface -> permitted operations.
+    role_rights: BTreeMap<String, BTreeMap<String, BTreeSet<String>>>,
+    /// role -> members.
+    role_members: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// An ORB server with CORBASec-style mediation.
+pub struct OrbServer {
+    domain: CorbaDomain,
+    inner: RwLock<OrbState>,
+}
+
+impl OrbServer {
+    /// An empty ORB.
+    pub fn new(domain: CorbaDomain) -> Self {
+        OrbServer {
+            domain,
+            inner: RwLock::new(OrbState::default()),
+        }
+    }
+
+    /// The (machine, ORB server) domain.
+    pub fn domain(&self) -> &CorbaDomain {
+        &self.domain
+    }
+
+    /// Registers an IDL interface with operations.
+    pub fn register_interface(&self, name: &str, operations: &[&str]) {
+        let mut s = self.inner.write();
+        let iface = s.interfaces.entry(name.to_string()).or_default();
+        for op in operations {
+            iface.operations.insert((*op).to_string());
+        }
+    }
+
+    /// Binds an object instance to an interface, returning its IOR.
+    pub fn bind_object(&self, interface: &str, instance: &str) -> Option<ObjectRef> {
+        let mut s = self.inner.write();
+        if !s.interfaces.contains_key(interface) {
+            return None;
+        }
+        s.objects
+            .insert(instance.to_string(), interface.to_string());
+        Some(ObjectRef {
+            domain: self.domain.to_string(),
+            interface: interface.to_string(),
+            instance: instance.to_string(),
+        })
+    }
+
+    /// Grants a role the right to invoke `operation` on `interface`.
+    /// The operation is added to the interface repository if missing.
+    pub fn grant_operation(&self, role: &str, interface: &str, operation: &str) -> bool {
+        let mut s = self.inner.write();
+        s.interfaces
+            .entry(interface.to_string())
+            .or_default()
+            .operations
+            .insert(operation.to_string());
+        s.role_rights
+            .entry(role.to_string())
+            .or_default()
+            .entry(interface.to_string())
+            .or_default()
+            .insert(operation.to_string())
+    }
+
+    /// Revokes an operation right.
+    pub fn revoke_operation(&self, role: &str, interface: &str, operation: &str) -> bool {
+        self.inner
+            .write()
+            .role_rights
+            .get_mut(role)
+            .and_then(|by_iface| by_iface.get_mut(interface))
+            .is_some_and(|ops| ops.remove(operation))
+    }
+
+    /// Adds a user to a role.
+    pub fn add_role_member(&self, role: &str, user: &str) -> bool {
+        self.inner
+            .write()
+            .role_members
+            .entry(role.to_string())
+            .or_default()
+            .insert(user.to_string())
+    }
+
+    /// Removes a user from a role.
+    pub fn remove_role_member(&self, role: &str, user: &str) -> bool {
+        self.inner
+            .write()
+            .role_members
+            .get_mut(role)
+            .is_some_and(|m| m.remove(user))
+    }
+
+    /// The mediation decision, optionally pinned to one role.
+    pub fn check_invoke(
+        &self,
+        user: &str,
+        role: Option<&str>,
+        interface: &str,
+        operation: &str,
+    ) -> Result<(), String> {
+        let s = self.inner.read();
+        let Some(iface) = s.interfaces.get(interface) else {
+            return Err(format!("unknown interface {interface}"));
+        };
+        if !iface.operations.contains(operation) {
+            return Err(format!("unknown operation {interface}::{operation}"));
+        }
+        let permitted = s.role_members.iter().any(|(r, members)| {
+            members.contains(user)
+                && role.is_none_or(|want| want == r.as_str())
+                && s.role_rights
+                    .get(r)
+                    .and_then(|by_iface| by_iface.get(interface))
+                    .is_some_and(|ops| ops.contains(operation))
+        });
+        if permitted {
+            Ok(())
+        } else {
+            Err(format!("{user} lacks {interface}::{operation}"))
+        }
+    }
+
+    /// A simulated GIOP request against an IOR.
+    pub fn request(&self, user: &str, ior: &ObjectRef, operation: &str) -> GiopReply {
+        if ior.domain != self.domain.to_string() {
+            return GiopReply::SystemException(format!("IOR {ior} not hosted here"));
+        }
+        {
+            let s = self.inner.read();
+            match s.objects.get(&ior.instance) {
+                None => {
+                    return GiopReply::SystemException(format!("OBJECT_NOT_EXIST: {}", ior.instance))
+                }
+                Some(iface) if iface != &ior.interface => {
+                    return GiopReply::SystemException(format!(
+                        "BAD_PARAM: {} is not a {}",
+                        ior.instance, ior.interface
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        match self.check_invoke(user, None, &ior.interface, operation) {
+            Ok(()) => GiopReply::Reply(format!(
+                "{}::{}() on {} ok for {}",
+                ior.interface, operation, ior.instance, user
+            )),
+            Err(e) if e.starts_with("unknown operation") => GiopReply::SystemException(e),
+            Err(e) => GiopReply::NoPermission(e),
+        }
+    }
+
+    /// Snapshot of role rights.
+    pub fn role_rights(&self) -> BTreeMap<String, BTreeMap<String, BTreeSet<String>>> {
+        self.inner.read().role_rights.clone()
+    }
+
+    /// Snapshot of role membership.
+    pub fn role_members(&self) -> BTreeMap<String, BTreeSet<String>> {
+        self.inner.read().role_members.clone()
+    }
+
+    /// Snapshot of the interface repository.
+    pub fn interfaces(&self) -> BTreeMap<String, IdlInterface> {
+        self.inner.read().interfaces.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> OrbServer {
+        let orb = OrbServer::new(CorbaDomain::new("zeus", "SalariesOrb"));
+        orb.register_interface("Salaries", &["read", "write"]);
+        orb.grant_operation("Manager", "Salaries", "read");
+        orb.grant_operation("Manager", "Salaries", "write");
+        orb.grant_operation("Clerk", "Salaries", "write");
+        orb.add_role_member("Manager", "bob");
+        orb.add_role_member("Clerk", "alice");
+        orb
+    }
+
+    #[test]
+    fn mediation() {
+        let orb = fixture();
+        assert!(orb.check_invoke("bob", None, "Salaries", "read").is_ok());
+        assert!(orb.check_invoke("alice", None, "Salaries", "write").is_ok());
+        assert!(orb.check_invoke("alice", None, "Salaries", "read").is_err());
+        assert!(orb.check_invoke("mallory", None, "Salaries", "read").is_err());
+        assert!(orb.check_invoke("bob", None, "Ghost", "read").is_err());
+        assert!(orb.check_invoke("bob", None, "Salaries", "drop").is_err());
+    }
+
+    #[test]
+    fn role_pinning() {
+        let orb = fixture();
+        orb.add_role_member("Clerk", "bob");
+        assert!(orb.check_invoke("bob", Some("Manager"), "Salaries", "read").is_ok());
+        assert!(orb.check_invoke("bob", Some("Clerk"), "Salaries", "read").is_err());
+        assert!(orb.check_invoke("bob", Some("Clerk"), "Salaries", "write").is_ok());
+    }
+
+    #[test]
+    fn giop_request_path() {
+        let orb = fixture();
+        let ior = orb.bind_object("Salaries", "payroll-1").unwrap();
+        assert!(orb.request("bob", &ior, "read").is_reply());
+        assert!(matches!(
+            orb.request("alice", &ior, "read"),
+            GiopReply::NoPermission(_)
+        ));
+        assert!(matches!(
+            orb.request("bob", &ior, "drop"),
+            GiopReply::SystemException(_)
+        ));
+        let bogus = ObjectRef {
+            domain: orb.domain().to_string(),
+            interface: "Salaries".to_string(),
+            instance: "ghost".to_string(),
+        };
+        assert!(matches!(
+            orb.request("bob", &bogus, "read"),
+            GiopReply::SystemException(_)
+        ));
+        let foreign = ObjectRef {
+            domain: "other:orb".to_string(),
+            interface: "Salaries".to_string(),
+            instance: "payroll-1".to_string(),
+        };
+        assert!(matches!(
+            orb.request("bob", &foreign, "read"),
+            GiopReply::SystemException(_)
+        ));
+    }
+
+    #[test]
+    fn bind_requires_registered_interface() {
+        let orb = fixture();
+        assert!(orb.bind_object("Ghost", "x").is_none());
+        let ior = orb.bind_object("Salaries", "x").unwrap();
+        assert!(ior.to_string().starts_with("IOR:zeus:SalariesOrb/Salaries/x"));
+    }
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let orb = fixture();
+        orb.register_interface("Other", &["noop"]);
+        orb.bind_object("Salaries", "obj-1").unwrap();
+        let wrong = ObjectRef {
+            domain: orb.domain().to_string(),
+            interface: "Other".to_string(),
+            instance: "obj-1".to_string(),
+        };
+        assert!(matches!(
+            orb.request("bob", &wrong, "noop"),
+            GiopReply::SystemException(_)
+        ));
+    }
+
+    #[test]
+    fn revocation() {
+        let orb = fixture();
+        assert!(orb.revoke_operation("Clerk", "Salaries", "write"));
+        assert!(!orb.revoke_operation("Clerk", "Salaries", "write"));
+        assert!(orb.check_invoke("alice", None, "Salaries", "write").is_err());
+        assert!(orb.remove_role_member("Manager", "bob"));
+        assert!(orb.check_invoke("bob", None, "Salaries", "read").is_err());
+    }
+
+    #[test]
+    fn grant_registers_operation() {
+        let orb = fixture();
+        orb.grant_operation("Auditor", "Salaries", "audit");
+        assert!(orb.interfaces()["Salaries"].operations.contains("audit"));
+        orb.add_role_member("Auditor", "carol");
+        assert!(orb.check_invoke("carol", None, "Salaries", "audit").is_ok());
+    }
+}

@@ -1,0 +1,632 @@
+//! Fixed-width 512-bit unsigned integer arithmetic.
+//!
+//! The simulated PKI only ever manipulates values up to 512 bits (a
+//! 256-bit RSA modulus and the 512-bit intermediate of a 256x256-bit
+//! product), so a single fixed-width type avoids heap allocation on the
+//! signing/verification hot path.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Number of 64-bit limbs in a [`U512`]. Limb 0 is least significant.
+pub const LIMBS: usize = 8;
+
+/// A 512-bit unsigned integer stored as little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct U512 {
+    limbs: [u64; LIMBS],
+}
+
+impl U512 {
+    /// The value zero.
+    pub const ZERO: U512 = U512 { limbs: [0; LIMBS] };
+    /// The value one.
+    pub const ONE: U512 = {
+        let mut limbs = [0u64; LIMBS];
+        limbs[0] = 1;
+        U512 { limbs }
+    };
+    /// The value two.
+    pub const TWO: U512 = {
+        let mut limbs = [0u64; LIMBS];
+        limbs[0] = 2;
+        U512 { limbs }
+    };
+
+    /// Builds a value from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        let mut limbs = [0u64; LIMBS];
+        limbs[0] = v;
+        U512 { limbs }
+    }
+
+    /// Builds a value from a `u128`.
+    pub const fn from_u128(v: u128) -> Self {
+        let mut limbs = [0u64; LIMBS];
+        limbs[0] = v as u64;
+        limbs[1] = (v >> 64) as u64;
+        U512 { limbs }
+    }
+
+    /// Builds a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; LIMBS]) -> Self {
+        U512 { limbs }
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> [u64; LIMBS] {
+        self.limbs
+    }
+
+    /// Builds a value from big-endian bytes; at most 64 bytes are read.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut out = U512::ZERO;
+        for &b in bytes.iter().take(64) {
+            out = out.shl_small(8);
+            out.limbs[0] |= b as u64;
+        }
+        out
+    }
+
+    /// Serialises to 64 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            let be = limb.to_be_bytes();
+            let off = 64 - (i + 1) * 8;
+            out[off..off + 8].copy_from_slice(&be);
+        }
+        out
+    }
+
+    /// Parses a lowercase/uppercase hex string (no `0x` prefix).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > 128 {
+            return None;
+        }
+        let mut out = U512::ZERO;
+        for c in s.chars() {
+            let d = c.to_digit(16)? as u64;
+            out = out.shl_small(4);
+            out.limbs[0] |= d;
+        }
+        Some(out)
+    }
+
+    /// Renders as minimal lowercase hex (no leading zeros, `"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        let bytes = self.to_be_bytes();
+        let mut s = String::with_capacity(128);
+        let mut started = false;
+        for b in bytes {
+            if !started {
+                if b == 0 {
+                    continue;
+                }
+                started = true;
+                if b >> 4 != 0 {
+                    s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+                }
+                s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+            } else {
+                s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+                s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+            }
+        }
+        if s.is_empty() {
+            s.push('0');
+        }
+        s
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// True iff the low bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs[0] & 1 == 1
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..LIMBS).rev() {
+            if self.limbs[i] != 0 {
+                return (i as u32) * 64 + (64 - self.limbs[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Returns the bit at position `i` (little-endian bit order).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= LIMBS {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Wrapping addition; also returns the carry out.
+    pub fn overflowing_add(&self, rhs: &U512) -> (U512, bool) {
+        let mut out = [0u64; LIMBS];
+        let mut carry = 0u64;
+        for i in 0..LIMBS {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (U512 { limbs: out }, carry != 0)
+    }
+
+    /// Addition; panics on overflow (debug-grade guard for the PKI domain).
+    pub fn add(&self, rhs: &U512) -> U512 {
+        let (v, c) = self.overflowing_add(rhs);
+        debug_assert!(!c, "U512 add overflow");
+        v
+    }
+
+    /// Wrapping subtraction; also returns whether a borrow occurred.
+    pub fn overflowing_sub(&self, rhs: &U512) -> (U512, bool) {
+        let mut out = [0u64; LIMBS];
+        let mut borrow = 0u64;
+        for i in 0..LIMBS {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (U512 { limbs: out }, borrow != 0)
+    }
+
+    /// Subtraction; panics on underflow.
+    pub fn sub(&self, rhs: &U512) -> U512 {
+        let (v, b) = self.overflowing_sub(rhs);
+        debug_assert!(!b, "U512 sub underflow");
+        v
+    }
+
+    /// Shift left by `n` bits (`n < 512`), discarding bits shifted out.
+    pub fn shl_small(&self, n: u32) -> U512 {
+        if n == 0 {
+            return *self;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; LIMBS];
+        for i in (0..LIMBS).rev() {
+            if i < limb_shift {
+                continue;
+            }
+            let src = i - limb_shift;
+            let mut v = self.limbs[src] << bit_shift;
+            if bit_shift != 0 && src > 0 {
+                v |= self.limbs[src - 1] >> (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U512 { limbs: out }
+    }
+
+    /// Shift right by `n` bits (`n < 512`).
+    pub fn shr_small(&self, n: u32) -> U512 {
+        if n == 0 {
+            return *self;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; LIMBS];
+        for i in 0..LIMBS {
+            let src = i + limb_shift;
+            if src >= LIMBS {
+                break;
+            }
+            let mut v = self.limbs[src] >> bit_shift;
+            if bit_shift != 0 && src + 1 < LIMBS {
+                v |= self.limbs[src + 1] << (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        U512 { limbs: out }
+    }
+
+    /// Full 512x512 -> 1024-bit product, returned as (low, high) halves.
+    pub fn widening_mul(&self, rhs: &U512) -> (U512, U512) {
+        let mut prod = [0u64; LIMBS * 2];
+        for i in 0..LIMBS {
+            if self.limbs[i] == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for j in 0..LIMBS {
+                let idx = i + j;
+                let cur = prod[idx] as u128;
+                let p = (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + cur + carry;
+                prod[idx] = p as u64;
+                carry = p >> 64;
+            }
+            let mut idx = i + LIMBS;
+            while carry != 0 && idx < LIMBS * 2 {
+                let p = (prod[idx] as u128) + carry;
+                prod[idx] = p as u64;
+                carry = p >> 64;
+                idx += 1;
+            }
+        }
+        let mut lo = [0u64; LIMBS];
+        let mut hi = [0u64; LIMBS];
+        lo.copy_from_slice(&prod[..LIMBS]);
+        hi.copy_from_slice(&prod[LIMBS..]);
+        (U512 { limbs: lo }, U512 { limbs: hi })
+    }
+
+    /// Truncated multiplication; panics in debug builds if the product
+    /// does not fit into 512 bits.
+    pub fn mul(&self, rhs: &U512) -> U512 {
+        let (lo, hi) = self.widening_mul(rhs);
+        debug_assert!(hi.is_zero(), "U512 mul overflow");
+        lo
+    }
+
+    /// Computes `(self * rhs) mod m` using the full double-width product.
+    pub fn mulmod(&self, rhs: &U512, m: &U512) -> U512 {
+        assert!(!m.is_zero(), "mulmod by zero modulus");
+        let (lo, hi) = self.widening_mul(rhs);
+        rem_1024(&lo, &hi, m)
+    }
+
+    /// Computes `(self + rhs) mod m`, assuming both operands are `< m`.
+    pub fn addmod(&self, rhs: &U512, m: &U512) -> U512 {
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || sum.cmp_val(m) != Ordering::Less {
+            sum.overflowing_sub(m).0
+        } else {
+            sum
+        }
+    }
+
+    /// Quotient and remainder by schoolbook bit-serial long division.
+    pub fn divmod(&self, divisor: &U512) -> (U512, U512) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self.cmp_val(divisor) == Ordering::Less {
+            return (U512::ZERO, *self);
+        }
+        let mut quotient = U512::ZERO;
+        let mut remainder = U512::ZERO;
+        let bits = self.bits();
+        for i in (0..bits).rev() {
+            remainder = remainder.shl_small(1);
+            if self.bit(i) {
+                remainder.limbs[0] |= 1;
+            }
+            if remainder.cmp_val(divisor) != Ordering::Less {
+                remainder = remainder.sub(divisor);
+                let limb = (i / 64) as usize;
+                quotient.limbs[limb] |= 1u64 << (i % 64);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Remainder of `self / m`.
+    pub fn rem(&self, m: &U512) -> U512 {
+        self.divmod(m).1
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn modpow(&self, exp: &U512, m: &U512) -> U512 {
+        assert!(!m.is_zero(), "modpow by zero modulus");
+        if *m == U512::ONE {
+            return U512::ZERO;
+        }
+        let mut base = self.rem(m);
+        let mut result = U512::ONE;
+        let bits = exp.bits();
+        for i in 0..bits {
+            if exp.bit(i) {
+                result = result.mulmod(&base, m);
+            }
+            if i + 1 < bits {
+                base = base.mulmod(&base, m);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &U512) -> U512 {
+        let mut a = *self;
+        let mut b = *other;
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0u32;
+        while !a.is_odd() && !b.is_odd() {
+            a = a.shr_small(1);
+            b = b.shr_small(1);
+            shift += 1;
+        }
+        while !a.is_odd() {
+            a = a.shr_small(1);
+        }
+        loop {
+            while !b.is_odd() {
+                b = b.shr_small(1);
+            }
+            if a.cmp_val(&b) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                return a.shl_small(shift);
+            }
+        }
+    }
+
+    /// Modular inverse of `self` mod `m` (both < 2^511), or `None` when
+    /// `gcd(self, m) != 1`. Uses the extended Euclidean algorithm with a
+    /// signed accumulator tracked as (magnitude, sign).
+    pub fn modinv(&self, m: &U512) -> Option<U512> {
+        if m.is_zero() || self.is_zero() {
+            return None;
+        }
+        // Invariants: r0 = t0_sign*t0*self (mod m), r1 likewise.
+        let mut r0 = *m;
+        let mut r1 = self.rem(m);
+        let mut t0 = (U512::ZERO, false); // (magnitude, negative?)
+        let mut t1 = (U512::ONE, false);
+        while !r1.is_zero() {
+            let (q, r) = r0.divmod(&r1);
+            // t2 = t0 - q * t1  (signed arithmetic on magnitudes)
+            let qt1 = q.mul(&t1.0);
+            let t2 = signed_sub(t0, (qt1, t1.1));
+            r0 = r1;
+            r1 = r;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 != U512::ONE {
+            return None;
+        }
+        let inv = if t0.1 { m.sub(&t0.0.rem(m)).rem(m) } else { t0.0.rem(m) };
+        Some(inv)
+    }
+
+    /// Three-way comparison by value.
+    pub fn cmp_val(&self, other: &U512) -> Ordering {
+        for i in (0..LIMBS).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Lowest limb as `u64` (truncating).
+    pub fn as_u64(&self) -> u64 {
+        self.limbs[0]
+    }
+}
+
+/// Signed subtraction on (magnitude, is_negative) pairs.
+fn signed_sub(a: (U512, bool), b: (U512, bool)) -> (U512, bool) {
+    match (a.1, b.1) {
+        // a - b with same signs: magnitude subtraction.
+        (false, false) => match a.0.cmp_val(&b.0) {
+            Ordering::Less => (b.0.sub(&a.0), true),
+            _ => (a.0.sub(&b.0), false),
+        },
+        (true, true) => match b.0.cmp_val(&a.0) {
+            Ordering::Less => (a.0.sub(&b.0), true),
+            _ => (b.0.sub(&a.0), false),
+        },
+        // (-a) - b = -(a+b)
+        (true, false) => (a.0.add(&b.0), true),
+        // a - (-b) = a + b
+        (false, true) => (a.0.add(&b.0), false),
+    }
+}
+
+/// Remainder of a 1024-bit value (given as lo/hi 512-bit halves) by a
+/// 512-bit modulus, via bit-serial long division over 1024 bits.
+fn rem_1024(lo: &U512, hi: &U512, m: &U512) -> U512 {
+    if hi.is_zero() {
+        return lo.rem(m);
+    }
+    let mut remainder = U512::ZERO;
+    let total_bits = 512 + hi.bits();
+    for i in (0..total_bits).rev() {
+        remainder = remainder.shl_small(1);
+        let bit = if i >= 512 { hi.bit(i - 512) } else { lo.bit(i) };
+        if bit {
+            let mut l = remainder.limbs();
+            l[0] |= 1;
+            remainder = U512::from_limbs(l);
+        }
+        if remainder.cmp_val(m) != Ordering::Less {
+            remainder = remainder.sub(m);
+        }
+    }
+    remainder
+}
+
+impl PartialOrd for U512 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U512 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_val(other)
+    }
+}
+
+impl fmt::Debug for U512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U512(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for U512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(U512::ZERO.is_zero());
+        assert!(!U512::ONE.is_zero());
+        assert_eq!(U512::ONE.bits(), 1);
+        assert_eq!(U512::ZERO.bits(), 0);
+        assert!(U512::ONE.is_odd());
+        assert!(!U512::TWO.is_odd());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U512::from_u128(0x1234_5678_9abc_def0_1111_2222_3333_4444);
+        let b = U512::from_u128(0x0fed_cba9_8765_4321_5555_6666_7777_8888);
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+    }
+
+    #[test]
+    fn carry_propagates_across_limbs() {
+        let a = U512::from_u64(u64::MAX);
+        let s = a.add(&U512::ONE);
+        assert_eq!(s.limbs()[0], 0);
+        assert_eq!(s.limbs()[1], 1);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let limbs = [u64::MAX; LIMBS];
+        let max = U512::from_limbs(limbs);
+        let (_, c) = max.overflowing_add(&U512::ONE);
+        assert!(c);
+        let (_, b) = U512::ZERO.overflowing_sub(&U512::ONE);
+        assert!(b);
+    }
+
+    #[test]
+    fn mul_small_values() {
+        let a = U512::from_u64(1_000_003);
+        let b = U512::from_u64(999_983);
+        assert_eq!(a.mul(&b).as_u64(), 1_000_003u64 * 999_983u64);
+    }
+
+    #[test]
+    fn widening_mul_max() {
+        let max = U512::from_limbs([u64::MAX; LIMBS]);
+        let (lo, hi) = max.widening_mul(&max);
+        // (2^512-1)^2 = 2^1024 - 2^513 + 1
+        assert_eq!(lo.limbs()[0], 1);
+        assert_eq!(hi.limbs()[0], u64::MAX - 1);
+        for i in 1..LIMBS {
+            assert_eq!(lo.limbs()[i], 0);
+            assert_eq!(hi.limbs()[i], u64::MAX);
+        }
+    }
+
+    #[test]
+    fn divmod_matches_u128() {
+        let a = U512::from_u128(0xdead_beef_cafe_babe_1234_5678_9abc_def0);
+        let b = U512::from_u64(0x1_0000_0001);
+        let (q, r) = a.divmod(&b);
+        let av = 0xdead_beef_cafe_babe_1234_5678_9abc_def0u128;
+        let bv = 0x1_0000_0001u128;
+        assert_eq!(q, U512::from_u128(av / bv));
+        assert_eq!(r, U512::from_u128(av % bv));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = U512::from_u64(0b1011);
+        assert_eq!(a.shl_small(100).shr_small(100), a);
+        assert_eq!(a.shl_small(1).as_u64(), 0b10110);
+        assert_eq!(a.shr_small(2).as_u64(), 0b10);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let a = U512::from_u128(0xabc_def0_1234);
+        assert_eq!(U512::from_hex(&a.to_hex()), Some(a));
+        assert_eq!(U512::ZERO.to_hex(), "0");
+        assert_eq!(U512::from_hex("0"), Some(U512::ZERO));
+        assert_eq!(U512::from_hex(""), None);
+        assert_eq!(U512::from_hex("xyz"), None);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let a = U512::from_u128(0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10);
+        let bytes = a.to_be_bytes();
+        assert_eq!(U512::from_be_bytes(&bytes), a);
+    }
+
+    #[test]
+    fn modpow_fermat_little() {
+        // 2^(p-1) mod p == 1 for prime p
+        let p = U512::from_u64(1_000_000_007);
+        let e = U512::from_u64(1_000_000_006);
+        assert_eq!(U512::TWO.modpow(&e, &p), U512::ONE);
+    }
+
+    #[test]
+    fn modpow_edge_cases() {
+        let m = U512::from_u64(97);
+        assert_eq!(U512::from_u64(5).modpow(&U512::ZERO, &m), U512::ONE);
+        assert_eq!(U512::from_u64(5).modpow(&U512::ONE, &m), U512::from_u64(5));
+        assert_eq!(U512::from_u64(5).modpow(&U512::TWO, &U512::ONE), U512::ZERO);
+    }
+
+    #[test]
+    fn gcd_values() {
+        assert_eq!(
+            U512::from_u64(48).gcd(&U512::from_u64(36)),
+            U512::from_u64(12)
+        );
+        assert_eq!(U512::from_u64(17).gcd(&U512::from_u64(31)), U512::ONE);
+        assert_eq!(U512::ZERO.gcd(&U512::from_u64(5)), U512::from_u64(5));
+        assert_eq!(U512::from_u64(5).gcd(&U512::ZERO), U512::from_u64(5));
+    }
+
+    #[test]
+    fn modinv_small() {
+        let m = U512::from_u64(101);
+        for a in 1..101u64 {
+            let av = U512::from_u64(a);
+            let inv = av.modinv(&m).expect("inverse exists mod prime");
+            assert_eq!(av.mulmod(&inv, &m), U512::ONE, "a={a}");
+        }
+    }
+
+    #[test]
+    fn modinv_nonexistent() {
+        assert!(U512::from_u64(6).modinv(&U512::from_u64(9)).is_none());
+        assert!(U512::ZERO.modinv(&U512::from_u64(7)).is_none());
+    }
+
+    #[test]
+    fn mulmod_large() {
+        // Check mulmod on values requiring the 1024-bit intermediate.
+        let a = U512::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff").unwrap();
+        let m = U512::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff1").unwrap();
+        // a = m + 14, so a*a mod m = 14*14 = 196
+        let r = a.mulmod(&a, &m);
+        assert_eq!(r, U512::from_u64(196));
+    }
+}

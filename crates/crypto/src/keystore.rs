@@ -1,0 +1,140 @@
+//! A thread-safe named keystore.
+//!
+//! WebCom environments and examples need to look up principals' keypairs
+//! by human-readable name (the paper's `Kbob`, `Kclaire`, ...). The store
+//! derives keys deterministically on first use so fixtures are stable.
+
+use crate::keys::{KeyPair, PublicKey, Signature};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Thread-safe name -> keypair store with lazy deterministic derivation.
+#[derive(Default)]
+pub struct KeyStore {
+    keys: RwLock<HashMap<String, KeyPair>>,
+}
+
+impl KeyStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the keypair for `name`, deriving it deterministically from
+    /// the name on first access.
+    pub fn keypair(&self, name: &str) -> KeyPair {
+        if let Some(kp) = self.keys.read().get(name) {
+            return kp.clone();
+        }
+        let mut w = self.keys.write();
+        w.entry(name.to_string())
+            .or_insert_with(|| KeyPair::from_label(name))
+            .clone()
+    }
+
+    /// Inserts an explicit keypair under `name`, replacing any existing.
+    pub fn insert(&self, name: &str, kp: KeyPair) {
+        self.keys.write().insert(name.to_string(), kp);
+    }
+
+    /// Public key for `name` (derived on demand).
+    pub fn public(&self, name: &str) -> PublicKey {
+        *self.keypair(name).public()
+    }
+
+    /// Signs `payload` with `name`'s key.
+    pub fn sign(&self, name: &str, payload: &[u8]) -> Signature {
+        self.keypair(name).sign(payload)
+    }
+
+    /// Looks up the registered name owning `key`, if any key already
+    /// derived/inserted matches.
+    pub fn name_of(&self, key: &PublicKey) -> Option<String> {
+        self.keys
+            .read()
+            .iter()
+            .find(|(_, kp)| kp.public() == key)
+            .map(|(n, _)| n.clone())
+    }
+
+    /// Names currently materialised in the store (sorted).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.keys.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of materialised keys.
+    pub fn len(&self) -> usize {
+        self.keys.read().len()
+    }
+
+    /// True when no keys have been materialised.
+    pub fn is_empty(&self) -> bool {
+        self.keys.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_derivation_is_stable() {
+        let store = KeyStore::new();
+        let a1 = store.public("alice");
+        let a2 = store.public("alice");
+        assert_eq!(a1, a2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn sign_and_verify_through_store() {
+        let store = KeyStore::new();
+        let sig = store.sign("bob", b"msg");
+        assert!(store.public("bob").verify(b"msg", &sig));
+        assert!(!store.public("carol").verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn name_lookup() {
+        let store = KeyStore::new();
+        let k = store.public("dave");
+        assert_eq!(store.name_of(&k), Some("dave".to_string()));
+        let unknown = KeyPair::from_label("unregistered-elsewhere");
+        let fresh = KeyStore::new();
+        assert_eq!(fresh.name_of(unknown.public()), None);
+    }
+
+    #[test]
+    fn insert_overrides() {
+        let store = KeyStore::new();
+        let original = store.public("eve");
+        store.insert("eve", KeyPair::from_label("eve-rotated"));
+        assert_ne!(store.public("eve"), original);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let store = KeyStore::new();
+        store.public("zed");
+        store.public("amy");
+        assert_eq!(store.names(), vec!["amy".to_string(), "zed".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let store = Arc::new(KeyStore::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = Arc::clone(&store);
+                std::thread::spawn(move || s.public(&format!("user-{}", i % 4)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 4);
+    }
+}

@@ -1,0 +1,250 @@
+//! Textbook RSA over the fixed-width bignum, with deliberately small
+//! (insecure) parameters.
+//!
+//! The paper's trust-management layer only needs signatures that verify
+//! against the signing key and fail against any other key or tampered
+//! payload. A 256-bit textbook RSA instance preserves exactly that API
+//! shape while keeping keygen fast enough for tests; it is **not**
+//! cryptographically secure and is documented as a simulation in
+//! DESIGN.md.
+
+use crate::bigint::U512;
+use crate::drbg::Drbg;
+use crate::sha256::sha256;
+
+/// Size of each RSA prime in bits. The modulus is twice this.
+pub const PRIME_BITS: u32 = 128;
+/// Miller-Rabin rounds; error probability <= 4^-ROUNDS per candidate.
+const MR_ROUNDS: usize = 24;
+/// Public exponent (F4).
+pub const PUBLIC_EXPONENT: u64 = 65_537;
+
+/// Returns a random value with exactly `bits` bits (top bit set, odd).
+fn random_odd(drbg: &mut Drbg, bits: u32) -> U512 {
+    let bytes = bits.div_ceil(8) as usize;
+    let mut buf = vec![0u8; bytes];
+    drbg.fill_bytes(&mut buf);
+    let mut v = U512::from_be_bytes(&buf);
+    // Clamp to exactly `bits` bits.
+    let excess = v.bits().saturating_sub(bits);
+    v = v.shr_small(excess);
+    // Force the top and bottom bits.
+    let top = U512::ONE.shl_small(bits - 1);
+    let mut limbs = v.limbs();
+    limbs[0] |= 1;
+    v = U512::from_limbs(limbs);
+    if !v.bit(bits - 1) {
+        v = v.add(&top);
+    }
+    v
+}
+
+/// Small primes used for cheap trial division before Miller-Rabin.
+const SMALL_PRIMES: [u64; 24] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+];
+
+/// Miller-Rabin probabilistic primality test.
+pub fn is_probable_prime(n: &U512, drbg: &mut Drbg) -> bool {
+    if n.cmp_val(&U512::TWO) == std::cmp::Ordering::Less {
+        return false;
+    }
+    if *n == U512::TWO {
+        return true;
+    }
+    if !n.is_odd() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pv = U512::from_u64(p);
+        if *n == pv {
+            return true;
+        }
+        if n.rem(&pv).is_zero() {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^r with d odd
+    let n_minus_1 = n.sub(&U512::ONE);
+    let mut d = n_minus_1;
+    let mut r = 0u32;
+    while !d.is_odd() {
+        d = d.shr_small(1);
+        r += 1;
+    }
+    'witness: for _ in 0..MR_ROUNDS {
+        // Random witness in [2, n-2].
+        let bits = n.bits();
+        let mut a;
+        loop {
+            a = random_odd(drbg, bits.min(64).max(8));
+            a = a.rem(&n_minus_1);
+            if a.cmp_val(&U512::TWO) != std::cmp::Ordering::Less {
+                break;
+            }
+        }
+        let mut x = a.modpow(&d, n);
+        if x == U512::ONE || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = x.mulmod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a probable prime with exactly `bits` bits.
+pub fn generate_prime(drbg: &mut Drbg, bits: u32) -> U512 {
+    loop {
+        let candidate = random_odd(drbg, bits);
+        if is_probable_prime(&candidate, drbg) {
+            return candidate;
+        }
+    }
+}
+
+/// An RSA public key `(n, e)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RsaPublic {
+    /// Modulus.
+    pub n: U512,
+    /// Public exponent.
+    pub e: U512,
+}
+
+/// An RSA secret key `(n, d)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RsaSecret {
+    /// Modulus.
+    pub n: U512,
+    /// Private exponent.
+    pub d: U512,
+}
+
+/// A signature value (`< n`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RsaSignature(pub U512);
+
+/// Generates an RSA keypair deterministically from the DRBG stream.
+pub fn generate_keypair(drbg: &mut Drbg) -> (RsaPublic, RsaSecret) {
+    let e = U512::from_u64(PUBLIC_EXPONENT);
+    loop {
+        let p = generate_prime(drbg, PRIME_BITS);
+        let q = generate_prime(drbg, PRIME_BITS);
+        if p == q {
+            continue;
+        }
+        let n = p.mul(&q);
+        let phi = p.sub(&U512::ONE).mul(&q.sub(&U512::ONE));
+        if phi.gcd(&e) != U512::ONE {
+            continue;
+        }
+        let d = e.modinv(&phi).expect("e invertible mod phi");
+        return (RsaPublic { n, e }, RsaSecret { n, d });
+    }
+}
+
+/// Hashes `payload` into an integer representative `< n`.
+fn digest_to_int(payload: &[u8], n: &U512) -> U512 {
+    let digest = sha256(payload);
+    U512::from_be_bytes(&digest).rem(n)
+}
+
+/// Signs `payload` with the secret key: `SHA-256(payload)^d mod n`.
+pub fn sign(secret: &RsaSecret, payload: &[u8]) -> RsaSignature {
+    let m = digest_to_int(payload, &secret.n);
+    RsaSignature(m.modpow(&secret.d, &secret.n))
+}
+
+/// Verifies a signature: `sig^e mod n == SHA-256(payload) mod n`.
+pub fn verify(public: &RsaPublic, payload: &[u8], sig: &RsaSignature) -> bool {
+    if sig.0.cmp_val(&public.n) != std::cmp::Ordering::Less {
+        return false;
+    }
+    let m = digest_to_int(payload, &public.n);
+    sig.0.modpow(&public.e, &public.n) == m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keypair(label: &str) -> (RsaPublic, RsaSecret) {
+        let mut drbg = Drbg::from_label(label);
+        generate_keypair(&mut drbg)
+    }
+
+    #[test]
+    fn known_primes_pass_miller_rabin() {
+        let mut drbg = Drbg::from_label("mr");
+        for p in [2u64, 3, 5, 7, 97, 101, 1_000_000_007, 2_147_483_647] {
+            assert!(is_probable_prime(&U512::from_u64(p), &mut drbg), "p={p}");
+        }
+    }
+
+    #[test]
+    fn known_composites_fail_miller_rabin() {
+        let mut drbg = Drbg::from_label("mr2");
+        // Includes Carmichael numbers 561, 1105, 1729.
+        for c in [1u64, 4, 9, 100, 561, 1105, 1729, 1_000_000_006] {
+            assert!(!is_probable_prime(&U512::from_u64(c), &mut drbg), "c={c}");
+        }
+    }
+
+    #[test]
+    fn generated_prime_has_requested_bits() {
+        let mut drbg = Drbg::from_label("gp");
+        let p = generate_prime(&mut drbg, 64);
+        assert_eq!(p.bits(), 64);
+        assert!(p.is_odd());
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (public, secret) = keypair("kp-1");
+        let sig = sign(&secret, b"hello middleware");
+        assert!(verify(&public, b"hello middleware", &sig));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (public, secret) = keypair("kp-2");
+        let sig = sign(&secret, b"original");
+        assert!(!verify(&public, b"tampered", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (_, secret) = keypair("kp-3");
+        let (other_public, _) = keypair("kp-4");
+        let sig = sign(&secret, b"msg");
+        assert!(!verify(&other_public, b"msg", &sig));
+    }
+
+    #[test]
+    fn oversized_signature_rejected() {
+        let (public, _) = keypair("kp-5");
+        let bogus = RsaSignature(public.n); // == n, not < n
+        assert!(!verify(&public, b"msg", &bogus));
+    }
+
+    #[test]
+    fn keygen_is_deterministic() {
+        let (a_pub, _) = keypair("same-seed");
+        let (b_pub, _) = keypair("same-seed");
+        assert_eq!(a_pub, b_pub);
+        let (c_pub, _) = keypair("other-seed");
+        assert_ne!(a_pub, c_pub);
+    }
+
+    #[test]
+    fn modulus_has_expected_size() {
+        let (public, _) = keypair("size");
+        assert_eq!(public.n.bits(), PRIME_BITS * 2);
+    }
+}

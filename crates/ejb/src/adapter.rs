@@ -1,0 +1,271 @@
+//! [`MiddlewareSecurity`] adapter for the EJB container.
+
+use crate::container::EjbContainer;
+use hetsec_middleware::naming::{EjbDomain, MiddlewareKind};
+use hetsec_middleware::security::{Decision, MiddlewareError, MiddlewareSecurity};
+use hetsec_rbac::{
+    Domain, ObjectType, Permission, PermissionGrant, RbacPolicy, Role, RoleAssignment, User,
+};
+
+/// An EJB server viewed through the common middleware-security surface.
+pub struct EjbMiddleware {
+    container: EjbContainer,
+}
+
+impl EjbMiddleware {
+    /// Wraps a fresh container.
+    pub fn new(domain: EjbDomain) -> Self {
+        EjbMiddleware {
+            container: EjbContainer::new(domain),
+        }
+    }
+
+    /// The underlying container (for native administration).
+    pub fn container(&self) -> &EjbContainer {
+        &self.container
+    }
+
+    fn check_domain(&self, domain: &Domain) -> Result<(), MiddlewareError> {
+        if domain.as_str() != self.container.domain().to_string() {
+            return Err(MiddlewareError::ForeignDomain {
+                domain: domain.clone(),
+                kind: MiddlewareKind::Ejb,
+                instance: self.instance_name(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl MiddlewareSecurity for EjbMiddleware {
+    fn kind(&self) -> MiddlewareKind {
+        MiddlewareKind::Ejb
+    }
+
+    fn instance_name(&self) -> String {
+        format!("EJB@{}", self.container.domain())
+    }
+
+    fn owned_domains(&self) -> Vec<Domain> {
+        vec![self.container.domain().to_domain()]
+    }
+
+    fn export_policy(&self) -> RbacPolicy {
+        use crate::container::MethodPermission;
+        let mut policy = RbacPolicy::new();
+        let domain = self.container.domain().to_string();
+        for (bean, desc) in self.container.beans() {
+            for (method, mp) in &desc.method_permissions {
+                if let MethodPermission::Roles(roles) = mp {
+                    for role in roles {
+                        policy.grant(PermissionGrant::new(
+                            domain.as_str(),
+                            role.as_str(),
+                            bean.as_str(),
+                            method.as_str(),
+                        ));
+                    }
+                }
+                // `unchecked`/`excluded` entries have no RBAC row; the
+                // translation layer documents this lossiness.
+            }
+        }
+        for (role, members) in self.container.role_members() {
+            for user in members {
+                policy.assign(RoleAssignment::new(
+                    user.as_str(),
+                    domain.as_str(),
+                    role.as_str(),
+                ));
+            }
+        }
+        policy
+    }
+
+    fn grant(&self, grant: &PermissionGrant) -> Result<(), MiddlewareError> {
+        self.check_domain(&grant.domain)?;
+        self.container.permit_method(
+            grant.object_type.as_str(),
+            grant.permission.as_str(),
+            grant.role.as_str(),
+        );
+        Ok(())
+    }
+
+    fn revoke(&self, grant: &PermissionGrant) -> Result<(), MiddlewareError> {
+        self.check_domain(&grant.domain)?;
+        if self.container.forbid_method(
+            grant.object_type.as_str(),
+            grant.permission.as_str(),
+            grant.role.as_str(),
+        ) {
+            Ok(())
+        } else {
+            Err(MiddlewareError::NotFound(format!("{grant}")))
+        }
+    }
+
+    fn assign(&self, assignment: &RoleAssignment) -> Result<(), MiddlewareError> {
+        self.check_domain(&assignment.domain)?;
+        self.container
+            .map_principal(assignment.role.as_str(), assignment.user.as_str());
+        Ok(())
+    }
+
+    fn unassign(&self, assignment: &RoleAssignment) -> Result<(), MiddlewareError> {
+        self.check_domain(&assignment.domain)?;
+        if self
+            .container
+            .unmap_principal(assignment.role.as_str(), assignment.user.as_str())
+        {
+            Ok(())
+        } else {
+            Err(MiddlewareError::NotFound(format!("{assignment}")))
+        }
+    }
+
+    fn check(
+        &self,
+        user: &User,
+        domain: &Domain,
+        role: Option<&Role>,
+        object_type: &ObjectType,
+        permission: &Permission,
+    ) -> Decision {
+        if domain.as_str() != self.container.domain().to_string() {
+            return Decision::denied(format!("foreign domain {domain}"));
+        }
+        match self.container.check_call(
+            user.as_str(),
+            role.map(|r| r.as_str()),
+            object_type.as_str(),
+            permission.as_str(),
+        ) {
+            Ok(()) => Decision::Granted,
+            Err(e) => Decision::Denied(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_middleware::security::MiddlewareSecurityExt;
+
+    fn domain() -> EjbDomain {
+        EjbDomain::new("host1", "ejbsrv", "Salaries")
+    }
+
+    fn domain_str() -> String {
+        domain().to_string()
+    }
+
+    fn fixture() -> EjbMiddleware {
+        let m = EjbMiddleware::new(domain());
+        let d = domain_str();
+        m.grant(&PermissionGrant::new(
+            d.as_str(),
+            "Manager",
+            "SalariesBean",
+            "read",
+        ))
+        .unwrap();
+        m.grant(&PermissionGrant::new(
+            d.as_str(),
+            "Clerk",
+            "SalariesBean",
+            "write",
+        ))
+        .unwrap();
+        m.assign(&RoleAssignment::new("bob", d.as_str(), "Manager"))
+            .unwrap();
+        m.assign(&RoleAssignment::new("alice", d.as_str(), "Clerk"))
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn grant_and_check() {
+        let m = fixture();
+        let d: Domain = domain_str().as_str().into();
+        assert!(m.allows(&"bob".into(), &d, &"SalariesBean".into(), &"read".into()));
+        assert!(!m.allows(&"bob".into(), &d, &"SalariesBean".into(), &"write".into()));
+        assert!(m.allows(&"alice".into(), &d, &"SalariesBean".into(), &"write".into()));
+    }
+
+    #[test]
+    fn role_pinned_check() {
+        let m = fixture();
+        let d: Domain = domain_str().as_str().into();
+        let decision = m.check(
+            &"bob".into(),
+            &d,
+            Some(&"Clerk".into()),
+            &"SalariesBean".into(),
+            &"read".into(),
+        );
+        assert!(!decision.is_granted());
+    }
+
+    #[test]
+    fn foreign_domain() {
+        let m = fixture();
+        assert!(m
+            .grant(&PermissionGrant::new("other/x/y", "R", "B", "m"))
+            .is_err());
+        let decision = m.check(
+            &"bob".into(),
+            &"other/x/y".into(),
+            None,
+            &"SalariesBean".into(),
+            &"read".into(),
+        );
+        assert!(!decision.is_granted());
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let m = fixture();
+        let exported = m.export_policy();
+        assert_eq!(exported.grant_count(), 2);
+        assert_eq!(exported.assignment_count(), 2);
+        let m2 = EjbMiddleware::new(domain());
+        let report = m2.import_policy(&exported);
+        assert!(report.skipped.is_empty());
+        assert_eq!(m2.export_policy(), exported);
+    }
+
+    #[test]
+    fn unchecked_methods_not_exported() {
+        let m = fixture();
+        m.container().set_unchecked("SalariesBean", "ping");
+        let exported = m.export_policy();
+        assert!(!exported
+            .grants()
+            .any(|g| g.permission.as_str() == "ping"));
+    }
+
+    #[test]
+    fn revoke_and_unassign() {
+        let m = fixture();
+        let d = domain_str();
+        m.revoke(&PermissionGrant::new(
+            d.as_str(),
+            "Clerk",
+            "SalariesBean",
+            "write",
+        ))
+        .unwrap();
+        assert!(!m.allows(
+            &"alice".into(),
+            &d.as_str().into(),
+            &"SalariesBean".into(),
+            &"write".into()
+        ));
+        m.unassign(&RoleAssignment::new("bob", d.as_str(), "Manager"))
+            .unwrap();
+        assert!(m
+            .unassign(&RoleAssignment::new("bob", d.as_str(), "Manager"))
+            .is_err());
+    }
+}

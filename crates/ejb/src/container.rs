@@ -1,0 +1,379 @@
+//! The EJB container simulator (paper §2, "Enterprise Javabeans").
+//!
+//! Beans live in a container on a server on a host; the triple
+//! (host, server, JNDI container name) is the policy `Domain`. Security
+//! follows the EJB 2.1 deployment-descriptor model: each bean declares
+//! `security-role` elements and `method-permission` entries mapping
+//! methods to the roles allowed to call them (plus the `unchecked`
+//! marker). Principals are server-wide and are mapped to roles by the
+//! deployer.
+//!
+//! In the common model: `ObjectType` = bean name, `Permission` = method
+//! name.
+
+use hetsec_middleware::naming::EjbDomain;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Who may call a method.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodPermission {
+    /// Only the listed roles.
+    Roles(BTreeSet<String>),
+    /// Any authenticated principal (`<unchecked/>`).
+    Unchecked,
+    /// No one (`<exclude-list>`).
+    Excluded,
+}
+
+impl Default for MethodPermission {
+    fn default() -> Self {
+        MethodPermission::Roles(BTreeSet::new())
+    }
+}
+
+/// A bean's deployment descriptor (security view).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BeanDescriptor {
+    /// Business methods the bean exposes.
+    pub methods: BTreeSet<String>,
+    /// `security-role` declarations.
+    pub declared_roles: BTreeSet<String>,
+    /// `method-permission` entries.
+    pub method_permissions: BTreeMap<String, MethodPermission>,
+}
+
+/// Result of a simulated bean invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvokeOutcome {
+    /// The call went through; carries a synthetic result string.
+    Ok(String),
+    /// `javax.ejb.EJBAccessException` equivalent.
+    AccessDenied(String),
+    /// Unknown bean or method.
+    NotFound(String),
+}
+
+impl InvokeOutcome {
+    /// True for [`InvokeOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, InvokeOutcome::Ok(_))
+    }
+}
+
+#[derive(Debug, Default)]
+struct ContainerState {
+    beans: BTreeMap<String, BeanDescriptor>,
+    /// Server-wide principals.
+    principals: BTreeSet<String>,
+    /// role -> members (the deployer's principal-role mapping).
+    role_members: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// An EJB server hosting one bean container.
+pub struct EjbContainer {
+    domain: EjbDomain,
+    inner: RwLock<ContainerState>,
+}
+
+impl EjbContainer {
+    /// An empty container at the given JNDI location.
+    pub fn new(domain: EjbDomain) -> Self {
+        EjbContainer {
+            domain,
+            inner: RwLock::new(ContainerState::default()),
+        }
+    }
+
+    /// The container's domain triple.
+    pub fn domain(&self) -> &EjbDomain {
+        &self.domain
+    }
+
+    /// Deploys a bean with its business methods.
+    pub fn deploy_bean(&self, name: &str, methods: &[&str]) {
+        let mut s = self.inner.write();
+        let bean = s.beans.entry(name.to_string()).or_default();
+        for m in methods {
+            bean.methods.insert((*m).to_string());
+        }
+    }
+
+    /// Declares a security role on a bean.
+    pub fn declare_role(&self, bean: &str, role: &str) {
+        self.inner
+            .write()
+            .beans
+            .entry(bean.to_string())
+            .or_default()
+            .declared_roles
+            .insert(role.to_string());
+    }
+
+    /// Adds a `method-permission` entry granting `role` the method.
+    /// Deploys the method if it was not declared (mirrors descriptor
+    /// processing, which does not verify the business interface).
+    pub fn permit_method(&self, bean: &str, method: &str, role: &str) -> bool {
+        let mut s = self.inner.write();
+        let b = s.beans.entry(bean.to_string()).or_default();
+        b.methods.insert(method.to_string());
+        b.declared_roles.insert(role.to_string());
+        match b
+            .method_permissions
+            .entry(method.to_string())
+            .or_default()
+        {
+            MethodPermission::Roles(roles) => roles.insert(role.to_string()),
+            // Unchecked/Excluded entries are replaced by role lists.
+            other => {
+                *other = MethodPermission::Roles([role.to_string()].into_iter().collect());
+                true
+            }
+        }
+    }
+
+    /// Removes a role from a `method-permission` entry.
+    pub fn forbid_method(&self, bean: &str, method: &str, role: &str) -> bool {
+        let mut s = self.inner.write();
+        s.beans
+            .get_mut(bean)
+            .and_then(|b| b.method_permissions.get_mut(method))
+            .is_some_and(|mp| match mp {
+                MethodPermission::Roles(roles) => roles.remove(role),
+                _ => false,
+            })
+    }
+
+    /// Marks a method `<unchecked/>`.
+    pub fn set_unchecked(&self, bean: &str, method: &str) {
+        let mut s = self.inner.write();
+        let b = s.beans.entry(bean.to_string()).or_default();
+        b.methods.insert(method.to_string());
+        b.method_permissions
+            .insert(method.to_string(), MethodPermission::Unchecked);
+    }
+
+    /// Puts a method on the exclude list.
+    pub fn set_excluded(&self, bean: &str, method: &str) {
+        let mut s = self.inner.write();
+        let b = s.beans.entry(bean.to_string()).or_default();
+        b.methods.insert(method.to_string());
+        b.method_permissions
+            .insert(method.to_string(), MethodPermission::Excluded);
+    }
+
+    /// Registers a principal on the server.
+    pub fn add_principal(&self, name: &str) {
+        self.inner.write().principals.insert(name.to_string());
+    }
+
+    /// Maps a principal into a role (registering the principal).
+    pub fn map_principal(&self, role: &str, principal: &str) -> bool {
+        let mut s = self.inner.write();
+        s.principals.insert(principal.to_string());
+        s.role_members
+            .entry(role.to_string())
+            .or_default()
+            .insert(principal.to_string())
+    }
+
+    /// Removes a principal from a role.
+    pub fn unmap_principal(&self, role: &str, principal: &str) -> bool {
+        self.inner
+            .write()
+            .role_members
+            .get_mut(role)
+            .is_some_and(|m| m.remove(principal))
+    }
+
+    /// Roles a principal is mapped into.
+    pub fn roles_of(&self, principal: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .role_members
+            .iter()
+            .filter(|(_, m)| m.contains(principal))
+            .map(|(r, _)| r.clone())
+            .collect()
+    }
+
+    /// `isCallerInRole` equivalent.
+    pub fn is_caller_in_role(&self, principal: &str, role: &str) -> bool {
+        self.inner
+            .read()
+            .role_members
+            .get(role)
+            .is_some_and(|m| m.contains(principal))
+    }
+
+    /// The container's access decision for a call, optionally restricted
+    /// to one caller role.
+    pub fn check_call(
+        &self,
+        principal: &str,
+        caller_role: Option<&str>,
+        bean: &str,
+        method: &str,
+    ) -> Result<(), String> {
+        let s = self.inner.read();
+        let Some(b) = s.beans.get(bean) else {
+            return Err(format!("no such bean {bean}"));
+        };
+        if !b.methods.contains(method) {
+            return Err(format!("no such method {bean}.{method}"));
+        }
+        if !s.principals.contains(principal) {
+            return Err(format!("unknown principal {principal}"));
+        }
+        match b.method_permissions.get(method) {
+            None => Err(format!("{bean}.{method} has no method-permission entry")),
+            Some(MethodPermission::Excluded) => Err(format!("{bean}.{method} is excluded")),
+            Some(MethodPermission::Unchecked) => Ok(()),
+            Some(MethodPermission::Roles(roles)) => {
+                let in_permitted_role = s.role_members.iter().any(|(role, members)| {
+                    roles.contains(role)
+                        && members.contains(principal)
+                        && caller_role.is_none_or(|want| want == role.as_str())
+                });
+                if in_permitted_role {
+                    Ok(())
+                } else {
+                    Err(format!("{principal} not in any role permitted {bean}.{method}"))
+                }
+            }
+        }
+    }
+
+    /// Simulated business-method invocation.
+    pub fn invoke(&self, principal: &str, bean: &str, method: &str) -> InvokeOutcome {
+        match self.check_call(principal, None, bean, method) {
+            Ok(()) => InvokeOutcome::Ok(format!("{bean}.{method}() -> ok [caller {principal}]")),
+            Err(e) if e.starts_with("no such") => InvokeOutcome::NotFound(e),
+            Err(e) => InvokeOutcome::AccessDenied(e),
+        }
+    }
+
+    /// Snapshot of bean descriptors.
+    pub fn beans(&self) -> BTreeMap<String, BeanDescriptor> {
+        self.inner.read().beans.clone()
+    }
+
+    /// Snapshot of the principal-role mapping.
+    pub fn role_members(&self) -> BTreeMap<String, BTreeSet<String>> {
+        self.inner.read().role_members.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> EjbContainer {
+        let c = EjbContainer::new(EjbDomain::new("host1", "ejbsrv", "Salaries"));
+        c.deploy_bean("SalariesBean", &["read", "write", "audit"]);
+        c.permit_method("SalariesBean", "read", "Manager");
+        c.permit_method("SalariesBean", "write", "Manager");
+        c.permit_method("SalariesBean", "write", "Clerk");
+        c.map_principal("Manager", "bob");
+        c.map_principal("Clerk", "alice");
+        c
+    }
+
+    #[test]
+    fn descriptor_driven_access() {
+        let c = fixture();
+        assert!(c.invoke("bob", "SalariesBean", "read").is_ok());
+        assert!(c.invoke("bob", "SalariesBean", "write").is_ok());
+        assert!(c.invoke("alice", "SalariesBean", "write").is_ok());
+        assert!(!c.invoke("alice", "SalariesBean", "read").is_ok());
+    }
+
+    #[test]
+    fn method_without_permission_entry_denies() {
+        let c = fixture();
+        match c.invoke("bob", "SalariesBean", "audit") {
+            InvokeOutcome::AccessDenied(msg) => assert!(msg.contains("no method-permission")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_bean_method_principal() {
+        let c = fixture();
+        assert!(matches!(
+            c.invoke("bob", "GhostBean", "read"),
+            InvokeOutcome::NotFound(_)
+        ));
+        assert!(matches!(
+            c.invoke("bob", "SalariesBean", "ghost"),
+            InvokeOutcome::NotFound(_)
+        ));
+        assert!(matches!(
+            c.invoke("mallory", "SalariesBean", "read"),
+            InvokeOutcome::AccessDenied(_)
+        ));
+    }
+
+    #[test]
+    fn unchecked_and_excluded() {
+        let c = fixture();
+        c.set_unchecked("SalariesBean", "ping");
+        c.add_principal("guest");
+        assert!(c.invoke("guest", "SalariesBean", "ping").is_ok());
+        c.set_excluded("SalariesBean", "dangerous");
+        assert!(matches!(
+            c.invoke("bob", "SalariesBean", "dangerous"),
+            InvokeOutcome::AccessDenied(_)
+        ));
+    }
+
+    #[test]
+    fn caller_role_restriction() {
+        let c = fixture();
+        c.map_principal("Clerk", "bob");
+        assert!(c.check_call("bob", Some("Manager"), "SalariesBean", "read").is_ok());
+        assert!(c.check_call("bob", Some("Clerk"), "SalariesBean", "read").is_err());
+        assert!(c.check_call("bob", Some("Clerk"), "SalariesBean", "write").is_ok());
+    }
+
+    #[test]
+    fn is_caller_in_role() {
+        let c = fixture();
+        assert!(c.is_caller_in_role("bob", "Manager"));
+        assert!(!c.is_caller_in_role("bob", "Clerk"));
+        assert!(!c.is_caller_in_role("mallory", "Manager"));
+        assert_eq!(c.roles_of("alice"), vec!["Clerk".to_string()]);
+    }
+
+    #[test]
+    fn revocation() {
+        let c = fixture();
+        assert!(c.forbid_method("SalariesBean", "write", "Clerk"));
+        assert!(!c.forbid_method("SalariesBean", "write", "Clerk"));
+        assert!(!c.invoke("alice", "SalariesBean", "write").is_ok());
+        assert!(c.unmap_principal("Manager", "bob"));
+        assert!(!c.invoke("bob", "SalariesBean", "read").is_ok());
+    }
+
+    #[test]
+    fn permit_replaces_unchecked() {
+        let c = fixture();
+        c.set_unchecked("SalariesBean", "audit");
+        c.add_principal("guest");
+        assert!(c.invoke("guest", "SalariesBean", "audit").is_ok());
+        c.permit_method("SalariesBean", "audit", "Manager");
+        assert!(!c.invoke("guest", "SalariesBean", "audit").is_ok());
+        assert!(c.invoke("bob", "SalariesBean", "audit").is_ok());
+    }
+
+    #[test]
+    fn snapshots() {
+        let c = fixture();
+        let beans = c.beans();
+        assert!(beans["SalariesBean"].methods.contains("read"));
+        assert!(beans["SalariesBean"].declared_roles.contains("Manager"));
+        assert_eq!(c.role_members()["Clerk"].len(), 1);
+        assert_eq!(c.domain().host, "host1");
+    }
+}

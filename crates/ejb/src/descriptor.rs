@@ -1,0 +1,533 @@
+//! EJB 2.1 deployment-descriptor ingestion (`ejb-jar.xml`).
+//!
+//! The paper's EJB security policies were configured through deployment
+//! descriptors; this module parses the security-relevant subset —
+//! `<security-role>`, `<method-permission>` (with `<unchecked/>`),
+//! `<exclude-list>` — from a simplified `ejb-jar.xml` and deploys it
+//! into an [`EjbContainer`].
+//!
+//! The XML dialect supported is deliberately small (elements, text,
+//! comments; no attributes or namespaces), which covers real descriptors
+//! of the era for these elements.
+
+use crate::container::EjbContainer;
+use std::fmt;
+
+/// A parsed XML element: name, text content, children.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlElement {
+    /// Element name.
+    pub name: String,
+    /// Concatenated text content (trimmed).
+    pub text: String,
+    /// Child elements in document order.
+    pub children: Vec<XmlElement>,
+}
+
+impl XmlElement {
+    /// First child with the given name.
+    pub fn child(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Text of the first child with the given name.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.child(name).map(|c| c.text.as_str())
+    }
+}
+
+/// Descriptor parsing errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DescriptorError {
+    /// XML syntax problem.
+    Xml(String),
+    /// A required element was missing.
+    Missing(&'static str),
+}
+
+impl fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescriptorError::Xml(m) => write!(f, "malformed descriptor XML: {m}"),
+            DescriptorError::Missing(e) => write!(f, "descriptor missing <{e}>"),
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+/// Parses the minimal XML dialect into an element tree.
+pub fn parse_xml(src: &str) -> Result<XmlElement, DescriptorError> {
+    let mut chars = src.char_indices().peekable();
+    // Skip prolog/comments/whitespace, find the root element.
+    let root = parse_element(src, &mut chars)?;
+    // Trailing whitespace/comments allowed.
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if src[i..].starts_with("<!--") {
+            skip_comment(src, &mut chars)?;
+        } else {
+            return Err(DescriptorError::Xml(format!("trailing content at byte {i}")));
+        }
+    }
+    Ok(root)
+}
+
+type CharIter<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_comment(src: &str, chars: &mut CharIter) -> Result<(), DescriptorError> {
+    let (start, _) = *chars.peek().ok_or_else(|| DescriptorError::Xml("eof".into()))?;
+    let rest = &src[start..];
+    debug_assert!(rest.starts_with("<!--"));
+    match rest.find("-->") {
+        Some(end) => {
+            let target = start + end + 3;
+            while chars.peek().is_some_and(|&(i, _)| i < target) {
+                chars.next();
+            }
+            Ok(())
+        }
+        None => Err(DescriptorError::Xml("unterminated comment".into())),
+    }
+}
+
+fn parse_element(src: &str, chars: &mut CharIter) -> Result<XmlElement, DescriptorError> {
+    // Skip whitespace, prolog, comments until '<' of an element.
+    loop {
+        match chars.peek() {
+            None => return Err(DescriptorError::Xml("expected element".into())),
+            Some(&(i, c)) if c.is_whitespace() => {
+                let _ = i;
+                chars.next();
+            }
+            Some(&(i, '<')) => {
+                let rest = &src[i..];
+                if rest.starts_with("<?") {
+                    // Prolog: skip to '?>'.
+                    let end = rest
+                        .find("?>")
+                        .ok_or_else(|| DescriptorError::Xml("unterminated prolog".into()))?;
+                    let target = i + end + 2;
+                    while chars.peek().is_some_and(|&(j, _)| j < target) {
+                        chars.next();
+                    }
+                } else if rest.starts_with("<!--") {
+                    skip_comment(src, chars)?;
+                } else if rest.starts_with("<!") {
+                    // DOCTYPE: skip to '>'.
+                    let end = rest
+                        .find('>')
+                        .ok_or_else(|| DescriptorError::Xml("unterminated doctype".into()))?;
+                    let target = i + end + 1;
+                    while chars.peek().is_some_and(|&(j, _)| j < target) {
+                        chars.next();
+                    }
+                } else {
+                    break;
+                }
+            }
+            Some(&(i, c)) => {
+                return Err(DescriptorError::Xml(format!(
+                    "unexpected {c:?} at byte {i} (expected element)"
+                )))
+            }
+        }
+    }
+    // Opening tag.
+    let (open_at, _) = chars.next().ok_or_else(|| DescriptorError::Xml("eof".into()))?; // consumes '<'
+    let mut name = String::new();
+    let mut self_closing = false;
+    loop {
+        match chars.next() {
+            None => return Err(DescriptorError::Xml("unterminated tag".into())),
+            Some((_, '>')) => break,
+            Some((_, '/')) => {
+                // Expect '>' next.
+                match chars.next() {
+                    Some((_, '>')) => {
+                        self_closing = true;
+                        break;
+                    }
+                    _ => return Err(DescriptorError::Xml("malformed self-closing tag".into())),
+                }
+            }
+            Some((i, c)) if c.is_whitespace() => {
+                let _ = (i, open_at);
+                // Attributes are not supported; skip to tag end.
+                loop {
+                    match chars.next() {
+                        None => return Err(DescriptorError::Xml("unterminated tag".into())),
+                        Some((_, '>')) => break,
+                        Some((_, '/')) => {
+                            if let Some((_, '>')) = chars.next() {
+                                self_closing = true;
+                                break;
+                            }
+                            return Err(DescriptorError::Xml("malformed tag".into()));
+                        }
+                        Some(_) => {}
+                    }
+                }
+                break;
+            }
+            Some((_, c)) => name.push(c),
+        }
+    }
+    if name.is_empty() {
+        return Err(DescriptorError::Xml("empty element name".into()));
+    }
+    let mut element = XmlElement {
+        name: name.clone(),
+        text: String::new(),
+        children: Vec::new(),
+    };
+    if self_closing {
+        return Ok(element);
+    }
+    // Content until matching close tag.
+    let mut text = String::new();
+    loop {
+        match chars.peek() {
+            None => return Err(DescriptorError::Xml(format!("unclosed <{name}>"))),
+            Some(&(i, '<')) => {
+                let rest = &src[i..];
+                if rest.starts_with("</") {
+                    // Close tag.
+                    let end = rest
+                        .find('>')
+                        .ok_or_else(|| DescriptorError::Xml("unterminated close tag".into()))?;
+                    let close_name = rest[2..end].trim();
+                    if close_name != name {
+                        return Err(DescriptorError::Xml(format!(
+                            "mismatched </{}>, expected </{}>",
+                            close_name, name
+                        )));
+                    }
+                    let target = i + end + 1;
+                    while chars.peek().is_some_and(|&(j, _)| j < target) {
+                        chars.next();
+                    }
+                    element.text = text.trim().to_string();
+                    return Ok(element);
+                } else if rest.starts_with("<!--") {
+                    skip_comment(src, chars)?;
+                } else {
+                    element.children.push(parse_element(src, chars)?);
+                }
+            }
+            Some(&(_, c)) => {
+                text.push(c);
+                chars.next();
+            }
+        }
+    }
+}
+
+/// A method-permission entry as read from the descriptor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DescriptorPermission {
+    /// Bean name.
+    pub bean: String,
+    /// Method name (`*` meaning all currently-deployed methods).
+    pub method: String,
+    /// Roles permitted; empty plus `unchecked` = anyone.
+    pub roles: Vec<String>,
+    /// Whether the entry was `<unchecked/>`.
+    pub unchecked: bool,
+}
+
+/// Everything the deployer needs from an `ejb-jar.xml`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EjbJar {
+    /// Declared security roles.
+    pub security_roles: Vec<String>,
+    /// Beans and their declared methods.
+    pub beans: Vec<(String, Vec<String>)>,
+    /// Method permissions.
+    pub permissions: Vec<DescriptorPermission>,
+    /// Excluded (bean, method) pairs.
+    pub excluded: Vec<(String, String)>,
+}
+
+/// Parses the security view of an `ejb-jar.xml`.
+pub fn parse_ejb_jar(src: &str) -> Result<EjbJar, DescriptorError> {
+    let root = parse_xml(src)?;
+    if root.name != "ejb-jar" {
+        return Err(DescriptorError::Missing("ejb-jar"));
+    }
+    let mut jar = EjbJar::default();
+    // <enterprise-beans><session><ejb-name>..</ejb-name><method>..</method>*
+    if let Some(beans) = root.child("enterprise-beans") {
+        for bean in beans.children.iter() {
+            let Some(name) = bean.child_text("ejb-name") else {
+                return Err(DescriptorError::Missing("ejb-name"));
+            };
+            let methods: Vec<String> = bean
+                .children_named("business-method")
+                .map(|m| m.text.clone())
+                .collect();
+            jar.beans.push((name.to_string(), methods));
+        }
+    }
+    let Some(asm) = root.child("assembly-descriptor") else {
+        return Ok(jar);
+    };
+    for role in asm.children_named("security-role") {
+        if let Some(r) = role.child_text("role-name") {
+            jar.security_roles.push(r.to_string());
+        }
+    }
+    for mp in asm.children_named("method-permission") {
+        let unchecked = mp.child("unchecked").is_some();
+        let roles: Vec<String> = mp
+            .children_named("role-name")
+            .map(|r| r.text.clone())
+            .collect();
+        for method in mp.children_named("method") {
+            let bean = method
+                .child_text("ejb-name")
+                .ok_or(DescriptorError::Missing("ejb-name"))?;
+            let m = method
+                .child_text("method-name")
+                .ok_or(DescriptorError::Missing("method-name"))?;
+            jar.permissions.push(DescriptorPermission {
+                bean: bean.to_string(),
+                method: m.to_string(),
+                roles: roles.clone(),
+                unchecked,
+            });
+        }
+    }
+    if let Some(excl) = asm.child("exclude-list") {
+        for method in excl.children_named("method") {
+            let bean = method
+                .child_text("ejb-name")
+                .ok_or(DescriptorError::Missing("ejb-name"))?;
+            let m = method
+                .child_text("method-name")
+                .ok_or(DescriptorError::Missing("method-name"))?;
+            jar.excluded.push((bean.to_string(), m.to_string()));
+        }
+    }
+    Ok(jar)
+}
+
+/// Deploys a parsed descriptor into a container. Returns the number of
+/// method-permission entries applied.
+pub fn deploy_descriptor(container: &EjbContainer, jar: &EjbJar) -> usize {
+    for (bean, methods) in &jar.beans {
+        let refs: Vec<&str> = methods.iter().map(String::as_str).collect();
+        container.deploy_bean(bean, &refs);
+        for role in &jar.security_roles {
+            container.declare_role(bean, role);
+        }
+    }
+    let mut applied = 0;
+    for p in &jar.permissions {
+        let methods: Vec<String> = if p.method == "*" {
+            jar.beans
+                .iter()
+                .find(|(b, _)| b == &p.bean)
+                .map(|(_, ms)| ms.clone())
+                .unwrap_or_default()
+        } else {
+            vec![p.method.clone()]
+        };
+        for m in methods {
+            if p.unchecked {
+                container.set_unchecked(&p.bean, &m);
+                applied += 1;
+            } else {
+                for role in &p.roles {
+                    container.permit_method(&p.bean, &m, role);
+                    applied += 1;
+                }
+            }
+        }
+    }
+    for (bean, method) in &jar.excluded {
+        container.set_excluded(bean, method);
+        applied += 1;
+    }
+    applied
+}
+
+/// The descriptor for the paper's salaries bean, as a realistic fixture.
+pub const SALARIES_EJB_JAR: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<!-- Salaries application deployment descriptor (paper Fig. 1 shape) -->
+<ejb-jar>
+  <enterprise-beans>
+    <session>
+      <ejb-name>SalariesBean</ejb-name>
+      <business-method>read</business-method>
+      <business-method>write</business-method>
+      <business-method>ping</business-method>
+      <business-method>purge</business-method>
+    </session>
+  </enterprise-beans>
+  <assembly-descriptor>
+    <security-role>
+      <role-name>Manager</role-name>
+    </security-role>
+    <security-role>
+      <role-name>Clerk</role-name>
+    </security-role>
+    <method-permission>
+      <role-name>Manager</role-name>
+      <method>
+        <ejb-name>SalariesBean</ejb-name>
+        <method-name>read</method-name>
+      </method>
+      <method>
+        <ejb-name>SalariesBean</ejb-name>
+        <method-name>write</method-name>
+      </method>
+    </method-permission>
+    <method-permission>
+      <role-name>Clerk</role-name>
+      <method>
+        <ejb-name>SalariesBean</ejb-name>
+        <method-name>write</method-name>
+      </method>
+    </method-permission>
+    <method-permission>
+      <unchecked/>
+      <method>
+        <ejb-name>SalariesBean</ejb-name>
+        <method-name>ping</method-name>
+      </method>
+    </method-permission>
+    <exclude-list>
+      <method>
+        <ejb-name>SalariesBean</ejb-name>
+        <method-name>purge</method-name>
+      </method>
+    </exclude-list>
+  </assembly-descriptor>
+</ejb-jar>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_middleware::naming::EjbDomain;
+
+    #[test]
+    fn xml_parser_handles_structure() {
+        let e = parse_xml("<a><b>hi</b><b>there</b><c/></a>").unwrap();
+        assert_eq!(e.name, "a");
+        assert_eq!(e.children.len(), 3);
+        assert_eq!(e.child_text("b"), Some("hi"));
+        assert_eq!(e.children_named("b").count(), 2);
+        assert!(e.child("c").unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn xml_parser_skips_prolog_doctype_comments() {
+        let src = "<?xml version=\"1.0\"?>\n<!DOCTYPE ejb-jar>\n<!-- hi -->\n<r><x>1</x></r>\n<!-- bye -->";
+        let e = parse_xml(src).unwrap();
+        assert_eq!(e.name, "r");
+        assert_eq!(e.child_text("x"), Some("1"));
+    }
+
+    #[test]
+    fn xml_parser_rejects_malformed() {
+        assert!(parse_xml("").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a></b>").is_err());
+        assert!(parse_xml("<a></a><b></b>").is_err());
+        assert!(parse_xml("<a><!-- unterminated </a>").is_err());
+        assert!(parse_xml("text only").is_err());
+        assert!(parse_xml("<>x</>").is_err());
+    }
+
+    #[test]
+    fn parses_the_salaries_descriptor() {
+        let jar = parse_ejb_jar(SALARIES_EJB_JAR).unwrap();
+        assert_eq!(jar.security_roles, vec!["Manager", "Clerk"]);
+        assert_eq!(jar.beans.len(), 1);
+        assert_eq!(jar.beans[0].0, "SalariesBean");
+        assert_eq!(jar.beans[0].1.len(), 4);
+        assert_eq!(jar.permissions.len(), 4); // read+write (Manager), write (Clerk), ping (unchecked)
+        assert_eq!(jar.excluded, vec![("SalariesBean".to_string(), "purge".to_string())]);
+        assert!(jar.permissions.iter().any(|p| p.unchecked && p.method == "ping"));
+    }
+
+    #[test]
+    fn deploys_into_a_container_with_paper_semantics() {
+        let c = EjbContainer::new(EjbDomain::new("h", "s", "Salaries"));
+        let jar = parse_ejb_jar(SALARIES_EJB_JAR).unwrap();
+        let applied = deploy_descriptor(&c, &jar);
+        assert!(applied >= 5);
+        c.map_principal("Manager", "bob");
+        c.map_principal("Clerk", "alice");
+        c.add_principal("guest");
+        assert!(c.invoke("bob", "SalariesBean", "read").is_ok());
+        assert!(c.invoke("bob", "SalariesBean", "write").is_ok());
+        assert!(c.invoke("alice", "SalariesBean", "write").is_ok());
+        assert!(!c.invoke("alice", "SalariesBean", "read").is_ok());
+        assert!(c.invoke("guest", "SalariesBean", "ping").is_ok());
+        assert!(!c.invoke("bob", "SalariesBean", "purge").is_ok());
+    }
+
+    #[test]
+    fn wildcard_method_permission_covers_all_methods() {
+        let src = r#"<ejb-jar>
+  <enterprise-beans>
+    <session>
+      <ejb-name>B</ejb-name>
+      <business-method>m1</business-method>
+      <business-method>m2</business-method>
+    </session>
+  </enterprise-beans>
+  <assembly-descriptor>
+    <method-permission>
+      <role-name>R</role-name>
+      <method><ejb-name>B</ejb-name><method-name>*</method-name></method>
+    </method-permission>
+  </assembly-descriptor>
+</ejb-jar>"#;
+        let jar = parse_ejb_jar(src).unwrap();
+        let c = EjbContainer::new(EjbDomain::new("h", "s", "j"));
+        deploy_descriptor(&c, &jar);
+        c.map_principal("R", "u");
+        assert!(c.invoke("u", "B", "m1").is_ok());
+        assert!(c.invoke("u", "B", "m2").is_ok());
+    }
+
+    #[test]
+    fn descriptor_without_assembly_is_fine() {
+        let jar = parse_ejb_jar("<ejb-jar><enterprise-beans><session><ejb-name>B</ejb-name></session></enterprise-beans></ejb-jar>").unwrap();
+        assert!(jar.permissions.is_empty());
+        assert_eq!(jar.beans.len(), 1);
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(matches!(
+            parse_ejb_jar("<web-app></web-app>"),
+            Err(DescriptorError::Missing("ejb-jar"))
+        ));
+    }
+
+    #[test]
+    fn exported_policy_matches_descriptor() {
+        use crate::adapter::EjbMiddleware;
+        let m = EjbMiddleware::new(EjbDomain::new("h", "s", "Salaries"));
+        let jar = parse_ejb_jar(SALARIES_EJB_JAR).unwrap();
+        deploy_descriptor(m.container(), &jar);
+        m.container().map_principal("Manager", "bob");
+        use hetsec_middleware::security::MiddlewareSecurity;
+        let policy = m.export_policy();
+        // read/write for Manager, write for Clerk = 3 grants (unchecked
+        // and excluded entries have no RBAC representation).
+        assert_eq!(policy.grant_count(), 3);
+        assert_eq!(policy.assignment_count(), 1);
+    }
+}

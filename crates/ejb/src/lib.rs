@@ -1,0 +1,15 @@
+//! Enterprise JavaBeans middleware security simulator (paper §2).
+//!
+//! [`container`] models an EJB 2.1 server: beans with deployment-
+//! descriptor security (`security-role`, `method-permission`,
+//! `unchecked`, `exclude-list`), server-wide principals, and the
+//! deployer's principal-role mapping. [`adapter`] exposes it through the
+//! common [`hetsec_middleware::MiddlewareSecurity`] surface.
+
+pub mod adapter;
+pub mod container;
+pub mod descriptor;
+
+pub use adapter::EjbMiddleware;
+pub use container::{BeanDescriptor, EjbContainer, InvokeOutcome, MethodPermission};
+pub use descriptor::{deploy_descriptor, parse_ejb_jar, DescriptorError, EjbJar, SALARIES_EJB_JAR};

@@ -1,0 +1,166 @@
+//! Graphviz DOT export for condensed graphs.
+//!
+//! The WebCom IDE (paper Figure 11) displays applications as editable
+//! graphs; headless, the closest artefact is a DOT rendering. Condensed
+//! subgraphs become clusters; `IfEl` branches are dashed clusters.
+
+use crate::graph::{GraphTemplate, Operator, Source};
+use std::fmt::Write;
+
+/// Renders a template as a Graphviz `digraph`.
+pub fn to_dot(template: &GraphTemplate) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&template.name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    render_body(template, "", &mut out, &mut 0);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders nodes/edges with ids prefixed by `prefix` (for nesting).
+fn render_body(template: &GraphTemplate, prefix: &str, out: &mut String, cluster: &mut usize) {
+    for p in 0..template.arity {
+        let _ = writeln!(
+            out,
+            "  \"{prefix}p{p}\" [label=\"param {p}\", shape=ellipse];"
+        );
+    }
+    for (i, node) in template.nodes.iter().enumerate() {
+        let id = format!("{prefix}n{i}");
+        match &node.operator {
+            Operator::Const(v) => {
+                let _ = writeln!(
+                    out,
+                    "  \"{id}\" [label=\"{}\\n= {}\", shape=plaintext];",
+                    escape(&node.label),
+                    escape(&v.to_string())
+                );
+            }
+            Operator::Primitive(op) => {
+                let _ = writeln!(
+                    out,
+                    "  \"{id}\" [label=\"{}\\n[{}]\"];",
+                    escape(&node.label),
+                    escape(op)
+                );
+            }
+            Operator::Condensed(sub) => {
+                *cluster += 1;
+                let c = *cluster;
+                let inner_prefix = format!("{prefix}c{c}_");
+                let _ = writeln!(out, "  subgraph \"cluster_{c}\" {{");
+                let _ = writeln!(out, "    label=\"{} (condensed: {})\";", escape(&node.label), escape(&sub.name));
+                render_body(sub, &inner_prefix, out, cluster);
+                let _ = writeln!(out, "  }}");
+                // Anchor node representing the condensed node itself.
+                let _ = writeln!(
+                    out,
+                    "  \"{id}\" [label=\"{}\", shape=doubleoctagon];",
+                    escape(&node.label)
+                );
+            }
+            Operator::IfEl { then_branch, else_branch } => {
+                let _ = writeln!(
+                    out,
+                    "  \"{id}\" [label=\"{}\\n[if-el]\", shape=diamond];",
+                    escape(&node.label)
+                );
+                for (branch, tag) in [(then_branch, "then"), (else_branch, "else")] {
+                    *cluster += 1;
+                    let c = *cluster;
+                    let inner_prefix = format!("{prefix}c{c}_");
+                    let _ = writeln!(out, "  subgraph \"cluster_{c}\" {{");
+                    let _ = writeln!(out, "    label=\"{tag}: {}\"; style=dashed;", escape(&branch.name));
+                    render_body(branch, &inner_prefix, out, cluster);
+                    let _ = writeln!(out, "  }}");
+                }
+            }
+        }
+        for src in &node.inputs {
+            let from = match src {
+                Source::Param(p) => format!("{prefix}p{p}"),
+                Source::Node(n) => format!("{prefix}n{n}"),
+            };
+            let _ = writeln!(out, "  \"{from}\" -> \"{id}\";");
+        }
+    }
+    let sink = format!("{prefix}out");
+    let _ = writeln!(out, "  \"{sink}\" [label=\"X (output)\", shape=ellipse];");
+    let from = match template.output {
+        Source::Param(p) => format!("{prefix}p{p}"),
+        Source::Node(n) => format!("{prefix}n{n}"),
+    };
+    let _ = writeln!(out, "  \"{from}\" -> \"{sink}\";");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use std::sync::Arc;
+
+    fn simple() -> GraphTemplate {
+        let mut b = GraphBuilder::new("demo", 2);
+        let s = b.primitive("sum", "add", vec![Source::Param(0), Source::Param(1)]);
+        b.output(Source::Node(s)).unwrap()
+    }
+
+    #[test]
+    fn renders_nodes_params_and_edges() {
+        let dot = to_dot(&simple());
+        assert!(dot.starts_with("digraph \"demo\" {"));
+        assert!(dot.contains("\"p0\" [label=\"param 0\""));
+        assert!(dot.contains("\"n0\" [label=\"sum\\n[add]\"]"));
+        assert!(dot.contains("\"p0\" -> \"n0\";"));
+        assert!(dot.contains("\"p1\" -> \"n0\";"));
+        assert!(dot.contains("\"n0\" -> \"out\";"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn condensed_nodes_become_clusters() {
+        let sub = Arc::new(simple());
+        let mut b = GraphBuilder::new("outer", 2);
+        let c = b.condensed("call", sub, vec![Source::Param(0), Source::Param(1)]);
+        let t = b.output(Source::Node(c)).unwrap();
+        let dot = to_dot(&t);
+        assert!(dot.contains("subgraph \"cluster_1\""));
+        assert!(dot.contains("condensed: demo"));
+        assert!(dot.contains("doubleoctagon"));
+        // Inner nodes carry the cluster prefix.
+        assert!(dot.contains("\"c1_n0\""));
+    }
+
+    #[test]
+    fn ifel_branches_are_dashed_clusters() {
+        let branch = Arc::new({
+            let mut b = GraphBuilder::new("b", 0);
+            let c = b.constant("k", 1i64);
+            b.output(Source::Node(c)).unwrap()
+        });
+        let mut b = GraphBuilder::new("outer", 1);
+        let cond = b.constant("cond", true);
+        let n = b.if_el("choose", branch.clone(), branch, vec![Source::Node(cond)]);
+        let t = b.output(Source::Node(n)).unwrap();
+        let dot = to_dot(&t);
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("then: b"));
+        assert!(dot.contains("else: b"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut b = GraphBuilder::new("has \"quotes\"", 0);
+        let c = b.constant("say \"hi\"", "x");
+        let t = b.output(Source::Node(c)).unwrap();
+        let dot = to_dot(&t);
+        assert!(dot.contains("digraph \"has \\\"quotes\\\"\""));
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

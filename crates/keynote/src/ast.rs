@@ -1,0 +1,310 @@
+//! Abstract syntax for KeyNote assertions (RFC 2704 §3-4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A principal: either the local trust root `POLICY` or a key, denoted by
+/// its printable text (an `rsa-sim:` key string or a symbolic name such
+/// as the paper's `Kbob`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Principal {
+    /// The local policy root.
+    Policy,
+    /// A key, by printable text.
+    Key(String),
+}
+
+impl Principal {
+    /// Builds a key principal.
+    pub fn key(text: impl Into<String>) -> Principal {
+        Principal::Key(text.into())
+    }
+
+    /// The key text, or `None` for `POLICY`.
+    pub fn key_text(&self) -> Option<&str> {
+        match self {
+            Principal::Policy => None,
+            Principal::Key(k) => Some(k),
+        }
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Principal::Policy => write!(f, "POLICY"),
+            Principal::Key(k) => write!(f, "\"{k}\""),
+        }
+    }
+}
+
+/// Comparison operators usable in conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Source form of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `^` (exponentiation)
+    Pow,
+}
+
+impl ArithOp {
+    /// Source form of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+            ArithOp::Pow => "^",
+        }
+    }
+}
+
+/// A string- or number-valued term in a condition expression.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Term {
+    /// A quoted string literal.
+    Str(String),
+    /// A numeric literal.
+    Num(f64),
+    /// A direct action-attribute reference.
+    Attr(String),
+    /// Indirect dereference `$(term)`: the term's string value names the
+    /// attribute to read.
+    Deref(Box<Term>),
+    /// String concatenation `a . b`.
+    Concat(Box<Term>, Box<Term>),
+    /// Binary arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<Term>,
+        /// Right operand.
+        rhs: Box<Term>,
+    },
+    /// Unary negation.
+    Neg(Box<Term>),
+}
+
+impl Term {
+    /// True when the term is syntactically numeric (forces a numeric
+    /// comparison when used as a comparison operand).
+    pub fn is_numeric_syntax(&self) -> bool {
+        matches!(self, Term::Num(_) | Term::Arith { .. } | Term::Neg(_))
+    }
+}
+
+/// A boolean condition expression.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal `true`.
+    True,
+    /// Literal `false`.
+    False,
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Comparison of two terms.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left term.
+        lhs: Term,
+        /// Right term.
+        rhs: Term,
+    },
+    /// POSIX regular-expression match `lhs ~= pattern`.
+    RegexMatch {
+        /// Subject term.
+        lhs: Term,
+        /// Pattern term (compiled at evaluation time).
+        pattern: Term,
+    },
+}
+
+/// One clause of a conditions program.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Clause {
+    /// `test` — equivalent to `test -> _MAX_TRUST`.
+    Bare(Expr),
+    /// `test -> value`.
+    Arrow(Expr, String),
+    /// `test -> { program }`.
+    Nested(Expr, ConditionsProgram),
+}
+
+/// An ordered list of clauses; its value is the maximum over succeeding
+/// clauses (RFC 2704 §4.3), `_MIN_TRUST` when none succeed.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConditionsProgram {
+    /// The clauses in source order.
+    pub clauses: Vec<Clause>,
+}
+
+/// A monotone formula over principals (the `Licensees` field).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LicenseeExpr {
+    /// A single principal.
+    Principal(String),
+    /// Conjunction (minimum).
+    And(Box<LicenseeExpr>, Box<LicenseeExpr>),
+    /// Disjunction (maximum).
+    Or(Box<LicenseeExpr>, Box<LicenseeExpr>),
+    /// `k-of(p1, ..., pn)` threshold: the k-th largest operand value.
+    KOf(usize, Vec<LicenseeExpr>),
+}
+
+impl LicenseeExpr {
+    /// All principal texts mentioned by the formula (with duplicates).
+    pub fn principals(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_principals(&mut out);
+        out
+    }
+
+    fn collect_principals<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            LicenseeExpr::Principal(p) => out.push(p),
+            LicenseeExpr::And(a, b) | LicenseeExpr::Or(a, b) => {
+                a.collect_principals(out);
+                b.collect_principals(out);
+            }
+            LicenseeExpr::KOf(_, items) => {
+                for i in items {
+                    i.collect_principals(out);
+                }
+            }
+        }
+    }
+}
+
+/// A parsed KeyNote assertion.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Assertion {
+    /// `KeyNote-Version` field, if present.
+    pub version: Option<String>,
+    /// `Comment` field, if present.
+    pub comment: Option<String>,
+    /// `Local-Constants`: name/value pairs substituted during evaluation
+    /// (they shadow action attributes).
+    pub local_constants: Vec<(String, String)>,
+    /// The `Authorizer` (required).
+    pub authorizer: Principal,
+    /// The `Licensees` formula; `None` authorises no one.
+    pub licensees: Option<LicenseeExpr>,
+    /// The `Conditions` program; `None` means unconditional.
+    pub conditions: Option<ConditionsProgram>,
+    /// The `Signature` value text, if the assertion is signed.
+    pub signature: Option<String>,
+}
+
+impl Assertion {
+    /// A minimal unsigned assertion.
+    pub fn new(authorizer: Principal, licensees: LicenseeExpr) -> Self {
+        Assertion {
+            version: None,
+            comment: None,
+            local_constants: Vec::new(),
+            authorizer,
+            licensees: Some(licensees),
+            conditions: None,
+            signature: None,
+        }
+    }
+
+    /// True when the authorizer is `POLICY` (a local policy assertion).
+    pub fn is_policy(&self) -> bool {
+        self.authorizer == Principal::Policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn principal_display() {
+        assert_eq!(Principal::Policy.to_string(), "POLICY");
+        assert_eq!(Principal::key("Kbob").to_string(), "\"Kbob\"");
+        assert_eq!(Principal::key("Kbob").key_text(), Some("Kbob"));
+        assert_eq!(Principal::Policy.key_text(), None);
+    }
+
+    #[test]
+    fn licensee_principal_collection() {
+        let f = LicenseeExpr::Or(
+            Box::new(LicenseeExpr::Principal("a".into())),
+            Box::new(LicenseeExpr::KOf(
+                2,
+                vec![
+                    LicenseeExpr::Principal("b".into()),
+                    LicenseeExpr::And(
+                        Box::new(LicenseeExpr::Principal("c".into())),
+                        Box::new(LicenseeExpr::Principal("a".into())),
+                    ),
+                ],
+            )),
+        );
+        assert_eq!(f.principals(), vec!["a", "b", "c", "a"]);
+    }
+
+    #[test]
+    fn numeric_syntax_detection() {
+        assert!(Term::Num(1.0).is_numeric_syntax());
+        assert!(Term::Neg(Box::new(Term::Attr("x".into()))).is_numeric_syntax());
+        assert!(!Term::Str("1".into()).is_numeric_syntax());
+        assert!(!Term::Attr("x".into()).is_numeric_syntax());
+    }
+
+    #[test]
+    fn policy_detection() {
+        let a = Assertion::new(Principal::Policy, LicenseeExpr::Principal("k".into()));
+        assert!(a.is_policy());
+        let b = Assertion::new(Principal::key("k1"), LicenseeExpr::Principal("k2".into()));
+        assert!(!b.is_policy());
+    }
+}

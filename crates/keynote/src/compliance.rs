@@ -1,0 +1,399 @@
+//! The KeyNote compliance checker (RFC 2704 §5).
+//!
+//! Given a set of policy assertions and credentials, an action attribute
+//! set, and the principals that requested the action, the checker
+//! computes the *compliance value* of the request.
+//!
+//! Semantics: delegation is evaluated from the requesters towards
+//! `POLICY`. Each requesting principal supports the action at
+//! `_MAX_TRUST` (it signed the request). An assertion authored by
+//! principal `p` lifts support to `p`: the assertion's value is
+//! `min(conditions_value, licensees_value)` where the licensees formula
+//! is evaluated over the current support values of its principals
+//! (`&&` = min, `||` = max, `k-of` = k-th largest). A principal's support
+//! is the maximum over its assertions. The query answer is the support of
+//! `POLICY`. Cyclic delegation is handled by iterating this monotone
+//! operator to a fixpoint.
+
+use crate::ast::{Assertion, LicenseeExpr, Principal};
+use crate::eval::{eval_conditions, ActionAttributes, Env};
+use crate::values::{ComplianceValue, ComplianceValues};
+use std::collections::{BTreeSet, HashMap};
+
+/// A compliance query.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Principals that made (signed) the request.
+    pub action_authorizers: Vec<String>,
+    /// The action attribute set describing the request.
+    pub attributes: ActionAttributes,
+    /// The ordered compliance value set.
+    pub values: ComplianceValues,
+    /// Revoked keys: they convey no authority — neither as requesters
+    /// nor as intermediate delegators.
+    pub revoked: BTreeSet<String>,
+}
+
+impl Query {
+    /// A binary-valued query.
+    pub fn new(action_authorizers: Vec<String>, attributes: ActionAttributes) -> Self {
+        Query {
+            action_authorizers,
+            attributes,
+            values: ComplianceValues::binary(),
+            revoked: BTreeSet::new(),
+        }
+    }
+
+    /// Replaces the compliance value set.
+    pub fn with_values(mut self, values: ComplianceValues) -> Self {
+        self.values = values;
+        self
+    }
+
+    /// Marks keys as revoked.
+    pub fn with_revoked(mut self, keys: impl IntoIterator<Item = String>) -> Self {
+        self.revoked.extend(keys);
+        self
+    }
+}
+
+/// The result of a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryResult {
+    /// The computed compliance value.
+    pub value: ComplianceValue,
+    /// The value's name in the query's value set.
+    pub value_name: String,
+    /// Number of fixpoint iterations used (diagnostic).
+    pub iterations: usize,
+}
+
+impl QueryResult {
+    /// True when the value is strictly above `_MIN_TRUST` — for binary
+    /// queries this means "authorised".
+    pub fn is_authorized(&self) -> bool {
+        self.value > ComplianceValue(0)
+    }
+}
+
+/// Evaluates a licensees formula under a support assignment.
+fn licensees_value(
+    expr: &LicenseeExpr,
+    support: &HashMap<&str, ComplianceValue>,
+    min: ComplianceValue,
+) -> ComplianceValue {
+    match expr {
+        LicenseeExpr::Principal(p) => support.get(p.as_str()).copied().unwrap_or(min),
+        LicenseeExpr::And(a, b) => {
+            licensees_value(a, support, min).and(licensees_value(b, support, min))
+        }
+        LicenseeExpr::Or(a, b) => {
+            licensees_value(a, support, min).or(licensees_value(b, support, min))
+        }
+        LicenseeExpr::KOf(k, items) => {
+            let mut vals: Vec<ComplianceValue> = items
+                .iter()
+                .map(|i| licensees_value(i, support, min))
+                .collect();
+            vals.sort_unstable_by(|a, b| b.cmp(a)); // descending
+            vals.get(*k - 1).copied().unwrap_or(min)
+        }
+    }
+}
+
+/// Runs the compliance checker over `assertions`.
+///
+/// The caller is responsible for having filtered out credentials with
+/// invalid signatures (see [`crate::session::KeyNoteSession`], which does
+/// this on `add_credential`).
+pub fn check_compliance(assertions: &[Assertion], query: &Query) -> QueryResult {
+    let values = &query.values;
+    let min = values.min();
+    let max = values.max();
+    let authorizers_text = query.action_authorizers.join(",");
+
+    // Pre-evaluate each assertion's conditions value: it depends only on
+    // the action attributes, not on the support assignment.
+    let cond_values: Vec<ComplianceValue> = assertions
+        .iter()
+        .map(|a| {
+            let env = Env::new(
+                &query.attributes,
+                &a.local_constants,
+                values,
+                &authorizers_text,
+            );
+            match &a.conditions {
+                None => max,
+                Some(prog) => eval_conditions(prog, &env, values),
+            }
+        })
+        .collect();
+
+    // Support assignment over principal texts, plus the POLICY root.
+    const POLICY_KEY: &str = "\u{0}POLICY";
+    let mut support: HashMap<&str, ComplianceValue> = HashMap::new();
+    for a in &query.action_authorizers {
+        if query.revoked.contains(a) {
+            continue;
+        }
+        support.insert(a.as_str(), max);
+    }
+
+    fn authorizer_key(a: &Assertion) -> &str {
+        const POLICY_KEY: &str = "\u{0}POLICY";
+        match &a.authorizer {
+            Principal::Policy => POLICY_KEY,
+            Principal::Key(k) => k.as_str(),
+        }
+    }
+
+    // Monotone fixpoint: support values only increase and are bounded by
+    // the (finite) value set, so this terminates.
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for (a, &cond) in assertions.iter().zip(&cond_values) {
+            if cond == min {
+                continue;
+            }
+            let Some(lic) = &a.licensees else {
+                continue;
+            };
+            let lic_val = licensees_value(lic, &support, min);
+            let assertion_val = cond.and(lic_val);
+            let who = authorizer_key(a);
+            if query.revoked.contains(who) {
+                continue; // revoked keys convey nothing
+            }
+            let cur = support.get(who).copied().unwrap_or(min);
+            // Requesters keep their max support; others can be lifted.
+            if assertion_val > cur {
+                support.insert(who, assertion_val);
+                changed = true;
+            }
+        }
+        if !changed || iterations > assertions.len() * values.len() + 1 {
+            break;
+        }
+    }
+
+    let value = support.get(POLICY_KEY).copied().unwrap_or(min);
+    QueryResult {
+        value,
+        value_name: values.name_of(value).to_string(),
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_assertions;
+
+    fn query(authorizers: &[&str], attrs: &[(&str, &str)]) -> Query {
+        Query::new(
+            authorizers.iter().map(|s| s.to_string()).collect(),
+            attrs.iter().copied().collect(),
+        )
+    }
+
+    fn run(text: &str, q: &Query) -> bool {
+        let assertions = parse_assertions(text).unwrap();
+        check_compliance(&assertions, q).is_authorized()
+    }
+
+    const FIG2_AND_4: &str = "\
+Authorizer: POLICY
+licensees: \"Kbob\"
+Conditions: app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\");
+
+Authorizer: \"Kbob\"
+licensees: \"Kalice\"
+Conditions: app_domain==\"SalariesDB\" && oper==\"write\";
+";
+
+    #[test]
+    fn paper_example_1_bob_direct() {
+        let q = query(&["Kbob"], &[("app_domain", "SalariesDB"), ("oper", "read")]);
+        assert!(run(FIG2_AND_4, &q));
+        let q = query(&["Kbob"], &[("app_domain", "SalariesDB"), ("oper", "write")]);
+        assert!(run(FIG2_AND_4, &q));
+        let q = query(&["Kbob"], &[("app_domain", "SalariesDB"), ("oper", "drop")]);
+        assert!(!run(FIG2_AND_4, &q));
+    }
+
+    #[test]
+    fn paper_example_2_alice_delegated_write_only() {
+        // Alice may write (via Bob's delegation) but not read.
+        let q = query(&["Kalice"], &[("app_domain", "SalariesDB"), ("oper", "write")]);
+        assert!(run(FIG2_AND_4, &q));
+        let q = query(&["Kalice"], &[("app_domain", "SalariesDB"), ("oper", "read")]);
+        assert!(!run(FIG2_AND_4, &q));
+    }
+
+    #[test]
+    fn unknown_requester_denied() {
+        let q = query(&["Kmallory"], &[("app_domain", "SalariesDB"), ("oper", "read")]);
+        assert!(!run(FIG2_AND_4, &q));
+    }
+
+    #[test]
+    fn delegation_chain_depth_3() {
+        let text = "\
+Authorizer: POLICY
+Licensees: \"Ka\"
+Conditions: op==\"go\";
+
+Authorizer: \"Ka\"
+Licensees: \"Kb\"
+Conditions: op==\"go\";
+
+Authorizer: \"Kb\"
+Licensees: \"Kc\"
+Conditions: op==\"go\";
+";
+        assert!(run(text, &query(&["Kc"], &[("op", "go")])));
+        assert!(!run(text, &query(&["Kc"], &[("op", "stop")])));
+        // Intermediate key also works.
+        assert!(run(text, &query(&["Kb"], &[("op", "go")])));
+    }
+
+    #[test]
+    fn conjunctive_licensees_require_both() {
+        let text = "\
+Authorizer: POLICY
+Licensees: \"Ka\" && \"Kb\"
+";
+        assert!(!run(text, &query(&["Ka"], &[])));
+        assert!(!run(text, &query(&["Kb"], &[])));
+        assert!(run(text, &query(&["Ka", "Kb"], &[])));
+    }
+
+    #[test]
+    fn threshold_two_of_three() {
+        let text = "\
+Authorizer: POLICY
+Licensees: 2-of(\"Ka\", \"Kb\", \"Kc\")
+";
+        assert!(!run(text, &query(&["Ka"], &[])));
+        assert!(run(text, &query(&["Ka", "Kc"], &[])));
+        assert!(run(text, &query(&["Ka", "Kb", "Kc"], &[])));
+    }
+
+    #[test]
+    fn delegation_narrows_not_widens() {
+        // Kb's assertion grants everything, but Kb itself is only trusted
+        // for oper==read, so Kc cannot write.
+        let text = "\
+Authorizer: POLICY
+Licensees: \"Kb\"
+Conditions: oper==\"read\";
+
+Authorizer: \"Kb\"
+Licensees: \"Kc\"
+";
+        assert!(run(text, &query(&["Kc"], &[("oper", "read")])));
+        assert!(!run(text, &query(&["Kc"], &[("oper", "write")])));
+    }
+
+    #[test]
+    fn cyclic_delegation_terminates() {
+        let text = "\
+Authorizer: POLICY
+Licensees: \"Ka\"
+
+Authorizer: \"Ka\"
+Licensees: \"Kb\"
+
+Authorizer: \"Kb\"
+Licensees: \"Ka\"
+";
+        let q = query(&["Kb"], &[]);
+        let assertions = parse_assertions(text).unwrap();
+        let r = check_compliance(&assertions, &q);
+        assert!(r.is_authorized());
+        // And an unrelated key gains nothing from the cycle.
+        assert!(!run(text, &query(&["Kz"], &[])));
+    }
+
+    #[test]
+    fn non_binary_values_flow_through() {
+        let values = ComplianceValues::with_middle(&["log"]).unwrap();
+        let text = "\
+Authorizer: POLICY
+Licensees: \"Ka\"
+Conditions: amount < 10 -> \"_MAX_TRUST\"; amount < 100 -> \"log\";
+";
+        let assertions = parse_assertions(text).unwrap();
+        let q = Query::new(
+            vec!["Ka".to_string()],
+            [("amount", "50")].into_iter().collect(),
+        )
+        .with_values(values.clone());
+        let r = check_compliance(&assertions, &q);
+        assert_eq!(r.value_name, "log");
+        let q2 = Query::new(
+            vec!["Ka".to_string()],
+            [("amount", "5")].into_iter().collect(),
+        )
+        .with_values(values.clone());
+        assert_eq!(check_compliance(&assertions, &q2).value_name, "_MAX_TRUST");
+        let q3 = Query::new(
+            vec!["Ka".to_string()],
+            [("amount", "5000")].into_iter().collect(),
+        )
+        .with_values(values);
+        assert_eq!(check_compliance(&assertions, &q3).value_name, "_MIN_TRUST");
+    }
+
+    #[test]
+    fn min_value_propagates_through_chain() {
+        // Middle link limits the chain's value to "log".
+        let values = ComplianceValues::with_middle(&["log"]).unwrap();
+        let text = "\
+Authorizer: POLICY
+Licensees: \"Ka\"
+
+Authorizer: \"Ka\"
+Licensees: \"Kb\"
+Conditions: true -> \"log\";
+";
+        let assertions = parse_assertions(text).unwrap();
+        let q = Query::new(vec!["Kb".to_string()], ActionAttributes::new())
+            .with_values(values);
+        let r = check_compliance(&assertions, &q);
+        assert_eq!(r.value_name, "log");
+    }
+
+    #[test]
+    fn missing_licensees_authorizes_no_one() {
+        let text = "Authorizer: POLICY\nConditions: true;\n";
+        assert!(!run(text, &query(&["Ka"], &[])));
+    }
+
+    #[test]
+    fn empty_assertion_set_denies() {
+        let q = query(&["Ka"], &[]);
+        let r = check_compliance(&[], &q);
+        assert!(!r.is_authorized());
+        assert_eq!(r.value_name, "_MIN_TRUST");
+    }
+
+    #[test]
+    fn requester_support_not_downgraded() {
+        // An assertion authored by the requester itself must not reduce
+        // the requester's own support.
+        let text = "\
+Authorizer: POLICY
+Licensees: \"Ka\"
+
+Authorizer: \"Ka\"
+Licensees: \"Kb\"
+Conditions: false;
+";
+        assert!(run(text, &query(&["Ka"], &[])));
+    }
+}

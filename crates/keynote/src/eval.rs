@@ -1,0 +1,469 @@
+//! Evaluation of condition expressions and conditions programs against an
+//! action attribute set (RFC 2704 §4.3-4.5).
+//!
+//! Evaluation is total: malformed comparisons (type mismatches, bad regex
+//! patterns, division by zero) make the enclosing test *fail* rather than
+//! abort the query, matching KeyNote's conservative semantics.
+
+use crate::ast::{ArithOp, Clause, CmpOp, ConditionsProgram, Expr, Term};
+use crate::parser::format_num;
+use crate::regex::Regex;
+use crate::values::{ComplianceValue, ComplianceValues};
+use std::collections::HashMap;
+
+/// An action attribute set: string names to string values.
+///
+/// Per RFC 2704, attribute values are strings; numeric interpretation
+/// happens at comparison time. Missing attributes read as the empty
+/// string.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ActionAttributes {
+    map: HashMap<String, String>,
+}
+
+impl ActionAttributes {
+    /// Empty attribute set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Sets an attribute.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.map.insert(name.into(), value.into());
+    }
+
+    /// Reads an attribute; missing attributes are the empty string.
+    pub fn get(&self, name: &str) -> &str {
+        self.map.get(name).map(String::as_str).unwrap_or("")
+    }
+
+    /// True when the attribute is explicitly present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no attributes are set.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over (name, value) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl<K: Into<String>, V: Into<String>> FromIterator<(K, V)> for ActionAttributes {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut a = ActionAttributes::new();
+        for (k, v) in iter {
+            a.set(k, v);
+        }
+        a
+    }
+}
+
+/// The evaluation environment: action attributes plus the assertion's
+/// local constants (which shadow attributes) and the reserved
+/// `_MIN_TRUST` / `_MAX_TRUST` / `_VALUES` / `_ACTION_AUTHORIZERS`
+/// pseudo-attributes.
+pub struct Env<'a> {
+    attrs: &'a ActionAttributes,
+    locals: &'a [(String, String)],
+    values: &'a ComplianceValues,
+    action_authorizers: &'a str,
+}
+
+impl<'a> Env<'a> {
+    /// Builds an environment.
+    pub fn new(
+        attrs: &'a ActionAttributes,
+        locals: &'a [(String, String)],
+        values: &'a ComplianceValues,
+        action_authorizers: &'a str,
+    ) -> Self {
+        Env {
+            attrs,
+            locals,
+            values,
+            action_authorizers,
+        }
+    }
+
+    fn lookup(&self, name: &str) -> String {
+        // Local constants shadow everything.
+        if let Some((_, v)) = self.locals.iter().find(|(n, _)| n == name) {
+            return v.clone();
+        }
+        match name {
+            "_MIN_TRUST" => self.values.names().first().cloned().unwrap_or_default(),
+            "_MAX_TRUST" => self.values.names().last().cloned().unwrap_or_default(),
+            "_VALUES" => self.values.values_attribute(),
+            "_ACTION_AUTHORIZERS" => self.action_authorizers.to_string(),
+            other => self.attrs.get(other).to_string(),
+        }
+    }
+}
+
+/// A term's evaluated value.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+}
+
+impl Value {
+    fn as_str(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Num(n) => format_num(*n),
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(s) => s.trim().parse::<f64>().ok(),
+        }
+    }
+}
+
+/// Evaluation "errors" that conservatively fail the enclosing test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum EvalFail {
+    NotNumeric,
+    BadPattern,
+    DivByZero,
+}
+
+fn eval_term(t: &Term, env: &Env<'_>) -> Result<Value, EvalFail> {
+    match t {
+        Term::Str(s) => Ok(Value::Str(s.clone())),
+        Term::Num(n) => Ok(Value::Num(*n)),
+        Term::Attr(name) => Ok(Value::Str(env.lookup(name))),
+        Term::Deref(inner) => {
+            let name = eval_term(inner, env)?.as_str();
+            Ok(Value::Str(env.lookup(&name)))
+        }
+        Term::Concat(a, b) => {
+            let av = eval_term(a, env)?.as_str();
+            let bv = eval_term(b, env)?.as_str();
+            Ok(Value::Str(format!("{av}{bv}")))
+        }
+        Term::Arith { op, lhs, rhs } => {
+            let a = eval_term(lhs, env)?.as_num().ok_or(EvalFail::NotNumeric)?;
+            let b = eval_term(rhs, env)?.as_num().ok_or(EvalFail::NotNumeric)?;
+            let r = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Err(EvalFail::DivByZero);
+                    }
+                    a / b
+                }
+                ArithOp::Mod => {
+                    if b == 0.0 {
+                        return Err(EvalFail::DivByZero);
+                    }
+                    a % b
+                }
+                ArithOp::Pow => a.powf(b),
+            };
+            Ok(Value::Num(r))
+        }
+        Term::Neg(inner) => {
+            let v = eval_term(inner, env)?.as_num().ok_or(EvalFail::NotNumeric)?;
+            Ok(Value::Num(-v))
+        }
+    }
+}
+
+fn eval_cmp(op: CmpOp, lhs: &Term, rhs: &Term, env: &Env<'_>) -> bool {
+    let (Ok(lv), Ok(rv)) = (eval_term(lhs, env), eval_term(rhs, env)) else {
+        return false;
+    };
+    // Numeric comparison when either side is syntactically numeric;
+    // both sides must then parse as numbers or the test fails.
+    let numeric = lhs.is_numeric_syntax() || rhs.is_numeric_syntax();
+    if numeric {
+        let (Some(a), Some(b)) = (lv.as_num(), rv.as_num()) else {
+            return false;
+        };
+        match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Gt => a > b,
+            CmpOp::Le => a <= b,
+            CmpOp::Ge => a >= b,
+        }
+    } else {
+        let a = lv.as_str();
+        let b = rv.as_str();
+        match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Gt => a > b,
+            CmpOp::Le => a <= b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Evaluates a boolean expression; failures are false.
+pub fn eval_expr(e: &Expr, env: &Env<'_>) -> bool {
+    match e {
+        Expr::True => true,
+        Expr::False => false,
+        Expr::Or(a, b) => eval_expr(a, env) || eval_expr(b, env),
+        Expr::And(a, b) => eval_expr(a, env) && eval_expr(b, env),
+        Expr::Not(inner) => !eval_expr(inner, env),
+        Expr::Cmp { op, lhs, rhs } => eval_cmp(*op, lhs, rhs, env),
+        Expr::RegexMatch { lhs, pattern } => {
+            let (Ok(subject), Ok(pat)) = (eval_term(lhs, env), eval_term(pattern, env)) else {
+                return false;
+            };
+            match Regex::new(&pat.as_str()) {
+                Ok(re) => re.is_match(&subject.as_str()),
+                Err(_) => {
+                    let _ = EvalFail::BadPattern;
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a conditions program to a compliance value: the maximum over
+/// succeeding clauses, `_MIN_TRUST` when none succeed. Unknown value
+/// names in `-> value` clauses conservatively contribute `_MIN_TRUST`.
+pub fn eval_conditions(
+    prog: &ConditionsProgram,
+    env: &Env<'_>,
+    values: &ComplianceValues,
+) -> ComplianceValue {
+    let mut best = values.min();
+    for clause in &prog.clauses {
+        let contributed = match clause {
+            Clause::Bare(test) => {
+                if eval_expr(test, env) {
+                    values.max()
+                } else {
+                    continue;
+                }
+            }
+            Clause::Arrow(test, value_name) => {
+                if eval_expr(test, env) {
+                    values.index_of(value_name).unwrap_or_else(|| values.min())
+                } else {
+                    continue;
+                }
+            }
+            Clause::Nested(test, inner) => {
+                if eval_expr(test, env) {
+                    eval_conditions(inner, env, values)
+                } else {
+                    continue;
+                }
+            }
+        };
+        best = best.or(contributed);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_conditions, parse_expression};
+
+    fn env_fixture(attrs: &ActionAttributes, values: &ComplianceValues) -> Env<'static> {
+        // Leak for test brevity; the env only borrows.
+        let attrs: &'static ActionAttributes = Box::leak(Box::new(attrs.clone()));
+        let values: &'static ComplianceValues = Box::leak(Box::new(values.clone()));
+        Env::new(attrs, &[], values, "")
+    }
+
+    fn check(src: &str, attrs: &[(&str, &str)]) -> bool {
+        let attrs: ActionAttributes = attrs.iter().copied().collect();
+        let values = ComplianceValues::binary();
+        let env = env_fixture(&attrs, &values);
+        eval_expr(&parse_expression(src).unwrap(), &env)
+    }
+
+    #[test]
+    fn paper_figure_2_condition() {
+        let src = "app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\")";
+        assert!(check(src, &[("app_domain", "SalariesDB"), ("oper", "read")]));
+        assert!(check(src, &[("app_domain", "SalariesDB"), ("oper", "write")]));
+        assert!(!check(src, &[("app_domain", "SalariesDB"), ("oper", "delete")]));
+        assert!(!check(src, &[("app_domain", "OrdersDB"), ("oper", "read")]));
+        assert!(!check(src, &[("oper", "read")]));
+    }
+
+    #[test]
+    fn string_vs_numeric_comparison() {
+        // String comparison: "10" < "9" lexicographically.
+        assert!(check("a < b", &[("a", "10"), ("b", "9")]));
+        // Numeric comparison forced by a numeric literal.
+        assert!(check("a + 0 < 11", &[("a", "10")]));
+        assert!(!check("a + 0 < 9", &[("a", "10")]));
+        // `amount <= 100`: rhs numeric literal forces numeric compare.
+        assert!(check("amount <= 100", &[("amount", "100")]));
+        assert!(check("amount <= 100", &[("amount", "99")]));
+        assert!(!check("amount <= 100", &[("amount", "101")]));
+    }
+
+    #[test]
+    fn type_mismatch_fails_conservatively() {
+        assert!(!check("a + 1 == 2", &[("a", "not-a-number")]));
+        assert!(!check("a < 5", &[("a", "xyz")]));
+        assert!(!check("1 / 0 == 1", &[]));
+        assert!(!check("1 % 0 == 1", &[]));
+    }
+
+    #[test]
+    fn missing_attribute_is_empty_string() {
+        assert!(check("ghost == \"\"", &[]));
+        assert!(!check("ghost == \"x\"", &[]));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert!(check("1 + 2 * 3 == 7", &[]));
+        assert!(check("(1 + 2) * 3 == 9", &[]));
+        assert!(check("2 ^ 10 == 1024", &[]));
+        assert!(check("7 % 3 == 1", &[]));
+        assert!(check("-3 + 5 == 2", &[]));
+        assert!(check("10 / 4 == 2.5", &[]));
+    }
+
+    #[test]
+    fn concat_and_deref() {
+        assert!(check(
+            "$(\"ro\" . \"le\") == \"Manager\"",
+            &[("role", "Manager")]
+        ));
+        assert!(check("a . b == \"xy\"", &[("a", "x"), ("b", "y")]));
+    }
+
+    #[test]
+    fn regex_operator() {
+        assert!(check("oper ~= \"^(read|write)$\"", &[("oper", "read")]));
+        assert!(!check("oper ~= \"^(read|write)$\"", &[("oper", "append")]));
+        // Bad pattern fails rather than erroring.
+        assert!(!check("oper ~= \"(unclosed\"", &[("oper", "x")]));
+    }
+
+    #[test]
+    fn reserved_attributes() {
+        let attrs = ActionAttributes::new();
+        let values = ComplianceValues::with_middle(&["log"]).unwrap();
+        let env = Env::new(&attrs, &[], &values, "Kalice,Kbob");
+        assert!(eval_expr(
+            &parse_expression("_MIN_TRUST == \"_MIN_TRUST\"").unwrap(),
+            &env
+        ));
+        assert!(eval_expr(
+            &parse_expression("_VALUES == \"_MIN_TRUST log _MAX_TRUST\"").unwrap(),
+            &env
+        ));
+        assert!(eval_expr(
+            &parse_expression("_ACTION_AUTHORIZERS ~= \"Kbob\"").unwrap(),
+            &env
+        ));
+    }
+
+    #[test]
+    fn local_constants_shadow_attributes() {
+        let attrs: ActionAttributes = [("who", "attr-value")].into_iter().collect();
+        let values = ComplianceValues::binary();
+        let locals = vec![("who".to_string(), "local-value".to_string())];
+        let env = Env::new(&attrs, &locals, &values, "");
+        assert!(eval_expr(
+            &parse_expression("who == \"local-value\"").unwrap(),
+            &env
+        ));
+    }
+
+    #[test]
+    fn conditions_program_values() {
+        let values = ComplianceValues::with_middle(&["log", "escalate"]).unwrap();
+        let attrs: ActionAttributes = [("amount", "500")].into_iter().collect();
+        let env = env_fixture(&attrs, &values);
+        let prog = parse_conditions(
+            "amount < 100 -> \"_MAX_TRUST\"; amount < 1000 -> \"escalate\"; amount < 10000 -> \"log\";",
+        )
+        .unwrap();
+        // amount=500: clauses 2 and 3 succeed; max is "escalate".
+        let v = eval_conditions(&prog, &env, &values);
+        assert_eq!(values.name_of(v), "escalate");
+    }
+
+    #[test]
+    fn conditions_no_clause_succeeds() {
+        let values = ComplianceValues::binary();
+        let attrs = ActionAttributes::new();
+        let env = env_fixture(&attrs, &values);
+        let prog = parse_conditions("a == \"1\";").unwrap();
+        assert_eq!(eval_conditions(&prog, &env, &values), values.min());
+    }
+
+    #[test]
+    fn nested_conditions() {
+        let values = ComplianceValues::with_middle(&["mid"]).unwrap();
+        let attrs: ActionAttributes = [("d", "x"), ("r", "2")].into_iter().collect();
+        let env = env_fixture(&attrs, &values);
+        let prog =
+            parse_conditions("d == \"x\" -> { r == \"1\" -> \"_MAX_TRUST\"; r == \"2\" -> \"mid\"; };")
+                .unwrap();
+        let v = eval_conditions(&prog, &env, &values);
+        assert_eq!(values.name_of(v), "mid");
+    }
+
+    #[test]
+    fn unknown_clause_value_is_min() {
+        let values = ComplianceValues::binary();
+        let attrs = ActionAttributes::new();
+        let env = env_fixture(&attrs, &values);
+        let prog = parse_conditions("true -> \"no-such-value\";").unwrap();
+        assert_eq!(eval_conditions(&prog, &env, &values), values.min());
+    }
+
+    #[test]
+    fn empty_program_is_min() {
+        let values = ComplianceValues::binary();
+        let attrs = ActionAttributes::new();
+        let env = env_fixture(&attrs, &values);
+        let prog = parse_conditions("").unwrap();
+        assert_eq!(eval_conditions(&prog, &env, &values), values.min());
+    }
+
+    #[test]
+    fn attributes_api() {
+        let mut a = ActionAttributes::new();
+        assert!(a.is_empty());
+        a.set("k", "v");
+        assert_eq!(a.get("k"), "v");
+        assert_eq!(a.get("missing"), "");
+        assert!(a.contains("k"));
+        assert!(!a.contains("missing"));
+        assert_eq!(a.len(), 1);
+        let b = ActionAttributes::new().with("k", "v");
+        assert_eq!(a, b);
+    }
+}

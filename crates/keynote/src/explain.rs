@@ -1,0 +1,240 @@
+//! Decision explanation: a compliance check that also returns *why*.
+//!
+//! The paper's Policy Comprehension goal (§4.2) extends naturally from
+//! policies to decisions: administrators debugging a heterogeneous
+//! deployment need to see which credentials carried an authorisation.
+//! [`explain_compliance`] reruns the fixpoint of
+//! [`crate::compliance::check_compliance`] while recording, for every
+//! principal whose support rose, the assertion responsible — yielding a
+//! delegation trace from the requesters to `POLICY` (the KeyNote
+//! counterpart of the SPKI back-end's proof objects).
+
+use crate::ast::{Assertion, LicenseeExpr, Principal};
+use crate::compliance::Query;
+use crate::eval::{eval_conditions, Env};
+use crate::print::print_principal;
+use crate::values::ComplianceValue;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One support-raising step in the fixpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The principal whose support rose (`"POLICY"` for the root).
+    pub principal: String,
+    /// The new support value's name.
+    pub value_name: String,
+    /// Index of the responsible assertion in the input slice.
+    pub assertion_index: usize,
+    /// Short description of the responsible assertion.
+    pub assertion: String,
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} <- {} via assertion #{} ({})",
+            self.principal, self.value_name, self.assertion_index, self.assertion
+        )
+    }
+}
+
+/// An explained result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Explanation {
+    /// The compliance value's name.
+    pub value_name: String,
+    /// Whether the request was authorised (above `_MIN_TRUST`).
+    pub authorized: bool,
+    /// Support-raising steps in the order they occurred.
+    pub trace: Vec<TraceStep>,
+}
+
+impl Explanation {
+    /// The assertion indices that participated in the final decision.
+    pub fn used_assertions(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.trace.iter().map(|s| s.assertion_index).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+fn describe(a: &Assertion) -> String {
+    let lic = a
+        .licensees
+        .as_ref()
+        .map(crate::print::print_licensees)
+        .unwrap_or_else(|| "<none>".to_string());
+    format!("{} licenses {}", print_principal(&a.authorizer), lic)
+}
+
+/// Runs the compliance fixpoint, recording every support increase.
+pub fn explain_compliance(assertions: &[Assertion], query: &Query) -> Explanation {
+    let values = &query.values;
+    let min = values.min();
+    let max = values.max();
+    let authorizers_text = query.action_authorizers.join(",");
+    let cond_values: Vec<ComplianceValue> = assertions
+        .iter()
+        .map(|a| {
+            let env = Env::new(
+                &query.attributes,
+                &a.local_constants,
+                values,
+                &authorizers_text,
+            );
+            match &a.conditions {
+                None => max,
+                Some(prog) => eval_conditions(prog, &env, values),
+            }
+        })
+        .collect();
+
+    const POLICY_KEY: &str = "\u{0}POLICY";
+    let mut support: HashMap<&str, ComplianceValue> = HashMap::new();
+    for a in &query.action_authorizers {
+        if !query.revoked.contains(a) {
+            support.insert(a.as_str(), max);
+        }
+    }
+    fn lic_value(
+        expr: &LicenseeExpr,
+        support: &HashMap<&str, ComplianceValue>,
+        min: ComplianceValue,
+    ) -> ComplianceValue {
+        match expr {
+            LicenseeExpr::Principal(p) => support.get(p.as_str()).copied().unwrap_or(min),
+            LicenseeExpr::And(a, b) => {
+                lic_value(a, support, min).and(lic_value(b, support, min))
+            }
+            LicenseeExpr::Or(a, b) => lic_value(a, support, min).or(lic_value(b, support, min)),
+            LicenseeExpr::KOf(k, items) => {
+                let mut vals: Vec<ComplianceValue> =
+                    items.iter().map(|i| lic_value(i, support, min)).collect();
+                vals.sort_unstable_by(|a, b| b.cmp(a));
+                vals.get(*k - 1).copied().unwrap_or(min)
+            }
+        }
+    }
+
+    let mut trace = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let mut changed = false;
+        for (idx, (a, &cond)) in assertions.iter().zip(&cond_values).enumerate() {
+            if cond == min {
+                continue;
+            }
+            let Some(lic) = &a.licensees else { continue };
+            let val = cond.and(lic_value(lic, &support, min));
+            let who = match &a.authorizer {
+                Principal::Policy => POLICY_KEY,
+                Principal::Key(k) => k.as_str(),
+            };
+            if query.revoked.contains(who) {
+                continue;
+            }
+            let cur = support.get(who).copied().unwrap_or(min);
+            if val > cur {
+                support.insert(who, val);
+                trace.push(TraceStep {
+                    principal: if who == POLICY_KEY {
+                        "POLICY".to_string()
+                    } else {
+                        who.to_string()
+                    },
+                    value_name: values.name_of(val).to_string(),
+                    assertion_index: idx,
+                    assertion: describe(a),
+                });
+                changed = true;
+            }
+        }
+        if !changed || iterations > assertions.len() * values.len() + 1 {
+            break;
+        }
+    }
+    let value = support.get(POLICY_KEY).copied().unwrap_or(min);
+    Explanation {
+        value_name: values.name_of(value).to_string(),
+        authorized: value > min,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compliance::check_compliance;
+    use crate::eval::ActionAttributes;
+    use crate::parser::parse_assertions;
+
+    const CHAIN: &str = "\
+Authorizer: POLICY
+Licensees: \"Ka\"
+Conditions: op==\"go\";
+
+Authorizer: \"Ka\"
+Licensees: \"Kb\"
+Conditions: op==\"go\";
+";
+
+    fn query(who: &str, op: &str) -> Query {
+        Query::new(
+            vec![who.to_string()],
+            [("op", op)].into_iter().collect::<ActionAttributes>(),
+        )
+    }
+
+    #[test]
+    fn trace_follows_the_delegation_chain() {
+        let assertions = parse_assertions(CHAIN).unwrap();
+        let e = explain_compliance(&assertions, &query("Kb", "go"));
+        assert!(e.authorized);
+        assert_eq!(e.value_name, "_MAX_TRUST");
+        // Kb is a requester; the chain lifts Ka (via assertion 1) then
+        // POLICY (via assertion 0).
+        assert_eq!(e.trace.len(), 2);
+        assert_eq!(e.trace[0].principal, "Ka");
+        assert_eq!(e.trace[0].assertion_index, 1);
+        assert_eq!(e.trace[1].principal, "POLICY");
+        assert_eq!(e.trace[1].assertion_index, 0);
+        assert_eq!(e.used_assertions(), vec![0, 1]);
+        assert!(e.trace[1].to_string().contains("POLICY"));
+    }
+
+    #[test]
+    fn denied_requests_have_partial_or_empty_traces() {
+        let assertions = parse_assertions(CHAIN).unwrap();
+        let e = explain_compliance(&assertions, &query("Kb", "stop"));
+        assert!(!e.authorized);
+        assert!(e.trace.is_empty());
+        let e = explain_compliance(&assertions, &query("Kz", "go"));
+        assert!(!e.authorized);
+        assert!(e.trace.is_empty());
+    }
+
+    #[test]
+    fn explanation_agrees_with_check_compliance() {
+        let assertions = parse_assertions(CHAIN).unwrap();
+        for (who, op) in [("Ka", "go"), ("Kb", "go"), ("Kb", "stop"), ("Kz", "go")] {
+            let q = query(who, op);
+            let plain = check_compliance(&assertions, &q);
+            let explained = explain_compliance(&assertions, &q);
+            assert_eq!(plain.is_authorized(), explained.authorized, "{who} {op}");
+            assert_eq!(plain.value_name, explained.value_name, "{who} {op}");
+        }
+    }
+
+    #[test]
+    fn revoked_keys_produce_no_trace_steps() {
+        let assertions = parse_assertions(CHAIN).unwrap();
+        let q = query("Kb", "go").with_revoked(["Ka".to_string()]);
+        let e = explain_compliance(&assertions, &q);
+        assert!(!e.authorized);
+        assert!(e.trace.is_empty());
+    }
+}

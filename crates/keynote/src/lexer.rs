@@ -1,0 +1,400 @@
+//! Tokeniser for KeyNote field bodies (conditions, licensees,
+//! local-constants).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier / attribute name / bare word.
+    Ident(String),
+    /// Quoted string literal (unescaped).
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `~=`
+    Tilde,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `->`
+    Arrow,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `$`
+    Dollar,
+    /// `=` (used in Local-Constants)
+    Assign,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Num(n) => write!(f, "{n}"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::Le => write!(f, "<="),
+            Token::Ge => write!(f, ">="),
+            Token::Tilde => write!(f, "~="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Caret => write!(f, "^"),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Arrow => write!(f, "->"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Dollar => write!(f, "$"),
+            Token::Assign => write!(f, "="),
+        }
+    }
+}
+
+/// Lexing errors, with byte offsets into the field body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LexError {
+    /// A character that starts no token.
+    UnexpectedChar(char, usize),
+    /// Unterminated string literal.
+    UnterminatedString(usize),
+    /// Malformed number.
+    BadNumber(usize),
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar(c, i) => write!(f, "unexpected character {c:?} at byte {i}"),
+            LexError::UnterminatedString(i) => write!(f, "unterminated string starting at byte {i}"),
+            LexError::BadNumber(i) => write!(f, "malformed number at byte {i}"),
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises a field body.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(LexError::UnterminatedString(start)),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            i += 1;
+                            match chars.get(i) {
+                                None => return Err(LexError::UnterminatedString(start)),
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some(&e) => s.push(e),
+                            }
+                            i += 1;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                // Don't eat a trailing '.': "1.foo" is number 1 then Dot.
+                let mut text: String = chars[start..i].iter().collect();
+                if text.ends_with('.') {
+                    text.pop();
+                    i -= 1;
+                }
+                let n: f64 = text.parse().map_err(|_| LexError::BadNumber(start))?;
+                tokens.push(Token::Num(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            '&' => {
+                if chars.get(i + 1) == Some(&'&') {
+                    tokens.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError::UnexpectedChar('&', i));
+                }
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    tokens.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError::UnexpectedChar('|', i));
+                }
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '~' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Tilde);
+                    i += 2;
+                } else {
+                    return Err(LexError::UnexpectedChar('~', i));
+                }
+            }
+            '-' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Arrow);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token::Caret);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '$' => {
+                tokens.push(Token::Dollar);
+                i += 1;
+            }
+            other => return Err(LexError::UnexpectedChar(other, i)),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_condition_tokens() {
+        let toks = lex("app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\");")
+            .unwrap();
+        assert_eq!(toks[0], Token::Ident("app_domain".into()));
+        assert_eq!(toks[1], Token::EqEq);
+        assert_eq!(toks[2], Token::Str("SalariesDB".into()));
+        assert_eq!(toks[3], Token::AndAnd);
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn numbers_and_dots() {
+        assert_eq!(lex("1.5").unwrap(), vec![Token::Num(1.5)]);
+        assert_eq!(
+            lex("1.x").unwrap(),
+            vec![Token::Num(1.0), Token::Dot, Token::Ident("x".into())]
+        );
+        assert_eq!(lex("42").unwrap(), vec![Token::Num(42.0)]);
+        assert!(lex("1.2.3").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            lex("\"a\\\"b\\n\"").unwrap(),
+            vec![Token::Str("a\"b\n".into())]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("<= >= == != ~= -> && || ! = < >").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Tilde,
+                Token::Arrow,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Bang,
+                Token::Assign,
+                Token::Lt,
+                Token::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn arithmetic_tokens() {
+        let toks = lex("a + b * 2 - c / d % e ^ 2").unwrap();
+        assert!(toks.contains(&Token::Plus));
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Minus));
+        assert!(toks.contains(&Token::Slash));
+        assert!(toks.contains(&Token::Percent));
+        assert!(toks.contains(&Token::Caret));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("~x").is_err());
+    }
+
+    #[test]
+    fn kof_shape() {
+        let toks = lex("2-of(\"Ka\", \"Kb\", \"Kc\")").unwrap();
+        assert_eq!(toks[0], Token::Num(2.0));
+        assert_eq!(toks[1], Token::Minus);
+        assert_eq!(toks[2], Token::Ident("of".into()));
+        assert_eq!(toks[3], Token::LParen);
+    }
+}

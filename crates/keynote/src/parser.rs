@@ -1,0 +1,837 @@
+//! Parsers for KeyNote condition expressions, licensee formulas, and
+//! whole assertions.
+//!
+//! The field-level assertion syntax follows RFC 2704: `Field: body`
+//! lines, continuation lines indented with whitespace, assertions
+//! separated by blank lines. Field names are case-insensitive.
+
+use crate::ast::{
+    ArithOp, Assertion, Clause, CmpOp, ConditionsProgram, Expr, LicenseeExpr, Principal, Term,
+};
+use crate::lexer::{lex, LexError, Token};
+use std::fmt;
+
+/// Parse errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// Tokenisation failed.
+    Lex(LexError),
+    /// Unexpected token (found, context).
+    Unexpected(String, &'static str),
+    /// Input ended prematurely.
+    Eof(&'static str),
+    /// An unknown assertion field name.
+    UnknownField(String),
+    /// A required field is missing.
+    MissingField(&'static str),
+    /// A field appeared twice.
+    DuplicateField(String),
+    /// Field line without a `name:` prefix.
+    BadFieldLine(String),
+    /// Threshold `k` out of range for `k-of(...)`.
+    BadThreshold(usize, usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "lex error: {e}"),
+            ParseError::Unexpected(t, ctx) => write!(f, "unexpected token `{t}` in {ctx}"),
+            ParseError::Eof(ctx) => write!(f, "unexpected end of input in {ctx}"),
+            ParseError::UnknownField(n) => write!(f, "unknown assertion field `{n}`"),
+            ParseError::MissingField(n) => write!(f, "missing required field `{n}`"),
+            ParseError::DuplicateField(n) => write!(f, "duplicate field `{n}`"),
+            ParseError::BadFieldLine(l) => write!(f, "line is not a field: `{l}`"),
+            ParseError::BadThreshold(k, n) => {
+                write!(f, "threshold {k}-of({n} principals) out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct P {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(P {
+            tokens: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, ctx: &'static str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(ref got) if got == t => Ok(()),
+            Some(got) => Err(ParseError::Unexpected(got.to_string(), ctx)),
+            None => Err(ParseError::Eof(ctx)),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    // ---- Conditions program ----
+
+    fn parse_program(&mut self, stop_at_rbrace: bool) -> Result<ConditionsProgram, ParseError> {
+        let mut clauses = Vec::new();
+        loop {
+            // Allow empty programs and trailing semicolons.
+            while self.eat(&Token::Semi) {}
+            if self.at_end() || (stop_at_rbrace && self.peek() == Some(&Token::RBrace)) {
+                break;
+            }
+            clauses.push(self.parse_clause()?);
+            if !self.eat(&Token::Semi) {
+                if self.at_end() || (stop_at_rbrace && self.peek() == Some(&Token::RBrace)) {
+                    break;
+                }
+                return Err(ParseError::Unexpected(
+                    self.peek().map(|t| t.to_string()).unwrap_or_default(),
+                    "conditions program (expected `;`)",
+                ));
+            }
+        }
+        Ok(ConditionsProgram { clauses })
+    }
+
+    fn parse_clause(&mut self) -> Result<Clause, ParseError> {
+        let test = self.parse_expr()?;
+        if self.eat(&Token::Arrow) {
+            if self.eat(&Token::LBrace) {
+                let prog = self.parse_program(true)?;
+                self.expect(&Token::RBrace, "nested conditions program")?;
+                Ok(Clause::Nested(test, prog))
+            } else {
+                let value = match self.bump() {
+                    Some(Token::Str(s)) => s,
+                    Some(Token::Ident(s)) => s,
+                    Some(got) => {
+                        return Err(ParseError::Unexpected(got.to_string(), "clause value"))
+                    }
+                    None => return Err(ParseError::Eof("clause value")),
+                };
+                Ok(Clause::Arrow(test, value))
+            }
+        } else {
+            Ok(Clause::Bare(test))
+        }
+    }
+
+    // ---- Boolean expressions ----
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&Token::OrOr) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.parse_unary()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Bang) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        // `true` / `false` keywords.
+        if let Some(Token::Ident(id)) = self.peek() {
+            let lowered = id.to_ascii_lowercase();
+            if lowered == "true" || lowered == "false" {
+                // Only a keyword if not followed by a comparison operator
+                // (an attribute may be named `true`).
+                let next = self.tokens.get(self.pos + 1);
+                let is_cmp = matches!(
+                    next,
+                    Some(
+                        Token::EqEq
+                            | Token::NotEq
+                            | Token::Lt
+                            | Token::Gt
+                            | Token::Le
+                            | Token::Ge
+                            | Token::Tilde
+                    )
+                );
+                if !is_cmp {
+                    self.bump();
+                    return Ok(if lowered == "true" {
+                        Expr::True
+                    } else {
+                        Expr::False
+                    });
+                }
+            }
+        }
+        // Try a comparison first; fall back to a parenthesised boolean
+        // expression (backtracking resolves the `(` ambiguity).
+        let save = self.pos;
+        match self.try_comparison() {
+            Ok(e) => Ok(e),
+            Err(cmp_err) => {
+                self.pos = save;
+                if self.eat(&Token::LParen) {
+                    let inner = self.parse_expr()?;
+                    self.expect(&Token::RParen, "parenthesised expression")?;
+                    Ok(inner)
+                } else {
+                    Err(cmp_err)
+                }
+            }
+        }
+    }
+
+    fn try_comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_term()?;
+        match self.bump() {
+            Some(Token::EqEq) => Ok(Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs,
+                rhs: self.parse_term()?,
+            }),
+            Some(Token::NotEq) => Ok(Expr::Cmp {
+                op: CmpOp::Ne,
+                lhs,
+                rhs: self.parse_term()?,
+            }),
+            Some(Token::Lt) => Ok(Expr::Cmp {
+                op: CmpOp::Lt,
+                lhs,
+                rhs: self.parse_term()?,
+            }),
+            Some(Token::Gt) => Ok(Expr::Cmp {
+                op: CmpOp::Gt,
+                lhs,
+                rhs: self.parse_term()?,
+            }),
+            Some(Token::Le) => Ok(Expr::Cmp {
+                op: CmpOp::Le,
+                lhs,
+                rhs: self.parse_term()?,
+            }),
+            Some(Token::Ge) => Ok(Expr::Cmp {
+                op: CmpOp::Ge,
+                lhs,
+                rhs: self.parse_term()?,
+            }),
+            Some(Token::Tilde) => Ok(Expr::RegexMatch {
+                lhs,
+                pattern: self.parse_term()?,
+            }),
+            Some(got) => Err(ParseError::Unexpected(got.to_string(), "comparison")),
+            None => Err(ParseError::Eof("comparison")),
+        }
+    }
+
+    // ---- Terms ----
+    // Precedence (loosest to tightest): `.` concat, `+ -`, `* / %`, `^`
+    // (right-assoc), unary `-`, atoms.
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_addsub()?;
+        while self.eat(&Token::Dot) {
+            let rhs = self.parse_addsub()?;
+            lhs = Term::Concat(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_addsub(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_muldiv()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                let rhs = self.parse_muldiv()?;
+                lhs = Term::Arith {
+                    op: ArithOp::Add,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
+            } else if self.eat(&Token::Minus) {
+                let rhs = self.parse_muldiv()?;
+                lhs = Term::Arith {
+                    op: ArithOp::Sub,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_muldiv(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.parse_pow()?;
+        loop {
+            if self.eat(&Token::Star) {
+                let rhs = self.parse_pow()?;
+                lhs = Term::Arith {
+                    op: ArithOp::Mul,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
+            } else if self.eat(&Token::Slash) {
+                let rhs = self.parse_pow()?;
+                lhs = Term::Arith {
+                    op: ArithOp::Div,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
+            } else if self.eat(&Token::Percent) {
+                let rhs = self.parse_pow()?;
+                lhs = Term::Arith {
+                    op: ArithOp::Mod,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_pow(&mut self) -> Result<Term, ParseError> {
+        let base = self.parse_term_atom()?;
+        if self.eat(&Token::Caret) {
+            let exp = self.parse_pow()?; // right-assoc
+            Ok(Term::Arith {
+                op: ArithOp::Pow,
+                lhs: Box::new(base),
+                rhs: Box::new(exp),
+            })
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_term_atom(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Token::Str(s)) => Ok(Term::Str(s)),
+            Some(Token::Num(n)) => Ok(Term::Num(n)),
+            Some(Token::Ident(name)) => Ok(Term::Attr(name)),
+            Some(Token::Minus) => {
+                let inner = self.parse_term_atom()?;
+                Ok(Term::Neg(Box::new(inner)))
+            }
+            Some(Token::Dollar) => {
+                self.expect(&Token::LParen, "$(...) dereference")?;
+                let inner = self.parse_term()?;
+                self.expect(&Token::RParen, "$(...) dereference")?;
+                Ok(Term::Deref(Box::new(inner)))
+            }
+            Some(Token::LParen) => {
+                let inner = self.parse_term()?;
+                self.expect(&Token::RParen, "parenthesised term")?;
+                Ok(inner)
+            }
+            Some(got) => Err(ParseError::Unexpected(got.to_string(), "term")),
+            None => Err(ParseError::Eof("term")),
+        }
+    }
+
+    // ---- Licensee formulas ----
+
+    fn parse_licensees(&mut self) -> Result<LicenseeExpr, ParseError> {
+        let expr = self.parse_lic_or()?;
+        if !self.at_end() {
+            return Err(ParseError::Unexpected(
+                self.peek().map(|t| t.to_string()).unwrap_or_default(),
+                "licensees formula",
+            ));
+        }
+        Ok(expr)
+    }
+
+    fn parse_lic_or(&mut self) -> Result<LicenseeExpr, ParseError> {
+        let mut lhs = self.parse_lic_and()?;
+        while self.eat(&Token::OrOr) {
+            let rhs = self.parse_lic_and()?;
+            lhs = LicenseeExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_lic_and(&mut self) -> Result<LicenseeExpr, ParseError> {
+        let mut lhs = self.parse_lic_atom()?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.parse_lic_atom()?;
+            lhs = LicenseeExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_lic_atom(&mut self) -> Result<LicenseeExpr, ParseError> {
+        match self.bump() {
+            Some(Token::Str(s)) => Ok(LicenseeExpr::Principal(s)),
+            Some(Token::Ident(s)) => Ok(LicenseeExpr::Principal(s)),
+            Some(Token::LParen) => {
+                let inner = self.parse_lic_or()?;
+                self.expect(&Token::RParen, "licensees group")?;
+                Ok(inner)
+            }
+            Some(Token::Num(k)) => {
+                // `k-of(p1, ..., pn)`
+                self.expect(&Token::Minus, "k-of threshold")?;
+                match self.bump() {
+                    Some(Token::Ident(ref w)) if w.eq_ignore_ascii_case("of") => {}
+                    Some(got) => {
+                        return Err(ParseError::Unexpected(got.to_string(), "k-of threshold"))
+                    }
+                    None => return Err(ParseError::Eof("k-of threshold")),
+                }
+                self.expect(&Token::LParen, "k-of list")?;
+                let mut items = Vec::new();
+                loop {
+                    items.push(self.parse_lic_or()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen, "k-of list")?;
+                let k_int = k as usize;
+                if k_int == 0 || k.fract() != 0.0 || k_int > items.len() {
+                    return Err(ParseError::BadThreshold(k_int, items.len()));
+                }
+                Ok(LicenseeExpr::KOf(k_int, items))
+            }
+            Some(got) => Err(ParseError::Unexpected(got.to_string(), "licensees")),
+            None => Err(ParseError::Eof("licensees")),
+        }
+    }
+}
+
+/// Parses a conditions program from a field body.
+pub fn parse_conditions(src: &str) -> Result<ConditionsProgram, ParseError> {
+    let mut p = P::new(src)?;
+    let prog = p.parse_program(false)?;
+    if !p.at_end() {
+        return Err(ParseError::Unexpected(
+            p.peek().map(|t| t.to_string()).unwrap_or_default(),
+            "end of conditions",
+        ));
+    }
+    Ok(prog)
+}
+
+/// Parses a single boolean expression (no clause structure).
+pub fn parse_expression(src: &str) -> Result<Expr, ParseError> {
+    let mut p = P::new(src)?;
+    let e = p.parse_expr()?;
+    if !p.at_end() {
+        return Err(ParseError::Unexpected(
+            p.peek().map(|t| t.to_string()).unwrap_or_default(),
+            "end of expression",
+        ));
+    }
+    Ok(e)
+}
+
+/// Parses a licensees formula from a field body.
+pub fn parse_licensees(src: &str) -> Result<LicenseeExpr, ParseError> {
+    let mut p = P::new(src)?;
+    p.parse_licensees()
+}
+
+/// Parses an `Authorizer` field body.
+pub fn parse_authorizer(src: &str) -> Result<Principal, ParseError> {
+    let mut p = P::new(src)?;
+    let prin = match p.bump() {
+        Some(Token::Ident(ref w)) if w.eq_ignore_ascii_case("policy") => Principal::Policy,
+        Some(Token::Ident(w)) => Principal::Key(w),
+        Some(Token::Str(s)) => Principal::Key(s),
+        Some(got) => return Err(ParseError::Unexpected(got.to_string(), "authorizer")),
+        None => return Err(ParseError::Eof("authorizer")),
+    };
+    if !p.at_end() {
+        return Err(ParseError::Unexpected(
+            p.peek().map(|t| t.to_string()).unwrap_or_default(),
+            "authorizer",
+        ));
+    }
+    Ok(prin)
+}
+
+/// Parses a `Local-Constants` field body: `name = "value"` pairs.
+pub fn parse_local_constants(src: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let mut p = P::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_end() {
+        let name = match p.bump() {
+            Some(Token::Ident(n)) => n,
+            Some(got) => return Err(ParseError::Unexpected(got.to_string(), "local constant")),
+            None => break,
+        };
+        p.expect(&Token::Assign, "local constant")?;
+        let value = match p.bump() {
+            Some(Token::Str(v)) => v,
+            Some(Token::Num(n)) => format_num(n),
+            Some(got) => {
+                return Err(ParseError::Unexpected(got.to_string(), "local constant value"))
+            }
+            None => return Err(ParseError::Eof("local constant value")),
+        };
+        out.push((name, value));
+        // Optional comma between pairs.
+        p.eat(&Token::Comma);
+    }
+    Ok(out)
+}
+
+/// Formats a number the way the evaluator renders numeric results:
+/// integral values without a decimal point.
+pub fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Splits a multi-assertion text on blank lines and parses each chunk.
+pub fn parse_assertions(text: &str) -> Result<Vec<Assertion>, ParseError> {
+    let mut out = Vec::new();
+    let mut chunk = String::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            if !chunk.trim().is_empty() {
+                out.push(parse_assertion(&chunk)?);
+            }
+            chunk.clear();
+        } else {
+            chunk.push_str(line);
+            chunk.push('\n');
+        }
+    }
+    if !chunk.trim().is_empty() {
+        out.push(parse_assertion(&chunk)?);
+    }
+    Ok(out)
+}
+
+/// Parses one assertion from field-structured text.
+pub fn parse_assertion(text: &str) -> Result<Assertion, ParseError> {
+    // Join continuation lines (indented) onto their field line.
+    let mut fields: Vec<(String, String)> = Vec::new();
+    for raw in text.lines() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        if raw.starts_with(' ') || raw.starts_with('\t') {
+            match fields.last_mut() {
+                Some((_, body)) => {
+                    body.push(' ');
+                    body.push_str(raw.trim());
+                }
+                None => return Err(ParseError::BadFieldLine(raw.to_string())),
+            }
+            continue;
+        }
+        let Some(colon) = raw.find(':') else {
+            return Err(ParseError::BadFieldLine(raw.to_string()));
+        };
+        let name = raw[..colon].trim().to_string();
+        let body = raw[colon + 1..].trim().to_string();
+        fields.push((name, body));
+    }
+
+    let mut version = None;
+    let mut comment = None;
+    let mut local_constants = Vec::new();
+    let mut authorizer = None;
+    let mut licensees = None;
+    let mut conditions = None;
+    let mut signature = None;
+
+    for (name, body) in fields {
+        match name.to_ascii_lowercase().as_str() {
+            "keynote-version" => {
+                set_once(&mut version, body, &name)?;
+            }
+            "comment" => {
+                set_once(&mut comment, body, &name)?;
+            }
+            "local-constants" => {
+                if !local_constants.is_empty() {
+                    return Err(ParseError::DuplicateField(name));
+                }
+                local_constants = parse_local_constants(&body)?;
+            }
+            "authorizer" => {
+                set_once(&mut authorizer, parse_authorizer(&body)?, &name)?;
+            }
+            "licensees" => {
+                set_once(&mut licensees, parse_licensees(&body)?, &name)?;
+            }
+            "conditions" => {
+                set_once(&mut conditions, parse_conditions(&body)?, &name)?;
+            }
+            "signature" => {
+                set_once(&mut signature, body, &name)?;
+            }
+            _ => return Err(ParseError::UnknownField(name)),
+        }
+    }
+
+    Ok(Assertion {
+        version,
+        comment,
+        local_constants,
+        authorizer: authorizer.ok_or(ParseError::MissingField("Authorizer"))?,
+        licensees,
+        conditions,
+        signature,
+    })
+}
+
+fn set_once<T>(slot: &mut Option<T>, value: T, field: &str) -> Result<(), ParseError> {
+    if slot.is_some() {
+        return Err(ParseError::DuplicateField(field.to_string()));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure_2() {
+        // Figure 2: policy credential allowing Bob to read/write.
+        let text = "Authorizer: POLICY\n\
+                    Licensees: \"Kbob\"\n\
+                    Conditions: app_domain==\"SalariesDB\" &&\n\
+                    \t(oper==\"read\" || oper==\"write\");\n";
+        let a = parse_assertion(text).unwrap();
+        assert_eq!(a.authorizer, Principal::Policy);
+        assert_eq!(
+            a.licensees,
+            Some(LicenseeExpr::Principal("Kbob".to_string()))
+        );
+        let prog = a.conditions.unwrap();
+        assert_eq!(prog.clauses.len(), 1);
+        match &prog.clauses[0] {
+            Clause::Bare(Expr::And(_, _)) => {}
+            other => panic!("unexpected clause: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_figure_4() {
+        // Figure 4: Kbob delegates write to Kalice.
+        let text = "Authorizer: \"Kbob\"\n\
+                    licensees: \"Kalice\"\n\
+                    Conditions: app_domain==\"SalariesDB\"\n\
+                    \t&& oper==\"write\";\n";
+        let a = parse_assertion(text).unwrap();
+        assert_eq!(a.authorizer, Principal::key("Kbob"));
+        assert_eq!(a.licensees, Some(LicenseeExpr::Principal("Kalice".into())));
+    }
+
+    #[test]
+    fn parses_arrow_clause_values() {
+        let prog = parse_conditions("amount < 100 -> \"approve\"; amount < 1000 -> log;").unwrap();
+        assert_eq!(prog.clauses.len(), 2);
+        assert!(matches!(&prog.clauses[0], Clause::Arrow(_, v) if v == "approve"));
+        assert!(matches!(&prog.clauses[1], Clause::Arrow(_, v) if v == "log"));
+    }
+
+    #[test]
+    fn parses_nested_program() {
+        let prog =
+            parse_conditions("app_domain==\"x\" -> { a==\"1\" -> v1; a==\"2\" -> v2; };").unwrap();
+        assert_eq!(prog.clauses.len(), 1);
+        match &prog.clauses[0] {
+            Clause::Nested(_, inner) => assert_eq!(inner.clauses.len(), 2),
+            other => panic!("unexpected clause {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_licensee_formulas() {
+        let f = parse_licensees("\"Ka\" && (\"Kb\" || \"Kc\")").unwrap();
+        match f {
+            LicenseeExpr::And(a, b) => {
+                assert_eq!(*a, LicenseeExpr::Principal("Ka".into()));
+                assert!(matches!(*b, LicenseeExpr::Or(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_threshold() {
+        let f = parse_licensees("2-of(\"Ka\", \"Kb\", \"Kc\")").unwrap();
+        match f {
+            LicenseeExpr::KOf(2, items) => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_licensees("4-of(\"Ka\", \"Kb\")").is_err());
+        assert!(parse_licensees("0-of(\"Ka\")").is_err());
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let e = parse_expression("1 + 2 * 3 == 7").unwrap();
+        match e {
+            Expr::Cmp { op: CmpOp::Eq, lhs, .. } => match lhs {
+                Term::Arith { op: ArithOp::Add, rhs, .. } => {
+                    assert!(matches!(*rhs, Term::Arith { op: ArithOp::Mul, .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pow_is_right_associative() {
+        let e = parse_expression("2 ^ 3 ^ 2 == 512").unwrap();
+        match e {
+            Expr::Cmp { lhs: Term::Arith { op: ArithOp::Pow, rhs, .. }, .. } => {
+                assert!(matches!(*rhs, Term::Arith { op: ArithOp::Pow, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_deref_and_concat() {
+        let e = parse_expression("$(\"ro\" . \"le\") == \"Manager\"").unwrap();
+        match e {
+            Expr::Cmp { lhs: Term::Deref(inner), .. } => {
+                assert!(matches!(*inner, Term::Concat(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn true_false_keywords() {
+        assert_eq!(parse_expression("true").unwrap(), Expr::True);
+        assert_eq!(parse_expression("FALSE").unwrap(), Expr::False);
+        // `true` used as attribute in a comparison stays an attribute.
+        let e = parse_expression("true == \"x\"").unwrap();
+        assert!(matches!(e, Expr::Cmp { lhs: Term::Attr(ref n), .. } if n == "true"));
+    }
+
+    #[test]
+    fn not_and_regex() {
+        let e = parse_expression("!(a == \"1\") && b ~= \"^x+$\"").unwrap();
+        assert!(matches!(e, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn authorizer_forms() {
+        assert_eq!(parse_authorizer("POLICY").unwrap(), Principal::Policy);
+        assert_eq!(parse_authorizer("Policy").unwrap(), Principal::Policy);
+        assert_eq!(parse_authorizer("\"Kx\"").unwrap(), Principal::key("Kx"));
+        assert_eq!(parse_authorizer("Kx").unwrap(), Principal::key("Kx"));
+        assert!(parse_authorizer("\"Ka\" \"Kb\"").is_err());
+        assert!(parse_authorizer("").is_err());
+    }
+
+    #[test]
+    fn local_constants() {
+        let lc = parse_local_constants("Kops = \"rsa-sim:abc:10001\" Admin=\"Kx\"").unwrap();
+        assert_eq!(lc.len(), 2);
+        assert_eq!(lc[0].0, "Kops");
+        assert_eq!(lc[1], ("Admin".to_string(), "Kx".to_string()));
+    }
+
+    #[test]
+    fn field_errors() {
+        assert!(matches!(
+            parse_assertion("Licensees: \"Ka\"\n"),
+            Err(ParseError::MissingField("Authorizer"))
+        ));
+        assert!(matches!(
+            parse_assertion("Authorizer: POLICY\nAuthorizer: POLICY\n"),
+            Err(ParseError::DuplicateField(_))
+        ));
+        assert!(matches!(
+            parse_assertion("Bogus-Field: x\nAuthorizer: POLICY\n"),
+            Err(ParseError::UnknownField(_))
+        ));
+        assert!(matches!(
+            parse_assertion("no colon here\n"),
+            Err(ParseError::BadFieldLine(_))
+        ));
+        assert!(matches!(
+            parse_assertion("  leading continuation\n"),
+            Err(ParseError::BadFieldLine(_))
+        ));
+    }
+
+    #[test]
+    fn multi_assertion_text() {
+        let text = "Authorizer: POLICY\nLicensees: \"Ka\"\n\n\nAuthorizer: \"Ka\"\nLicensees: \"Kb\"\n";
+        let all = parse_assertions(text).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all[0].is_policy());
+        assert_eq!(all[1].authorizer, Principal::key("Ka"));
+    }
+
+    #[test]
+    fn empty_conditions_program() {
+        let prog = parse_conditions("").unwrap();
+        assert!(prog.clauses.is_empty());
+        let prog = parse_conditions(";;;").unwrap();
+        assert!(prog.clauses.is_empty());
+    }
+
+    #[test]
+    fn format_num_renders_integers() {
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(3.5), "3.5");
+        assert_eq!(format_num(-2.0), "-2");
+    }
+}

@@ -1,0 +1,229 @@
+//! Canonical serialisation of assertions back to KeyNote text.
+//!
+//! The canonical form is what gets signed (see [`crate::signing`]) and
+//! what round-trips through the parser, so it must be deterministic:
+//! fields in a fixed order, single spaces, no continuation lines.
+
+use crate::ast::{
+    ArithOp, Assertion, Clause, ConditionsProgram, Expr, LicenseeExpr, Principal, Term,
+};
+use crate::parser::format_num;
+use std::fmt::Write;
+
+/// Escapes a string for inclusion in double quotes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders a term.
+pub fn print_term(t: &Term) -> String {
+    match t {
+        Term::Str(s) => format!("\"{}\"", escape(s)),
+        Term::Num(n) => format_num(*n),
+        Term::Attr(a) => a.clone(),
+        Term::Deref(inner) => format!("$({})", print_term(inner)),
+        Term::Concat(a, b) => format!("({} . {})", print_term(a), print_term(b)),
+        Term::Arith { op, lhs, rhs } => match op {
+            ArithOp::Pow => format!("({} ^ {})", print_term(lhs), print_term(rhs)),
+            _ => format!("({} {} {})", print_term(lhs), op.symbol(), print_term(rhs)),
+        },
+        Term::Neg(inner) => format!("-{}", print_term(inner)),
+    }
+}
+
+/// Renders a boolean expression.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::True => "true".to_string(),
+        Expr::False => "false".to_string(),
+        Expr::Or(a, b) => format!("({} || {})", print_expr(a), print_expr(b)),
+        Expr::And(a, b) => format!("({} && {})", print_expr(a), print_expr(b)),
+        Expr::Not(inner) => format!("!({})", print_expr(inner)),
+        Expr::Cmp { op, lhs, rhs } => {
+            format!("{} {} {}", print_term(lhs), op.symbol(), print_term(rhs))
+        }
+        Expr::RegexMatch { lhs, pattern } => {
+            format!("{} ~= {}", print_term(lhs), print_term(pattern))
+        }
+    }
+}
+
+/// Renders a conditions program.
+pub fn print_conditions(p: &ConditionsProgram) -> String {
+    let mut out = String::new();
+    for clause in &p.clauses {
+        match clause {
+            Clause::Bare(e) => {
+                let _ = write!(out, "{};", print_expr(e));
+            }
+            Clause::Arrow(e, v) => {
+                let _ = write!(out, "{} -> \"{}\";", print_expr(e), escape(v));
+            }
+            Clause::Nested(e, inner) => {
+                let _ = write!(out, "{} -> {{ {} }};", print_expr(e), print_conditions(inner));
+            }
+        }
+        out.push(' ');
+    }
+    out.trim_end().to_string()
+}
+
+/// Renders a licensees formula.
+pub fn print_licensees(l: &LicenseeExpr) -> String {
+    match l {
+        LicenseeExpr::Principal(p) => format!("\"{}\"", escape(p)),
+        LicenseeExpr::And(a, b) => format!("({} && {})", print_licensees(a), print_licensees(b)),
+        LicenseeExpr::Or(a, b) => format!("({} || {})", print_licensees(a), print_licensees(b)),
+        LicenseeExpr::KOf(k, items) => {
+            let body: Vec<String> = items.iter().map(print_licensees).collect();
+            format!("{}-of({})", k, body.join(", "))
+        }
+    }
+}
+
+/// Renders a principal for the `Authorizer` field.
+pub fn print_principal(p: &Principal) -> String {
+    match p {
+        Principal::Policy => "POLICY".to_string(),
+        Principal::Key(k) => format!("\"{}\"", escape(k)),
+    }
+}
+
+/// Canonical text of an assertion, excluding the `Signature` value.
+///
+/// This is the byte string that signatures cover: every semantic field in
+/// fixed order, terminated by the bare `Signature:` label.
+pub fn signable_text(a: &Assertion) -> String {
+    let mut out = String::new();
+    if let Some(v) = &a.version {
+        let _ = writeln!(out, "KeyNote-Version: {v}");
+    }
+    if let Some(c) = &a.comment {
+        let _ = writeln!(out, "Comment: {c}");
+    }
+    if !a.local_constants.is_empty() {
+        let pairs: Vec<String> = a
+            .local_constants
+            .iter()
+            .map(|(n, v)| format!("{n} = \"{}\"", escape(v)))
+            .collect();
+        let _ = writeln!(out, "Local-Constants: {}", pairs.join(" "));
+    }
+    let _ = writeln!(out, "Authorizer: {}", print_principal(&a.authorizer));
+    if let Some(l) = &a.licensees {
+        let _ = writeln!(out, "Licensees: {}", print_licensees(l));
+    }
+    if let Some(c) = &a.conditions {
+        let _ = writeln!(out, "Conditions: {}", print_conditions(c));
+    }
+    out.push_str("Signature:");
+    out
+}
+
+/// Full canonical text of an assertion (with the signature value when
+/// present).
+pub fn print_assertion(a: &Assertion) -> String {
+    let mut out = signable_text(a);
+    match &a.signature {
+        Some(sig) => {
+            out.push(' ');
+            out.push_str(sig);
+            out.push('\n');
+        }
+        None => {
+            // Unsigned assertions drop the dangling Signature label.
+            out.truncate(out.len() - "Signature:".len());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_assertion, parse_conditions, parse_expression, parse_licensees};
+
+    #[test]
+    fn expression_roundtrip() {
+        let srcs = [
+            "app_domain == \"SalariesDB\" && (oper == \"read\" || oper == \"write\")",
+            "!(a == \"1\") || b ~= \"^x\"",
+            "1 + 2 * 3 == 7",
+            "$(\"ro\" . \"le\") == \"Manager\"",
+            "2 ^ 3 ^ 2 == 512",
+            "-1 < amount",
+        ];
+        for src in srcs {
+            let e = parse_expression(src).unwrap();
+            let printed = print_expr(&e);
+            let re = parse_expression(&printed).unwrap();
+            assert_eq!(e, re, "src={src} printed={printed}");
+        }
+    }
+
+    #[test]
+    fn conditions_roundtrip() {
+        let src = "a==\"1\" -> \"v1\"; b==\"2\" -> { c==\"3\" -> \"v2\"; }; d==\"4\";";
+        let p = parse_conditions(src).unwrap();
+        let printed = print_conditions(&p);
+        let rp = parse_conditions(&printed).unwrap();
+        assert_eq!(p, rp);
+    }
+
+    #[test]
+    fn licensees_roundtrip() {
+        for src in [
+            "\"Ka\"",
+            "\"Ka\" && \"Kb\"",
+            "(\"Ka\" || \"Kb\") && \"Kc\"",
+            "2-of(\"Ka\", \"Kb\", \"Kc\")",
+        ] {
+            let l = parse_licensees(src).unwrap();
+            let printed = print_licensees(&l);
+            assert_eq!(parse_licensees(&printed).unwrap(), l, "src={src}");
+        }
+    }
+
+    #[test]
+    fn assertion_roundtrip() {
+        let text = "KeyNote-Version: 2\n\
+                    Comment: fig 4\n\
+                    Authorizer: \"Kbob\"\n\
+                    Licensees: \"Kalice\"\n\
+                    Conditions: app_domain==\"SalariesDB\" && oper==\"write\";\n\
+                    Signature: sig-rsa-sha256:deadbeef\n";
+        let a = parse_assertion(text).unwrap();
+        let printed = print_assertion(&a);
+        let b = parse_assertion(&printed).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signable_text_is_stable_and_excludes_signature() {
+        let text = "Authorizer: \"Ka\"\nLicensees: \"Kb\"\nSignature: sig-rsa-sha256:aa\n";
+        let a = parse_assertion(text).unwrap();
+        let s1 = signable_text(&a);
+        assert!(s1.ends_with("Signature:"));
+        assert!(!s1.contains("sig-rsa-sha256"));
+        let mut b = a.clone();
+        b.signature = Some("sig-rsa-sha256:bb".to_string());
+        assert_eq!(s1, signable_text(&b));
+    }
+
+    #[test]
+    fn escaping_survives_roundtrip() {
+        let lic = LicenseeExpr::Principal("K\"quoted\\name".to_string());
+        let printed = print_licensees(&lic);
+        assert_eq!(parse_licensees(&printed).unwrap(), lic);
+    }
+}

@@ -1,0 +1,447 @@
+//! A small POSIX-flavoured regular-expression engine for the KeyNote
+//! `~=` operator (RFC 2704 uses POSIX regular expressions).
+//!
+//! Supported syntax: literal characters, `.`, character classes
+//! `[abc]`/`[a-z]`/`[^...]`, the postfix quantifiers `*`, `+`, `?`,
+//! alternation `|`, grouping `(...)`, and the anchors `^`/`$`. Matching
+//! is by backtracking over the parsed AST; capture groups are not
+//! exposed (the framework never uses the `_0.._N` capture attributes).
+
+use std::fmt;
+
+/// A compiled regular expression.
+#[derive(Clone, Debug)]
+pub struct Regex {
+    node: Node,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+/// Regex parse errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegexError {
+    /// Unbalanced parenthesis or bracket.
+    Unbalanced(usize),
+    /// A quantifier with nothing to repeat.
+    DanglingQuantifier(usize),
+    /// An empty character class or malformed range.
+    BadClass(usize),
+    /// Trailing escape character.
+    TrailingEscape,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::Unbalanced(i) => write!(f, "unbalanced group at byte {i}"),
+            RegexError::DanglingQuantifier(i) => write!(f, "dangling quantifier at byte {i}"),
+            RegexError::BadClass(i) => write!(f, "bad character class at byte {i}"),
+            RegexError::TrailingEscape => write!(f, "trailing escape"),
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Empty,
+    Char(char),
+    AnyChar,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Concat(Vec<Node>),
+    Alt(Vec<Node>),
+    Star(Box<Node>),
+    Plus(Box<Node>),
+    Opt(Box<Node>),
+}
+
+#[derive(Clone, Debug)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    _src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            chars: src.chars().collect(),
+            pos: 0,
+            _src: src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, RegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Node::Alt(branches))
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<Node, RegexError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        match parts.len() {
+            0 => Ok(Node::Empty),
+            1 => Ok(parts.pop().unwrap()),
+            _ => Ok(Node::Concat(parts)),
+        }
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, RegexError> {
+        let atom = self.parse_atom()?;
+        let mut node = atom;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    node = Node::Star(Box::new(node));
+                }
+                Some('+') => {
+                    self.bump();
+                    node = Node::Plus(Box::new(node));
+                }
+                Some('?') => {
+                    self.bump();
+                    node = Node::Opt(Box::new(node));
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, RegexError> {
+        let start = self.pos;
+        match self.bump() {
+            None => Ok(Node::Empty),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(RegexError::Unbalanced(start));
+                }
+                Ok(inner)
+            }
+            Some(')') => Err(RegexError::Unbalanced(start)),
+            Some('*') | Some('+') | Some('?') => Err(RegexError::DanglingQuantifier(start)),
+            Some('.') => Ok(Node::AnyChar),
+            Some('[') => self.parse_class(start),
+            Some('\\') => match self.bump() {
+                None => Err(RegexError::TrailingEscape),
+                Some(c) => Ok(Node::Char(c)),
+            },
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_class(&mut self, start: usize) -> Result<Node, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        // A literal ']' is allowed as the first class member.
+        if self.peek() == Some(']') {
+            self.bump();
+            items.push(ClassItem::Single(']'));
+        }
+        loop {
+            match self.bump() {
+                None => return Err(RegexError::Unbalanced(start)),
+                Some(']') => break,
+                Some('\\') => match self.bump() {
+                    None => return Err(RegexError::TrailingEscape),
+                    Some(c) => items.push(ClassItem::Single(c)),
+                },
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied().is_some_and(|n| n != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().ok_or(RegexError::Unbalanced(start))?;
+                        if hi < c {
+                            return Err(RegexError::BadClass(start));
+                        }
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Single(c));
+                    }
+                }
+            }
+        }
+        if items.is_empty() {
+            return Err(RegexError::BadClass(start));
+        }
+        Ok(Node::Class { negated, items })
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let anchored_start = pattern.starts_with('^');
+        let anchored_end = pattern.ends_with('$') && !pattern.ends_with("\\$");
+        let body_start = usize::from(anchored_start);
+        let body_end = if anchored_end {
+            pattern.len() - 1
+        } else {
+            pattern.len()
+        };
+        let body = &pattern[body_start..body_end.max(body_start)];
+        let mut p = Parser::new(body);
+        let node = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(RegexError::Unbalanced(p.pos));
+        }
+        Ok(Regex {
+            node,
+            anchored_start,
+            anchored_end,
+        })
+    }
+
+    /// True when the pattern matches anywhere in `text` (subject to the
+    /// pattern's own anchors).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        let starts: Box<dyn Iterator<Item = usize>> = if self.anchored_start {
+            Box::new(std::iter::once(0))
+        } else {
+            Box::new(0..=chars.len())
+        };
+        for start in starts {
+            let mut matched = false;
+            match_node(&self.node, &chars, start, &mut |end| {
+                if !self.anchored_end || end == chars.len() {
+                    matched = true;
+                    false // stop exploring
+                } else {
+                    true // keep exploring
+                }
+            });
+            if matched {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Backtracking matcher: calls `k(end)` for every position where `node`
+/// can finish matching, starting at `pos`. `k` returns false to stop.
+/// Returns false when the continuation asked to stop.
+fn match_node(node: &Node, text: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match node {
+        Node::Empty => k(pos),
+        Node::Char(c) => {
+            if text.get(pos) == Some(c) {
+                k(pos + 1)
+            } else {
+                true
+            }
+        }
+        Node::AnyChar => {
+            if pos < text.len() {
+                k(pos + 1)
+            } else {
+                true
+            }
+        }
+        Node::Class { negated, items } => {
+            if let Some(&c) = text.get(pos) {
+                let inside = items.iter().any(|item| match item {
+                    ClassItem::Single(s) => *s == c,
+                    ClassItem::Range(lo, hi) => *lo <= c && c <= *hi,
+                });
+                if inside != *negated {
+                    return k(pos + 1);
+                }
+            }
+            true
+        }
+        Node::Concat(parts) => match_concat(parts, text, pos, k),
+        Node::Alt(branches) => {
+            for b in branches {
+                if !match_node(b, text, pos, k) {
+                    return false;
+                }
+            }
+            true
+        }
+        Node::Star(inner) => match_star(inner, text, pos, k),
+        Node::Plus(inner) => {
+            // One mandatory match then star.
+            match_node(inner, text, pos, &mut |mid| {
+                if mid == pos {
+                    // Zero-width inner match: avoid infinite recursion.
+                    return k(mid);
+                }
+                match_star(inner, text, mid, k)
+            })
+        }
+        Node::Opt(inner) => {
+            if !match_node(inner, text, pos, k) {
+                return false;
+            }
+            k(pos)
+        }
+    }
+}
+
+fn match_concat(
+    parts: &[Node],
+    text: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match parts.split_first() {
+        None => k(pos),
+        Some((head, rest)) => match_node(head, text, pos, &mut |mid| {
+            match_concat(rest, text, mid, k)
+        }),
+    }
+}
+
+fn match_star(inner: &Node, text: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    // Try zero repetitions first... but greedy semantics don't matter for
+    // is_match; explore zero first for simplicity.
+    if !k(pos) {
+        return false;
+    }
+    match_node(inner, text, pos, &mut |mid| {
+        if mid == pos {
+            return true; // zero-width: don't loop forever
+        }
+        match_star(inner, text, mid, k)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        assert!(m("abc", "xxabcxx"));
+        assert!(!m("abc", "ab"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^abc", "abcdef"));
+        assert!(!m("^abc", "xabc"));
+        assert!(m("def$", "abcdef"));
+        assert!(!m("def$", "defx"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert!(m("a.c", "abc"));
+        assert!(m("a.c", "axc"));
+        assert!(!m("a.c", "ac"));
+        assert!(m("[abc]+", "zzbzz"));
+        assert!(m("[a-f0-9]+$", "deadbeef42"));
+        assert!(!m("^[a-f]+$", "xyz"));
+        assert!(m("[^0-9]", "a1"));
+        assert!(!m("^[^0-9]+$", "123"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("^ab+c$", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("^ab?c$", "abbc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("^(read|write)$", "read"));
+        assert!(m("^(read|write)$", "write"));
+        assert!(!m("^(read|write)$", "append"));
+        assert!(m("^Salaries(DB)?$", "Salaries"));
+        assert!(m("^Salaries(DB)?$", "SalariesDB"));
+        assert!(m("^(ab)+$", "ababab"));
+        assert!(!m("^(ab)+$", "aba"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("a\\.c", "a.c"));
+        assert!(!m("^a\\.c$", "abc"));
+        assert!(m("\\[x\\]", "[x]"));
+        assert!(m("a\\$b", "a$b"));
+    }
+
+    #[test]
+    fn class_literal_bracket_and_dash() {
+        assert!(m("^[]]$", "]"));
+        assert!(m("^[a-]$", "-"));
+        assert!(m("^[a-]$", "a"));
+    }
+
+    #[test]
+    fn zero_width_star_terminates() {
+        // (a?)* on a long string must not hang.
+        assert!(m("^(a?)*$", "aaaa"));
+        assert!(m("^(a*)*b$", "aaab"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(abc").is_err());
+        assert!(Regex::new("abc)").is_err());
+        assert!(Regex::new("*abc").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("abc\\").is_err());
+    }
+
+    #[test]
+    fn domain_style_patterns() {
+        assert!(m("^Finance(\\..*)?$", "Finance"));
+        assert!(m("^Finance(\\..*)?$", "Finance.Payroll"));
+        assert!(!m("^Finance(\\..*)?$", "FinanceX"));
+    }
+}

@@ -1,0 +1,413 @@
+//! The application-facing KeyNote API (RFC 2704 §6 / the `kn_*` calls).
+//!
+//! A [`KeyNoteSession`] mirrors the C API the paper's applications used:
+//! create a session, add locally-trusted policy assertions, add signed
+//! credentials (verified on entry), describe the action with attributes
+//! and authorizers, and ask for the compliance value.
+
+use crate::ast::{Assertion, Principal};
+use crate::compliance::{check_compliance, Query, QueryResult};
+use crate::eval::ActionAttributes;
+use crate::parser::{parse_assertions, ParseError};
+use crate::signing::{verify_assertion, SignatureStatus};
+use crate::values::ComplianceValues;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors from session operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// Assertion text failed to parse.
+    Parse(ParseError),
+    /// A credential's signature did not verify.
+    BadSignature {
+        /// The authorizer of the offending credential.
+        authorizer: String,
+        /// The verification outcome.
+        status: SignatureStatus,
+    },
+    /// A credential's authorizer was `POLICY`; policy assertions must be
+    /// added through [`KeyNoteSession::add_policy`].
+    PolicyViaCredential,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "parse error: {e}"),
+            SessionError::BadSignature { authorizer, status } => {
+                write!(f, "credential from `{authorizer}` has {status} signature")
+            }
+            SessionError::PolicyViaCredential => {
+                write!(f, "POLICY assertions must be added via add_policy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+
+/// How strictly credentials are vetted on entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SignaturePolicy {
+    /// Credentials must carry a signature that verifies against the
+    /// authorizer key. Symbolic (non-key) authorizers are rejected.
+    #[default]
+    Require,
+    /// Accept unsigned and symbolic credentials (used for worked
+    /// examples mirroring the paper's `Kbob`-style principals, and for
+    /// policy translation pipelines that sign in a later step).
+    Permissive,
+}
+
+/// A KeyNote evaluation session.
+#[derive(Clone, Debug)]
+pub struct KeyNoteSession {
+    policies: Vec<Assertion>,
+    credentials: Vec<Assertion>,
+    attributes: ActionAttributes,
+    authorizers: Vec<String>,
+    values: ComplianceValues,
+    signature_policy: SignaturePolicy,
+    revoked: BTreeSet<String>,
+}
+
+impl Default for KeyNoteSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyNoteSession {
+    /// A session requiring valid signatures on credentials.
+    pub fn new() -> Self {
+        KeyNoteSession {
+            policies: Vec::new(),
+            credentials: Vec::new(),
+            attributes: ActionAttributes::new(),
+            authorizers: Vec::new(),
+            values: ComplianceValues::binary(),
+            signature_policy: SignaturePolicy::Require,
+            revoked: BTreeSet::new(),
+        }
+    }
+
+    /// A session accepting unsigned/symbolic credentials.
+    pub fn permissive() -> Self {
+        KeyNoteSession {
+            signature_policy: SignaturePolicy::Permissive,
+            ..Self::new()
+        }
+    }
+
+    /// Replaces the compliance value set.
+    pub fn set_values(&mut self, values: ComplianceValues) {
+        self.values = values;
+    }
+
+    /// Revokes a key: it conveys no authority in subsequent queries,
+    /// neither as a requester nor as an intermediate delegator (the
+    /// certificate-revocation check conventional applications perform).
+    pub fn revoke_key(&mut self, key_text: impl Into<String>) {
+        self.revoked.insert(key_text.into());
+    }
+
+    /// Reinstates a previously revoked key.
+    pub fn reinstate_key(&mut self, key_text: &str) -> bool {
+        self.revoked.remove(key_text)
+    }
+
+    /// The currently revoked keys.
+    pub fn revoked_keys(&self) -> impl Iterator<Item = &str> {
+        self.revoked.iter().map(String::as_str)
+    }
+
+    /// Adds locally-trusted policy assertions from text. Every assertion
+    /// in the text must have authorizer `POLICY`.
+    pub fn add_policy(&mut self, text: &str) -> Result<usize, SessionError> {
+        let parsed = parse_assertions(text)?;
+        let mut count = 0;
+        for a in parsed {
+            // Policy assertions are locally trusted by definition; the
+            // paper's Figure 5 stores the whole RBAC table in one.
+            if a.authorizer != Principal::Policy {
+                // Assertions with key authorizers inside a policy file
+                // are treated as bundled credentials.
+                self.add_credential_parsed(a)?;
+            } else {
+                self.policies.push(a);
+            }
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Adds one pre-parsed policy assertion.
+    pub fn add_policy_assertion(&mut self, assertion: Assertion) -> Result<(), SessionError> {
+        if assertion.authorizer != Principal::Policy {
+            return self.add_credential_parsed(assertion);
+        }
+        self.policies.push(assertion);
+        Ok(())
+    }
+
+    /// Adds signed credentials from text, verifying signatures according
+    /// to the session's [`SignaturePolicy`].
+    pub fn add_credentials(&mut self, text: &str) -> Result<usize, SessionError> {
+        let parsed = parse_assertions(text)?;
+        let n = parsed.len();
+        for a in parsed {
+            self.add_credential_parsed(a)?;
+        }
+        Ok(n)
+    }
+
+    /// Adds one pre-parsed credential.
+    pub fn add_credential_parsed(&mut self, assertion: Assertion) -> Result<(), SessionError> {
+        if assertion.authorizer == Principal::Policy {
+            return Err(SessionError::PolicyViaCredential);
+        }
+        if self.signature_policy == SignaturePolicy::Require {
+            let status = verify_assertion(&assertion);
+            if status != SignatureStatus::Valid {
+                let authorizer = assertion
+                    .authorizer
+                    .key_text()
+                    .unwrap_or("POLICY")
+                    .to_string();
+                return Err(SessionError::BadSignature { authorizer, status });
+            }
+        }
+        self.credentials.push(assertion);
+        Ok(())
+    }
+
+    /// Sets an action attribute (`kn_add_action`).
+    pub fn add_action_attribute(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.attributes.set(name, value);
+    }
+
+    /// Replaces the whole attribute set.
+    pub fn set_action_attributes(&mut self, attrs: ActionAttributes) {
+        self.attributes = attrs;
+    }
+
+    /// Adds a requesting principal (`kn_add_authorizer`).
+    pub fn add_action_authorizer(&mut self, key_text: impl Into<String>) {
+        self.authorizers.push(key_text.into());
+    }
+
+    /// Clears the per-query state (attributes and authorizers), keeping
+    /// policies and credentials.
+    pub fn reset_action(&mut self) {
+        self.attributes = ActionAttributes::new();
+        self.authorizers.clear();
+    }
+
+    /// Runs the compliance checker (`kn_do_query`).
+    pub fn query(&self) -> QueryResult {
+        let mut assertions = Vec::with_capacity(self.policies.len() + self.credentials.len());
+        assertions.extend(self.policies.iter().cloned());
+        assertions.extend(self.credentials.iter().cloned());
+        let q = Query {
+            action_authorizers: self.authorizers.clone(),
+            attributes: self.attributes.clone(),
+            values: self.values.clone(),
+            revoked: self.revoked.clone(),
+        };
+        check_compliance(&assertions, &q)
+    }
+
+    /// One-shot convenience: query with explicit authorizers/attributes
+    /// without mutating the session's action state.
+    pub fn query_action(&self, authorizers: &[&str], attrs: &ActionAttributes) -> QueryResult {
+        let mut assertions = Vec::with_capacity(self.policies.len() + self.credentials.len());
+        assertions.extend(self.policies.iter().cloned());
+        assertions.extend(self.credentials.iter().cloned());
+        let q = Query {
+            action_authorizers: authorizers.iter().map(|s| s.to_string()).collect(),
+            attributes: attrs.clone(),
+            values: self.values.clone(),
+            revoked: self.revoked.clone(),
+        };
+        check_compliance(&assertions, &q)
+    }
+
+    /// The locally-trusted policy assertions.
+    pub fn policies(&self) -> &[Assertion] {
+        &self.policies
+    }
+
+    /// The accepted credentials.
+    pub fn credentials(&self) -> &[Assertion] {
+        &self.credentials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LicenseeExpr;
+    use crate::signing::sign_assertion;
+    use hetsec_crypto::KeyPair;
+
+    #[test]
+    fn permissive_session_runs_paper_example() {
+        let mut s = KeyNoteSession::permissive();
+        s.add_policy(
+            "Authorizer: POLICY\nlicensees: \"Kbob\"\n\
+             Conditions: app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\");\n",
+        )
+        .unwrap();
+        s.add_credentials(
+            "Authorizer: \"Kbob\"\nlicensees: \"Kalice\"\n\
+             Conditions: app_domain==\"SalariesDB\" && oper==\"write\";\n",
+        )
+        .unwrap();
+        s.add_action_authorizer("Kalice");
+        s.add_action_attribute("app_domain", "SalariesDB");
+        s.add_action_attribute("oper", "write");
+        assert!(s.query().is_authorized());
+        s.reset_action();
+        s.add_action_authorizer("Kalice");
+        s.add_action_attribute("app_domain", "SalariesDB");
+        s.add_action_attribute("oper", "read");
+        assert!(!s.query().is_authorized());
+    }
+
+    #[test]
+    fn strict_session_rejects_unsigned_credentials() {
+        let mut s = KeyNoteSession::new();
+        let err = s
+            .add_credentials("Authorizer: \"Kbob\"\nlicensees: \"Kalice\"\n")
+            .unwrap_err();
+        assert!(matches!(err, SessionError::BadSignature { .. }));
+    }
+
+    #[test]
+    fn strict_session_accepts_valid_signature() {
+        let kp = KeyPair::from_label("delegator");
+        let key_text = kp.public().to_text();
+        let mut a = Assertion::new(
+            Principal::key(&key_text),
+            LicenseeExpr::Principal("Kalice".to_string()),
+        );
+        sign_assertion(&mut a, &kp).unwrap();
+
+        let mut s = KeyNoteSession::new();
+        s.add_policy(&format!(
+            "Authorizer: POLICY\nLicensees: \"{key_text}\"\n"
+        ))
+        .unwrap();
+        s.add_credential_parsed(a).unwrap();
+        let attrs = ActionAttributes::new();
+        assert!(s.query_action(&["Kalice"], &attrs).is_authorized());
+    }
+
+    #[test]
+    fn strict_session_rejects_tampered_credential() {
+        let kp = KeyPair::from_label("delegator2");
+        let key_text = kp.public().to_text();
+        let mut a = Assertion::new(
+            Principal::key(&key_text),
+            LicenseeExpr::Principal("Kalice".to_string()),
+        );
+        sign_assertion(&mut a, &kp).unwrap();
+        a.licensees = Some(LicenseeExpr::Principal("Kmallory".to_string()));
+        let mut s = KeyNoteSession::new();
+        assert!(s.add_credential_parsed(a).is_err());
+    }
+
+    #[test]
+    fn policy_via_credential_rejected() {
+        let mut s = KeyNoteSession::permissive();
+        let a = Assertion::new(
+            Principal::Policy,
+            LicenseeExpr::Principal("Ka".to_string()),
+        );
+        assert_eq!(
+            s.add_credential_parsed(a),
+            Err(SessionError::PolicyViaCredential)
+        );
+    }
+
+    #[test]
+    fn mixed_policy_text_routes_credentials() {
+        // A policy file bundling a key-authored credential in permissive
+        // mode: both get stored in the right bucket.
+        let mut s = KeyNoteSession::permissive();
+        let n = s
+            .add_policy(
+                "Authorizer: POLICY\nLicensees: \"Ka\"\n\n\
+                 Authorizer: \"Ka\"\nLicensees: \"Kb\"\n",
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(s.policies().len(), 1);
+        assert_eq!(s.credentials().len(), 1);
+        assert!(s
+            .query_action(&["Kb"], &ActionAttributes::new())
+            .is_authorized());
+    }
+
+    #[test]
+    fn revoked_requester_denied() {
+        let mut s = KeyNoteSession::permissive();
+        s.add_policy("Authorizer: POLICY\nLicensees: \"Ka\"\n").unwrap();
+        let attrs = ActionAttributes::new();
+        assert!(s.query_action(&["Ka"], &attrs).is_authorized());
+        s.revoke_key("Ka");
+        assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
+        assert_eq!(s.revoked_keys().collect::<Vec<_>>(), vec!["Ka"]);
+        assert!(s.reinstate_key("Ka"));
+        assert!(!s.reinstate_key("Ka"));
+        assert!(s.query_action(&["Ka"], &attrs).is_authorized());
+    }
+
+    #[test]
+    fn revoked_intermediate_breaks_delegation_chain() {
+        let mut s = KeyNoteSession::permissive();
+        s.add_policy(
+            "Authorizer: POLICY\nLicensees: \"Ka\"\n\n\
+             Authorizer: \"Ka\"\nLicensees: \"Kb\"\n",
+        )
+        .unwrap();
+        let attrs = ActionAttributes::new();
+        assert!(s.query_action(&["Kb"], &attrs).is_authorized());
+        s.revoke_key("Ka");
+        // Kb's authority flowed through Ka; revoking Ka kills the chain.
+        assert!(!s.query_action(&["Kb"], &attrs).is_authorized());
+        // Ka itself is of course also denied.
+        assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
+    }
+
+    #[test]
+    fn revocation_is_key_specific() {
+        let mut s = KeyNoteSession::permissive();
+        s.add_policy(
+            "Authorizer: POLICY\nLicensees: \"Ka\" || \"Kb\"\n",
+        )
+        .unwrap();
+        s.revoke_key("Ka");
+        let attrs = ActionAttributes::new();
+        assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
+        assert!(s.query_action(&["Kb"], &attrs).is_authorized());
+    }
+
+    #[test]
+    fn query_action_does_not_mutate_session() {
+        let mut s = KeyNoteSession::permissive();
+        s.add_policy("Authorizer: POLICY\nLicensees: \"Ka\"\n")
+            .unwrap();
+        let attrs = ActionAttributes::new();
+        assert!(s.query_action(&["Ka"], &attrs).is_authorized());
+        // Session-level action state is untouched.
+        assert!(!s.query().is_authorized());
+    }
+}

@@ -1,0 +1,174 @@
+//! Signing and verification of KeyNote credentials.
+//!
+//! A credential's signature covers the canonical serialisation of the
+//! assertion up to and including the bare `Signature:` label (see
+//! [`crate::print::signable_text`]). The authorizer of a signed assertion
+//! must be the signing key's printable text, mirroring RFC 2704 where the
+//! Authorizer field holds the signer's key.
+
+use crate::ast::{Assertion, Principal};
+use crate::print::signable_text;
+use hetsec_crypto::{KeyPair, PublicKey, Signature};
+use std::fmt;
+
+/// Outcome of verifying one assertion's signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SignatureStatus {
+    /// No `Signature` field present.
+    Unsigned,
+    /// Signature present and valid for the authorizer key.
+    Valid,
+    /// Signature present but does not verify.
+    Invalid,
+    /// The authorizer is `POLICY` or a symbolic key that is not a
+    /// parseable public key, so the signature cannot be checked.
+    Unverifiable,
+}
+
+impl fmt::Display for SignatureStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SignatureStatus::Unsigned => "unsigned",
+            SignatureStatus::Valid => "valid",
+            SignatureStatus::Invalid => "invalid",
+            SignatureStatus::Unverifiable => "unverifiable",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Errors raised when signing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SignError {
+    /// Policy assertions are locally trusted and never signed.
+    PolicyAssertion,
+    /// The assertion's authorizer does not match the signing key.
+    AuthorizerMismatch {
+        /// Authorizer text in the assertion.
+        expected: String,
+        /// Signing key text.
+        actual: String,
+    },
+}
+
+impl fmt::Display for SignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignError::PolicyAssertion => write!(f, "cannot sign a POLICY assertion"),
+            SignError::AuthorizerMismatch { expected, actual } => write!(
+                f,
+                "authorizer `{expected}` does not match signing key `{actual}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SignError {}
+
+/// Signs `assertion` in place with `key`. The assertion's authorizer must
+/// equal the key's printable text.
+pub fn sign_assertion(assertion: &mut Assertion, key: &KeyPair) -> Result<(), SignError> {
+    let key_text = key.public().to_text();
+    match &assertion.authorizer {
+        Principal::Policy => return Err(SignError::PolicyAssertion),
+        Principal::Key(k) => {
+            if *k != key_text {
+                return Err(SignError::AuthorizerMismatch {
+                    expected: k.clone(),
+                    actual: key_text,
+                });
+            }
+        }
+    }
+    let payload = signable_text(assertion);
+    let sig = key.sign(payload.as_bytes());
+    assertion.signature = Some(sig.to_text());
+    Ok(())
+}
+
+/// Verifies `assertion`'s signature (if any).
+pub fn verify_assertion(assertion: &Assertion) -> SignatureStatus {
+    let Some(sig_text) = &assertion.signature else {
+        return SignatureStatus::Unsigned;
+    };
+    let Principal::Key(key_text) = &assertion.authorizer else {
+        return SignatureStatus::Unverifiable;
+    };
+    let Ok(public) = key_text.parse::<PublicKey>() else {
+        return SignatureStatus::Unverifiable;
+    };
+    let Ok(sig) = sig_text.parse::<Signature>() else {
+        return SignatureStatus::Invalid;
+    };
+    let payload = signable_text(assertion);
+    if public.verify(payload.as_bytes(), &sig) {
+        SignatureStatus::Valid
+    } else {
+        SignatureStatus::Invalid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LicenseeExpr;
+
+    fn credential(authorizer: &str, licensee: &str) -> Assertion {
+        Assertion::new(
+            Principal::key(authorizer),
+            LicenseeExpr::Principal(licensee.to_string()),
+        )
+    }
+
+    #[test]
+    fn sign_then_verify() {
+        let kp = KeyPair::from_label("signer");
+        let mut a = credential(&kp.public().to_text(), "Kalice");
+        sign_assertion(&mut a, &kp).unwrap();
+        assert_eq!(verify_assertion(&a), SignatureStatus::Valid);
+    }
+
+    #[test]
+    fn tampering_invalidates() {
+        let kp = KeyPair::from_label("signer2");
+        let mut a = credential(&kp.public().to_text(), "Kalice");
+        sign_assertion(&mut a, &kp).unwrap();
+        a.licensees = Some(LicenseeExpr::Principal("Kmallory".to_string()));
+        assert_eq!(verify_assertion(&a), SignatureStatus::Invalid);
+    }
+
+    #[test]
+    fn wrong_key_rejected_at_sign_time() {
+        let kp = KeyPair::from_label("signer3");
+        let mut a = credential("rsa-sim:1234:10001", "Kalice");
+        let err = sign_assertion(&mut a, &kp).unwrap_err();
+        assert!(matches!(err, SignError::AuthorizerMismatch { .. }));
+    }
+
+    #[test]
+    fn policy_assertions_not_signable() {
+        let kp = KeyPair::from_label("signer4");
+        let mut a = Assertion::new(
+            Principal::Policy,
+            LicenseeExpr::Principal("Kalice".to_string()),
+        );
+        assert_eq!(sign_assertion(&mut a, &kp), Err(SignError::PolicyAssertion));
+    }
+
+    #[test]
+    fn unsigned_and_unverifiable() {
+        let a = credential("Kbob", "Kalice");
+        assert_eq!(verify_assertion(&a), SignatureStatus::Unsigned);
+        let mut b = credential("Kbob", "Kalice");
+        b.signature = Some("sig-rsa-sha256:abcd".to_string());
+        assert_eq!(verify_assertion(&b), SignatureStatus::Unverifiable);
+    }
+
+    #[test]
+    fn malformed_signature_is_invalid() {
+        let kp = KeyPair::from_label("signer5");
+        let mut a = credential(&kp.public().to_text(), "Kalice");
+        a.signature = Some("garbage".to_string());
+        assert_eq!(verify_assertion(&a), SignatureStatus::Invalid);
+    }
+}

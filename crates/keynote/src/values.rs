@@ -1,0 +1,180 @@
+//! Compliance value sets (RFC 2704 §4).
+//!
+//! A KeyNote query is evaluated against an *ordered* set of compliance
+//! values, from minimum trust to maximum trust. The classic binary set is
+//! `_MIN_TRUST < _MAX_TRUST` (i.e. false/true), but applications may pass
+//! richer sets such as `_MIN_TRUST < "approve_with_log" < _MAX_TRUST`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Name of the minimum-trust value.
+pub const MIN_TRUST: &str = "_MIN_TRUST";
+/// Name of the maximum-trust value.
+pub const MAX_TRUST: &str = "_MAX_TRUST";
+
+/// An ordered compliance value set.
+///
+/// Index 0 is always `_MIN_TRUST` and the last index is `_MAX_TRUST`;
+/// application-specific values sit in between in increasing trust order.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComplianceValues {
+    names: Vec<String>,
+}
+
+impl ComplianceValues {
+    /// The binary set `_MIN_TRUST < _MAX_TRUST`.
+    pub fn binary() -> Self {
+        ComplianceValues {
+            names: vec![MIN_TRUST.to_string(), MAX_TRUST.to_string()],
+        }
+    }
+
+    /// Builds a set with `middle` application values between min and max.
+    ///
+    /// Returns `None` if a middle value duplicates another name or uses a
+    /// reserved name.
+    pub fn with_middle(middle: &[&str]) -> Option<Self> {
+        let mut names = Vec::with_capacity(middle.len() + 2);
+        names.push(MIN_TRUST.to_string());
+        for &m in middle {
+            if m == MIN_TRUST || m == MAX_TRUST || names.iter().any(|n| n == m) {
+                return None;
+            }
+            names.push(m.to_string());
+        }
+        names.push(MAX_TRUST.to_string());
+        Some(ComplianceValues { names })
+    }
+
+    /// Number of values in the set.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always false: a set has at least min and max.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the minimum-trust value (always 0).
+    pub fn min(&self) -> ComplianceValue {
+        ComplianceValue(0)
+    }
+
+    /// Index of the maximum-trust value.
+    pub fn max(&self) -> ComplianceValue {
+        ComplianceValue(self.names.len() - 1)
+    }
+
+    /// Resolves a value name to its ordinal, if present.
+    pub fn index_of(&self, name: &str) -> Option<ComplianceValue> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(ComplianceValue)
+    }
+
+    /// Name of an ordinal value.
+    pub fn name_of(&self, v: ComplianceValue) -> &str {
+        &self.names[v.0]
+    }
+
+    /// All names in increasing trust order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The `_VALUES` pseudo-attribute: space-separated names.
+    pub fn values_attribute(&self) -> String {
+        self.names.join(" ")
+    }
+}
+
+impl Default for ComplianceValues {
+    fn default() -> Self {
+        Self::binary()
+    }
+}
+
+/// An ordinal into a [`ComplianceValues`] set; larger means more trusted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ComplianceValue(pub usize);
+
+impl ComplianceValue {
+    /// Minimum of two values (conjunction).
+    pub fn and(self, other: ComplianceValue) -> ComplianceValue {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two values (disjunction).
+    pub fn or(self, other: ComplianceValue) -> ComplianceValue {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for ComplianceValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cv#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_set_shape() {
+        let v = ComplianceValues::binary();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.name_of(v.min()), MIN_TRUST);
+        assert_eq!(v.name_of(v.max()), MAX_TRUST);
+        assert!(v.min() < v.max());
+    }
+
+    #[test]
+    fn middle_values_ordered() {
+        let v = ComplianceValues::with_middle(&["log", "escalate"]).unwrap();
+        assert_eq!(v.len(), 4);
+        let log = v.index_of("log").unwrap();
+        let esc = v.index_of("escalate").unwrap();
+        assert!(v.min() < log && log < esc && esc < v.max());
+    }
+
+    #[test]
+    fn duplicate_or_reserved_middle_rejected() {
+        assert!(ComplianceValues::with_middle(&["a", "a"]).is_none());
+        assert!(ComplianceValues::with_middle(&[MIN_TRUST]).is_none());
+        assert!(ComplianceValues::with_middle(&[MAX_TRUST]).is_none());
+    }
+
+    #[test]
+    fn and_or_are_min_max() {
+        let a = ComplianceValue(1);
+        let b = ComplianceValue(3);
+        assert_eq!(a.and(b), a);
+        assert_eq!(a.or(b), b);
+        assert_eq!(b.and(a), a);
+        assert_eq!(b.or(a), b);
+    }
+
+    #[test]
+    fn values_attribute_format() {
+        let v = ComplianceValues::with_middle(&["mid"]).unwrap();
+        assert_eq!(v.values_attribute(), "_MIN_TRUST mid _MAX_TRUST");
+    }
+
+    #[test]
+    fn index_of_unknown() {
+        let v = ComplianceValues::binary();
+        assert!(v.index_of("nope").is_none());
+    }
+}

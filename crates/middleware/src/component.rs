@@ -1,0 +1,105 @@
+//! Middleware components: the schedulable units WebCom composes into
+//! condensed-graph applications (§1, §6).
+//!
+//! A component is an invocable operation on a middleware object — a COM
+//! method, an EJB business method, a CORBA operation. Executing one
+//! requires a permission on the object's type, which is what every layer
+//! of the authorisation stack mediates.
+
+use crate::naming::MiddlewareKind;
+use hetsec_rbac::{Domain, ObjectType, Permission};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reference to an invocable middleware component.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ComponentRef {
+    /// Which middleware family hosts it.
+    pub kind: MiddlewareKind,
+    /// The domain of the hosting instance.
+    pub domain: Domain,
+    /// The object type (COM class / bean / IDL interface).
+    pub object_type: ObjectType,
+    /// The operation (method) to invoke.
+    pub operation: String,
+}
+
+impl ComponentRef {
+    /// Builds a reference.
+    pub fn new(
+        kind: MiddlewareKind,
+        domain: impl Into<Domain>,
+        object_type: impl Into<ObjectType>,
+        operation: impl Into<String>,
+    ) -> Self {
+        ComponentRef {
+            kind,
+            domain: domain.into(),
+            object_type: object_type.into(),
+            operation: operation.into(),
+        }
+    }
+
+    /// The permission required to invoke the component. Middleware map
+    /// operations to permissions differently: EJB/CORBA permissions are
+    /// the method names themselves; COM+ uses its coarse rights, with
+    /// method calls requiring `Access`.
+    pub fn required_permission(&self) -> Permission {
+        match self.kind {
+            MiddlewareKind::ComPlus => Permission::new("Access"),
+            MiddlewareKind::Ejb | MiddlewareKind::Corba => Permission::new(&self.operation),
+        }
+    }
+
+    /// A stable identifier string (what the paper's mediation keys on:
+    /// "the identifier of the components", §7).
+    pub fn identifier(&self) -> String {
+        format!(
+            "{}://{}/{}#{}",
+            match self.kind {
+                MiddlewareKind::ComPlus => "com",
+                MiddlewareKind::Ejb => "ejb",
+                MiddlewareKind::Corba => "corba",
+            },
+            self.domain,
+            self.object_type,
+            self.operation
+        )
+    }
+}
+
+impl fmt::Display for ComponentRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.identifier())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_shape() {
+        let c = ComponentRef::new(MiddlewareKind::Ejb, "h/s/j", "SalariesBean", "read");
+        assert_eq!(c.identifier(), "ejb://h/s/j/SalariesBean#read");
+        assert_eq!(c.to_string(), c.identifier());
+    }
+
+    #[test]
+    fn required_permission_per_kind() {
+        let ejb = ComponentRef::new(MiddlewareKind::Ejb, "d", "B", "getSalary");
+        assert_eq!(ejb.required_permission().as_str(), "getSalary");
+        let corba = ComponentRef::new(MiddlewareKind::Corba, "d", "I", "fetch");
+        assert_eq!(corba.required_permission().as_str(), "fetch");
+        let com = ComponentRef::new(MiddlewareKind::ComPlus, "d", "C", "DoWork");
+        assert_eq!(com.required_permission().as_str(), "Access");
+    }
+
+    #[test]
+    fn ordering_and_equality() {
+        let a = ComponentRef::new(MiddlewareKind::Ejb, "d", "B", "m1");
+        let b = ComponentRef::new(MiddlewareKind::Ejb, "d", "B", "m2");
+        assert!(a < b);
+        assert_eq!(a, a.clone());
+    }
+}

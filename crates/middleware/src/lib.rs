@@ -1,0 +1,16 @@
+//! The common middleware-security abstraction layer.
+//!
+//! WebCom treats COM+, EJB and CORBA uniformly through the
+//! [`MiddlewareSecurity`] trait: export the native policy to the common
+//! extended-RBAC relations, import the owned portion of a unified
+//! policy, apply row-level administration, and answer access checks.
+//! [`naming`] captures each middleware's concrete `Domain` structure and
+//! [`component`] the invocable units WebCom schedules.
+
+pub mod component;
+pub mod naming;
+pub mod security;
+
+pub use component::ComponentRef;
+pub use naming::{CorbaDomain, EjbDomain, MiddlewareKind, NamingError};
+pub use security::{Decision, ImportReport, MiddlewareError, MiddlewareSecurity, MiddlewareSecurityExt};

@@ -1,0 +1,179 @@
+//! Domain naming conventions per middleware (paper §2).
+//!
+//! Each middleware concretises the abstract RBAC `Domain` differently:
+//!
+//! * **COM+** — the Windows NT domain name;
+//! * **EJB** — host + EJB server + bean-container JNDI name;
+//! * **CORBA** — machine name + ORB server name.
+//!
+//! These structured names serialise to/from plain strings so they fit the
+//! common `Domain` identifier, and parse back losslessly for migration.
+
+use hetsec_rbac::Domain;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The middleware families supported by Secure WebCom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MiddlewareKind {
+    /// Microsoft COM+ / .NET.
+    ComPlus,
+    /// Enterprise JavaBeans.
+    Ejb,
+    /// CORBA.
+    Corba,
+}
+
+impl fmt::Display for MiddlewareKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MiddlewareKind::ComPlus => "COM+",
+            MiddlewareKind::Ejb => "EJB",
+            MiddlewareKind::Corba => "CORBA",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Error parsing a structured domain name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamingError(pub String);
+
+impl fmt::Display for NamingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed domain name: {}", self.0)
+    }
+}
+
+impl std::error::Error for NamingError {}
+
+/// An EJB domain: `host/server/jndi`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EjbDomain {
+    /// Host machine.
+    pub host: String,
+    /// EJB server name.
+    pub server: String,
+    /// Bean container JNDI name.
+    pub jndi: String,
+}
+
+impl EjbDomain {
+    /// Builds a domain name.
+    pub fn new(host: &str, server: &str, jndi: &str) -> Self {
+        EjbDomain {
+            host: host.to_string(),
+            server: server.to_string(),
+            jndi: jndi.to_string(),
+        }
+    }
+
+    /// Converts to the common `Domain` string.
+    pub fn to_domain(&self) -> Domain {
+        Domain::new(self.to_string())
+    }
+}
+
+impl fmt::Display for EjbDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.host, self.server, self.jndi)
+    }
+}
+
+impl FromStr for EjbDomain {
+    type Err = NamingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('/').collect();
+        if parts.len() != 3 || parts.iter().any(|p| p.is_empty()) {
+            return Err(NamingError(s.to_string()));
+        }
+        Ok(EjbDomain::new(parts[0], parts[1], parts[2]))
+    }
+}
+
+/// A CORBA domain: `machine:orb-server`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CorbaDomain {
+    /// Machine name.
+    pub machine: String,
+    /// ORB server name.
+    pub orb_server: String,
+}
+
+impl CorbaDomain {
+    /// Builds a domain name.
+    pub fn new(machine: &str, orb_server: &str) -> Self {
+        CorbaDomain {
+            machine: machine.to_string(),
+            orb_server: orb_server.to_string(),
+        }
+    }
+
+    /// Converts to the common `Domain` string.
+    pub fn to_domain(&self) -> Domain {
+        Domain::new(self.to_string())
+    }
+}
+
+impl fmt::Display for CorbaDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.machine, self.orb_server)
+    }
+}
+
+impl FromStr for CorbaDomain {
+    type Err = NamingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 2 || parts.iter().any(|p| p.is_empty()) {
+            return Err(NamingError(s.to_string()));
+        }
+        Ok(CorbaDomain::new(parts[0], parts[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(MiddlewareKind::ComPlus.to_string(), "COM+");
+        assert_eq!(MiddlewareKind::Ejb.to_string(), "EJB");
+        assert_eq!(MiddlewareKind::Corba.to_string(), "CORBA");
+    }
+
+    #[test]
+    fn ejb_roundtrip() {
+        let d = EjbDomain::new("host1", "ejbsrv", "SalariesBeans");
+        let s = d.to_string();
+        assert_eq!(s, "host1/ejbsrv/SalariesBeans");
+        assert_eq!(s.parse::<EjbDomain>().unwrap(), d);
+        assert_eq!(d.to_domain().as_str(), s);
+    }
+
+    #[test]
+    fn ejb_rejects_malformed() {
+        assert!("a/b".parse::<EjbDomain>().is_err());
+        assert!("a/b/c/d".parse::<EjbDomain>().is_err());
+        assert!("a//c".parse::<EjbDomain>().is_err());
+        assert!("".parse::<EjbDomain>().is_err());
+    }
+
+    #[test]
+    fn corba_roundtrip() {
+        let d = CorbaDomain::new("zeus", "SalariesOrb");
+        assert_eq!(d.to_string(), "zeus:SalariesOrb");
+        assert_eq!("zeus:SalariesOrb".parse::<CorbaDomain>().unwrap(), d);
+    }
+
+    #[test]
+    fn corba_rejects_malformed() {
+        assert!("zeus".parse::<CorbaDomain>().is_err());
+        assert!("a:b:c".parse::<CorbaDomain>().is_err());
+        assert!(":orb".parse::<CorbaDomain>().is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! The common middleware-security abstraction.
+//!
+//! Every middleware simulator (COM+, EJB, CORBA) implements
+//! [`MiddlewareSecurity`]: a native RBAC policy that can be **exported**
+//! to the common model (the input of the paper's *Policy Comprehension*,
+//! §4.2), **imported** from it (*Policy Configuration*, §4.1), mutated
+//! row-by-row (what the KeyCom-style admin services drive, Figure 8),
+//! and consulted for access decisions (the L1 layer of Figure 10).
+
+use crate::naming::MiddlewareKind;
+use hetsec_rbac::{Domain, ObjectType, Permission, PermissionGrant, RbacPolicy, Role, RoleAssignment, User};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An access decision with a human-readable reason on denial.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Access granted.
+    Granted,
+    /// Access denied, with the mediating layer's reason.
+    Denied(String),
+}
+
+impl Decision {
+    /// True when granted.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, Decision::Granted)
+    }
+
+    /// Builds a denial.
+    pub fn denied(reason: impl Into<String>) -> Decision {
+        Decision::Denied(reason.into())
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Granted => write!(f, "granted"),
+            Decision::Denied(r) => write!(f, "denied: {r}"),
+        }
+    }
+}
+
+/// Errors from middleware administration operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MiddlewareError {
+    /// The row names a domain this middleware instance does not own.
+    ForeignDomain {
+        /// The offending domain.
+        domain: Domain,
+        /// This instance's kind.
+        kind: MiddlewareKind,
+        /// This instance's name.
+        instance: String,
+    },
+    /// A permission name the middleware cannot represent.
+    UnsupportedPermission(Permission),
+    /// The referenced entity does not exist natively.
+    NotFound(String),
+}
+
+impl fmt::Display for MiddlewareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiddlewareError::ForeignDomain { domain, kind, instance } => write!(
+                f,
+                "domain `{domain}` is not managed by {kind} instance `{instance}`"
+            ),
+            MiddlewareError::UnsupportedPermission(p) => {
+                write!(f, "permission `{p}` is not representable")
+            }
+            MiddlewareError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MiddlewareError {}
+
+/// Outcome of a bulk policy import.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportReport {
+    /// Rows applied to the native policy.
+    pub applied: usize,
+    /// Rows skipped, with reasons (e.g. foreign domains — imports take
+    /// only the portion of the unified policy this instance owns).
+    pub skipped: Vec<String>,
+}
+
+impl ImportReport {
+    /// Records a successful row.
+    pub fn applied_row(&mut self) {
+        self.applied += 1;
+    }
+
+    /// Records a skipped row.
+    pub fn skip(&mut self, reason: impl Into<String>) {
+        self.skipped.push(reason.into());
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: ImportReport) {
+        self.applied += other.applied;
+        self.skipped.extend(other.skipped);
+    }
+}
+
+/// The common surface every middleware security simulator implements.
+pub trait MiddlewareSecurity: Send + Sync {
+    /// Which middleware family this is.
+    fn kind(&self) -> MiddlewareKind;
+
+    /// The instance name (used in diagnostics and scheduling).
+    fn instance_name(&self) -> String;
+
+    /// The domains this instance owns (rows outside them are skipped on
+    /// import).
+    fn owned_domains(&self) -> Vec<Domain>;
+
+    /// Exports the native policy as the common extended-RBAC relations
+    /// (*Policy Comprehension* input).
+    fn export_policy(&self) -> RbacPolicy;
+
+    /// Imports the relevant portion of a unified policy (*Policy
+    /// Configuration*). Rows for foreign domains are skipped, not
+    /// errors — a unified policy spans many instances.
+    fn import_policy(&self, policy: &RbacPolicy) -> ImportReport {
+        let mut report = ImportReport::default();
+        let owned = self.owned_domains();
+        for g in policy.grants() {
+            if !owned.contains(&g.domain) {
+                report.skip(format!("grant {g}: foreign domain"));
+                continue;
+            }
+            match self.grant(g) {
+                Ok(()) => report.applied_row(),
+                Err(e) => report.skip(format!("grant {g}: {e}")),
+            }
+        }
+        for a in policy.assignments() {
+            if !owned.contains(&a.domain) {
+                report.skip(format!("assign {a}: foreign domain"));
+                continue;
+            }
+            match self.assign(a) {
+                Ok(()) => report.applied_row(),
+                Err(e) => report.skip(format!("assign {a}: {e}")),
+            }
+        }
+        report
+    }
+
+    /// Adds one `HasPermission` row natively.
+    fn grant(&self, grant: &PermissionGrant) -> Result<(), MiddlewareError>;
+
+    /// Removes one `HasPermission` row natively.
+    fn revoke(&self, grant: &PermissionGrant) -> Result<(), MiddlewareError>;
+
+    /// Adds one `UserRole` row natively.
+    fn assign(&self, assignment: &RoleAssignment) -> Result<(), MiddlewareError>;
+
+    /// Removes one `UserRole` row natively.
+    fn unassign(&self, assignment: &RoleAssignment) -> Result<(), MiddlewareError>;
+
+    /// The L1 access check. When `role` is `Some`, the check is
+    /// restricted to that role (the scheduler's pinned-role question);
+    /// otherwise any of the user's roles may grant.
+    fn check(
+        &self,
+        user: &User,
+        domain: &Domain,
+        role: Option<&Role>,
+        object_type: &ObjectType,
+        permission: &Permission,
+    ) -> Decision;
+}
+
+/// Blanket helpers over any middleware.
+pub trait MiddlewareSecurityExt: MiddlewareSecurity {
+    /// Convenience: unrestricted access check returning a bool.
+    fn allows(
+        &self,
+        user: &User,
+        domain: &Domain,
+        object_type: &ObjectType,
+        permission: &Permission,
+    ) -> bool {
+        self.check(user, domain, None, object_type, permission)
+            .is_granted()
+    }
+}
+
+impl<T: MiddlewareSecurity + ?Sized> MiddlewareSecurityExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_api() {
+        assert!(Decision::Granted.is_granted());
+        let d = Decision::denied("no role");
+        assert!(!d.is_granted());
+        assert_eq!(d.to_string(), "denied: no role");
+        assert_eq!(Decision::Granted.to_string(), "granted");
+    }
+
+    #[test]
+    fn import_report_merge() {
+        let mut a = ImportReport::default();
+        a.applied_row();
+        a.skip("x");
+        let mut b = ImportReport::default();
+        b.applied_row();
+        b.applied_row();
+        a.merge(b);
+        assert_eq!(a.applied, 3);
+        assert_eq!(a.skipped.len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MiddlewareError::ForeignDomain {
+            domain: Domain::new("Other"),
+            kind: MiddlewareKind::Ejb,
+            instance: "srv".to_string(),
+        };
+        assert!(e.to_string().contains("Other"));
+        assert!(e.to_string().contains("EJB"));
+        assert!(
+            MiddlewareError::UnsupportedPermission(Permission::new("fly"))
+                .to_string()
+                .contains("fly")
+        );
+    }
+}

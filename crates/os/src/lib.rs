@@ -1,0 +1,20 @@
+//! Simulated operating-system security substrates: the L0 layer of the
+//! paper's stacked authorisation architecture (Figure 10).
+//!
+//! Two models are provided, matching the platforms in the paper's
+//! interoperation scenario (Figure 9):
+//!
+//! * [`windows`] — NT domains, SIDs, groups, and ordered discretionary
+//!   ACLs with allow/deny entries (`OS(W)` under COM+);
+//! * [`unix`] — uid/gid accounts and rwx permission-bit checks
+//!   (`OS(U)` under System X).
+//!
+//! Both expose a simple `access_check(user, object, access) -> bool`
+//! surface that the WebCom authorisation stack wraps as a pluggable
+//! layer.
+
+pub mod unix;
+pub mod windows;
+
+pub use unix::{Mode, UnixAccess, UnixObject, UnixSecurity, UnixUser};
+pub use windows::{AccessMask, Ace, AceKind, Acl, NtDomain, Sid, WindowsSecurity};

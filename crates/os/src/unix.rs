@@ -1,0 +1,263 @@
+//! A simulated Unix permission model: uid/gid accounts, supplementary
+//! groups, and rwx permission bits on named objects.
+//!
+//! This is the OS layer (L0) for WebCom environments hosted on Unix
+//! machines (the paper's System X runs `OS(U)` in Figure 9).
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Access classes requested against an object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnixAccess {
+    /// Read.
+    Read,
+    /// Write.
+    Write,
+    /// Execute.
+    Execute,
+}
+
+/// A 9-bit rwxrwxrwx mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mode(pub u16);
+
+impl Mode {
+    /// Parses an octal literal such as `0o640`.
+    pub fn from_octal(bits: u16) -> Mode {
+        Mode(bits & 0o777)
+    }
+
+    fn class_bits(self, shift: u16) -> u16 {
+        (self.0 >> shift) & 0o7
+    }
+
+    fn allows(self, shift: u16, access: UnixAccess) -> bool {
+        let bits = self.class_bits(shift);
+        match access {
+            UnixAccess::Read => bits & 0o4 != 0,
+            UnixAccess::Write => bits & 0o2 != 0,
+            UnixAccess::Execute => bits & 0o1 != 0,
+        }
+    }
+}
+
+/// A user account.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnixUser {
+    /// User id.
+    pub uid: u32,
+    /// Primary group id.
+    pub gid: u32,
+    /// Supplementary groups.
+    pub groups: Vec<u32>,
+}
+
+impl UnixUser {
+    fn in_group(&self, gid: u32) -> bool {
+        self.gid == gid || self.groups.contains(&gid)
+    }
+}
+
+/// A securable object (file-like).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnixObject {
+    /// Owner uid.
+    pub owner: u32,
+    /// Owning group id.
+    pub group: u32,
+    /// Permission bits.
+    pub mode: Mode,
+}
+
+/// A Unix machine: passwd/group database plus objects.
+#[derive(Default)]
+pub struct UnixSecurity {
+    users: RwLock<BTreeMap<String, UnixUser>>,
+    objects: RwLock<BTreeMap<String, UnixObject>>,
+}
+
+impl UnixSecurity {
+    /// Empty machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an account.
+    pub fn add_user(&self, name: &str, user: UnixUser) {
+        self.users.write().insert(name.to_string(), user);
+    }
+
+    /// Creates or replaces an object.
+    pub fn set_object(&self, name: &str, object: UnixObject) {
+        self.objects.write().insert(name.to_string(), object);
+    }
+
+    /// Changes an object's mode; returns false if the object is unknown.
+    pub fn chmod(&self, name: &str, mode: Mode) -> bool {
+        match self.objects.write().get_mut(name) {
+            Some(o) => {
+                o.mode = mode;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up a user.
+    pub fn user(&self, name: &str) -> Option<UnixUser> {
+        self.users.read().get(name).cloned()
+    }
+
+    /// The classic owner/group/other access check. Unknown users or
+    /// objects are denied; uid 0 (root) is always allowed.
+    pub fn access_check(&self, user: &str, object: &str, access: UnixAccess) -> bool {
+        let Some(u) = self.user(user) else {
+            return false;
+        };
+        if u.uid == 0 {
+            return true;
+        }
+        let objects = self.objects.read();
+        let Some(o) = objects.get(object) else {
+            return false;
+        };
+        if u.uid == o.owner {
+            o.mode.allows(6, access)
+        } else if u.in_group(o.group) {
+            o.mode.allows(3, access)
+        } else {
+            o.mode.allows(0, access)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> UnixSecurity {
+        let m = UnixSecurity::new();
+        m.add_user(
+            "root",
+            UnixUser {
+                uid: 0,
+                gid: 0,
+                groups: vec![],
+            },
+        );
+        m.add_user(
+            "alice",
+            UnixUser {
+                uid: 1000,
+                gid: 100,
+                groups: vec![200],
+            },
+        );
+        m.add_user(
+            "bob",
+            UnixUser {
+                uid: 1001,
+                gid: 100,
+                groups: vec![],
+            },
+        );
+        m.add_user(
+            "carol",
+            UnixUser {
+                uid: 1002,
+                gid: 300,
+                groups: vec![],
+            },
+        );
+        m.set_object(
+            "salaries.db",
+            UnixObject {
+                owner: 1000,
+                group: 100,
+                mode: Mode::from_octal(0o640),
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn owner_class() {
+        let m = machine();
+        assert!(m.access_check("alice", "salaries.db", UnixAccess::Read));
+        assert!(m.access_check("alice", "salaries.db", UnixAccess::Write));
+        assert!(!m.access_check("alice", "salaries.db", UnixAccess::Execute));
+    }
+
+    #[test]
+    fn group_class() {
+        let m = machine();
+        assert!(m.access_check("bob", "salaries.db", UnixAccess::Read));
+        assert!(!m.access_check("bob", "salaries.db", UnixAccess::Write));
+    }
+
+    #[test]
+    fn other_class() {
+        let m = machine();
+        assert!(!m.access_check("carol", "salaries.db", UnixAccess::Read));
+        m.chmod("salaries.db", Mode::from_octal(0o644));
+        assert!(m.access_check("carol", "salaries.db", UnixAccess::Read));
+        assert!(!m.access_check("carol", "salaries.db", UnixAccess::Write));
+    }
+
+    #[test]
+    fn root_bypasses() {
+        let m = machine();
+        assert!(m.access_check("root", "salaries.db", UnixAccess::Write));
+        assert!(m.access_check("root", "salaries.db", UnixAccess::Execute));
+    }
+
+    #[test]
+    fn unknowns_denied() {
+        let m = machine();
+        assert!(!m.access_check("mallory", "salaries.db", UnixAccess::Read));
+        assert!(!m.access_check("alice", "ghost.db", UnixAccess::Read));
+        assert!(!m.chmod("ghost.db", Mode::from_octal(0o777)));
+    }
+
+    #[test]
+    fn supplementary_groups_count() {
+        let m = machine();
+        m.set_object(
+            "reports",
+            UnixObject {
+                owner: 1,
+                group: 200,
+                mode: Mode::from_octal(0o060),
+            },
+        );
+        // alice is in supplementary group 200.
+        assert!(m.access_check("alice", "reports", UnixAccess::Read));
+        assert!(m.access_check("alice", "reports", UnixAccess::Write));
+        assert!(!m.access_check("bob", "reports", UnixAccess::Read));
+    }
+
+    #[test]
+    fn mode_parsing_masks_extra_bits() {
+        assert_eq!(Mode::from_octal(0o7777).0, 0o777);
+    }
+
+    #[test]
+    fn owner_class_takes_precedence_over_group() {
+        // Mode 0o070: owner has nothing even if also in the group.
+        let m = machine();
+        m.set_object(
+            "weird",
+            UnixObject {
+                owner: 1000,
+                group: 100,
+                mode: Mode::from_octal(0o070),
+            },
+        );
+        // alice is owner -> owner class (no bits) applies, not group.
+        assert!(!m.access_check("alice", "weird", UnixAccess::Read));
+        // bob matches the group class.
+        assert!(m.access_check("bob", "weird", UnixAccess::Read));
+    }
+}

@@ -1,0 +1,299 @@
+//! RBAC constraints (RBAC2, Sandhu et al. [26]): static and dynamic
+//! separation of duty.
+//!
+//! * **SSD** — a user may belong to at most `limit` roles of a conflict
+//!   set (checked against the `UserRole` relation);
+//! * **DSD** — a session may *activate* at most `limit` roles of a
+//!   conflict set (checked against [`crate::sessions::RbacSession`]).
+//!
+//! Constraint checking is advisory: the store validates policies and
+//! sessions and reports violations; enforcement points decide what to do
+//! (the translation services refuse to commission violating policies).
+
+use crate::ids::DomainRole;
+use crate::policy::RbacPolicy;
+use crate::sessions::RbacSession;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which relation a constraint ranges over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SodKind {
+    /// Static separation of duty (membership).
+    Static,
+    /// Dynamic separation of duty (activation).
+    Dynamic,
+}
+
+/// A separation-of-duty constraint: at most `limit` of `roles`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SodConstraint {
+    /// Diagnostic name.
+    pub name: String,
+    /// Static or dynamic.
+    pub kind: SodKind,
+    /// The conflicting role set.
+    pub roles: BTreeSet<DomainRole>,
+    /// Maximum number of conflicting roles one user/session may hold.
+    pub limit: usize,
+}
+
+impl SodConstraint {
+    /// A mutual-exclusion constraint (limit 1) over the given roles.
+    pub fn mutual_exclusion(
+        name: impl Into<String>,
+        kind: SodKind,
+        roles: impl IntoIterator<Item = DomainRole>,
+    ) -> Self {
+        SodConstraint {
+            name: name.into(),
+            kind,
+            roles: roles.into_iter().collect(),
+            limit: 1,
+        }
+    }
+}
+
+/// A reported violation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SodViolation {
+    /// The violated constraint's name.
+    pub constraint: String,
+    /// The offending user.
+    pub user: String,
+    /// The conflicting roles held/activated.
+    pub roles: Vec<DomainRole>,
+}
+
+impl fmt::Display for SodViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let roles: Vec<String> = self.roles.iter().map(|r| r.to_string()).collect();
+        write!(
+            f,
+            "constraint `{}`: {} holds conflicting roles [{}]",
+            self.constraint,
+            self.user,
+            roles.join(", ")
+        )
+    }
+}
+
+/// A set of constraints with validation entry points.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    constraints: Vec<SodConstraint>,
+}
+
+impl ConstraintSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint.
+    pub fn add(&mut self, c: SodConstraint) {
+        self.constraints.push(c);
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Validates the `UserRole` relation against every static
+    /// constraint.
+    pub fn validate_policy(&self, policy: &RbacPolicy) -> Vec<SodViolation> {
+        let mut out = Vec::new();
+        for c in self.constraints.iter().filter(|c| c.kind == SodKind::Static) {
+            for user in policy.users() {
+                let held: Vec<DomainRole> = policy
+                    .roles_of(&user)
+                    .into_iter()
+                    .filter(|dr| c.roles.contains(dr))
+                    .collect();
+                if held.len() > c.limit {
+                    out.push(SodViolation {
+                        constraint: c.name.clone(),
+                        user: user.to_string(),
+                        roles: held,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates a session's activated roles against every dynamic
+    /// constraint.
+    pub fn validate_session(&self, session: &RbacSession) -> Vec<SodViolation> {
+        let mut out = Vec::new();
+        for c in self.constraints.iter().filter(|c| c.kind == SodKind::Dynamic) {
+            let active: Vec<DomainRole> = session
+                .active_roles()
+                .filter(|dr| c.roles.contains(dr))
+                .cloned()
+                .collect();
+            if active.len() > c.limit {
+                out.push(SodViolation {
+                    constraint: c.name.clone(),
+                    user: session.user().to_string(),
+                    roles: active,
+                });
+            }
+        }
+        out
+    }
+
+    /// Would assigning `user` to `role` violate a static constraint?
+    pub fn assignment_allowed(
+        &self,
+        policy: &RbacPolicy,
+        user: &crate::ids::User,
+        role: &DomainRole,
+    ) -> Result<(), SodViolation> {
+        for c in self.constraints.iter().filter(|c| c.kind == SodKind::Static) {
+            if !c.roles.contains(role) {
+                continue;
+            }
+            let mut held: Vec<DomainRole> = policy
+                .roles_of(user)
+                .into_iter()
+                .filter(|dr| c.roles.contains(dr))
+                .collect();
+            if !held.contains(role) {
+                held.push(role.clone());
+            }
+            if held.len() > c.limit {
+                return Err(SodViolation {
+                    constraint: c.name.clone(),
+                    user: user.to_string(),
+                    roles: held,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::salaries_policy;
+    use crate::policy::RoleAssignment;
+
+    fn payroll_sod(kind: SodKind) -> SodConstraint {
+        SodConstraint::mutual_exclusion(
+            "payroll-vs-audit",
+            kind,
+            [
+                DomainRole::new("Finance", "Clerk"),
+                DomainRole::new("Finance", "Auditor"),
+            ],
+        )
+    }
+
+    #[test]
+    fn clean_policy_validates() {
+        let mut set = ConstraintSet::new();
+        set.add(payroll_sod(SodKind::Static));
+        assert!(set.validate_policy(&salaries_policy()).is_empty());
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn static_violation_detected() {
+        let mut policy = salaries_policy();
+        policy.assign(RoleAssignment::new("Alice", "Finance", "Auditor"));
+        let mut set = ConstraintSet::new();
+        set.add(payroll_sod(SodKind::Static));
+        let violations = set.validate_policy(&policy);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].user, "Alice");
+        assert_eq!(violations[0].roles.len(), 2);
+        assert!(violations[0].to_string().contains("payroll-vs-audit"));
+    }
+
+    #[test]
+    fn assignment_precheck() {
+        let policy = salaries_policy();
+        let mut set = ConstraintSet::new();
+        set.add(payroll_sod(SodKind::Static));
+        // Alice is already Finance/Clerk: adding Auditor violates.
+        let err = set
+            .assignment_allowed(
+                &policy,
+                &"Alice".into(),
+                &DomainRole::new("Finance", "Auditor"),
+            )
+            .unwrap_err();
+        assert_eq!(err.user, "Alice");
+        // Bob (Manager) can become Auditor.
+        assert!(set
+            .assignment_allowed(
+                &policy,
+                &"Bob".into(),
+                &DomainRole::new("Finance", "Auditor")
+            )
+            .is_ok());
+        // Roles outside the conflict set are unconstrained.
+        assert!(set
+            .assignment_allowed(
+                &policy,
+                &"Alice".into(),
+                &DomainRole::new("Sales", "Manager")
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn dynamic_constraint_checks_sessions_only() {
+        let mut policy = salaries_policy();
+        policy.assign(RoleAssignment::new("Alice", "Finance", "Auditor"));
+        let mut set = ConstraintSet::new();
+        set.add(payroll_sod(SodKind::Dynamic));
+        // Membership in both is fine under DSD...
+        assert!(set.validate_policy(&policy).is_empty());
+        // ...but activating both in one session is not.
+        let mut session = crate::sessions::RbacSession::open("Alice");
+        session
+            .activate(DomainRole::new("Finance", "Clerk"), &policy)
+            .unwrap();
+        assert!(set.validate_session(&session).is_empty());
+        session
+            .activate(DomainRole::new("Finance", "Auditor"), &policy)
+            .unwrap();
+        let violations = set.validate_session(&session);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].user, "Alice");
+    }
+
+    #[test]
+    fn higher_limits() {
+        let mut set = ConstraintSet::new();
+        set.add(SodConstraint {
+            name: "at-most-two".into(),
+            kind: SodKind::Static,
+            roles: [
+                DomainRole::new("D", "A"),
+                DomainRole::new("D", "B"),
+                DomainRole::new("D", "C"),
+            ]
+            .into_iter()
+            .collect(),
+            limit: 2,
+        });
+        let mut policy = RbacPolicy::new();
+        policy.assign(RoleAssignment::new("u", "D", "A"));
+        policy.assign(RoleAssignment::new("u", "D", "B"));
+        assert!(set.validate_policy(&policy).is_empty());
+        policy.assign(RoleAssignment::new("u", "D", "C"));
+        assert_eq!(set.validate_policy(&policy).len(), 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! User-to-user role delegation at the RBAC layer (the paper's reference
+//! [29], Zhang/Oh/Sandhu's flexible delegation model).
+//!
+//! The trust layer realises delegation with credentials (Figure 7); this
+//! module provides the *relational* counterpart so the two views can be
+//! kept consistent: a `Delegation(delegator, delegatee, domain-role,
+//! depth)` relation whose effective membership feeds the same access
+//! checks, with revocation cascading through re-delegations.
+
+use crate::ids::{DomainRole, ObjectType, Permission, User};
+use crate::policy::RbacPolicy;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One delegation edge.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Delegation {
+    /// Who delegates (must hold the role, originally or by delegation).
+    pub delegator: User,
+    /// Who receives the role.
+    pub delegatee: User,
+    /// The delegated (domain, role).
+    pub role: DomainRole,
+    /// Remaining re-delegation depth: 0 = delegatee may not re-delegate.
+    pub depth: u32,
+}
+
+/// Errors creating delegations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DelegationError {
+    /// The delegator does not hold the role (directly or via
+    /// delegation).
+    NotHeld {
+        /// The delegator.
+        delegator: User,
+        /// The role.
+        role: DomainRole,
+    },
+    /// The delegator's grant has no re-delegation depth left.
+    DepthExhausted {
+        /// The delegator.
+        delegator: User,
+        /// The role.
+        role: DomainRole,
+    },
+    /// Self-delegation is meaningless.
+    SelfDelegation(User),
+}
+
+impl fmt::Display for DelegationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelegationError::NotHeld { delegator, role } => {
+                write!(f, "{delegator} does not hold {role}")
+            }
+            DelegationError::DepthExhausted { delegator, role } => {
+                write!(f, "{delegator} may not re-delegate {role}")
+            }
+            DelegationError::SelfDelegation(u) => write!(f, "{u} cannot delegate to themself"),
+        }
+    }
+}
+
+impl std::error::Error for DelegationError {}
+
+/// The delegation relation layered over a base policy.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelegationStore {
+    edges: BTreeSet<Delegation>,
+}
+
+impl DelegationStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of delegation edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The re-delegation depth available to `user` for `role`:
+    /// `u32::MAX` for original members, the maximum residual depth over
+    /// incoming delegations otherwise, `None` if the role is not held.
+    pub fn available_depth(
+        &self,
+        policy: &RbacPolicy,
+        user: &User,
+        role: &DomainRole,
+    ) -> Option<u32> {
+        if policy.user_in_role(user, &role.domain, &role.role) {
+            return Some(u32::MAX);
+        }
+        self.held_via(policy, user, role, &mut BTreeSet::new())
+    }
+
+    fn held_via(
+        &self,
+        policy: &RbacPolicy,
+        user: &User,
+        role: &DomainRole,
+        visiting: &mut BTreeSet<User>,
+    ) -> Option<u32> {
+        if !visiting.insert(user.clone()) {
+            return None; // cycle guard
+        }
+        let mut best: Option<u32> = None;
+        for e in self.edges.iter().filter(|e| &e.delegatee == user && &e.role == role) {
+            // The edge is live only if the delegator still holds the role.
+            let delegator_depth = if policy.user_in_role(&e.delegator, &role.domain, &role.role) {
+                Some(u32::MAX)
+            } else {
+                self.held_via(policy, &e.delegator, role, visiting)
+            };
+            match delegator_depth {
+                // The delegator must have had re-delegation capacity.
+                Some(d) if d > 0 => {
+                    let granted = e.depth.min(d.saturating_sub(1));
+                    best = Some(best.map_or(granted, |b| b.max(granted)));
+                }
+                _ => {}
+            }
+        }
+        visiting.remove(user);
+        best
+    }
+
+    /// Creates a delegation, validating the delegator's authority.
+    pub fn delegate(
+        &mut self,
+        policy: &RbacPolicy,
+        delegator: &User,
+        delegatee: &User,
+        role: DomainRole,
+        depth: u32,
+    ) -> Result<(), DelegationError> {
+        if delegator == delegatee {
+            return Err(DelegationError::SelfDelegation(delegator.clone()));
+        }
+        match self.available_depth(policy, delegator, &role) {
+            None => Err(DelegationError::NotHeld {
+                delegator: delegator.clone(),
+                role,
+            }),
+            Some(0) => Err(DelegationError::DepthExhausted {
+                delegator: delegator.clone(),
+                role,
+            }),
+            Some(available) => {
+                let granted_depth = depth.min(available.saturating_sub(1));
+                self.edges.insert(Delegation {
+                    delegator: delegator.clone(),
+                    delegatee: delegatee.clone(),
+                    role,
+                    depth: granted_depth,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Revokes every delegation from `delegator` of `role`. Cascades
+    /// implicitly: downstream edges survive in the relation but become
+    /// dead because their delegator no longer holds the role.
+    pub fn revoke(&mut self, delegator: &User, role: &DomainRole) -> usize {
+        let before = self.edges.len();
+        self.edges
+            .retain(|e| !(&e.delegator == delegator && &e.role == role));
+        before - self.edges.len()
+    }
+
+    /// True when `user` holds `role` directly or through live
+    /// delegations.
+    pub fn holds_role(&self, policy: &RbacPolicy, user: &User, role: &DomainRole) -> bool {
+        self.available_depth(policy, user, role).is_some()
+    }
+
+    /// The access check with delegations considered.
+    pub fn check_access(
+        &self,
+        policy: &RbacPolicy,
+        user: &User,
+        object_type: &ObjectType,
+        permission: &Permission,
+    ) -> bool {
+        if policy.check_access(user, object_type, permission) {
+            return true;
+        }
+        // Any role granting the permission that the user holds by
+        // delegation suffices.
+        policy
+            .domain_roles()
+            .iter()
+            .filter(|dr| {
+                policy.role_has_permission(&dr.domain, &dr.role, object_type, permission)
+            })
+            .any(|dr| self.holds_role(policy, user, dr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::salaries_policy;
+    use crate::ids::ObjectType;
+
+    fn sales_manager() -> DomainRole {
+        DomainRole::new("Sales", "Manager")
+    }
+
+    #[test]
+    fn member_delegates_to_outsider() {
+        let policy = salaries_policy();
+        let mut d = DelegationStore::new();
+        d.delegate(&policy, &"Claire".into(), &"Fred".into(), sales_manager(), 0)
+            .unwrap();
+        assert!(d.holds_role(&policy, &"Fred".into(), &sales_manager()));
+        assert!(d.check_access(
+            &policy,
+            &"Fred".into(),
+            &ObjectType::new("SalariesDB"),
+            &"read".into()
+        ));
+        assert!(!d.check_access(
+            &policy,
+            &"Fred".into(),
+            &ObjectType::new("SalariesDB"),
+            &"write".into()
+        ));
+    }
+
+    #[test]
+    fn non_member_cannot_delegate() {
+        let policy = salaries_policy();
+        let mut d = DelegationStore::new();
+        let err = d
+            .delegate(&policy, &"Dave".into(), &"Mallory".into(), sales_manager(), 0)
+            .unwrap_err();
+        assert!(matches!(err, DelegationError::NotHeld { .. }));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn self_delegation_rejected() {
+        let policy = salaries_policy();
+        let mut d = DelegationStore::new();
+        assert!(matches!(
+            d.delegate(&policy, &"Claire".into(), &"Claire".into(), sales_manager(), 0),
+            Err(DelegationError::SelfDelegation(_))
+        ));
+    }
+
+    #[test]
+    fn depth_limits_redelegation() {
+        let policy = salaries_policy();
+        let mut d = DelegationStore::new();
+        // depth 1: Fred may re-delegate once.
+        d.delegate(&policy, &"Claire".into(), &"Fred".into(), sales_manager(), 1)
+            .unwrap();
+        d.delegate(&policy, &"Fred".into(), &"Gina".into(), sales_manager(), 5)
+            .unwrap();
+        // Gina's residual depth is 0: she may not re-delegate.
+        let err = d
+            .delegate(&policy, &"Gina".into(), &"Hank".into(), sales_manager(), 0)
+            .unwrap_err();
+        assert!(matches!(err, DelegationError::DepthExhausted { .. }));
+        assert!(d.holds_role(&policy, &"Gina".into(), &sales_manager()));
+        assert!(!d.holds_role(&policy, &"Hank".into(), &sales_manager()));
+    }
+
+    #[test]
+    fn zero_depth_blocks_redelegation() {
+        let policy = salaries_policy();
+        let mut d = DelegationStore::new();
+        d.delegate(&policy, &"Claire".into(), &"Fred".into(), sales_manager(), 0)
+            .unwrap();
+        assert!(matches!(
+            d.delegate(&policy, &"Fred".into(), &"Gina".into(), sales_manager(), 0),
+            Err(DelegationError::DepthExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn revocation_cascades() {
+        let policy = salaries_policy();
+        let mut d = DelegationStore::new();
+        d.delegate(&policy, &"Claire".into(), &"Fred".into(), sales_manager(), 2)
+            .unwrap();
+        d.delegate(&policy, &"Fred".into(), &"Gina".into(), sales_manager(), 0)
+            .unwrap();
+        assert!(d.holds_role(&policy, &"Gina".into(), &sales_manager()));
+        // Claire revokes Fred: Gina's chain dies with it.
+        assert_eq!(d.revoke(&"Claire".into(), &sales_manager()), 1);
+        assert!(!d.holds_role(&policy, &"Fred".into(), &sales_manager()));
+        assert!(!d.holds_role(&policy, &"Gina".into(), &sales_manager()));
+        assert_eq!(d.len(), 1); // the dead Fred->Gina edge remains but is inert
+    }
+
+    #[test]
+    fn cycles_do_not_grant() {
+        let policy = salaries_policy();
+        let mut d = DelegationStore::new();
+        // Force a cycle by inserting raw edges between two outsiders.
+        d.edges.insert(Delegation {
+            delegator: "X".into(),
+            delegatee: "Y".into(),
+            role: sales_manager(),
+            depth: 5,
+        });
+        d.edges.insert(Delegation {
+            delegator: "Y".into(),
+            delegatee: "X".into(),
+            role: sales_manager(),
+            depth: 5,
+        });
+        assert!(!d.holds_role(&policy, &"X".into(), &sales_manager()));
+        assert!(!d.holds_role(&policy, &"Y".into(), &sales_manager()));
+    }
+
+    #[test]
+    fn original_members_have_unbounded_depth() {
+        let policy = salaries_policy();
+        let d = DelegationStore::new();
+        assert_eq!(
+            d.available_depth(&policy, &"Claire".into(), &sales_manager()),
+            Some(u32::MAX)
+        );
+        assert_eq!(d.available_depth(&policy, &"Fred".into(), &sales_manager()), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! Policy differencing — the substrate of the paper's *Policy
+//! Maintenance* characteristic (§4.4).
+//!
+//! Consistency across heterogeneous middlewares is checked by exporting
+//! each middleware's native policy to the common RBAC form and diffing
+//! it against the unified (trust-management) policy.
+
+use crate::policy::{PermissionGrant, RbacPolicy, RoleAssignment};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The difference between two policies (`from` -> `to`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyDiff {
+    /// Grants present in `to` but not `from`.
+    pub added_grants: Vec<PermissionGrant>,
+    /// Grants present in `from` but not `to`.
+    pub removed_grants: Vec<PermissionGrant>,
+    /// Assignments present in `to` but not `from`.
+    pub added_assignments: Vec<RoleAssignment>,
+    /// Assignments present in `from` but not `to`.
+    pub removed_assignments: Vec<RoleAssignment>,
+}
+
+impl PolicyDiff {
+    /// Computes `to - from`.
+    pub fn between(from: &RbacPolicy, to: &RbacPolicy) -> PolicyDiff {
+        let from_grants: std::collections::BTreeSet<_> = from.grants().cloned().collect();
+        let to_grants: std::collections::BTreeSet<_> = to.grants().cloned().collect();
+        let from_assign: std::collections::BTreeSet<_> = from.assignments().cloned().collect();
+        let to_assign: std::collections::BTreeSet<_> = to.assignments().cloned().collect();
+        PolicyDiff {
+            added_grants: to_grants.difference(&from_grants).cloned().collect(),
+            removed_grants: from_grants.difference(&to_grants).cloned().collect(),
+            added_assignments: to_assign.difference(&from_assign).cloned().collect(),
+            removed_assignments: from_assign.difference(&to_assign).cloned().collect(),
+        }
+    }
+
+    /// True when the two policies were identical.
+    pub fn is_empty(&self) -> bool {
+        self.added_grants.is_empty()
+            && self.removed_grants.is_empty()
+            && self.added_assignments.is_empty()
+            && self.removed_assignments.is_empty()
+    }
+
+    /// Total number of differing rows.
+    pub fn len(&self) -> usize {
+        self.added_grants.len()
+            + self.removed_grants.len()
+            + self.added_assignments.len()
+            + self.removed_assignments.len()
+    }
+
+    /// Applies the diff to `policy`, turning a `from`-shaped policy into
+    /// the `to` shape. Returns the number of rows changed.
+    pub fn apply(&self, policy: &mut RbacPolicy) -> usize {
+        let mut changed = 0;
+        for g in &self.added_grants {
+            if policy.grant(g.clone()) {
+                changed += 1;
+            }
+        }
+        for g in &self.removed_grants {
+            if policy.revoke(g) {
+                changed += 1;
+            }
+        }
+        for a in &self.added_assignments {
+            if policy.assign(a.clone()) {
+                changed += 1;
+            }
+        }
+        for a in &self.removed_assignments {
+            if policy.unassign(a) {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// The reverse diff (`to` -> `from`).
+    pub fn inverse(&self) -> PolicyDiff {
+        PolicyDiff {
+            added_grants: self.removed_grants.clone(),
+            removed_grants: self.added_grants.clone(),
+            added_assignments: self.removed_assignments.clone(),
+            removed_assignments: self.added_assignments.clone(),
+        }
+    }
+}
+
+impl fmt::Display for PolicyDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "policies identical");
+        }
+        for g in &self.added_grants {
+            writeln!(f, "+ grant {g}")?;
+        }
+        for g in &self.removed_grants {
+            writeln!(f, "- grant {g}")?;
+        }
+        for a in &self.added_assignments {
+            writeln!(f, "+ assign {a}")?;
+        }
+        for a in &self.removed_assignments {
+            writeln!(f, "- assign {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::salaries_policy;
+
+    #[test]
+    fn identical_policies_have_empty_diff() {
+        let a = salaries_policy();
+        let d = PolicyDiff::between(&a, &a.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.to_string(), "policies identical");
+    }
+
+    #[test]
+    fn diff_and_apply_roundtrip() {
+        let from = salaries_policy();
+        let mut to = from.clone();
+        to.grant(PermissionGrant::new("HR", "Officer", "PersonnelDB", "read"));
+        to.remove_user(&"Dave".into());
+        let d = PolicyDiff::between(&from, &to);
+        assert_eq!(d.added_grants.len(), 1);
+        assert_eq!(d.removed_assignments.len(), 1);
+        let mut patched = from.clone();
+        let changed = d.apply(&mut patched);
+        assert_eq!(changed, d.len());
+        assert_eq!(patched, to);
+    }
+
+    #[test]
+    fn inverse_undoes() {
+        let from = salaries_policy();
+        let mut to = from.clone();
+        to.assign(RoleAssignment::new("Fred", "Sales", "Manager"));
+        let d = PolicyDiff::between(&from, &to);
+        let mut p = to.clone();
+        d.inverse().apply(&mut p);
+        assert_eq!(p, from);
+    }
+
+    #[test]
+    fn display_lists_rows() {
+        let from = RbacPolicy::new();
+        let mut to = RbacPolicy::new();
+        to.grant(PermissionGrant::new("D", "R", "T", "read"));
+        let d = PolicyDiff::between(&from, &to);
+        let s = d.to_string();
+        assert!(s.contains("+ grant D/R may read on T"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let from = RbacPolicy::new();
+        let to = salaries_policy();
+        let d = PolicyDiff::between(&from, &to);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: PolicyDiff = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,287 @@
+//! Role hierarchies (RBAC1, Sandhu et al. [26]) as an extension of the
+//! paper's flat model.
+//!
+//! A hierarchy relates roles *within one domain*: a senior role inherits
+//! every permission of its juniors. The paper's middleware targets are
+//! flat, so translations flatten a hierarchy into explicit
+//! `HasPermission` rows before export (see [`RoleHierarchy::flatten`]).
+
+use crate::ids::{Domain, DomainRole, Role};
+use crate::policy::{PermissionGrant, RbacPolicy};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A seniority relation over (domain, role) pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoleHierarchy {
+    /// senior -> set of direct juniors.
+    juniors: BTreeMap<DomainRole, BTreeSet<DomainRole>>,
+}
+
+/// Errors building a hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// Seniority must stay within a single domain.
+    CrossDomain {
+        /// The senior role.
+        senior: DomainRole,
+        /// The junior role.
+        junior: DomainRole,
+    },
+    /// Adding the edge would create a cycle.
+    Cycle {
+        /// The senior role.
+        senior: DomainRole,
+        /// The junior role.
+        junior: DomainRole,
+    },
+}
+
+impl std::fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierarchyError::CrossDomain { senior, junior } => {
+                write!(f, "cross-domain seniority {senior} > {junior}")
+            }
+            HierarchyError::Cycle { senior, junior } => {
+                write!(f, "seniority {senior} > {junior} would create a cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+impl RoleHierarchy {
+    /// Empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `senior > junior` (senior inherits junior's permissions).
+    pub fn add_seniority(
+        &mut self,
+        senior: DomainRole,
+        junior: DomainRole,
+    ) -> Result<(), HierarchyError> {
+        if senior.domain != junior.domain {
+            return Err(HierarchyError::CrossDomain { senior, junior });
+        }
+        if senior == junior || self.inherits(&junior, &senior) {
+            return Err(HierarchyError::Cycle { senior, junior });
+        }
+        self.juniors.entry(senior).or_default().insert(junior);
+        Ok(())
+    }
+
+    /// True when `senior` (transitively) inherits from `junior`.
+    pub fn inherits(&self, senior: &DomainRole, junior: &DomainRole) -> bool {
+        if senior == junior {
+            return true;
+        }
+        let mut queue: VecDeque<&DomainRole> = VecDeque::new();
+        let mut seen: BTreeSet<&DomainRole> = BTreeSet::new();
+        queue.push_back(senior);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(js) = self.juniors.get(cur) {
+                for j in js {
+                    if j == junior {
+                        return true;
+                    }
+                    if seen.insert(j) {
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All roles (transitively) junior to `senior`, including itself.
+    pub fn closure(&self, senior: &DomainRole) -> BTreeSet<DomainRole> {
+        let mut out = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        out.insert(senior.clone());
+        queue.push_back(senior.clone());
+        while let Some(cur) = queue.pop_front() {
+            if let Some(js) = self.juniors.get(&cur) {
+                for j in js {
+                    if out.insert(j.clone()) {
+                        queue.push_back(j.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of direct seniority edges.
+    pub fn edge_count(&self) -> usize {
+        self.juniors.values().map(BTreeSet::len).sum()
+    }
+
+    /// Flattens the hierarchy into `policy`: for every senior role, adds
+    /// explicit `HasPermission` rows for every permission of every
+    /// junior. Returns the number of rows added. After flattening the
+    /// policy is equivalent under flat (middleware) semantics.
+    pub fn flatten(&self, policy: &mut RbacPolicy) -> usize {
+        let mut to_add: Vec<PermissionGrant> = Vec::new();
+        for senior in self.juniors.keys() {
+            for junior in self.closure(senior) {
+                if junior == *senior {
+                    continue;
+                }
+                for (object_type, perms) in policy.permissions_of_role(&junior.domain, &junior.role)
+                {
+                    for perm in perms {
+                        to_add.push(PermissionGrant {
+                            domain: senior.domain.clone(),
+                            role: senior.role.clone(),
+                            object_type: object_type.clone(),
+                            permission: perm,
+                        });
+                    }
+                }
+            }
+        }
+        let mut added = 0;
+        for g in to_add {
+            if policy.grant(g) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Access check under the hierarchy: user holds the permission if any
+    /// of their roles, or any junior of their roles, holds it.
+    pub fn check_access(
+        &self,
+        policy: &RbacPolicy,
+        user: &crate::ids::User,
+        object_type: &crate::ids::ObjectType,
+        permission: &crate::ids::Permission,
+    ) -> bool {
+        policy.roles_of(user).iter().any(|dr| {
+            self.closure(dr).iter().any(|j| {
+                policy.role_has_permission(&j.domain, &j.role, object_type, permission)
+            })
+        })
+    }
+
+    /// Roles senior to nothing in a domain (diagnostic helper).
+    pub fn seniors_in(&self, domain: &Domain) -> Vec<Role> {
+        self.juniors
+            .keys()
+            .filter(|dr| &dr.domain == domain)
+            .map(|dr| dr.role.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::salaries_policy;
+    use crate::ids::ObjectType;
+
+    fn dr(d: &str, r: &str) -> DomainRole {
+        DomainRole::new(d, r)
+    }
+
+    #[test]
+    fn seniority_and_inheritance() {
+        let mut h = RoleHierarchy::new();
+        h.add_seniority(dr("Finance", "Manager"), dr("Finance", "Clerk"))
+            .unwrap();
+        assert!(h.inherits(&dr("Finance", "Manager"), &dr("Finance", "Clerk")));
+        assert!(!h.inherits(&dr("Finance", "Clerk"), &dr("Finance", "Manager")));
+        assert!(h.inherits(&dr("Finance", "Clerk"), &dr("Finance", "Clerk")));
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut h = RoleHierarchy::new();
+        h.add_seniority(dr("D", "Director"), dr("D", "Manager")).unwrap();
+        h.add_seniority(dr("D", "Manager"), dr("D", "Clerk")).unwrap();
+        assert!(h.inherits(&dr("D", "Director"), &dr("D", "Clerk")));
+        assert_eq!(h.closure(&dr("D", "Director")).len(), 3);
+        assert_eq!(h.edge_count(), 2);
+    }
+
+    #[test]
+    fn cross_domain_rejected() {
+        let mut h = RoleHierarchy::new();
+        let err = h
+            .add_seniority(dr("Finance", "Manager"), dr("Sales", "Clerk"))
+            .unwrap_err();
+        assert!(matches!(err, HierarchyError::CrossDomain { .. }));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut h = RoleHierarchy::new();
+        h.add_seniority(dr("D", "A"), dr("D", "B")).unwrap();
+        h.add_seniority(dr("D", "B"), dr("D", "C")).unwrap();
+        assert!(matches!(
+            h.add_seniority(dr("D", "C"), dr("D", "A")),
+            Err(HierarchyError::Cycle { .. })
+        ));
+        assert!(matches!(
+            h.add_seniority(dr("D", "A"), dr("D", "A")),
+            Err(HierarchyError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn hierarchical_access_check() {
+        let policy = salaries_policy();
+        let mut h = RoleHierarchy::new();
+        // Make Sales/Manager senior to Sales/Assistant — changes nothing
+        // since Assistant has no permissions.
+        h.add_seniority(dr("Sales", "Manager"), dr("Sales", "Assistant"))
+            .unwrap();
+        let t = ObjectType::new("SalariesDB");
+        assert!(h.check_access(&policy, &"Claire".into(), &t, &"read".into()));
+        assert!(!h.check_access(&policy, &"Dave".into(), &t, &"read".into()));
+        // Now give Finance/Manager seniority over Finance/Clerk; Bob
+        // already has read+write so nothing changes, but a hierarchy-only
+        // user demonstrates inheritance:
+        let mut h2 = RoleHierarchy::new();
+        h2.add_seniority(dr("Finance", "Director"), dr("Finance", "Manager"))
+            .unwrap();
+        let mut p2 = policy.clone();
+        p2.assign(crate::policy::RoleAssignment::new(
+            "Grace", "Finance", "Director",
+        ));
+        assert!(h2.check_access(&p2, &"Grace".into(), &t, &"write".into()));
+        // Flat check says no: Director has no explicit rows.
+        assert!(!p2.check_access(&"Grace".into(), &t, &"write".into()));
+    }
+
+    #[test]
+    fn flatten_materialises_inherited_rows() {
+        let mut policy = salaries_policy();
+        let mut h = RoleHierarchy::new();
+        h.add_seniority(dr("Finance", "Director"), dr("Finance", "Manager"))
+            .unwrap();
+        let added = h.flatten(&mut policy);
+        assert_eq!(added, 2); // read + write inherited by Director
+        assert!(policy.role_has_permission(
+            &"Finance".into(),
+            &"Director".into(),
+            &ObjectType::new("SalariesDB"),
+            &"write".into()
+        ));
+        // Flattening again is idempotent.
+        assert_eq!(h.flatten(&mut policy), 0);
+    }
+
+    #[test]
+    fn seniors_in_domain() {
+        let mut h = RoleHierarchy::new();
+        h.add_seniority(dr("D", "A"), dr("D", "B")).unwrap();
+        h.add_seniority(dr("E", "X"), dr("E", "Y")).unwrap();
+        assert_eq!(h.seniors_in(&"D".into()), vec![Role::new("A")]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Typed identifiers for the extended RBAC model (paper §2).
+//!
+//! The paper extends classic RBAC (Users, Roles, Permissions) with
+//! **Domain** (a logical grouping of roles, e.g. a department or a
+//! middleware server) and **ObjectType** (the type permissions range
+//! over, e.g. `SalariesDB`). Newtype wrappers keep the five name spaces
+//! from being mixed up at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Wraps a name.
+            pub fn new(name: impl Into<String>) -> Self {
+                $name(name.into())
+            }
+
+            /// The underlying string.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name(s.to_string())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name(s)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A logical grouping of roles: a department, an NT domain, an EJB
+    /// server/JNDI name, or a (machine, ORB server) pair.
+    Domain
+);
+id_type!(
+    /// A role, unique within its domain.
+    Role
+);
+id_type!(
+    /// A user (a principal name; mapped to a public key by the trust
+    /// layer).
+    User
+);
+id_type!(
+    /// The type of object a permission ranges over (e.g. `SalariesDB`).
+    ObjectType
+);
+id_type!(
+    /// A permission name (e.g. `read`, `write`, COM's `Launch`).
+    Permission
+);
+
+/// A (domain, role) pair — the unit of role membership.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DomainRole {
+    /// The domain.
+    pub domain: Domain,
+    /// The role within that domain.
+    pub role: Role,
+}
+
+impl DomainRole {
+    /// Builds a pair.
+    pub fn new(domain: impl Into<Domain>, role: impl Into<Role>) -> Self {
+        DomainRole {
+            domain: domain.into(),
+            role: role.into(),
+        }
+    }
+}
+
+impl fmt::Display for DomainRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.domain, self.role)
+    }
+}
+
+impl From<(&str, &str)> for DomainRole {
+    fn from((d, r): (&str, &str)) -> Self {
+        DomainRole::new(d, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let d = Domain::new("Finance");
+        assert_eq!(d.as_str(), "Finance");
+        assert_eq!(d.to_string(), "Finance");
+        let dr = DomainRole::new("Finance", "Clerk");
+        assert_eq!(dr.to_string(), "Finance/Clerk");
+        let dr2: DomainRole = ("Finance", "Clerk").into();
+        assert_eq!(dr, dr2);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Role::new("Assistant");
+        let b = Role::new("Clerk");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn distinct_types_same_text() {
+        // Same text, different types: both construct fine.
+        let r = Role::new("Finance");
+        let d = Domain::new("Finance");
+        assert_eq!(r.as_str(), d.as_str());
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let u = User::new("Alice");
+        assert_eq!(serde_json::to_string(&u).unwrap(), "\"Alice\"");
+        let back: User = serde_json::from_str("\"Alice\"").unwrap();
+        assert_eq!(back, u);
+    }
+}

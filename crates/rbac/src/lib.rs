@@ -1,0 +1,39 @@
+//! The extended Role-Based Access Control model of the paper (§2).
+//!
+//! Classic RBAC relates Users, Roles and Permissions; the paper extends
+//! it with **Domain** (a logical grouping of roles — a department, an NT
+//! domain, an EJB server) and **ObjectType** (what permissions range
+//! over), giving the two relations
+//!
+//! ```text
+//! HasPermission ⊆ Domain × Role × ObjectType × Permission
+//! UserRole      ⊆ User × Domain × Role
+//! ```
+//!
+//! which every supported middleware (COM+, EJB, CORBA) concretises and
+//! which the trust layer encodes into KeyNote credentials.
+//!
+//! Modules: [`ids`] (typed names), [`policy`] (the relations and access
+//! checks), [`hierarchy`] (RBAC1 role hierarchies + flattening),
+//! [`sessions`] (RBAC96 sessions / role activation), [`constraints`]
+//! (RBAC2 separation of duty), [`delegation`] (user-to-user role
+//! delegation, the paper's [29]), [`diff`] (policy differencing for
+//! maintenance), [`fixtures`] (the paper's Figure 1 and synthetic
+//! workloads).
+
+pub mod constraints;
+pub mod delegation;
+pub mod diff;
+pub mod fixtures;
+pub mod hierarchy;
+pub mod ids;
+pub mod policy;
+pub mod sessions;
+
+pub use constraints::{ConstraintSet, SodConstraint, SodKind, SodViolation};
+pub use delegation::{Delegation, DelegationError, DelegationStore};
+pub use diff::PolicyDiff;
+pub use hierarchy::{HierarchyError, RoleHierarchy};
+pub use ids::{Domain, DomainRole, ObjectType, Permission, Role, User};
+pub use policy::{PermissionGrant, RbacPolicy, RoleAssignment};
+pub use sessions::{RbacSession, SessionsError};

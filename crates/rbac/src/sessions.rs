@@ -1,0 +1,167 @@
+//! RBAC sessions (RBAC96): a user activates a subset of their roles and
+//! access checks consider only the activated set.
+//!
+//! The WebCom scheduler uses sessions to honour the IDE's *partial
+//! specifications* (§6): a component may be pinned to run under one
+//! (domain, role), which maps to a session with a single activated role.
+
+use crate::ids::{DomainRole, ObjectType, Permission, User};
+use crate::policy::RbacPolicy;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors activating roles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionsError {
+    /// The user is not a member of the requested role.
+    NotAMember {
+        /// The user.
+        user: User,
+        /// The requested role.
+        role: DomainRole,
+    },
+}
+
+impl fmt::Display for SessionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionsError::NotAMember { user, role } => {
+                write!(f, "{user} is not a member of {role}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionsError {}
+
+/// A user session with a set of activated roles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RbacSession {
+    user: User,
+    active: BTreeSet<DomainRole>,
+}
+
+impl RbacSession {
+    /// Opens a session with no roles active.
+    pub fn open(user: impl Into<User>) -> Self {
+        RbacSession {
+            user: user.into(),
+            active: BTreeSet::new(),
+        }
+    }
+
+    /// Opens a session with *all* the user's roles active (the common
+    /// default in middleware that has no session concept).
+    pub fn open_with_all_roles(user: impl Into<User>, policy: &RbacPolicy) -> Self {
+        let user = user.into();
+        let active = policy.roles_of(&user).into_iter().collect();
+        RbacSession { user, active }
+    }
+
+    /// The session's user.
+    pub fn user(&self) -> &User {
+        &self.user
+    }
+
+    /// The activated roles.
+    pub fn active_roles(&self) -> impl Iterator<Item = &DomainRole> {
+        self.active.iter()
+    }
+
+    /// Activates a role the user is a member of.
+    pub fn activate(&mut self, role: DomainRole, policy: &RbacPolicy) -> Result<(), SessionsError> {
+        if !policy.user_in_role(&self.user, &role.domain, &role.role) {
+            return Err(SessionsError::NotAMember {
+                user: self.user.clone(),
+                role,
+            });
+        }
+        self.active.insert(role);
+        Ok(())
+    }
+
+    /// Deactivates a role; returns false if it was not active.
+    pub fn deactivate(&mut self, role: &DomainRole) -> bool {
+        self.active.remove(role)
+    }
+
+    /// Access check restricted to the activated roles.
+    pub fn check_access(
+        &self,
+        policy: &RbacPolicy,
+        object_type: &ObjectType,
+        permission: &Permission,
+    ) -> bool {
+        self.active.iter().any(|dr| {
+            policy.role_has_permission(&dr.domain, &dr.role, object_type, permission)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::salaries_policy;
+    use crate::ids::ObjectType;
+
+    #[test]
+    fn empty_session_grants_nothing() {
+        let p = salaries_policy();
+        let s = RbacSession::open("Bob");
+        assert!(!s.check_access(&p, &ObjectType::new("SalariesDB"), &"read".into()));
+    }
+
+    #[test]
+    fn activation_requires_membership() {
+        let p = salaries_policy();
+        let mut s = RbacSession::open("Bob");
+        assert!(s
+            .activate(DomainRole::new("Finance", "Manager"), &p)
+            .is_ok());
+        let err = s
+            .activate(DomainRole::new("Sales", "Manager"), &p)
+            .unwrap_err();
+        assert!(matches!(err, SessionsError::NotAMember { .. }));
+    }
+
+    #[test]
+    fn activated_role_grants_access() {
+        let p = salaries_policy();
+        let t = ObjectType::new("SalariesDB");
+        let mut s = RbacSession::open("Bob");
+        s.activate(DomainRole::new("Finance", "Manager"), &p).unwrap();
+        assert!(s.check_access(&p, &t, &"read".into()));
+        assert!(s.check_access(&p, &t, &"write".into()));
+        assert!(s.deactivate(&DomainRole::new("Finance", "Manager")));
+        assert!(!s.check_access(&p, &t, &"read".into()));
+        assert!(!s.deactivate(&DomainRole::new("Finance", "Manager")));
+    }
+
+    #[test]
+    fn open_with_all_roles_matches_flat_check() {
+        let p = salaries_policy();
+        let t = ObjectType::new("SalariesDB");
+        for user in ["Alice", "Bob", "Claire", "Dave", "Elaine"] {
+            let s = RbacSession::open_with_all_roles(user, &p);
+            for perm in ["read", "write"] {
+                assert_eq!(
+                    s.check_access(&p, &t, &perm.into()),
+                    p.check_access(&user.into(), &t, &perm.into()),
+                    "user={user} perm={perm}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn least_privilege_with_single_role() {
+        // Elaine activating only Sales/Manager cannot use any other role.
+        let p = salaries_policy();
+        let mut s = RbacSession::open("Elaine");
+        s.activate(DomainRole::new("Sales", "Manager"), &p).unwrap();
+        assert_eq!(s.active_roles().count(), 1);
+        assert_eq!(s.user().as_str(), "Elaine");
+        assert!(s.check_access(&p, &ObjectType::new("SalariesDB"), &"read".into()));
+        assert!(!s.check_access(&p, &ObjectType::new("SalariesDB"), &"write".into()));
+    }
+}

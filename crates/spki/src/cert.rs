@@ -1,0 +1,466 @@
+//! SPKI/SDSI certificates (RFC 2693 §4-5).
+//!
+//! Two certificate forms matter for authorisation:
+//!
+//! * **name certs** — `(cert (issuer (name K n)) (subject S))`: in K's
+//!   local namespace, the name `n` includes subject `S` (a key or a
+//!   further name) — SDSI's linked local name spaces;
+//! * **auth certs** — `(cert (issuer K) (subject S) (propagate)?
+//!   (tag T))`: K grants the authority `T` to `S`, re-delegable iff
+//!   `(propagate)` is present.
+
+use crate::sexp::{parse, tagged_list, Sexp, SexpError};
+use crate::tag::{Tag, TagError};
+use hetsec_crypto::{KeyPair, PublicKey, Signature};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A subject: a key, or a (possibly compound) SDSI name rooted at a key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Subject {
+    /// A key, by printable text.
+    Key(String),
+    /// `(name K n1 n2 ...)`: the name `n1 ... nk` in K's namespace.
+    Name {
+        /// The namespace root key.
+        base: String,
+        /// The name components.
+        names: Vec<String>,
+    },
+}
+
+impl Subject {
+    /// A key subject.
+    pub fn key(k: impl Into<String>) -> Subject {
+        Subject::Key(k.into())
+    }
+
+    /// A single-component name subject.
+    pub fn name(base: impl Into<String>, name: impl Into<String>) -> Subject {
+        Subject::Name {
+            base: base.into(),
+            names: vec![name.into()],
+        }
+    }
+
+    /// S-expression form.
+    pub fn to_sexp(&self) -> Sexp {
+        match self {
+            Subject::Key(k) => Sexp::atom(k.clone()),
+            Subject::Name { base, names } => {
+                let mut items = vec![Sexp::atom("name"), Sexp::atom(base.clone())];
+                items.extend(names.iter().map(|n| Sexp::atom(n.clone())));
+                Sexp::List(items)
+            }
+        }
+    }
+
+    /// Parses a subject expression.
+    pub fn from_sexp(e: &Sexp) -> Result<Subject, CertError> {
+        match e {
+            Sexp::Atom(k) => Ok(Subject::Key(k.clone())),
+            _ => match e.tagged() {
+                Some(("name", rest)) if rest.len() >= 2 => {
+                    let base = rest[0]
+                        .as_atom()
+                        .ok_or_else(|| CertError::Malformed("name base".into()))?
+                        .to_string();
+                    let names = rest[1..]
+                        .iter()
+                        .map(|n| {
+                            n.as_atom()
+                                .map(str::to_string)
+                                .ok_or_else(|| CertError::Malformed("name component".into()))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Subject::Name { base, names })
+                }
+                _ => Err(CertError::Malformed(format!("subject: {e}"))),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sexp())
+    }
+}
+
+/// Certificate errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertError {
+    /// Structural problem.
+    Malformed(String),
+    /// Tag problem.
+    Tag(TagError),
+    /// S-expression syntax problem.
+    Syntax(SexpError),
+    /// Signature check failed or key mismatched.
+    BadSignature(String),
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::Malformed(m) => write!(f, "malformed certificate: {m}"),
+            CertError::Tag(t) => write!(f, "{t}"),
+            CertError::Syntax(s) => write!(f, "{s}"),
+            CertError::BadSignature(m) => write!(f, "bad signature: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+impl From<TagError> for CertError {
+    fn from(e: TagError) -> Self {
+        CertError::Tag(e)
+    }
+}
+
+impl From<SexpError> for CertError {
+    fn from(e: SexpError) -> Self {
+        CertError::Syntax(e)
+    }
+}
+
+/// A name certificate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NameCert {
+    /// Namespace owner key text.
+    pub issuer: String,
+    /// The local name being defined.
+    pub name: String,
+    /// What the name includes.
+    pub subject: Subject,
+    /// Signature text, if signed.
+    pub signature: Option<String>,
+}
+
+/// An authorisation certificate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthCert {
+    /// Granting key text.
+    pub issuer: String,
+    /// Grantee.
+    pub subject: Subject,
+    /// Whether the grantee may re-delegate.
+    pub propagate: bool,
+    /// The granted authority.
+    pub tag: Tag,
+    /// Signature text, if signed.
+    pub signature: Option<String>,
+}
+
+impl NameCert {
+    /// An unsigned name cert.
+    pub fn new(issuer: impl Into<String>, name: impl Into<String>, subject: Subject) -> Self {
+        NameCert {
+            issuer: issuer.into(),
+            name: name.into(),
+            subject,
+            signature: None,
+        }
+    }
+
+    fn body_sexp(&self) -> Sexp {
+        tagged_list(
+            "cert",
+            [
+                tagged_list(
+                    "issuer",
+                    [tagged_list(
+                        "name",
+                        [Sexp::atom(self.issuer.clone()), Sexp::atom(self.name.clone())],
+                    )],
+                ),
+                tagged_list("subject", [self.subject.to_sexp()]),
+            ],
+        )
+    }
+
+    /// S-expression form (with signature when present).
+    pub fn to_sexp(&self) -> Sexp {
+        append_signature(self.body_sexp(), &self.signature)
+    }
+
+    /// Signs in place; the keypair must match the issuer.
+    pub fn sign(&mut self, key: &KeyPair) -> Result<(), CertError> {
+        self.signature = Some(sign_body(&self.body_sexp(), &self.issuer, key)?);
+        Ok(())
+    }
+
+    /// Verifies the signature (if the issuer is a parseable key).
+    pub fn verify(&self) -> SignatureCheck {
+        verify_body(&self.body_sexp(), &self.issuer, &self.signature)
+    }
+}
+
+impl AuthCert {
+    /// An unsigned auth cert.
+    pub fn new(issuer: impl Into<String>, subject: Subject, propagate: bool, tag: Tag) -> Self {
+        AuthCert {
+            issuer: issuer.into(),
+            subject,
+            propagate,
+            tag,
+            signature: None,
+        }
+    }
+
+    fn body_sexp(&self) -> Sexp {
+        let mut items = vec![
+            Sexp::atom("cert"),
+            tagged_list("issuer", [Sexp::atom(self.issuer.clone())]),
+            tagged_list("subject", [self.subject.to_sexp()]),
+        ];
+        if self.propagate {
+            items.push(Sexp::list([Sexp::atom("propagate")]));
+        }
+        items.push(self.tag.to_sexp());
+        Sexp::List(items)
+    }
+
+    /// S-expression form (with signature when present).
+    pub fn to_sexp(&self) -> Sexp {
+        append_signature(self.body_sexp(), &self.signature)
+    }
+
+    /// Signs in place; the keypair must match the issuer.
+    pub fn sign(&mut self, key: &KeyPair) -> Result<(), CertError> {
+        self.signature = Some(sign_body(&self.body_sexp(), &self.issuer, key)?);
+        Ok(())
+    }
+
+    /// Verifies the signature (if the issuer is a parseable key).
+    pub fn verify(&self) -> SignatureCheck {
+        verify_body(&self.body_sexp(), &self.issuer, &self.signature)
+    }
+}
+
+/// Signature verification outcome (mirrors the KeyNote layer's states).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SignatureCheck {
+    /// No signature present.
+    Unsigned,
+    /// Valid signature by the issuer key.
+    Valid,
+    /// Signature present but wrong.
+    Invalid,
+    /// Issuer is a symbolic key; nothing to check against.
+    Unverifiable,
+}
+
+fn sign_body(body: &Sexp, issuer: &str, key: &KeyPair) -> Result<String, CertError> {
+    if key.public().to_text() != issuer {
+        return Err(CertError::BadSignature(format!(
+            "signing key does not match issuer {issuer}"
+        )));
+    }
+    Ok(key.sign(body.to_string().as_bytes()).to_text())
+}
+
+fn verify_body(body: &Sexp, issuer: &str, signature: &Option<String>) -> SignatureCheck {
+    let Some(sig_text) = signature else {
+        return SignatureCheck::Unsigned;
+    };
+    let Ok(public) = issuer.parse::<PublicKey>() else {
+        return SignatureCheck::Unverifiable;
+    };
+    let Ok(sig) = sig_text.parse::<Signature>() else {
+        return SignatureCheck::Invalid;
+    };
+    if public.verify(body.to_string().as_bytes(), &sig) {
+        SignatureCheck::Valid
+    } else {
+        SignatureCheck::Invalid
+    }
+}
+
+fn append_signature(body: Sexp, signature: &Option<String>) -> Sexp {
+    match signature {
+        None => body,
+        Some(sig) => {
+            let Sexp::List(mut items) = body else {
+                unreachable!("cert bodies are lists")
+            };
+            items.push(tagged_list("signature", [Sexp::atom(sig.clone())]));
+            Sexp::List(items)
+        }
+    }
+}
+
+/// Either certificate kind, as parsed from text.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cert {
+    /// A name cert.
+    Name(NameCert),
+    /// An auth cert.
+    Auth(AuthCert),
+}
+
+/// Parses a certificate from s-expression text.
+pub fn parse_cert(src: &str) -> Result<Cert, CertError> {
+    let e = parse(src)?;
+    cert_from_sexp(&e)
+}
+
+/// Parses a certificate from an s-expression.
+pub fn cert_from_sexp(e: &Sexp) -> Result<Cert, CertError> {
+    let Some(("cert", fields)) = e.tagged() else {
+        return Err(CertError::Malformed("expected (cert ...)".into()));
+    };
+    let mut issuer: Option<Sexp> = None;
+    let mut subject: Option<Subject> = None;
+    let mut propagate = false;
+    let mut tag: Option<Tag> = None;
+    let mut signature: Option<String> = None;
+    for field in fields {
+        match field.tagged() {
+            Some(("issuer", rest)) if rest.len() == 1 => issuer = Some(rest[0].clone()),
+            Some(("subject", rest)) if rest.len() == 1 => {
+                subject = Some(Subject::from_sexp(&rest[0])?)
+            }
+            Some(("propagate", rest)) if rest.is_empty() => propagate = true,
+            Some(("tag", _)) => tag = Some(Tag::from_sexp(field)?),
+            Some(("signature", rest)) if rest.len() == 1 => {
+                signature = rest[0].as_atom().map(str::to_string)
+            }
+            _ => return Err(CertError::Malformed(format!("field {field}"))),
+        }
+    }
+    let issuer = issuer.ok_or_else(|| CertError::Malformed("missing issuer".into()))?;
+    let subject = subject.ok_or_else(|| CertError::Malformed("missing subject".into()))?;
+    // A name-cert issuer is (name K n); an auth-cert issuer is a key.
+    match issuer.tagged() {
+        Some(("name", rest)) if rest.len() == 2 => {
+            let base = rest[0]
+                .as_atom()
+                .ok_or_else(|| CertError::Malformed("issuer key".into()))?;
+            let name = rest[1]
+                .as_atom()
+                .ok_or_else(|| CertError::Malformed("issuer name".into()))?;
+            if tag.is_some() {
+                return Err(CertError::Malformed("name cert with tag".into()));
+            }
+            Ok(Cert::Name(NameCert {
+                issuer: base.to_string(),
+                name: name.to_string(),
+                subject,
+                signature,
+            }))
+        }
+        _ => {
+            let key = issuer
+                .as_atom()
+                .ok_or_else(|| CertError::Malformed(format!("issuer {issuer}")))?;
+            let tag = tag.ok_or_else(|| CertError::Malformed("auth cert without tag".into()))?;
+            Ok(Cert::Auth(AuthCert {
+                issuer: key.to_string(),
+                subject,
+                propagate,
+                tag,
+                signature,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_cert_roundtrip() {
+        let c = NameCert::new("Kwebcom", "Sales-Manager", Subject::key("Kclaire"));
+        let text = c.to_sexp().to_string();
+        assert_eq!(
+            text,
+            "(cert (issuer (name Kwebcom Sales-Manager)) (subject Kclaire))"
+        );
+        match parse_cert(&text).unwrap() {
+            Cert::Name(back) => assert_eq!(back, c),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn auth_cert_roundtrip() {
+        let tag = Tag::from_sexp(&parse("(salaries read)").unwrap()).unwrap();
+        let c = AuthCert::new(
+            "Kwebcom",
+            Subject::name("Kwebcom", "Sales-Manager"),
+            true,
+            tag,
+        );
+        let text = c.to_sexp().to_string();
+        assert!(text.contains("(propagate)"));
+        match parse_cert(&text).unwrap() {
+            Cert::Auth(back) => assert_eq!(back, c),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_name_subject() {
+        let s = Subject::Name {
+            base: "Ka".into(),
+            names: vec!["friends".into(), "managers".into()],
+        };
+        let text = s.to_sexp().to_string();
+        assert_eq!(text, "(name Ka friends managers)");
+        assert_eq!(Subject::from_sexp(&parse(&text).unwrap()).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_certs_rejected() {
+        assert!(parse_cert("(not-a-cert)").is_err());
+        assert!(parse_cert("(cert (subject Ka))").is_err()); // no issuer
+        assert!(parse_cert("(cert (issuer Ka))").is_err()); // no subject
+        // auth cert requires a tag
+        assert!(parse_cert("(cert (issuer Ka) (subject Kb))").is_err());
+        // name cert must not carry a tag
+        assert!(parse_cert("(cert (issuer (name Ka n)) (subject Kb) (tag (*)))").is_err());
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let kp = KeyPair::from_label("spki-issuer");
+        let issuer = kp.public().to_text();
+        let mut c = AuthCert::new(issuer.clone(), Subject::key("Kx"), false, Tag::all());
+        assert_eq!(c.verify(), SignatureCheck::Unsigned);
+        c.sign(&kp).unwrap();
+        assert_eq!(c.verify(), SignatureCheck::Valid);
+        // Tamper.
+        c.propagate = true;
+        assert_eq!(c.verify(), SignatureCheck::Invalid);
+        // Wrong key rejected at sign time.
+        let other = KeyPair::from_label("someone-else");
+        let mut c2 = AuthCert::new(issuer, Subject::key("Kx"), false, Tag::all());
+        assert!(c2.sign(&other).is_err());
+    }
+
+    #[test]
+    fn symbolic_issuer_unverifiable() {
+        let mut c = NameCert::new("Kwebcom", "n", Subject::key("Kx"));
+        c.signature = Some("sig-rsa-sha256:1234".into());
+        assert_eq!(c.verify(), SignatureCheck::Unverifiable);
+    }
+
+    #[test]
+    fn signed_cert_text_roundtrip() {
+        let kp = KeyPair::from_label("spki-name-issuer");
+        let issuer = kp.public().to_text();
+        let mut c = NameCert::new(issuer, "payroll", Subject::key("Kbob"));
+        c.sign(&kp).unwrap();
+        let text = c.to_sexp().to_string();
+        match parse_cert(&text).unwrap() {
+            Cert::Name(back) => {
+                assert_eq!(back, c);
+                assert_eq!(back.verify(), SignatureCheck::Valid);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! SPKI/SDSI (RFC 2693) trust management — the alternative trust layer
+//! the paper's footnote 1 refers to: "Secure WebCom includes support for
+//! SPKI/SDSI. While we use KeyNote in this paper, our results are
+//! applicable to SPKI/SDSI."
+//!
+//! * [`sexp`] — the s-expression syntax;
+//! * [`tag`] — authorisation tags with `(*)` / `(* set ...)` /
+//!   `(* prefix ...)` intersection algebra;
+//! * [`cert`] — SDSI name certs and SPKI auth certs, with simulated-PKI
+//!   signatures;
+//! * [`reduction`] — name resolution over linked local namespaces and
+//!   authorisation-chain discovery (tuple reduction) with proofs;
+//! * [`rbac`] — the extended-RBAC encoding mirroring the KeyNote one
+//!   (role = SDSI local name, membership = name cert, grant = ACL
+//!   entry, Figure 7 delegation = auth cert).
+
+pub mod cert;
+pub mod rbac;
+pub mod reduction;
+pub mod sexp;
+pub mod tag;
+
+pub use cert::{AuthCert, Cert, CertError, NameCert, SignatureCheck, Subject};
+pub use rbac::{delegate_role_spki, encode_rbac, role_name, user_key, SpkiPolicy};
+pub use reduction::{authorize, is_authorized, AclEntry, CertStore, Proof, ProofStep};
+pub use sexp::{parse, Sexp, SexpError};
+pub use tag::{Tag, TagError};

@@ -1,0 +1,208 @@
+//! RBAC ↔ SPKI/SDSI translation — the footnote-1 counterpart of the
+//! KeyNote encoding: "While we use KeyNote in this paper, our results
+//! are applicable to SPKI/SDSI."
+//!
+//! The mapping uses SDSI's strengths directly:
+//!
+//! * a (domain, role) pair becomes the local name `D/R` in the WebCom
+//!   key's namespace; `UserRole` rows become **name certs**;
+//! * each `HasPermission` row becomes an **ACL entry** granting the tag
+//!   `(webcom D R T P)` to the name `D/R`, with `(propagate)` so members
+//!   can delegate onward (the paper's Figure 7 flow).
+
+use crate::cert::{AuthCert, NameCert, Subject};
+use crate::reduction::{AclEntry, CertStore};
+use crate::sexp::Sexp;
+use crate::tag::Tag;
+use hetsec_rbac::{Domain, Permission, RbacPolicy, Role, User};
+
+/// The SDSI local name for a (domain, role) pair.
+pub fn role_name(domain: &Domain, role: &Role) -> String {
+    format!("{}/{}", domain.as_str(), role.as_str())
+}
+
+/// The key text convention for users (matches the paper's `K<name>`).
+pub fn user_key(user: &User) -> String {
+    format!("K{}", user.as_str().to_lowercase())
+}
+
+/// The request s-expression for an access attempt.
+pub fn request(domain: &Domain, role: &Role, object: &str, permission: &Permission) -> Sexp {
+    Sexp::list([
+        Sexp::atom("webcom"),
+        Sexp::atom(domain.as_str()),
+        Sexp::atom(role.as_str()),
+        Sexp::atom(object),
+        Sexp::atom(permission.as_str()),
+    ])
+}
+
+/// An encoded policy: the verifier's ACL plus the certificate store.
+#[derive(Clone, Debug, Default)]
+pub struct SpkiPolicy {
+    /// The verifier's ACL (one entry per `HasPermission` row).
+    pub acl: Vec<AclEntry>,
+    /// Name certs for the `UserRole` relation (plus any delegations
+    /// added later).
+    pub store: CertStore,
+}
+
+/// Encodes an RBAC policy into SPKI/SDSI form under `webcom_key`.
+pub fn encode_rbac(policy: &RbacPolicy, webcom_key: &str) -> SpkiPolicy {
+    let mut out = SpkiPolicy::default();
+    for g in policy.grants() {
+        let tag = Tag::new(request(&g.domain, &g.role, g.object_type.as_str(), &g.permission));
+        out.acl.push(AclEntry::new(
+            Subject::name(webcom_key, role_name(&g.domain, &g.role)),
+            true,
+            tag,
+        ));
+    }
+    for a in policy.assignments() {
+        out.store.add_name(NameCert::new(
+            webcom_key,
+            role_name(&a.domain, &a.role),
+            Subject::key(user_key(&a.user)),
+        ));
+    }
+    out
+}
+
+/// Figure 7 in SPKI form: `from` delegates (a subset of) their authority
+/// for a (domain, role) to `to`.
+pub fn delegate_role_spki(
+    from: &User,
+    to: &User,
+    domain: &Domain,
+    role: &Role,
+) -> AuthCert {
+    let tag = Tag::new(Sexp::list([
+        Sexp::atom("webcom"),
+        Sexp::atom(domain.as_str()),
+        Sexp::atom(role.as_str()),
+    ]));
+    AuthCert::new(user_key(from), Subject::key(user_key(to)), false, tag)
+}
+
+impl SpkiPolicy {
+    /// The access check: may `user` exercise (domain, role, object,
+    /// permission)?
+    pub fn check(
+        &self,
+        user: &User,
+        domain: &Domain,
+        role: &Role,
+        object: &str,
+        permission: &Permission,
+    ) -> bool {
+        let req = request(domain, role, object, permission);
+        crate::reduction::is_authorized(&self.acl, &self.store, &user_key(user), &req)
+    }
+
+    /// Like [`Self::check`] but for a raw key text (delegatees that are
+    /// not users of the RBAC policy).
+    pub fn check_key(
+        &self,
+        key: &str,
+        domain: &Domain,
+        role: &Role,
+        object: &str,
+        permission: &Permission,
+    ) -> bool {
+        let req = request(domain, role, object, permission);
+        crate::reduction::is_authorized(&self.acl, &self.store, key, &req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_rbac::fixtures::salaries_policy;
+
+    fn fixture() -> SpkiPolicy {
+        encode_rbac(&salaries_policy(), "Kwebcom")
+    }
+
+    fn check(p: &SpkiPolicy, user: &str, d: &str, r: &str, perm: &str) -> bool {
+        p.check(
+            &user.into(),
+            &d.into(),
+            &r.into(),
+            "SalariesDB",
+            &perm.into(),
+        )
+    }
+
+    #[test]
+    fn figure_1_decisions_match() {
+        let p = fixture();
+        assert!(check(&p, "Alice", "Finance", "Clerk", "write"));
+        assert!(!check(&p, "Alice", "Finance", "Clerk", "read"));
+        assert!(check(&p, "Bob", "Finance", "Manager", "read"));
+        assert!(check(&p, "Bob", "Finance", "Manager", "write"));
+        assert!(check(&p, "Claire", "Sales", "Manager", "read"));
+        assert!(!check(&p, "Claire", "Sales", "Manager", "write"));
+        assert!(!check(&p, "Dave", "Sales", "Assistant", "read"));
+        assert!(!check(&p, "Mallory", "Finance", "Manager", "read"));
+        // Role pinning matters: Bob is not a Sales manager.
+        assert!(!check(&p, "Bob", "Sales", "Manager", "read"));
+    }
+
+    #[test]
+    fn figure_7_delegation_in_spki() {
+        let mut p = fixture();
+        // Before: Fred has nothing.
+        assert!(!check(&p, "Fred", "Sales", "Manager", "read"));
+        p.store.add_auth(delegate_role_spki(
+            &"Claire".into(),
+            &"Fred".into(),
+            &"Sales".into(),
+            &"Manager".into(),
+        ));
+        // After: Fred reads via Claire, bounded by Claire's authority.
+        assert!(check(&p, "Fred", "Sales", "Manager", "read"));
+        assert!(!check(&p, "Fred", "Sales", "Manager", "write"));
+        // A delegation from a non-member grants nothing.
+        let mut p2 = fixture();
+        p2.store.add_auth(delegate_role_spki(
+            &"Dave".into(),
+            &"Mallory".into(),
+            &"Sales".into(),
+            &"Manager".into(),
+        ));
+        assert!(!check(&p2, "Mallory", "Sales", "Manager", "read"));
+    }
+
+    #[test]
+    fn empty_policy_denies_everything() {
+        let p = encode_rbac(&hetsec_rbac::RbacPolicy::new(), "Kw");
+        assert!(!check(&p, "Bob", "Finance", "Manager", "read"));
+        assert!(p.acl.is_empty());
+    }
+
+    #[test]
+    fn role_name_and_key_conventions() {
+        assert_eq!(role_name(&"Sales".into(), &"Manager".into()), "Sales/Manager");
+        assert_eq!(user_key(&User::new("Claire")), "Kclaire");
+        let r = request(&"D".into(), &"R".into(), "T", &"p".into());
+        assert_eq!(r.to_string(), "(webcom D R T p)");
+    }
+
+    #[test]
+    fn check_key_for_external_delegatees() {
+        let mut p = fixture();
+        p.store.add_auth(AuthCert::new(
+            "Kclaire",
+            Subject::key("rsa-sim:abc:10001"),
+            false,
+            Tag::new(request(&"Sales".into(), &"Manager".into(), "SalariesDB", &"read".into())),
+        ));
+        assert!(p.check_key(
+            "rsa-sim:abc:10001",
+            &"Sales".into(),
+            &"Manager".into(),
+            "SalariesDB",
+            &"read".into()
+        ));
+    }
+}

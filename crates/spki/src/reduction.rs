@@ -1,0 +1,411 @@
+//! SPKI tuple reduction (RFC 2693 §6.3): name resolution and
+//! authorisation-chain discovery.
+//!
+//! * **Name resolution** computes the set of keys a SDSI name denotes,
+//!   chasing name certs through linked local namespaces (with cycle
+//!   protection).
+//! * **Authorisation** searches for a delegation chain from an ACL entry
+//!   to the requesting key; every link but the last must carry
+//!   `(propagate)`, tags intersect along the chain, and the request must
+//!   be covered by the final intersection.
+
+use crate::cert::{AuthCert, NameCert, Subject};
+use crate::sexp::Sexp;
+use crate::tag::Tag;
+use std::collections::BTreeSet;
+
+/// An ACL entry: the verifier's own trust root (an unsigned auth cert
+/// whose issuer is the verifier itself).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AclEntry {
+    /// Grantee.
+    pub subject: Subject,
+    /// May the grantee re-delegate?
+    pub propagate: bool,
+    /// Granted authority.
+    pub tag: Tag,
+}
+
+impl AclEntry {
+    /// Builds an entry.
+    pub fn new(subject: Subject, propagate: bool, tag: Tag) -> Self {
+        AclEntry {
+            subject,
+            propagate,
+            tag,
+        }
+    }
+}
+
+/// The certificate store the prover reduces over.
+#[derive(Clone, Debug, Default)]
+pub struct CertStore {
+    /// Name certs.
+    pub names: Vec<NameCert>,
+    /// Auth certs.
+    pub auths: Vec<AuthCert>,
+}
+
+impl CertStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a name cert.
+    pub fn add_name(&mut self, c: NameCert) {
+        self.names.push(c);
+    }
+
+    /// Adds an auth cert.
+    pub fn add_auth(&mut self, c: AuthCert) {
+        self.auths.push(c);
+    }
+
+    /// Resolves a subject to the set of keys it denotes.
+    pub fn resolve(&self, subject: &Subject) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let mut in_progress = BTreeSet::new();
+        self.resolve_into(subject, &mut out, &mut in_progress);
+        out
+    }
+
+    fn resolve_into(
+        &self,
+        subject: &Subject,
+        out: &mut BTreeSet<String>,
+        in_progress: &mut BTreeSet<(String, Vec<String>)>,
+    ) {
+        match subject {
+            Subject::Key(k) => {
+                out.insert(k.clone());
+            }
+            Subject::Name { base, names } => {
+                if names.is_empty() {
+                    out.insert(base.clone());
+                    return;
+                }
+                let state = (base.clone(), names.clone());
+                if !in_progress.insert(state.clone()) {
+                    return; // cycle
+                }
+                let (first, rest) = (&names[0], &names[1..]);
+                for cert in &self.names {
+                    if &cert.issuer != base || &cert.name != first {
+                        continue;
+                    }
+                    // Rewrite: (base first rest...) -> subject ++ rest.
+                    let next = match &cert.subject {
+                        Subject::Key(k) if rest.is_empty() => Subject::Key(k.clone()),
+                        Subject::Key(k) => Subject::Name {
+                            base: k.clone(),
+                            names: rest.to_vec(),
+                        },
+                        Subject::Name {
+                            base: nb,
+                            names: nn,
+                        } => {
+                            let mut combined = nn.clone();
+                            combined.extend(rest.iter().cloned());
+                            Subject::Name {
+                                base: nb.clone(),
+                                names: combined,
+                            }
+                        }
+                    };
+                    self.resolve_into(&next, out, in_progress);
+                }
+                in_progress.remove(&state);
+            }
+        }
+    }
+}
+
+/// One step of a successful proof (for explanation/auditing).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProofStep {
+    /// The chain starts at this ACL entry.
+    Acl(AclEntry),
+    /// The chain passes through this auth cert.
+    Cert(AuthCert),
+}
+
+/// A successful authorisation proof.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Proof {
+    /// The chain, root first.
+    pub steps: Vec<ProofStep>,
+    /// The intersected authority the chain conveys.
+    pub tag: Tag,
+}
+
+/// Attempts to prove that `requester` may perform `request` under the
+/// given ACL and certificate store. Returns the first proof found
+/// (shortest-first by BFS over chain length).
+pub fn authorize(
+    acl: &[AclEntry],
+    store: &CertStore,
+    requester: &str,
+    request: &Sexp,
+) -> Option<Proof> {
+    // Each frontier item: (current grantee keys, may-extend?, tag so
+    // far, steps so far, used cert indices).
+    struct State {
+        keys: BTreeSet<String>,
+        propagate: bool,
+        tag: Tag,
+        steps: Vec<ProofStep>,
+        used: BTreeSet<usize>,
+    }
+    let mut frontier: Vec<State> = Vec::new();
+    for entry in acl {
+        let keys = store.resolve(&entry.subject);
+        frontier.push(State {
+            keys,
+            propagate: entry.propagate,
+            tag: entry.tag.clone(),
+            steps: vec![ProofStep::Acl(entry.clone())],
+            used: BTreeSet::new(),
+        });
+    }
+    // BFS over chain extensions.
+    while !frontier.is_empty() {
+        // Check for completion first (shortest chains win).
+        for state in &frontier {
+            if state.keys.contains(requester) && state.tag.covers(request) {
+                return Some(Proof {
+                    steps: state.steps.clone(),
+                    tag: state.tag.clone(),
+                });
+            }
+        }
+        let mut next = Vec::new();
+        for state in frontier {
+            if !state.propagate {
+                continue;
+            }
+            for (i, cert) in store.auths.iter().enumerate() {
+                if state.used.contains(&i) || !state.keys.contains(&cert.issuer) {
+                    continue;
+                }
+                let Some(tag) = state.tag.intersect(&cert.tag) else {
+                    continue;
+                };
+                let mut used = state.used.clone();
+                used.insert(i);
+                let mut steps = state.steps.clone();
+                steps.push(ProofStep::Cert(cert.clone()));
+                next.push(State {
+                    keys: store.resolve(&cert.subject),
+                    propagate: cert.propagate,
+                    tag,
+                    steps,
+                    used,
+                });
+            }
+        }
+        frontier = next;
+    }
+    None
+}
+
+/// Convenience: authorisation as a boolean.
+pub fn is_authorized(
+    acl: &[AclEntry],
+    store: &CertStore,
+    requester: &str,
+    request: &Sexp,
+) -> bool {
+    authorize(acl, store, requester, request).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sexp::parse;
+
+    fn tag(src: &str) -> Tag {
+        Tag::from_sexp(&parse(src).unwrap()).unwrap()
+    }
+
+    fn req(src: &str) -> Sexp {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn resolve_direct_name() {
+        let mut store = CertStore::new();
+        store.add_name(NameCert::new("Kw", "manager", Subject::key("Kclaire")));
+        store.add_name(NameCert::new("Kw", "manager", Subject::key("Kelaine")));
+        let keys = store.resolve(&Subject::name("Kw", "manager"));
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains("Kclaire"));
+        assert!(keys.contains("Kelaine"));
+    }
+
+    #[test]
+    fn resolve_linked_names() {
+        // (Kw partners) -> (Kacme staff); (Kacme staff) -> Kbob
+        let mut store = CertStore::new();
+        store.add_name(NameCert::new(
+            "Kw",
+            "partners",
+            Subject::name("Kacme", "staff"),
+        ));
+        store.add_name(NameCert::new("Kacme", "staff", Subject::key("Kbob")));
+        let keys = store.resolve(&Subject::name("Kw", "partners"));
+        assert_eq!(keys, ["Kbob".to_string()].into_iter().collect());
+    }
+
+    #[test]
+    fn resolve_compound_name() {
+        // (Kw partners staff): resolve "partners" in Kw, then "staff" in
+        // the result.
+        let mut store = CertStore::new();
+        store.add_name(NameCert::new("Kw", "partners", Subject::key("Kacme")));
+        store.add_name(NameCert::new("Kacme", "staff", Subject::key("Kbob")));
+        let keys = store.resolve(&Subject::Name {
+            base: "Kw".into(),
+            names: vec!["partners".into(), "staff".into()],
+        });
+        assert_eq!(keys, ["Kbob".to_string()].into_iter().collect());
+    }
+
+    #[test]
+    fn cyclic_names_terminate() {
+        let mut store = CertStore::new();
+        store.add_name(NameCert::new("Ka", "x", Subject::name("Kb", "y")));
+        store.add_name(NameCert::new("Kb", "y", Subject::name("Ka", "x")));
+        let keys = store.resolve(&Subject::name("Ka", "x"));
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn direct_acl_grant() {
+        let acl = [AclEntry::new(
+            Subject::key("Kbob"),
+            false,
+            tag("(salaries (* set read write))"),
+        )];
+        let store = CertStore::new();
+        assert!(is_authorized(&acl, &store, "Kbob", &req("(salaries read)")));
+        assert!(!is_authorized(&acl, &store, "Kbob", &req("(salaries drop)")));
+        assert!(!is_authorized(&acl, &store, "Kalice", &req("(salaries read)")));
+    }
+
+    #[test]
+    fn one_hop_delegation_requires_propagate() {
+        let acl = [AclEntry::new(Subject::key("Kbob"), true, tag("(salaries write)"))];
+        let mut store = CertStore::new();
+        store.add_auth(AuthCert::new(
+            "Kbob",
+            Subject::key("Kalice"),
+            false,
+            tag("(salaries write)"),
+        ));
+        assert!(is_authorized(&acl, &store, "Kalice", &req("(salaries write)")));
+        // Without propagate on the ACL entry, the chain cannot extend.
+        let acl_no_prop = [AclEntry::new(
+            Subject::key("Kbob"),
+            false,
+            tag("(salaries write)"),
+        )];
+        assert!(!is_authorized(&acl_no_prop, &store, "Kalice", &req("(salaries write)")));
+    }
+
+    #[test]
+    fn tags_narrow_along_the_chain() {
+        // Root grants read+write; Bob passes only write to Alice.
+        let acl = [AclEntry::new(
+            Subject::key("Kbob"),
+            true,
+            tag("(salaries (* set read write))"),
+        )];
+        let mut store = CertStore::new();
+        store.add_auth(AuthCert::new(
+            "Kbob",
+            Subject::key("Kalice"),
+            false,
+            tag("(salaries write)"),
+        ));
+        assert!(is_authorized(&acl, &store, "Kalice", &req("(salaries write)")));
+        assert!(!is_authorized(&acl, &store, "Kalice", &req("(salaries read)")));
+    }
+
+    #[test]
+    fn delegation_cannot_widen() {
+        // Bob only has read but delegates (*) to Alice: she gets read.
+        let acl = [AclEntry::new(Subject::key("Kbob"), true, tag("(salaries read)"))];
+        let mut store = CertStore::new();
+        store.add_auth(AuthCert::new("Kbob", Subject::key("Kalice"), false, Tag::all()));
+        assert!(is_authorized(&acl, &store, "Kalice", &req("(salaries read)")));
+        assert!(!is_authorized(&acl, &store, "Kalice", &req("(salaries write)")));
+    }
+
+    #[test]
+    fn name_subjects_in_auth_chain() {
+        // ACL grants to the group name; Claire is a member via name cert.
+        let acl = [AclEntry::new(
+            Subject::name("Kw", "managers"),
+            false,
+            tag("(salaries read)"),
+        )];
+        let mut store = CertStore::new();
+        store.add_name(NameCert::new("Kw", "managers", Subject::key("Kclaire")));
+        assert!(is_authorized(&acl, &store, "Kclaire", &req("(salaries read)")));
+        assert!(!is_authorized(&acl, &store, "Kbob", &req("(salaries read)")));
+    }
+
+    #[test]
+    fn multi_hop_with_cycle_guard() {
+        let acl = [AclEntry::new(Subject::key("K0"), true, Tag::all())];
+        let mut store = CertStore::new();
+        for i in 0..5 {
+            store.add_auth(AuthCert::new(
+                format!("K{i}"),
+                Subject::key(format!("K{}", i + 1)),
+                true,
+                Tag::all(),
+            ));
+        }
+        // A cycle back to K0 must not hang the search.
+        store.add_auth(AuthCert::new("K5", Subject::key("K0"), true, Tag::all()));
+        assert!(is_authorized(&acl, &store, "K5", &req("(anything)")));
+        assert!(!is_authorized(&acl, &store, "K9", &req("(anything)")));
+    }
+
+    #[test]
+    fn proof_records_the_chain() {
+        let acl = [AclEntry::new(Subject::key("Kbob"), true, tag("(s write)"))];
+        let mut store = CertStore::new();
+        store.add_auth(AuthCert::new(
+            "Kbob",
+            Subject::key("Kalice"),
+            false,
+            tag("(s write)"),
+        ));
+        let proof = authorize(&acl, &store, "Kalice", &req("(s write)")).unwrap();
+        assert_eq!(proof.steps.len(), 2);
+        assert!(matches!(proof.steps[0], ProofStep::Acl(_)));
+        assert!(matches!(proof.steps[1], ProofStep::Cert(_)));
+        assert!(proof.tag.covers(&req("(s write)")));
+    }
+
+    #[test]
+    fn shortest_chain_preferred() {
+        // Direct grant and a longer chain both exist; proof is direct.
+        let acl = [
+            AclEntry::new(Subject::key("Kalice"), false, tag("(s read)")),
+            AclEntry::new(Subject::key("Kbob"), true, tag("(s read)")),
+        ];
+        let mut store = CertStore::new();
+        store.add_auth(AuthCert::new(
+            "Kbob",
+            Subject::key("Kalice"),
+            false,
+            tag("(s read)"),
+        ));
+        let proof = authorize(&acl, &store, "Kalice", &req("(s read)")).unwrap();
+        assert_eq!(proof.steps.len(), 1);
+    }
+}

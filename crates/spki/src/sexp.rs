@@ -1,0 +1,304 @@
+//! S-expressions, the syntax of SPKI/SDSI (RFC 2693).
+//!
+//! Supports the *advanced* transport form: atoms are tokens
+//! (`[A-Za-z0-9+/_.*=-]+`) or double-quoted strings; lists are
+//! parenthesised. Printing is canonical enough to round-trip and to be
+//! byte-stable for signing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An s-expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Sexp {
+    /// An atom (byte string, held as UTF-8 text here).
+    Atom(String),
+    /// A list of sub-expressions.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// An atom.
+    pub fn atom(s: impl Into<String>) -> Sexp {
+        Sexp::Atom(s.into())
+    }
+
+    /// A list.
+    pub fn list(items: impl IntoIterator<Item = Sexp>) -> Sexp {
+        Sexp::List(items.into_iter().collect())
+    }
+
+    /// The atom's text, if this is an atom.
+    pub fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexp::Atom(s) => Some(s),
+            Sexp::List(_) => None,
+        }
+    }
+
+    /// The items, if this is a list.
+    pub fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::Atom(_) => None,
+            Sexp::List(items) => Some(items),
+        }
+    }
+
+    /// For a list whose head is an atom, returns (head, rest).
+    pub fn tagged(&self) -> Option<(&str, &[Sexp])> {
+        let items = self.as_list()?;
+        let head = items.first()?.as_atom()?;
+        Some((head, &items[1..]))
+    }
+}
+
+/// Parse errors with byte offsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SexpError {
+    /// Unexpected end of input.
+    Eof,
+    /// Unexpected character.
+    Unexpected(char, usize),
+    /// Unbalanced parenthesis.
+    Unbalanced(usize),
+    /// Unterminated string literal.
+    UnterminatedString(usize),
+    /// Trailing input after the expression.
+    Trailing(usize),
+}
+
+impl fmt::Display for SexpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SexpError::Eof => write!(f, "unexpected end of input"),
+            SexpError::Unexpected(c, i) => write!(f, "unexpected {c:?} at byte {i}"),
+            SexpError::Unbalanced(i) => write!(f, "unbalanced parenthesis at byte {i}"),
+            SexpError::UnterminatedString(i) => write!(f, "unterminated string at byte {i}"),
+            SexpError::Trailing(i) => write!(f, "trailing input at byte {i}"),
+        }
+    }
+}
+
+impl std::error::Error for SexpError {}
+
+fn is_token_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '+' | '/' | '_' | '.' | '*' | '=' | '-' | ':' | '#')
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    _src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn parse(&mut self) -> Result<Sexp, SexpError> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            None => Err(SexpError::Eof),
+            Some('(') => {
+                let open = self.pos;
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.chars.get(self.pos) {
+                        None => return Err(SexpError::Unbalanced(open)),
+                        Some(')') => {
+                            self.pos += 1;
+                            return Ok(Sexp::List(items));
+                        }
+                        Some(_) => items.push(self.parse()?),
+                    }
+                }
+            }
+            Some(')') => Err(SexpError::Unbalanced(self.pos)),
+            Some('"') => {
+                let open = self.pos;
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.chars.get(self.pos) {
+                        None => return Err(SexpError::UnterminatedString(open)),
+                        Some('"') => {
+                            self.pos += 1;
+                            return Ok(Sexp::Atom(s));
+                        }
+                        Some('\\') => {
+                            self.pos += 1;
+                            match self.chars.get(self.pos) {
+                                None => return Err(SexpError::UnterminatedString(open)),
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some(&c) => s.push(c),
+                            }
+                            self.pos += 1;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            self.pos += 1;
+                        }
+                    }
+                }
+            }
+            Some(&c) if is_token_char(c) => {
+                let start = self.pos;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|&c| is_token_char(c))
+                {
+                    self.pos += 1;
+                }
+                Ok(Sexp::Atom(self.chars[start..self.pos].iter().collect()))
+            }
+            Some(&c) => Err(SexpError::Unexpected(c, self.pos)),
+        }
+    }
+}
+
+/// Parses one s-expression, requiring the whole input be consumed.
+pub fn parse(src: &str) -> Result<Sexp, SexpError> {
+    let mut p = Parser {
+        chars: src.chars().collect(),
+        pos: 0,
+        _src: src,
+    };
+    let e = p.parse()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(SexpError::Trailing(p.pos));
+    }
+    Ok(e)
+}
+
+/// True when the atom can print as a bare token.
+fn is_token(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(is_token_char)
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Atom(s) if is_token(s) => write!(f, "{s}"),
+            Sexp::Atom(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\t' => write!(f, "\\t")?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Sexp::List(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Builds `(head item1 item2 ...)`.
+pub fn tagged_list(head: &str, items: impl IntoIterator<Item = Sexp>) -> Sexp {
+    let mut v = vec![Sexp::atom(head)];
+    v.extend(items);
+    Sexp::List(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms_and_lists() {
+        assert_eq!(parse("abc").unwrap(), Sexp::atom("abc"));
+        assert_eq!(
+            parse("(a b c)").unwrap(),
+            Sexp::list([Sexp::atom("a"), Sexp::atom("b"), Sexp::atom("c")])
+        );
+        assert_eq!(
+            parse("(a (b c) d)").unwrap(),
+            Sexp::list([
+                Sexp::atom("a"),
+                Sexp::list([Sexp::atom("b"), Sexp::atom("c")]),
+                Sexp::atom("d")
+            ])
+        );
+        assert_eq!(parse("()").unwrap(), Sexp::List(vec![]));
+    }
+
+    #[test]
+    fn parses_quoted_strings() {
+        assert_eq!(parse("\"hello world\"").unwrap(), Sexp::atom("hello world"));
+        assert_eq!(parse("\"a\\\"b\"").unwrap(), Sexp::atom("a\"b"));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse(""), Err(SexpError::Eof));
+        assert!(matches!(parse("(a"), Err(SexpError::Unbalanced(_))));
+        assert!(matches!(parse(")"), Err(SexpError::Unbalanced(_))));
+        assert!(matches!(parse("\"x"), Err(SexpError::UnterminatedString(_))));
+        assert!(matches!(parse("a b"), Err(SexpError::Trailing(_))));
+        assert!(matches!(parse("{"), Err(SexpError::Unexpected('{', 0))));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for src in [
+            "(cert (issuer ka) (subject kb))",
+            "(tag (* set read write))",
+            "(name ka \"sales manager\")",
+            "()",
+        ] {
+            let e = parse(src).unwrap();
+            assert_eq!(parse(&e.to_string()).unwrap(), e, "src={src}");
+        }
+    }
+
+    #[test]
+    fn quoting_non_token_atoms() {
+        let e = Sexp::atom("has space");
+        assert_eq!(e.to_string(), "\"has space\"");
+        let e = Sexp::atom("token-ok_.*");
+        assert_eq!(e.to_string(), "token-ok_.*");
+    }
+
+    #[test]
+    fn accessors() {
+        let e = parse("(cert (issuer ka))").unwrap();
+        let (head, rest) = e.tagged().unwrap();
+        assert_eq!(head, "cert");
+        assert_eq!(rest.len(), 1);
+        assert!(Sexp::atom("x").tagged().is_none());
+        assert!(Sexp::List(vec![]).tagged().is_none());
+        assert_eq!(Sexp::atom("x").as_atom(), Some("x"));
+        assert!(Sexp::atom("x").as_list().is_none());
+    }
+
+    #[test]
+    fn whitespace_flexible() {
+        let e = parse("  ( a\n\t(b   c)\n )  ").unwrap();
+        assert_eq!(e.to_string(), "(a (b c))");
+    }
+}

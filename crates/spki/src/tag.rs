@@ -1,0 +1,306 @@
+//! SPKI authorisation tags and their intersection algebra (RFC 2693 §6).
+//!
+//! A tag is an s-expression describing a set of permitted requests. The
+//! special forms are:
+//!
+//! * `(*)` — the set of all requests;
+//! * `(* set e1 e2 ...)` — union of alternatives;
+//! * `(* prefix p)` — all atoms with prefix `p`;
+//! * plain atoms/lists — themselves (lists intersect element-wise, with
+//!   a shorter list being a *prefix pattern* of a longer one).
+//!
+//! Delegation chains intersect tags; a request is authorised when the
+//! chain's tag intersection *covers* the request s-expression.
+
+use crate::sexp::Sexp;
+use std::fmt;
+
+/// An authorisation tag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tag(pub Sexp);
+
+/// Errors converting s-expressions into tags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TagError(pub String);
+
+impl fmt::Display for TagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed tag: {}", self.0)
+    }
+}
+
+impl std::error::Error for TagError {}
+
+impl Tag {
+    /// The all-permissions tag `(*)`.
+    pub fn all() -> Tag {
+        Tag(Sexp::list([Sexp::atom("*")]))
+    }
+
+    /// Wraps an s-expression as a tag.
+    pub fn new(body: Sexp) -> Tag {
+        Tag(body)
+    }
+
+    /// Parses from `(tag <body>)` or a bare body.
+    pub fn from_sexp(e: &Sexp) -> Result<Tag, TagError> {
+        match e.tagged() {
+            Some(("tag", rest)) => {
+                if rest.len() != 1 {
+                    return Err(TagError(format!("tag needs one body, got {}", rest.len())));
+                }
+                Ok(Tag(rest[0].clone()))
+            }
+            _ => Ok(Tag(e.clone())),
+        }
+    }
+
+    /// Renders as `(tag <body>)`.
+    pub fn to_sexp(&self) -> Sexp {
+        Sexp::list([Sexp::atom("tag"), self.0.clone()])
+    }
+
+    /// Intersection; `None` when the sets are disjoint.
+    pub fn intersect(&self, other: &Tag) -> Option<Tag> {
+        intersect(&self.0, &other.0).map(Tag)
+    }
+
+    /// True when this tag's set includes the concrete `request`.
+    pub fn covers(&self, request: &Sexp) -> bool {
+        covers(&self.0, request)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sexp())
+    }
+}
+
+/// Is the expression the `(*)` wildcard?
+fn is_star(e: &Sexp) -> bool {
+    matches!(e.tagged(), Some(("*", rest)) if rest.is_empty())
+}
+
+/// Splits `(* set ...)` / `(* prefix p)` forms.
+fn star_form(e: &Sexp) -> Option<(&str, &[Sexp])> {
+    let items = e.as_list()?;
+    if items.first()?.as_atom()? != "*" {
+        return None;
+    }
+    let kind = items.get(1)?.as_atom()?;
+    Some((kind, &items[2..]))
+}
+
+fn intersect(a: &Sexp, b: &Sexp) -> Option<Sexp> {
+    if is_star(a) {
+        return Some(b.clone());
+    }
+    if is_star(b) {
+        return Some(a.clone());
+    }
+    // (* set ...) on either side: pairwise, keep non-empty results.
+    if let Some(("set", alts)) = star_form(a) {
+        let survivors: Vec<Sexp> = alts.iter().filter_map(|alt| intersect(alt, b)).collect();
+        return set_of(survivors);
+    }
+    if let Some(("set", alts)) = star_form(b) {
+        let survivors: Vec<Sexp> = alts.iter().filter_map(|alt| intersect(a, alt)).collect();
+        return set_of(survivors);
+    }
+    // (* prefix p)
+    if let Some(("prefix", args)) = star_form(a) {
+        return intersect_prefix(args, b);
+    }
+    if let Some(("prefix", args)) = star_form(b) {
+        return intersect_prefix(args, a);
+    }
+    match (a, b) {
+        (Sexp::Atom(x), Sexp::Atom(y)) => (x == y).then(|| a.clone()),
+        (Sexp::List(xs), Sexp::List(ys)) => {
+            // Element-wise; the shorter list is a prefix pattern.
+            let common = xs.len().min(ys.len());
+            let mut out = Vec::with_capacity(xs.len().max(ys.len()));
+            for i in 0..common {
+                out.push(intersect(&xs[i], &ys[i])?);
+            }
+            out.extend_from_slice(if xs.len() > common { &xs[common..] } else { &ys[common..] });
+            Some(Sexp::List(out))
+        }
+        _ => None,
+    }
+}
+
+fn intersect_prefix(args: &[Sexp], other: &Sexp) -> Option<Sexp> {
+    let p = args.first()?.as_atom()?;
+    match other {
+        Sexp::Atom(s) if s.starts_with(p) => Some(other.clone()),
+        _ => {
+            // prefix ∩ prefix: the longer prefix wins if compatible.
+            if let Some(("prefix", other_args)) = star_form(other) {
+                let q = other_args.first()?.as_atom()?;
+                if q.starts_with(p) {
+                    return Some(other.clone());
+                }
+                if p.starts_with(q) {
+                    return Some(crate::sexp::tagged_list(
+                        "*",
+                        [Sexp::atom("prefix"), Sexp::atom(p)],
+                    ));
+                }
+            }
+            None
+        }
+    }
+}
+
+fn set_of(mut survivors: Vec<Sexp>) -> Option<Sexp> {
+    match survivors.len() {
+        0 => None,
+        1 => Some(survivors.pop().unwrap()),
+        _ => {
+            let mut items = vec![Sexp::atom("*"), Sexp::atom("set")];
+            items.extend(survivors);
+            Some(Sexp::List(items))
+        }
+    }
+}
+
+/// Does pattern `pat` include the concrete expression `req`?
+fn covers(pat: &Sexp, req: &Sexp) -> bool {
+    if is_star(pat) {
+        return true;
+    }
+    if let Some(("set", alts)) = star_form(pat) {
+        return alts.iter().any(|alt| covers(alt, req));
+    }
+    if let Some(("prefix", args)) = star_form(pat) {
+        return match (args.first().and_then(Sexp::as_atom), req.as_atom()) {
+            (Some(p), Some(s)) => s.starts_with(p),
+            _ => false,
+        };
+    }
+    match (pat, req) {
+        (Sexp::Atom(x), Sexp::Atom(y)) => x == y,
+        (Sexp::List(ps), Sexp::List(rs)) => {
+            // A pattern list covers a request list with at least as many
+            // elements whose prefix matches element-wise (RFC 2693 §6.3).
+            ps.len() <= rs.len() && ps.iter().zip(rs).all(|(p, r)| covers(p, r))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sexp::parse;
+
+    fn tag(src: &str) -> Tag {
+        Tag::from_sexp(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn star_covers_everything() {
+        let t = Tag::all();
+        assert!(t.covers(&parse("(anything at all)").unwrap()));
+        assert!(t.covers(&parse("atom").unwrap()));
+    }
+
+    #[test]
+    fn set_tags() {
+        let t = tag("(* set read write)");
+        assert!(t.covers(&parse("read").unwrap()));
+        assert!(t.covers(&parse("write").unwrap()));
+        assert!(!t.covers(&parse("delete").unwrap()));
+    }
+
+    #[test]
+    fn prefix_tags() {
+        let t = tag("(* prefix ftp://example/)");
+        assert!(t.covers(&parse("\"ftp://example/pub\"").unwrap()));
+        assert!(!t.covers(&parse("\"http://example/\"").unwrap()));
+    }
+
+    #[test]
+    fn list_prefix_pattern_covers_longer_requests() {
+        let t = tag("(salaries read)");
+        assert!(t.covers(&parse("(salaries read)").unwrap()));
+        assert!(t.covers(&parse("(salaries read extra-arg)").unwrap()));
+        assert!(!t.covers(&parse("(salaries write)").unwrap()));
+        assert!(!t.covers(&parse("(salaries)").unwrap()));
+    }
+
+    #[test]
+    fn intersection_with_star() {
+        let a = Tag::all();
+        let b = tag("(salaries read)");
+        assert_eq!(a.intersect(&b), Some(b.clone()));
+        assert_eq!(b.intersect(&a), Some(b));
+    }
+
+    #[test]
+    fn intersection_of_sets() {
+        let a = tag("(* set read write audit)");
+        let b = tag("(* set write delete)");
+        let i = a.intersect(&b).unwrap();
+        assert!(i.covers(&parse("write").unwrap()));
+        assert!(!i.covers(&parse("read").unwrap()));
+        assert!(!i.covers(&parse("delete").unwrap()));
+        let c = tag("(* set delete)");
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn intersection_of_lists_elementwise() {
+        let a = tag("(salaries (* set read write))");
+        let b = tag("(salaries read)");
+        let i = a.intersect(&b).unwrap();
+        assert!(i.covers(&parse("(salaries read)").unwrap()));
+        assert!(!i.covers(&parse("(salaries write)").unwrap()));
+    }
+
+    #[test]
+    fn shorter_list_is_prefix_pattern_in_intersection() {
+        let a = tag("(salaries)");
+        let b = tag("(salaries read row-7)");
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.0, parse("(salaries read row-7)").unwrap());
+    }
+
+    #[test]
+    fn prefix_intersections() {
+        let a = tag("(* prefix ab)");
+        let b = tag("(* prefix abc)");
+        let i = a.intersect(&b).unwrap();
+        assert!(i.covers(&parse("abcd").unwrap()));
+        assert!(!i.covers(&parse("abz").unwrap()));
+        let c = tag("(* prefix xy)");
+        assert_eq!(a.intersect(&c), None);
+        // prefix ∩ atom
+        let d = tag("abcde");
+        assert_eq!(a.intersect(&d).unwrap().0, parse("abcde").unwrap());
+    }
+
+    #[test]
+    fn disjoint_atoms() {
+        assert_eq!(tag("read").intersect(&tag("write")), None);
+        assert_eq!(
+            tag("read").intersect(&tag("read")).unwrap().0,
+            parse("read").unwrap()
+        );
+    }
+
+    #[test]
+    fn from_sexp_forms() {
+        let wrapped = Tag::from_sexp(&parse("(tag (salaries read))").unwrap()).unwrap();
+        let bare = Tag::from_sexp(&parse("(salaries read)").unwrap()).unwrap();
+        assert_eq!(wrapped, bare);
+        assert!(Tag::from_sexp(&parse("(tag a b)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn display_includes_tag_wrapper() {
+        assert_eq!(tag("read").to_string(), "(tag read)");
+    }
+}

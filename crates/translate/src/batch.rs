@@ -1,0 +1,144 @@
+//! Batch/parallel translation helpers and real-key signing.
+//!
+//! Large deployments translate many middleware policies at once (the
+//! Figure 9 scenario has one per system); encoding and decoding are
+//! embarrassingly parallel over policies, so the sweeps use rayon.
+
+use crate::comprehension::encode_policy;
+use crate::configuration::{decode_policy, DecodeReport};
+use crate::directory::KeyStoreDirectory;
+use crate::directory::PrincipalDirectory;
+use hetsec_keynote::ast::{Assertion, Principal};
+use hetsec_keynote::signing::sign_assertion;
+use hetsec_crypto::PublicKey;
+use hetsec_rbac::RbacPolicy;
+use rayon::prelude::*;
+
+/// Encodes many policies in parallel.
+pub fn encode_policies_par(
+    policies: &[RbacPolicy],
+    webcom_key: &str,
+    directory: &dyn PrincipalDirectory,
+) -> Vec<Vec<Assertion>> {
+    policies
+        .par_iter()
+        .map(|p| encode_policy(p, webcom_key, directory))
+        .collect()
+}
+
+/// Decodes many assertion sets in parallel.
+pub fn decode_policies_par(
+    assertion_sets: &[Vec<Assertion>],
+    webcom_key: &str,
+    directory: &dyn PrincipalDirectory,
+) -> Vec<DecodeReport> {
+    assertion_sets
+        .par_iter()
+        .map(|a| decode_policy(a, webcom_key, directory))
+        .collect()
+}
+
+/// Signs every *unsigned* key-authored assertion whose authorizer key is
+/// owned by the directory's keystore. Returns how many were signed.
+/// Assertions with `POLICY` authorizers (locally trusted), foreign keys,
+/// and existing signatures are left untouched.
+pub fn sign_owned(assertions: &mut [Assertion], directory: &KeyStoreDirectory) -> usize {
+    let mut signed = 0;
+    for a in assertions.iter_mut() {
+        if a.signature.is_some() {
+            continue;
+        }
+        let Principal::Key(key_text) = &a.authorizer else {
+            continue;
+        };
+        let Ok(public) = key_text.parse::<PublicKey>() else {
+            continue;
+        };
+        let Some(owner) = directory.store().name_of(&public) else {
+            continue;
+        };
+        let kp = directory.store().keypair(&owner);
+        if sign_assertion(a, &kp).is_ok() {
+            signed += 1;
+        }
+    }
+    signed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::SymbolicDirectory;
+    use hetsec_keynote::session::KeyNoteSession;
+    use hetsec_keynote::signing::{verify_assertion, SignatureStatus};
+    use hetsec_rbac::fixtures::{salaries_policy, synthetic_policy};
+    use hetsec_rbac::User;
+
+    #[test]
+    fn parallel_encode_matches_serial() {
+        let dir = SymbolicDirectory::default();
+        let policies: Vec<RbacPolicy> = (1..5).map(|i| synthetic_policy(i, 2, 2, 1)).collect();
+        let par = encode_policies_par(&policies, "KWebCom", &dir);
+        for (p, got) in policies.iter().zip(&par) {
+            assert_eq!(got, &encode_policy(p, "KWebCom", &dir));
+        }
+    }
+
+    #[test]
+    fn parallel_roundtrip() {
+        let dir = SymbolicDirectory::default();
+        let policies: Vec<RbacPolicy> =
+            vec![salaries_policy(), synthetic_policy(2, 2, 2, 2), RbacPolicy::new()];
+        let encoded = encode_policies_par(&policies, "KWebCom", &dir);
+        let decoded = decode_policies_par(&encoded, "KWebCom", &dir);
+        for (original, report) in policies.iter().zip(&decoded) {
+            assert_eq!(&report.policy, original);
+        }
+    }
+
+    #[test]
+    fn sign_owned_produces_verifiable_credentials() {
+        let dir = KeyStoreDirectory::new();
+        // Materialise the WebCom key and use its real text as authorizer.
+        let webcom_key = dir.key_of(&User::new("WebCom"));
+        let mut assertions = encode_policy(&salaries_policy(), &webcom_key, &dir);
+        let signed = sign_owned(&mut assertions, &dir);
+        // One credential per assignment; the POLICY assertion stays
+        // unsigned.
+        assert_eq!(signed, salaries_policy().assignment_count());
+        for a in &assertions {
+            match &a.authorizer {
+                Principal::Policy => assert_eq!(verify_assertion(a), SignatureStatus::Unsigned),
+                Principal::Key(_) => assert_eq!(verify_assertion(a), SignatureStatus::Valid),
+            }
+        }
+        // The signed set passes a strict session end-to-end.
+        let mut s = KeyNoteSession::new();
+        for a in assertions {
+            s.add_policy_assertion(a).unwrap();
+        }
+        let claire = dir.key_of(&User::new("Claire"));
+        let attrs = [
+            ("app_domain", "WebCom"),
+            ("Domain", "Sales"),
+            ("Role", "Manager"),
+            ("ObjectType", "SalariesDB"),
+            ("Permission", "read"),
+        ]
+        .into_iter()
+        .collect();
+        assert!(s.query_action(&[claire.as_str()], &attrs).is_authorized());
+    }
+
+    #[test]
+    fn sign_owned_skips_foreign_keys() {
+        let dir = KeyStoreDirectory::new();
+        let foreign = hetsec_crypto::KeyPair::from_label("foreign-stranger");
+        let mut assertions = vec![Assertion::new(
+            Principal::key(foreign.public().to_text()),
+            hetsec_keynote::ast::LicenseeExpr::Principal("Kx".into()),
+        )];
+        assert_eq!(sign_owned(&mut assertions, &dir), 0);
+        assert!(assertions[0].signature.is_none());
+    }
+}

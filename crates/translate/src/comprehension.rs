@@ -1,0 +1,278 @@
+//! Policy Comprehension (paper §4.2): middleware RBAC → KeyNote.
+//!
+//! The `HasPermission` table becomes one KeyNote **policy assertion**
+//! authorising the WebCom administration key for the listed
+//! (Domain, Role, ObjectType, Permission) combinations — the paper's
+//! Figure 5. Each `UserRole` row becomes a **credential** signed by the
+//! WebCom key authorising the user's key for the (Domain, Role) pair —
+//! Figure 6. Figure 7's further delegation is [`delegate_role`].
+
+use crate::directory::PrincipalDirectory;
+use hetsec_keynote::ast::{Assertion, Clause, CmpOp, ConditionsProgram, Expr, LicenseeExpr, Principal, Term};
+use hetsec_rbac::{DomainRole, RbacPolicy, RoleAssignment, User};
+
+/// The `app_domain` value WebCom uses in its credentials.
+pub const APP_DOMAIN: &str = "WebCom";
+
+fn attr_eq(attr: &str, value: &str) -> Expr {
+    Expr::Cmp {
+        op: CmpOp::Eq,
+        lhs: Term::Attr(attr.to_string()),
+        rhs: Term::Str(value.to_string()),
+    }
+}
+
+fn and(a: Expr, b: Expr) -> Expr {
+    Expr::And(Box::new(a), Box::new(b))
+}
+
+fn or_all(mut exprs: Vec<Expr>) -> Option<Expr> {
+    let first = exprs.pop()?;
+    Some(exprs.into_iter().rev().fold(first, |acc, e| {
+        Expr::Or(Box::new(e), Box::new(acc))
+    }))
+}
+
+/// Encodes a `HasPermission` table as the Figure 5 policy assertion:
+/// `POLICY` licenses `webcom_key` for the disjunction of all grants.
+/// Returns `None` for a policy with no grants (an empty disjunction would
+/// authorise nothing and is better omitted).
+pub fn encode_has_permission(policy: &RbacPolicy, webcom_key: &str) -> Option<Assertion> {
+    let rows: Vec<Expr> = policy
+        .grants()
+        .map(|g| {
+            and(
+                attr_eq("ObjectType", g.object_type.as_str()),
+                and(
+                    attr_eq("Domain", g.domain.as_str()),
+                    and(
+                        attr_eq("Role", g.role.as_str()),
+                        attr_eq("Permission", g.permission.as_str()),
+                    ),
+                ),
+            )
+        })
+        .collect();
+    let disjunction = or_all(rows)?;
+    let conditions = and(attr_eq("app_domain", APP_DOMAIN), disjunction);
+    Some(Assertion {
+        version: Some("2".to_string()),
+        comment: Some("HasPermission table (paper Fig. 5)".to_string()),
+        local_constants: Vec::new(),
+        authorizer: Principal::Policy,
+        licensees: Some(LicenseeExpr::Principal(webcom_key.to_string())),
+        conditions: Some(ConditionsProgram {
+            clauses: vec![Clause::Bare(conditions)],
+        }),
+        signature: None,
+    })
+}
+
+/// Encodes one `UserRole` row as a Figure 6 credential: `webcom_key`
+/// authorises the user's key for the (Domain, Role) membership.
+pub fn encode_user_role(
+    assignment: &RoleAssignment,
+    webcom_key: &str,
+    directory: &dyn PrincipalDirectory,
+) -> Assertion {
+    let user_key = directory.key_of(&assignment.user);
+    let conditions = and(
+        attr_eq("app_domain", APP_DOMAIN),
+        and(
+            attr_eq("Domain", assignment.domain.as_str()),
+            attr_eq("Role", assignment.role.as_str()),
+        ),
+    );
+    Assertion {
+        version: Some("2".to_string()),
+        comment: Some(format!(
+            "{} is authorised as {}/{} (paper Fig. 6)",
+            assignment.user, assignment.domain, assignment.role
+        )),
+        local_constants: Vec::new(),
+        authorizer: Principal::key(webcom_key),
+        licensees: Some(LicenseeExpr::Principal(user_key)),
+        conditions: Some(ConditionsProgram {
+            clauses: vec![Clause::Bare(conditions)],
+        }),
+        signature: None,
+    }
+}
+
+/// Encodes a whole policy: the Figure 5 policy assertion (if any grants)
+/// followed by one Figure 6 credential per `UserRole` row.
+pub fn encode_policy(
+    policy: &RbacPolicy,
+    webcom_key: &str,
+    directory: &dyn PrincipalDirectory,
+) -> Vec<Assertion> {
+    let mut out = Vec::with_capacity(1 + policy.assignment_count());
+    out.extend(encode_has_permission(policy, webcom_key));
+    for a in policy.assignments() {
+        out.push(encode_user_role(a, webcom_key, directory));
+    }
+    out
+}
+
+/// Figure 7: a user further delegates a (Domain, Role) membership to
+/// another user, decentralising the policy without touching the unified
+/// table.
+pub fn delegate_role(
+    from: &User,
+    to: &User,
+    role: &DomainRole,
+    directory: &dyn PrincipalDirectory,
+) -> Assertion {
+    let conditions = and(
+        attr_eq("app_domain", APP_DOMAIN),
+        and(
+            attr_eq("Domain", role.domain.as_str()),
+            attr_eq("Role", role.role.as_str()),
+        ),
+    );
+    Assertion {
+        version: Some("2".to_string()),
+        comment: Some(format!(
+            "{from} delegates {role} to {to} (paper Fig. 7)"
+        )),
+        local_constants: Vec::new(),
+        authorizer: Principal::key(directory.key_of(from)),
+        licensees: Some(LicenseeExpr::Principal(directory.key_of(to))),
+        conditions: Some(ConditionsProgram {
+            clauses: vec![Clause::Bare(conditions)],
+        }),
+        signature: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::SymbolicDirectory;
+    use hetsec_keynote::eval::ActionAttributes;
+    use hetsec_keynote::session::KeyNoteSession;
+    use hetsec_rbac::fixtures::salaries_policy;
+
+    fn attrs(d: &str, r: &str, t: &str, p: &str) -> ActionAttributes {
+        [
+            ("app_domain", APP_DOMAIN),
+            ("Domain", d),
+            ("Role", r),
+            ("ObjectType", t),
+            ("Permission", p),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn session_for_salaries() -> KeyNoteSession {
+        let policy = salaries_policy();
+        let dir = SymbolicDirectory::default();
+        let assertions = encode_policy(&policy, "KWebCom", &dir);
+        let mut s = KeyNoteSession::permissive();
+        for a in assertions {
+            s.add_policy_assertion(a).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn figure_5_policy_authorises_webcom_key() {
+        let s = session_for_salaries();
+        // KWebCom itself is trusted for every table row.
+        for (d, r, p, expect) in [
+            ("Finance", "Clerk", "write", true),
+            ("Finance", "Manager", "read", true),
+            ("Finance", "Manager", "write", true),
+            ("Sales", "Manager", "read", true),
+            ("Sales", "Manager", "write", false),
+            ("Sales", "Assistant", "read", false),
+            ("Finance", "Clerk", "read", false),
+        ] {
+            let q = s.query_action(&["KWebCom"], &attrs(d, r, "SalariesDB", p));
+            assert_eq!(q.is_authorized(), expect, "{d}/{r} {p}");
+        }
+    }
+
+    #[test]
+    fn figure_6_user_credentials_compose_with_figure_5() {
+        let s = session_for_salaries();
+        // Claire (Sales/Manager) gets read through the chain
+        // POLICY -> KWebCom -> Kclaire.
+        let q = s.query_action(&["Kclaire"], &attrs("Sales", "Manager", "SalariesDB", "read"));
+        assert!(q.is_authorized());
+        // But not write (table), and not Finance (membership).
+        assert!(!s
+            .query_action(&["Kclaire"], &attrs("Sales", "Manager", "SalariesDB", "write"))
+            .is_authorized());
+        assert!(!s
+            .query_action(&["Kclaire"], &attrs("Finance", "Manager", "SalariesDB", "read"))
+            .is_authorized());
+    }
+
+    #[test]
+    fn wrong_app_domain_rejected() {
+        let s = session_for_salaries();
+        let mut a = attrs("Sales", "Manager", "SalariesDB", "read");
+        a.set("app_domain", "SomethingElse");
+        assert!(!s.query_action(&["Kclaire"], &a).is_authorized());
+    }
+
+    #[test]
+    fn figure_7_delegation_extends_the_chain() {
+        let mut s = session_for_salaries();
+        let dir = SymbolicDirectory::default();
+        let cred = delegate_role(
+            &User::new("Claire"),
+            &User::new("Fred"),
+            &DomainRole::new("Sales", "Manager"),
+            &dir,
+        );
+        s.add_credential_parsed(cred).unwrap();
+        let q = s.query_action(&["Kfred"], &attrs("Sales", "Manager", "SalariesDB", "read"));
+        assert!(q.is_authorized());
+        // Fred's delegated role cannot exceed Claire's authorisation.
+        assert!(!s
+            .query_action(&["Kfred"], &attrs("Sales", "Manager", "SalariesDB", "write"))
+            .is_authorized());
+    }
+
+    #[test]
+    fn delegation_from_non_member_grants_nothing() {
+        let mut s = session_for_salaries();
+        let dir = SymbolicDirectory::default();
+        // Dave (Sales/Assistant, no permissions) delegates a manager role
+        // he does not hold: the chain breaks at Dave.
+        let cred = delegate_role(
+            &User::new("Dave"),
+            &User::new("Mallory"),
+            &DomainRole::new("Sales", "Manager"),
+            &dir,
+        );
+        s.add_credential_parsed(cred).unwrap();
+        assert!(!s
+            .query_action(&["Kmallory"], &attrs("Sales", "Manager", "SalariesDB", "read"))
+            .is_authorized());
+    }
+
+    #[test]
+    fn empty_policy_encodes_no_policy_assertion() {
+        let empty = RbacPolicy::new();
+        assert!(encode_has_permission(&empty, "KWebCom").is_none());
+        assert!(encode_policy(&empty, "KWebCom", &SymbolicDirectory::default()).is_empty());
+    }
+
+    #[test]
+    fn encoded_assertions_roundtrip_through_text() {
+        use hetsec_keynote::parser::parse_assertion;
+        use hetsec_keynote::print::print_assertion;
+        let policy = salaries_policy();
+        for a in encode_policy(&policy, "KWebCom", &SymbolicDirectory::default()) {
+            let text = print_assertion(&a);
+            let back = parse_assertion(&text).unwrap();
+            assert_eq!(back.authorizer, a.authorizer);
+            assert_eq!(back.licensees, a.licensees);
+            assert_eq!(back.conditions, a.conditions);
+        }
+    }
+}

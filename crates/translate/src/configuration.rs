@@ -1,0 +1,381 @@
+//! Policy Configuration (paper §4.1): KeyNote → middleware RBAC.
+//!
+//! The inverse of comprehension: a Figure 5-style policy assertion is
+//! decompiled back into `HasPermission` rows and Figure 6-style
+//! credentials into `UserRole` rows, which can then be commissioned into
+//! any middleware through its [`hetsec_middleware::MiddlewareSecurity`]
+//! surface. The decompiler normalises the condition expression into
+//! disjunctive normal form; conjunctions that do not bind the expected
+//! attributes are reported rather than silently dropped.
+
+use crate::comprehension::APP_DOMAIN;
+use crate::directory::PrincipalDirectory;
+use hetsec_keynote::ast::{Assertion, Clause, CmpOp, Expr, LicenseeExpr, Principal, Term};
+use hetsec_rbac::{PermissionGrant, RbacPolicy, RoleAssignment, User as RbacUser};
+use serde::{Deserialize, Serialize};
+
+/// A conjunction of `attr == value` bindings.
+pub type Conjunct = Vec<(String, String)>;
+
+/// Converts an expression into DNF over `attr == value` atoms.
+///
+/// Returns `None` when the expression uses constructs that do not
+/// correspond to RBAC rows (negation, inequalities, arithmetic, regex) —
+/// such policies are KeyNote-only and cannot be pushed down into
+/// middleware.
+pub fn expr_to_dnf(e: &Expr) -> Option<Vec<Conjunct>> {
+    match e {
+        Expr::True => Some(vec![Vec::new()]),
+        Expr::False => Some(Vec::new()),
+        Expr::Or(a, b) => {
+            let mut left = expr_to_dnf(a)?;
+            let right = expr_to_dnf(b)?;
+            left.extend(right);
+            Some(left)
+        }
+        Expr::And(a, b) => {
+            let left = expr_to_dnf(a)?;
+            let right = expr_to_dnf(b)?;
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for l in &left {
+                for r in &right {
+                    let mut c = l.clone();
+                    c.extend(r.iter().cloned());
+                    out.push(c);
+                }
+            }
+            Some(out)
+        }
+        Expr::Cmp { op: CmpOp::Eq, lhs, rhs } => match (lhs, rhs) {
+            (Term::Attr(a), Term::Str(v)) | (Term::Str(v), Term::Attr(a)) => {
+                Some(vec![vec![(a.clone(), v.clone())]])
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Reads the single binding for `attr` in a conjunct; contradictory
+/// duplicate bindings yield `None`.
+fn binding<'a>(conjunct: &'a Conjunct, attr: &str) -> Option<&'a str> {
+    let mut found: Option<&str> = None;
+    for (a, v) in conjunct {
+        if a == attr {
+            match found {
+                None => found = Some(v),
+                Some(prev) if prev == v => {}
+                Some(_) => return None,
+            }
+        }
+    }
+    found
+}
+
+/// Outcome of decoding a credential set.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeReport {
+    /// The reconstructed relations.
+    pub policy: RbacPolicy,
+    /// Assertions or conjuncts that could not be interpreted, with
+    /// reasons.
+    pub skipped: Vec<String>,
+}
+
+/// Collects the conjuncts of every clause test in an assertion. Only
+/// bare and `-> _MAX_TRUST` clauses translate to flat RBAC rows.
+fn assertion_conjuncts(a: &Assertion, report: &mut DecodeReport) -> Vec<Conjunct> {
+    let Some(prog) = &a.conditions else {
+        report.skipped.push("assertion without conditions".to_string());
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for clause in &prog.clauses {
+        let test = match clause {
+            Clause::Bare(t) => t,
+            Clause::Arrow(t, v) if v == "_MAX_TRUST" => t,
+            Clause::Arrow(_, v) => {
+                report
+                    .skipped
+                    .push(format!("clause with non-binary value `{v}`"));
+                continue;
+            }
+            Clause::Nested(..) => {
+                report.skipped.push("nested conditions clause".to_string());
+                continue;
+            }
+        };
+        match expr_to_dnf(test) {
+            Some(conjuncts) => out.extend(conjuncts),
+            None => report
+                .skipped
+                .push("clause uses non-RBAC constructs (kept KeyNote-only)".to_string()),
+        }
+    }
+    out
+}
+
+/// Decodes a set of KeyNote assertions back into the common RBAC
+/// relations (the inverse of
+/// [`crate::comprehension::encode_policy`]).
+///
+/// * A `POLICY` assertion licensing `webcom_key` contributes
+///   `HasPermission` rows;
+/// * a credential authored by `webcom_key` licensing a single user key
+///   contributes `UserRole` rows (the user resolved via `directory`).
+pub fn decode_policy(
+    assertions: &[Assertion],
+    webcom_key: &str,
+    directory: &dyn PrincipalDirectory,
+) -> DecodeReport {
+    let mut report = DecodeReport::default();
+    for a in assertions {
+        match &a.authorizer {
+            Principal::Policy => {
+                // Must license the WebCom administration key.
+                match &a.licensees {
+                    Some(LicenseeExpr::Principal(k)) if k == webcom_key => {}
+                    other => {
+                        report.skipped.push(format!(
+                            "POLICY assertion licensing {other:?}, not the WebCom key"
+                        ));
+                        continue;
+                    }
+                }
+                for conjunct in assertion_conjuncts(a, &mut report) {
+                    decode_grant(&conjunct, &mut report);
+                }
+            }
+            Principal::Key(author) if author == webcom_key => {
+                let user_key = match &a.licensees {
+                    Some(LicenseeExpr::Principal(k)) => k.clone(),
+                    other => {
+                        report.skipped.push(format!(
+                            "WebCom credential with non-singleton licensees {other:?}"
+                        ));
+                        continue;
+                    }
+                };
+                // Resolve the key through the directory; fall back to
+                // the Figure 6 comment convention ("<user> is authorised
+                // as ..."), which makes symbolic credentials decodable
+                // by a process that did not issue the keys (the CLI).
+                let resolved = directory.user_of(&user_key).or_else(|| {
+                    a.comment
+                        .as_deref()
+                        .and_then(|c| c.split(" is authorised as ").next())
+                        .filter(|name| !name.is_empty() && !name.contains(' '))
+                        .map(RbacUser::new)
+                });
+                let Some(user) = resolved else {
+                    report
+                        .skipped
+                        .push(format!("unknown principal `{user_key}`"));
+                    continue;
+                };
+                for conjunct in assertion_conjuncts(a, &mut report) {
+                    if binding(&conjunct, "app_domain") != Some(APP_DOMAIN) {
+                        report
+                            .skipped
+                            .push(format!("membership conjunct outside {APP_DOMAIN}"));
+                        continue;
+                    }
+                    match (binding(&conjunct, "Domain"), binding(&conjunct, "Role")) {
+                        (Some(d), Some(r)) => {
+                            report
+                                .policy
+                                .assign(RoleAssignment::new(user.clone(), d, r));
+                        }
+                        _ => report.skipped.push(format!(
+                            "membership conjunct missing Domain/Role: {conjunct:?}"
+                        )),
+                    }
+                }
+            }
+            Principal::Key(other) => {
+                report.skipped.push(format!(
+                    "credential from `{other}` (third-party delegation stays KeyNote-only)"
+                ));
+            }
+        }
+    }
+    report
+}
+
+fn decode_grant(conjunct: &Conjunct, report: &mut DecodeReport) {
+    if binding(conjunct, "app_domain") != Some(APP_DOMAIN) {
+        report
+            .skipped
+            .push(format!("grant conjunct outside {APP_DOMAIN}"));
+        return;
+    }
+    match (
+        binding(conjunct, "Domain"),
+        binding(conjunct, "Role"),
+        binding(conjunct, "ObjectType"),
+        binding(conjunct, "Permission"),
+    ) {
+        (Some(d), Some(r), Some(t), Some(p)) => {
+            report.policy.grant(PermissionGrant::new(d, r, t, p));
+        }
+        _ => report.skipped.push(format!(
+            "grant conjunct missing Domain/Role/ObjectType/Permission: {conjunct:?}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comprehension::encode_policy;
+    use crate::directory::SymbolicDirectory;
+    use hetsec_keynote::parser::parse_expression;
+    use hetsec_rbac::fixtures::{salaries_policy, synthetic_policy};
+
+    #[test]
+    fn dnf_simple_cases() {
+        let e = parse_expression("a == \"1\"").unwrap();
+        assert_eq!(expr_to_dnf(&e), Some(vec![vec![("a".into(), "1".into())]]));
+        let e = parse_expression("a == \"1\" || b == \"2\"").unwrap();
+        assert_eq!(expr_to_dnf(&e).unwrap().len(), 2);
+        let e = parse_expression("a == \"1\" && (b == \"2\" || c == \"3\")").unwrap();
+        let dnf = expr_to_dnf(&e).unwrap();
+        assert_eq!(dnf.len(), 2);
+        assert!(dnf.iter().all(|c| c.len() == 2));
+        assert_eq!(expr_to_dnf(&Expr::True), Some(vec![vec![]]));
+        assert_eq!(expr_to_dnf(&Expr::False), Some(vec![]));
+    }
+
+    #[test]
+    fn dnf_rejects_non_rbac_constructs() {
+        for src in [
+            "!(a == \"1\")",
+            "a != \"1\"",
+            "a < \"1\"",
+            "a ~= \"x\"",
+            "a + 1 == 2",
+            "a == b",
+        ] {
+            let e = parse_expression(src).unwrap();
+            assert!(expr_to_dnf(&e).is_none(), "src={src}");
+        }
+    }
+
+    #[test]
+    fn reversed_equality_accepted() {
+        let e = parse_expression("\"WebCom\" == app_domain").unwrap();
+        assert_eq!(
+            expr_to_dnf(&e),
+            Some(vec![vec![("app_domain".into(), "WebCom".into())]])
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_figure_1() {
+        let original = salaries_policy();
+        let dir = SymbolicDirectory::default();
+        let assertions = encode_policy(&original, "KWebCom", &dir);
+        let report = decode_policy(&assertions, "KWebCom", &dir);
+        assert_eq!(report.policy, original);
+        assert!(report.skipped.is_empty(), "{:?}", report.skipped);
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_synthetic() {
+        let original = synthetic_policy(4, 3, 3, 2);
+        let dir = SymbolicDirectory::default();
+        let assertions = encode_policy(&original, "KWebCom", &dir);
+        let report = decode_policy(&assertions, "KWebCom", &dir);
+        assert_eq!(report.policy, original);
+        assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn third_party_delegations_stay_keynote_only() {
+        use crate::comprehension::delegate_role;
+        use hetsec_rbac::{DomainRole, User};
+        let dir = SymbolicDirectory::default();
+        let mut assertions = encode_policy(&salaries_policy(), "KWebCom", &dir);
+        assertions.push(delegate_role(
+            &User::new("Claire"),
+            &User::new("Fred"),
+            &DomainRole::new("Sales", "Manager"),
+            &dir,
+        ));
+        let report = decode_policy(&assertions, "KWebCom", &dir);
+        // The delegation does not become a UserRole row...
+        assert!(!report
+            .policy
+            .user_in_role(&"Fred".into(), &"Sales".into(), &"Manager".into()));
+        // ...and is reported.
+        assert!(report.skipped.iter().any(|s| s.contains("third-party")));
+    }
+
+    #[test]
+    fn foreign_policy_assertions_skipped() {
+        let dir = SymbolicDirectory::default();
+        let a = hetsec_keynote::parser::parse_assertion(
+            "Authorizer: POLICY\nLicensees: \"Ksomeoneelse\"\nConditions: app_domain==\"WebCom\";\n",
+        )
+        .unwrap();
+        let report = decode_policy(&[a], "KWebCom", &dir);
+        assert!(report.policy.is_empty());
+        assert_eq!(report.skipped.len(), 1);
+    }
+
+    #[test]
+    fn unknown_principal_skipped() {
+        let dir = SymbolicDirectory::default();
+        let a = hetsec_keynote::parser::parse_assertion(
+            "Authorizer: \"KWebCom\"\nLicensees: \"rsa-sim:abc:10001\"\n\
+             Conditions: app_domain==\"WebCom\" && Domain==\"D\" && Role==\"R\";\n",
+        )
+        .unwrap();
+        let report = decode_policy(&[a], "KWebCom", &dir);
+        assert!(report.policy.is_empty());
+        assert!(report.skipped.iter().any(|s| s.contains("unknown principal")));
+    }
+
+    #[test]
+    fn incomplete_conjuncts_reported() {
+        let dir = SymbolicDirectory::default();
+        let a = hetsec_keynote::parser::parse_assertion(
+            "Authorizer: POLICY\nLicensees: \"KWebCom\"\n\
+             Conditions: app_domain==\"WebCom\" && Domain==\"D\" && Role==\"R\";\n",
+        )
+        .unwrap();
+        let report = decode_policy(&[a], "KWebCom", &dir);
+        assert!(report.policy.is_empty());
+        assert!(report
+            .skipped
+            .iter()
+            .any(|s| s.contains("missing Domain/Role/ObjectType/Permission")));
+    }
+
+    #[test]
+    fn keynote_only_conditions_preserved_as_skips() {
+        let dir = SymbolicDirectory::default();
+        let a = hetsec_keynote::parser::parse_assertion(
+            "Authorizer: POLICY\nLicensees: \"KWebCom\"\n\
+             Conditions: app_domain==\"WebCom\" && amount < 100;\n",
+        )
+        .unwrap();
+        let report = decode_policy(&[a], "KWebCom", &dir);
+        assert!(report.policy.is_empty());
+        assert!(report.skipped.iter().any(|s| s.contains("non-RBAC")));
+    }
+
+    #[test]
+    fn contradictory_bindings_rejected() {
+        let c: Conjunct = vec![
+            ("Domain".into(), "A".into()),
+            ("Domain".into(), "B".into()),
+        ];
+        assert_eq!(binding(&c, "Domain"), None);
+        let ok: Conjunct = vec![
+            ("Domain".into(), "A".into()),
+            ("Domain".into(), "A".into()),
+        ];
+        assert_eq!(binding(&ok, "Domain"), Some("A"));
+    }
+}

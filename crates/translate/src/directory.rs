@@ -1,0 +1,138 @@
+//! Mapping between RBAC users and KeyNote principals (keys).
+//!
+//! The trust layer speaks in public keys while middleware speaks in user
+//! names; translations need a bidirectional directory. Two
+//! implementations: the paper's symbolic `K<name>` convention (used in
+//! its figures) and a real-keystore directory backed by the simulated
+//! PKI.
+
+use hetsec_crypto::KeyStore;
+use hetsec_rbac::User;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Bidirectional user <-> key-text mapping.
+pub trait PrincipalDirectory: Send + Sync {
+    /// The key text for a user (created on demand).
+    fn key_of(&self, user: &User) -> String;
+
+    /// The user owning a key text, if known.
+    fn user_of(&self, key_text: &str) -> Option<User>;
+}
+
+/// The paper's symbolic convention: user `Claire` owns key `Kclaire`.
+///
+/// Keys issued through [`PrincipalDirectory::key_of`] are remembered so
+/// the reverse mapping is exact; keys never issued fall back to the
+/// capitalisation heuristic the paper's figures imply.
+#[derive(Default)]
+pub struct SymbolicDirectory {
+    issued: RwLock<HashMap<String, User>>,
+}
+
+impl PrincipalDirectory for SymbolicDirectory {
+    fn key_of(&self, user: &User) -> String {
+        let key = format!("K{}", user.as_str().to_lowercase());
+        self.issued
+            .write()
+            .entry(key.clone())
+            .or_insert_with(|| user.clone());
+        key
+    }
+
+    fn user_of(&self, key_text: &str) -> Option<User> {
+        if let Some(user) = self.issued.read().get(key_text) {
+            return Some(user.clone());
+        }
+        let name = key_text.strip_prefix('K')?;
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return None;
+        }
+        // Restore the paper's capitalised user names.
+        let mut chars = name.chars();
+        let first = chars.next()?.to_ascii_uppercase();
+        Some(User::new(format!("{first}{}", chars.as_str())))
+    }
+}
+
+/// A directory backed by the simulated PKI: each user's key is derived
+/// deterministically through a [`KeyStore`], and the reverse mapping is
+/// maintained explicitly.
+pub struct KeyStoreDirectory {
+    store: KeyStore,
+    reverse: RwLock<HashMap<String, User>>,
+}
+
+impl Default for KeyStoreDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyStoreDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        KeyStoreDirectory {
+            store: KeyStore::new(),
+            reverse: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying keystore (for signing).
+    pub fn store(&self) -> &KeyStore {
+        &self.store
+    }
+}
+
+impl PrincipalDirectory for KeyStoreDirectory {
+    fn key_of(&self, user: &User) -> String {
+        let text = self.store.public(user.as_str()).to_text();
+        self.reverse
+            .write()
+            .entry(text.clone())
+            .or_insert_with(|| user.clone());
+        text
+    }
+
+    fn user_of(&self, key_text: &str) -> Option<User> {
+        self.reverse.read().get(key_text).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbolic_roundtrip() {
+        let d = SymbolicDirectory::default();
+        let claire = User::new("Claire");
+        assert_eq!(d.key_of(&claire), "Kclaire");
+        assert_eq!(d.user_of("Kclaire"), Some(claire));
+    }
+
+    #[test]
+    fn symbolic_rejects_non_symbolic_keys() {
+        let d = SymbolicDirectory::default();
+        assert_eq!(d.user_of("rsa-sim:abc:10001"), None);
+        assert_eq!(d.user_of("K"), None);
+        assert_eq!(d.user_of("bob"), None);
+    }
+
+    #[test]
+    fn keystore_roundtrip() {
+        let d = KeyStoreDirectory::new();
+        let bob = User::new("Bob");
+        let key = d.key_of(&bob);
+        assert!(key.starts_with("rsa-sim:"));
+        assert_eq!(d.user_of(&key), Some(bob.clone()));
+        // Stable on repeat.
+        assert_eq!(d.key_of(&bob), key);
+    }
+
+    #[test]
+    fn keystore_unknown_key() {
+        let d = KeyStoreDirectory::new();
+        assert_eq!(d.user_of("rsa-sim:1234:10001"), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! Policy Maintenance (paper §4.4): keeping a consistent global policy
+//! across heterogeneous middlewares.
+//!
+//! The paper recommends making changes *to the trust-management policy*
+//! and propagating them down the security stack. [`PolicyBus`] holds the
+//! unified (trust-level) policy, fans every change out to the registered
+//! middleware endpoints that own the affected domain, and can audit
+//! end-to-end consistency by diffing each endpoint's exported policy
+//! against the unified view.
+
+use hetsec_middleware::security::MiddlewareSecurity;
+use hetsec_rbac::{Domain, PermissionGrant, PolicyDiff, RbacPolicy, RoleAssignment};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One change to the unified policy.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyChange {
+    /// Add a `HasPermission` row.
+    Grant(PermissionGrant),
+    /// Remove a `HasPermission` row.
+    Revoke(PermissionGrant),
+    /// Add a `UserRole` row.
+    Assign(RoleAssignment),
+    /// Remove a `UserRole` row.
+    Unassign(RoleAssignment),
+}
+
+impl PolicyChange {
+    /// The domain the change affects.
+    pub fn domain(&self) -> &Domain {
+        match self {
+            PolicyChange::Grant(g) | PolicyChange::Revoke(g) => &g.domain,
+            PolicyChange::Assign(a) | PolicyChange::Unassign(a) => &a.domain,
+        }
+    }
+}
+
+/// What happened when a change was propagated.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PropagationReport {
+    /// Whether the unified policy actually changed.
+    pub unified_changed: bool,
+    /// Endpoints (by instance name) that accepted the change.
+    pub propagated_to: Vec<String>,
+    /// Endpoint failures: (instance name, error text).
+    pub failures: Vec<(String, String)>,
+}
+
+/// Consistency audit result for one endpoint.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EndpointConsistency {
+    /// The endpoint's instance name.
+    pub instance: String,
+    /// Difference between the endpoint's export and the unified view
+    /// restricted to the endpoint's domains (empty diff = consistent).
+    pub diff: PolicyDiff,
+}
+
+impl EndpointConsistency {
+    /// True when the endpoint agrees with the unified policy.
+    pub fn is_consistent(&self) -> bool {
+        self.diff.is_empty()
+    }
+}
+
+/// The maintenance bus.
+pub struct PolicyBus {
+    unified: RwLock<RbacPolicy>,
+    endpoints: RwLock<Vec<Arc<dyn MiddlewareSecurity>>>,
+}
+
+impl Default for PolicyBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PolicyBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        PolicyBus {
+            unified: RwLock::new(RbacPolicy::new()),
+            endpoints: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// A bus seeded with an initial unified policy.
+    pub fn with_policy(policy: RbacPolicy) -> Self {
+        PolicyBus {
+            unified: RwLock::new(policy),
+            endpoints: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers a middleware endpoint and commissions it with the
+    /// portion of the unified policy it owns (initial configuration).
+    pub fn register(&self, endpoint: Arc<dyn MiddlewareSecurity>) {
+        endpoint.import_policy(&self.unified.read());
+        self.endpoints.write().push(endpoint);
+    }
+
+    /// The current unified policy.
+    pub fn unified(&self) -> RbacPolicy {
+        self.unified.read().clone()
+    }
+
+    /// Registered endpoint count.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.read().len()
+    }
+
+    /// Applies a change to the unified policy and propagates it to every
+    /// endpoint owning the affected domain (the paper's recommended
+    /// top-down maintenance flow).
+    pub fn apply(&self, change: &PolicyChange) -> PropagationReport {
+        let mut report = PropagationReport::default();
+        {
+            let mut unified = self.unified.write();
+            report.unified_changed = match change {
+                PolicyChange::Grant(g) => unified.grant(g.clone()),
+                PolicyChange::Revoke(g) => unified.revoke(g),
+                PolicyChange::Assign(a) => unified.assign(a.clone()),
+                PolicyChange::Unassign(a) => unified.unassign(a),
+            };
+        }
+        let domain = change.domain();
+        for ep in self.endpoints.read().iter() {
+            if !ep.owned_domains().contains(domain) {
+                continue;
+            }
+            let result = match change {
+                PolicyChange::Grant(g) => ep.grant(g),
+                PolicyChange::Revoke(g) => ep.revoke(g),
+                PolicyChange::Assign(a) => ep.assign(a),
+                PolicyChange::Unassign(a) => ep.unassign(a),
+            };
+            match result {
+                Ok(()) => report.propagated_to.push(ep.instance_name()),
+                Err(e) => report.failures.push((ep.instance_name(), e.to_string())),
+            }
+        }
+        report
+    }
+
+    /// Restricts `policy` to the rows within `domains`.
+    fn restrict(policy: &RbacPolicy, domains: &[Domain]) -> RbacPolicy {
+        let mut out = RbacPolicy::new();
+        for g in policy.grants() {
+            if domains.contains(&g.domain) {
+                out.grant(g.clone());
+            }
+        }
+        for a in policy.assignments() {
+            if domains.contains(&a.domain) {
+                out.assign(a.clone());
+            }
+        }
+        out
+    }
+
+    /// Audits every endpoint against the unified view.
+    pub fn consistency_report(&self) -> Vec<EndpointConsistency> {
+        let unified = self.unified.read().clone();
+        self.endpoints
+            .read()
+            .iter()
+            .map(|ep| {
+                let owned = ep.owned_domains();
+                let want = Self::restrict(&unified, &owned);
+                let have = Self::restrict(&ep.export_policy(), &owned);
+                EndpointConsistency {
+                    instance: ep.instance_name(),
+                    diff: PolicyDiff::between(&have, &want),
+                }
+            })
+            .collect()
+    }
+
+    /// Repairs every inconsistent endpoint by re-importing the unified
+    /// view (changes made behind the bus's back are overwritten in the
+    /// additive direction; stale extra rows are revoked). Returns the
+    /// number of rows changed across endpoints.
+    pub fn repair(&self) -> usize {
+        let mut changed = 0;
+        let unified = self.unified.read().clone();
+        for ep in self.endpoints.read().iter() {
+            let owned = ep.owned_domains();
+            let want = Self::restrict(&unified, &owned);
+            let have = Self::restrict(&ep.export_policy(), &owned);
+            let diff = PolicyDiff::between(&have, &want);
+            for g in &diff.added_grants {
+                if ep.grant(g).is_ok() {
+                    changed += 1;
+                }
+            }
+            for g in &diff.removed_grants {
+                if ep.revoke(g).is_ok() {
+                    changed += 1;
+                }
+            }
+            for a in &diff.added_assignments {
+                if ep.assign(a).is_ok() {
+                    changed += 1;
+                }
+            }
+            for a in &diff.removed_assignments {
+                if ep.unassign(a).is_ok() {
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_com::ComMiddleware;
+    use hetsec_ejb::EjbMiddleware;
+    use hetsec_middleware::naming::EjbDomain;
+    use hetsec_middleware::security::MiddlewareSecurityExt;
+    use hetsec_rbac::fixtures::salaries_policy;
+
+    fn two_endpoint_bus() -> (PolicyBus, Arc<ComMiddleware>, Arc<EjbMiddleware>, String) {
+        let ejb_domain = EjbDomain::new("h", "s", "j").to_string();
+        // Unified policy: COM rows in CORP, EJB rows in the EJB domain.
+        let mut unified = RbacPolicy::new();
+        unified.grant(PermissionGrant::new("CORP", "Manager", "SalariesDB", "Access"));
+        unified.assign(RoleAssignment::new("bob", "CORP", "Manager"));
+        unified.grant(PermissionGrant::new(
+            ejb_domain.as_str(),
+            "Clerk",
+            "SalariesBean",
+            "write",
+        ));
+        unified.assign(RoleAssignment::new("alice", ejb_domain.as_str(), "Clerk"));
+        let bus = PolicyBus::with_policy(unified);
+        let com = Arc::new(ComMiddleware::new("CORP"));
+        let ejb = Arc::new(EjbMiddleware::new(EjbDomain::new("h", "s", "j")));
+        bus.register(com.clone());
+        bus.register(ejb.clone());
+        (bus, com, ejb, ejb_domain)
+    }
+
+    #[test]
+    fn registration_commissions_owned_portion() {
+        let (bus, com, ejb, ejb_domain) = two_endpoint_bus();
+        assert_eq!(bus.endpoint_count(), 2);
+        assert!(com.allows(&"bob".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
+        assert!(ejb.allows(
+            &"alice".into(),
+            &ejb_domain.as_str().into(),
+            &"SalariesBean".into(),
+            &"write".into()
+        ));
+        // Everything consistent right after commissioning.
+        assert!(bus.consistency_report().iter().all(|c| c.is_consistent()));
+    }
+
+    #[test]
+    fn apply_propagates_to_owning_endpoint_only() {
+        let (bus, com, ejb, ejb_domain) = two_endpoint_bus();
+        let change = PolicyChange::Assign(RoleAssignment::new("carol", "CORP", "Manager"));
+        let report = bus.apply(&change);
+        assert!(report.unified_changed);
+        assert_eq!(report.propagated_to, vec![com.instance_name()]);
+        assert!(report.failures.is_empty());
+        assert!(com.allows(&"carol".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
+        // EJB untouched.
+        assert!(!ejb.allows(
+            &"carol".into(),
+            &ejb_domain.as_str().into(),
+            &"SalariesBean".into(),
+            &"write".into()
+        ));
+        assert!(bus.consistency_report().iter().all(|c| c.is_consistent()));
+    }
+
+    #[test]
+    fn revocation_propagates() {
+        let (bus, com, _, _) = two_endpoint_bus();
+        let change = PolicyChange::Unassign(RoleAssignment::new("bob", "CORP", "Manager"));
+        let report = bus.apply(&change);
+        assert!(report.unified_changed);
+        assert!(!com.allows(&"bob".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
+    }
+
+    #[test]
+    fn idempotent_change_reports_no_unified_change() {
+        let (bus, _, _, _) = two_endpoint_bus();
+        let change = PolicyChange::Assign(RoleAssignment::new("bob", "CORP", "Manager"));
+        let report = bus.apply(&change);
+        assert!(!report.unified_changed); // already present
+    }
+
+    #[test]
+    fn out_of_band_drift_detected_and_repaired() {
+        let (bus, com, _, _) = two_endpoint_bus();
+        // Someone edits the COM catalogue behind the bus's back.
+        com.catalog().add_role_member("Manager", "mallory");
+        let audit = bus.consistency_report();
+        let com_audit = audit.iter().find(|c| c.instance.contains("COM+")).unwrap();
+        assert!(!com_audit.is_consistent());
+        assert_eq!(com_audit.diff.removed_assignments.len(), 1);
+        let changed = bus.repair();
+        assert_eq!(changed, 1);
+        assert!(bus.consistency_report().iter().all(|c| c.is_consistent()));
+        assert!(!com.allows(&"mallory".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
+    }
+
+    #[test]
+    fn unified_policy_snapshot() {
+        let bus = PolicyBus::with_policy(salaries_policy());
+        assert_eq!(bus.unified(), salaries_policy());
+        assert_eq!(bus.endpoint_count(), 0);
+    }
+
+    #[test]
+    fn change_domain_accessor() {
+        let g = PermissionGrant::new("D", "R", "T", "p");
+        assert_eq!(PolicyChange::Grant(g.clone()).domain().as_str(), "D");
+        assert_eq!(PolicyChange::Revoke(g).domain().as_str(), "D");
+        let a = RoleAssignment::new("u", "E", "R");
+        assert_eq!(PolicyChange::Assign(a.clone()).domain().as_str(), "E");
+        assert_eq!(PolicyChange::Unassign(a).domain().as_str(), "E");
+    }
+}

@@ -1,0 +1,232 @@
+//! Mediation auditing: a bounded, thread-safe log of stack decisions.
+//!
+//! The paper's maintenance story (§4.4) needs visibility into what the
+//! layers actually decided; [`AuditedStack`] wraps an
+//! [`AuthzStack`](crate::stack::AuthzStack) and records every decision
+//! (principal, user, component, per-layer trace) into a ring buffer the
+//! administrator can query.
+
+use crate::stack::{AuthzContext, AuthzStack, StackDecision, Verdict};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One audited decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// The requesting principal (key text).
+    pub principal: String,
+    /// The executing user.
+    pub user: String,
+    /// The component identifier.
+    pub component: String,
+    /// Whether the stack permitted.
+    pub permitted: bool,
+    /// (layer name, verdict summary) top-down.
+    pub trace: Vec<(String, String)>,
+}
+
+/// A bounded audit log.
+pub struct AuditLog {
+    records: Mutex<VecDeque<AuditRecord>>,
+    capacity: usize,
+    seq: AtomicU64,
+    denials: AtomicU64,
+    grants: AtomicU64,
+}
+
+impl AuditLog {
+    /// A log keeping the last `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        AuditLog {
+            records: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+            grants: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, ctx: &AuthzContext, decision: &StackDecision) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if decision.permitted {
+            self.grants.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.denials.fetch_add(1, Ordering::Relaxed);
+        }
+        let rec = AuditRecord {
+            seq,
+            principal: ctx.principal.clone(),
+            user: ctx.user.to_string(),
+            component: ctx.action.component.identifier(),
+            permitted: decision.permitted,
+            trace: decision
+                .trace
+                .iter()
+                .map(|(name, v)| {
+                    let summary = match v {
+                        Verdict::Grant => "grant".to_string(),
+                        Verdict::Abstain => "abstain".to_string(),
+                        Verdict::Deny(r) => format!("deny: {r}"),
+                    };
+                    (name.clone(), summary)
+                })
+                .collect(),
+        };
+        let mut records = self.records.lock();
+        if records.len() == self.capacity {
+            records.pop_front();
+        }
+        records.push_back(rec);
+        seq
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<AuditRecord> {
+        let records = self.records.lock();
+        records.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    /// All retained denials, oldest first.
+    pub fn denials(&self) -> Vec<AuditRecord> {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| !r.permitted)
+            .cloned()
+            .collect()
+    }
+
+    /// Totals since creation (grants, denials) — not limited by capacity.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.grants.load(Ordering::Relaxed),
+            self.denials.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// An authorisation stack that records every decision.
+pub struct AuditedStack {
+    stack: AuthzStack,
+    log: Arc<AuditLog>,
+}
+
+impl AuditedStack {
+    /// Wraps a stack with a log of the given capacity.
+    pub fn new(stack: AuthzStack, capacity: usize) -> Self {
+        AuditedStack {
+            stack,
+            log: Arc::new(AuditLog::new(capacity)),
+        }
+    }
+
+    /// The shared log handle.
+    pub fn log(&self) -> Arc<AuditLog> {
+        Arc::clone(&self.log)
+    }
+
+    /// Decides and records.
+    pub fn decide(&self, ctx: &AuthzContext) -> StackDecision {
+        let decision = self.stack.decide(ctx);
+        self.log.record(ctx, &decision);
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authz::{ScheduledAction, TrustManager};
+    use crate::stack::TrustLayer;
+    use hetsec_middleware::component::ComponentRef;
+    use hetsec_middleware::naming::MiddlewareKind;
+
+    fn audited() -> AuditedStack {
+        let tm = TrustManager::permissive();
+        tm.add_policy(
+            "Authorizer: POLICY\nLicensees: \"Kok\"\nConditions: app_domain==\"WebCom\";\n",
+        )
+        .unwrap();
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(Arc::new(tm))));
+        AuditedStack::new(stack, 4)
+    }
+
+    fn ctx(principal: &str) -> AuthzContext {
+        AuthzContext::new(
+            "worker",
+            principal,
+            ScheduledAction::new(
+                ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+                "Dom",
+                "Worker",
+            ),
+        )
+    }
+
+    #[test]
+    fn decisions_are_recorded_with_traces() {
+        let s = audited();
+        assert!(s.decide(&ctx("Kok")).permitted);
+        assert!(!s.decide(&ctx("Kbad")).permitted);
+        let log = s.log();
+        let recent = log.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert!(recent[0].permitted);
+        assert_eq!(recent[0].principal, "Kok");
+        assert_eq!(recent[0].trace.len(), 1);
+        assert_eq!(recent[0].trace[0].1, "grant");
+        assert!(!recent[1].permitted);
+        assert!(recent[1].trace[0].1.starts_with("deny:"));
+        assert_eq!(log.totals(), (1, 1));
+    }
+
+    #[test]
+    fn ring_buffer_caps_retention_but_not_totals() {
+        let s = audited();
+        for i in 0..10 {
+            let p = if i % 2 == 0 { "Kok" } else { "Kbad" };
+            s.decide(&ctx(p));
+        }
+        let log = s.log();
+        assert_eq!(log.recent(100).len(), 4); // capacity
+        assert_eq!(log.totals(), (5, 5)); // full history counted
+        // Sequence numbers stay monotone across eviction.
+        let recent = log.recent(100);
+        assert!(recent.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(recent.last().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn denials_filter() {
+        let s = audited();
+        s.decide(&ctx("Kok"));
+        s.decide(&ctx("Kbad"));
+        s.decide(&ctx("Kworse"));
+        let denials = s.log().denials();
+        assert_eq!(denials.len(), 2);
+        assert!(denials.iter().all(|r| !r.permitted));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let s = Arc::new(audited());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let p = if i % 2 == 0 { "Kok" } else { "Kbad" };
+                    s.decide(&ctx(p)).permitted
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.log().totals(), (4, 4));
+    }
+}

@@ -1,0 +1,204 @@
+//! WebCom's trust-management mediation: turning scheduling decisions
+//! into KeyNote queries (paper §4, Figure 3).
+//!
+//! A scheduling action is described by the attributes the paper lists —
+//! `Domain`, `Role`, `ObjectType`, `Permission` — plus
+//! `app_domain = "WebCom"` and a `component` identifier; the
+//! [`TrustManager`] holds the environment's policy and credential store
+//! and answers whether a principal may perform the action.
+
+use hetsec_keynote::ast::Assertion;
+use hetsec_keynote::eval::ActionAttributes;
+use hetsec_keynote::session::{KeyNoteSession, SessionError};
+use hetsec_middleware::component::ComponentRef;
+use hetsec_rbac::{Domain, Permission, Role};
+use hetsec_translate::APP_DOMAIN;
+use parking_lot::RwLock;
+
+/// A mediated WebCom action: schedule/execute a component under a
+/// (domain, role) pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduledAction {
+    /// The component to execute.
+    pub component: ComponentRef,
+    /// The domain the execution is pinned to.
+    pub domain: Domain,
+    /// The role the execution is pinned to.
+    pub role: Role,
+    /// The permission the component requires.
+    pub permission: Permission,
+}
+
+impl ScheduledAction {
+    /// Builds an action for a component under a (domain, role), using
+    /// the component's own required permission.
+    pub fn new(component: ComponentRef, domain: impl Into<Domain>, role: impl Into<Role>) -> Self {
+        let permission = component.required_permission();
+        ScheduledAction {
+            component,
+            domain: domain.into(),
+            role: role.into(),
+            permission,
+        }
+    }
+
+    /// The KeyNote action attribute set for this action.
+    pub fn attributes(&self) -> ActionAttributes {
+        ActionAttributes::new()
+            .with("app_domain", APP_DOMAIN)
+            .with("Domain", self.domain.as_str())
+            .with("Role", self.role.as_str())
+            .with("ObjectType", self.component.object_type.as_str())
+            .with("Permission", self.permission.as_str())
+            .with("component", self.component.identifier())
+            .with("middleware", self.component.kind.to_string())
+    }
+}
+
+/// The per-environment trust-management state: a KeyNote session behind
+/// a lock, mutated as credentials arrive and queried on every
+/// scheduling decision.
+pub struct TrustManager {
+    session: RwLock<KeyNoteSession>,
+}
+
+impl TrustManager {
+    /// A trust manager accepting only signed credentials.
+    pub fn strict() -> Self {
+        TrustManager {
+            session: RwLock::new(KeyNoteSession::new()),
+        }
+    }
+
+    /// A trust manager accepting symbolic/unsigned credentials (used by
+    /// the worked examples that mirror the paper's figures).
+    pub fn permissive() -> Self {
+        TrustManager {
+            session: RwLock::new(KeyNoteSession::permissive()),
+        }
+    }
+
+    /// Installs locally-trusted policy text.
+    pub fn add_policy(&self, text: &str) -> Result<usize, SessionError> {
+        self.session.write().add_policy(text)
+    }
+
+    /// Installs a pre-built policy assertion.
+    pub fn add_policy_assertion(&self, assertion: Assertion) -> Result<(), SessionError> {
+        self.session.write().add_policy_assertion(assertion)
+    }
+
+    /// Adds a credential (verified according to the session mode).
+    pub fn add_credential(&self, assertion: Assertion) -> Result<(), SessionError> {
+        self.session.write().add_credential_parsed(assertion)
+    }
+
+    /// Adds credentials from text.
+    pub fn add_credentials_text(&self, text: &str) -> Result<usize, SessionError> {
+        self.session.write().add_credentials(text)
+    }
+
+    /// Is `principal` authorised for `action`?
+    pub fn authorizes(&self, principal: &str, action: &ScheduledAction) -> bool {
+        self.query(&[principal], &action.attributes())
+    }
+
+    /// Raw query against arbitrary attributes.
+    pub fn query(&self, principals: &[&str], attrs: &ActionAttributes) -> bool {
+        self.session
+            .read()
+            .query_action(principals, attrs)
+            .is_authorized()
+    }
+
+    /// Number of stored credentials (diagnostic).
+    pub fn credential_count(&self) -> usize {
+        self.session.read().credentials().len()
+    }
+
+    /// Revokes a key for all subsequent mediation decisions.
+    pub fn revoke_key(&self, key_text: impl Into<String>) {
+        self.session.write().revoke_key(key_text);
+    }
+
+    /// Reinstates a previously revoked key.
+    pub fn reinstate_key(&self, key_text: &str) -> bool {
+        self.session.write().reinstate_key(key_text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_middleware::naming::MiddlewareKind;
+    use hetsec_rbac::fixtures::salaries_policy;
+    use hetsec_translate::{encode_policy, SymbolicDirectory};
+
+    fn component() -> ComponentRef {
+        ComponentRef::new(MiddlewareKind::Ejb, "Sales", "SalariesDB", "read")
+    }
+
+    fn manager_with_salaries() -> TrustManager {
+        let tm = TrustManager::permissive();
+        let dir = SymbolicDirectory::default();
+        for a in encode_policy(&salaries_policy(), "KWebCom", &dir) {
+            tm.add_policy_assertion(a).unwrap();
+        }
+        tm
+    }
+
+    #[test]
+    fn action_attributes_shape() {
+        let a = ScheduledAction::new(component(), "Sales", "Manager");
+        let attrs = a.attributes();
+        assert_eq!(attrs.get("app_domain"), "WebCom");
+        assert_eq!(attrs.get("Domain"), "Sales");
+        assert_eq!(attrs.get("Role"), "Manager");
+        assert_eq!(attrs.get("ObjectType"), "SalariesDB");
+        assert_eq!(attrs.get("Permission"), "read");
+        assert_eq!(attrs.get("middleware"), "EJB");
+        assert!(attrs.get("component").starts_with("ejb://"));
+    }
+
+    #[test]
+    fn authorizes_follows_encoded_policy() {
+        let tm = manager_with_salaries();
+        let action = ScheduledAction::new(component(), "Sales", "Manager");
+        assert!(tm.authorizes("Kclaire", &action));
+        assert!(!tm.authorizes("Kdave", &action));
+        // write is not granted to Sales/Manager.
+        let write = ScheduledAction {
+            permission: Permission::new("write"),
+            ..action
+        };
+        assert!(!tm.authorizes("Kclaire", &write));
+    }
+
+    #[test]
+    fn delegation_credentials_extend_authorisation() {
+        let tm = manager_with_salaries();
+        let dir = SymbolicDirectory::default();
+        let cred = hetsec_translate::delegate_role(
+            &"Claire".into(),
+            &"Fred".into(),
+            &hetsec_rbac::DomainRole::new("Sales", "Manager"),
+            &dir,
+        );
+        let action = ScheduledAction::new(component(), "Sales", "Manager");
+        assert!(!tm.authorizes("Kfred", &action));
+        tm.add_credential(cred).unwrap();
+        // 5 membership credentials from the encoded policy + the delegation.
+        assert_eq!(tm.credential_count(), 6);
+        assert!(tm.authorizes("Kfred", &action));
+    }
+
+    #[test]
+    fn strict_manager_rejects_unsigned() {
+        let tm = TrustManager::strict();
+        let a = hetsec_keynote::parser::parse_assertion(
+            "Authorizer: \"Kx\"\nLicensees: \"Ky\"\n",
+        )
+        .unwrap();
+        assert!(tm.add_credential(a).is_err());
+    }
+}

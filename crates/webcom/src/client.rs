@@ -1,0 +1,273 @@
+//! A WebCom client environment (Figure 3, right side).
+//!
+//! Each client runs on its own thread, receiving [`ScheduleRequest`]s.
+//! For every request it performs the paper's mutual mediation:
+//!
+//! 1. *authenticate the master*: the master's key must be authorised by
+//!    the client's own trust policy to schedule this action;
+//! 2. *local stack*: the client's pluggable authorisation stack (OS /
+//!    middleware / trust-management layers, §5) must permit the
+//!    executing user;
+//! 3. only then is the component invoked.
+
+use crate::authz::TrustManager;
+use crate::protocol::{
+    ClientMessage, ComponentExecutor, ExecOutcome, ScheduleReply, ScheduleRequest,
+};
+use crate::stack::{AuthzContext, AuthzStack};
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running client and the means to reach it.
+pub struct ClientHandle {
+    /// The client's name.
+    pub name: String,
+    /// The client's public key text (the master checks credentials
+    /// against this identity).
+    pub key_text: String,
+    sender: Sender<ClientMessage>,
+    join: Option<JoinHandle<ClientStats>>,
+}
+
+/// Counters a client reports when shut down.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests executed successfully.
+    pub executed: usize,
+    /// Requests refused because the master was not trusted.
+    pub master_rejected: usize,
+    /// Requests refused by the local stack.
+    pub stack_denied: usize,
+    /// Component invocation failures.
+    pub failed: usize,
+}
+
+impl ClientHandle {
+    /// The channel the master uses to reach this client.
+    pub fn sender(&self) -> Sender<ClientMessage> {
+        self.sender.clone()
+    }
+
+    /// Shuts the client down and returns its stats. Requests already in
+    /// the queue are drained first; masters still holding a sender clone
+    /// get `Failed` outcomes for anything sent afterwards.
+    pub fn shutdown(mut self) -> ClientStats {
+        let _ = self.sender.send(ClientMessage::Shutdown);
+        drop(self.sender);
+        self.join
+            .take()
+            .expect("client already joined")
+            .join()
+            .expect("client thread panicked")
+    }
+}
+
+/// Configuration for spawning a client.
+pub struct ClientConfig {
+    /// Client name (diagnostics).
+    pub name: String,
+    /// The client's key text.
+    pub key_text: String,
+    /// Trust policy for *masters*: which keys may schedule work here.
+    pub master_trust: Arc<TrustManager>,
+    /// The local authorisation stack for executing users.
+    pub stack: Arc<AuthzStack>,
+    /// The component executor (wraps the local middleware).
+    pub executor: Arc<dyn ComponentExecutor>,
+}
+
+/// Spawns a client thread; it runs until the request channel closes.
+pub fn spawn_client(config: ClientConfig) -> ClientHandle {
+    let (tx, rx) = unbounded::<ClientMessage>();
+    let name = config.name.clone();
+    let key_text = config.key_text.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("webcom-client-{name}"))
+        .spawn(move || {
+            let mut stats = ClientStats::default();
+            while let Ok(msg) = rx.recv() {
+                let req = match msg {
+                    ClientMessage::Request(req) => req,
+                    ClientMessage::Shutdown => break,
+                };
+                let outcome = handle_request(&config, &mut stats, &req);
+                let _ = req.reply_to.send(ScheduleReply {
+                    op_id: req.op_id,
+                    client: config.name.clone(),
+                    outcome,
+                });
+            }
+            stats
+        })
+        .expect("spawn client thread");
+    ClientHandle {
+        name,
+        key_text,
+        sender: tx,
+        join: Some(join),
+    }
+}
+
+fn handle_request(
+    config: &ClientConfig,
+    stats: &mut ClientStats,
+    req: &ScheduleRequest,
+) -> ExecOutcome {
+    // 1. Authenticate/authorise the master.
+    for cred in &req.credentials {
+        // Credentials travel with the request; invalid ones are simply
+        // not taken into account.
+        let _ = config.master_trust.add_credential(cred.clone());
+    }
+    if !config.master_trust.authorizes(&req.master_key, &req.action) {
+        stats.master_rejected += 1;
+        return ExecOutcome::Denied(format!(
+            "client {}: master key not authorised to schedule {}",
+            config.name,
+            req.action.component.identifier()
+        ));
+    }
+    // 2. Local stacked mediation for the executing user.
+    let ctx = AuthzContext {
+        user: req.user.clone(),
+        principal: req.principal.clone(),
+        action: req.action.clone(),
+        credentials: req.credentials.clone(),
+    };
+    let decision = config.stack.decide(&ctx);
+    if !decision.permitted {
+        stats.stack_denied += 1;
+        let reasons: Vec<String> = decision
+            .trace
+            .iter()
+            .filter_map(|(name, v)| match v {
+                crate::stack::Verdict::Deny(r) => Some(format!("{name}: {r}")),
+                _ => None,
+            })
+            .collect();
+        return ExecOutcome::Denied(format!(
+            "client {}: stack denied [{}]",
+            config.name,
+            reasons.join("; ")
+        ));
+    }
+    // 3. Execute.
+    match config
+        .executor
+        .invoke(&req.user, &req.action.component, &req.args)
+    {
+        Ok(v) => {
+            stats.executed += 1;
+            ExecOutcome::Ok(v)
+        }
+        Err(e) => {
+            stats.failed += 1;
+            ExecOutcome::Failed(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authz::ScheduledAction;
+    use crate::protocol::ArithComponentExecutor;
+    use crate::stack::TrustLayer;
+    use hetsec_graphs::Value;
+    use hetsec_middleware::component::ComponentRef;
+    use hetsec_middleware::naming::MiddlewareKind;
+
+    fn action(op: &str) -> ScheduledAction {
+        ScheduledAction::new(
+            ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", op),
+            "Dom",
+            "Worker",
+        )
+    }
+
+    fn permissive_tm(policy: &str) -> Arc<TrustManager> {
+        let tm = TrustManager::permissive();
+        tm.add_policy(policy).unwrap();
+        Arc::new(tm)
+    }
+
+    fn client() -> ClientHandle {
+        // Masters: trust Kmaster for anything in app_domain WebCom.
+        let master_trust = permissive_tm(
+            "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        // Users: trust Kworker for the Dom/Worker role.
+        let user_tm = permissive_tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\n\
+             Conditions: app_domain==\"WebCom\" && Domain==\"Dom\" && Role==\"Worker\";\n",
+        );
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(user_tm)));
+        spawn_client(ClientConfig {
+            name: "c1".to_string(),
+            key_text: "Kc1".to_string(),
+            master_trust,
+            stack: Arc::new(stack),
+            executor: Arc::new(ArithComponentExecutor),
+        })
+    }
+
+    fn roundtrip(handle: &ClientHandle, req_action: ScheduledAction, master: &str, principal: &str) -> ExecOutcome {
+        let (tx, rx) = unbounded();
+        handle
+            .sender()
+            .send(ClientMessage::Request(ScheduleRequest {
+                op_id: 7,
+                action: req_action,
+                user: "worker".into(),
+                principal: principal.to_string(),
+                master_key: master.to_string(),
+                credentials: vec![],
+                args: vec![Value::Int(20), Value::Int(22)],
+                reply_to: tx,
+            }))
+            .unwrap();
+        let reply = rx.recv().unwrap();
+        assert_eq!(reply.op_id, 7);
+        assert_eq!(reply.client, "c1");
+        reply.outcome
+    }
+
+    #[test]
+    fn executes_authorised_request() {
+        let c = client();
+        let out = roundtrip(&c, action("add"), "Kmaster", "Kworker");
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(42)));
+        let stats = c.shutdown();
+        assert_eq!(stats.executed, 1);
+    }
+
+    #[test]
+    fn rejects_untrusted_master() {
+        let c = client();
+        let out = roundtrip(&c, action("add"), "Kimposter", "Kworker");
+        assert!(matches!(out, ExecOutcome::Denied(ref m) if m.contains("master")));
+        let stats = c.shutdown();
+        assert_eq!(stats.master_rejected, 1);
+        assert_eq!(stats.executed, 0);
+    }
+
+    #[test]
+    fn stack_denies_unauthorised_user() {
+        let c = client();
+        let out = roundtrip(&c, action("add"), "Kmaster", "Kstranger");
+        assert!(matches!(out, ExecOutcome::Denied(ref m) if m.contains("stack denied")));
+        let stats = c.shutdown();
+        assert_eq!(stats.stack_denied, 1);
+    }
+
+    #[test]
+    fn component_failure_reported() {
+        let c = client();
+        let out = roundtrip(&c, action("no-such-op"), "Kmaster", "Kworker");
+        assert!(matches!(out, ExecOutcome::Failed(_)));
+        let stats = c.shutdown();
+        assert_eq!(stats.failed, 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! WebCom environment composition (Figure 9).
+//!
+//! The paper's interoperation scenario runs four differently-equipped
+//! systems: W (Windows + COM + KeyNote), X (Unix + KeyNote only),
+//! Y (Windows + COM), Z (legacy under migration). An
+//! [`EnvironmentBuilder`] assembles such a system — identity, the trust
+//! policies for masters and users, whatever mediation layers the
+//! platform provides, and a component executor — and spawns it as a
+//! WebCom client.
+
+use crate::authz::TrustManager;
+use crate::client::{spawn_client, ClientConfig, ClientHandle};
+use crate::protocol::{ArithComponentExecutor, ComponentExecutor};
+use crate::stack::{AuthzLayer, AuthzStack, CombinationRule, TrustLayer};
+use std::sync::Arc;
+
+/// Builder for one WebCom environment.
+pub struct EnvironmentBuilder {
+    name: String,
+    key_text: String,
+    master_trust: Arc<TrustManager>,
+    user_trust: Option<Arc<TrustManager>>,
+    layers: Vec<Arc<dyn AuthzLayer>>,
+    rule: CombinationRule,
+    executor: Option<Arc<dyn ComponentExecutor>>,
+}
+
+impl EnvironmentBuilder {
+    /// Starts an environment named `name` whose client key is
+    /// `key_text`. By default no master is trusted: call
+    /// [`Self::trust_master`].
+    pub fn new(name: impl Into<String>, key_text: impl Into<String>) -> Self {
+        EnvironmentBuilder {
+            name: name.into(),
+            key_text: key_text.into(),
+            master_trust: Arc::new(TrustManager::permissive()),
+            user_trust: None,
+            layers: Vec::new(),
+            rule: CombinationRule::default(),
+            executor: None,
+        }
+    }
+
+    /// Trusts `master_key` to schedule anything in `app_domain WebCom`.
+    pub fn trust_master(self, master_key: &str) -> Self {
+        self.master_trust
+            .add_policy(&format!(
+                "Authorizer: POLICY\nLicensees: \"{master_key}\"\nConditions: app_domain==\"WebCom\";\n"
+            ))
+            .expect("well-formed master policy");
+        self
+    }
+
+    /// Installs a user trust manager; a [`TrustLayer`] for it is plugged
+    /// into the stack (the environment "runs T(KN)" in Figure 9 terms).
+    pub fn with_trust_management(mut self, tm: Arc<TrustManager>) -> Self {
+        self.user_trust = Some(tm.clone());
+        self.layers.push(Arc::new(TrustLayer::new(tm)));
+        self
+    }
+
+    /// Plugs an extra mediation layer (OS, middleware, application).
+    pub fn with_layer(mut self, layer: Arc<dyn AuthzLayer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Sets the stack combination rule.
+    pub fn with_rule(mut self, rule: CombinationRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Sets the component executor (defaults to the arithmetic one).
+    pub fn with_executor(mut self, executor: Arc<dyn ComponentExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// The user trust manager, if one was installed (for feeding
+    /// credentials later).
+    pub fn user_trust(&self) -> Option<Arc<TrustManager>> {
+        self.user_trust.clone()
+    }
+
+    /// Spawns the environment as a running WebCom client.
+    pub fn spawn(self) -> ClientHandle {
+        let mut stack = AuthzStack::new().with_rule(self.rule);
+        for layer in self.layers {
+            stack.push(layer);
+        }
+        spawn_client(ClientConfig {
+            name: self.name,
+            key_text: self.key_text,
+            master_trust: self.master_trust,
+            stack: Arc::new(stack),
+            executor: self
+                .executor
+                .unwrap_or_else(|| Arc::new(ArithComponentExecutor)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authz::ScheduledAction;
+    use crate::master::{Binding, WebComMaster};
+    use crate::protocol::ExecOutcome;
+    use crate::stack::UnixOsLayer;
+    use hetsec_graphs::Value;
+    use hetsec_middleware::component::ComponentRef;
+    use hetsec_middleware::naming::MiddlewareKind;
+    use hetsec_os::unix::{Mode, UnixObject, UnixSecurity, UnixUser};
+
+    fn user_tm(policy: &str) -> Arc<TrustManager> {
+        let tm = TrustManager::permissive();
+        tm.add_policy(policy).unwrap();
+        Arc::new(tm)
+    }
+
+    /// Figure 9's System X: Unix OS + KeyNote, no middleware at all.
+    #[test]
+    fn system_x_unix_plus_keynote_only() {
+        let os = Arc::new(UnixSecurity::new());
+        os.add_user("worker", UnixUser { uid: 7, gid: 7, groups: vec![] });
+        os.set_object(
+            "Calc",
+            UnixObject { owner: 7, group: 7, mode: Mode::from_octal(0o700) },
+        );
+        let tm = user_tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let client = EnvironmentBuilder::new("system-x", "Kx")
+            .trust_master("Kmaster")
+            .with_trust_management(tm)
+            .with_layer(Arc::new(UnixOsLayer::new(os, ["Calc".to_string()])))
+            .spawn();
+
+        let master = WebComMaster::new("Kmaster", user_tm(
+            "Authorizer: POLICY\nLicensees: \"Kx\"\nConditions: app_domain==\"WebCom\";\n",
+        ));
+        master.register_client(&client, vec!["Dom".into()]);
+        master.bind(
+            "add",
+            Binding {
+                component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+                domain: "Dom".into(),
+                role: "Worker".into(),
+                user: "worker".into(),
+                principal: "Kworker".to_string(),
+            },
+        );
+        let out = master.schedule_primitive("add", vec![Value::Int(40), Value::Int(2)]);
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(42)));
+        client.shutdown();
+    }
+
+    #[test]
+    fn environment_without_trusted_master_refuses() {
+        let tm = user_tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        // No trust_master call: the client trusts no master.
+        let client = EnvironmentBuilder::new("isolated", "Ki")
+            .with_trust_management(tm)
+            .spawn();
+        let master = WebComMaster::new("Kmaster", user_tm(
+            "Authorizer: POLICY\nLicensees: \"Ki\"\nConditions: app_domain==\"WebCom\";\n",
+        ));
+        master.register_client(&client, vec!["Dom".into()]);
+        let action = ScheduledAction::new(
+            ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+            "Dom",
+            "Worker",
+        );
+        let out = master.schedule(&action, &"worker".into(), "Kworker", vec![]);
+        assert!(matches!(out, ExecOutcome::Denied(ref m) if m.contains("master")));
+        client.shutdown();
+    }
+
+    #[test]
+    fn builder_exposes_user_trust_for_later_credentials() {
+        let tm = user_tm(
+            "Authorizer: POLICY\nLicensees: \"Ka\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let b = EnvironmentBuilder::new("env", "Ke")
+            .trust_master("Km")
+            .with_trust_management(tm.clone());
+        let handle = b.user_trust().unwrap();
+        assert_eq!(Arc::strong_count(&tm) >= 2, true);
+        drop(handle);
+        b.spawn().shutdown();
+    }
+}

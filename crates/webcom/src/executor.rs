@@ -1,0 +1,183 @@
+//! A component executor backed by the actual middleware simulators.
+//!
+//! Where [`crate::protocol::ArithComponentExecutor`] fakes business
+//! logic, [`MiddlewareExecutor`] routes each invocation to the hosting
+//! middleware's native call path — `ComCatalog::call`,
+//! `EjbContainer::invoke`, `OrbServer::request` — so the native security
+//! mediation runs *again* at invocation time. This is the paper's
+//! legacy-reuse point (§5): the middleware's own policy keeps mediating
+//! even when WebCom's stack already granted the schedule.
+
+use crate::protocol::ComponentExecutor;
+use hetsec_com::ComMiddleware;
+use hetsec_corba::CorbaMiddleware;
+use hetsec_ejb::{EjbMiddleware, InvokeOutcome};
+use hetsec_graphs::Value;
+use hetsec_middleware::component::ComponentRef;
+use hetsec_middleware::naming::MiddlewareKind;
+use hetsec_rbac::User;
+use std::sync::Arc;
+
+/// Routes invocations to registered middleware instances by domain.
+#[derive(Default)]
+pub struct MiddlewareExecutor {
+    com: Vec<Arc<ComMiddleware>>,
+    ejb: Vec<Arc<EjbMiddleware>>,
+    corba: Vec<Arc<CorbaMiddleware>>,
+}
+
+impl MiddlewareExecutor {
+    /// Empty executor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a COM+ machine.
+    pub fn with_com(mut self, m: Arc<ComMiddleware>) -> Self {
+        self.com.push(m);
+        self
+    }
+
+    /// Registers an EJB server.
+    pub fn with_ejb(mut self, m: Arc<EjbMiddleware>) -> Self {
+        self.ejb.push(m);
+        self
+    }
+
+    /// Registers an ORB.
+    pub fn with_corba(mut self, m: Arc<CorbaMiddleware>) -> Self {
+        self.corba.push(m);
+        self
+    }
+}
+
+impl ComponentExecutor for MiddlewareExecutor {
+    fn invoke(
+        &self,
+        user: &User,
+        component: &ComponentRef,
+        _args: &[Value],
+    ) -> Result<Value, String> {
+        let domain = component.domain.as_str();
+        match component.kind {
+            MiddlewareKind::ComPlus => {
+                let m = self
+                    .com
+                    .iter()
+                    .find(|m| m.catalog().nt_domain_name() == domain)
+                    .ok_or_else(|| format!("no COM+ instance for domain {domain}"))?;
+                // COM components name the application as ObjectType and
+                // the class as operation; method calls need Access.
+                m.catalog()
+                    .call(
+                        user.as_str(),
+                        component.object_type.as_str(),
+                        component.operation.as_str(),
+                        "Invoke",
+                    )
+                    .map(Value::Str)
+            }
+            MiddlewareKind::Ejb => {
+                let m = self
+                    .ejb
+                    .iter()
+                    .find(|m| m.container().domain().to_string() == domain)
+                    .ok_or_else(|| format!("no EJB server for domain {domain}"))?;
+                match m.container().invoke(
+                    user.as_str(),
+                    component.object_type.as_str(),
+                    component.operation.as_str(),
+                ) {
+                    InvokeOutcome::Ok(out) => Ok(Value::Str(out)),
+                    InvokeOutcome::AccessDenied(e) | InvokeOutcome::NotFound(e) => Err(e),
+                }
+            }
+            MiddlewareKind::Corba => {
+                let m = self
+                    .corba
+                    .iter()
+                    .find(|m| m.orb().domain().to_string() == domain)
+                    .ok_or_else(|| format!("no ORB for domain {domain}"))?;
+                match m.orb().check_invoke(
+                    user.as_str(),
+                    None,
+                    component.object_type.as_str(),
+                    component.operation.as_str(),
+                ) {
+                    Ok(()) => Ok(Value::Str(format!(
+                        "{}::{}() ok for {user}",
+                        component.object_type, component.operation
+                    ))),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_middleware::naming::EjbDomain;
+    use hetsec_middleware::security::MiddlewareSecurity;
+    use hetsec_rbac::{PermissionGrant, RoleAssignment};
+
+    fn ejb_fixture() -> (Arc<EjbMiddleware>, String) {
+        let d = EjbDomain::new("h", "s", "j");
+        let m = Arc::new(EjbMiddleware::new(d.clone()));
+        let ds = d.to_string();
+        m.grant(&PermissionGrant::new(ds.as_str(), "Manager", "SalariesBean", "read"))
+            .unwrap();
+        m.assign(&RoleAssignment::new("bob", ds.as_str(), "Manager"))
+            .unwrap();
+        (m, ds)
+    }
+
+    #[test]
+    fn ejb_invocation_mediated_natively() {
+        let (m, ds) = ejb_fixture();
+        let exec = MiddlewareExecutor::new().with_ejb(m);
+        let c = ComponentRef::new(MiddlewareKind::Ejb, ds.as_str(), "SalariesBean", "read");
+        let out = exec.invoke(&"bob".into(), &c, &[]).unwrap();
+        assert!(out.to_string().contains("SalariesBean.read"));
+        // The native container denies an unauthorised caller even though
+        // the executor was reached.
+        assert!(exec.invoke(&"mallory".into(), &c, &[]).is_err());
+    }
+
+    #[test]
+    fn com_invocation() {
+        let m = Arc::new(ComMiddleware::new("CORP"));
+        m.catalog().register_class("SalariesDB", "SalaryRecord");
+        m.grant(&PermissionGrant::new("CORP", "Clerk", "SalariesDB", "Access"))
+            .unwrap();
+        m.assign(&RoleAssignment::new("alice", "CORP", "Clerk")).unwrap();
+        let exec = MiddlewareExecutor::new().with_com(m);
+        let c = ComponentRef::new(MiddlewareKind::ComPlus, "CORP", "SalariesDB", "SalaryRecord");
+        assert!(exec.invoke(&"alice".into(), &c, &[]).is_ok());
+        assert!(exec.invoke(&"mallory".into(), &c, &[]).is_err());
+    }
+
+    #[test]
+    fn corba_invocation() {
+        use hetsec_middleware::naming::CorbaDomain;
+        let m = Arc::new(CorbaMiddleware::new(CorbaDomain::new("zeus", "orb")));
+        let ds = m.orb().domain().to_string();
+        m.grant(&PermissionGrant::new(ds.as_str(), "Analyst", "Stats", "read"))
+            .unwrap();
+        m.assign(&RoleAssignment::new("carol", ds.as_str(), "Analyst"))
+            .unwrap();
+        let exec = MiddlewareExecutor::new().with_corba(m);
+        let c = ComponentRef::new(MiddlewareKind::Corba, ds.as_str(), "Stats", "read");
+        assert!(exec.invoke(&"carol".into(), &c, &[]).is_ok());
+        assert!(exec.invoke(&"mallory".into(), &c, &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_domain_reported() {
+        let exec = MiddlewareExecutor::new();
+        let c = ComponentRef::new(MiddlewareKind::Ejb, "ghost/d/j", "B", "m");
+        let err = exec.invoke(&"u".into(), &c, &[]).unwrap_err();
+        assert!(err.contains("no EJB server"));
+    }
+}

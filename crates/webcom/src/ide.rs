@@ -1,0 +1,357 @@
+//! Headless model of the WebCom IDE's security-aware component palette
+//! (paper §6, Figure 11).
+//!
+//! *Interrogation* extracts the invocable components from each
+//! middleware service, together with the security policy information
+//! needed to build the palette: for every component, the combinations of
+//! (domain, role, user) that are authorised to execute it. The
+//! programmer may pin any subset of the three (a *partial
+//! specification*); the resolver completes it with an authorised
+//! binding the scheduler can use.
+
+use hetsec_com::ComMiddleware;
+use hetsec_corba::CorbaMiddleware;
+use hetsec_ejb::EjbMiddleware;
+use hetsec_middleware::component::ComponentRef;
+use hetsec_middleware::naming::MiddlewareKind;
+use hetsec_middleware::security::MiddlewareSecurity;
+use hetsec_rbac::{Domain, RbacPolicy, Role, User};
+use serde::{Deserialize, Serialize};
+
+/// An authorised execution identity for a component.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Combo {
+    /// The domain.
+    pub domain: Domain,
+    /// The role.
+    pub role: Role,
+    /// The user.
+    pub user: User,
+}
+
+/// One palette entry: a component plus everything the IDE shows about it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaletteEntry {
+    /// The component.
+    pub component: ComponentRef,
+    /// Authorised (domain, role, user) combinations.
+    pub authorized: Vec<Combo>,
+}
+
+/// The component palette for a set of interrogated middlewares.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentPalette {
+    /// Entries, sorted by component identifier.
+    pub entries: Vec<PaletteEntry>,
+}
+
+impl ComponentPalette {
+    /// Number of components on the palette.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks an entry up by component identifier.
+    pub fn entry(&self, identifier: &str) -> Option<&PaletteEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.component.identifier() == identifier)
+    }
+}
+
+/// A source of invocable components — the per-middleware "plugin" used
+/// by the interrogation process.
+pub trait InterrogationPlugin: Send + Sync {
+    /// The invocable components this middleware hosts.
+    fn components(&self) -> Vec<ComponentRef>;
+
+    /// The exported security policy (used to compute authorised combos).
+    fn exported_policy(&self) -> RbacPolicy;
+}
+
+impl InterrogationPlugin for ComMiddleware {
+    fn components(&self) -> Vec<ComponentRef> {
+        let domain = self.catalog().nt_domain_name().to_string();
+        let mut out = Vec::new();
+        for app in self.catalog().applications() {
+            if let Some(entry) = self.catalog().application(&app) {
+                if entry.classes.is_empty() {
+                    // Applications with no registered classes are still
+                    // launchable units.
+                    out.push(ComponentRef::new(
+                        MiddlewareKind::ComPlus,
+                        domain.as_str(),
+                        app.as_str(),
+                        "Launch",
+                    ));
+                }
+                for class in entry.classes {
+                    out.push(ComponentRef::new(
+                        MiddlewareKind::ComPlus,
+                        domain.as_str(),
+                        app.as_str(),
+                        class.as_str(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn exported_policy(&self) -> RbacPolicy {
+        self.export_policy()
+    }
+}
+
+impl InterrogationPlugin for EjbMiddleware {
+    fn components(&self) -> Vec<ComponentRef> {
+        let domain = self.container().domain().to_string();
+        let mut out = Vec::new();
+        for (bean, desc) in self.container().beans() {
+            for method in desc.methods {
+                out.push(ComponentRef::new(
+                    MiddlewareKind::Ejb,
+                    domain.as_str(),
+                    bean.as_str(),
+                    method.as_str(),
+                ));
+            }
+        }
+        out
+    }
+
+    fn exported_policy(&self) -> RbacPolicy {
+        self.export_policy()
+    }
+}
+
+impl InterrogationPlugin for CorbaMiddleware {
+    fn components(&self) -> Vec<ComponentRef> {
+        let domain = self.orb().domain().to_string();
+        let mut out = Vec::new();
+        for (iface, def) in self.orb().interfaces() {
+            for op in def.operations {
+                out.push(ComponentRef::new(
+                    MiddlewareKind::Corba,
+                    domain.as_str(),
+                    iface.as_str(),
+                    op.as_str(),
+                ));
+            }
+        }
+        out
+    }
+
+    fn exported_policy(&self) -> RbacPolicy {
+        self.export_policy()
+    }
+}
+
+/// Computes the authorised combos for one component under a policy: the
+/// (domain, role) pairs holding the component's required permission on
+/// its object type, joined with the role members.
+pub fn authorized_combos(component: &ComponentRef, policy: &RbacPolicy) -> Vec<Combo> {
+    let needed = component.required_permission();
+    let mut out = Vec::new();
+    for g in policy.grants() {
+        if g.object_type != component.object_type
+            || g.permission != needed
+            || g.domain != component.domain
+        {
+            continue;
+        }
+        for user in policy.members_of(&g.domain, &g.role) {
+            out.push(Combo {
+                domain: g.domain.clone(),
+                role: g.role.clone(),
+                user,
+            });
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Interrogates a set of middleware plugins into a palette.
+pub fn interrogate(plugins: &[&dyn InterrogationPlugin]) -> ComponentPalette {
+    let mut entries = Vec::new();
+    for plugin in plugins {
+        let policy = plugin.exported_policy();
+        for component in plugin.components() {
+            let authorized = authorized_combos(&component, &policy);
+            entries.push(PaletteEntry {
+                component,
+                authorized,
+            });
+        }
+    }
+    entries.sort_by_key(|e| e.component.identifier());
+    ComponentPalette { entries }
+}
+
+/// A partial execution specification (§6): pin any of domain/role/user.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialSpec {
+    /// Required domain, if pinned.
+    pub domain: Option<Domain>,
+    /// Required role, if pinned.
+    pub role: Option<Role>,
+    /// Required user, if pinned.
+    pub user: Option<User>,
+}
+
+impl PartialSpec {
+    /// An unconstrained specification.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Pins the domain.
+    pub fn in_domain(mut self, d: impl Into<Domain>) -> Self {
+        self.domain = Some(d.into());
+        self
+    }
+
+    /// Pins the role.
+    pub fn as_role(mut self, r: impl Into<Role>) -> Self {
+        self.role = Some(r.into());
+        self
+    }
+
+    /// Pins the user.
+    pub fn as_user(mut self, u: impl Into<User>) -> Self {
+        self.user = Some(u.into());
+        self
+    }
+
+    fn matches(&self, combo: &Combo) -> bool {
+        self.domain.as_ref().is_none_or(|d| d == &combo.domain)
+            && self.role.as_ref().is_none_or(|r| r == &combo.role)
+            && self.user.as_ref().is_none_or(|u| u == &combo.user)
+    }
+}
+
+/// Completes a partial specification against a palette entry: the first
+/// authorised combo (in sorted order, for determinism) matching every
+/// pinned field.
+pub fn resolve_spec(entry: &PaletteEntry, spec: &PartialSpec) -> Option<Combo> {
+    entry.authorized.iter().find(|c| spec.matches(c)).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_middleware::naming::EjbDomain;
+    use hetsec_rbac::{PermissionGrant, RoleAssignment};
+
+    fn ejb_fixture() -> EjbMiddleware {
+        let d = EjbDomain::new("h", "s", "j");
+        let m = EjbMiddleware::new(d.clone());
+        let ds = d.to_string();
+        m.grant(&PermissionGrant::new(ds.as_str(), "Manager", "SalariesBean", "read"))
+            .unwrap();
+        m.grant(&PermissionGrant::new(ds.as_str(), "Clerk", "SalariesBean", "write"))
+            .unwrap();
+        m.assign(&RoleAssignment::new("bob", ds.as_str(), "Manager")).unwrap();
+        m.assign(&RoleAssignment::new("eve", ds.as_str(), "Manager")).unwrap();
+        m.assign(&RoleAssignment::new("alice", ds.as_str(), "Clerk")).unwrap();
+        m
+    }
+
+    #[test]
+    fn interrogation_lists_bean_methods() {
+        let m = ejb_fixture();
+        let palette = interrogate(&[&m]);
+        assert_eq!(palette.len(), 2); // read + write on SalariesBean
+        assert!(!palette.is_empty());
+        let d = EjbDomain::new("h", "s", "j").to_string();
+        let read_id = format!("ejb://{d}/SalariesBean#read");
+        let entry = palette.entry(&read_id).unwrap();
+        // Managers bob and eve may read.
+        assert_eq!(entry.authorized.len(), 2);
+        assert!(entry.authorized.iter().all(|c| c.role.as_str() == "Manager"));
+    }
+
+    #[test]
+    fn combos_respect_required_permission() {
+        let m = ejb_fixture();
+        let palette = interrogate(&[&m]);
+        let d = EjbDomain::new("h", "s", "j").to_string();
+        let write_id = format!("ejb://{d}/SalariesBean#write");
+        let entry = palette.entry(&write_id).unwrap();
+        assert_eq!(entry.authorized.len(), 1);
+        assert_eq!(entry.authorized[0].user.as_str(), "alice");
+    }
+
+    #[test]
+    fn partial_spec_resolution() {
+        let m = ejb_fixture();
+        let palette = interrogate(&[&m]);
+        let d = EjbDomain::new("h", "s", "j").to_string();
+        let entry = palette
+            .entry(&format!("ejb://{d}/SalariesBean#read"))
+            .unwrap();
+        // Fully open: first combo deterministically (alphabetical: bob).
+        let c = resolve_spec(entry, &PartialSpec::any()).unwrap();
+        assert_eq!(c.user.as_str(), "bob");
+        // Pin the user.
+        let c = resolve_spec(entry, &PartialSpec::any().as_user("eve")).unwrap();
+        assert_eq!(c.user.as_str(), "eve");
+        // Pin an unauthorised user: no binding.
+        assert!(resolve_spec(entry, &PartialSpec::any().as_user("alice")).is_none());
+        // Pin domain+role.
+        let c = resolve_spec(
+            entry,
+            &PartialSpec::any().in_domain(d.as_str()).as_role("Manager"),
+        )
+        .unwrap();
+        assert_eq!(c.role.as_str(), "Manager");
+    }
+
+    #[test]
+    fn com_interrogation_includes_launchable_apps() {
+        use hetsec_com::ComMiddleware;
+        let m = ComMiddleware::new("CORP");
+        m.catalog().register_application("EmptyApp");
+        m.catalog().register_class("SalariesDB", "SalaryRecord");
+        let palette = interrogate(&[&m]);
+        assert_eq!(palette.len(), 2);
+        assert!(palette.entry("com://CORP/EmptyApp#Launch").is_some());
+        assert!(palette.entry("com://CORP/SalariesDB#SalaryRecord").is_some());
+    }
+
+    #[test]
+    fn corba_interrogation_lists_operations() {
+        use hetsec_corba::CorbaMiddleware;
+        use hetsec_middleware::naming::CorbaDomain;
+        let m = CorbaMiddleware::new(CorbaDomain::new("zeus", "orb"));
+        m.orb().register_interface("Salaries", &["read", "write"]);
+        let palette = interrogate(&[&m]);
+        assert_eq!(palette.len(), 2);
+    }
+
+    #[test]
+    fn multi_middleware_palette_is_sorted() {
+        use hetsec_corba::CorbaMiddleware;
+        use hetsec_middleware::naming::CorbaDomain;
+        let ejb = ejb_fixture();
+        let corba = CorbaMiddleware::new(CorbaDomain::new("zeus", "orb"));
+        corba.orb().register_interface("Salaries", &["read"]);
+        let palette = interrogate(&[&ejb, &corba]);
+        assert_eq!(palette.len(), 3);
+        let ids: Vec<String> = palette
+            .entries
+            .iter()
+            .map(|e| e.component.identifier())
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,256 @@
+//! The KeyCom automated administration service (paper §4.1, Figure 8).
+//!
+//! KeyCom accepts *policy update requests* accompanied by KeyNote
+//! credentials. If the credentials prove the requester is authorised to
+//! administer the affected domain (deriving, possibly through
+//! delegation, from the administration policy), the service applies the
+//! update to the local middleware catalogue — "an automated Windows/COM
+//! administrator" requiring no human in the loop.
+
+use crate::authz::TrustManager;
+use hetsec_keynote::ast::Assertion;
+use hetsec_keynote::eval::ActionAttributes;
+use hetsec_middleware::security::{MiddlewareError, MiddlewareSecurity};
+use hetsec_translate::maintenance::PolicyChange;
+use hetsec_translate::APP_DOMAIN;
+use std::fmt;
+use std::sync::Arc;
+
+/// A policy update request as sent to KeyCom.
+#[derive(Clone, Debug)]
+pub struct PolicyUpdateRequest {
+    /// The requester's key text.
+    pub requester: String,
+    /// Credentials supporting the requester's administrative authority.
+    pub credentials: Vec<Assertion>,
+    /// The change requested.
+    pub change: PolicyChange,
+}
+
+/// Why KeyCom refused a request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KeyComError {
+    /// A presented credential failed verification.
+    BadCredential(String),
+    /// The requester is not authorised to administer the domain.
+    NotAuthorised {
+        /// The requester's key.
+        requester: String,
+        /// The affected domain.
+        domain: String,
+    },
+    /// The middleware rejected the update.
+    Middleware(MiddlewareError),
+}
+
+impl fmt::Display for KeyComError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyComError::BadCredential(e) => write!(f, "bad credential: {e}"),
+            KeyComError::NotAuthorised { requester, domain } => {
+                write!(f, "{requester} is not authorised to administer {domain}")
+            }
+            KeyComError::Middleware(e) => write!(f, "middleware rejected update: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyComError {}
+
+/// The KeyCom service guarding one middleware instance.
+pub struct KeyComService {
+    /// The administration trust policy: which keys (directly, or through
+    /// delegation credentials) may administer which domains.
+    admin_trust: Arc<TrustManager>,
+    /// The guarded catalogue.
+    target: Arc<dyn MiddlewareSecurity>,
+}
+
+impl KeyComService {
+    /// A service for `target` with the given administration policy.
+    pub fn new(admin_trust: Arc<TrustManager>, target: Arc<dyn MiddlewareSecurity>) -> Self {
+        KeyComService {
+            admin_trust,
+            target,
+        }
+    }
+
+    /// The action attributes for an administrative request.
+    fn admin_attributes(change: &PolicyChange) -> ActionAttributes {
+        ActionAttributes::new()
+            .with("app_domain", APP_DOMAIN)
+            .with("oper", "administer")
+            .with("Domain", change.domain().as_str())
+    }
+
+    /// Handles one request: verify/stash credentials, check authority,
+    /// apply the change.
+    pub fn handle(&self, request: &PolicyUpdateRequest) -> Result<(), KeyComError> {
+        for cred in &request.credentials {
+            self.admin_trust
+                .add_credential(cred.clone())
+                .map_err(|e| KeyComError::BadCredential(e.to_string()))?;
+        }
+        let attrs = Self::admin_attributes(&request.change);
+        if !self.admin_trust.query(&[request.requester.as_str()], &attrs) {
+            return Err(KeyComError::NotAuthorised {
+                requester: request.requester.clone(),
+                domain: request.change.domain().to_string(),
+            });
+        }
+        let result = match &request.change {
+            PolicyChange::Grant(g) => self.target.grant(g),
+            PolicyChange::Revoke(g) => self.target.revoke(g),
+            PolicyChange::Assign(a) => self.target.assign(a),
+            PolicyChange::Unassign(a) => self.target.unassign(a),
+        };
+        result.map_err(KeyComError::Middleware)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_com::ComMiddleware;
+    use hetsec_middleware::security::MiddlewareSecurityExt;
+    use hetsec_rbac::{PermissionGrant, RoleAssignment};
+
+    fn admin_tm() -> Arc<TrustManager> {
+        // KAdmin may administer the CORP domain.
+        let tm = TrustManager::permissive();
+        tm.add_policy(
+            "Authorizer: POLICY\nLicensees: \"KAdmin\"\n\
+             Conditions: app_domain==\"WebCom\" && oper==\"administer\" && Domain==\"CORP\";\n",
+        )
+        .unwrap();
+        Arc::new(tm)
+    }
+
+    fn service() -> (KeyComService, Arc<ComMiddleware>) {
+        let com = Arc::new(ComMiddleware::new("CORP"));
+        com.grant(&PermissionGrant::new("CORP", "Manager", "SalariesDB", "Access"))
+            .unwrap();
+        let svc = KeyComService::new(admin_tm(), com.clone());
+        (svc, com)
+    }
+
+    fn assign_change(user: &str) -> PolicyChange {
+        PolicyChange::Assign(RoleAssignment::new(user, "CORP", "Manager"))
+    }
+
+    #[test]
+    fn figure_8_flow_admin_updates_catalogue() {
+        let (svc, com) = service();
+        // The Figure 8 scenario: a user registered only in Domain B gets
+        // integrated into Domain A's COM+ policy via KeyCom.
+        let req = PolicyUpdateRequest {
+            requester: "KAdmin".to_string(),
+            credentials: vec![],
+            change: assign_change("newcomer"),
+        };
+        svc.handle(&req).unwrap();
+        assert!(com.allows(
+            &"newcomer".into(),
+            &"CORP".into(),
+            &"SalariesDB".into(),
+            &"Access".into()
+        ));
+    }
+
+    #[test]
+    fn unauthorised_requester_refused() {
+        let (svc, com) = service();
+        let req = PolicyUpdateRequest {
+            requester: "Kmallory".to_string(),
+            credentials: vec![],
+            change: assign_change("mallory"),
+        };
+        assert!(matches!(
+            svc.handle(&req),
+            Err(KeyComError::NotAuthorised { .. })
+        ));
+        assert!(!com.allows(
+            &"mallory".into(),
+            &"CORP".into(),
+            &"SalariesDB".into(),
+            &"Access".into()
+        ));
+    }
+
+    #[test]
+    fn delegated_authority_accepted() {
+        let (svc, com) = service();
+        // KAdmin delegates CORP administration to Kdeputy.
+        let delegation = hetsec_keynote::parser::parse_assertion(
+            "Authorizer: \"KAdmin\"\nLicensees: \"Kdeputy\"\n\
+             Conditions: app_domain==\"WebCom\" && oper==\"administer\" && Domain==\"CORP\";\n",
+        )
+        .unwrap();
+        let req = PolicyUpdateRequest {
+            requester: "Kdeputy".to_string(),
+            credentials: vec![delegation],
+            change: assign_change("hire"),
+        };
+        svc.handle(&req).unwrap();
+        assert!(com.allows(
+            &"hire".into(),
+            &"CORP".into(),
+            &"SalariesDB".into(),
+            &"Access".into()
+        ));
+    }
+
+    #[test]
+    fn authority_does_not_cross_domains() {
+        let (svc, _) = service();
+        let req = PolicyUpdateRequest {
+            requester: "KAdmin".to_string(),
+            credentials: vec![],
+            change: PolicyChange::Assign(RoleAssignment::new("x", "OTHERDOM", "R")),
+        };
+        assert!(matches!(
+            svc.handle(&req),
+            Err(KeyComError::NotAuthorised { .. })
+        ));
+    }
+
+    #[test]
+    fn middleware_errors_surface() {
+        let (svc, _) = service();
+        // Authorised, but revoking a right that does not exist.
+        let req = PolicyUpdateRequest {
+            requester: "KAdmin".to_string(),
+            credentials: vec![],
+            change: PolicyChange::Revoke(PermissionGrant::new(
+                "CORP",
+                "Ghost",
+                "NoApp",
+                "Access",
+            )),
+        };
+        assert!(matches!(svc.handle(&req), Err(KeyComError::Middleware(_))));
+    }
+
+    #[test]
+    fn revocation_via_keycom() {
+        let (svc, com) = service();
+        svc.handle(&PolicyUpdateRequest {
+            requester: "KAdmin".to_string(),
+            credentials: vec![],
+            change: assign_change("temp"),
+        })
+        .unwrap();
+        svc.handle(&PolicyUpdateRequest {
+            requester: "KAdmin".to_string(),
+            credentials: vec![],
+            change: PolicyChange::Unassign(RoleAssignment::new("temp", "CORP", "Manager")),
+        })
+        .unwrap();
+        assert!(!com.allows(
+            &"temp".into(),
+            &"CORP".into(),
+            &"SalariesDB".into(),
+            &"Access".into()
+        ));
+    }
+}

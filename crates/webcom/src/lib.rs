@@ -1,0 +1,46 @@
+//! Secure WebCom: the distributed metacomputing environment that
+//! coordinates middleware components under a unified, interoperable
+//! security architecture — the system the paper describes.
+//!
+//! * [`authz`] — scheduling actions as KeyNote queries (Figure 3's TM
+//!   mediation), the per-environment [`authz::TrustManager`];
+//! * [`stack`] — the stacked L0-L3 pluggable authorisation architecture
+//!   (Figure 10): OS, middleware, trust-management and application
+//!   layers with configurable combination rules;
+//! * [`protocol`] / [`client`] / [`master`] — the master/client fabric
+//!   (Figure 3): mutual mediation, component execution, and the master
+//!   as a condensed-graph [`hetsec_graphs::OpExecutor`] so evaluating a
+//!   graph distributes the application;
+//! * [`keycom`] — the automated administration service applying
+//!   credential-backed policy updates to middleware catalogues
+//!   (Figure 8);
+//! * [`ide`] — headless component-palette interrogation and partial
+//!   execution specifications (Figure 11, §6).
+
+pub mod audit;
+pub mod authz;
+pub mod environment;
+pub mod executor;
+pub mod client;
+pub mod ide;
+pub mod keycom;
+pub mod master;
+pub mod protocol;
+pub mod stack;
+
+pub use audit::{AuditLog, AuditRecord, AuditedStack};
+pub use authz::{ScheduledAction, TrustManager};
+pub use client::{spawn_client, ClientConfig, ClientHandle, ClientStats};
+pub use environment::EnvironmentBuilder;
+pub use executor::MiddlewareExecutor;
+pub use ide::{interrogate, resolve_spec, Combo, ComponentPalette, PaletteEntry, PartialSpec};
+pub use keycom::{KeyComError, KeyComService, PolicyUpdateRequest};
+pub use master::{Binding, MasterStats, WebComMaster};
+pub use protocol::{
+    ArithComponentExecutor, ClientMessage, ComponentExecutor, ExecOutcome, ScheduleReply,
+    ScheduleRequest,
+};
+pub use stack::{
+    ApplicationLayer, AuthzContext, AuthzLayer, AuthzStack, CombinationRule, LayerLevel,
+    MiddlewareLayer, StackDecision, TrustLayer, UnixOsLayer, Verdict, WindowsOsLayer,
+};

@@ -1,0 +1,480 @@
+//! The WebCom master: authenticates clients, selects an authorised
+//! client for every fireable component, and drives condensed-graph
+//! applications through the scheduler (Figure 3, §6).
+
+use crate::authz::{ScheduledAction, TrustManager};
+use crate::protocol::{ClientMessage, ExecOutcome, ScheduleRequest};
+use crate::client::ClientHandle;
+use crossbeam::channel::{unbounded, Sender};
+use hetsec_graphs::{EngineError, OpExecutor, Value};
+use hetsec_keynote::ast::Assertion;
+use hetsec_middleware::component::ComponentRef;
+use hetsec_rbac::{Domain, Role, User};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A client as the master sees it.
+struct ClientEntry {
+    name: String,
+    key_text: String,
+    sender: Sender<ClientMessage>,
+    /// Domains this client can serve.
+    domains: Vec<Domain>,
+}
+
+/// The binding of a graph primitive onto a component and an execution
+/// identity — what the IDE's palette/partial-spec resolution produces
+/// (§6, Figure 11).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Binding {
+    /// The component to invoke.
+    pub component: ComponentRef,
+    /// Execution domain.
+    pub domain: Domain,
+    /// Execution role.
+    pub role: Role,
+    /// Executing user.
+    pub user: User,
+    /// The user's key text.
+    pub principal: String,
+}
+
+/// Per-scheduling statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MasterStats {
+    /// Operations scheduled successfully.
+    pub scheduled: usize,
+    /// Operations with no authorised client.
+    pub unschedulable: usize,
+    /// Denials returned by clients.
+    pub client_denials: usize,
+    /// Failovers: a dead client was skipped and the operation retried on
+    /// another authorised client (WebCom's fault tolerance).
+    pub rescheduled: usize,
+}
+
+/// The WebCom master.
+pub struct WebComMaster {
+    /// The master's own key text (sent to clients for mutual checks).
+    key_text: String,
+    /// Trust policy over *client* keys: which clients may be handed
+    /// which operations (Figure 3: "uses their credentials to determine
+    /// what operations it may schedule to them").
+    client_trust: Arc<TrustManager>,
+    clients: RwLock<Vec<ClientEntry>>,
+    bindings: RwLock<HashMap<String, Binding>>,
+    /// Credentials forwarded with every request.
+    forwarded_credentials: RwLock<Vec<Assertion>>,
+    op_counter: AtomicU64,
+    stats: Mutex<MasterStats>,
+}
+
+impl WebComMaster {
+    /// A master with the given identity and client-trust policy.
+    pub fn new(key_text: impl Into<String>, client_trust: Arc<TrustManager>) -> Self {
+        WebComMaster {
+            key_text: key_text.into(),
+            client_trust,
+            clients: RwLock::new(Vec::new()),
+            bindings: RwLock::new(HashMap::new()),
+            forwarded_credentials: RwLock::new(Vec::new()),
+            op_counter: AtomicU64::new(0),
+            stats: Mutex::new(MasterStats::default()),
+        }
+    }
+
+    /// Registers a connected client as serving `domains`.
+    pub fn register_client(&self, handle: &ClientHandle, domains: Vec<Domain>) {
+        self.clients.write().push(ClientEntry {
+            name: handle.name.clone(),
+            key_text: handle.key_text.clone(),
+            sender: handle.sender(),
+            domains,
+        });
+    }
+
+    /// Binds a graph primitive name to a component + execution identity.
+    pub fn bind(&self, primitive: &str, binding: Binding) {
+        self.bindings.write().insert(primitive.to_string(), binding);
+    }
+
+    /// Adds a credential forwarded with every scheduling request (e.g. a
+    /// delegation chain supporting the executing user).
+    pub fn forward_credential(&self, credential: Assertion) {
+        self.forwarded_credentials.write().push(credential);
+    }
+
+    /// Scheduling statistics so far.
+    pub fn stats(&self) -> MasterStats {
+        self.stats.lock().clone()
+    }
+
+    /// Schedules one action, blocking for the reply. Every client that
+    /// (a) serves the action's domain and (b) whose key the master's
+    /// trust policy authorises for the action is eligible; clients whose
+    /// channel is dead are skipped and the operation fails over to the
+    /// next eligible client (WebCom's fault tolerance).
+    pub fn schedule(
+        &self,
+        action: &ScheduledAction,
+        user: &User,
+        principal: &str,
+        args: Vec<Value>,
+    ) -> ExecOutcome {
+        let op_id = self.op_counter.fetch_add(1, Ordering::Relaxed);
+        let targets: Vec<(String, Sender<ClientMessage>)> = {
+            let clients = self.clients.read();
+            clients
+                .iter()
+                .filter(|c| {
+                    c.domains.contains(&action.domain)
+                        && self.client_trust.authorizes(&c.key_text, action)
+                })
+                .map(|c| (c.name.clone(), c.sender.clone()))
+                .collect()
+        };
+        if targets.is_empty() {
+            self.stats.lock().unschedulable += 1;
+            return ExecOutcome::Denied(format!(
+                "no authorised client for {} in {}",
+                action.component.identifier(),
+                action.domain
+            ));
+        }
+        let mut attempts = 0usize;
+        for (_name, sender) in &targets {
+            let (reply_tx, reply_rx) = unbounded();
+            let request = ScheduleRequest {
+                op_id,
+                action: action.clone(),
+                user: user.clone(),
+                principal: principal.to_string(),
+                master_key: self.key_text.clone(),
+                credentials: self.forwarded_credentials.read().clone(),
+                args: args.clone(),
+                reply_to: reply_tx,
+            };
+            attempts += 1;
+            if sender.send(ClientMessage::Request(request)).is_err() {
+                continue; // dead client: fail over
+            }
+            match reply_rx.recv() {
+                Ok(reply) => {
+                    let mut stats = self.stats.lock();
+                    if attempts > 1 {
+                        stats.rescheduled += 1;
+                    }
+                    match &reply.outcome {
+                        ExecOutcome::Ok(_) => stats.scheduled += 1,
+                        ExecOutcome::Denied(_) => stats.client_denials += 1,
+                        ExecOutcome::Failed(_) => {}
+                    }
+                    return reply.outcome;
+                }
+                Err(_) => continue, // client died mid-request: fail over
+            }
+        }
+        self.stats.lock().unschedulable += 1;
+        ExecOutcome::Failed(format!(
+            "all {} authorised clients for {} are unreachable",
+            targets.len(),
+            action.component.identifier()
+        ))
+    }
+
+    /// Schedules the binding registered for a primitive.
+    pub fn schedule_primitive(&self, primitive: &str, args: Vec<Value>) -> ExecOutcome {
+        let binding = { self.bindings.read().get(primitive).cloned() };
+        let Some(b) = binding else {
+            return ExecOutcome::Failed(format!("no binding for primitive `{primitive}`"));
+        };
+        let action = ScheduledAction::new(b.component.clone(), b.domain.clone(), b.role.clone());
+        self.schedule(&action, &b.user, &b.principal, args)
+    }
+}
+
+/// The master as a condensed-graph executor: every `Primitive` node is
+/// scheduled to an authorised client, so evaluating a graph *is*
+/// distributing the application (Figure 3).
+impl OpExecutor for WebComMaster {
+    fn execute(&self, op: &str, args: &[Value]) -> Result<Value, EngineError> {
+        match self.schedule_primitive(op, args.to_vec()) {
+            ExecOutcome::Ok(v) => Ok(v),
+            ExecOutcome::Denied(reason) => Err(EngineError::Refused {
+                op: op.to_string(),
+                reason,
+            }),
+            ExecOutcome::Failed(reason) => Err(EngineError::BadArguments {
+                op: op.to_string(),
+                reason,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{spawn_client, ClientConfig};
+    use crate::protocol::ArithComponentExecutor;
+    use crate::stack::{AuthzStack, TrustLayer};
+    use hetsec_graphs::{Engine, GraphBuilder, Source};
+    use hetsec_middleware::naming::MiddlewareKind;
+
+    fn tm(policy: &str) -> Arc<TrustManager> {
+        let t = TrustManager::permissive();
+        t.add_policy(policy).unwrap();
+        Arc::new(t)
+    }
+
+    fn full_fixture() -> (WebComMaster, ClientHandle) {
+        // Master trusts client key Kc1 for everything in Dom.
+        let client_trust = tm(
+            "Authorizer: POLICY\nLicensees: \"Kc1\"\n\
+             Conditions: app_domain==\"WebCom\" && Domain==\"Dom\";\n",
+        );
+        let master = WebComMaster::new("Kmaster", client_trust);
+        // Client trusts the master for WebCom, and the worker user key.
+        let master_trust = tm(
+            "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let user_tm = tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\n\
+             Conditions: app_domain==\"WebCom\" && Domain==\"Dom\" && Role==\"Worker\";\n",
+        );
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(user_tm)));
+        let client = spawn_client(ClientConfig {
+            name: "c1".to_string(),
+            key_text: "Kc1".to_string(),
+            master_trust,
+            stack: Arc::new(stack),
+            executor: Arc::new(ArithComponentExecutor),
+        });
+        master.register_client(&client, vec!["Dom".into()]);
+        (master, client)
+    }
+
+    fn bind_op(master: &WebComMaster, primitive: &str, operation: &str) {
+        master.bind(
+            primitive,
+            Binding {
+                component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", operation),
+                domain: "Dom".into(),
+                role: "Worker".into(),
+                user: "worker".into(),
+                principal: "Kworker".to_string(),
+            },
+        );
+    }
+
+    #[test]
+    fn schedules_to_authorised_client() {
+        let (master, client) = full_fixture();
+        bind_op(&master, "add", "add");
+        let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(3)));
+        assert_eq!(master.stats().scheduled, 1);
+        client.shutdown();
+    }
+
+    #[test]
+    fn no_client_for_foreign_domain() {
+        let (master, client) = full_fixture();
+        master.bind(
+            "far",
+            Binding {
+                component: ComponentRef::new(MiddlewareKind::Ejb, "Elsewhere", "Calc", "add"),
+                domain: "Elsewhere".into(),
+                role: "Worker".into(),
+                user: "worker".into(),
+                principal: "Kworker".to_string(),
+            },
+        );
+        let out = master.schedule_primitive("far", vec![]);
+        assert!(matches!(out, ExecOutcome::Denied(ref m) if m.contains("no authorised client")));
+        assert_eq!(master.stats().unschedulable, 1);
+        client.shutdown();
+    }
+
+    #[test]
+    fn untrusted_client_key_not_selected() {
+        // Master policy trusts only Kc1; register a client with key Kevil.
+        let client_trust = tm(
+            "Authorizer: POLICY\nLicensees: \"Kc1\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let master = WebComMaster::new("Kmaster", client_trust);
+        let master_trust = tm(
+            "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+        ))));
+        let client = spawn_client(ClientConfig {
+            name: "evil".to_string(),
+            key_text: "Kevil".to_string(),
+            master_trust,
+            stack: Arc::new(stack),
+            executor: Arc::new(ArithComponentExecutor),
+        });
+        master.register_client(&client, vec!["Dom".into()]);
+        bind_op(&master, "add", "add");
+        let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+        assert!(matches!(out, ExecOutcome::Denied(_)));
+        client.shutdown();
+    }
+
+    #[test]
+    fn unbound_primitive_fails() {
+        let (master, client) = full_fixture();
+        let out = master.schedule_primitive("ghost", vec![]);
+        assert!(matches!(out, ExecOutcome::Failed(ref m) if m.contains("no binding")));
+        client.shutdown();
+    }
+
+    #[test]
+    fn drives_condensed_graph_end_to_end() {
+        let (master, client) = full_fixture();
+        bind_op(&master, "add", "add");
+        bind_op(&master, "mul", "mul");
+        // (p0 + p1) * p0
+        let mut b = GraphBuilder::new("app", 2);
+        let s = b.primitive("sum", "add", vec![Source::Param(0), Source::Param(1)]);
+        let m = b.primitive("scale", "mul", vec![Source::Node(s), Source::Param(0)]);
+        let t = b.output(Source::Node(m)).unwrap();
+        let engine = Engine::new(&master);
+        let result = engine.evaluate(&t, &[Value::Int(3), Value::Int(4)]).unwrap();
+        assert_eq!(result, Value::Int(21));
+        assert_eq!(master.stats().scheduled, 2);
+        let stats = client.shutdown();
+        assert_eq!(stats.executed, 2);
+    }
+
+    #[test]
+    fn graph_refusal_propagates_as_engine_error() {
+        let (master, client) = full_fixture();
+        // Bind to a role the user's trust policy does not cover.
+        master.bind(
+            "add",
+            Binding {
+                component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+                domain: "Dom".into(),
+                role: "Admin".into(), // worker only holds Worker
+                user: "worker".into(),
+                principal: "Kworker".to_string(),
+            },
+        );
+        let mut b = GraphBuilder::new("app", 0);
+        let c1 = b.constant("a", 1i64);
+        let n = b.primitive("go", "add", vec![Source::Node(c1), Source::Node(c1)]);
+        let t = b.output(Source::Node(n)).unwrap();
+        let engine = Engine::new(&master);
+        let err = engine.evaluate(&t, &[]).unwrap_err();
+        assert!(matches!(err, EngineError::Refused { .. }));
+        client.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod failover_tests {
+    use super::*;
+    use crate::client::{spawn_client, ClientConfig};
+    use crate::protocol::ArithComponentExecutor;
+    use crate::stack::{AuthzStack, TrustLayer};
+    use hetsec_middleware::naming::MiddlewareKind;
+
+    fn tm(policy: &str) -> Arc<TrustManager> {
+        let t = TrustManager::permissive();
+        t.add_policy(policy).unwrap();
+        Arc::new(t)
+    }
+
+    fn spawn(name: &str, key: &str) -> crate::client::ClientHandle {
+        let master_trust = tm(
+            "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let user_tm = tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(user_tm)));
+        spawn_client(ClientConfig {
+            name: name.to_string(),
+            key_text: key.to_string(),
+            master_trust,
+            stack: Arc::new(stack),
+            executor: Arc::new(ArithComponentExecutor),
+        })
+    }
+
+    fn master_for(keys: &[&str]) -> WebComMaster {
+        let mut policy = String::new();
+        for k in keys {
+            policy.push_str(&format!(
+                "Authorizer: POLICY\nLicensees: \"{k}\"\nConditions: app_domain==\"WebCom\";\n\n"
+            ));
+        }
+        let master = WebComMaster::new("Kmaster", tm(&policy));
+        master.bind(
+            "add",
+            Binding {
+                component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+                domain: "Dom".into(),
+                role: "Worker".into(),
+                user: "worker".into(),
+                principal: "Kworker".to_string(),
+            },
+        );
+        master
+    }
+
+    #[test]
+    fn fails_over_to_surviving_client() {
+        let master = master_for(&["Kc1", "Kc2"]);
+        let c1 = spawn("c1", "Kc1");
+        let c2 = spawn("c2", "Kc2");
+        master.register_client(&c1, vec!["Dom".into()]);
+        master.register_client(&c2, vec!["Dom".into()]);
+        // Kill the first client; the master should fail over to c2.
+        c1.shutdown();
+        let out = master.schedule_primitive("add", vec![Value::Int(20), Value::Int(22)]);
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(42)));
+        let stats = master.stats();
+        assert_eq!(stats.scheduled, 1);
+        assert_eq!(stats.rescheduled, 1);
+        let s2 = c2.shutdown();
+        assert_eq!(s2.executed, 1);
+    }
+
+    #[test]
+    fn all_clients_dead_reports_failure() {
+        let master = master_for(&["Kc1", "Kc2"]);
+        let c1 = spawn("c1", "Kc1");
+        let c2 = spawn("c2", "Kc2");
+        master.register_client(&c1, vec!["Dom".into()]);
+        master.register_client(&c2, vec!["Dom".into()]);
+        c1.shutdown();
+        c2.shutdown();
+        let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(1)]);
+        assert!(matches!(out, ExecOutcome::Failed(ref m) if m.contains("unreachable")));
+        assert_eq!(master.stats().unschedulable, 1);
+    }
+
+    #[test]
+    fn no_failover_needed_when_first_client_healthy() {
+        let master = master_for(&["Kc1", "Kc2"]);
+        let c1 = spawn("c1", "Kc1");
+        let c2 = spawn("c2", "Kc2");
+        master.register_client(&c1, vec!["Dom".into()]);
+        master.register_client(&c2, vec!["Dom".into()]);
+        let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(1)]);
+        assert!(out.is_ok());
+        assert_eq!(master.stats().rescheduled, 0);
+        let s1 = c1.shutdown();
+        let s2 = c2.shutdown();
+        assert_eq!(s1.executed + s2.executed, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Messages between the WebCom master and its clients (Figure 3).
+//!
+//! The fabric is in-process (crossbeam channels stand in for the
+//! network), but the message shapes mirror the paper's flow: the master
+//! sends a component-execution request carrying its key and supporting
+//! credentials; the client independently verifies the master's authority
+//! and its own stack before executing and replying.
+
+use crate::authz::ScheduledAction;
+use crossbeam::channel::Sender;
+use hetsec_graphs::Value;
+use hetsec_keynote::ast::Assertion;
+use hetsec_rbac::User;
+
+/// Why an execution did not produce a value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecOutcome {
+    /// Execution succeeded.
+    Ok(Value),
+    /// An authorisation layer refused.
+    Denied(String),
+    /// The component itself failed.
+    Failed(String),
+}
+
+impl ExecOutcome {
+    /// True for [`ExecOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ExecOutcome::Ok(_))
+    }
+}
+
+/// A request from the master to a client.
+#[derive(Clone)]
+pub struct ScheduleRequest {
+    /// Correlation id.
+    pub op_id: u64,
+    /// What to execute and under which (domain, role).
+    pub action: ScheduledAction,
+    /// The user identity to execute under.
+    pub user: User,
+    /// The user's key (trust-management identity).
+    pub principal: String,
+    /// The master's key: clients verify the master is authorised to
+    /// schedule to them (mutual mediation, Figure 3).
+    pub master_key: String,
+    /// Credentials supporting the request (e.g. delegation chains).
+    pub credentials: Vec<Assertion>,
+    /// Operand values.
+    pub args: Vec<Value>,
+    /// Where to send the reply.
+    pub reply_to: Sender<ScheduleReply>,
+}
+
+/// The envelope clients receive: work, or an orderly shutdown marker.
+/// The marker makes client termination independent of how many sender
+/// clones (master registries) are still alive.
+#[derive(Clone)]
+pub enum ClientMessage {
+    /// A scheduling request.
+    Request(ScheduleRequest),
+    /// Stop after draining the queue up to this point.
+    Shutdown,
+}
+
+/// A client's reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleReply {
+    /// Correlation id.
+    pub op_id: u64,
+    /// Which client executed (or refused).
+    pub client: String,
+    /// The outcome.
+    pub outcome: ExecOutcome,
+}
+
+/// Executes middleware components on a client. Implementations wrap the
+/// environment's actual middleware simulators, which is why the
+/// executing user identity travels with the call (native middleware
+/// re-mediates at invocation time, exactly as the paper's L1 layer
+/// does).
+pub trait ComponentExecutor: Send + Sync {
+    /// Invokes `component`'s operation on `args` as `user`.
+    fn invoke(
+        &self,
+        user: &User,
+        component: &hetsec_middleware::component::ComponentRef,
+        args: &[Value],
+    ) -> Result<Value, String>;
+}
+
+/// A component executor that interprets the component's *operation*
+/// name as one of the built-in arithmetic primitives — the synthetic
+/// business logic used by examples, tests and benches.
+#[derive(Default)]
+pub struct ArithComponentExecutor;
+
+impl ComponentExecutor for ArithComponentExecutor {
+    fn invoke(
+        &self,
+        _user: &User,
+        component: &hetsec_middleware::component::ComponentRef,
+        args: &[Value],
+    ) -> Result<Value, String> {
+        use hetsec_graphs::{ArithExecutor, OpExecutor};
+        ArithExecutor
+            .execute(&component.operation, args)
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_middleware::component::ComponentRef;
+    use hetsec_middleware::naming::MiddlewareKind;
+
+    #[test]
+    fn outcome_predicate() {
+        assert!(ExecOutcome::Ok(Value::Unit).is_ok());
+        assert!(!ExecOutcome::Denied("x".into()).is_ok());
+        assert!(!ExecOutcome::Failed("x".into()).is_ok());
+    }
+
+    #[test]
+    fn arith_component_executor_runs_operations() {
+        let exec = ArithComponentExecutor;
+        let u: User = "worker".into();
+        let c = ComponentRef::new(MiddlewareKind::Ejb, "d", "Calc", "add");
+        assert_eq!(
+            exec.invoke(&u, &c, &[Value::Int(2), Value::Int(3)]),
+            Ok(Value::Int(5))
+        );
+        let bad = ComponentRef::new(MiddlewareKind::Ejb, "d", "Calc", "no-such");
+        assert!(exec.invoke(&u, &bad, &[]).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! The WebCom IDE flow (paper §6, Figure 11): interrogate the
+//! middlewares, build the security-aware component palette, resolve
+//! partial execution specifications, and run a distributed condensed
+//! graph whose primitives are scheduled to authorised clients.
+//!
+//! Run with: `cargo run --example ide_palette`
+
+use hetsec_ejb::EjbMiddleware;
+use hetsec_graphs::{Engine, GraphBuilder, Source, Value};
+use hetsec_middleware::naming::EjbDomain;
+use hetsec_middleware::security::MiddlewareSecurity;
+use hetsec_rbac::{PermissionGrant, RoleAssignment};
+use hetsec_translate::{encode_policy, SymbolicDirectory};
+use hetsec_webcom::{
+    interrogate, resolve_spec, spawn_client, ArithComponentExecutor, AuthzStack, Binding,
+    ClientConfig, MiddlewareLayer, PartialSpec, TrustLayer, TrustManager, WebComMaster,
+};
+use std::sync::Arc;
+
+fn main() {
+    let domain = EjbDomain::new("calchost", "ejbsrv", "Payroll");
+    let ds = domain.to_string();
+
+    // ---- A payroll EJB server with a calculator bean ----
+    let ejb = Arc::new(EjbMiddleware::new(domain));
+    for method in ["add", "mul", "max"] {
+        ejb.grant(&PermissionGrant::new(ds.as_str(), "Analyst", "CalcBean", method))
+            .unwrap();
+    }
+    ejb.assign(&RoleAssignment::new("ana", ds.as_str(), "Analyst"))
+        .unwrap();
+
+    // ---- Figure 11: interrogation builds the palette ----
+    let palette = interrogate(&[ejb.as_ref()]);
+    println!("== Component palette ({} components) ==", palette.len());
+    for entry in &palette.entries {
+        println!("  {}", entry.component.identifier());
+        for combo in &entry.authorized {
+            println!("      authorised: {}/{} as {}", combo.domain, combo.role, combo.user);
+        }
+    }
+
+    // ---- Partial specification: pin domain+role, let WebCom pick the user ----
+    let spec = PartialSpec::any().in_domain(ds.as_str()).as_role("Analyst");
+    println!("\nresolving partial spec (domain={ds}, role=Analyst):");
+    let mut bindings = Vec::new();
+    for entry in &palette.entries {
+        let combo = resolve_spec(entry, &spec).expect("an authorised combo exists");
+        println!("  {} -> user {}", entry.component.identifier(), combo.user);
+        bindings.push((entry.component.clone(), combo));
+    }
+
+    // ---- Trust fabric: encode the EJB policy for the master & client ----
+    let dir = SymbolicDirectory::default();
+    let encoded = encode_policy(&ejb.export_policy(), "KWebCom", &dir);
+    let user_tm = Arc::new(TrustManager::permissive());
+    for a in encoded {
+        user_tm.add_policy_assertion(a).unwrap();
+    }
+    // The master trusts the client key for this domain; the client
+    // trusts the master to schedule.
+    let client_trust = Arc::new(TrustManager::permissive());
+    client_trust
+        .add_policy(&format!(
+            "Authorizer: POLICY\nLicensees: \"Kcalc\"\nConditions: app_domain==\"WebCom\" && Domain==\"{ds}\";\n"
+        ))
+        .unwrap();
+    let master_trust = Arc::new(TrustManager::permissive());
+    master_trust
+        .add_policy("Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n")
+        .unwrap();
+
+    // The client's stack: middleware layer + trust layer (L1 + L2).
+    let mut stack = AuthzStack::new();
+    stack.push(Arc::new(MiddlewareLayer::new(ejb.clone())));
+    stack.push(Arc::new(TrustLayer::new(user_tm)));
+
+    let client = spawn_client(ClientConfig {
+        name: "calc-client".to_string(),
+        key_text: "Kcalc".to_string(),
+        master_trust,
+        stack: Arc::new(stack),
+        executor: Arc::new(ArithComponentExecutor),
+    });
+
+    let master = WebComMaster::new("Kmaster", client_trust);
+    master.register_client(&client, vec![ds.as_str().into()]);
+    for (component, combo) in bindings {
+        let principal = format!("K{}", combo.user.as_str().to_lowercase());
+        master.bind(
+            &component.operation.clone(),
+            Binding {
+                component,
+                domain: combo.domain,
+                role: combo.role,
+                user: combo.user,
+                principal,
+            },
+        );
+    }
+
+    // ---- A condensed-graph payroll application: max(a+b, a*b) ----
+    let mut b = GraphBuilder::new("payroll-calc", 2);
+    let sum = b.primitive("sum", "add", vec![Source::Param(0), Source::Param(1)]);
+    let prod = b.primitive("prod", "mul", vec![Source::Param(0), Source::Param(1)]);
+    let best = b.primitive("best", "max", vec![Source::Node(sum), Source::Node(prod)]);
+    let graph = b.output(Source::Node(best)).unwrap();
+
+    let engine = Engine::new(&master);
+    let result = engine
+        .evaluate(&graph, &[Value::Int(6), Value::Int(7)])
+        .expect("distributed evaluation succeeds");
+    println!("\ndistributed evaluation of max(6+7, 6*7) = {result}");
+    assert_eq!(result, Value::Int(42));
+
+    let stats = master.stats();
+    println!(
+        "master stats: {} scheduled, {} denials, {} unschedulable",
+        stats.scheduled, stats.client_denials, stats.unschedulable
+    );
+    assert_eq!(stats.scheduled, 3);
+    let cstats = client.shutdown();
+    assert_eq!(cstats.executed, 3);
+    println!("client executed {} components; all authorised", cstats.executed);
+}

@@ -1,0 +1,97 @@
+//! The SPKI/SDSI back-end (paper footnote 1): the Figure 1 policy
+//! encoded as SDSI name certs plus SPKI ACL entries, queried by tuple
+//! reduction, with a Figure 7-style delegation — and a side-by-side
+//! check that KeyNote gives the same answers.
+//!
+//! Run with: `cargo run --example spki_backend`
+
+use hetsec_keynote::session::KeyNoteSession;
+use hetsec_rbac::fixtures::salaries_policy;
+use hetsec_rbac::{DomainRole, User};
+use hetsec_spki::{authorize, delegate_role_spki, encode_rbac, rbac::request, user_key};
+use hetsec_translate::{delegate_role, encode_policy, SymbolicDirectory, APP_DOMAIN};
+
+fn main() {
+    let policy = salaries_policy();
+
+    // ---- SPKI encoding ----
+    let mut spki = encode_rbac(&policy, "Kwebcom");
+    println!("== SPKI/SDSI encoding of Figure 1 ==\n");
+    println!("ACL ({} entries):", spki.acl.len());
+    for entry in &spki.acl {
+        println!("  subject {} tag {}", entry.subject, entry.tag);
+    }
+    println!("\nname certs ({}):", spki.store.names.len());
+    for cert in &spki.store.names {
+        println!("  {}", cert.to_sexp());
+    }
+
+    // ---- Figure 7: Claire delegates to Fred, as an SPKI auth cert ----
+    let delegation = delegate_role_spki(
+        &User::new("Claire"),
+        &User::new("Fred"),
+        &"Sales".into(),
+        &"Manager".into(),
+    );
+    println!("\n== Figure 7 as an SPKI auth cert ==\n  {}", delegation.to_sexp());
+    spki.store.add_auth(delegation);
+
+    // ---- Proof-producing authorisation ----
+    let req = request(&"Sales".into(), &"Manager".into(), "SalariesDB", &"read".into());
+    let proof = authorize(&spki.acl, &spki.store, &user_key(&User::new("Fred")), &req)
+        .expect("Fred is authorised through Claire");
+    println!(
+        "\nFred's read authorisation proof: {} steps, tag {}",
+        proof.steps.len(),
+        proof.tag
+    );
+
+    // ---- Equivalence with the KeyNote back-end ----
+    let dir = SymbolicDirectory::default();
+    let mut kn = KeyNoteSession::permissive();
+    for a in encode_policy(&policy, "KWebCom", &dir) {
+        kn.add_policy_assertion(a).unwrap();
+    }
+    kn.add_credential_parsed(delegate_role(
+        &User::new("Claire"),
+        &User::new("Fred"),
+        &DomainRole::new("Sales", "Manager"),
+        &dir,
+    ))
+    .unwrap();
+
+    println!("\n== Back-end agreement ==\n");
+    let mut disagreements = 0;
+    for user in ["Alice", "Bob", "Claire", "Dave", "Elaine", "Fred", "Mallory"] {
+        for dr in [("Finance", "Clerk"), ("Finance", "Manager"), ("Sales", "Manager")] {
+            for perm in ["read", "write"] {
+                let attrs = [
+                    ("app_domain", APP_DOMAIN),
+                    ("Domain", dr.0),
+                    ("Role", dr.1),
+                    ("ObjectType", "SalariesDB"),
+                    ("Permission", perm),
+                ]
+                .into_iter()
+                .collect();
+                let key = format!("K{}", user.to_lowercase());
+                let kn_says = kn.query_action(&[key.as_str()], &attrs).is_authorized();
+                let spki_says = spki.check(
+                    &user.into(),
+                    &dr.0.into(),
+                    &dr.1.into(),
+                    "SalariesDB",
+                    &perm.into(),
+                );
+                if kn_says != spki_says {
+                    disagreements += 1;
+                }
+                if kn_says {
+                    println!("  {user:8} {}/{:8} {perm:5} -> authorised (both back-ends)", dr.0, dr.1);
+                }
+            }
+        }
+    }
+    assert_eq!(disagreements, 0, "back-ends must agree");
+    println!("\nKeyNote and SPKI/SDSI agree on all 42 decisions");
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md placeholders with measured times parsed from
+bench_output.txt (criterion text output)."""
+import re
+import sys
+
+BENCH_OUT = "bench_output.txt"
+EXPERIMENTS = "EXPERIMENTS.md"
+
+MARKERS = {
+    "FIG1": "fig1_policy_commission",
+    "FIG2": "fig2_query_latency",
+    "FIG3": "fig3_sched_throughput",
+    "FIG4": "fig4_delegation",
+    "FIG5": "fig5_encode",
+    "FIG7": "fig7_decentralised",
+    "FIG8": "fig8_keycom",
+    "FIG9": "fig9_migration",
+    "FIG10": "fig10_stack",
+    "FIG11": "fig11_interrogate",
+    "ABL1": "abl1_similarity",
+    "ABL2": "abl2_graph_scaling",
+    "ABL3": "abl3_spki_vs_keynote",
+}
+
+
+def parse(path):
+    """Returns {group: [(bench_id, mid_time, thrpt or None)]}."""
+    out = {}
+    lines = open(path).read().splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        m = re.match(r"^([a-z0-9_]+)/(\S+)\s*$", line)
+        if m and i + 1 < len(lines) and "time:" in lines[i + 1]:
+            group, bench = m.group(1), m.group(2)
+            tm = re.search(
+                r"time:\s*\[\S+ \S+ (\S+ \S+) \S+ \S+\]", lines[i + 1]
+            )
+            mid = tm.group(1) if tm else "?"
+            thr = None
+            if i + 2 < len(lines) and "thrpt:" in lines[i + 2]:
+                tt = re.search(
+                    r"thrpt:\s*\[\S+ \S+ (\S+ \S+) \S+ \S+\]", lines[i + 2]
+                )
+                thr = tt.group(1) if tt else None
+            out.setdefault(group, []).append((bench, mid, thr))
+        i += 1
+    return out
+
+
+def table(rows):
+    has_thr = any(t for _, _, t in rows)
+    if has_thr:
+        md = "| benchmark | time (median) | throughput |\n|---|---|---|\n"
+        for b, m, t in rows:
+            md += f"| `{b}` | {m} | {t or '—'} |\n"
+    else:
+        md = "| benchmark | time (median) |\n|---|---|\n"
+        for b, m, _ in rows:
+            md += f"| `{b}` | {m} |\n"
+    return md
+
+
+def main():
+    groups = parse(BENCH_OUT)
+    text = open(EXPERIMENTS).read()
+    missing = []
+    for marker, group in MARKERS.items():
+        placeholder = f"<!--{marker}-->"
+        if placeholder not in text:
+            continue
+        rows = groups.get(group)
+        if not rows:
+            missing.append(group)
+            continue
+        text = text.replace(placeholder, table(rows))
+    open(EXPERIMENTS, "w").write(text)
+    if missing:
+        print(f"WARNING: no data for {missing}", file=sys.stderr)
+    print(f"filled {len(MARKERS) - len(missing)}/{len(MARKERS)} experiment tables")
+
+
+if __name__ == "__main__":
+    main()

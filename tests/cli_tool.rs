@@ -1,0 +1,84 @@
+//! End-to-end checks of the `hetsec` CLI library surface against the
+//! translation pipeline (the binary itself is a thin wrapper).
+
+use hetsec_cli::{run, CliError};
+use hetsec_rbac::fixtures::{salaries_policy, synthetic_policy};
+use hetsec_rbac::RbacPolicy;
+
+fn args(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+fn write_policy(policy: &RbacPolicy, name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("hetsec-cli-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, serde_json::to_string(policy).unwrap()).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+#[test]
+fn full_figure_1_decision_matrix_via_cli() {
+    let path = write_policy(&salaries_policy(), "fig1.json");
+    for (user, d, r, p, expect) in [
+        ("Alice", "Finance", "Clerk", "write", true),
+        ("Alice", "Finance", "Clerk", "read", false),
+        ("Bob", "Finance", "Manager", "read", true),
+        ("Claire", "Sales", "Manager", "read", true),
+        ("Dave", "Sales", "Assistant", "read", false),
+    ] {
+        let out = run(&args(&["check", &path, user, d, r, "SalariesDB", p])).unwrap();
+        let expected_prefix = if expect { "_MAX_TRUST" } else { "_MIN_TRUST" };
+        assert!(out.starts_with(expected_prefix), "{user} {d}/{r} {p}: {out}");
+    }
+}
+
+#[test]
+fn cli_roundtrip_on_synthetic_policy() {
+    let policy = synthetic_policy(3, 3, 2, 2);
+    let path = write_policy(&policy, "synth.json");
+    let encoded = run(&args(&["encode", &path])).unwrap();
+    let kn_path = write_policy(&RbacPolicy::new(), "placeholder.json")
+        .replace("placeholder.json", "synth.kn");
+    std::fs::write(&kn_path, &encoded).unwrap();
+    let decoded_text = run(&args(&["decode", &kn_path])).unwrap();
+    let decoded: RbacPolicy =
+        serde_json::from_str(decoded_text.split("\n//").next().unwrap()).unwrap();
+    assert_eq!(decoded, policy);
+}
+
+#[test]
+fn cli_migrate_interprets_com_permissions() {
+    let mut policy = RbacPolicy::new();
+    policy.grant(hetsec_rbac::PermissionGrant::new("CORP", "Op", "App", "Access"));
+    policy.assign(hetsec_rbac::RoleAssignment::new("u", "CORP", "Op"));
+    let path = write_policy(&policy, "com.json");
+    let out = run(&args(&["migrate", &path, "CORP", "h/s/j", "com", "ejb"])).unwrap();
+    let migrated: RbacPolicy = serde_json::from_str(out.split("\n//").next().unwrap()).unwrap();
+    assert!(migrated
+        .grants()
+        .any(|g| g.permission.as_str() == "invoke" && g.domain.as_str() == "h/s/j"));
+}
+
+#[test]
+fn cli_spki_output_parses_as_sexps() {
+    let path = write_policy(&salaries_policy(), "fig1-spki.json");
+    let out = run(&args(&["spki-encode", &path])).unwrap();
+    let mut cert_lines = 0;
+    for line in out.lines().filter(|l| l.starts_with("(cert")) {
+        hetsec_spki::parse(line).unwrap();
+        cert_lines += 1;
+    }
+    assert_eq!(cert_lines, 5); // one name cert per UserRole row
+}
+
+#[test]
+fn cli_errors_are_reported_not_panicked() {
+    assert!(matches!(run(&args(&["decode", "/no/file"])), Err(CliError::Io(_))));
+    let bad = write_policy(&RbacPolicy::new(), "bad.json");
+    std::fs::write(&bad, "not json").unwrap();
+    assert!(matches!(run(&args(&["encode", &bad])), Err(CliError::Json(_))));
+    let badkn = bad.replace("bad.json", "bad.kn");
+    std::fs::write(&badkn, "Bogus-Field: x\n").unwrap();
+    assert!(matches!(run(&args(&["decode", &badkn])), Err(CliError::KeyNote(_))));
+}

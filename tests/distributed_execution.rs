@@ -1,0 +1,194 @@
+//! Distributed condensed-graph execution with full mutual mediation
+//! (Figure 3): multi-client scheduling, per-domain client selection,
+//! mid-run delegation, and denial propagation.
+
+use hetsec_graphs::{Engine, EngineError, GraphBuilder, Source, Value};
+use hetsec_middleware::component::ComponentRef;
+use hetsec_middleware::naming::MiddlewareKind;
+use hetsec_rbac::DomainRole;
+use hetsec_translate::{delegate_role, SymbolicDirectory};
+use hetsec_webcom::{
+    spawn_client, ArithComponentExecutor, AuthzStack, Binding, ClientConfig, ClientHandle,
+    ExecOutcome, TrustLayer, TrustManager, WebComMaster,
+};
+use std::sync::Arc;
+
+fn tm(policy: &str) -> Arc<TrustManager> {
+    let t = TrustManager::permissive();
+    t.add_policy(policy).unwrap();
+    Arc::new(t)
+}
+
+fn spawn_domain_client(name: &str, key: &str, domain: &str, worker_key: &str) -> ClientHandle {
+    let master_trust = tm(
+        "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+    );
+    let user_tm = tm(&format!(
+        "Authorizer: POLICY\nLicensees: \"{worker_key}\"\n\
+         Conditions: app_domain==\"WebCom\" && Domain==\"{domain}\";\n"
+    ));
+    let mut stack = AuthzStack::new();
+    stack.push(Arc::new(TrustLayer::new(user_tm)));
+    spawn_client(ClientConfig {
+        name: name.to_string(),
+        key_text: key.to_string(),
+        master_trust,
+        stack: Arc::new(stack),
+        executor: Arc::new(ArithComponentExecutor),
+    })
+}
+
+fn bind(master: &WebComMaster, prim: &str, domain: &str, op: &str, worker_key: &str) {
+    master.bind(
+        prim,
+        Binding {
+            component: ComponentRef::new(MiddlewareKind::Ejb, domain, "Calc", op),
+            domain: domain.into(),
+            role: "Worker".into(),
+            user: "worker".into(),
+            principal: worker_key.to_string(),
+        },
+    );
+}
+
+#[test]
+fn multi_domain_graph_routes_to_the_right_clients() {
+    // Master trusts each client key only for its own domain.
+    let client_trust = tm(
+        "Authorizer: POLICY\nLicensees: \"Kc1\"\n\
+         Conditions: app_domain==\"WebCom\" && Domain==\"DomA\";\n\n\
+         Authorizer: POLICY\nLicensees: \"Kc2\"\n\
+         Conditions: app_domain==\"WebCom\" && Domain==\"DomB\";\n",
+    );
+    let master = WebComMaster::new("Kmaster", client_trust);
+    let c1 = spawn_domain_client("c1", "Kc1", "DomA", "Kworker");
+    let c2 = spawn_domain_client("c2", "Kc2", "DomB", "Kworker");
+    master.register_client(&c1, vec!["DomA".into()]);
+    master.register_client(&c2, vec!["DomB".into()]);
+    bind(&master, "addA", "DomA", "add", "Kworker");
+    bind(&master, "mulB", "DomB", "mul", "Kworker");
+
+    // graph: mulB(addA(p0, p1), p0)
+    let mut b = GraphBuilder::new("two-domain", 2);
+    let s = b.primitive("s", "addA", vec![Source::Param(0), Source::Param(1)]);
+    let m = b.primitive("m", "mulB", vec![Source::Node(s), Source::Param(0)]);
+    let t = b.output(Source::Node(m)).unwrap();
+    let result = Engine::new(&master)
+        .evaluate(&t, &[Value::Int(5), Value::Int(2)])
+        .unwrap();
+    assert_eq!(result, Value::Int(35));
+    let s1 = c1.shutdown();
+    let s2 = c2.shutdown();
+    assert_eq!(s1.executed, 1, "DomA client ran exactly the add");
+    assert_eq!(s2.executed, 1, "DomB client ran exactly the mul");
+}
+
+#[test]
+fn parallel_fanout_distributes_many_ops() {
+    let client_trust = tm(
+        "Authorizer: POLICY\nLicensees: \"Kc1\"\nConditions: app_domain==\"WebCom\";\n",
+    );
+    let master = WebComMaster::new("Kmaster", client_trust);
+    let c1 = spawn_domain_client("c1", "Kc1", "DomA", "Kworker");
+    master.register_client(&c1, vec!["DomA".into()]);
+    bind(&master, "add", "DomA", "add", "Kworker");
+
+    let width = 32usize;
+    let mut b = GraphBuilder::new("fanout", 1);
+    let mut leaves = Vec::new();
+    for i in 0..width {
+        let c = b.constant(&format!("c{i}"), i as i64);
+        leaves.push(b.primitive(&format!("n{i}"), "add", vec![Source::Param(0), Source::Node(c)]));
+    }
+    // Reduce pairwise with scheduled adds too.
+    let mut frontier: Vec<_> = leaves;
+    let mut round = 0;
+    while frontier.len() > 1 {
+        let mut next = Vec::new();
+        for pair in frontier.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.primitive(
+                    &format!("r{round}-{}", next.len()),
+                    "add",
+                    vec![Source::Node(pair[0]), Source::Node(pair[1])],
+                ));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        frontier = next;
+        round += 1;
+    }
+    let t = b.output(Source::Node(frontier[0])).unwrap();
+    let result = Engine::new(&master).evaluate(&t, &[Value::Int(1)]).unwrap();
+    let expected: i64 = (0..width as i64).map(|i| 1 + i).sum();
+    assert_eq!(result, Value::Int(expected));
+    let stats = c1.shutdown();
+    assert_eq!(stats.executed, width + (width - 1));
+}
+
+#[test]
+fn delegation_unlocks_scheduling_mid_session() {
+    // The worker's key is NOT directly trusted; only Kboss is. A Figure 7
+    // delegation credential forwarded by the master lets the worker run.
+    let client_trust = tm(
+        "Authorizer: POLICY\nLicensees: \"Kc1\"\nConditions: app_domain==\"WebCom\";\n",
+    );
+    let master = WebComMaster::new("Kmaster", client_trust);
+
+    let master_trust = tm(
+        "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+    );
+    let user_tm = tm(
+        "Authorizer: POLICY\nLicensees: \"Kboss\"\n\
+         Conditions: app_domain==\"WebCom\" && Domain==\"DomA\";\n",
+    );
+    let mut stack = AuthzStack::new();
+    stack.push(Arc::new(TrustLayer::new(user_tm)));
+    let client = spawn_client(ClientConfig {
+        name: "c1".to_string(),
+        key_text: "Kc1".to_string(),
+        master_trust,
+        stack: Arc::new(stack),
+        executor: Arc::new(ArithComponentExecutor),
+    });
+    master.register_client(&client, vec!["DomA".into()]);
+    bind(&master, "add", "DomA", "add", "Kboss_deputy");
+
+    // First attempt: denied (no chain from Kboss to Kboss_deputy).
+    let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(1)]);
+    assert!(matches!(out, ExecOutcome::Denied(_)));
+
+    // Boss signs a delegation; master forwards it with requests.
+    let dir = SymbolicDirectory::default();
+    let cred = delegate_role(
+        &"Boss".into(),
+        &"Boss_deputy".into(),
+        &DomainRole::new("DomA", "Worker"),
+        &dir,
+    );
+    master.forward_credential(cred);
+    let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(1)]);
+    assert_eq!(out, ExecOutcome::Ok(Value::Int(2)));
+    client.shutdown();
+}
+
+#[test]
+fn denial_surfaces_as_refusal_in_the_engine() {
+    let client_trust = tm(
+        "Authorizer: POLICY\nLicensees: \"Kc1\"\nConditions: app_domain==\"WebCom\";\n",
+    );
+    let master = WebComMaster::new("Kmaster", client_trust);
+    let c1 = spawn_domain_client("c1", "Kc1", "DomA", "Kworker");
+    master.register_client(&c1, vec!["DomA".into()]);
+    // The binding's principal is unknown to the client.
+    bind(&master, "add", "DomA", "add", "Kstranger");
+    let mut b = GraphBuilder::new("denied", 0);
+    let c = b.constant("c", 1i64);
+    let n = b.primitive("n", "add", vec![Source::Node(c), Source::Node(c)]);
+    let t = b.output(Source::Node(n)).unwrap();
+    let err = Engine::new(&master).evaluate(&t, &[]).unwrap_err();
+    assert!(matches!(err, EngineError::Refused { .. }));
+    let stats = c1.shutdown();
+    assert_eq!(stats.stack_denied, 1);
+}

@@ -1,0 +1,195 @@
+//! End-to-end integration of the paper's running example: Figure 1
+//! policy -> KeyNote encoding (Figs 5-7) -> middleware commissioning ->
+//! stacked mediation, with every layer agreeing.
+
+use hetsec_com::ComMiddleware;
+use hetsec_corba::CorbaMiddleware;
+use hetsec_ejb::EjbMiddleware;
+use hetsec_middleware::component::ComponentRef;
+use hetsec_middleware::naming::{CorbaDomain, EjbDomain, MiddlewareKind};
+use hetsec_middleware::security::{MiddlewareSecurity, MiddlewareSecurityExt};
+use hetsec_rbac::fixtures::salaries_policy;
+use hetsec_rbac::{DomainRole, RbacPolicy, User};
+use hetsec_translate::{
+    decode_policy, delegate_role, encode_policy, SymbolicDirectory, APP_DOMAIN,
+};
+use hetsec_webcom::{
+    AuthzContext, AuthzStack, MiddlewareLayer, ScheduledAction, TrustLayer, TrustManager,
+};
+use std::sync::Arc;
+
+fn attrs(d: &str, r: &str, t: &str, p: &str) -> hetsec_keynote::ActionAttributes {
+    [
+        ("app_domain", APP_DOMAIN),
+        ("Domain", d),
+        ("Role", r),
+        ("ObjectType", t),
+        ("Permission", p),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The unified Figure 1 policy but with domains renamed onto a real EJB
+/// server, so the same table commissions into actual middleware.
+fn ejb_shaped_policy(domain: &str) -> RbacPolicy {
+    // All rows move into the single middleware domain; roles keep their
+    // original department as a prefix so Finance/Manager and
+    // Sales/Manager stay distinct after the merge.
+    let mut p = RbacPolicy::new();
+    for g in salaries_policy().grants() {
+        let mut g = g.clone();
+        g.role = format!("{}_{}", g.domain, g.role).as_str().into();
+        g.domain = domain.into();
+        p.grant(g);
+    }
+    for a in salaries_policy().assignments() {
+        let mut a = a.clone();
+        a.role = format!("{}_{}", a.domain, a.role).as_str().into();
+        a.domain = domain.into();
+        p.assign(a);
+    }
+    p
+}
+
+#[test]
+fn keynote_view_agrees_with_all_three_middlewares() {
+    let dir = SymbolicDirectory::default();
+    // Commission Figure 1 into EJB and CORBA instances and a COM-shaped
+    // variant into a COM catalogue.
+    let ejb_domain = EjbDomain::new("h", "s", "Salaries").to_string();
+    let corba_domain = CorbaDomain::new("zeus", "orb").to_string();
+
+    let ejb = EjbMiddleware::new(EjbDomain::new("h", "s", "Salaries"));
+    ejb.import_policy(&ejb_shaped_policy(&ejb_domain));
+    let corba = CorbaMiddleware::new(CorbaDomain::new("zeus", "orb"));
+    corba.import_policy(&ejb_shaped_policy(&corba_domain));
+
+    for (mw, domain) in [
+        (&ejb as &dyn MiddlewareSecurity, ejb_domain.as_str()),
+        (&corba as &dyn MiddlewareSecurity, corba_domain.as_str()),
+    ] {
+        // Encode the middleware's exported policy and compare decisions.
+        let tm = TrustManager::permissive();
+        for a in encode_policy(&mw.export_policy(), "KWebCom", &dir) {
+            tm.add_policy_assertion(a).unwrap();
+        }
+        for (user, perm, expect) in [
+            ("Alice", "write", true),
+            ("Alice", "read", false),
+            ("Bob", "read", true),
+            ("Bob", "write", true),
+            ("Claire", "read", true),
+            ("Claire", "write", false),
+            ("Dave", "read", false),
+        ] {
+            let native = mw.allows(
+                &user.into(),
+                &domain.into(),
+                &"SalariesDB".into(),
+                &perm.into(),
+            );
+            assert_eq!(native, expect, "{} native {user} {perm}", mw.instance_name());
+            // The KeyNote view: user's key, any matching role.
+            let roles = mw.export_policy().roles_of(&user.into());
+            let key = format!("K{}", user.to_lowercase());
+            let tm_says = roles.iter().any(|dr| {
+                tm.query(
+                    &[key.as_str()],
+                    &attrs(dr.domain.as_str(), dr.role.as_str(), "SalariesDB", perm),
+                )
+            });
+            assert_eq!(tm_says, expect, "{} keynote {user} {perm}", mw.instance_name());
+        }
+    }
+}
+
+#[test]
+fn com_variant_with_coarse_rights() {
+    // The COM concretisation uses Launch/Access/RunAs permissions.
+    let com = ComMiddleware::new("CORP");
+    let mut policy = RbacPolicy::new();
+    policy.grant(hetsec_rbac::PermissionGrant::new("CORP", "Manager", "SalariesDB", "Access"));
+    policy.grant(hetsec_rbac::PermissionGrant::new("CORP", "Manager", "SalariesDB", "Launch"));
+    policy.grant(hetsec_rbac::PermissionGrant::new("CORP", "Clerk", "SalariesDB", "Access"));
+    policy.assign(hetsec_rbac::RoleAssignment::new("Bob", "CORP", "Manager"));
+    policy.assign(hetsec_rbac::RoleAssignment::new("Alice", "CORP", "Clerk"));
+    let report = com.import_policy(&policy);
+    assert!(report.skipped.is_empty());
+    // Export equals import for COM-representable policies.
+    assert_eq!(com.export_policy(), policy);
+    // Round trip through KeyNote as well.
+    let dir = SymbolicDirectory::default();
+    let decoded = decode_policy(&encode_policy(&policy, "KWebCom", &dir), "KWebCom", &dir);
+    assert_eq!(decoded.policy, policy);
+}
+
+#[test]
+fn stacked_mediation_trust_plus_middleware() {
+    let dir = SymbolicDirectory::default();
+    let ejb_domain = EjbDomain::new("h", "s", "Salaries").to_string();
+    let ejb = Arc::new(EjbMiddleware::new(EjbDomain::new("h", "s", "Salaries")));
+    ejb.import_policy(&ejb_shaped_policy(&ejb_domain));
+
+    let tm = Arc::new(TrustManager::permissive());
+    for a in encode_policy(&ejb.export_policy(), "KWebCom", &dir) {
+        tm.add_policy_assertion(a).unwrap();
+    }
+    let mut stack = AuthzStack::new();
+    stack.push(Arc::new(MiddlewareLayer::new(ejb.clone())));
+    stack.push(Arc::new(TrustLayer::new(tm.clone())));
+
+    let component = ComponentRef::new(
+        MiddlewareKind::Ejb,
+        ejb_domain.as_str(),
+        "SalariesDB",
+        "write",
+    );
+    let action = ScheduledAction::new(component, ejb_domain.as_str(), "Finance_Clerk");
+    // Alice (Finance->renamed Clerk) may write through both layers.
+    let ctx = AuthzContext::new("Alice", "Kalice", action.clone());
+    let d = stack.decide(&ctx);
+    assert!(d.permitted, "{:?}", d.trace);
+    // Dave may not: both layers deny.
+    let ctx = AuthzContext::new("Dave", "Kdave", action);
+    let d = stack.decide(&ctx);
+    assert!(!d.permitted);
+    assert!(d.trace.iter().filter(|(_, v)| matches!(v, hetsec_webcom::Verdict::Deny(_))).count() >= 2);
+}
+
+#[test]
+fn delegation_is_keynote_only_but_effective() {
+    // Figure 7: Fred's access exists at the trust layer without any
+    // middleware row — decentralisation in action.
+    let dir = SymbolicDirectory::default();
+    let policy = salaries_policy();
+    let tm = TrustManager::permissive();
+    for a in encode_policy(&policy, "KWebCom", &dir) {
+        tm.add_policy_assertion(a).unwrap();
+    }
+    tm.add_credential(delegate_role(
+        &User::new("Claire"),
+        &User::new("Fred"),
+        &DomainRole::new("Sales", "Manager"),
+        &dir,
+    ))
+    .unwrap();
+    assert!(tm.query(
+        &["Kfred"],
+        &attrs("Sales", "Manager", "SalariesDB", "read")
+    ));
+    // But the RBAC relations themselves never mention Fred.
+    assert!(policy.roles_of(&"Fred".into()).is_empty());
+    // And decoding the credential set reports (not applies) it.
+    let mut assertions = encode_policy(&policy, "KWebCom", &dir);
+    assertions.push(delegate_role(
+        &User::new("Claire"),
+        &User::new("Fred"),
+        &DomainRole::new("Sales", "Manager"),
+        &dir,
+    ));
+    let report = decode_policy(&assertions, "KWebCom", &dir);
+    assert!(!report
+        .policy
+        .user_in_role(&"Fred".into(), &"Sales".into(), &"Manager".into()));
+}

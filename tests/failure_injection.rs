@@ -1,0 +1,188 @@
+//! Failure injection: malformed inputs, tampered credentials, and
+//! misbehaving endpoints must degrade cleanly — errors, never panics,
+//! and never silent grants.
+
+use hetsec_keynote::parser::{parse_assertion, parse_assertions};
+use hetsec_keynote::session::KeyNoteSession;
+use hetsec_middleware::naming::MiddlewareKind;
+use hetsec_middleware::security::{Decision, MiddlewareError, MiddlewareSecurity};
+use hetsec_rbac::{
+    Domain, ObjectType, Permission, PermissionGrant, RbacPolicy, Role, RoleAssignment, User,
+};
+use hetsec_translate::batch::sign_owned;
+use hetsec_translate::maintenance::{PolicyBus, PolicyChange};
+use hetsec_translate::{encode_policy, KeyStoreDirectory, PrincipalDirectory};
+use std::sync::Arc;
+
+#[test]
+fn malformed_assertion_corpus_never_panics() {
+    let corpus = [
+        "",
+        "Authorizer",
+        "Authorizer:",
+        "Authorizer: POLICY\nLicensees: \"unterminated\n",
+        "Authorizer: POLICY\nConditions: a == ;\n",
+        "Authorizer: POLICY\nConditions: (a == \"1\";\n",
+        "Authorizer: POLICY\nLicensees: 0-of(\"Ka\")\n",
+        "Authorizer: POLICY\nLicensees: \"Ka\" &&\n",
+        "Authorizer: POLICY\nConditions: a ~= ;\n",
+        "Signature: first\nAuthorizer: POLICY\nSignature: second\n",
+        "Random-Field: x\n",
+        "Authorizer: POLICY POLICY\n",
+        ": no name\n",
+        "Authorizer: POLICY\nConditions: x -> { y == \"1\" -> v;\n",
+        "Authorizer: POLICY\nConditions: 1.2.3 == \"x\";\n",
+    ];
+    for (i, text) in corpus.iter().enumerate() {
+        // Every entry must produce a structured error (or, for the
+        // empty text, an empty set) without panicking.
+        match parse_assertion(text) {
+            Ok(_) if text.trim().is_empty() => {}
+            Ok(a) => panic!("corpus[{i}] unexpectedly parsed: {a:?}"),
+            Err(_) => {}
+        }
+    }
+    // And the multi-assertion splitter tolerates junk too.
+    assert!(parse_assertions("garbage\n\nmore garbage\n").is_err());
+}
+
+#[test]
+fn tampering_anywhere_in_the_signed_pipeline_fails_closed() {
+    let dir = KeyStoreDirectory::new();
+    let webcom_key = dir.key_of(&User::new("WebCom"));
+    let mut assertions = encode_policy(
+        &hetsec_rbac::fixtures::salaries_policy(),
+        &webcom_key,
+        &dir,
+    );
+    sign_owned(&mut assertions, &dir);
+    // Flip the licensee of a signed credential (privilege escalation
+    // attempt): the strict session must reject it.
+    let mut tampered = assertions
+        .iter()
+        .find(|a| a.signature.is_some())
+        .unwrap()
+        .clone();
+    tampered.licensees = Some(hetsec_keynote::LicenseeExpr::Principal(
+        dir.key_of(&User::new("Mallory")),
+    ));
+    let mut strict = KeyNoteSession::new();
+    assert!(strict.add_credential_parsed(tampered).is_err());
+    // Corrupt the signature bytes themselves.
+    let mut corrupted = assertions
+        .iter()
+        .find(|a| a.signature.is_some())
+        .unwrap()
+        .clone();
+    corrupted.signature = corrupted.signature.map(|s| {
+        let mut s = s;
+        s.push('0');
+        s
+    });
+    assert!(strict.add_credential_parsed(corrupted).is_err());
+}
+
+/// A middleware endpoint that accepts registration but rejects every
+/// administration call (e.g. a catalogue with a wedged service).
+struct WedgedMiddleware;
+
+impl MiddlewareSecurity for WedgedMiddleware {
+    fn kind(&self) -> MiddlewareKind {
+        MiddlewareKind::Ejb
+    }
+
+    fn instance_name(&self) -> String {
+        "wedged".to_string()
+    }
+
+    fn owned_domains(&self) -> Vec<Domain> {
+        vec!["WedgedDom".into()]
+    }
+
+    fn export_policy(&self) -> RbacPolicy {
+        RbacPolicy::new()
+    }
+
+    fn grant(&self, g: &PermissionGrant) -> Result<(), MiddlewareError> {
+        Err(MiddlewareError::NotFound(format!("wedged: {g}")))
+    }
+
+    fn revoke(&self, g: &PermissionGrant) -> Result<(), MiddlewareError> {
+        Err(MiddlewareError::NotFound(format!("wedged: {g}")))
+    }
+
+    fn assign(&self, a: &RoleAssignment) -> Result<(), MiddlewareError> {
+        Err(MiddlewareError::NotFound(format!("wedged: {a}")))
+    }
+
+    fn unassign(&self, a: &RoleAssignment) -> Result<(), MiddlewareError> {
+        Err(MiddlewareError::NotFound(format!("wedged: {a}")))
+    }
+
+    fn check(
+        &self,
+        _user: &User,
+        _domain: &Domain,
+        _role: Option<&Role>,
+        _object_type: &ObjectType,
+        _permission: &Permission,
+    ) -> Decision {
+        Decision::denied("wedged")
+    }
+}
+
+#[test]
+fn policy_bus_records_endpoint_failures_without_losing_the_unified_change() {
+    let bus = PolicyBus::new();
+    bus.register(Arc::new(WedgedMiddleware));
+    let change = PolicyChange::Assign(RoleAssignment::new("u", "WedgedDom", "R"));
+    let report = bus.apply(&change);
+    // The unified policy took the change; the endpoint failure is
+    // reported, not swallowed.
+    assert!(report.unified_changed);
+    assert!(report.propagated_to.is_empty());
+    assert_eq!(report.failures.len(), 1);
+    assert!(report.failures[0].1.contains("wedged"));
+    assert!(bus.unified().user_in_role(&"u".into(), &"WedgedDom".into(), &"R".into()));
+    // The audit shows the endpoint is now inconsistent (it has nothing).
+    let audit = bus.consistency_report();
+    assert_eq!(audit.len(), 1);
+    assert!(!audit[0].is_consistent());
+    // Repair attempts run but cannot fix a wedged endpoint; they must
+    // not panic and must report zero rows changed.
+    assert_eq!(bus.repair(), 0);
+}
+
+#[test]
+fn spki_malformed_inputs_never_panic() {
+    for src in [
+        "",
+        "(",
+        ")",
+        "(cert",
+        "(cert (issuer) (subject Ka))",
+        "(cert (issuer Ka) (subject (name)))",
+        "(cert (issuer Ka) (subject Kb) (tag))",
+        "\"unterminated",
+        "(a . b)",
+    ] {
+        let _ = hetsec_spki::parse(src);
+        let _ = hetsec_spki::cert::parse_cert(src);
+    }
+}
+
+#[test]
+fn keynote_regex_pathological_patterns_terminate() {
+    // Classic catastrophic-backtracking shapes must terminate (the
+    // engine guards zero-width loops) and simply answer false/true.
+    let mut s = KeyNoteSession::permissive();
+    s.add_policy(
+        "Authorizer: POLICY\nLicensees: \"Ka\"\nConditions: x ~= \"^(a*)*b$\";\n",
+    )
+    .unwrap();
+    let attrs = [("x", "aaaaaaaaaaaaaaaaaaaac")].into_iter().collect();
+    let r = s.query_action(&["Ka"], &attrs);
+    assert!(!r.is_authorized());
+    let attrs = [("x", "aaaaب")].into_iter().collect();
+    assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
+}

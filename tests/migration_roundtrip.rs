@@ -1,0 +1,162 @@
+//! Cross-middleware migration fidelity (paper §4.3, Figure 9's Z→EJB
+//! path) across all six directed pairs of the three middleware families.
+
+use hetsec_com::ComMiddleware;
+use hetsec_corba::CorbaMiddleware;
+use hetsec_ejb::EjbMiddleware;
+use hetsec_middleware::naming::{CorbaDomain, EjbDomain};
+use hetsec_middleware::security::{MiddlewareSecurity, MiddlewareSecurityExt};
+use hetsec_rbac::{PermissionGrant, RoleAssignment};
+use hetsec_translate::{migrate, transform_policy, MigrationSpec};
+use hetsec_middleware::MiddlewareKind;
+
+fn ejb(name: &str) -> (EjbMiddleware, String) {
+    let d = EjbDomain::new("host", "srv", name);
+    (EjbMiddleware::new(d.clone()), d.to_string())
+}
+
+fn corba(name: &str) -> (CorbaMiddleware, String) {
+    let d = CorbaDomain::new("zeus", name);
+    (CorbaMiddleware::new(d.clone()), d.to_string())
+}
+
+/// Seeds a middleware with one method-level grant + assignment (or the
+/// COM analogue).
+fn seed(mw: &dyn MiddlewareSecurity, domain: &str) {
+    let perm = if mw.kind() == MiddlewareKind::ComPlus {
+        "Access"
+    } else {
+        "invoke"
+    };
+    mw.grant(&PermissionGrant::new(domain, "Operator", "Widget", perm))
+        .unwrap();
+    mw.assign(&RoleAssignment::new("olga", domain, "Operator"))
+        .unwrap();
+}
+
+#[test]
+fn all_directed_pairs_preserve_the_access_decision() {
+    // For each ordered pair (source kind, target kind): seed source,
+    // migrate, and check olga can still act on Widget in the target.
+    for (src_idx, dst_idx) in [(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)] {
+        let com_src = ComMiddleware::new("SRC");
+        let (ejb_src, ejb_src_d) = ejb("Src");
+        let (corba_src, corba_src_d) = corba("src");
+        let sources: [(&dyn MiddlewareSecurity, &str); 3] = [
+            (&com_src, "SRC"),
+            (&ejb_src, ejb_src_d.as_str()),
+            (&corba_src, corba_src_d.as_str()),
+        ];
+        let com_dst = ComMiddleware::new("DST");
+        let (ejb_dst, ejb_dst_d) = ejb("Dst");
+        let (corba_dst, corba_dst_d) = corba("dst");
+        let targets: [(&dyn MiddlewareSecurity, &str); 3] = [
+            (&com_dst, "DST"),
+            (&ejb_dst, ejb_dst_d.as_str()),
+            (&corba_dst, corba_dst_d.as_str()),
+        ];
+        let (src, src_domain) = sources[src_idx];
+        let (dst, dst_domain) = targets[dst_idx];
+        seed(src, src_domain);
+        let spec = MigrationSpec::domain(src_domain, dst_domain);
+        let report = migrate(src, dst, &spec);
+        assert!(
+            report.import.skipped.is_empty(),
+            "{}->{} skipped {:?}",
+            src.instance_name(),
+            dst.instance_name(),
+            report.import.skipped
+        );
+        let expected_perm = if dst.kind() == MiddlewareKind::ComPlus {
+            "Access"
+        } else {
+            "invoke"
+        };
+        assert!(
+            dst.allows(
+                &"olga".into(),
+                &dst_domain.into(),
+                &"Widget".into(),
+                &expected_perm.into()
+            ),
+            "{}->{}",
+            src.instance_name(),
+            dst.instance_name()
+        );
+    }
+}
+
+#[test]
+fn migration_is_idempotent() {
+    let (src, src_d) = ejb("A");
+    seed(&src, &src_d);
+    let (dst, dst_d) = ejb("B");
+    let spec = MigrationSpec::domain(src_d.clone(), dst_d.clone());
+    let first = migrate(&src, &dst, &spec);
+    let before = dst.export_policy();
+    let second = migrate(&src, &dst, &spec);
+    assert_eq!(dst.export_policy(), before);
+    assert_eq!(first.transformed, second.transformed);
+}
+
+#[test]
+fn transform_handles_multi_domain_policies() {
+    let mut policy = hetsec_rbac::RbacPolicy::new();
+    policy.grant(PermissionGrant::new("D1", "R", "T", "read"));
+    policy.grant(PermissionGrant::new("D2", "R", "T", "read"));
+    policy.assign(RoleAssignment::new("u", "D1", "R"));
+    let mut spec = MigrationSpec::domain("D1", "E1");
+    spec.domain_map.insert("D2".to_string(), "E2".to_string());
+    let (out, renames) =
+        transform_policy(&policy, MiddlewareKind::Ejb, MiddlewareKind::Ejb, &spec);
+    assert!(renames.is_empty());
+    let domains: Vec<String> = out.domains().iter().map(|d| d.to_string()).collect();
+    assert_eq!(domains, vec!["E1".to_string(), "E2".to_string()]);
+}
+
+#[test]
+fn lossy_com_migration_reports_unmappable_rows() {
+    // COM Launch/RunAs have no method-level analogue; when migrated to
+    // EJB they pass through verbatim and *work* (EJB permissions are
+    // free-form method names), but a COM -> CORBA -> COM chain keeps
+    // them intact too. Verify nothing is silently dropped anywhere.
+    let com = ComMiddleware::new("SRC");
+    com.grant(&PermissionGrant::new("SRC", "Op", "App", "Launch")).unwrap();
+    com.grant(&PermissionGrant::new("SRC", "Op", "App", "RunAs")).unwrap();
+    com.assign(&RoleAssignment::new("u", "SRC", "Op")).unwrap();
+    let (dst, dst_d) = ejb("L");
+    let report = migrate(&com, &dst, &MigrationSpec::domain("SRC", dst_d.clone()));
+    assert!(report.import.skipped.is_empty());
+    let back = ComMiddleware::new("SRC");
+    let report2 = migrate(&dst, &back, &MigrationSpec::domain(dst_d, "SRC"));
+    assert!(report2.import.skipped.is_empty());
+    assert!(back.allows(&"u".into(), &"SRC".into(), &"App".into(), &"Launch".into()));
+    assert!(back.allows(&"u".into(), &"SRC".into(), &"App".into(), &"RunAs".into()));
+}
+
+#[test]
+fn similarity_migration_merges_drifted_vocabularies() {
+    let (src, src_d) = ejb("Drift");
+    src.grant(&PermissionGrant::new(src_d.as_str(), "SalesManagers", "Orders", "approve"))
+        .unwrap();
+    src.grant(&PermissionGrant::new(src_d.as_str(), "Clerks", "Orders", "enter"))
+        .unwrap();
+    src.assign(&RoleAssignment::new("carol", src_d.as_str(), "SalesManagers"))
+        .unwrap();
+    src.assign(&RoleAssignment::new("carl", src_d.as_str(), "Clerks"))
+        .unwrap();
+    let (dst, dst_d) = ejb("Canon");
+    let spec = MigrationSpec::domain(src_d, dst_d.clone()).with_target_roles(vec![
+        "SalesManager".to_string(),
+        "Clerk".to_string(),
+        "Auditor".to_string(),
+    ]);
+    let report = migrate(&src, &dst, &spec);
+    assert_eq!(report.role_renames.len(), 2);
+    assert!(dst.allows(&"carol".into(), &dst_d.as_str().into(), &"Orders".into(), &"approve".into()));
+    assert!(dst.allows(&"carl".into(), &dst_d.as_str().into(), &"Orders".into(), &"enter".into()));
+    // Renames went to the intended canonical names.
+    let renamed: Vec<&str> = report.role_renames.iter().map(|(_, to, _)| to.as_str()).collect();
+    assert!(renamed.contains(&"SalesManager"));
+    assert!(renamed.contains(&"Clerk"));
+}

@@ -1,0 +1,314 @@
+//! Property-based tests over the framework's core invariants.
+
+use proptest::prelude::*;
+
+use hetsec_crypto::bigint::U512;
+use hetsec_keynote::ast::{CmpOp, Expr, LicenseeExpr, Term};
+use hetsec_keynote::parser::{parse_expression, parse_licensees};
+use hetsec_keynote::print::{print_expr, print_licensees};
+use hetsec_keynote::regex::Regex;
+use hetsec_rbac::policy::{PermissionGrant, RbacPolicy, RoleAssignment};
+use hetsec_translate::{decode_policy, encode_policy, SymbolicDirectory};
+
+// ---- U512 arithmetic vs u128 reference ----
+
+proptest! {
+    #[test]
+    fn u512_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = U512::from_u64(a).add(&U512::from_u64(b));
+        prop_assert_eq!(sum, U512::from_u128(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn u512_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = U512::from_u64(a).mul(&U512::from_u64(b));
+        prop_assert_eq!(prod, U512::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn u512_divmod_matches_u128(a in any::<u128>(), b in 1u64..) {
+        let (q, r) = U512::from_u128(a).divmod(&U512::from_u64(b));
+        prop_assert_eq!(q, U512::from_u128(a / b as u128));
+        prop_assert_eq!(r, U512::from_u128(a % b as u128));
+    }
+
+    #[test]
+    fn u512_hex_roundtrip(a in any::<u128>()) {
+        let v = U512::from_u128(a);
+        prop_assert_eq!(U512::from_hex(&v.to_hex()), Some(v));
+    }
+
+    #[test]
+    fn u512_shift_roundtrip(a in any::<u128>(), s in 0u32..256) {
+        let v = U512::from_u128(a);
+        prop_assert_eq!(v.shl_small(s).shr_small(s), v);
+    }
+
+    #[test]
+    fn u512_modpow_mul_law(a in 1u64.., b in 1u64.., m in 2u64..) {
+        // (a*b) mod m == (a mod m * b mod m) mod m via mulmod
+        let am = U512::from_u64(a);
+        let bm = U512::from_u64(b);
+        let mm = U512::from_u64(m);
+        let lhs = am.mulmod(&bm, &mm);
+        let rhs = U512::from_u128((a as u128 * b as u128) % m as u128);
+        prop_assert_eq!(lhs, rhs);
+    }
+}
+
+// ---- Expression printer/parser round-trips over generated ASTs ----
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        "[a-z_][a-z0-9_]{0,6}".prop_map(Term::Attr),
+        "[ -~]{0,8}".prop_map(Term::Str),
+        (0u32..100_000).prop_map(|n| Term::Num(n as f64)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::Concat(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|t| Term::Deref(Box::new(t))),
+        ]
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::True),
+        Just(Expr::False),
+        (arb_term(), arb_term()).prop_map(|(lhs, rhs)| Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs
+        }),
+        (arb_term(), arb_term()).prop_map(|(lhs, rhs)| Expr::Cmp {
+            op: CmpOp::Le,
+            lhs,
+            rhs
+        }),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_licensees() -> impl Strategy<Value = LicenseeExpr> {
+    let leaf = "[A-Za-z][A-Za-z0-9]{0,8}".prop_map(LicenseeExpr::Principal);
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| LicenseeExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| LicenseeExpr::Or(Box::new(a), Box::new(b))),
+            proptest::collection::vec(inner.clone(), 1..4).prop_flat_map(|items| {
+                let n = items.len();
+                (1..=n).prop_map(move |k| LicenseeExpr::KOf(k, items.clone()))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = print_expr(&e);
+        let back = parse_expression(&printed).expect("printed expression parses");
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn licensees_print_parse_roundtrip(l in arb_licensees()) {
+        let printed = print_licensees(&l);
+        let back = parse_licensees(&printed).expect("printed licensees parse");
+        prop_assert_eq!(back, l);
+    }
+}
+
+// ---- Regex engine vs a naive literal matcher ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn regex_literal_agrees_with_contains(
+        needle in "[a-z]{1,5}",
+        hay in "[a-z]{0,12}",
+    ) {
+        let re = Regex::new(&needle).unwrap();
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    #[test]
+    fn regex_anchored_literal_agrees_with_eq(
+        needle in "[a-z]{1,5}",
+        hay in "[a-z]{0,7}",
+    ) {
+        let re = Regex::new(&format!("^{needle}$")).unwrap();
+        prop_assert_eq!(re.is_match(&hay), hay == needle);
+    }
+
+    #[test]
+    fn regex_star_never_panics(pat in "[a-z.()*+?|\\[\\]]{0,10}", hay in "[a-z]{0,10}") {
+        // Any syntactically valid pattern must match or not without
+        // panicking or hanging.
+        if let Ok(re) = Regex::new(&pat) {
+            let _ = re.is_match(&hay);
+        }
+    }
+}
+
+// ---- RBAC <-> KeyNote encode/decode round-trips ----
+
+fn arb_policy() -> impl Strategy<Value = RbacPolicy> {
+    let grant = (
+        "[A-Z][a-z]{1,5}",
+        "[A-Z][a-z]{1,5}",
+        "[A-Z][a-z]{1,5}",
+        "[a-z]{1,5}",
+    )
+        .prop_map(|(d, r, t, p)| PermissionGrant::new(d.as_str(), r.as_str(), t.as_str(), p.as_str()));
+    let assignment = ("[a-z]{1,6}", "[A-Z][a-z]{1,5}", "[A-Z][a-z]{1,5}")
+        .prop_map(|(u, d, r)| RoleAssignment::new(u.as_str(), d.as_str(), r.as_str()));
+    (
+        proptest::collection::vec(grant, 0..12),
+        proptest::collection::vec(assignment, 0..12),
+    )
+        .prop_map(|(gs, asgs)| {
+            let mut p = RbacPolicy::new();
+            for g in gs {
+                p.grant(g);
+            }
+            for a in asgs {
+                p.assign(a);
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_is_identity(policy in arb_policy()) {
+        let dir = SymbolicDirectory::default();
+        let assertions = encode_policy(&policy, "KWebCom", &dir);
+        let report = decode_policy(&assertions, "KWebCom", &dir);
+        prop_assert_eq!(report.policy, policy);
+        prop_assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn merge_is_monotone(a in arb_policy(), b in arb_policy()) {
+        // Merging never removes access.
+        let mut merged = a.clone();
+        merged.merge(&b);
+        for g in a.grants() {
+            prop_assert!(merged.role_has_permission(&g.domain, &g.role, &g.object_type, &g.permission));
+        }
+        for asg in b.assignments() {
+            prop_assert!(merged.user_in_role(&asg.user, &asg.domain, &asg.role));
+        }
+    }
+}
+
+// ---- Compliance monotonicity: adding credentials never revokes ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn adding_credentials_is_monotone(policy in arb_policy(), extra in "[a-z]{1,6}") {
+        use hetsec_keynote::session::KeyNoteSession;
+        let dir = SymbolicDirectory::default();
+        let assertions = encode_policy(&policy, "KWebCom", &dir);
+        let mut base = KeyNoteSession::permissive();
+        for a in assertions.clone() {
+            base.add_policy_assertion(a).unwrap();
+        }
+        let mut extended = KeyNoteSession::permissive();
+        for a in assertions {
+            extended.add_policy_assertion(a).unwrap();
+        }
+        // An unrelated extra credential from an unknown key.
+        extended
+            .add_credentials(&format!(
+                "Authorizer: \"Kstray\"\nLicensees: \"K{extra}\"\n"
+            ))
+            .unwrap();
+        // Every decision authorised before stays authorised.
+        for asg in policy.assignments() {
+            for g in policy.grants() {
+                let attrs: hetsec_keynote::ActionAttributes = [
+                    ("app_domain", "WebCom"),
+                    ("Domain", g.domain.as_str()),
+                    ("Role", g.role.as_str()),
+                    ("ObjectType", g.object_type.as_str()),
+                    ("Permission", g.permission.as_str()),
+                ]
+                .into_iter()
+                .collect();
+                let key = format!("K{}", asg.user.as_str().to_lowercase());
+                let before = base.query_action(&[key.as_str()], &attrs).is_authorized();
+                if before {
+                    prop_assert!(extended.query_action(&[key.as_str()], &attrs).is_authorized());
+                }
+            }
+        }
+    }
+}
+
+// ---- Role-hierarchy flattening preserves access decisions ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn flattening_a_hierarchy_preserves_decisions(
+        grants in proptest::collection::vec((0usize..5, 0usize..3, "[a-z]{1,4}"), 1..10),
+        assigns in proptest::collection::vec(("[a-z]{1,5}", 0usize..5), 1..8),
+        edges in proptest::collection::vec((0usize..5, 0usize..5), 0..6),
+    ) {
+        use hetsec_rbac::hierarchy::RoleHierarchy;
+        use hetsec_rbac::DomainRole;
+        // All roles live in one fixed domain so hierarchy edges are
+        // always well-formed.
+        let roles = ["R0", "R1", "R2", "R3", "R4"];
+        let mut policy = RbacPolicy::new();
+        for (r, t, p) in &grants {
+            policy.grant(PermissionGrant::new("D", roles[*r], format!("T{t}"), p.as_str()));
+        }
+        for (u, r) in &assigns {
+            policy.assign(RoleAssignment::new(u.as_str(), "D", roles[*r]));
+        }
+        let mut h = RoleHierarchy::new();
+        for (a, b) in edges {
+            if a != b {
+                // Cycle-producing edges are rejected; that's fine.
+                let _ = h.add_seniority(
+                    DomainRole::new("D", roles[a]),
+                    DomainRole::new("D", roles[b]),
+                );
+            }
+        }
+        // Flatten into a copy; hierarchical check on the original must
+        // equal the flat check on the flattened policy.
+        let mut flat = policy.clone();
+        h.flatten(&mut flat);
+        for user in policy.users() {
+            for g in policy.grants() {
+                let hier = h.check_access(&policy, &user, &g.object_type, &g.permission);
+                let flat_says = flat.check_access(&user, &g.object_type, &g.permission);
+                prop_assert_eq!(hier, flat_says, "user={} grant={}", user, g);
+            }
+        }
+    }
+}

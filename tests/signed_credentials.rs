@@ -1,0 +1,150 @@
+//! The full cryptographic path: real (simulated-PKI) keys, signed
+//! credentials, strict verification — no symbolic shortcuts.
+
+use hetsec_crypto::KeyPair;
+use hetsec_keynote::ast::{Assertion, LicenseeExpr, Principal};
+use hetsec_keynote::session::{KeyNoteSession, SessionError};
+use hetsec_keynote::signing::sign_assertion;
+use hetsec_rbac::fixtures::salaries_policy;
+use hetsec_rbac::User;
+use hetsec_translate::batch::sign_owned;
+use hetsec_translate::{encode_policy, KeyStoreDirectory, PrincipalDirectory, APP_DOMAIN};
+use hetsec_webcom::{ScheduledAction, TrustManager};
+
+fn attrs(d: &str, r: &str, t: &str, p: &str) -> hetsec_keynote::ActionAttributes {
+    [
+        ("app_domain", APP_DOMAIN),
+        ("Domain", d),
+        ("Role", r),
+        ("ObjectType", t),
+        ("Permission", p),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[test]
+fn strict_end_to_end_with_signed_figure_1() {
+    let dir = KeyStoreDirectory::new();
+    let webcom_key = dir.key_of(&User::new("WebCom"));
+    let mut assertions = encode_policy(&salaries_policy(), &webcom_key, &dir);
+    let signed = sign_owned(&mut assertions, &dir);
+    assert_eq!(signed, 5);
+    let mut session = KeyNoteSession::new(); // strict
+    for a in assertions {
+        session.add_policy_assertion(a).unwrap();
+    }
+    let claire = dir.key_of(&User::new("Claire"));
+    assert!(session
+        .query_action(&[claire.as_str()], &attrs("Sales", "Manager", "SalariesDB", "read"))
+        .is_authorized());
+    assert!(!session
+        .query_action(&[claire.as_str()], &attrs("Sales", "Manager", "SalariesDB", "write"))
+        .is_authorized());
+}
+
+#[test]
+fn strict_delegation_chain_with_real_signatures() {
+    let dir = KeyStoreDirectory::new();
+    let webcom_key = dir.key_of(&User::new("WebCom"));
+    let claire_key = dir.key_of(&User::new("Claire"));
+    let fred_key = dir.key_of(&User::new("Fred"));
+
+    let mut assertions = encode_policy(&salaries_policy(), &webcom_key, &dir);
+    // Claire signs a Figure 7 delegation to Fred with her real key.
+    let mut delegation = Assertion::new(
+        Principal::key(&claire_key),
+        LicenseeExpr::Principal(fred_key.clone()),
+    );
+    delegation.conditions = Some(
+        hetsec_keynote::parser::parse_conditions(&format!(
+            "app_domain==\"{APP_DOMAIN}\" && Domain==\"Sales\" && Role==\"Manager\";"
+        ))
+        .unwrap(),
+    );
+    sign_assertion(&mut delegation, &dir.store().keypair("Claire")).unwrap();
+    assertions.push(delegation);
+    let n = sign_owned(&mut assertions, &dir);
+    assert_eq!(n, 5); // the five membership credentials; delegation already signed
+
+    let tm = TrustManager::strict();
+    for a in assertions {
+        tm.add_policy_assertion_or_credential(a);
+    }
+    let action = ScheduledAction::new(
+        hetsec_middleware::component::ComponentRef::new(
+            hetsec_middleware::naming::MiddlewareKind::Ejb,
+            "Sales",
+            "SalariesDB",
+            "read",
+        ),
+        "Sales",
+        "Manager",
+    );
+    assert!(tm.authorizes(&fred_key, &action));
+    // Tampered chains fail closed: a forged delegation is rejected.
+    let mut forged = Assertion::new(
+        Principal::key(&claire_key),
+        LicenseeExpr::Principal(dir.key_of(&User::new("Mallory"))),
+    );
+    forged.signature = Some("sig-rsa-sha256:12345".to_string());
+    assert!(tm.add_credential(forged).is_err());
+}
+
+#[test]
+fn wrong_signer_rejected() {
+    let kp_real = KeyPair::from_label("real-authorizer");
+    let kp_other = KeyPair::from_label("someone-else");
+    let mut a = Assertion::new(
+        Principal::key(kp_real.public().to_text()),
+        LicenseeExpr::Principal("Kx".to_string()),
+    );
+    // Signing with the wrong key is rejected at signing time...
+    assert!(sign_assertion(&mut a, &kp_other).is_err());
+    // ...and a signature transplanted from another assertion fails
+    // verification.
+    let mut b = Assertion::new(
+        Principal::key(kp_other.public().to_text()),
+        LicenseeExpr::Principal("Kx".to_string()),
+    );
+    sign_assertion(&mut b, &kp_other).unwrap();
+    a.signature = b.signature.clone();
+    let mut strict = KeyNoteSession::new();
+    let err = strict.add_credential_parsed(a).unwrap_err();
+    assert!(matches!(err, SessionError::BadSignature { .. }));
+}
+
+#[test]
+fn credential_text_roundtrip_preserves_signature_validity() {
+    use hetsec_keynote::parser::parse_assertion;
+    use hetsec_keynote::print::print_assertion;
+    let dir = KeyStoreDirectory::new();
+    let webcom_key = dir.key_of(&User::new("WebCom"));
+    let mut assertions = encode_policy(&salaries_policy(), &webcom_key, &dir);
+    sign_owned(&mut assertions, &dir);
+    for a in assertions.iter().filter(|a| a.signature.is_some()) {
+        let text = print_assertion(a);
+        let back = parse_assertion(&text).unwrap();
+        assert_eq!(
+            hetsec_keynote::signing::verify_assertion(&back),
+            hetsec_keynote::signing::SignatureStatus::Valid,
+            "signature survives text round-trip"
+        );
+    }
+}
+
+/// Helper used above: route policy assertions and credentials to the
+/// right TrustManager entry points.
+trait AddEither {
+    fn add_policy_assertion_or_credential(&self, a: Assertion);
+}
+
+impl AddEither for TrustManager {
+    fn add_policy_assertion_or_credential(&self, a: Assertion) {
+        if a.is_policy() {
+            self.add_policy_assertion(a).unwrap();
+        } else {
+            self.add_credential(a).unwrap();
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The two trust-management back-ends agree (paper footnote 1): the
+//! KeyNote encoding and the SPKI/SDSI encoding of the same RBAC policy
+//! yield identical authorisation decisions, including under delegation.
+
+use hetsec_keynote::session::KeyNoteSession;
+use hetsec_rbac::fixtures::{salaries_policy, synthetic_policy};
+use hetsec_rbac::{DomainRole, RbacPolicy, User};
+use hetsec_spki::{delegate_role_spki, encode_rbac};
+use hetsec_translate::{delegate_role, encode_policy, SymbolicDirectory, APP_DOMAIN};
+
+fn keynote_session(policy: &RbacPolicy) -> KeyNoteSession {
+    let dir = SymbolicDirectory::default();
+    let mut s = KeyNoteSession::permissive();
+    for a in encode_policy(policy, "KWebCom", &dir) {
+        s.add_policy_assertion(a).unwrap();
+    }
+    s
+}
+
+fn keynote_check(s: &KeyNoteSession, user: &str, d: &str, r: &str, t: &str, p: &str) -> bool {
+    let attrs = [
+        ("app_domain", APP_DOMAIN),
+        ("Domain", d),
+        ("Role", r),
+        ("ObjectType", t),
+        ("Permission", p),
+    ]
+    .into_iter()
+    .collect();
+    let key = format!("K{}", user.to_lowercase());
+    s.query_action(&[key.as_str()], &attrs).is_authorized()
+}
+
+/// Enumerates every (user, domain-role, object, permission) combination
+/// mentioned by the policy and asserts both back-ends agree.
+fn assert_equivalent(policy: &RbacPolicy) {
+    let kn = keynote_session(policy);
+    let spki = encode_rbac(policy, "Kwebcom");
+    let perms: Vec<_> = policy
+        .grants()
+        .map(|g| (g.object_type.clone(), g.permission.clone()))
+        .collect();
+    for user in policy.users() {
+        for dr in policy.domain_roles() {
+            for (t, p) in &perms {
+                let kn_says = keynote_check(
+                    &kn,
+                    user.as_str(),
+                    dr.domain.as_str(),
+                    dr.role.as_str(),
+                    t.as_str(),
+                    p.as_str(),
+                );
+                let spki_says = spki.check(&user, &dr.domain, &dr.role, t.as_str(), p);
+                assert_eq!(
+                    kn_says, spki_says,
+                    "disagreement: user={user} dr={dr} obj={t} perm={p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn figure_1_policy_equivalent() {
+    assert_equivalent(&salaries_policy());
+}
+
+#[test]
+fn synthetic_policies_equivalent() {
+    for (d, r, p, u) in [(1usize, 2usize, 2usize, 2usize), (3, 3, 2, 2), (2, 4, 3, 1)] {
+        assert_equivalent(&synthetic_policy(d, r, p, u));
+    }
+}
+
+#[test]
+fn empty_policy_equivalent() {
+    assert_equivalent(&RbacPolicy::new());
+}
+
+#[test]
+fn figure_7_delegation_equivalent() {
+    let policy = salaries_policy();
+    // KeyNote side.
+    let dir = SymbolicDirectory::default();
+    let mut kn = keynote_session(&policy);
+    kn.add_credential_parsed(delegate_role(
+        &User::new("Claire"),
+        &User::new("Fred"),
+        &DomainRole::new("Sales", "Manager"),
+        &dir,
+    ))
+    .unwrap();
+    // SPKI side.
+    let mut spki = encode_rbac(&policy, "Kwebcom");
+    spki.store.add_auth(delegate_role_spki(
+        &User::new("Claire"),
+        &User::new("Fred"),
+        &"Sales".into(),
+        &"Manager".into(),
+    ));
+    for perm in ["read", "write"] {
+        let kn_says = keynote_check(&kn, "Fred", "Sales", "Manager", "SalariesDB", perm);
+        let spki_says = spki.check(
+            &"Fred".into(),
+            &"Sales".into(),
+            &"Manager".into(),
+            "SalariesDB",
+            &perm.into(),
+        );
+        assert_eq!(kn_says, spki_says, "perm={perm}");
+    }
+    // And the delegated read actually works in both.
+    assert!(keynote_check(&kn, "Fred", "Sales", "Manager", "SalariesDB", "read"));
+}
+
+#[test]
+fn delegation_from_unauthorised_user_equivalent() {
+    let policy = salaries_policy();
+    let dir = SymbolicDirectory::default();
+    let mut kn = keynote_session(&policy);
+    kn.add_credential_parsed(delegate_role(
+        &User::new("Dave"),
+        &User::new("Mallory"),
+        &DomainRole::new("Sales", "Manager"),
+        &dir,
+    ))
+    .unwrap();
+    let mut spki = encode_rbac(&policy, "Kwebcom");
+    spki.store.add_auth(delegate_role_spki(
+        &User::new("Dave"),
+        &User::new("Mallory"),
+        &"Sales".into(),
+        &"Manager".into(),
+    ));
+    let kn_says = keynote_check(&kn, "Mallory", "Sales", "Manager", "SalariesDB", "read");
+    let spki_says = spki.check(
+        &"Mallory".into(),
+        &"Sales".into(),
+        &"Manager".into(),
+        "SalariesDB",
+        &"read".into(),
+    );
+    assert_eq!(kn_says, spki_says);
+    assert!(!kn_says);
+}
