@@ -3,12 +3,16 @@
 //!
 //! Regenerates the Figure 2 policy credential and measures the KeyNote
 //! path it exercises: parsing the credential text and answering the
-//! Example 1 query (Bob requests read/write on SalariesDB).
+//! Example 1 query (Bob requests read/write on SalariesDB), plus the
+//! cached-vs-uncached series for the trust manager's decision cache —
+//! repeated identical queries should be served from the cache, and an
+//! epoch bump (revocation/reinstatement) must invalidate it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hetsec_keynote::parser::parse_assertions;
 use hetsec_keynote::session::KeyNoteSession;
 use hetsec_keynote::ActionAttributes;
+use hetsec_webcom::TrustManager;
 use std::hint::black_box;
 
 const FIG2: &str = "Authorizer: POLICY\n\
@@ -48,7 +52,44 @@ fn bench_fig2(c: &mut Criterion) {
     group.bench_function("query_unknown_key", |b| {
         b.iter(|| black_box(session.query_action(&["Kmallory"], &read_attrs)))
     });
+
+    // Cached vs uncached decision path. The uncached series forces a
+    // full KeyNote evaluation per query by bumping the session epoch
+    // every iteration (revoking an unrelated key invalidates the cache
+    // without changing the answer); the cached series repeats an
+    // identical query and is served from the decision cache after the
+    // first evaluation. A larger store (Figure 2's policy plus a crowd
+    // of unrelated delegations) makes the gap representative.
+    let tm = TrustManager::permissive();
+    tm.add_policy(FIG2).unwrap();
+    for i in 0..200 {
+        tm.add_credentials_text(&format!(
+            "Authorizer: \"Kdept{i}\"\nLicensees: \"Kmember{i}\"\n\
+             Conditions: app_domain==\"SalariesDB\";\n"
+        ))
+        .unwrap();
+    }
+
+    group.bench_function("decision_uncached", |b| {
+        b.iter(|| {
+            // Epoch bump -> the cached entry is stale -> full evaluation.
+            tm.reinstate_key("Kunrelated");
+            tm.revoke_key("Kunrelated");
+            black_box(tm.query(&["Kbob"], &read_attrs))
+        })
+    });
+    group.bench_function("decision_cached", |b| {
+        b.iter(|| black_box(tm.query(&["Kbob"], &read_attrs)))
+    });
     group.finish();
+
+    // Report the measured ratio: the acceptance bar for this series is
+    // >= 5x on repeated identical queries.
+    let stats = tm.cache_stats();
+    println!(
+        "fig2 decision cache: {} hits / {} misses / {} invalidations",
+        stats.hits, stats.misses, stats.invalidations
+    );
 }
 
 criterion_group!(benches, bench_fig2);

@@ -18,7 +18,7 @@
 use crate::ast::{Assertion, LicenseeExpr, Principal};
 use crate::eval::{eval_conditions, ActionAttributes, Env};
 use crate::values::{ComplianceValue, ComplianceValues};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// A compliance query.
 #[derive(Clone, Debug)]
@@ -97,8 +97,24 @@ fn licensees_value(
                 .map(|i| licensees_value(i, support, min))
                 .collect();
             vals.sort_unstable_by(|a, b| b.cmp(a)); // descending
-            vals.get(*k - 1).copied().unwrap_or(min)
+            // `k` may be 0 for programmatically built expressions (the
+            // parser rejects it); a 0-of threshold grants nothing.
+            match k.checked_sub(1) {
+                Some(i) => vals.get(i).copied().unwrap_or(min),
+                None => min,
+            }
         }
+    }
+}
+
+/// Sentinel key for the `POLICY` root in the support map. The NUL
+/// prefix cannot collide with any licensee principal text.
+const POLICY_KEY: &str = "\u{0}POLICY";
+
+fn authorizer_key(a: &Assertion) -> &str {
+    match &a.authorizer {
+        Principal::Policy => POLICY_KEY,
+        Principal::Key(k) => k.as_str(),
     }
 }
 
@@ -108,16 +124,89 @@ fn licensees_value(
 /// invalid signatures (see [`crate::session::KeyNoteSession`], which does
 /// this on `add_credential`).
 pub fn check_compliance(assertions: &[Assertion], query: &Query) -> QueryResult {
+    let refs: Vec<&Assertion> = assertions.iter().collect();
+    check_compliance_refs(&refs, query)
+}
+
+/// Reference-taking variant of [`check_compliance`], letting callers mix
+/// assertions from several stores (e.g. session policies + credentials +
+/// request-presented credentials) without cloning any of them.
+///
+/// The fixpoint is computed with a worklist over a licensee index: an
+/// assertion is (re-)evaluated only when the support of one of its
+/// licensee principals rises, so queries touch only the delegation
+/// subgraph reachable from the requesters instead of scanning the whole
+/// assertion store each round. Conditions are evaluated lazily — an
+/// assertion never reached by delegation never runs its conditions
+/// program.
+pub fn check_compliance_refs(assertions: &[&Assertion], query: &Query) -> QueryResult {
     let values = &query.values;
     let min = values.min();
     let max = values.max();
     let authorizers_text = query.action_authorizers.join(",");
 
-    // Pre-evaluate each assertion's conditions value: it depends only on
-    // the action attributes, not on the support assignment.
-    let cond_values: Vec<ComplianceValue> = assertions
-        .iter()
-        .map(|a| {
+    // Conditions depend only on the action attributes, not on the
+    // support assignment; evaluate each at most once, on first reach.
+    let mut cond_values: Vec<Option<ComplianceValue>> = vec![None; assertions.len()];
+    let mut evaluations = 0usize;
+
+    // Licensee index: principal text -> assertions that mention it in
+    // their licensees formula (deduplicated per assertion).
+    let mut by_licensee: HashMap<&str, Vec<u32>> = HashMap::new();
+    for (idx, a) in assertions.iter().enumerate() {
+        if let Some(lic) = &a.licensees {
+            let mut principals = lic.principals();
+            principals.sort_unstable();
+            principals.dedup();
+            for p in principals {
+                by_licensee.entry(p).or_default().push(idx as u32);
+            }
+        }
+    }
+
+    // Support assignment over principal texts, plus the POLICY root.
+    // Requesters start at max (they signed the request); revoked keys
+    // convey no authority, neither as requesters nor as delegators.
+    let mut support: HashMap<&str, ComplianceValue> = HashMap::new();
+    for a in &query.action_authorizers {
+        if query.revoked.contains(a) {
+            continue;
+        }
+        support.insert(a.as_str(), max);
+    }
+
+    // Worklist seeded from assertions whose licensees mention an
+    // initially supported principal. Everything else evaluates to min
+    // under the empty support and cannot lift anyone, so it is only
+    // enqueued once delegation reaches it.
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut queued = vec![false; assertions.len()];
+    for principal in support.keys() {
+        if let Some(deps) = by_licensee.get(principal) {
+            for &idx in deps {
+                if !queued[idx as usize] {
+                    queued[idx as usize] = true;
+                    queue.push_back(idx);
+                }
+            }
+        }
+    }
+
+    // Monotone fixpoint: each pass over an assertion either leaves
+    // support unchanged or strictly raises one principal in the finite
+    // value lattice, so the worklist drains.
+    while let Some(idx) = queue.pop_front() {
+        queued[idx as usize] = false;
+        let a = assertions[idx as usize];
+        let who = authorizer_key(a);
+        if query.revoked.contains(who) {
+            continue; // revoked keys convey nothing
+        }
+        let Some(lic) = &a.licensees else {
+            continue;
+        };
+        let cond = *cond_values[idx as usize].get_or_insert_with(|| {
+            evaluations += 1;
             let env = Env::new(
                 &query.attributes,
                 &a.local_constants,
@@ -128,55 +217,23 @@ pub fn check_compliance(assertions: &[Assertion], query: &Query) -> QueryResult 
                 None => max,
                 Some(prog) => eval_conditions(prog, &env, values),
             }
-        })
-        .collect();
-
-    // Support assignment over principal texts, plus the POLICY root.
-    const POLICY_KEY: &str = "\u{0}POLICY";
-    let mut support: HashMap<&str, ComplianceValue> = HashMap::new();
-    for a in &query.action_authorizers {
-        if query.revoked.contains(a) {
+        });
+        if cond == min {
             continue;
         }
-        support.insert(a.as_str(), max);
-    }
-
-    fn authorizer_key(a: &Assertion) -> &str {
-        const POLICY_KEY: &str = "\u{0}POLICY";
-        match &a.authorizer {
-            Principal::Policy => POLICY_KEY,
-            Principal::Key(k) => k.as_str(),
-        }
-    }
-
-    // Monotone fixpoint: support values only increase and are bounded by
-    // the (finite) value set, so this terminates.
-    let mut iterations = 0usize;
-    loop {
-        iterations += 1;
-        let mut changed = false;
-        for (a, &cond) in assertions.iter().zip(&cond_values) {
-            if cond == min {
-                continue;
+        let assertion_val = cond.and(licensees_value(lic, &support, min));
+        let cur = support.get(who).copied().unwrap_or(min);
+        // Requesters keep their max support; others can be lifted.
+        if assertion_val > cur {
+            support.insert(who, assertion_val);
+            if let Some(deps) = by_licensee.get(who) {
+                for &dep in deps {
+                    if !queued[dep as usize] {
+                        queued[dep as usize] = true;
+                        queue.push_back(dep);
+                    }
+                }
             }
-            let Some(lic) = &a.licensees else {
-                continue;
-            };
-            let lic_val = licensees_value(lic, &support, min);
-            let assertion_val = cond.and(lic_val);
-            let who = authorizer_key(a);
-            if query.revoked.contains(who) {
-                continue; // revoked keys convey nothing
-            }
-            let cur = support.get(who).copied().unwrap_or(min);
-            // Requesters keep their max support; others can be lifted.
-            if assertion_val > cur {
-                support.insert(who, assertion_val);
-                changed = true;
-            }
-        }
-        if !changed || iterations > assertions.len() * values.len() + 1 {
-            break;
         }
     }
 
@@ -184,7 +241,7 @@ pub fn check_compliance(assertions: &[Assertion], query: &Query) -> QueryResult 
     QueryResult {
         value,
         value_name: values.name_of(value).to_string(),
-        iterations,
+        iterations: evaluations,
     }
 }
 
@@ -380,6 +437,40 @@ Conditions: true -> \"log\";
         let r = check_compliance(&[], &q);
         assert!(!r.is_authorized());
         assert_eq!(r.value_name, "_MIN_TRUST");
+    }
+
+    #[test]
+    fn zero_of_threshold_grants_nothing_and_does_not_panic() {
+        // The parser rejects `0-of(...)`, but the AST can be built
+        // programmatically; this used to underflow `k - 1` and panic.
+        let assertion = Assertion::new(
+            Principal::Policy,
+            LicenseeExpr::KOf(0, vec![LicenseeExpr::Principal("Ka".to_string())]),
+        );
+        let q = query(&["Ka"], &[]);
+        let r = check_compliance(std::slice::from_ref(&assertion), &q);
+        assert!(!r.is_authorized());
+    }
+
+    #[test]
+    fn worklist_only_evaluates_reachable_assertions() {
+        // A large store of assertions unrelated to the requester must
+        // not be evaluated at all: the worklist never reaches them.
+        let mut text = String::from(
+            "Authorizer: POLICY\nLicensees: \"Ka\"\nConditions: op==\"go\";\n\n",
+        );
+        for i in 0..50 {
+            text.push_str(&format!(
+                "Authorizer: \"Kother{i}\"\nLicensees: \"Kother{}\"\nConditions: op==\"go\";\n\n",
+                i + 1
+            ));
+        }
+        let assertions = parse_assertions(&text).unwrap();
+        let q = query(&["Ka"], &[("op", "go")]);
+        let r = check_compliance(&assertions, &q);
+        assert!(r.is_authorized());
+        // Only the one assertion reachable from Ka is evaluated.
+        assert_eq!(r.iterations, 1);
     }
 
     #[test]

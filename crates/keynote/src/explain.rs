@@ -114,7 +114,12 @@ pub fn explain_compliance(assertions: &[Assertion], query: &Query) -> Explanatio
                 let mut vals: Vec<ComplianceValue> =
                     items.iter().map(|i| lic_value(i, support, min)).collect();
                 vals.sort_unstable_by(|a, b| b.cmp(a));
-                vals.get(*k - 1).copied().unwrap_or(min)
+                // A programmatic `0-of(...)` grants nothing (and must
+                // not underflow `k - 1`).
+                match k.checked_sub(1) {
+                    Some(i) => vals.get(i).copied().unwrap_or(min),
+                    None => min,
+                }
             }
         }
     }

@@ -54,7 +54,7 @@ pub mod signing;
 pub mod values;
 
 pub use ast::{Assertion, Clause, ConditionsProgram, Expr, LicenseeExpr, Principal, Term};
-pub use compliance::{check_compliance, Query, QueryResult};
+pub use compliance::{check_compliance, check_compliance_refs, Query, QueryResult};
 pub use eval::ActionAttributes;
 pub use explain::{explain_compliance, Explanation, TraceStep};
 pub use session::{KeyNoteSession, SessionError, SignaturePolicy};

@@ -6,7 +6,7 @@
 //! and authorizers, and ask for the compliance value.
 
 use crate::ast::{Assertion, Principal};
-use crate::compliance::{check_compliance, Query, QueryResult};
+use crate::compliance::{check_compliance_refs, Query, QueryResult};
 use crate::eval::ActionAttributes;
 use crate::parser::{parse_assertions, ParseError};
 use crate::signing::{verify_assertion, SignatureStatus};
@@ -76,6 +76,11 @@ pub struct KeyNoteSession {
     values: ComplianceValues,
     signature_policy: SignaturePolicy,
     revoked: BTreeSet<String>,
+    /// Bumped on every mutation that can change a query's answer
+    /// (policy/credential/value-set/revocation changes — not per-action
+    /// attribute or authorizer state). Lets callers cache decisions and
+    /// invalidate them when the session's semantics move.
+    epoch: u64,
 }
 
 impl Default for KeyNoteSession {
@@ -95,6 +100,7 @@ impl KeyNoteSession {
             values: ComplianceValues::binary(),
             signature_policy: SignaturePolicy::Require,
             revoked: BTreeSet::new(),
+            epoch: 0,
         }
     }
 
@@ -106,9 +112,23 @@ impl KeyNoteSession {
         }
     }
 
+    /// The session's mutation epoch. It rises monotonically whenever
+    /// policies, credentials, the value set, or the revocation list
+    /// change — i.e. whenever a previously computed query answer may no
+    /// longer hold. Per-action state (attributes, authorizers) does not
+    /// move the epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
     /// Replaces the compliance value set.
     pub fn set_values(&mut self, values: ComplianceValues) {
         self.values = values;
+        self.bump_epoch();
     }
 
     /// Revokes a key: it conveys no authority in subsequent queries,
@@ -116,11 +136,16 @@ impl KeyNoteSession {
     /// certificate-revocation check conventional applications perform).
     pub fn revoke_key(&mut self, key_text: impl Into<String>) {
         self.revoked.insert(key_text.into());
+        self.bump_epoch();
     }
 
     /// Reinstates a previously revoked key.
     pub fn reinstate_key(&mut self, key_text: &str) -> bool {
-        self.revoked.remove(key_text)
+        let removed = self.revoked.remove(key_text);
+        if removed {
+            self.bump_epoch();
+        }
+        removed
     }
 
     /// The currently revoked keys.
@@ -142,6 +167,7 @@ impl KeyNoteSession {
                 self.add_credential_parsed(a)?;
             } else {
                 self.policies.push(a);
+                self.bump_epoch();
             }
             count += 1;
         }
@@ -154,6 +180,7 @@ impl KeyNoteSession {
             return self.add_credential_parsed(assertion);
         }
         self.policies.push(assertion);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -185,6 +212,7 @@ impl KeyNoteSession {
             }
         }
         self.credentials.push(assertion);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -210,33 +238,68 @@ impl KeyNoteSession {
         self.authorizers.clear();
     }
 
+    /// All session assertions by reference (policies then credentials),
+    /// optionally extended with request-presented credentials.
+    fn assertion_refs<'a>(&'a self, extra: &'a [Assertion]) -> Vec<&'a Assertion> {
+        let mut refs: Vec<&Assertion> =
+            Vec::with_capacity(self.policies.len() + self.credentials.len() + extra.len());
+        refs.extend(self.policies.iter());
+        refs.extend(self.credentials.iter());
+        for a in extra {
+            // Request-presented assertions get the same vetting as
+            // `add_credential_parsed`, but failures are skipped rather
+            // than stored: invalid credentials are simply not taken
+            // into account (RFC 2704 §5), and nothing is persisted.
+            if a.authorizer == Principal::Policy {
+                continue;
+            }
+            if self.signature_policy == SignaturePolicy::Require
+                && verify_assertion(a) != SignatureStatus::Valid
+            {
+                continue;
+            }
+            refs.push(a);
+        }
+        refs
+    }
+
     /// Runs the compliance checker (`kn_do_query`).
     pub fn query(&self) -> QueryResult {
-        let mut assertions = Vec::with_capacity(self.policies.len() + self.credentials.len());
-        assertions.extend(self.policies.iter().cloned());
-        assertions.extend(self.credentials.iter().cloned());
         let q = Query {
             action_authorizers: self.authorizers.clone(),
             attributes: self.attributes.clone(),
             values: self.values.clone(),
             revoked: self.revoked.clone(),
         };
-        check_compliance(&assertions, &q)
+        check_compliance_refs(&self.assertion_refs(&[]), &q)
     }
 
     /// One-shot convenience: query with explicit authorizers/attributes
     /// without mutating the session's action state.
     pub fn query_action(&self, authorizers: &[&str], attrs: &ActionAttributes) -> QueryResult {
-        let mut assertions = Vec::with_capacity(self.policies.len() + self.credentials.len());
-        assertions.extend(self.policies.iter().cloned());
-        assertions.extend(self.credentials.iter().cloned());
+        self.query_action_with_extra(authorizers, attrs, &[])
+    }
+
+    /// Like [`query_action`](Self::query_action), but additionally
+    /// considers `extra` credentials for this one evaluation —
+    /// request-scoped: they are vetted like stored credentials
+    /// (POLICY-authored ones are ignored; under
+    /// [`SignaturePolicy::Require`] unverifiable ones are ignored) but
+    /// are never added to the session, so they cannot leak authority
+    /// into later queries.
+    pub fn query_action_with_extra(
+        &self,
+        authorizers: &[&str],
+        attrs: &ActionAttributes,
+        extra: &[Assertion],
+    ) -> QueryResult {
         let q = Query {
             action_authorizers: authorizers.iter().map(|s| s.to_string()).collect(),
             attributes: attrs.clone(),
             values: self.values.clone(),
             revoked: self.revoked.clone(),
         };
-        check_compliance(&assertions, &q)
+        check_compliance_refs(&self.assertion_refs(extra), &q)
     }
 
     /// The locally-trusted policy assertions.
@@ -398,6 +461,106 @@ mod tests {
         let attrs = ActionAttributes::new();
         assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
         assert!(s.query_action(&["Kb"], &attrs).is_authorized());
+    }
+
+    #[test]
+    fn epoch_rises_on_semantic_mutations_only() {
+        let mut s = KeyNoteSession::permissive();
+        let e0 = s.epoch();
+        s.add_policy("Authorizer: POLICY\nLicensees: \"Ka\"\n")
+            .unwrap();
+        let e1 = s.epoch();
+        assert!(e1 > e0);
+        s.add_credentials("Authorizer: \"Ka\"\nLicensees: \"Kb\"\n")
+            .unwrap();
+        let e2 = s.epoch();
+        assert!(e2 > e1);
+        s.revoke_key("Ka");
+        let e3 = s.epoch();
+        assert!(e3 > e2);
+        assert!(s.reinstate_key("Ka"));
+        let e4 = s.epoch();
+        assert!(e4 > e3);
+        // Reinstating a key that is not revoked changes nothing.
+        assert!(!s.reinstate_key("Ka"));
+        assert_eq!(s.epoch(), e4);
+        // Per-action state does not move the epoch.
+        s.add_action_attribute("oper", "read");
+        s.add_action_authorizer("Kb");
+        s.reset_action();
+        assert_eq!(s.epoch(), e4);
+        // Queries do not move the epoch.
+        let _ = s.query_action(&["Kb"], &ActionAttributes::new());
+        assert_eq!(s.epoch(), e4);
+    }
+
+    #[test]
+    fn extra_credentials_are_request_scoped() {
+        let mut s = KeyNoteSession::permissive();
+        s.add_policy("Authorizer: POLICY\nLicensees: \"Ka\"\n")
+            .unwrap();
+        let delegation = Assertion::new(
+            Principal::key("Ka"),
+            LicenseeExpr::Principal("Kb".to_string()),
+        );
+        let attrs = ActionAttributes::new();
+        // Without the presented credential, Kb has no authority.
+        assert!(!s.query_action(&["Kb"], &attrs).is_authorized());
+        // Presenting it authorises this one request...
+        let epoch_before = s.epoch();
+        assert!(s
+            .query_action_with_extra(&["Kb"], &attrs, std::slice::from_ref(&delegation))
+            .is_authorized());
+        // ...without persisting anything: the next request is back to
+        // denied, nothing was stored, and the epoch did not move.
+        assert!(!s.query_action(&["Kb"], &attrs).is_authorized());
+        assert_eq!(s.credentials().len(), 0);
+        assert_eq!(s.epoch(), epoch_before);
+    }
+
+    #[test]
+    fn extra_credentials_respect_signature_policy() {
+        // Strict session: an unsigned presented credential is ignored.
+        let mut s = KeyNoteSession::new();
+        s.add_policy("Authorizer: POLICY\nLicensees: \"Ka\"\n")
+            .unwrap();
+        let unsigned = Assertion::new(
+            Principal::key("Ka"),
+            LicenseeExpr::Principal("Kb".to_string()),
+        );
+        let attrs = ActionAttributes::new();
+        assert!(!s
+            .query_action_with_extra(&["Kb"], &attrs, std::slice::from_ref(&unsigned))
+            .is_authorized());
+        // A validly signed one is honoured.
+        let kp = KeyPair::from_label("scoped-delegator");
+        let key_text = kp.public().to_text();
+        s.add_policy(&format!("Authorizer: POLICY\nLicensees: \"{key_text}\"\n"))
+            .unwrap();
+        let mut signed = Assertion::new(
+            Principal::key(&key_text),
+            LicenseeExpr::Principal("Kb".to_string()),
+        );
+        sign_assertion(&mut signed, &kp).unwrap();
+        assert!(s
+            .query_action_with_extra(&["Kb"], &attrs, std::slice::from_ref(&signed))
+            .is_authorized());
+        assert_eq!(s.credentials().len(), 0);
+    }
+
+    #[test]
+    fn extra_policy_assertions_are_ignored() {
+        // A presented "credential" claiming POLICY authority must not
+        // grant anything.
+        let s = KeyNoteSession::permissive();
+        let forged = Assertion::new(
+            Principal::Policy,
+            LicenseeExpr::Principal("Kmallory".to_string()),
+        );
+        let attrs = ActionAttributes::new();
+        assert!(!s
+            .query_action_with_extra(&["Kmallory"], &attrs, std::slice::from_ref(&forged))
+            .is_authorized());
     }
 
     #[test]

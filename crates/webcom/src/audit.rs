@@ -6,6 +6,7 @@
 //! (principal, user, component, per-layer trace) into a ring buffer the
 //! administrator can query.
 
+use crate::cache::CacheStats;
 use crate::stack::{AuthzContext, AuthzStack, StackDecision, Verdict};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -36,6 +37,9 @@ pub struct AuditLog {
     seq: AtomicU64,
     denials: AtomicU64,
     grants: AtomicU64,
+    /// Latest decision-cache counters of the audited stack (all zero
+    /// when the stack has no cache configured).
+    cache: Mutex<CacheStats>,
 }
 
 impl AuditLog {
@@ -47,6 +51,7 @@ impl AuditLog {
             seq: AtomicU64::new(0),
             denials: AtomicU64::new(0),
             grants: AtomicU64::new(0),
+            cache: Mutex::new(CacheStats::default()),
         }
     }
 
@@ -107,6 +112,17 @@ impl AuditLog {
             self.denials.load(Ordering::Relaxed),
         )
     }
+
+    /// The audited stack's decision-cache counters (hits, misses,
+    /// epoch invalidations), as of the most recent decision. All zero
+    /// when the stack decides without a cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        *self.cache.lock()
+    }
+
+    fn set_cache_stats(&self, stats: CacheStats) {
+        *self.cache.lock() = stats;
+    }
 }
 
 /// An authorisation stack that records every decision.
@@ -133,6 +149,9 @@ impl AuditedStack {
     pub fn decide(&self, ctx: &AuthzContext) -> StackDecision {
         let decision = self.stack.decide(ctx);
         self.log.record(ctx, &decision);
+        if let Some(stats) = self.stack.cache_stats() {
+            self.log.set_cache_stats(stats);
+        }
         decision
     }
 }
@@ -210,6 +229,27 @@ mod tests {
         let denials = s.log().denials();
         assert_eq!(denials.len(), 2);
         assert!(denials.iter().all(|r| !r.permitted));
+    }
+
+    #[test]
+    fn cache_counters_visible_through_log() {
+        let tm = TrustManager::permissive();
+        tm.add_policy(
+            "Authorizer: POLICY\nLicensees: \"Kok\"\nConditions: app_domain==\"WebCom\";\n",
+        )
+        .unwrap();
+        let mut stack = AuthzStack::new().with_cache(64);
+        stack.push(Arc::new(TrustLayer::new(Arc::new(tm))));
+        let s = AuditedStack::new(stack, 4);
+        assert!(s.decide(&ctx("Kok")).permitted);
+        assert!(s.decide(&ctx("Kok")).permitted);
+        let stats = s.log().cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert!(stats.misses >= 1);
+        // An uncached stack reports zeros.
+        let uncached = audited();
+        uncached.decide(&ctx("Kok"));
+        assert_eq!(uncached.log().cache_stats(), crate::cache::CacheStats::default());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! [`TrustManager`] holds the environment's policy and credential store
 //! and answers whether a principal may perform the action.
 
+use crate::cache::{decision_fingerprint, CacheKey, CacheStats, DecisionCache};
 use hetsec_keynote::ast::Assertion;
 use hetsec_keynote::eval::ActionAttributes;
 use hetsec_keynote::session::{KeyNoteSession, SessionError};
@@ -55,11 +56,18 @@ impl ScheduledAction {
     }
 }
 
+/// Default number of decisions a trust manager memoises.
+const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
 /// The per-environment trust-management state: a KeyNote session behind
 /// a lock, mutated as credentials arrive and queried on every
-/// scheduling decision.
+/// scheduling decision. Decisions are memoised in an epoch-invalidated
+/// [`DecisionCache`]: a cached answer is only served while the session
+/// epoch it was computed under is still current, so any policy,
+/// credential or revocation change takes effect on the very next query.
 pub struct TrustManager {
     session: RwLock<KeyNoteSession>,
+    cache: DecisionCache,
 }
 
 impl TrustManager {
@@ -67,6 +75,7 @@ impl TrustManager {
     pub fn strict() -> Self {
         TrustManager {
             session: RwLock::new(KeyNoteSession::new()),
+            cache: DecisionCache::new(DEFAULT_CACHE_CAPACITY),
         }
     }
 
@@ -75,6 +84,7 @@ impl TrustManager {
     pub fn permissive() -> Self {
         TrustManager {
             session: RwLock::new(KeyNoteSession::permissive()),
+            cache: DecisionCache::new(DEFAULT_CACHE_CAPACITY),
         }
     }
 
@@ -103,12 +113,62 @@ impl TrustManager {
         self.query(&[principal], &action.attributes())
     }
 
+    /// Like [`authorizes`](Self::authorizes), but additionally considers
+    /// credentials presented with this one request. They are evaluated
+    /// request-scoped — vetted like stored credentials but never added
+    /// to the session — so authority presented for one request cannot
+    /// leak into later ones.
+    pub fn authorizes_with_credentials(
+        &self,
+        principal: &str,
+        action: &ScheduledAction,
+        credentials: &[Assertion],
+    ) -> bool {
+        self.query_with_credentials(&[principal], &action.attributes(), credentials)
+    }
+
     /// Raw query against arbitrary attributes.
     pub fn query(&self, principals: &[&str], attrs: &ActionAttributes) -> bool {
-        self.session
-            .read()
-            .query_action(principals, attrs)
-            .is_authorized()
+        self.query_with_credentials(principals, attrs, &[])
+    }
+
+    /// Raw query with request-scoped extra credentials. Decisions are
+    /// served from the cache when one exists for the current session
+    /// epoch; the read lock is held across the epoch read, evaluation
+    /// and insert, so a concurrent mutation can never produce an entry
+    /// that outlives it.
+    pub fn query_with_credentials(
+        &self,
+        principals: &[&str],
+        attrs: &ActionAttributes,
+        credentials: &[Assertion],
+    ) -> bool {
+        let key = CacheKey {
+            principal: principals.join(","),
+            fingerprint: decision_fingerprint(attrs, credentials, ""),
+        };
+        let session = self.session.read();
+        let epoch = session.epoch();
+        if let Some(permitted) = self.cache.get(&key, epoch) {
+            return permitted;
+        }
+        let permitted = session
+            .query_action_with_extra(principals, attrs, credentials)
+            .is_authorized();
+        self.cache.insert(key, epoch, permitted);
+        permitted
+    }
+
+    /// The underlying session's mutation epoch: rises whenever policies,
+    /// credentials, the value set, or revocations change.
+    pub fn epoch(&self) -> u64 {
+        self.session.read().epoch()
+    }
+
+    /// Decision-cache counters (hits, misses, epoch invalidations,
+    /// evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Number of stored credentials (diagnostic).
@@ -190,6 +250,66 @@ mod tests {
         // 5 membership credentials from the encoded policy + the delegation.
         assert_eq!(tm.credential_count(), 6);
         assert!(tm.authorizes("Kfred", &action));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let tm = manager_with_salaries();
+        let action = ScheduledAction::new(component(), "Sales", "Manager");
+        assert!(tm.authorizes("Kclaire", &action));
+        let after_first = tm.cache_stats();
+        assert_eq!(after_first.hits, 0);
+        for _ in 0..10 {
+            assert!(tm.authorizes("Kclaire", &action));
+        }
+        let stats = tm.cache_stats();
+        assert_eq!(stats.hits, 10);
+        assert_eq!(stats.misses, after_first.misses);
+    }
+
+    #[test]
+    fn revocation_invalidates_cached_decisions_immediately() {
+        let tm = manager_with_salaries();
+        let action = ScheduledAction::new(component(), "Sales", "Manager");
+        assert!(tm.authorizes("Kclaire", &action));
+        assert!(tm.authorizes("Kclaire", &action)); // cached grant
+        let epoch_before = tm.epoch();
+        tm.revoke_key("Kclaire");
+        assert!(tm.epoch() > epoch_before);
+        // The very next decision reflects the revocation.
+        assert!(!tm.authorizes("Kclaire", &action));
+        assert!(tm.cache_stats().invalidations >= 1);
+        tm.reinstate_key("Kclaire");
+        assert!(tm.authorizes("Kclaire", &action));
+    }
+
+    #[test]
+    fn presented_credentials_do_not_persist() {
+        let tm = manager_with_salaries();
+        let dir = SymbolicDirectory::default();
+        let cred = hetsec_translate::delegate_role(
+            &"Claire".into(),
+            &"Fred".into(),
+            &hetsec_rbac::DomainRole::new("Sales", "Manager"),
+            &dir,
+        );
+        let action = ScheduledAction::new(component(), "Sales", "Manager");
+        let count_before = tm.credential_count();
+        assert!(tm.authorizes_with_credentials(
+            "Kfred",
+            &action,
+            std::slice::from_ref(&cred)
+        ));
+        // Nothing was stored: the count and the epoch are unchanged, and
+        // a request without the credential is denied.
+        assert_eq!(tm.credential_count(), count_before);
+        assert!(!tm.authorizes("Kfred", &action));
+        // Presenting again still works (served from cache or not).
+        assert!(tm.authorizes_with_credentials(
+            "Kfred",
+            &action,
+            std::slice::from_ref(&cred)
+        ));
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Epoch-invalidated authorization decision cache.
+//!
+//! Trust-management mediation sits on every scheduling hot path
+//! (Figure 3: the master consults its trust manager for every client ×
+//! operation pair), and identical queries repeat heavily — the same
+//! client keys are matched against the same action attributes for every
+//! fireable node. [`DecisionCache`] memoises those boolean decisions,
+//! keyed on the requesting principal and a fingerprint of the action
+//! attributes (plus any request-presented credentials), and stamps each
+//! entry with the [`KeyNoteSession`](hetsec_keynote::KeyNoteSession)
+//! *epoch* under which it was computed.
+//!
+//! Invalidation is by epoch comparison, not by enumeration: every
+//! semantic mutation of the underlying session (policy/credential
+//! addition, value-set change, revocation) bumps the session epoch, and
+//! a lookup only hits when the entry's epoch equals the session's
+//! current epoch. A revocation therefore takes effect on the very next
+//! decision without the cache having to know *which* entries the
+//! mutation affected.
+
+use hetsec_keynote::ast::Assertion;
+use hetsec_keynote::eval::ActionAttributes;
+use hetsec_keynote::print::print_assertion;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked shards; keeps concurrent deciders off
+/// each other's locks.
+const SHARDS: usize = 16;
+
+/// Cache key: who asked, and a fingerprint of what they asked for.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The requesting principal(s), comma-joined.
+    pub principal: String,
+    /// Fingerprint of the action attributes, presented credentials and
+    /// any caller-specific context (see [`decision_fingerprint`]).
+    pub fingerprint: u64,
+}
+
+struct Entry {
+    /// Session epoch the decision was computed under.
+    epoch: u64,
+    permitted: bool,
+    /// Logical clock for least-recently-used eviction.
+    last_used: u64,
+}
+
+/// Hit/miss/invalidation counters, cheap to copy out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to fall through to evaluation.
+    pub misses: u64,
+    /// Entries discarded because their epoch was stale (counted within
+    /// the misses they caused).
+    pub invalidations: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+/// A sharded, bounded, epoch-invalidated map from [`CacheKey`] to a
+/// boolean authorization decision.
+pub struct DecisionCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Entry>>>,
+    capacity_per_shard: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DecisionCache {
+    /// A cache holding at most `capacity` decisions (rounded up to a
+    /// multiple of the shard count).
+    pub fn new(capacity: usize) -> Self {
+        DecisionCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity_per_shard: capacity.div_ceil(SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up a decision computed under exactly `epoch`. A stale entry
+    /// (any other epoch) is discarded and counts as a miss.
+    pub fn get(&self, key: &CacheKey, epoch: u64) -> Option<bool> {
+        let mut shard = self.shard(key).lock();
+        match shard.get_mut(key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                let permitted = entry.permitted;
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(permitted)
+            }
+            Some(_) => {
+                shard.remove(key);
+                drop(shard);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a decision computed under `epoch`. The caller must have
+    /// read the epoch *before* evaluating, so a mutation racing with the
+    /// evaluation leaves the entry stale rather than wrong.
+    pub fn insert(&self, key: CacheKey, epoch: u64, permitted: bool) {
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(&key).lock();
+        if shard.len() >= self.capacity_per_shard && !shard.contains_key(&key) {
+            // Evict the least-recently-used entry; shards are small, so
+            // a scan is cheaper than auxiliary bookkeeping.
+            if let Some(victim) = shard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(key, Entry { epoch, permitted, last_used });
+    }
+
+    /// Number of live entries (any epoch).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Counters since creation.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Fingerprints one decision's inputs: the action attributes (order
+/// independent), the canonical text of every presented credential, and
+/// an arbitrary caller context tag (combination rule, executing user,
+/// ...). Principals are *not* folded in — they live in
+/// [`CacheKey::principal`] so collisions cannot cross identities.
+pub fn decision_fingerprint(
+    attrs: &ActionAttributes,
+    credentials: &[Assertion],
+    context: &str,
+) -> u64 {
+    let mut pairs: Vec<(&str, &str)> = attrs.iter().collect();
+    pairs.sort_unstable();
+    let mut h = DefaultHasher::new();
+    pairs.len().hash(&mut h);
+    for (k, v) in pairs {
+        k.hash(&mut h);
+        v.hash(&mut h);
+    }
+    credentials.len().hash(&mut h);
+    for c in credentials {
+        print_assertion(c).hash(&mut h);
+    }
+    context.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(principal: &str, fp: u64) -> CacheKey {
+        CacheKey { principal: principal.to_string(), fingerprint: fp }
+    }
+
+    #[test]
+    fn hit_requires_matching_epoch() {
+        let cache = DecisionCache::new(64);
+        cache.insert(key("Ka", 1), 7, true);
+        assert_eq!(cache.get(&key("Ka", 1), 7), Some(true));
+        // Epoch moved: the entry is stale, discarded, and counted.
+        assert_eq!(cache.get(&key("Ka", 1), 8), None);
+        assert_eq!(cache.get(&key("Ka", 1), 8), None); // really gone
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_lru_eviction() {
+        let cache = DecisionCache::new(16); // 1 per shard
+        for i in 0..1000 {
+            cache.insert(key("Ka", i), 0, i % 2 == 0);
+        }
+        assert!(cache.len() <= 16);
+        assert!(cache.stats().evictions >= 1000 - 16);
+    }
+
+    #[test]
+    fn distinct_principals_never_collide() {
+        let cache = DecisionCache::new(64);
+        cache.insert(key("Ka", 42), 0, true);
+        assert_eq!(cache.get(&key("Kb", 42), 0), None);
+    }
+
+    #[test]
+    fn fingerprint_is_attribute_order_independent() {
+        let a = ActionAttributes::new().with("x", "1").with("y", "2");
+        let b = ActionAttributes::new().with("y", "2").with("x", "1");
+        assert_eq!(
+            decision_fingerprint(&a, &[], ""),
+            decision_fingerprint(&b, &[], "")
+        );
+        let c = ActionAttributes::new().with("x", "1").with("y", "3");
+        assert_ne!(
+            decision_fingerprint(&a, &[], ""),
+            decision_fingerprint(&c, &[], "")
+        );
+        assert_ne!(
+            decision_fingerprint(&a, &[], ""),
+            decision_fingerprint(&a, &[], "other-context")
+        );
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = DecisionCache::new(64);
+        cache.insert(key("Ka", 1), 0, true);
+        assert_eq!(cache.get(&key("Ka", 1), 0), Some(true));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

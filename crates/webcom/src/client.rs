@@ -88,7 +88,7 @@ pub fn spawn_client(config: ClientConfig) -> ClientHandle {
             let mut stats = ClientStats::default();
             while let Ok(msg) = rx.recv() {
                 let req = match msg {
-                    ClientMessage::Request(req) => req,
+                    ClientMessage::Request(req) => *req,
                     ClientMessage::Shutdown => break,
                 };
                 let outcome = handle_request(&config, &mut stats, &req);
@@ -217,7 +217,7 @@ mod tests {
         let (tx, rx) = unbounded();
         handle
             .sender()
-            .send(ClientMessage::Request(ScheduleRequest {
+            .send(ClientMessage::Request(Box::new(ScheduleRequest {
                 op_id: 7,
                 action: req_action,
                 user: "worker".into(),
@@ -226,7 +226,7 @@ mod tests {
                 credentials: vec![],
                 args: vec![Value::Int(20), Value::Int(22)],
                 reply_to: tx,
-            }))
+            })))
             .unwrap();
         let reply = rx.recv().unwrap();
         assert_eq!(reply.op_id, 7);

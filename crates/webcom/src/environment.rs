@@ -188,7 +188,7 @@ mod tests {
             .trust_master("Km")
             .with_trust_management(tm.clone());
         let handle = b.user_trust().unwrap();
-        assert_eq!(Arc::strong_count(&tm) >= 2, true);
+        assert!(Arc::strong_count(&tm) >= 2);
         drop(handle);
         b.spawn().shutdown();
     }

@@ -19,6 +19,7 @@
 
 pub mod audit;
 pub mod authz;
+pub mod cache;
 pub mod environment;
 pub mod executor;
 pub mod client;
@@ -30,6 +31,7 @@ pub mod stack;
 
 pub use audit::{AuditLog, AuditRecord, AuditedStack};
 pub use authz::{ScheduledAction, TrustManager};
+pub use cache::{decision_fingerprint, CacheKey, CacheStats, DecisionCache};
 pub use client::{spawn_client, ClientConfig, ClientHandle, ClientStats};
 pub use environment::EnvironmentBuilder;
 pub use executor::MiddlewareExecutor;

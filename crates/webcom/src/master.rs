@@ -53,6 +53,14 @@ pub struct MasterStats {
     /// Failovers: a dead client was skipped and the operation retried on
     /// another authorised client (WebCom's fault tolerance).
     pub rescheduled: usize,
+    /// Client-selection authorization decisions served from the trust
+    /// manager's decision cache.
+    pub cache_hits: u64,
+    /// Client-selection decisions that ran the full KeyNote query.
+    pub cache_misses: u64,
+    /// Cached decisions discarded because the trust policy's epoch had
+    /// moved (policy/credential/revocation change).
+    pub cache_invalidations: u64,
 }
 
 /// The WebCom master.
@@ -106,9 +114,16 @@ impl WebComMaster {
         self.forwarded_credentials.write().push(credential);
     }
 
-    /// Scheduling statistics so far.
+    /// Scheduling statistics so far, including the client-trust
+    /// decision-cache counters (every client × operation authorization
+    /// check in [`schedule`](Self::schedule) goes through that cache).
     pub fn stats(&self) -> MasterStats {
-        self.stats.lock().clone()
+        let mut stats = self.stats.lock().clone();
+        let cache = self.client_trust.cache_stats();
+        stats.cache_hits = cache.hits;
+        stats.cache_misses = cache.misses;
+        stats.cache_invalidations = cache.invalidations;
+        stats
     }
 
     /// Schedules one action, blocking for the reply. Every client that
@@ -157,7 +172,7 @@ impl WebComMaster {
                 reply_to: reply_tx,
             };
             attempts += 1;
-            if sender.send(ClientMessage::Request(request)).is_err() {
+            if sender.send(ClientMessage::Request(Box::new(request))).is_err() {
                 continue; // dead client: fail over
             }
             match reply_rx.recv() {
@@ -277,6 +292,22 @@ mod tests {
         let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
         assert_eq!(out, ExecOutcome::Ok(Value::Int(3)));
         assert_eq!(master.stats().scheduled, 1);
+        client.shutdown();
+    }
+
+    #[test]
+    fn repeated_scheduling_reuses_cached_client_selection() {
+        let (master, client) = full_fixture();
+        bind_op(&master, "add", "add");
+        for _ in 0..5 {
+            let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+            assert_eq!(out, ExecOutcome::Ok(Value::Int(3)));
+        }
+        let stats = master.stats();
+        assert_eq!(stats.scheduled, 5);
+        // The first selection runs the KeyNote query; the other four are
+        // served from the decision cache.
+        assert!(stats.cache_hits >= 4, "stats: {stats:?}");
         client.shutdown();
     }
 

@@ -57,8 +57,8 @@ pub struct ScheduleRequest {
 /// clones (master registries) are still alive.
 #[derive(Clone)]
 pub enum ClientMessage {
-    /// A scheduling request.
-    Request(ScheduleRequest),
+    /// A scheduling request (boxed: requests dwarf the shutdown marker).
+    Request(Box<ScheduleRequest>),
     /// Stop after draining the queue up to this point.
     Shutdown,
 }

@@ -15,6 +15,7 @@
 //! [`Verdict`]; the stack combines them under a configurable rule.
 
 use crate::authz::{ScheduledAction, TrustManager};
+use crate::cache::{decision_fingerprint, CacheKey, CacheStats, DecisionCache};
 use hetsec_middleware::security::MiddlewareSecurity;
 use hetsec_os::unix::{UnixAccess, UnixSecurity};
 use hetsec_os::windows::{AccessMask, WindowsSecurity};
@@ -96,6 +97,15 @@ pub trait AuthzLayer: Send + Sync {
 
     /// The layer's verdict for a request.
     fn decide(&self, ctx: &AuthzContext) -> Verdict;
+
+    /// Version of the layer's decision-relevant state. A layer whose
+    /// verdicts can change over time (e.g. trust management as
+    /// credentials arrive and keys are revoked) must bump this whenever
+    /// they may; stateless layers keep the default constant. Stack-level
+    /// decision caching is invalidated whenever any layer's epoch moves.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// How layer verdicts combine.
@@ -127,6 +137,9 @@ pub struct StackDecision {
 pub struct AuthzStack {
     layers: Vec<Arc<dyn AuthzLayer>>,
     rule: CombinationRule,
+    /// Optional whole-stack decision cache, invalidated whenever any
+    /// layer's epoch moves (see [`AuthzLayer::epoch`]).
+    cache: Option<DecisionCache>,
 }
 
 impl AuthzStack {
@@ -135,6 +148,7 @@ impl AuthzStack {
         AuthzStack {
             layers: Vec::new(),
             rule: CombinationRule::default(),
+            cache: None,
         }
     }
 
@@ -144,10 +158,32 @@ impl AuthzStack {
         self
     }
 
+    /// Enables whole-stack decision caching, memoising up to `capacity`
+    /// (principal, user, action, credentials) → permitted results.
+    /// Cached decisions skip every layer but carry a single-entry
+    /// `"cache"` trace instead of the per-layer one.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(DecisionCache::new(capacity));
+        self
+    }
+
+    /// Stack-cache counters, when caching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(DecisionCache::stats)
+    }
+
+    /// Combined epoch over all layers. Layer epochs are monotone, so
+    /// the (wrapping) sum moves whenever any layer's state does.
+    fn combined_epoch(&self) -> u64 {
+        self.layers
+            .iter()
+            .fold(0u64, |acc, l| acc.wrapping_add(l.epoch()))
+    }
+
     /// Plugs a layer in (kept sorted top-down).
     pub fn push(&mut self, layer: Arc<dyn AuthzLayer>) {
         self.layers.push(layer);
-        self.layers.sort_by(|a, b| b.level().cmp(&a.level()));
+        self.layers.sort_by_key(|l| std::cmp::Reverse(l.level()));
     }
 
     /// The installed levels, top-down.
@@ -165,13 +201,50 @@ impl AuthzStack {
         self.layers.is_empty()
     }
 
-    /// Evaluates the stack for a request.
+    /// Evaluates the stack for a request, consulting the decision cache
+    /// first when one is configured. The combined epoch is read *before*
+    /// the layers run, so a mutation racing with the evaluation leaves
+    /// the cached entry stale rather than wrong.
     pub fn decide(&self, ctx: &AuthzContext) -> StackDecision {
+        let Some(cache) = &self.cache else {
+            return self.evaluate(ctx);
+        };
+        let key = CacheKey {
+            principal: ctx.principal.clone(),
+            fingerprint: decision_fingerprint(
+                &ctx.action.attributes(),
+                &ctx.credentials,
+                &format!("{}\u{0}{:?}", ctx.user, self.rule),
+            ),
+        };
+        let epoch = self.combined_epoch();
+        if let Some(permitted) = cache.get(&key, epoch) {
+            let verdict = if permitted {
+                Verdict::Grant
+            } else {
+                Verdict::Deny("cached stack denial".to_string())
+            };
+            return StackDecision {
+                permitted,
+                trace: vec![("cache".to_string(), verdict)],
+            };
+        }
+        let decision = self.evaluate(ctx);
+        cache.insert(key, epoch, decision.permitted);
+        decision
+    }
+
+    fn evaluate(&self, ctx: &AuthzContext) -> StackDecision {
         let mut trace = Vec::with_capacity(self.layers.len());
         let mut grants = 0usize;
         let mut denied = false;
         let mut first_opinion: Option<bool> = None;
         for layer in &self.layers {
+            // Under FirstOpinion the decision is fixed by the highest
+            // non-abstaining layer; lower layers are not consulted.
+            if self.rule == CombinationRule::FirstOpinion && first_opinion.is_some() {
+                break;
+            }
             let v = layer.decide(ctx);
             match &v {
                 Verdict::Grant => {
@@ -227,12 +300,14 @@ impl AuthzLayer for TrustLayer {
     }
 
     fn decide(&self, ctx: &AuthzContext) -> Verdict {
-        // Presented credentials join the layer's store; invalid ones are
-        // simply not taken into account.
-        for cred in &ctx.credentials {
-            let _ = self.tm.add_credential(cred.clone());
-        }
-        if self.tm.authorizes(&ctx.principal, &ctx.action) {
+        // Presented credentials are evaluated request-scoped: vetted
+        // like stored ones (invalid ones are simply not taken into
+        // account) but never added to the layer's store, so authority
+        // presented with one request cannot leak into later requests.
+        if self
+            .tm
+            .authorizes_with_credentials(&ctx.principal, &ctx.action, &ctx.credentials)
+        {
             Verdict::Grant
         } else {
             Verdict::Deny(format!(
@@ -241,6 +316,10 @@ impl AuthzLayer for TrustLayer {
                 ctx.action.component.identifier()
             ))
         }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.tm.epoch()
     }
 }
 
@@ -302,12 +381,16 @@ impl WindowsOsLayer {
         }
     }
 
-    fn mask_for(permission: &str) -> AccessMask {
+    /// The access mask a permission implies, or `None` for permissions
+    /// the layer does not understand. Unknown permissions must *deny*,
+    /// not silently degrade to EXECUTE — a mediation layer guessing at
+    /// semantics it does not know is fail-open.
+    fn mask_for(permission: &str) -> Option<AccessMask> {
         match permission {
-            "read" => AccessMask::READ,
-            "write" => AccessMask::WRITE,
-            "Launch" | "Access" | "execute" | "invoke" => AccessMask::EXECUTE,
-            _ => AccessMask::EXECUTE,
+            "read" => Some(AccessMask::READ),
+            "write" => Some(AccessMask::WRITE),
+            "Launch" | "Access" | "execute" | "invoke" => Some(AccessMask::EXECUTE),
+            _ => None,
         }
     }
 }
@@ -326,7 +409,12 @@ impl AuthzLayer for WindowsOsLayer {
         if !self.mediated.contains(object) {
             return Verdict::Abstain;
         }
-        let mask = Self::mask_for(ctx.action.permission.as_str());
+        let Some(mask) = Self::mask_for(ctx.action.permission.as_str()) else {
+            return Verdict::Deny(format!(
+                "Windows layer does not understand permission `{}` on {object}",
+                ctx.action.permission.as_str()
+            ));
+        };
         if self.os.access_check(ctx.user.as_str(), object, mask) {
             Verdict::Grant
         } else {
@@ -554,6 +642,164 @@ mod tests {
         stack.push(Arc::new(ApplicationLayer::denying([component_id])));
         let d = stack.decide(&ctx("bob", "Kbob", "read"));
         assert!(!d.permitted);
+    }
+
+    #[test]
+    fn presented_credentials_are_request_scoped() {
+        // Request A presents a delegation credential; it must authorise
+        // request A only. Before the fix, TrustLayer persisted presented
+        // credentials into the trust manager, so request B (without the
+        // credential) kept the authority.
+        let tm = Arc::new(TrustManager::permissive());
+        tm.add_policy(
+            "Authorizer: POLICY\nLicensees: \"Kboss\"\nConditions: app_domain==\"WebCom\";\n",
+        )
+        .unwrap();
+        let layer = TrustLayer::new(Arc::clone(&tm));
+        let delegation = hetsec_keynote::parser::parse_assertion(
+            "Authorizer: \"Kboss\"\nLicensees: \"Ktemp\"\n",
+        )
+        .unwrap();
+
+        let count_before = tm.credential_count();
+        let mut request_a = ctx("temp", "Ktemp", "read");
+        request_a.credentials.push(delegation);
+        assert!(matches!(layer.decide(&request_a), Verdict::Grant));
+        // Nothing leaked into the store...
+        assert_eq!(tm.credential_count(), count_before);
+        // ...so request B, without the credential, is denied.
+        let request_b = ctx("temp", "Ktemp", "read");
+        assert!(matches!(layer.decide(&request_b), Verdict::Deny(_)));
+    }
+
+    #[test]
+    fn stack_decide_does_not_grow_credential_store() {
+        let tm = Arc::new(TrustManager::permissive());
+        tm.add_policy(
+            "Authorizer: POLICY\nLicensees: \"Kboss\"\nConditions: app_domain==\"WebCom\";\n",
+        )
+        .unwrap();
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(Arc::clone(&tm))));
+        let delegation = hetsec_keynote::parser::parse_assertion(
+            "Authorizer: \"Kboss\"\nLicensees: \"Ktemp\"\n",
+        )
+        .unwrap();
+        let mut c = ctx("temp", "Ktemp", "read");
+        c.credentials.push(delegation);
+        let count_before = tm.credential_count();
+        assert!(stack.decide(&c).permitted);
+        assert_eq!(tm.credential_count(), count_before);
+    }
+
+    /// A probe layer recording how often it is consulted.
+    struct ProbeLayer {
+        level: LayerLevel,
+        verdict: Verdict,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ProbeLayer {
+        fn new(level: LayerLevel, verdict: Verdict) -> Self {
+            ProbeLayer { level, verdict, calls: std::sync::atomic::AtomicUsize::new(0) }
+        }
+
+        fn calls(&self) -> usize {
+            self.calls.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    impl AuthzLayer for ProbeLayer {
+        fn level(&self) -> LayerLevel {
+            self.level
+        }
+
+        fn name(&self) -> String {
+            format!("probe@{}", self.level)
+        }
+
+        fn decide(&self, _ctx: &AuthzContext) -> Verdict {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.verdict.clone()
+        }
+    }
+
+    #[test]
+    fn first_opinion_short_circuits_lower_layers() {
+        let upper = Arc::new(ProbeLayer::new(LayerLevel::L2TrustManagement, Verdict::Grant));
+        let lower = Arc::new(ProbeLayer::new(
+            LayerLevel::L0Os,
+            Verdict::Deny("should never run".to_string()),
+        ));
+        let mut stack = AuthzStack::new().with_rule(CombinationRule::FirstOpinion);
+        stack.push(Arc::clone(&upper) as Arc<dyn AuthzLayer>);
+        stack.push(Arc::clone(&lower) as Arc<dyn AuthzLayer>);
+        let d = stack.decide(&ctx("bob", "Kbob", "read"));
+        assert!(d.permitted);
+        assert_eq!(upper.calls(), 1);
+        assert_eq!(lower.calls(), 0, "lower layer consulted after decision was fixed");
+        assert_eq!(d.trace.len(), 1);
+        // Under the default rule every layer still runs.
+        let mut full = AuthzStack::new();
+        let probe = Arc::new(ProbeLayer::new(LayerLevel::L0Os, Verdict::Grant));
+        full.push(Arc::new(ProbeLayer::new(LayerLevel::L2TrustManagement, Verdict::Grant)));
+        full.push(Arc::clone(&probe) as Arc<dyn AuthzLayer>);
+        assert!(full.decide(&ctx("bob", "Kbob", "read")).permitted);
+        assert_eq!(probe.calls(), 1);
+    }
+
+    #[test]
+    fn cached_stack_serves_repeats_and_respects_epochs() {
+        let tm = Arc::new(TrustManager::permissive());
+        tm.add_policy(
+            "Authorizer: POLICY\nLicensees: \"Kbob\"\nConditions: app_domain==\"WebCom\";\n",
+        )
+        .unwrap();
+        let mut stack = AuthzStack::new().with_cache(256);
+        stack.push(Arc::new(TrustLayer::new(Arc::clone(&tm))));
+        let c = ctx("bob", "Kbob", "read");
+        assert!(stack.decide(&c).permitted);
+        let d = stack.decide(&c);
+        assert!(d.permitted);
+        assert_eq!(d.trace.len(), 1);
+        assert_eq!(d.trace[0].0, "cache");
+        assert_eq!(stack.cache_stats().unwrap().hits, 1);
+        // A revocation bumps the trust layer's epoch; the cached grant
+        // must not be served again.
+        tm.revoke_key("Kbob");
+        let d = stack.decide(&c);
+        assert!(!d.permitted);
+        assert_ne!(d.trace[0].0, "cache");
+        assert!(stack.cache_stats().unwrap().invalidations >= 1);
+        // The denial is itself cached under the new epoch.
+        assert!(!stack.decide(&c).permitted);
+        assert_eq!(stack.cache_stats().unwrap().hits, 2);
+    }
+
+    #[test]
+    fn windows_os_layer_denies_unknown_permission() {
+        // Unknown permissions used to degrade to an EXECUTE check —
+        // fail-open whenever the trustee happened to hold EXECUTE.
+        let os = Arc::new(WindowsSecurity::new("CORP"));
+        os.with_domain(|d| {
+            d.add_member("Payroll", "bob");
+        });
+        os.add_ace(
+            "SalariesBean",
+            Ace {
+                kind: AceKind::Allow,
+                trustee: Sid::of("CORP", "Payroll"),
+                mask: AccessMask::EXECUTE,
+            },
+        );
+        let layer = WindowsOsLayer::new(os, ["SalariesBean".to_string()]);
+        // bob holds EXECUTE, so a real execute permission passes...
+        assert!(matches!(layer.decide(&ctx("bob", "Kbob", "execute")), Verdict::Grant));
+        // ...but a permission the layer does not understand is denied.
+        match layer.decide(&ctx("bob", "Kbob", "transmogrify")) {
+            Verdict::Deny(reason) => assert!(reason.contains("transmogrify")),
+            v => panic!("expected deny for unknown permission, got {v:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus lint pass on the crates this change
+# touches most. Run from the repo root: ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== clippy (-D warnings): hetsec-keynote, hetsec-webcom =="
+cargo clippy --no-deps -p hetsec-keynote -p hetsec-webcom --all-targets -- -D warnings
+
+echo "verify.sh: all gates passed"

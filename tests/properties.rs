@@ -1,6 +1,10 @@
 //! Property-based tests over the framework's core invariants.
-
-use proptest::prelude::*;
+//!
+//! Written against a small deterministic generator harness instead of
+//! proptest (the build environment cannot reach a crates registry).
+//! Each test drives a fixed number of pseudo-random cases from a seeded
+//! splitmix64 stream, so failures are reproducible; the failing case is
+//! reported through the assertion message.
 
 use hetsec_crypto::bigint::U512;
 use hetsec_keynote::ast::{CmpOp, Expr, LicenseeExpr, Term};
@@ -10,156 +14,300 @@ use hetsec_keynote::regex::Regex;
 use hetsec_rbac::policy::{PermissionGrant, RbacPolicy, RoleAssignment};
 use hetsec_translate::{decode_policy, encode_policy, SymbolicDirectory};
 
+// ---- Deterministic generator harness ----
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// splitmix64 — enough statistical quality for test-case generation.
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform value in `lo..hi` (half-open, hi > lo).
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+
+    /// A string of `len` characters drawn from `alphabet`.
+    fn pick_string(&mut self, alphabet: &[char], len: usize) -> String {
+        (0..len).map(|_| alphabet[self.below(alphabet.len())]).collect()
+    }
+}
+
+fn chars(ranges: &[(char, char)]) -> Vec<char> {
+    let mut out = Vec::new();
+    for &(lo, hi) in ranges {
+        let (lo, hi) = (lo as u32, hi as u32);
+        out.extend((lo..=hi).filter_map(char::from_u32));
+    }
+    out
+}
+
+/// `[a-z_][a-z0-9_]{0,6}` — a KeyNote attribute identifier.
+fn gen_ident(rng: &mut Rng) -> String {
+    let first = chars(&[('a', 'z'), ('_', '_')]);
+    let rest = chars(&[('a', 'z'), ('0', '9'), ('_', '_')]);
+    let mut s = rng.pick_string(&first, 1);
+    let n = rng.below(7);
+    s.push_str(&rng.pick_string(&rest, n));
+    s
+}
+
+/// `[A-Za-z][A-Za-z0-9]{0,8}` — a principal name.
+fn gen_principal(rng: &mut Rng) -> String {
+    let first = chars(&[('A', 'Z'), ('a', 'z')]);
+    let rest = chars(&[('A', 'Z'), ('a', 'z'), ('0', '9')]);
+    let mut s = rng.pick_string(&first, 1);
+    let n = rng.below(9);
+    s.push_str(&rng.pick_string(&rest, n));
+    s
+}
+
+/// `[A-Z][a-z]{1,5}` — a capitalised name (domain/role/type).
+fn gen_cap_name(rng: &mut Rng) -> String {
+    let first = chars(&[('A', 'Z')]);
+    let rest = chars(&[('a', 'z')]);
+    let mut s = rng.pick_string(&first, 1);
+    let n = rng.range(1, 6);
+    s.push_str(&rng.pick_string(&rest, n));
+    s
+}
+
+/// `[a-z]{lo,hi}` — a lowercase word.
+fn gen_word(rng: &mut Rng, lo: usize, hi: usize) -> String {
+    let alpha = chars(&[('a', 'z')]);
+    let n = rng.range(lo, hi + 1);
+    rng.pick_string(&alpha, n)
+}
+
 // ---- U512 arithmetic vs u128 reference ----
 
-proptest! {
-    #[test]
-    fn u512_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn u512_add_matches_u128() {
+    let mut rng = Rng::new(0x5add);
+    for case in 0..256 {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let sum = U512::from_u64(a).add(&U512::from_u64(b));
-        prop_assert_eq!(sum, U512::from_u128(a as u128 + b as u128));
+        assert_eq!(
+            sum,
+            U512::from_u128(a as u128 + b as u128),
+            "case {case}: {a} + {b}"
+        );
     }
+}
 
-    #[test]
-    fn u512_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn u512_mul_matches_u128() {
+    let mut rng = Rng::new(0x5b01);
+    for case in 0..256 {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let prod = U512::from_u64(a).mul(&U512::from_u64(b));
-        prop_assert_eq!(prod, U512::from_u128(a as u128 * b as u128));
+        assert_eq!(
+            prod,
+            U512::from_u128(a as u128 * b as u128),
+            "case {case}: {a} * {b}"
+        );
     }
+}
 
-    #[test]
-    fn u512_divmod_matches_u128(a in any::<u128>(), b in 1u64..) {
+#[test]
+fn u512_divmod_matches_u128() {
+    let mut rng = Rng::new(0x5d17);
+    for case in 0..256 {
+        let a = rng.next_u128();
+        let b = rng.next_u64().max(1);
         let (q, r) = U512::from_u128(a).divmod(&U512::from_u64(b));
-        prop_assert_eq!(q, U512::from_u128(a / b as u128));
-        prop_assert_eq!(r, U512::from_u128(a % b as u128));
+        assert_eq!(q, U512::from_u128(a / b as u128), "case {case}: {a} / {b}");
+        assert_eq!(r, U512::from_u128(a % b as u128), "case {case}: {a} % {b}");
     }
+}
 
-    #[test]
-    fn u512_hex_roundtrip(a in any::<u128>()) {
-        let v = U512::from_u128(a);
-        prop_assert_eq!(U512::from_hex(&v.to_hex()), Some(v));
+#[test]
+fn u512_hex_roundtrip() {
+    let mut rng = Rng::new(0x4e7);
+    for case in 0..256 {
+        let v = U512::from_u128(rng.next_u128());
+        assert_eq!(U512::from_hex(&v.to_hex()), Some(v), "case {case}");
     }
+}
 
-    #[test]
-    fn u512_shift_roundtrip(a in any::<u128>(), s in 0u32..256) {
-        let v = U512::from_u128(a);
-        prop_assert_eq!(v.shl_small(s).shr_small(s), v);
+#[test]
+fn u512_shift_roundtrip() {
+    let mut rng = Rng::new(0x54f7);
+    for case in 0..256 {
+        let v = U512::from_u128(rng.next_u128());
+        let s = rng.below(256) as u32;
+        assert_eq!(v.shl_small(s).shr_small(s), v, "case {case}: shift {s}");
     }
+}
 
-    #[test]
-    fn u512_modpow_mul_law(a in 1u64.., b in 1u64.., m in 2u64..) {
-        // (a*b) mod m == (a mod m * b mod m) mod m via mulmod
-        let am = U512::from_u64(a);
-        let bm = U512::from_u64(b);
-        let mm = U512::from_u64(m);
-        let lhs = am.mulmod(&bm, &mm);
+#[test]
+fn u512_modpow_mul_law() {
+    let mut rng = Rng::new(0x0d90);
+    for case in 0..256 {
+        // (a*b) mod m == mulmod(a, b, m)
+        let a = rng.next_u64().max(1);
+        let b = rng.next_u64().max(1);
+        let m = rng.next_u64().max(2);
+        let lhs = U512::from_u64(a).mulmod(&U512::from_u64(b), &U512::from_u64(m));
         let rhs = U512::from_u128((a as u128 * b as u128) % m as u128);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case {case}: {a} * {b} mod {m}");
     }
 }
 
 // ---- Expression printer/parser round-trips over generated ASTs ----
 
-fn arb_term() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        "[a-z_][a-z0-9_]{0,6}".prop_map(Term::Attr),
-        "[ -~]{0,8}".prop_map(Term::Str),
-        (0u32..100_000).prop_map(|n| Term::Num(n as f64)),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Term::Concat(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|t| Term::Deref(Box::new(t))),
-        ]
-    })
-}
-
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        Just(Expr::True),
-        Just(Expr::False),
-        (arb_term(), arb_term()).prop_map(|(lhs, rhs)| Expr::Cmp {
-            op: CmpOp::Eq,
-            lhs,
-            rhs
-        }),
-        (arb_term(), arb_term()).prop_map(|(lhs, rhs)| Expr::Cmp {
-            op: CmpOp::Le,
-            lhs,
-            rhs
-        }),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-        ]
-    })
-}
-
-fn arb_licensees() -> impl Strategy<Value = LicenseeExpr> {
-    let leaf = "[A-Za-z][A-Za-z0-9]{0,8}".prop_map(LicenseeExpr::Principal);
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| LicenseeExpr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| LicenseeExpr::Or(Box::new(a), Box::new(b))),
-            proptest::collection::vec(inner.clone(), 1..4).prop_flat_map(|items| {
-                let n = items.len();
-                (1..=n).prop_map(move |k| LicenseeExpr::KOf(k, items.clone()))
-            }),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn expr_print_parse_roundtrip(e in arb_expr()) {
-        let printed = print_expr(&e);
-        let back = parse_expression(&printed).expect("printed expression parses");
-        prop_assert_eq!(back, e);
+fn gen_term(rng: &mut Rng, depth: usize) -> Term {
+    let printable = chars(&[(' ', '~')]);
+    match if depth == 0 { rng.below(3) } else { rng.below(5) } {
+        0 => Term::Attr(gen_ident(rng)),
+        1 => {
+            let n = rng.below(9);
+            Term::Str(rng.pick_string(&printable, n))
+        }
+        2 => Term::Num(rng.below(100_000) as f64),
+        3 => Term::Concat(
+            Box::new(gen_term(rng, depth - 1)),
+            Box::new(gen_term(rng, depth - 1)),
+        ),
+        _ => Term::Deref(Box::new(gen_term(rng, depth - 1))),
     }
+}
 
-    #[test]
-    fn licensees_print_parse_roundtrip(l in arb_licensees()) {
+fn gen_expr(rng: &mut Rng, depth: usize) -> Expr {
+    match if depth == 0 { rng.below(4) } else { rng.below(7) } {
+        0 => Expr::True,
+        1 => Expr::False,
+        2 => Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs: gen_term(rng, 2),
+            rhs: gen_term(rng, 2),
+        },
+        3 => Expr::Cmp {
+            op: CmpOp::Le,
+            lhs: gen_term(rng, 2),
+            rhs: gen_term(rng, 2),
+        },
+        4 => Expr::And(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        5 => Expr::Or(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
+    }
+}
+
+fn gen_licensees(rng: &mut Rng, depth: usize) -> LicenseeExpr {
+    match if depth == 0 { 0 } else { rng.below(4) } {
+        0 => LicenseeExpr::Principal(gen_principal(rng)),
+        1 => LicenseeExpr::And(
+            Box::new(gen_licensees(rng, depth - 1)),
+            Box::new(gen_licensees(rng, depth - 1)),
+        ),
+        2 => LicenseeExpr::Or(
+            Box::new(gen_licensees(rng, depth - 1)),
+            Box::new(gen_licensees(rng, depth - 1)),
+        ),
+        _ => {
+            let n = rng.range(1, 4);
+            let items: Vec<LicenseeExpr> =
+                (0..n).map(|_| gen_licensees(rng, depth - 1)).collect();
+            let k = rng.range(1, n + 1);
+            LicenseeExpr::KOf(k, items)
+        }
+    }
+}
+
+#[test]
+fn expr_print_parse_roundtrip() {
+    let mut rng = Rng::new(0xe387);
+    for case in 0..64 {
+        let e = gen_expr(&mut rng, 4);
+        let printed = print_expr(&e);
+        let back = parse_expression(&printed)
+            .unwrap_or_else(|err| panic!("case {case}: `{printed}` failed to parse: {err:?}"));
+        assert_eq!(back, e, "case {case}: `{printed}`");
+    }
+}
+
+#[test]
+fn licensees_print_parse_roundtrip() {
+    let mut rng = Rng::new(0x11c5);
+    for case in 0..64 {
+        let l = gen_licensees(&mut rng, 3);
         let printed = print_licensees(&l);
-        let back = parse_licensees(&printed).expect("printed licensees parse");
-        prop_assert_eq!(back, l);
+        let back = parse_licensees(&printed)
+            .unwrap_or_else(|err| panic!("case {case}: `{printed}` failed to parse: {err:?}"));
+        assert_eq!(back, l, "case {case}: `{printed}`");
     }
 }
 
 // ---- Regex engine vs a naive literal matcher ----
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn regex_literal_agrees_with_contains(
-        needle in "[a-z]{1,5}",
-        hay in "[a-z]{0,12}",
-    ) {
+#[test]
+fn regex_literal_agrees_with_contains() {
+    let mut rng = Rng::new(0x9e8e);
+    for case in 0..128 {
+        let needle = gen_word(&mut rng, 1, 5);
+        let hay = gen_word(&mut rng, 0, 12);
         let re = Regex::new(&needle).unwrap();
-        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+        assert_eq!(
+            re.is_match(&hay),
+            hay.contains(&needle),
+            "case {case}: needle `{needle}` hay `{hay}`"
+        );
     }
+}
 
-    #[test]
-    fn regex_anchored_literal_agrees_with_eq(
-        needle in "[a-z]{1,5}",
-        hay in "[a-z]{0,7}",
-    ) {
+#[test]
+fn regex_anchored_literal_agrees_with_eq() {
+    let mut rng = Rng::new(0xa9c0);
+    for case in 0..128 {
+        let needle = gen_word(&mut rng, 1, 5);
+        let hay = gen_word(&mut rng, 0, 7);
         let re = Regex::new(&format!("^{needle}$")).unwrap();
-        prop_assert_eq!(re.is_match(&hay), hay == needle);
+        assert_eq!(
+            re.is_match(&hay),
+            hay == needle,
+            "case {case}: needle `{needle}` hay `{hay}`"
+        );
     }
+}
 
-    #[test]
-    fn regex_star_never_panics(pat in "[a-z.()*+?|\\[\\]]{0,10}", hay in "[a-z]{0,10}") {
-        // Any syntactically valid pattern must match or not without
-        // panicking or hanging.
+#[test]
+fn regex_star_never_panics() {
+    // Any syntactically valid pattern must match or not without
+    // panicking or hanging.
+    let mut rng = Rng::new(0x57a6);
+    let pat_alpha: Vec<char> = chars(&[('a', 'z')])
+        .into_iter()
+        .chain(".()*+?|[]".chars())
+        .collect();
+    for _case in 0..128 {
+        let n = rng.below(11);
+        let pat = rng.pick_string(&pat_alpha, n);
+        let hay = gen_word(&mut rng, 0, 10);
         if let Ok(re) = Regex::new(&pat) {
             let _ = re.is_match(&hay);
         }
@@ -168,66 +316,72 @@ proptest! {
 
 // ---- RBAC <-> KeyNote encode/decode round-trips ----
 
-fn arb_policy() -> impl Strategy<Value = RbacPolicy> {
-    let grant = (
-        "[A-Z][a-z]{1,5}",
-        "[A-Z][a-z]{1,5}",
-        "[A-Z][a-z]{1,5}",
-        "[a-z]{1,5}",
-    )
-        .prop_map(|(d, r, t, p)| PermissionGrant::new(d.as_str(), r.as_str(), t.as_str(), p.as_str()));
-    let assignment = ("[a-z]{1,6}", "[A-Z][a-z]{1,5}", "[A-Z][a-z]{1,5}")
-        .prop_map(|(u, d, r)| RoleAssignment::new(u.as_str(), d.as_str(), r.as_str()));
-    (
-        proptest::collection::vec(grant, 0..12),
-        proptest::collection::vec(assignment, 0..12),
-    )
-        .prop_map(|(gs, asgs)| {
-            let mut p = RbacPolicy::new();
-            for g in gs {
-                p.grant(g);
-            }
-            for a in asgs {
-                p.assign(a);
-            }
-            p
-        })
+fn gen_policy(rng: &mut Rng) -> RbacPolicy {
+    let mut p = RbacPolicy::new();
+    for _ in 0..rng.below(12) {
+        p.grant(PermissionGrant::new(
+            gen_cap_name(rng).as_str(),
+            gen_cap_name(rng).as_str(),
+            gen_cap_name(rng).as_str(),
+            gen_word(rng, 1, 5).as_str(),
+        ));
+    }
+    for _ in 0..rng.below(12) {
+        p.assign(RoleAssignment::new(
+            gen_word(rng, 1, 6).as_str(),
+            gen_cap_name(rng).as_str(),
+            gen_cap_name(rng).as_str(),
+        ));
+    }
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn encode_decode_is_identity(policy in arb_policy()) {
+#[test]
+fn encode_decode_is_identity() {
+    let mut rng = Rng::new(0xe4c0);
+    for case in 0..64 {
+        let policy = gen_policy(&mut rng);
         let dir = SymbolicDirectory::default();
         let assertions = encode_policy(&policy, "KWebCom", &dir);
         let report = decode_policy(&assertions, "KWebCom", &dir);
-        prop_assert_eq!(report.policy, policy);
-        prop_assert!(report.skipped.is_empty());
+        assert_eq!(report.policy, policy, "case {case}");
+        assert!(report.skipped.is_empty(), "case {case}: {:?}", report.skipped);
     }
+}
 
-    #[test]
-    fn merge_is_monotone(a in arb_policy(), b in arb_policy()) {
-        // Merging never removes access.
+#[test]
+fn merge_is_monotone() {
+    // Merging never removes access.
+    let mut rng = Rng::new(0x3e66);
+    for case in 0..64 {
+        let a = gen_policy(&mut rng);
+        let b = gen_policy(&mut rng);
         let mut merged = a.clone();
         merged.merge(&b);
         for g in a.grants() {
-            prop_assert!(merged.role_has_permission(&g.domain, &g.role, &g.object_type, &g.permission));
+            assert!(
+                merged.role_has_permission(&g.domain, &g.role, &g.object_type, &g.permission),
+                "case {case}: lost grant {g}"
+            );
         }
         for asg in b.assignments() {
-            prop_assert!(merged.user_in_role(&asg.user, &asg.domain, &asg.role));
+            assert!(
+                merged.user_in_role(&asg.user, &asg.domain, &asg.role),
+                "case {case}: lost assignment"
+            );
         }
     }
 }
 
 // ---- Compliance monotonicity: adding credentials never revokes ----
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn adding_credentials_is_monotone(policy in arb_policy(), extra in "[a-z]{1,6}") {
-        use hetsec_keynote::session::KeyNoteSession;
+#[test]
+fn adding_credentials_is_monotone() {
+    use hetsec_keynote::session::KeyNoteSession;
+    let mut rng = Rng::new(0xc4ed);
+    for case in 0..32 {
+        let policy = gen_policy(&mut rng);
+        let extra = gen_word(&mut rng, 1, 6);
         let dir = SymbolicDirectory::default();
         let assertions = encode_policy(&policy, "KWebCom", &dir);
         let mut base = KeyNoteSession::permissive();
@@ -259,7 +413,10 @@ proptest! {
                 let key = format!("K{}", asg.user.as_str().to_lowercase());
                 let before = base.query_action(&[key.as_str()], &attrs).is_authorized();
                 if before {
-                    prop_assert!(extended.query_action(&[key.as_str()], &attrs).is_authorized());
+                    assert!(
+                        extended.query_action(&[key.as_str()], &attrs).is_authorized(),
+                        "case {case}: user {key} lost access to {g}"
+                    );
                 }
             }
         }
@@ -268,29 +425,31 @@ proptest! {
 
 // ---- Role-hierarchy flattening preserves access decisions ----
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn flattening_a_hierarchy_preserves_decisions(
-        grants in proptest::collection::vec((0usize..5, 0usize..3, "[a-z]{1,4}"), 1..10),
-        assigns in proptest::collection::vec(("[a-z]{1,5}", 0usize..5), 1..8),
-        edges in proptest::collection::vec((0usize..5, 0usize..5), 0..6),
-    ) {
-        use hetsec_rbac::hierarchy::RoleHierarchy;
-        use hetsec_rbac::DomainRole;
+#[test]
+fn flattening_a_hierarchy_preserves_decisions() {
+    use hetsec_rbac::hierarchy::RoleHierarchy;
+    use hetsec_rbac::DomainRole;
+    let mut rng = Rng::new(0xf1a7);
+    for case in 0..32 {
         // All roles live in one fixed domain so hierarchy edges are
         // always well-formed.
         let roles = ["R0", "R1", "R2", "R3", "R4"];
         let mut policy = RbacPolicy::new();
-        for (r, t, p) in &grants {
-            policy.grant(PermissionGrant::new("D", roles[*r], format!("T{t}"), p.as_str()));
+        for _ in 0..rng.range(1, 10) {
+            let r = rng.below(5);
+            let t = rng.below(3);
+            let p = gen_word(&mut rng, 1, 4);
+            policy.grant(PermissionGrant::new("D", roles[r], format!("T{t}"), p.as_str()));
         }
-        for (u, r) in &assigns {
-            policy.assign(RoleAssignment::new(u.as_str(), "D", roles[*r]));
+        for _ in 0..rng.range(1, 8) {
+            let u = gen_word(&mut rng, 1, 5);
+            let r = rng.below(5);
+            policy.assign(RoleAssignment::new(u.as_str(), "D", roles[r]));
         }
         let mut h = RoleHierarchy::new();
-        for (a, b) in edges {
+        for _ in 0..rng.below(6) {
+            let a = rng.below(5);
+            let b = rng.below(5);
             if a != b {
                 // Cycle-producing edges are rejected; that's fine.
                 let _ = h.add_seniority(
@@ -307,7 +466,7 @@ proptest! {
             for g in policy.grants() {
                 let hier = h.check_access(&policy, &user, &g.object_type, &g.permission);
                 let flat_says = flat.check_access(&user, &g.object_type, &g.permission);
-                prop_assert_eq!(hier, flat_says, "user={} grant={}", user, g);
+                assert_eq!(hier, flat_says, "case {case}: user={user} grant={g}");
             }
         }
     }

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal timing harness exposing the API surface the workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Throughput`, `BenchmarkId` and
+//! `Bencher::iter`. Measurement is simple adaptive batching (double the
+//! iteration count until a batch runs long enough to time reliably,
+//! then report the best-of-three mean), which is plenty to compare
+//! series within one run — the use the repo's figure benches put it to.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into a benchmark id; lets `bench_function` accept both
+/// string literals and [`BenchmarkId`]s, as in real criterion.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Expected throughput of one iteration, echoed in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Benchmark manager; the `criterion_group!` macro creates one per
+/// group function.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(120) }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let t = self.measurement_time;
+        run_one(id, None, t, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(&id, self.throughput, self.measurement_time, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        run_one(&id, self.throughput, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and find an iteration count whose batch is long
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        let batch_floor = Duration::from_micros(200);
+        let elapsed = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_floor || iters >= 1 << 30 {
+                break elapsed;
+            }
+            iters *= 2;
+        };
+        // Measure: repeat the sized batch for the configured window,
+        // keep the fastest batch (least interference).
+        let mut best = elapsed;
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed < best {
+                best = elapsed;
+            }
+        }
+        self.best_ns_per_iter = best.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher { measurement_time, best_ns_per_iter: f64::NAN };
+    f(&mut b);
+    let ns = b.best_ns_per_iter;
+    let time = format_ns(ns);
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns;
+            println!("{id:<60} time: {time:>12}   thrpt: {per_sec:.0} elem/s");
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns;
+            println!("{id:<60} time: {time:>12}   thrpt: {per_sec:.0} B/s");
+        }
+        _ => println!("{id:<60} time: {time:>12}"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "not measured".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a group function running each benchmark target in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

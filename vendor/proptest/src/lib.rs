@@ -1,0 +1,7 @@
+//! Offline placeholder for the `proptest` crate.
+//!
+//! The build environment cannot reach a crates registry, so the
+//! workspace's property tests (`tests/properties.rs`) are written
+//! against a small deterministic in-tree generator harness instead of
+//! proptest's strategy combinators. This empty crate keeps the
+//! `proptest = { workspace = true }` dev-dependency entries resolvable.

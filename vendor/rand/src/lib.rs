@@ -1,0 +1,5 @@
+//! Offline placeholder for the `rand` crate.
+//!
+//! The workspace lists `rand` as a dependency but no code path uses it;
+//! this empty crate satisfies dependency resolution without network
+//! access. Grow it (or vendor the real crate) if randomness is needed.

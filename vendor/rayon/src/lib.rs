@@ -1,0 +1,36 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! `par_iter()` returns an ordinary sequential iterator, so
+//! `.map(..).collect()` chains compile and produce identical results —
+//! just without work-stealing parallelism. Call sites keep their shape
+//! and can move back to real rayon unchanged once a registry is
+//! available.
+
+pub mod iter {
+    /// `rayon`'s by-reference parallel-iterator entry point, sequentially.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}

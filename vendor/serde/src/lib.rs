@@ -1,0 +1,590 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors a compact serialization framework that is API-compatible with
+//! the subset of serde the codebase uses: `Serialize`/`Deserialize`
+//! derives, manual impls via `Serializer::serialize_str` and
+//! `Deserializer` + `de::Error::custom`, and `serde_json`-style
+//! round-trips.
+//!
+//! Instead of serde's visitor architecture, everything funnels through a
+//! self-describing [`Content`] tree (the same trick serde itself uses
+//! internally for untagged enums). A `Serializer` consumes a `Content`;
+//! a `Deserializer` produces one. This keeps derived code tiny while
+//! preserving serde's externally-tagged enum representation and
+//! transparent newtype behaviour.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt::{self, Display};
+use std::hash::{BuildHasher, Hash};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Self-describing serialization tree — the data model every value
+/// passes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(Content, Content)>),
+}
+
+pub mod ser {
+    use std::fmt::{Debug, Display};
+
+    /// Errors produced (or wrapped) during serialization.
+    pub trait Error: Sized + Debug + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    use std::fmt::{Debug, Display};
+
+    /// Errors produced (or wrapped) during deserialization.
+    pub trait Error: Sized + Debug + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can consume a [`Content`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_owned()))
+    }
+}
+
+/// A data format that can produce a [`Content`] tree.
+///
+/// The `'de` lifetime mirrors serde's API so manual impls written
+/// against real serde compile unchanged; this stand-in always copies
+/// out of the input, so the lifetime carries no borrow.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The error type of the in-memory `Content` format itself.
+#[derive(Debug)]
+pub struct ContentError(pub String);
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serializer that just hands back the `Content` tree.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Deserializer that reads from an in-memory `Content` tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Support plumbing for derive-generated code and data formats. Not a
+/// stable API, mirrors serde's own `__private` convention.
+pub mod __private {
+    use super::*;
+
+    /// Serialize any value into a `Content` tree, wrapping the error
+    /// into the caller's error type.
+    pub fn ser_content<T: Serialize + ?Sized, E: ser::Error>(value: &T) -> Result<Content, E> {
+        value.serialize(ContentSerializer).map_err(|e| E::custom(e))
+    }
+
+    /// Deserialize any value out of a `Content` tree, wrapping the error
+    /// into the caller's error type.
+    pub fn de_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
+        T::deserialize(ContentDeserializer(content)).map_err(|e| E::custom(e))
+    }
+
+    /// Pull a named field out of a struct map. Missing fields
+    /// deserialize from `Null`, which makes `Option` fields default to
+    /// `None` (as with serde's `missing_field`) while required fields
+    /// produce a "missing field" error.
+    pub fn take_field<'de, T: Deserialize<'de>, E: de::Error>(
+        map: &mut Vec<(Content, Content)>,
+        name: &str,
+    ) -> Result<T, E> {
+        let pos = map
+            .iter()
+            .position(|(k, _)| matches!(k, Content::Str(s) if s == name));
+        match pos {
+            Some(i) => de_content(map.remove(i).1),
+            None => de_content(Content::Null)
+                .map_err(|_: E| E::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Pull the next element from a sequence being deserialized into a
+    /// tuple (struct/variant).
+    pub fn next_elem<'de, T: Deserialize<'de>, E: de::Error>(
+        iter: &mut std::vec::IntoIter<Content>,
+    ) -> Result<T, E> {
+        match iter.next() {
+            Some(c) => de_content(c),
+            None => Err(E::custom("sequence shorter than expected")),
+        }
+    }
+}
+
+use __private::{de_content, ser_content};
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::I64(*self as i64))
+            }
+        }
+    )*};
+}
+ser_int!(i8 i16 i32 i64 isize);
+
+macro_rules! ser_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8 u16 u32 u64 usize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Null)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn ser_seq<'a, S, T, I>(serializer: S, items: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut seq = Vec::new();
+    for item in items {
+        seq.push(ser_content(item)?);
+    }
+    serializer.serialize_content(Content::Seq(seq))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_seq(serializer, self)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_seq(serializer, self)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_seq(serializer, self)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_seq(serializer, self)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_seq(serializer, self)
+    }
+}
+
+impl<T: Serialize, H> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_seq(serializer, self)
+    }
+}
+
+fn ser_map<'a, S, K, V, I>(serializer: S, entries: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: IntoIterator<Item = (&'a K, &'a V)>,
+{
+    let mut map = Vec::new();
+    for (k, v) in entries {
+        map.push((ser_content(k)?, ser_content(v)?));
+    }
+    serializer.serialize_content(Content::Map(map))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_map(serializer, self)
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_map(serializer, self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::Seq(vec![$(ser_content(&self.$n)?),+]))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 T0)
+    (0 T0, 1 T1)
+    (0 T0, 1 T1, 2 T2)
+    (0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+fn content_err<E: de::Error>(expected: &str, got: &Content) -> E {
+    let kind = match got {
+        Content::Null => "null",
+        Content::Bool(_) => "a boolean",
+        Content::I64(_) | Content::U64(_) | Content::F64(_) => "a number",
+        Content::Str(_) => "a string",
+        Content::Seq(_) => "a sequence",
+        Content::Map(_) => "a map",
+    };
+    E::custom(format!("expected {expected}, found {kind}"))
+}
+
+macro_rules! de_int {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.deserialize_content()?;
+                let out = match &c {
+                    Content::I64(v) => <$t>::try_from(*v).ok(),
+                    Content::U64(v) => <$t>::try_from(*v).ok(),
+                    Content::F64(v) if v.fract() == 0.0 => Some(*v as $t),
+                    _ => return Err(content_err("an integer", &c)),
+                };
+                out.ok_or_else(|| <D::Error as de::Error>::custom(
+                    format!("integer out of range for {}", stringify!($t)),
+                ))
+            }
+        }
+    )*};
+}
+de_int!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+macro_rules! de_float {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.deserialize_content()?;
+                match c {
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::F64(v) => Ok(v as $t),
+                    other => Err(content_err("a number", &other)),
+                }
+            }
+        }
+    )*};
+}
+de_float!(f32 f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let c = deserializer.deserialize_content()?;
+        match c {
+            Content::Bool(v) => Ok(v),
+            other => Err(content_err("a boolean", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let c = deserializer.deserialize_content()?;
+        match &c {
+            Content::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(ch), None) => Ok(ch),
+                    _ => Err(<D::Error as de::Error>::custom("expected a single character")),
+                }
+            }
+            other => Err(content_err("a character", other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let c = deserializer.deserialize_content()?;
+        match c {
+            Content::Str(s) => Ok(s),
+            other => Err(content_err("a string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let c = deserializer.deserialize_content()?;
+        match c {
+            Content::Null => Ok(()),
+            other => Err(content_err("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let c = deserializer.deserialize_content()?;
+        match c {
+            Content::Null => Ok(None),
+            other => de_content(other).map(Some),
+        }
+    }
+}
+
+fn de_seq<'de, T: Deserialize<'de>, E: de::Error>(c: Content) -> Result<Vec<T>, E> {
+    match c {
+        Content::Seq(items) => items.into_iter().map(de_content).collect(),
+        other => Err(content_err("a sequence", &other)),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        de_seq(deserializer.deserialize_content()?)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        de_seq(deserializer.deserialize_content()?).map(Vec::into_iter).map(|it| it.collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        de_seq(deserializer.deserialize_content()?).map(Vec::into_iter).map(|it| it.collect())
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        de_seq(deserializer.deserialize_content()?).map(Vec::into_iter).map(|it| it.collect())
+    }
+}
+
+fn de_entries<'de, K: Deserialize<'de>, V: Deserialize<'de>, E: de::Error>(
+    c: Content,
+) -> Result<Vec<(K, V)>, E> {
+    match c {
+        Content::Map(entries) => entries
+            .into_iter()
+            .map(|(k, v)| Ok((de_content(k)?, de_content(v)?)))
+            .collect(),
+        other => Err(content_err("a map", &other)),
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        de_entries(deserializer.deserialize_content()?).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        de_entries(deserializer.deserialize_content()?).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Rc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Rc::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Arc::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.deserialize_content()?;
+                match c {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(de_content::<$t, D::Error>(it.next().unwrap())?,)+))
+                    }
+                    other => Err(content_err(
+                        concat!("a sequence of length ", $len), &other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; T0)
+    (2; T0, T1)
+    (3; T0, T1, T2)
+    (4; T0, T1, T2, T3)
+}

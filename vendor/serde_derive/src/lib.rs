@@ -1,0 +1,497 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! syn or quote (neither is available offline): a small token-tree
+//! walker extracts the item shape (struct/enum, field names, variant
+//! shapes) and code is generated as strings targeting the vendored
+//! serde's `Content` data model.
+//!
+//! Supported shapes — everything this workspace derives:
+//! * named-field structs → externally a map
+//! * newtype structs (1-tuple) → transparent, like serde's newtype rule
+//! * tuple structs (n ≥ 2) → a sequence
+//! * unit structs → null
+//! * enums with unit / newtype / tuple / struct variants →
+//!   externally tagged, exactly serde's default representation
+//!
+//! Generics are not supported (no derived type in the workspace is
+//! generic); the macro panics with a clear message if one appears.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip `#[...]` attributes (doc comments arrive in this form too).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skip a field's type: everything up to a top-level `,`, tracking
+    /// `<`/`>` nesting so commas inside generics don't terminate early.
+    /// (`(...)`/`[...]` arrive as single Group tokens, so only angle
+    /// brackets need manual depth tracking.)
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0usize;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        return;
+                    }
+                    if c == '-' {
+                        // consume `->` as a unit so the '>' is not
+                        // mistaken for a closing angle bracket
+                        self.pos += 1;
+                        if let Some(TokenTree::Punct(q)) = self.peek() {
+                            if q.as_char() == '>' {
+                                self.pos += 1;
+                            }
+                        }
+                        continue;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth = angle_depth.saturating_sub(1);
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_type();
+        // consume the trailing comma, if any
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.pos += 1;
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut count = 0usize;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        c.skip_type();
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.pos += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                c.pos += 1;
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.pos += 1;
+                Fields::Named(parse_named_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // skip an explicit discriminant (`= expr`) up to the comma
+        while let Some(tok) = c.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    c.pos += 1;
+                    break;
+                }
+                _ => c.pos += 1,
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (offline stand-in): generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Shape::Struct(Fields::Unit),
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => {
+            "__serializer.serialize_content(::serde::Content::Null)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            // newtype structs serialize transparently, as in serde
+            "::serde::Serialize::serialize(&self.0, __serializer)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::ser_content(&self.{i})?"))
+                .collect();
+            format!(
+                "__serializer.serialize_content(::serde::Content::Seq(vec![{}]))",
+                elems.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut __map: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__map.push((::serde::Content::Str(String::from(\"{f}\")), \
+                     ::serde::__private::ser_content(&self.{f})?));\n"
+                ));
+            }
+            s.push_str("__serializer.serialize_content(::serde::Content::Map(__map))");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => __serializer.serialize_content(\
+                             ::serde::Content::Str(String::from(\"{vname}\"))),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{\n\
+                             let __v = ::serde::__private::ser_content(__f0)?;\n\
+                             __serializer.serialize_content(::serde::Content::Map(vec![\
+                             (::serde::Content::Str(String::from(\"{vname}\")), __v)]))\n}}\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::__private::ser_content({b})?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let __v = ::serde::Content::Seq(vec![{elems}]);\n\
+                             __serializer.serialize_content(::serde::Content::Map(vec![\
+                             (::serde::Content::Str(String::from(\"{vname}\")), __v)]))\n}}\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let mut inner = String::from(
+                            "let mut __inner: Vec<(::serde::Content, ::serde::Content)> = \
+                             Vec::new();\n",
+                        );
+                        for f in fnames {
+                            inner.push_str(&format!(
+                                "__inner.push((::serde::Content::Str(String::from(\"{f}\")), \
+                                 ::serde::__private::ser_content({f})?));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\
+                             __serializer.serialize_content(::serde::Content::Map(vec![\
+                             (::serde::Content::Str(String::from(\"{vname}\")), \
+                             ::serde::Content::Map(__inner))]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         #[allow(unused_mut, clippy::vec_init_then_push)]\n{{ {body} }}\n}}\n}}\n"
+    );
+    out.parse().expect("serde derive: generated Serialize impl failed to parse")
+}
+
+fn gen_named_construct(path: &str, fields: &[String], map_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__private::take_field(&mut {map_var}, \"{f}\")?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_tuple_construct(path: &str, n: usize, iter_var: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|_| format!("::serde::__private::next_elem(&mut {iter_var})?"))
+        .collect();
+    format!("{path}({})", inits.join(", "))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let err = "<__D::Error as ::serde::de::Error>::custom";
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => {
+            format!(
+                "let _ = __deserializer.deserialize_content()?;\n\
+                 ::core::result::Result::Ok({name})"
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!(
+                "::core::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize(__deserializer)?))"
+            )
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            format!(
+                "let __c = __deserializer.deserialize_content()?;\n\
+                 let __seq = match __c {{\n\
+                 ::serde::Content::Seq(s) if s.len() == {n} => s,\n\
+                 _ => return ::core::result::Result::Err({err}(\
+                 \"expected a sequence of length {n} for tuple struct {name}\")),\n}};\n\
+                 let mut __it = __seq.into_iter();\n\
+                 ::core::result::Result::Ok({ctor})",
+                ctor = gen_tuple_construct(name, *n, "__it"),
+            )
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            format!(
+                "let __c = __deserializer.deserialize_content()?;\n\
+                 let mut __map = match __c {{\n\
+                 ::serde::Content::Map(m) => m,\n\
+                 _ => return ::core::result::Result::Err({err}(\
+                 \"expected a map for struct {name}\")),\n}};\n\
+                 ::core::result::Result::Ok({ctor})",
+                ctor = gen_named_construct(name, fields, "__map"),
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::__private::de_content(__v)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __seq = match __v {{\n\
+                             ::serde::Content::Seq(s) if s.len() == {n} => s,\n\
+                             _ => return ::core::result::Result::Err({err}(\
+                             \"expected a sequence of length {n} for variant {vname}\")),\n}};\n\
+                             let mut __it = __seq.into_iter();\n\
+                             ::core::result::Result::Ok({ctor})\n}}\n",
+                            ctor = gen_tuple_construct(&format!("{name}::{vname}"), *n, "__it"),
+                        ));
+                    }
+                    Fields::Named(fnames) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __inner = match __v {{\n\
+                             ::serde::Content::Map(m) => m,\n\
+                             _ => return ::core::result::Result::Err({err}(\
+                             \"expected a map for variant {vname}\")),\n}};\n\
+                             ::core::result::Result::Ok({ctor})\n}}\n",
+                            ctor = gen_named_construct(
+                                &format!("{name}::{vname}"),
+                                fnames,
+                                "__inner"
+                            ),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __c = __deserializer.deserialize_content()?;\n\
+                 match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err({err}(\
+                 format!(\"unknown variant `{{__other}}` of enum {name}\"))),\n}},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = __m.into_iter().next().unwrap();\n\
+                 let __k = match __k {{\n\
+                 ::serde::Content::Str(s) => s,\n\
+                 _ => return ::core::result::Result::Err({err}(\
+                 \"expected a string variant tag for enum {name}\")),\n}};\n\
+                 #[allow(unused_variables)]\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err({err}(\
+                 format!(\"unknown variant `{{__other}}` of enum {name}\"))),\n}}\n}}\n\
+                 _ => ::core::result::Result::Err({err}(\
+                 \"expected a string or single-entry map for enum {name}\")),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         #[allow(unused_mut)]\n{{ {body} }}\n}}\n}}\n"
+    );
+    out.parse().expect("serde derive: generated Deserialize impl failed to parse")
+}
