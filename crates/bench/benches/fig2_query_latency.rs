@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hetsec_keynote::parser::parse_assertions;
 use hetsec_keynote::session::KeyNoteSession;
 use hetsec_keynote::ActionAttributes;
-use hetsec_webcom::TrustManager;
+use hetsec_webcom::{AuthzRequest, TrustManager};
 use std::hint::black_box;
 
 const FIG2: &str = "Authorizer: POLICY\n\
@@ -75,11 +75,11 @@ fn bench_fig2(c: &mut Criterion) {
             // Epoch bump -> the cached entry is stale -> full evaluation.
             tm.reinstate_key("Kunrelated");
             tm.revoke_key("Kunrelated");
-            black_box(tm.query(&["Kbob"], &read_attrs))
+            black_box(tm.decide(&AuthzRequest::principal("Kbob").attributes(read_attrs.clone())))
         })
     });
     group.bench_function("decision_cached", |b| {
-        b.iter(|| black_box(tm.query(&["Kbob"], &read_attrs)))
+        b.iter(|| black_box(tm.decide(&AuthzRequest::principal("Kbob").attributes(read_attrs.clone()))))
     });
     group.finish();
 

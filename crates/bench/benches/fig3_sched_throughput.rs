@@ -6,17 +6,25 @@
 //! marginal cost of the TM mediation by comparing against a fabric whose
 //! policies trust everything (mediation still runs, but the credential
 //! set is trivial).
+//!
+//! The `transport_*` series compares the fabrics the same workload can
+//! ride: in-process channels, loopback TCP (wire protocol + framing +
+//! syscalls), and loopback TCP behind a fault injector adding link
+//! latency (the retry/failover machinery's steady-state overhead).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hetsec_graphs::Value;
 use hetsec_middleware::component::ComponentRef;
 use hetsec_middleware::naming::MiddlewareKind;
+use hetsec_webcom::stack::TrustLayer;
 use hetsec_webcom::{
-    spawn_client, ArithComponentExecutor, AuthzStack, Binding, ClientConfig, ClientHandle,
-    TrustLayer, TrustManager, WebComMaster,
+    serve_tcp, spawn_client, ArithComponentExecutor, AuthzStack, Binding, ClientConfig,
+    ClientEngine, ClientHandle, FaultyTransport, TcpClientServer, TcpTransport, TrustManager,
+    WebComMaster,
 };
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn tm(policy: &str) -> Arc<TrustManager> {
     let t = TrustManager::permissive();
@@ -24,14 +32,31 @@ fn tm(policy: &str) -> Arc<TrustManager> {
     Arc::new(t)
 }
 
-fn fabric(clients: usize, extra_credentials: usize) -> (WebComMaster, Vec<ClientHandle>) {
-    let mut client_policy = String::new();
+fn client_policy(clients: usize) -> String {
+    let mut policy = String::new();
     for i in 0..clients {
-        client_policy.push_str(&format!(
+        policy.push_str(&format!(
             "Authorizer: POLICY\nLicensees: \"Kc{i}\"\nConditions: app_domain==\"WebCom\";\n\n"
         ));
     }
-    let master = WebComMaster::new("Kmaster", tm(&client_policy));
+    policy
+}
+
+fn bind_add(master: &WebComMaster) {
+    master.bind(
+        "add",
+        Binding {
+            component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+            domain: "Dom".into(),
+            role: "Worker".into(),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+        },
+    );
+}
+
+fn fabric(clients: usize, extra_credentials: usize) -> (WebComMaster, Vec<ClientHandle>) {
+    let master = WebComMaster::new("Kmaster", tm(&client_policy(clients)));
     let mut handles = Vec::new();
     for i in 0..clients {
         let master_trust = tm(
@@ -61,17 +86,27 @@ fn fabric(clients: usize, extra_credentials: usize) -> (WebComMaster, Vec<Client
         master.register_client(&handle, vec!["Dom".into()]);
         handles.push(handle);
     }
-    master.bind(
-        "add",
-        Binding {
-            component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
-            domain: "Dom".into(),
-            role: "Worker".into(),
-            user: "worker".into(),
-            principal: "Kworker".to_string(),
-        },
-    );
+    bind_add(&master);
     (master, handles)
+}
+
+/// A networked client engine with the same trust wiring as [`fabric`]'s
+/// in-process clients, served on an ephemeral loopback port.
+fn tcp_client(i: usize) -> TcpClientServer {
+    let master_trust =
+        tm("Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n");
+    let user_tm =
+        tm("Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n");
+    let mut stack = AuthzStack::new();
+    stack.push(Arc::new(TrustLayer::new(user_tm)));
+    let engine = Arc::new(ClientEngine::new(ClientConfig {
+        name: format!("c{i}"),
+        key_text: format!("Kc{i}"),
+        master_trust,
+        stack: Arc::new(stack),
+        executor: Arc::new(ArithComponentExecutor),
+    }));
+    serve_tcp(engine, vec!["Dom".into()], "127.0.0.1:0").expect("bind loopback")
 }
 
 fn bench_fig3(c: &mut Criterion) {
@@ -116,5 +151,69 @@ fn bench_fig3(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig3);
+/// Same workload, three fabrics: in-process channels, loopback TCP, and
+/// loopback TCP where the first client's link drops every request so the
+/// master fails over to the healthy one — the price of the recovery path.
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_transport");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+
+    {
+        let (master, handles) = fabric(1, 0);
+        group.bench_function("inprocess", |b| {
+            b.iter(|| {
+                let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+                assert!(out.is_ok());
+                black_box(out)
+            })
+        });
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    {
+        let master = WebComMaster::new("Kmaster", tm(&client_policy(1)));
+        let server = tcp_client(0);
+        master.register_tcp(server.local_addr()).expect("identify");
+        bind_add(&master);
+        group.bench_function("tcp", |b| {
+            b.iter(|| {
+                let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+                assert!(out.is_ok());
+                black_box(out)
+            })
+        });
+        server.stop();
+    }
+
+    {
+        let master = WebComMaster::new("Kmaster", tm(&client_policy(2)))
+            .with_op_timeout(Duration::from_secs(2));
+        let s0 = tcp_client(0);
+        let s1 = tcp_client(1);
+        let faulty = Arc::new(FaultyTransport::new(TcpTransport::new(s0.local_addr())));
+        master.register_transport("c0", "Kc0", faulty.clone(), vec!["Dom".into()]);
+        master.register_tcp(s1.local_addr()).expect("identify");
+        bind_add(&master);
+        group.bench_function("tcp_faulty_failover", |b| {
+            b.iter(|| {
+                // Every request finds c0's link dropped and must fail
+                // over to c1 — one aborted attempt plus one real TCP
+                // round-trip per element.
+                faulty.drop_next(1);
+                let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+                assert!(out.is_ok());
+                black_box(out)
+            })
+        });
+        s0.stop();
+        s1.stop();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_transport);
 criterion_main!(benches);

@@ -10,7 +10,15 @@
 //! * `migrate <policy.json> <from-domain> <to-domain> [from-kind to-kind]`
 //!   — domain remap + kind-level permission interpretation;
 //! * `spki-encode <policy.json>` — RBAC → SPKI/SDSI certificates;
-//! * `example-policy` — print the paper's Figure 1 policy as JSON.
+//! * `example-policy` — print the paper's Figure 1 policy as JSON;
+//! * `serve <addr> [name] [key] [ops]` — run a WebCom client serving
+//!   the scheduling protocol over TCP (the right side of Figure 3);
+//! * `connect <addr> [n] [client-key]` — run a WebCom master that
+//!   dials a serving client and schedules `n` operations to it.
+//!
+//! `serve` and `connect` make the master/client fabric runnable as two
+//! OS processes (see the README quick-start); everything else is
+//! single-process policy tooling.
 //!
 //! The dispatch logic lives here (library) so it is unit-testable; the
 //! binary in `main.rs` is a thin wrapper.
@@ -39,6 +47,8 @@ pub enum CliError {
     Json(serde_json::Error),
     /// KeyNote parse problem.
     KeyNote(String),
+    /// Scheduling-fabric problem (bad address, unreachable peer).
+    Net(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -48,6 +58,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Json(e) => write!(f, "json error: {e}"),
             CliError::KeyNote(e) => write!(f, "keynote error: {e}"),
+            CliError::Net(e) => write!(f, "network error: {e}"),
         }
     }
 }
@@ -80,9 +91,115 @@ fn parse_kind(s: &str) -> Result<MiddlewareKind, CliError> {
     }
 }
 
+/// The master key used by the `serve`/`connect` demo fabric. A serving
+/// client only accepts schedules from this key; a connecting master
+/// presents it.
+pub const CLI_MASTER_KEY: &str = "Kmaster";
+
+/// The executing-user key the demo fabric schedules under.
+pub const CLI_WORKER_KEY: &str = "Kworker";
+
+fn demo_trust(licensee: &str) -> std::sync::Arc<hetsec_webcom::TrustManager> {
+    let tm = hetsec_webcom::TrustManager::permissive();
+    tm.add_policy(&format!(
+        "Authorizer: POLICY\nLicensees: \"{licensee}\"\nConditions: app_domain==\"WebCom\";\n"
+    ))
+    .expect("demo policy parses");
+    std::sync::Arc::new(tm)
+}
+
+/// The client engine `serve` runs: trusts [`CLI_MASTER_KEY`] as master,
+/// mediates [`CLI_WORKER_KEY`] through a one-layer trust stack, and
+/// executes the built-in arithmetic components. Public so integration
+/// tests can serve the same engine in-process.
+pub fn demo_client_engine(name: &str, key: &str) -> std::sync::Arc<hetsec_webcom::ClientEngine> {
+    use hetsec_webcom::stack::TrustLayer;
+    let mut stack = hetsec_webcom::AuthzStack::new();
+    stack.push(std::sync::Arc::new(TrustLayer::new(demo_trust(CLI_WORKER_KEY))));
+    std::sync::Arc::new(hetsec_webcom::ClientEngine::new(hetsec_webcom::ClientConfig {
+        name: name.to_string(),
+        key_text: key.to_string(),
+        master_trust: demo_trust(CLI_MASTER_KEY),
+        stack: std::sync::Arc::new(stack),
+        executor: std::sync::Arc::new(hetsec_webcom::ArithComponentExecutor),
+    }))
+}
+
+/// `hetsec serve`: serves the scheduling protocol on `addr` until `ops`
+/// operations have been answered (forever when `ops` is `None`). The
+/// bound address is printed immediately so a master in another process
+/// can be pointed at it.
+pub fn serve_command(
+    addr: &str,
+    name: &str,
+    key: &str,
+    ops: Option<usize>,
+) -> Result<String, CliError> {
+    let server = hetsec_webcom::serve_tcp(demo_client_engine(name, key), vec!["Dom".into()], addr)
+        .map_err(|e| CliError::Net(format!("bind {addr}: {e}")))?;
+    println!("serving client `{name}` (key {key}, domain Dom) on {}", server.local_addr());
+    match ops {
+        Some(limit) => {
+            while server.served() < limit {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            let served = server.served();
+            let stats = server.engine().stats();
+            server.stop();
+            Ok(format!(
+                "served {served} operations (executed {}, master_rejected {}, stack_denied {}, failed {})",
+                stats.executed, stats.master_rejected, stats.stack_denied, stats.failed
+            ))
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+}
+
+/// `hetsec connect`: dials a serving client at `addr`, registers it via
+/// the Identify handshake, and schedules `n` additions to it.
+pub fn connect_command(addr: &str, n: usize, client_key: &str) -> Result<String, CliError> {
+    use hetsec_graphs::Value;
+    use hetsec_middleware::component::ComponentRef;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| CliError::Net(format!("bad address `{addr}`: {e}")))?;
+    let master = hetsec_webcom::WebComMaster::new(CLI_MASTER_KEY, demo_trust(client_key))
+        .with_op_timeout(std::time::Duration::from_secs(5));
+    let name = master
+        .register_tcp(addr)
+        .map_err(|e| CliError::Net(e.to_string()))?;
+    master.bind(
+        "add",
+        hetsec_webcom::Binding {
+            component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+            domain: "Dom".into(),
+            role: "Worker".into(),
+            user: "worker".into(),
+            principal: CLI_WORKER_KEY.to_string(),
+        },
+    );
+    let mut ok = 0usize;
+    for i in 0..n {
+        let out = master.schedule_primitive("add", vec![Value::Int(i as i64), Value::Int(1)]);
+        match out {
+            hetsec_webcom::ExecOutcome::Ok(_) => ok += 1,
+            other => return Err(CliError::Net(format!("op {i} failed: {other:?}"))),
+        }
+    }
+    let stats = master.stats();
+    Ok(format!(
+        "scheduled {ok}/{n} operations to `{name}` at {addr} \
+         (retries {}, timeouts {}, failovers {}, rescheduled {})",
+        stats.retries, stats.timeouts, stats.failovers, stats.rescheduled
+    ))
+}
+
 /// Runs one CLI invocation; returns the text to print on stdout.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage = "hetsec <encode|decode|check|migrate|spki-encode|example-policy> ...";
+    let usage =
+        "hetsec <encode|decode|check|migrate|spki-encode|example-policy|serve|connect> ...";
     let cmd = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match cmd.as_str() {
         "example-policy" => Ok(serde_json::to_string_pretty(&salaries_policy())?),
@@ -186,6 +303,36 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        "serve" => {
+            let addr = args.get(1).ok_or_else(|| {
+                CliError::Usage("hetsec serve <addr> [name] [key] [ops]".into())
+            })?;
+            let name = args.get(2).map(String::as_str).unwrap_or("c1");
+            let key = args.get(3).map(String::as_str).unwrap_or("Kc1");
+            let ops = args
+                .get(4)
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| CliError::Usage(format!("ops must be a number, got `{s}`")))
+                })
+                .transpose()?;
+            serve_command(addr, name, key, ops)
+        }
+        "connect" => {
+            let addr = args.get(1).ok_or_else(|| {
+                CliError::Usage("hetsec connect <addr> [n] [client-key]".into())
+            })?;
+            let n = args
+                .get(2)
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| CliError::Usage(format!("n must be a number, got `{s}`")))
+                })
+                .transpose()?
+                .unwrap_or(10);
+            let client_key = args.get(3).map(String::as_str).unwrap_or("Kc1");
+            connect_command(addr, n, client_key)
+        }
         other => Err(CliError::Usage(format!("unknown command `{other}`; {usage}"))),
     }
 }
@@ -288,5 +435,54 @@ mod tests {
             run(&args(&["encode", "/no/such/file.json"])),
             Err(CliError::Io(_))
         ));
+        assert!(matches!(run(&args(&["serve"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["connect"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["serve", "127.0.0.1:0", "c1", "Kc1", "many"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["connect", "not-an-addr", "3"])),
+            Err(CliError::Net(_))
+        ));
+    }
+
+    #[test]
+    fn connect_schedules_against_a_served_engine() {
+        // The engine `serve` would run, behind a real TCP listener.
+        let server = hetsec_webcom::serve_tcp(
+            demo_client_engine("c1", "Kc1"),
+            vec!["Dom".into()],
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let out = connect_command(&server.local_addr().to_string(), 5, "Kc1").unwrap();
+        assert!(out.contains("scheduled 5/5"), "{out}");
+        assert!(out.contains("`c1`"), "{out}");
+        assert_eq!(server.served(), 5);
+        server.stop();
+    }
+
+    #[test]
+    fn connect_refuses_untrusted_client_key() {
+        let server = hetsec_webcom::serve_tcp(
+            demo_client_engine("c1", "Kc1"),
+            vec!["Dom".into()],
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        // The master's policy only trusts Kother, so the announced Kc1
+        // client is never selected.
+        let err = connect_command(&server.local_addr().to_string(), 1, "Kother").unwrap_err();
+        assert!(matches!(err, CliError::Net(ref m) if m.contains("failed")), "{err:?}");
+        server.stop();
+    }
+
+    #[test]
+    fn serve_command_returns_once_op_quota_met() {
+        // ops = 0: binds, serves nothing, exits — the fast path a smoke
+        // test can use without a second process.
+        let out = serve_command("127.0.0.1:0", "c9", "Kc9", Some(0)).unwrap();
+        assert!(out.contains("served 0 operations"), "{out}");
     }
 }

@@ -152,10 +152,10 @@ impl U512 {
     pub fn overflowing_add(&self, rhs: &U512) -> (U512, bool) {
         let mut out = [0u64; LIMBS];
         let mut carry = 0u64;
-        for i in 0..LIMBS {
-            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+        for ((o, &a), &b) in out.iter_mut().zip(&self.limbs).zip(&rhs.limbs) {
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *o = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U512 { limbs: out }, carry != 0)
@@ -172,10 +172,10 @@ impl U512 {
     pub fn overflowing_sub(&self, rhs: &U512) -> (U512, bool) {
         let mut out = [0u64; LIMBS];
         let mut borrow = 0u64;
-        for i in 0..LIMBS {
-            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+        for ((o, &a), &b) in out.iter_mut().zip(&self.limbs).zip(&rhs.limbs) {
+            let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U512 { limbs: out }, borrow != 0)
@@ -218,7 +218,7 @@ impl U512 {
         let limb_shift = (n / 64) as usize;
         let bit_shift = n % 64;
         let mut out = [0u64; LIMBS];
-        for i in 0..LIMBS {
+        for (i, o) in out.iter_mut().enumerate() {
             let src = i + limb_shift;
             if src >= LIMBS {
                 break;
@@ -227,7 +227,7 @@ impl U512 {
             if bit_shift != 0 && src + 1 < LIMBS {
                 v |= self.limbs[src + 1] << (64 - bit_shift);
             }
-            out[i] = v;
+            *o = v;
         }
         U512 { limbs: out }
     }

@@ -77,7 +77,7 @@ pub fn is_probable_prime(n: &U512, drbg: &mut Drbg) -> bool {
         let bits = n.bits();
         let mut a;
         loop {
-            a = random_odd(drbg, bits.min(64).max(8));
+            a = random_odd(drbg, bits.clamp(8, 64));
             a = a.rem(&n_minus_1);
             if a.cmp_val(&U512::TWO) != std::cmp::Ordering::Less {
                 break;

@@ -322,7 +322,7 @@ pub fn cert_from_sexp(e: &Sexp) -> Result<Cert, CertError> {
             Some(("subject", rest)) if rest.len() == 1 => {
                 subject = Some(Subject::from_sexp(&rest[0])?)
             }
-            Some(("propagate", rest)) if rest.is_empty() => propagate = true,
+            Some(("propagate", [])) => propagate = true,
             Some(("tag", _)) => tag = Some(Tag::from_sexp(field)?),
             Some(("signature", rest)) if rest.len() == 1 => {
                 signature = rest[0].as_atom().map(str::to_string)

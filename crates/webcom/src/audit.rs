@@ -55,7 +55,10 @@ impl AuditLog {
         }
     }
 
-    fn record(&self, ctx: &AuthzContext, decision: &StackDecision) -> u64 {
+    /// Records one decision (used by [`AuditedStack`] and by client
+    /// engines auditing transport-served requests). Returns the record's
+    /// sequence number.
+    pub fn record(&self, ctx: &AuthzContext, decision: &StackDecision) -> u64 {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         if decision.permitted {
             self.grants.fetch_add(1, Ordering::Relaxed);

@@ -15,10 +15,11 @@ use hetsec_middleware::component::ComponentRef;
 use hetsec_rbac::{Domain, Permission, Role};
 use hetsec_translate::APP_DOMAIN;
 use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
 
 /// A mediated WebCom action: schedule/execute a component under a
 /// (domain, role) pair.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScheduledAction {
     /// The component to execute.
     pub component: ComponentRef,
@@ -58,6 +59,83 @@ impl ScheduledAction {
 
 /// Default number of decisions a trust manager memoises.
 const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// One authorization question, built fluently: *which principal(s)*,
+/// *for what action or attributes*, *supported by which request-scoped
+/// credentials*. This is the single entry point into
+/// [`TrustManager::decide`] — it replaces the four overlapping
+/// `authorizes`/`query` variants the trust manager used to expose.
+///
+/// ```
+/// # use hetsec_webcom::{AuthzRequest, ScheduledAction, TrustManager};
+/// # use hetsec_middleware::component::ComponentRef;
+/// # use hetsec_middleware::naming::MiddlewareKind;
+/// let tm = TrustManager::permissive();
+/// tm.add_policy("Authorizer: POLICY\nLicensees: \"Ka\"\nConditions: app_domain==\"WebCom\";\n")
+///     .unwrap();
+/// let action = ScheduledAction::new(
+///     ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+///     "Dom",
+///     "Worker",
+/// );
+/// assert!(tm.decide(&AuthzRequest::principal("Ka").action(&action)));
+/// assert!(!tm.decide(&AuthzRequest::principal("Kb").action(&action)));
+/// ```
+pub struct AuthzRequest<'a> {
+    principals: Vec<&'a str>,
+    attrs: ActionAttributes,
+    credentials: &'a [Assertion],
+}
+
+impl<'a> AuthzRequest<'a> {
+    /// A request asked on behalf of one principal.
+    pub fn principal(principal: &'a str) -> Self {
+        AuthzRequest {
+            principals: vec![principal],
+            attrs: ActionAttributes::new(),
+            credentials: &[],
+        }
+    }
+
+    /// A request asked on behalf of several principals at once (KeyNote
+    /// evaluates the set jointly, e.g. for k-of threshold licensees).
+    pub fn principals(principals: &[&'a str]) -> Self {
+        AuthzRequest {
+            principals: principals.to_vec(),
+            attrs: ActionAttributes::new(),
+            credentials: &[],
+        }
+    }
+
+    /// Asks about a scheduled action (sets the full WebCom attribute
+    /// set: `app_domain`, `Domain`, `Role`, `ObjectType`, `Permission`,
+    /// `component`, `middleware`).
+    pub fn action(mut self, action: &ScheduledAction) -> Self {
+        self.attrs = action.attributes();
+        self
+    }
+
+    /// Asks about an arbitrary attribute set (escape hatch for callers
+    /// that build their own attributes, e.g. KeyCom's admin checks).
+    pub fn attributes(mut self, attrs: ActionAttributes) -> Self {
+        self.attrs = attrs;
+        self
+    }
+
+    /// Attaches request-scoped credentials: they are vetted like stored
+    /// credentials and support *this* decision, but are never persisted,
+    /// so authority presented with one request cannot leak into later
+    /// ones.
+    pub fn credentials(mut self, credentials: &'a [Assertion]) -> Self {
+        self.credentials = credentials;
+        self
+    }
+
+    /// The comma-joined principal list (cache key component).
+    fn principal_key(&self) -> String {
+        self.principals.join(",")
+    }
+}
 
 /// The per-environment trust-management state: a KeyNote session behind
 /// a lock, mutated as credentials arrive and queried on every
@@ -108,44 +186,14 @@ impl TrustManager {
         self.session.write().add_credentials(text)
     }
 
-    /// Is `principal` authorised for `action`?
-    pub fn authorizes(&self, principal: &str, action: &ScheduledAction) -> bool {
-        self.query(&[principal], &action.attributes())
-    }
-
-    /// Like [`authorizes`](Self::authorizes), but additionally considers
-    /// credentials presented with this one request. They are evaluated
-    /// request-scoped — vetted like stored credentials but never added
-    /// to the session — so authority presented for one request cannot
-    /// leak into later ones.
-    pub fn authorizes_with_credentials(
-        &self,
-        principal: &str,
-        action: &ScheduledAction,
-        credentials: &[Assertion],
-    ) -> bool {
-        self.query_with_credentials(&[principal], &action.attributes(), credentials)
-    }
-
-    /// Raw query against arbitrary attributes.
-    pub fn query(&self, principals: &[&str], attrs: &ActionAttributes) -> bool {
-        self.query_with_credentials(principals, attrs, &[])
-    }
-
-    /// Raw query with request-scoped extra credentials. Decisions are
-    /// served from the cache when one exists for the current session
-    /// epoch; the read lock is held across the epoch read, evaluation
-    /// and insert, so a concurrent mutation can never produce an entry
-    /// that outlives it.
-    pub fn query_with_credentials(
-        &self,
-        principals: &[&str],
-        attrs: &ActionAttributes,
-        credentials: &[Assertion],
-    ) -> bool {
+    /// Answers one [`AuthzRequest`]. Decisions are served from the
+    /// cache when one exists for the current session epoch; the read
+    /// lock is held across the epoch read, evaluation and insert, so a
+    /// concurrent mutation can never produce an entry that outlives it.
+    pub fn decide(&self, request: &AuthzRequest<'_>) -> bool {
         let key = CacheKey {
-            principal: principals.join(","),
-            fingerprint: decision_fingerprint(attrs, credentials, ""),
+            principal: request.principal_key(),
+            fingerprint: decision_fingerprint(&request.attrs, request.credentials, ""),
         };
         let session = self.session.read();
         let epoch = session.epoch();
@@ -153,10 +201,52 @@ impl TrustManager {
             return permitted;
         }
         let permitted = session
-            .query_action_with_extra(principals, attrs, credentials)
+            .query_action_with_extra(&request.principals, &request.attrs, request.credentials)
             .is_authorized();
         self.cache.insert(key, epoch, permitted);
         permitted
+    }
+
+    /// Is `principal` authorised for `action`?
+    #[deprecated(note = "build an `AuthzRequest` and call `decide`; shim kept for one PR")]
+    pub fn authorizes(&self, principal: &str, action: &ScheduledAction) -> bool {
+        self.decide(&AuthzRequest::principal(principal).action(action))
+    }
+
+    /// Like `authorizes`, but with request-scoped credentials.
+    #[deprecated(note = "build an `AuthzRequest` and call `decide`; shim kept for one PR")]
+    pub fn authorizes_with_credentials(
+        &self,
+        principal: &str,
+        action: &ScheduledAction,
+        credentials: &[Assertion],
+    ) -> bool {
+        self.decide(
+            &AuthzRequest::principal(principal)
+                .action(action)
+                .credentials(credentials),
+        )
+    }
+
+    /// Raw query against arbitrary attributes.
+    #[deprecated(note = "build an `AuthzRequest` and call `decide`; shim kept for one PR")]
+    pub fn query(&self, principals: &[&str], attrs: &ActionAttributes) -> bool {
+        self.decide(&AuthzRequest::principals(principals).attributes(attrs.clone()))
+    }
+
+    /// Raw query with request-scoped extra credentials.
+    #[deprecated(note = "build an `AuthzRequest` and call `decide`; shim kept for one PR")]
+    pub fn query_with_credentials(
+        &self,
+        principals: &[&str],
+        attrs: &ActionAttributes,
+        credentials: &[Assertion],
+    ) -> bool {
+        self.decide(
+            &AuthzRequest::principals(principals)
+                .attributes(attrs.clone())
+                .credentials(credentials),
+        )
     }
 
     /// The underlying session's mutation epoch: rises whenever policies,
@@ -220,18 +310,22 @@ mod tests {
         assert!(attrs.get("component").starts_with("ejb://"));
     }
 
+    fn allowed(tm: &TrustManager, principal: &str, action: &ScheduledAction) -> bool {
+        tm.decide(&AuthzRequest::principal(principal).action(action))
+    }
+
     #[test]
-    fn authorizes_follows_encoded_policy() {
+    fn decide_follows_encoded_policy() {
         let tm = manager_with_salaries();
         let action = ScheduledAction::new(component(), "Sales", "Manager");
-        assert!(tm.authorizes("Kclaire", &action));
-        assert!(!tm.authorizes("Kdave", &action));
+        assert!(allowed(&tm, "Kclaire", &action));
+        assert!(!allowed(&tm, "Kdave", &action));
         // write is not granted to Sales/Manager.
         let write = ScheduledAction {
             permission: Permission::new("write"),
             ..action
         };
-        assert!(!tm.authorizes("Kclaire", &write));
+        assert!(!allowed(&tm, "Kclaire", &write));
     }
 
     #[test]
@@ -245,22 +339,22 @@ mod tests {
             &dir,
         );
         let action = ScheduledAction::new(component(), "Sales", "Manager");
-        assert!(!tm.authorizes("Kfred", &action));
+        assert!(!allowed(&tm, "Kfred", &action));
         tm.add_credential(cred).unwrap();
         // 5 membership credentials from the encoded policy + the delegation.
         assert_eq!(tm.credential_count(), 6);
-        assert!(tm.authorizes("Kfred", &action));
+        assert!(allowed(&tm, "Kfred", &action));
     }
 
     #[test]
     fn repeated_queries_hit_the_cache() {
         let tm = manager_with_salaries();
         let action = ScheduledAction::new(component(), "Sales", "Manager");
-        assert!(tm.authorizes("Kclaire", &action));
+        assert!(allowed(&tm, "Kclaire", &action));
         let after_first = tm.cache_stats();
         assert_eq!(after_first.hits, 0);
         for _ in 0..10 {
-            assert!(tm.authorizes("Kclaire", &action));
+            assert!(allowed(&tm, "Kclaire", &action));
         }
         let stats = tm.cache_stats();
         assert_eq!(stats.hits, 10);
@@ -271,16 +365,16 @@ mod tests {
     fn revocation_invalidates_cached_decisions_immediately() {
         let tm = manager_with_salaries();
         let action = ScheduledAction::new(component(), "Sales", "Manager");
-        assert!(tm.authorizes("Kclaire", &action));
-        assert!(tm.authorizes("Kclaire", &action)); // cached grant
+        assert!(allowed(&tm, "Kclaire", &action));
+        assert!(allowed(&tm, "Kclaire", &action)); // cached grant
         let epoch_before = tm.epoch();
         tm.revoke_key("Kclaire");
         assert!(tm.epoch() > epoch_before);
         // The very next decision reflects the revocation.
-        assert!(!tm.authorizes("Kclaire", &action));
+        assert!(!allowed(&tm, "Kclaire", &action));
         assert!(tm.cache_stats().invalidations >= 1);
         tm.reinstate_key("Kclaire");
-        assert!(tm.authorizes("Kclaire", &action));
+        assert!(allowed(&tm, "Kclaire", &action));
     }
 
     #[test]
@@ -295,21 +389,45 @@ mod tests {
         );
         let action = ScheduledAction::new(component(), "Sales", "Manager");
         let count_before = tm.credential_count();
-        assert!(tm.authorizes_with_credentials(
-            "Kfred",
-            &action,
-            std::slice::from_ref(&cred)
-        ));
+        let with_cred = |tm: &TrustManager| {
+            tm.decide(
+                &AuthzRequest::principal("Kfred")
+                    .action(&action)
+                    .credentials(std::slice::from_ref(&cred)),
+            )
+        };
+        assert!(with_cred(&tm));
         // Nothing was stored: the count and the epoch are unchanged, and
         // a request without the credential is denied.
         assert_eq!(tm.credential_count(), count_before);
-        assert!(!tm.authorizes("Kfred", &action));
+        assert!(!allowed(&tm, "Kfred", &action));
         // Presenting again still works (served from cache or not).
-        assert!(tm.authorizes_with_credentials(
-            "Kfred",
-            &action,
-            std::slice::from_ref(&cred)
-        ));
+        assert!(with_cred(&tm));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_answer_like_decide() {
+        let tm = manager_with_salaries();
+        let action = ScheduledAction::new(component(), "Sales", "Manager");
+        assert!(tm.authorizes("Kclaire", &action));
+        assert!(!tm.authorizes("Kdave", &action));
+        assert!(tm.authorizes_with_credentials("Kclaire", &action, &[]));
+        assert!(tm.query(&["Kclaire"], &action.attributes()));
+        assert!(tm.query_with_credentials(&["Kclaire"], &action.attributes(), &[]));
+    }
+
+    #[test]
+    fn threshold_requests_take_multiple_principals() {
+        let tm = TrustManager::permissive();
+        tm.add_policy(
+            "Authorizer: POLICY\nLicensees: 2-of(\"Ka\", \"Kb\", \"Kc\")\n\
+             Conditions: app_domain==\"WebCom\";\n",
+        )
+        .unwrap();
+        let action = ScheduledAction::new(component(), "Sales", "Manager");
+        assert!(tm.decide(&AuthzRequest::principals(&["Ka", "Kb"]).action(&action)));
+        assert!(!tm.decide(&AuthzRequest::principal("Ka").action(&action)));
     }
 
     #[test]

@@ -1,33 +1,38 @@
 //! A WebCom client environment (Figure 3, right side).
 //!
-//! Each client runs on its own thread, receiving [`ScheduleRequest`]s.
-//! For every request it performs the paper's mutual mediation:
+//! The mediation/execution logic lives in [`ClientEngine`], shared by
+//! every transport frontend: [`spawn_client`] runs the engine on its own
+//! thread behind an in-process channel, and [`crate::net::serve_tcp`]
+//! runs the same engine behind a TCP listener. For every request the
+//! engine performs the paper's mutual mediation:
 //!
 //! 1. *authenticate the master*: the master's key must be authorised by
-//!    the client's own trust policy to schedule this action;
+//!    the client's own trust policy to schedule this action (credentials
+//!    presented with the request are considered request-scoped);
 //! 2. *local stack*: the client's pluggable authorisation stack (OS /
 //!    middleware / trust-management layers, §5) must permit the
 //!    executing user;
 //! 3. only then is the component invoked.
 
-use crate::authz::TrustManager;
-use crate::protocol::{
-    ClientMessage, ComponentExecutor, ExecOutcome, ScheduleReply, ScheduleRequest,
-};
+use crate::audit::AuditLog;
+use crate::authz::{AuthzRequest, TrustManager};
+use crate::protocol::{ComponentExecutor, ExecOutcome, ScheduleReply, ScheduleRequest};
 use crate::stack::{AuthzContext, AuthzStack};
 use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A running client and the means to reach it.
-pub struct ClientHandle {
-    /// The client's name.
-    pub name: String,
-    /// The client's public key text (the master checks credentials
-    /// against this identity).
-    pub key_text: String,
-    sender: Sender<ClientMessage>,
-    join: Option<JoinHandle<ClientStats>>,
+/// The envelope the in-process fabric delivers to a client thread: work
+/// plus the reply path, or an orderly shutdown marker. The reply sender
+/// rides in the envelope — transport plumbing — so the
+/// [`ScheduleRequest`] itself stays plain serializable data.
+pub enum ClientMessage {
+    /// A scheduling request (boxed: requests dwarf the shutdown marker)
+    /// and where its reply goes.
+    Request(Box<ScheduleRequest>, Sender<ScheduleReply>),
+    /// Stop after draining the queue up to this point.
+    Shutdown,
 }
 
 /// Counters a client reports when shut down.
@@ -43,27 +48,7 @@ pub struct ClientStats {
     pub failed: usize,
 }
 
-impl ClientHandle {
-    /// The channel the master uses to reach this client.
-    pub fn sender(&self) -> Sender<ClientMessage> {
-        self.sender.clone()
-    }
-
-    /// Shuts the client down and returns its stats. Requests already in
-    /// the queue are drained first; masters still holding a sender clone
-    /// get `Failed` outcomes for anything sent afterwards.
-    pub fn shutdown(mut self) -> ClientStats {
-        let _ = self.sender.send(ClientMessage::Shutdown);
-        drop(self.sender);
-        self.join
-            .take()
-            .expect("client already joined")
-            .join()
-            .expect("client thread panicked")
-    }
-}
-
-/// Configuration for spawning a client.
+/// Configuration for a client engine.
 pub struct ClientConfig {
     /// Client name (diagnostics).
     pub name: String,
@@ -77,28 +62,172 @@ pub struct ClientConfig {
     pub executor: Arc<dyn ComponentExecutor>,
 }
 
+/// The transport-independent client: mutual mediation plus execution.
+/// Frontends (channel thread, TCP server) feed it requests and ship its
+/// replies back however they like.
+pub struct ClientEngine {
+    config: ClientConfig,
+    stats: Mutex<ClientStats>,
+    audit: Option<Arc<AuditLog>>,
+}
+
+impl ClientEngine {
+    /// An engine for `config`.
+    pub fn new(config: ClientConfig) -> Self {
+        ClientEngine {
+            config,
+            stats: Mutex::new(ClientStats::default()),
+            audit: None,
+        }
+    }
+
+    /// Records every local-stack decision into `log` (the network
+    /// frontends enable this so a serving client keeps an audit trail of
+    /// what remote masters asked for).
+    pub fn with_audit(mut self, log: Arc<AuditLog>) -> Self {
+        self.audit = Some(log);
+        self
+    }
+
+    /// The client's name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The client's key text.
+    pub fn key_text(&self) -> &str {
+        &self.config.key_text
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats.lock().clone()
+    }
+
+    /// Handles one request end to end and builds the correlated reply.
+    pub fn handle(&self, req: &ScheduleRequest) -> ScheduleReply {
+        ScheduleReply {
+            op_id: req.op_id,
+            client: self.config.name.clone(),
+            outcome: self.decide_and_execute(req),
+        }
+    }
+
+    fn decide_and_execute(&self, req: &ScheduleRequest) -> ExecOutcome {
+        let config = &self.config;
+        // 1. Authenticate/authorise the master. Credentials presented
+        // with the request are evaluated request-scoped: they support
+        // this decision but are never persisted into the client's store.
+        let master_authorised = config.master_trust.decide(
+            &AuthzRequest::principal(&req.master_key)
+                .action(&req.action)
+                .credentials(&req.credentials),
+        );
+        if !master_authorised {
+            self.stats.lock().master_rejected += 1;
+            return ExecOutcome::Denied(format!(
+                "client {}: master key not authorised to schedule {}",
+                config.name,
+                req.action.component.identifier()
+            ));
+        }
+        // 2. Local stacked mediation for the executing user.
+        let ctx = AuthzContext {
+            user: req.user.clone(),
+            principal: req.principal.clone(),
+            action: req.action.clone(),
+            credentials: req.credentials.clone(),
+        };
+        let decision = config.stack.decide(&ctx);
+        if let Some(audit) = &self.audit {
+            audit.record(&ctx, &decision);
+        }
+        if !decision.permitted {
+            self.stats.lock().stack_denied += 1;
+            let reasons: Vec<String> = decision
+                .trace
+                .iter()
+                .filter_map(|(name, v)| match v {
+                    crate::stack::Verdict::Deny(r) => Some(format!("{name}: {r}")),
+                    _ => None,
+                })
+                .collect();
+            return ExecOutcome::Denied(format!(
+                "client {}: stack denied [{}]",
+                config.name,
+                reasons.join("; ")
+            ));
+        }
+        // 3. Execute.
+        match config
+            .executor
+            .invoke(&req.user, &req.action.component, &req.args)
+        {
+            Ok(v) => {
+                self.stats.lock().executed += 1;
+                ExecOutcome::Ok(v)
+            }
+            Err(e) => {
+                self.stats.lock().failed += 1;
+                ExecOutcome::Failed(e)
+            }
+        }
+    }
+}
+
+/// A running channel-fabric client and the means to reach it.
+pub struct ClientHandle {
+    /// The client's name.
+    pub name: String,
+    /// The client's public key text (the master checks credentials
+    /// against this identity).
+    pub key_text: String,
+    sender: Sender<ClientMessage>,
+    join: Option<JoinHandle<ClientStats>>,
+}
+
+impl ClientHandle {
+    /// The channel the master uses to reach this client.
+    pub fn sender(&self) -> Sender<ClientMessage> {
+        self.sender.clone()
+    }
+
+    /// Shuts the client down and returns its stats. Requests already in
+    /// the queue are drained first; masters still holding a sender clone
+    /// get transport errors for anything sent afterwards.
+    pub fn shutdown(mut self) -> ClientStats {
+        let _ = self.sender.send(ClientMessage::Shutdown);
+        drop(self.sender);
+        self.join
+            .take()
+            .expect("client already joined")
+            .join()
+            .expect("client thread panicked")
+    }
+}
+
 /// Spawns a client thread; it runs until the request channel closes.
 pub fn spawn_client(config: ClientConfig) -> ClientHandle {
+    spawn_engine(Arc::new(ClientEngine::new(config)))
+}
+
+/// Spawns a channel frontend for an existing engine (lets one engine
+/// serve the channel fabric and a TCP listener at once).
+pub fn spawn_engine(engine: Arc<ClientEngine>) -> ClientHandle {
     let (tx, rx) = unbounded::<ClientMessage>();
-    let name = config.name.clone();
-    let key_text = config.key_text.clone();
+    let name = engine.name().to_string();
+    let key_text = engine.key_text().to_string();
     let join = std::thread::Builder::new()
         .name(format!("webcom-client-{name}"))
         .spawn(move || {
-            let mut stats = ClientStats::default();
             while let Ok(msg) = rx.recv() {
-                let req = match msg {
-                    ClientMessage::Request(req) => *req,
+                let (req, reply_to) = match msg {
+                    ClientMessage::Request(req, reply_to) => (req, reply_to),
                     ClientMessage::Shutdown => break,
                 };
-                let outcome = handle_request(&config, &mut stats, &req);
-                let _ = req.reply_to.send(ScheduleReply {
-                    op_id: req.op_id,
-                    client: config.name.clone(),
-                    outcome,
-                });
+                let _ = reply_to.send(engine.handle(&req));
             }
-            stats
+            engine.stats()
         })
         .expect("spawn client thread");
     ClientHandle {
@@ -106,65 +235,6 @@ pub fn spawn_client(config: ClientConfig) -> ClientHandle {
         key_text,
         sender: tx,
         join: Some(join),
-    }
-}
-
-fn handle_request(
-    config: &ClientConfig,
-    stats: &mut ClientStats,
-    req: &ScheduleRequest,
-) -> ExecOutcome {
-    // 1. Authenticate/authorise the master.
-    for cred in &req.credentials {
-        // Credentials travel with the request; invalid ones are simply
-        // not taken into account.
-        let _ = config.master_trust.add_credential(cred.clone());
-    }
-    if !config.master_trust.authorizes(&req.master_key, &req.action) {
-        stats.master_rejected += 1;
-        return ExecOutcome::Denied(format!(
-            "client {}: master key not authorised to schedule {}",
-            config.name,
-            req.action.component.identifier()
-        ));
-    }
-    // 2. Local stacked mediation for the executing user.
-    let ctx = AuthzContext {
-        user: req.user.clone(),
-        principal: req.principal.clone(),
-        action: req.action.clone(),
-        credentials: req.credentials.clone(),
-    };
-    let decision = config.stack.decide(&ctx);
-    if !decision.permitted {
-        stats.stack_denied += 1;
-        let reasons: Vec<String> = decision
-            .trace
-            .iter()
-            .filter_map(|(name, v)| match v {
-                crate::stack::Verdict::Deny(r) => Some(format!("{name}: {r}")),
-                _ => None,
-            })
-            .collect();
-        return ExecOutcome::Denied(format!(
-            "client {}: stack denied [{}]",
-            config.name,
-            reasons.join("; ")
-        ));
-    }
-    // 3. Execute.
-    match config
-        .executor
-        .invoke(&req.user, &req.action.component, &req.args)
-    {
-        Ok(v) => {
-            stats.executed += 1;
-            ExecOutcome::Ok(v)
-        }
-        Err(e) => {
-            stats.failed += 1;
-            ExecOutcome::Failed(e)
-        }
     }
 }
 
@@ -213,20 +283,27 @@ mod tests {
         })
     }
 
-    fn roundtrip(handle: &ClientHandle, req_action: ScheduledAction, master: &str, principal: &str) -> ExecOutcome {
+    fn roundtrip(
+        handle: &ClientHandle,
+        req_action: ScheduledAction,
+        master: &str,
+        principal: &str,
+    ) -> ExecOutcome {
         let (tx, rx) = unbounded();
         handle
             .sender()
-            .send(ClientMessage::Request(Box::new(ScheduleRequest {
-                op_id: 7,
-                action: req_action,
-                user: "worker".into(),
-                principal: principal.to_string(),
-                master_key: master.to_string(),
-                credentials: vec![],
-                args: vec![Value::Int(20), Value::Int(22)],
-                reply_to: tx,
-            })))
+            .send(ClientMessage::Request(
+                Box::new(ScheduleRequest {
+                    op_id: 7,
+                    action: req_action,
+                    user: "worker".into(),
+                    principal: principal.to_string(),
+                    master_key: master.to_string(),
+                    credentials: vec![],
+                    args: vec![Value::Int(20), Value::Int(22)],
+                }),
+                tx,
+            ))
             .unwrap();
         let reply = rx.recv().unwrap();
         assert_eq!(reply.op_id, 7);
@@ -266,8 +343,90 @@ mod tests {
     fn component_failure_reported() {
         let c = client();
         let out = roundtrip(&c, action("no-such-op"), "Kmaster", "Kworker");
-        assert!(matches!(out, ExecOutcome::Failed(_)));
+        assert!(matches!(out, ExecOutcome::Failed(ref e) if !e.retryable));
         let stats = c.shutdown();
         assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn master_credentials_do_not_persist_into_client_store() {
+        // A master presenting a delegation for itself is honoured for
+        // that request only; the client's master-trust store is not
+        // widened for later requests.
+        let master_trust = permissive_tm(
+            "Authorizer: POLICY\nLicensees: \"Kboss\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let user_tm = permissive_tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(user_tm)));
+        let engine = ClientEngine::new(ClientConfig {
+            name: "c1".to_string(),
+            key_text: "Kc1".to_string(),
+            master_trust: Arc::clone(&master_trust),
+            stack: Arc::new(stack),
+            executor: Arc::new(ArithComponentExecutor),
+        });
+        let delegation = hetsec_keynote::parser::parse_assertion(
+            "Authorizer: \"Kboss\"\nLicensees: \"Ksub\"\n",
+        )
+        .unwrap();
+        let count_before = master_trust.credential_count();
+        let mut req = ScheduleRequest {
+            op_id: 1,
+            action: action("add"),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+            master_key: "Ksub".to_string(),
+            credentials: vec![delegation],
+            args: vec![Value::Int(1), Value::Int(1)],
+        };
+        assert!(engine.handle(&req).outcome.is_ok());
+        assert_eq!(master_trust.credential_count(), count_before);
+        // Without the delegation the sub-master is rejected.
+        req.op_id = 2;
+        req.credentials.clear();
+        assert!(matches!(
+            engine.handle(&req).outcome,
+            ExecOutcome::Denied(ref m) if m.contains("master")
+        ));
+    }
+
+    #[test]
+    fn engine_audit_records_stack_decisions() {
+        let log = Arc::new(AuditLog::new(8));
+        let master_trust = permissive_tm(
+            "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let user_tm = permissive_tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(user_tm)));
+        let engine = ClientEngine::new(ClientConfig {
+            name: "c1".to_string(),
+            key_text: "Kc1".to_string(),
+            master_trust,
+            stack: Arc::new(stack),
+            executor: Arc::new(ArithComponentExecutor),
+        })
+        .with_audit(Arc::clone(&log));
+        let req = ScheduleRequest {
+            op_id: 9,
+            action: action("add"),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+            master_key: "Kmaster".to_string(),
+            credentials: vec![],
+            args: vec![Value::Int(2), Value::Int(2)],
+        };
+        assert!(engine.handle(&req).outcome.is_ok());
+        let mut denied = req.clone();
+        denied.op_id = 10;
+        denied.principal = "Kstranger".to_string();
+        assert!(!engine.handle(&denied).outcome.is_ok());
+        assert_eq!(log.totals(), (1, 1));
+        assert_eq!(log.recent(10).len(), 2);
     }
 }

@@ -8,7 +8,7 @@
 //! legacy-reuse point (§5): the middleware's own policy keeps mediating
 //! even when WebCom's stack already granted the schedule.
 
-use crate::protocol::ComponentExecutor;
+use crate::protocol::{ComponentExecutor, ExecError};
 use hetsec_com::ComMiddleware;
 use hetsec_corba::CorbaMiddleware;
 use hetsec_ejb::{EjbMiddleware, InvokeOutcome};
@@ -57,7 +57,7 @@ impl ComponentExecutor for MiddlewareExecutor {
         user: &User,
         component: &ComponentRef,
         _args: &[Value],
-    ) -> Result<Value, String> {
+    ) -> Result<Value, ExecError> {
         let domain = component.domain.as_str();
         match component.kind {
             MiddlewareKind::ComPlus => {
@@ -65,7 +65,7 @@ impl ComponentExecutor for MiddlewareExecutor {
                     .com
                     .iter()
                     .find(|m| m.catalog().nt_domain_name() == domain)
-                    .ok_or_else(|| format!("no COM+ instance for domain {domain}"))?;
+                    .ok_or_else(|| ExecError::component(format!("no COM+ instance for domain {domain}")))?;
                 // COM components name the application as ObjectType and
                 // the class as operation; method calls need Access.
                 m.catalog()
@@ -76,20 +76,23 @@ impl ComponentExecutor for MiddlewareExecutor {
                         "Invoke",
                     )
                     .map(Value::Str)
+                    .map_err(ExecError::component)
             }
             MiddlewareKind::Ejb => {
                 let m = self
                     .ejb
                     .iter()
                     .find(|m| m.container().domain().to_string() == domain)
-                    .ok_or_else(|| format!("no EJB server for domain {domain}"))?;
+                    .ok_or_else(|| ExecError::component(format!("no EJB server for domain {domain}")))?;
                 match m.container().invoke(
                     user.as_str(),
                     component.object_type.as_str(),
                     component.operation.as_str(),
                 ) {
                     InvokeOutcome::Ok(out) => Ok(Value::Str(out)),
-                    InvokeOutcome::AccessDenied(e) | InvokeOutcome::NotFound(e) => Err(e),
+                    InvokeOutcome::AccessDenied(e) | InvokeOutcome::NotFound(e) => {
+                        Err(ExecError::component(e))
+                    }
                 }
             }
             MiddlewareKind::Corba => {
@@ -97,7 +100,7 @@ impl ComponentExecutor for MiddlewareExecutor {
                     .corba
                     .iter()
                     .find(|m| m.orb().domain().to_string() == domain)
-                    .ok_or_else(|| format!("no ORB for domain {domain}"))?;
+                    .ok_or_else(|| ExecError::component(format!("no ORB for domain {domain}")))?;
                 match m.orb().check_invoke(
                     user.as_str(),
                     None,
@@ -108,7 +111,7 @@ impl ComponentExecutor for MiddlewareExecutor {
                         "{}::{}() ok for {user}",
                         component.object_type, component.operation
                     ))),
-                    Err(e) => Err(e),
+                    Err(e) => Err(ExecError::component(e)),
                 }
             }
         }
@@ -178,6 +181,6 @@ mod tests {
         let exec = MiddlewareExecutor::new();
         let c = ComponentRef::new(MiddlewareKind::Ejb, "ghost/d/j", "B", "m");
         let err = exec.invoke(&"u".into(), &c, &[]).unwrap_err();
-        assert!(err.contains("no EJB server"));
+        assert!(err.detail.contains("no EJB server"));
     }
 }

@@ -7,7 +7,7 @@
 //! update to the local middleware catalogue — "an automated Windows/COM
 //! administrator" requiring no human in the loop.
 
-use crate::authz::TrustManager;
+use crate::authz::{AuthzRequest, TrustManager};
 use hetsec_keynote::ast::Assertion;
 use hetsec_keynote::eval::ActionAttributes;
 use hetsec_middleware::security::{MiddlewareError, MiddlewareSecurity};
@@ -92,7 +92,9 @@ impl KeyComService {
                 .map_err(|e| KeyComError::BadCredential(e.to_string()))?;
         }
         let attrs = Self::admin_attributes(&request.change);
-        if !self.admin_trust.query(&[request.requester.as_str()], &attrs) {
+        if !self.admin_trust.decide(
+            &AuthzRequest::principal(request.requester.as_str()).attributes(attrs),
+        ) {
             return Err(KeyComError::NotAuthorised {
                 requester: request.requester.clone(),
                 domain: request.change.domain().to_string(),

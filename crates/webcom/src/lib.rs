@@ -11,6 +11,10 @@
 //!   (Figure 3): mutual mediation, component execution, and the master
 //!   as a condensed-graph [`hetsec_graphs::OpExecutor`] so evaluating a
 //!   graph distributes the application;
+//! * [`wire`] / [`transport`] / [`net`] — the transport-agnostic
+//!   scheduling protocol: length-prefixed framing, the
+//!   [`transport::ClientTransport`] abstraction (in-process channels,
+//!   TCP, fault injection), and the TCP server frontend for clients;
 //! * [`keycom`] — the automated administration service applying
 //!   credential-backed policy updates to middleware catalogues
 //!   (Figure 8);
@@ -26,22 +30,33 @@ pub mod client;
 pub mod ide;
 pub mod keycom;
 pub mod master;
+pub mod net;
 pub mod protocol;
 pub mod stack;
+pub mod transport;
+pub mod wire;
 
 pub use audit::{AuditLog, AuditRecord, AuditedStack};
-pub use authz::{ScheduledAction, TrustManager};
+pub use authz::{AuthzRequest, ScheduledAction, TrustManager};
 pub use cache::{decision_fingerprint, CacheKey, CacheStats, DecisionCache};
-pub use client::{spawn_client, ClientConfig, ClientHandle, ClientStats};
+pub use client::{
+    spawn_client, spawn_engine, ClientConfig, ClientEngine, ClientHandle, ClientMessage,
+    ClientStats,
+};
 pub use environment::EnvironmentBuilder;
 pub use executor::MiddlewareExecutor;
 pub use ide::{interrogate, resolve_spec, Combo, ComponentPalette, PaletteEntry, PartialSpec};
 pub use keycom::{KeyComError, KeyComService, PolicyUpdateRequest};
-pub use master::{Binding, MasterStats, WebComMaster};
+pub use master::{Binding, MasterStats, RetryPolicy, WebComMaster};
+pub use net::{serve_tcp, TcpClientServer};
 pub use protocol::{
-    ArithComponentExecutor, ClientMessage, ComponentExecutor, ExecOutcome, ScheduleReply,
-    ScheduleRequest,
+    ArithComponentExecutor, ClientIdentity, ComponentExecutor, ExecError, ExecErrorKind,
+    ExecOutcome, ScheduleReply, ScheduleRequest, WireRequest, WireResponse,
 };
+pub use transport::{
+    ChannelTransport, ClientTransport, FaultyTransport, TcpTransport, TransportError,
+};
+pub use wire::{decode_frame, encode_frame, read_frame, write_frame, WireError, MAX_FRAME_LEN};
 pub use stack::{
     ApplicationLayer, AuthzContext, AuthzLayer, AuthzStack, CombinationRule, LayerLevel,
     MiddlewareLayer, StackDecision, TrustLayer, UnixOsLayer, Verdict, WindowsOsLayer,

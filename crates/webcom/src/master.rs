@@ -1,25 +1,37 @@
 //! The WebCom master: authenticates clients, selects an authorised
 //! client for every fireable component, and drives condensed-graph
 //! applications through the scheduler (Figure 3, §6).
+//!
+//! Scheduling goes through the [`ClientTransport`] abstraction, so the
+//! same dispatch loop drives in-process clients (channel fabric) and
+//! remote ones (TCP). The loop implements WebCom's fault-tolerance
+//! story: every call carries a deadline, retryable failures are retried
+//! with bounded exponential backoff, and a client that times out or
+//! crashes has its operation rescheduled on another client registered
+//! for the same domain (the paper's "failed operations are
+//! rescheduled").
 
-use crate::authz::{ScheduledAction, TrustManager};
-use crate::protocol::{ClientMessage, ExecOutcome, ScheduleRequest};
+use crate::authz::{AuthzRequest, ScheduledAction, TrustManager};
 use crate::client::ClientHandle;
-use crossbeam::channel::{unbounded, Sender};
+use crate::protocol::{ExecError, ExecErrorKind, ExecOutcome, ScheduleRequest};
+use crate::transport::{ChannelTransport, ClientTransport, TcpTransport};
 use hetsec_graphs::{EngineError, OpExecutor, Value};
 use hetsec_keynote::ast::Assertion;
 use hetsec_middleware::component::ComponentRef;
 use hetsec_rbac::{Domain, Role, User};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// A client as the master sees it.
+/// A client as the master sees it: an identity, the domains it serves,
+/// and the transport to reach it.
 struct ClientEntry {
     name: String,
     key_text: String,
-    sender: Sender<ClientMessage>,
+    transport: Arc<dyn ClientTransport>,
     /// Domains this client can serve.
     domains: Vec<Domain>,
 }
@@ -41,6 +53,48 @@ pub struct Binding {
     pub principal: String,
 }
 
+/// How the master retries retryable failures on one client before
+/// failing over to the next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per client (1 = no retry).
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all (first failure fails over immediately).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based): exponential,
+    /// capped at `max_delay`.
+    pub fn backoff(&self, retry: usize) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16) as u32;
+        self.base_delay
+            .saturating_mul(factor)
+            .min(self.max_delay)
+    }
+}
+
 /// Per-scheduling statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MasterStats {
@@ -50,9 +104,18 @@ pub struct MasterStats {
     pub unschedulable: usize,
     /// Denials returned by clients.
     pub client_denials: usize,
-    /// Failovers: a dead client was skipped and the operation retried on
-    /// another authorised client (WebCom's fault tolerance).
+    /// Operations that completed only after failing over off their first
+    /// client (WebCom's fault tolerance).
     pub rescheduled: usize,
+    /// Same-client re-attempts of retryable failures.
+    pub retries: usize,
+    /// Calls that hit their per-request deadline.
+    pub timeouts: usize,
+    /// Times the dispatch loop gave up on one client and moved the
+    /// operation to another.
+    pub failovers: usize,
+    /// Operations currently inside the dispatch loop (gauge).
+    pub in_flight: usize,
     /// Client-selection authorization decisions served from the trust
     /// manager's decision cache.
     pub cache_hits: u64,
@@ -76,6 +139,10 @@ pub struct WebComMaster {
     /// Credentials forwarded with every request.
     forwarded_credentials: RwLock<Vec<Assertion>>,
     op_counter: AtomicU64,
+    retry: RetryPolicy,
+    /// Per-call reply deadline.
+    op_timeout: Duration,
+    in_flight: AtomicUsize,
     stats: Mutex<MasterStats>,
 }
 
@@ -89,18 +156,73 @@ impl WebComMaster {
             bindings: RwLock::new(HashMap::new()),
             forwarded_credentials: RwLock::new(Vec::new()),
             op_counter: AtomicU64::new(0),
+            retry: RetryPolicy::default(),
+            op_timeout: Duration::from_secs(5),
+            in_flight: AtomicUsize::new(0),
             stats: Mutex::new(MasterStats::default()),
         }
     }
 
-    /// Registers a connected client as serving `domains`.
+    /// Overrides the retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Overrides the per-call reply deadline.
+    pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
+        self.op_timeout = timeout;
+        self
+    }
+
+    /// Registers an in-process client as serving `domains` (channel
+    /// transport — the fast path).
     pub fn register_client(&self, handle: &ClientHandle, domains: Vec<Domain>) {
+        self.register_transport(
+            handle.name.clone(),
+            handle.key_text.clone(),
+            Arc::new(ChannelTransport::new(handle.sender())),
+            domains,
+        );
+    }
+
+    /// Registers a client reachable over an arbitrary transport.
+    pub fn register_transport(
+        &self,
+        name: impl Into<String>,
+        key_text: impl Into<String>,
+        transport: Arc<dyn ClientTransport>,
+        domains: Vec<Domain>,
+    ) {
         self.clients.write().push(ClientEntry {
-            name: handle.name.clone(),
-            key_text: handle.key_text.clone(),
-            sender: handle.sender(),
+            name: name.into(),
+            key_text: key_text.into(),
+            transport,
             domains,
         });
+    }
+
+    /// Dials a serving client at `addr`, performs the Identify
+    /// handshake, and registers it under the identity and domains it
+    /// announced. Returns the client's announced name.
+    pub fn register_tcp(&self, addr: SocketAddr) -> Result<String, ExecError> {
+        let transport = TcpTransport::new(addr);
+        let identity = transport
+            .identify(self.op_timeout)
+            .map_err(|e| e.to_exec_error())?;
+        let name = identity.name.clone();
+        self.register_transport(
+            identity.name,
+            identity.key_text,
+            Arc::new(transport),
+            identity.domains,
+        );
+        Ok(name)
+    }
+
+    /// Names of the registered clients, in registration order.
+    pub fn client_names(&self) -> Vec<String> {
+        self.clients.read().iter().map(|c| c.name.clone()).collect()
     }
 
     /// Binds a graph primitive name to a component + execution identity.
@@ -119,6 +241,7 @@ impl WebComMaster {
     /// check in [`schedule`](Self::schedule) goes through that cache).
     pub fn stats(&self) -> MasterStats {
         let mut stats = self.stats.lock().clone();
+        stats.in_flight = self.in_flight.load(Ordering::Relaxed);
         let cache = self.client_trust.cache_stats();
         stats.cache_hits = cache.hits;
         stats.cache_misses = cache.misses;
@@ -128,9 +251,12 @@ impl WebComMaster {
 
     /// Schedules one action, blocking for the reply. Every client that
     /// (a) serves the action's domain and (b) whose key the master's
-    /// trust policy authorises for the action is eligible; clients whose
-    /// channel is dead are skipped and the operation fails over to the
-    /// next eligible client (WebCom's fault tolerance).
+    /// trust policy authorises for the action is eligible. Dispatch
+    /// walks the eligible clients in registration order: retryable
+    /// failures are retried on the same client under the
+    /// [`RetryPolicy`], and a client that times out, crashes or
+    /// exhausts its retries has the operation failed over to the next
+    /// eligible client.
     pub fn schedule(
         &self,
         action: &ScheduledAction,
@@ -139,15 +265,17 @@ impl WebComMaster {
         args: Vec<Value>,
     ) -> ExecOutcome {
         let op_id = self.op_counter.fetch_add(1, Ordering::Relaxed);
-        let targets: Vec<(String, Sender<ClientMessage>)> = {
+        let targets: Vec<(String, Arc<dyn ClientTransport>)> = {
             let clients = self.clients.read();
             clients
                 .iter()
                 .filter(|c| {
                     c.domains.contains(&action.domain)
-                        && self.client_trust.authorizes(&c.key_text, action)
+                        && self
+                            .client_trust
+                            .decide(&AuthzRequest::principal(&c.key_text).action(action))
                 })
-                .map(|c| (c.name.clone(), c.sender.clone()))
+                .map(|c| (c.name.clone(), Arc::clone(&c.transport)))
                 .collect()
         };
         if targets.is_empty() {
@@ -158,52 +286,104 @@ impl WebComMaster {
                 action.domain
             ));
         }
-        let mut attempts = 0usize;
-        for (_name, sender) in &targets {
-            let (reply_tx, reply_rx) = unbounded();
-            let request = ScheduleRequest {
-                op_id,
-                action: action.clone(),
-                user: user.clone(),
-                principal: principal.to_string(),
-                master_key: self.key_text.clone(),
-                credentials: self.forwarded_credentials.read().clone(),
-                args: args.clone(),
-                reply_to: reply_tx,
-            };
-            attempts += 1;
-            if sender.send(ClientMessage::Request(Box::new(request))).is_err() {
-                continue; // dead client: fail over
-            }
-            match reply_rx.recv() {
-                Ok(reply) => {
-                    let mut stats = self.stats.lock();
-                    if attempts > 1 {
-                        stats.rescheduled += 1;
+        let request = ScheduleRequest {
+            op_id,
+            action: action.clone(),
+            user: user.clone(),
+            principal: principal.to_string(),
+            master_key: self.key_text.clone(),
+            credentials: self.forwarded_credentials.read().clone(),
+            args,
+        };
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let outcome = self.dispatch(&request, &targets);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        outcome
+    }
+
+    /// The dispatch loop: per-target retry, cross-target failover.
+    fn dispatch(
+        &self,
+        request: &ScheduleRequest,
+        targets: &[(String, Arc<dyn ClientTransport>)],
+    ) -> ExecOutcome {
+        let mut last_error: Option<ExecError> = None;
+        for (idx, (_name, transport)) in targets.iter().enumerate() {
+            let mut attempt = 0usize;
+            let target_error = loop {
+                attempt += 1;
+                match transport.call(request, self.op_timeout) {
+                    Ok(reply) => match reply.outcome {
+                        ExecOutcome::Ok(v) => {
+                            let mut stats = self.stats.lock();
+                            stats.scheduled += 1;
+                            if idx > 0 {
+                                stats.rescheduled += 1;
+                            }
+                            return ExecOutcome::Ok(v);
+                        }
+                        ExecOutcome::Denied(reason) => {
+                            // An authorisation denial is authoritative:
+                            // policy does not change because we ask a
+                            // different client.
+                            self.stats.lock().client_denials += 1;
+                            return ExecOutcome::Denied(reason);
+                        }
+                        ExecOutcome::Failed(e) if !e.retryable => {
+                            // Deterministic failure: every client would
+                            // fail the same way.
+                            return ExecOutcome::Failed(e);
+                        }
+                        ExecOutcome::Failed(e) => {
+                            if attempt < self.retry.max_attempts {
+                                self.stats.lock().retries += 1;
+                                std::thread::sleep(self.retry.backoff(attempt));
+                                continue;
+                            }
+                            break e; // retries exhausted: fail over
+                        }
+                    },
+                    Err(te) => {
+                        if te.is_timeout() {
+                            self.stats.lock().timeouts += 1;
+                        }
+                        // The client is unreachable, hung, or spoke the
+                        // protocol wrong; its fate for this op is
+                        // unknown. Reschedule on another client.
+                        break te.to_exec_error();
                     }
-                    match &reply.outcome {
-                        ExecOutcome::Ok(_) => stats.scheduled += 1,
-                        ExecOutcome::Denied(_) => stats.client_denials += 1,
-                        ExecOutcome::Failed(_) => {}
-                    }
-                    return reply.outcome;
                 }
-                Err(_) => continue, // client died mid-request: fail over
+            };
+            last_error = Some(target_error);
+            if idx + 1 < targets.len() {
+                self.stats.lock().failovers += 1;
             }
         }
         self.stats.lock().unschedulable += 1;
-        ExecOutcome::Failed(format!(
-            "all {} authorised clients for {} are unreachable",
-            targets.len(),
-            action.component.identifier()
-        ))
+        let detail = match last_error {
+            Some(e) => format!(
+                "all {} authorised clients for {} are unreachable or failing (last: {e})",
+                targets.len(),
+                request.action.component.identifier()
+            ),
+            None => format!(
+                "all {} authorised clients for {} are unreachable",
+                targets.len(),
+                request.action.component.identifier()
+            ),
+        };
+        ExecOutcome::Failed(ExecError {
+            kind: ExecErrorKind::Transport,
+            retryable: false,
+            detail,
+        })
     }
 
     /// Schedules the binding registered for a primitive.
     pub fn schedule_primitive(&self, primitive: &str, args: Vec<Value>) -> ExecOutcome {
         let binding = { self.bindings.read().get(primitive).cloned() };
         let Some(b) = binding else {
-            return ExecOutcome::Failed(format!("no binding for primitive `{primitive}`"));
+            return ExecOutcome::failed(format!("no binding for primitive `{primitive}`"));
         };
         let action = ScheduledAction::new(b.component.clone(), b.domain.clone(), b.role.clone());
         self.schedule(&action, &b.user, &b.principal, args)
@@ -221,9 +401,9 @@ impl OpExecutor for WebComMaster {
                 op: op.to_string(),
                 reason,
             }),
-            ExecOutcome::Failed(reason) => Err(EngineError::BadArguments {
+            ExecOutcome::Failed(e) => Err(EngineError::BadArguments {
                 op: op.to_string(),
-                reason,
+                reason: e.to_string(),
             }),
         }
     }
@@ -291,7 +471,9 @@ mod tests {
         bind_op(&master, "add", "add");
         let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
         assert_eq!(out, ExecOutcome::Ok(Value::Int(3)));
-        assert_eq!(master.stats().scheduled, 1);
+        let stats = master.stats();
+        assert_eq!(stats.scheduled, 1);
+        assert_eq!(stats.in_flight, 0);
         client.shutdown();
     }
 
@@ -362,7 +544,7 @@ mod tests {
     fn unbound_primitive_fails() {
         let (master, client) = full_fixture();
         let out = master.schedule_primitive("ghost", vec![]);
-        assert!(matches!(out, ExecOutcome::Failed(ref m) if m.contains("no binding")));
+        assert!(matches!(out, ExecOutcome::Failed(ref e) if e.detail.contains("no binding")));
         client.shutdown();
     }
 
@@ -406,6 +588,249 @@ mod tests {
         let err = engine.evaluate(&t, &[]).unwrap_err();
         assert!(matches!(err, EngineError::Refused { .. }));
         client.shutdown();
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(55),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(55)); // capped
+        assert_eq!(p.backoff(40), Duration::from_millis(55)); // no overflow
+    }
+}
+
+#[cfg(test)]
+mod dispatch_tests {
+    use super::*;
+    use crate::protocol::ScheduleReply;
+    use crate::transport::{ClientTransport, TransportError};
+    use hetsec_middleware::naming::MiddlewareKind;
+
+    fn tm(policy: &str) -> Arc<TrustManager> {
+        let t = TrustManager::permissive();
+        t.add_policy(policy).unwrap();
+        Arc::new(t)
+    }
+
+    /// A transport replaying a script of canned results.
+    struct ScriptedTransport {
+        name: String,
+        script: Mutex<Vec<Result<ExecOutcome, TransportError>>>,
+        calls: AtomicUsize,
+    }
+
+    impl ScriptedTransport {
+        fn new(
+            name: &str,
+            script: Vec<Result<ExecOutcome, TransportError>>,
+        ) -> Arc<Self> {
+            Arc::new(ScriptedTransport {
+                name: name.to_string(),
+                script: Mutex::new(script),
+                calls: AtomicUsize::new(0),
+            })
+        }
+
+        fn calls(&self) -> usize {
+            self.calls.load(Ordering::SeqCst)
+        }
+    }
+
+    impl ClientTransport for ScriptedTransport {
+        fn call(
+            &self,
+            request: &ScheduleRequest,
+            timeout: Duration,
+        ) -> Result<ScheduleReply, TransportError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let mut script = self.script.lock();
+            let next = if script.is_empty() {
+                Ok(ExecOutcome::Ok(Value::Unit))
+            } else {
+                script.remove(0)
+            };
+            match next {
+                Ok(outcome) => Ok(ScheduleReply {
+                    op_id: request.op_id,
+                    client: self.name.clone(),
+                    outcome,
+                }),
+                Err(TransportError::Timeout(_)) => Err(TransportError::Timeout(timeout)),
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    fn master_with(
+        entries: Vec<(&str, Arc<ScriptedTransport>)>,
+        retry: RetryPolicy,
+    ) -> WebComMaster {
+        let mut policy = String::new();
+        for (key, _) in &entries {
+            policy.push_str(&format!(
+                "Authorizer: POLICY\nLicensees: \"{key}\"\nConditions: app_domain==\"WebCom\";\n\n"
+            ));
+        }
+        let master = WebComMaster::new("Kmaster", tm(&policy))
+            .with_retry_policy(retry)
+            .with_op_timeout(Duration::from_millis(200));
+        for (key, t) in entries {
+            master.register_transport(
+                t.name.clone(),
+                key.to_string(),
+                t as Arc<dyn ClientTransport>,
+                vec!["Dom".into()],
+            );
+        }
+        master
+    }
+
+    fn action() -> ScheduledAction {
+        ScheduledAction::new(
+            ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+            "Dom",
+            "Worker",
+        )
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn retryable_failures_are_retried_with_backoff() {
+        let t = ScriptedTransport::new(
+            "c1",
+            vec![
+                Ok(ExecOutcome::Failed(ExecError::component_transient("blip"))),
+                Ok(ExecOutcome::Failed(ExecError::component_transient("blip"))),
+                Ok(ExecOutcome::Ok(Value::Int(7))),
+            ],
+        );
+        let master = master_with(vec![("Kc1", Arc::clone(&t))], fast_retry());
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(7)));
+        assert_eq!(t.calls(), 3);
+        let stats = master.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.scheduled, 1);
+        assert_eq!(stats.failovers, 0);
+    }
+
+    #[test]
+    fn non_retryable_failure_returns_immediately() {
+        let t1 = ScriptedTransport::new(
+            "c1",
+            vec![Ok(ExecOutcome::Failed(ExecError::component("div by zero")))],
+        );
+        let t2 = ScriptedTransport::new("c2", vec![]);
+        let master = master_with(
+            vec![("Kc1", Arc::clone(&t1)), ("Kc2", Arc::clone(&t2))],
+            fast_retry(),
+        );
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert!(matches!(out, ExecOutcome::Failed(ref e) if e.detail == "div by zero"));
+        assert_eq!(t1.calls(), 1);
+        assert_eq!(t2.calls(), 0, "deterministic failure must not fail over");
+        assert_eq!(master.stats().retries, 0);
+    }
+
+    #[test]
+    fn timeout_fails_over_and_is_counted() {
+        let t1 = ScriptedTransport::new(
+            "c1",
+            vec![Err(TransportError::Timeout(Duration::from_millis(1)))],
+        );
+        let t2 = ScriptedTransport::new("c2", vec![Ok(ExecOutcome::Ok(Value::Int(9)))]);
+        let master = master_with(
+            vec![("Kc1", Arc::clone(&t1)), ("Kc2", Arc::clone(&t2))],
+            fast_retry(),
+        );
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(9)));
+        let stats = master.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.rescheduled, 1);
+        assert_eq!(stats.scheduled, 1);
+    }
+
+    #[test]
+    fn retries_exhausted_then_failover() {
+        let t1 = ScriptedTransport::new(
+            "c1",
+            vec![
+                Ok(ExecOutcome::Failed(ExecError::component_transient("down"))),
+                Ok(ExecOutcome::Failed(ExecError::component_transient("down"))),
+                Ok(ExecOutcome::Failed(ExecError::component_transient("down"))),
+            ],
+        );
+        let t2 = ScriptedTransport::new("c2", vec![Ok(ExecOutcome::Ok(Value::Unit))]);
+        let master = master_with(
+            vec![("Kc1", Arc::clone(&t1)), ("Kc2", Arc::clone(&t2))],
+            fast_retry(),
+        );
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert!(out.is_ok());
+        assert_eq!(t1.calls(), 3); // max_attempts
+        let stats = master.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.rescheduled, 1);
+    }
+
+    #[test]
+    fn all_targets_failing_reports_unreachable() {
+        let t1 = ScriptedTransport::new(
+            "c1",
+            vec![Err(TransportError::Unreachable("refused".into()))],
+        );
+        let t2 = ScriptedTransport::new(
+            "c2",
+            vec![Err(TransportError::Closed("reset".into()))],
+        );
+        let master = master_with(
+            vec![("Kc1", Arc::clone(&t1)), ("Kc2", Arc::clone(&t2))],
+            RetryPolicy::none(),
+        );
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert!(
+            matches!(out, ExecOutcome::Failed(ref e) if e.detail.contains("unreachable")),
+            "{out:?}"
+        );
+        let stats = master.stats();
+        assert_eq!(stats.unschedulable, 1);
+        // Only target switches count as failovers — giving up entirely
+        // after the last target is not one.
+        assert_eq!(stats.failovers, 1);
+    }
+
+    #[test]
+    fn client_denial_is_not_retried() {
+        let t1 = ScriptedTransport::new(
+            "c1",
+            vec![Ok(ExecOutcome::Denied("stack denied".into()))],
+        );
+        let t2 = ScriptedTransport::new("c2", vec![]);
+        let master = master_with(
+            vec![("Kc1", Arc::clone(&t1)), ("Kc2", Arc::clone(&t2))],
+            fast_retry(),
+        );
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert!(matches!(out, ExecOutcome::Denied(_)));
+        assert_eq!(t1.calls(), 1);
+        assert_eq!(t2.calls(), 0);
+        assert_eq!(master.stats().client_denials, 1);
     }
 }
 
@@ -476,6 +901,7 @@ mod failover_tests {
         let stats = master.stats();
         assert_eq!(stats.scheduled, 1);
         assert_eq!(stats.rescheduled, 1);
+        assert_eq!(stats.failovers, 1);
         let s2 = c2.shutdown();
         assert_eq!(s2.executed, 1);
     }
@@ -490,7 +916,7 @@ mod failover_tests {
         c1.shutdown();
         c2.shutdown();
         let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(1)]);
-        assert!(matches!(out, ExecOutcome::Failed(ref m) if m.contains("unreachable")));
+        assert!(matches!(out, ExecOutcome::Failed(ref e) if e.detail.contains("unreachable")));
         assert_eq!(master.stats().unschedulable, 1);
     }
 
@@ -503,7 +929,9 @@ mod failover_tests {
         master.register_client(&c2, vec!["Dom".into()]);
         let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(1)]);
         assert!(out.is_ok());
-        assert_eq!(master.stats().rescheduled, 0);
+        let stats = master.stats();
+        assert_eq!(stats.rescheduled, 0);
+        assert_eq!(stats.failovers, 0);
         let s1 = c1.shutdown();
         let s2 = c2.shutdown();
         assert_eq!(s1.executed + s2.executed, 1);

@@ -1,26 +1,133 @@
 //! Messages between the WebCom master and its clients (Figure 3).
 //!
-//! The fabric is in-process (crossbeam channels stand in for the
-//! network), but the message shapes mirror the paper's flow: the master
-//! sends a component-execution request carrying its key and supporting
-//! credentials; the client independently verifies the master's authority
-//! and its own stack before executing and replying.
+//! Every type here is plain serializable data: a [`ScheduleRequest`]
+//! carries no channel handles, so the same message crosses an
+//! in-process channel fabric or a TCP connection unchanged. Reply
+//! correlation is the transport's job — replies carry the request's
+//! `op_id` and the transport matches them up (see
+//! [`crate::transport`]). The message shapes mirror the paper's flow:
+//! the master sends a component-execution request carrying its key and
+//! supporting credentials; the client independently verifies the
+//! master's authority and its own stack before executing and replying.
 
 use crate::authz::ScheduledAction;
-use crossbeam::channel::Sender;
 use hetsec_graphs::Value;
 use hetsec_keynote::ast::Assertion;
-use hetsec_rbac::User;
+use hetsec_rbac::{Domain, User};
+use serde::{Deserialize, Serialize};
+
+/// Why an execution failed, in a form the master's retry loop can
+/// classify without string matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecErrorKind {
+    /// The fabric itself failed: connection refused/reset, send on a
+    /// closed channel, malformed frame. Usually worth retrying on
+    /// another client.
+    Transport,
+    /// An authorisation layer refused. Never retryable: policy does not
+    /// change because we ask again.
+    Authorization,
+    /// The component's own business logic failed.
+    Component,
+    /// A deadline elapsed before the client replied.
+    Timeout,
+    /// The peer violated the wire protocol (e.g. a reply for the wrong
+    /// operation).
+    Protocol,
+}
+
+impl std::fmt::Display for ExecErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ExecErrorKind::Transport => "transport",
+            ExecErrorKind::Authorization => "authorization",
+            ExecErrorKind::Component => "component",
+            ExecErrorKind::Timeout => "timeout",
+            ExecErrorKind::Protocol => "protocol",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A structured execution failure: what broke, whether trying again can
+/// possibly help, and a human-readable detail.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecError {
+    /// The failure class.
+    pub kind: ExecErrorKind,
+    /// Whether the master's retry loop may usefully re-attempt the
+    /// operation (same or different client).
+    pub retryable: bool,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ExecError {
+    /// A deterministic component failure (not retryable: the component
+    /// will fail the same way again).
+    pub fn component(detail: impl Into<String>) -> Self {
+        ExecError {
+            kind: ExecErrorKind::Component,
+            retryable: false,
+            detail: detail.into(),
+        }
+    }
+
+    /// A transient component failure (e.g. a briefly unavailable
+    /// backend) that is worth retrying.
+    pub fn component_transient(detail: impl Into<String>) -> Self {
+        ExecError {
+            kind: ExecErrorKind::Component,
+            retryable: true,
+            detail: detail.into(),
+        }
+    }
+
+    /// A fabric failure (connection lost, channel closed). Retryable —
+    /// typically on another client.
+    pub fn transport(detail: impl Into<String>) -> Self {
+        ExecError {
+            kind: ExecErrorKind::Transport,
+            retryable: true,
+            detail: detail.into(),
+        }
+    }
+
+    /// A deadline expiry. Retryable on another client.
+    pub fn timeout(detail: impl Into<String>) -> Self {
+        ExecError {
+            kind: ExecErrorKind::Timeout,
+            retryable: true,
+            detail: detail.into(),
+        }
+    }
+
+    /// A wire-protocol violation. Not retryable against the same peer.
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        ExecError {
+            kind: ExecErrorKind::Protocol,
+            retryable: false,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} error: {}", self.kind, self.detail)
+    }
+}
 
 /// Why an execution did not produce a value.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ExecOutcome {
     /// Execution succeeded.
     Ok(Value),
-    /// An authorisation layer refused.
+    /// An authorisation layer refused. Never retried.
     Denied(String),
-    /// The component itself failed.
-    Failed(String),
+    /// The execution failed; the [`ExecError`] says how and whether a
+    /// retry can help.
+    Failed(ExecError),
 }
 
 impl ExecOutcome {
@@ -28,12 +135,18 @@ impl ExecOutcome {
     pub fn is_ok(&self) -> bool {
         matches!(self, ExecOutcome::Ok(_))
     }
+
+    /// A failed outcome with a deterministic component error.
+    pub fn failed(detail: impl Into<String>) -> Self {
+        ExecOutcome::Failed(ExecError::component(detail))
+    }
 }
 
-/// A request from the master to a client.
-#[derive(Clone)]
+/// A request from the master to a client. Plain data — the transport
+/// layer correlates the eventual [`ScheduleReply`] by `op_id`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleRequest {
-    /// Correlation id.
+    /// Correlation id; echoed in the reply.
     pub op_id: u64,
     /// What to execute and under which (domain, role).
     pub action: ScheduledAction,
@@ -48,30 +161,49 @@ pub struct ScheduleRequest {
     pub credentials: Vec<Assertion>,
     /// Operand values.
     pub args: Vec<Value>,
-    /// Where to send the reply.
-    pub reply_to: Sender<ScheduleReply>,
-}
-
-/// The envelope clients receive: work, or an orderly shutdown marker.
-/// The marker makes client termination independent of how many sender
-/// clones (master registries) are still alive.
-#[derive(Clone)]
-pub enum ClientMessage {
-    /// A scheduling request (boxed: requests dwarf the shutdown marker).
-    Request(Box<ScheduleRequest>),
-    /// Stop after draining the queue up to this point.
-    Shutdown,
 }
 
 /// A client's reply.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleReply {
-    /// Correlation id.
+    /// Correlation id (copied from the request).
     pub op_id: u64,
     /// Which client executed (or refused).
     pub client: String,
     /// The outcome.
     pub outcome: ExecOutcome,
+}
+
+/// What a serving client tells a connecting master about itself — the
+/// network analogue of registering a [`crate::client::ClientHandle`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClientIdentity {
+    /// The client's name (diagnostics).
+    pub name: String,
+    /// The client's public key text (the master mediates scheduling
+    /// against this identity).
+    pub key_text: String,
+    /// Domains this client serves.
+    pub domains: Vec<Domain>,
+}
+
+/// One frame from master to client.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WireRequest {
+    /// Ask the client who it is (registration handshake).
+    Identify,
+    /// Schedule an operation (boxed: requests dwarf the handshake
+    /// variant).
+    Schedule(Box<ScheduleRequest>),
+}
+
+/// One frame from client to master.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WireResponse {
+    /// Answer to [`WireRequest::Identify`].
+    Identity(ClientIdentity),
+    /// Answer to [`WireRequest::Schedule`].
+    Reply(ScheduleReply),
 }
 
 /// Executes middleware components on a client. Implementations wrap the
@@ -86,7 +218,7 @@ pub trait ComponentExecutor: Send + Sync {
         user: &User,
         component: &hetsec_middleware::component::ComponentRef,
         args: &[Value],
-    ) -> Result<Value, String>;
+    ) -> Result<Value, ExecError>;
 }
 
 /// A component executor that interprets the component's *operation*
@@ -101,11 +233,11 @@ impl ComponentExecutor for ArithComponentExecutor {
         _user: &User,
         component: &hetsec_middleware::component::ComponentRef,
         args: &[Value],
-    ) -> Result<Value, String> {
+    ) -> Result<Value, ExecError> {
         use hetsec_graphs::{ArithExecutor, OpExecutor};
         ArithExecutor
             .execute(&component.operation, args)
-            .map_err(|e| e.to_string())
+            .map_err(|e| ExecError::component(e.to_string()))
     }
 }
 
@@ -119,7 +251,17 @@ mod tests {
     fn outcome_predicate() {
         assert!(ExecOutcome::Ok(Value::Unit).is_ok());
         assert!(!ExecOutcome::Denied("x".into()).is_ok());
-        assert!(!ExecOutcome::Failed("x".into()).is_ok());
+        assert!(!ExecOutcome::failed("x").is_ok());
+    }
+
+    #[test]
+    fn error_constructors_classify_retryability() {
+        assert!(!ExecError::component("deterministic").retryable);
+        assert!(ExecError::component_transient("flaky").retryable);
+        assert!(ExecError::transport("conn reset").retryable);
+        assert!(ExecError::timeout("deadline").retryable);
+        assert!(!ExecError::protocol("bad frame").retryable);
+        assert_eq!(ExecError::timeout("d").kind, ExecErrorKind::Timeout);
     }
 
     #[test]
@@ -132,6 +274,37 @@ mod tests {
             Ok(Value::Int(5))
         );
         let bad = ComponentRef::new(MiddlewareKind::Ejb, "d", "Calc", "no-such");
-        assert!(exec.invoke(&u, &bad, &[]).is_err());
+        let err = exec.invoke(&u, &bad, &[]).unwrap_err();
+        assert_eq!(err.kind, ExecErrorKind::Component);
+        assert!(!err.retryable);
+    }
+
+    #[test]
+    fn messages_roundtrip_through_json() {
+        let req = ScheduleRequest {
+            op_id: 42,
+            action: ScheduledAction::new(
+                ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+                "Dom",
+                "Worker",
+            ),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+            master_key: "Kmaster".to_string(),
+            credentials: vec![],
+            args: vec![Value::Int(1), Value::Str("x".into())],
+        };
+        let text = serde_json::to_string(&WireRequest::Schedule(Box::new(req.clone()))).unwrap();
+        let back: WireRequest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, WireRequest::Schedule(Box::new(req)));
+
+        let reply = WireResponse::Reply(ScheduleReply {
+            op_id: 42,
+            client: "c1".to_string(),
+            outcome: ExecOutcome::Failed(ExecError::timeout("slow backend")),
+        });
+        let text = serde_json::to_string(&reply).unwrap();
+        let back: WireResponse = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, reply);
     }
 }

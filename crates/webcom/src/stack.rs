@@ -14,7 +14,7 @@
 //! OS(U) + T(KN); System Y has OS(W) + M(COM)). Each layer returns a
 //! [`Verdict`]; the stack combines them under a configurable rule.
 
-use crate::authz::{ScheduledAction, TrustManager};
+use crate::authz::{AuthzRequest, ScheduledAction, TrustManager};
 use crate::cache::{decision_fingerprint, CacheKey, CacheStats, DecisionCache};
 use hetsec_middleware::security::MiddlewareSecurity;
 use hetsec_os::unix::{UnixAccess, UnixSecurity};
@@ -304,10 +304,11 @@ impl AuthzLayer for TrustLayer {
         // like stored ones (invalid ones are simply not taken into
         // account) but never added to the layer's store, so authority
         // presented with one request cannot leak into later requests.
-        if self
-            .tm
-            .authorizes_with_credentials(&ctx.principal, &ctx.action, &ctx.credentials)
-        {
+        if self.tm.decide(
+            &AuthzRequest::principal(&ctx.principal)
+                .action(&ctx.action)
+                .credentials(&ctx.credentials),
+        ) {
             Verdict::Grant
         } else {
             Verdict::Deny(format!(

@@ -1,0 +1,462 @@
+//! Transport abstraction for the master/client scheduling fabric.
+//!
+//! The master schedules through a [`ClientTransport`]: one synchronous,
+//! deadline-bounded request/reply exchange per call, with replies
+//! correlated to requests by `op_id`. Two real implementations exist —
+//! [`ChannelTransport`] over the in-process channel fabric (the fast
+//! path, and what tests use) and [`TcpTransport`] over a length-prefixed
+//! TCP wire protocol (see [`crate::wire`]) — plus [`FaultyTransport`],
+//! a wrapper that injects drops, delays and crashes at the transport
+//! level for fault-tolerance tests and benches.
+
+use crate::client::ClientMessage;
+use crate::protocol::{
+    ClientIdentity, ExecError, ScheduleReply, ScheduleRequest, WireRequest, WireResponse,
+};
+use crate::wire::{read_frame, write_frame, WireError};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Why a transport call failed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// No reply arrived before the deadline.
+    Timeout(Duration),
+    /// The peer could not be reached (connect refused, channel closed
+    /// before the request was accepted).
+    Unreachable(String),
+    /// The connection died after the request was sent — the operation's
+    /// fate is unknown and it must be rescheduled.
+    Closed(String),
+    /// The peer spoke the protocol wrong (bad frame, reply for a
+    /// different operation).
+    Protocol(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Timeout(d) => write!(f, "no reply within {d:?}"),
+            TransportError::Unreachable(m) => write!(f, "peer unreachable: {m}"),
+            TransportError::Closed(m) => write!(f, "connection lost: {m}"),
+            TransportError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl TransportError {
+    /// True for timeouts (counted separately by the master).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, TransportError::Timeout(_))
+    }
+
+    /// The structured execution error this transport failure maps to.
+    pub fn to_exec_error(&self) -> ExecError {
+        match self {
+            TransportError::Timeout(_) => ExecError::timeout(self.to_string()),
+            TransportError::Unreachable(_) | TransportError::Closed(_) => {
+                ExecError::transport(self.to_string())
+            }
+            TransportError::Protocol(_) => ExecError::protocol(self.to_string()),
+        }
+    }
+}
+
+/// The master's view of one client connection: a synchronous RPC with a
+/// deadline. Implementations must be safe to call from multiple
+/// scheduler threads.
+pub trait ClientTransport: Send + Sync {
+    /// Sends `request` and waits up to `timeout` for the reply whose
+    /// `op_id` matches the request's.
+    fn call(
+        &self,
+        request: &ScheduleRequest,
+        timeout: Duration,
+    ) -> Result<ScheduleReply, TransportError>;
+
+    /// Human-readable description (diagnostics).
+    fn describe(&self) -> String {
+        "transport".to_string()
+    }
+}
+
+// ---- In-process channel transport ----
+
+/// The in-process fabric: requests travel to the client thread over a
+/// channel, each carrying a fresh reply sender (the envelope owns the
+/// sender — the serializable [`ScheduleRequest`] itself does not).
+pub struct ChannelTransport {
+    sender: Sender<ClientMessage>,
+}
+
+impl ChannelTransport {
+    /// Wraps a client's request channel.
+    pub fn new(sender: Sender<ClientMessage>) -> Self {
+        ChannelTransport { sender }
+    }
+}
+
+impl ClientTransport for ChannelTransport {
+    fn call(
+        &self,
+        request: &ScheduleRequest,
+        timeout: Duration,
+    ) -> Result<ScheduleReply, TransportError> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.sender
+            .send(ClientMessage::Request(Box::new(request.clone()), reply_tx))
+            .map_err(|_| TransportError::Unreachable("client channel closed".to_string()))?;
+        match reply_rx.recv_timeout(timeout) {
+            Ok(reply) if reply.op_id == request.op_id => Ok(reply),
+            Ok(reply) => Err(TransportError::Protocol(format!(
+                "reply for op {} while awaiting op {}",
+                reply.op_id, request.op_id
+            ))),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout(timeout)),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed(
+                "client hung up mid-request".to_string(),
+            )),
+        }
+    }
+
+    fn describe(&self) -> String {
+        "in-process channel".to_string()
+    }
+}
+
+// ---- TCP transport ----
+
+/// How many stale (previously timed-out) replies a call will skip while
+/// looking for its own `op_id`. Connections are dropped on timeout, so
+/// in practice this is only exercised by misbehaving peers.
+const MAX_STALE_REPLIES: usize = 8;
+
+/// A connection-per-client TCP transport speaking the length-prefixed
+/// wire protocol. The connection is established lazily, serialised by a
+/// mutex (one in-flight exchange per connection), and dropped on any
+/// failure so the next call reconnects from scratch.
+pub struct TcpTransport {
+    peer: SocketAddr,
+    connect_timeout: Duration,
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl TcpTransport {
+    /// A transport dialing `peer` (connection made on first use).
+    pub fn new(peer: SocketAddr) -> Self {
+        TcpTransport {
+            peer,
+            connect_timeout: Duration::from_secs(5),
+            stream: Mutex::new(None),
+        }
+    }
+
+    /// Overrides the connect timeout.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// The peer address.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Connects and performs the registration handshake: who is serving
+    /// at `peer`, and which domains do they cover?
+    pub fn identify(&self, timeout: Duration) -> Result<ClientIdentity, TransportError> {
+        match self.exchange(&WireRequest::Identify, timeout)? {
+            WireResponse::Identity(id) => Ok(id),
+            WireResponse::Reply(r) => Err(TransportError::Protocol(format!(
+                "expected identity, got reply for op {}",
+                r.op_id
+            ))),
+        }
+    }
+
+    /// One framed request/response exchange under the connection lock.
+    fn exchange(
+        &self,
+        request: &WireRequest,
+        timeout: Duration,
+    ) -> Result<WireResponse, TransportError> {
+        let mut guard = self.stream.lock();
+        if guard.is_none() {
+            let stream = TcpStream::connect_timeout(&self.peer, self.connect_timeout)
+                .map_err(|e| TransportError::Unreachable(format!("{}: {e}", self.peer)))?;
+            stream.set_nodelay(true).ok();
+            *guard = Some(stream);
+        }
+        let stream = guard.as_mut().expect("connection just ensured");
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| TransportError::Protocol(format!("set_read_timeout: {e}")))?;
+        let result = Self::exchange_on(stream, request, timeout);
+        if result.is_err() {
+            // Drop the connection: a failed exchange leaves it in an
+            // unknown framing state (or with a late reply in flight).
+            *guard = None;
+        }
+        result
+    }
+
+    fn exchange_on(
+        stream: &mut TcpStream,
+        request: &WireRequest,
+        timeout: Duration,
+    ) -> Result<WireResponse, TransportError> {
+        write_frame(stream, request).map_err(|e| match e {
+            WireError::Io(ref io) if io.kind() == std::io::ErrorKind::BrokenPipe => {
+                TransportError::Closed(e.to_string())
+            }
+            WireError::Truncated => TransportError::Closed("peer closed while sending".into()),
+            other => TransportError::Closed(other.to_string()),
+        })?;
+        read_frame(stream).map_err(|e| {
+            if e.is_timeout() {
+                TransportError::Timeout(timeout)
+            } else {
+                match e {
+                    WireError::Truncated => {
+                        TransportError::Closed("peer closed mid-reply".to_string())
+                    }
+                    WireError::Io(io) => TransportError::Closed(io.to_string()),
+                    other => TransportError::Protocol(other.to_string()),
+                }
+            }
+        })
+    }
+}
+
+impl ClientTransport for TcpTransport {
+    fn call(
+        &self,
+        request: &ScheduleRequest,
+        timeout: Duration,
+    ) -> Result<ScheduleReply, TransportError> {
+        let mut response =
+            self.exchange(&WireRequest::Schedule(Box::new(request.clone())), timeout)?;
+        // Correlate by op_id: skip stale replies (an earlier call that
+        // timed out after the client already queued its answer).
+        for _ in 0..MAX_STALE_REPLIES {
+            match response {
+                WireResponse::Reply(reply) if reply.op_id == request.op_id => return Ok(reply),
+                WireResponse::Reply(stale) if stale.op_id < request.op_id => {
+                    let mut guard = self.stream.lock();
+                    let Some(stream) = guard.as_mut() else {
+                        return Err(TransportError::Closed("connection dropped".to_string()));
+                    };
+                    response = read_frame(stream).map_err(|e| {
+                        *guard = None;
+                        if e.is_timeout() {
+                            TransportError::Timeout(timeout)
+                        } else {
+                            TransportError::Closed(e.to_string())
+                        }
+                    })?;
+                }
+                WireResponse::Reply(reply) => {
+                    *self.stream.lock() = None;
+                    return Err(TransportError::Protocol(format!(
+                        "reply for future op {} while awaiting op {}",
+                        reply.op_id, request.op_id
+                    )));
+                }
+                WireResponse::Identity(_) => {
+                    *self.stream.lock() = None;
+                    return Err(TransportError::Protocol(
+                        "identity frame while awaiting a schedule reply".to_string(),
+                    ));
+                }
+            }
+        }
+        *self.stream.lock() = None;
+        Err(TransportError::Protocol(format!(
+            "gave up correlating op {} after {MAX_STALE_REPLIES} stale replies",
+            request.op_id
+        )))
+    }
+
+    fn describe(&self) -> String {
+        format!("tcp://{}", self.peer)
+    }
+}
+
+// ---- Fault injection ----
+
+/// A transport wrapper injecting faults at the transport level: dropped
+/// calls, added latency, and permanent death. Deterministic — tests and
+/// benches script the faults they want.
+pub struct FaultyTransport {
+    inner: Box<dyn ClientTransport>,
+    /// Fail this many upcoming calls with `Closed` before passing calls
+    /// through again.
+    drop_next: AtomicUsize,
+    /// Latency added to every call (simulates a slow link; pair with a
+    /// short call timeout to force timeouts).
+    delay: Mutex<Duration>,
+    /// Once set, every call fails with `Unreachable` (a crashed client).
+    killed: AtomicBool,
+}
+
+impl FaultyTransport {
+    /// Wraps a transport with no faults armed.
+    pub fn new(inner: impl ClientTransport + 'static) -> Self {
+        FaultyTransport {
+            inner: Box::new(inner),
+            drop_next: AtomicUsize::new(0),
+            delay: Mutex::new(Duration::ZERO),
+            killed: AtomicBool::new(false),
+        }
+    }
+
+    /// Drops (fails with `Closed`) the next `n` calls.
+    pub fn drop_next(&self, n: usize) {
+        self.drop_next.store(n, Ordering::SeqCst);
+    }
+
+    /// Adds `delay` of latency to every subsequent call.
+    pub fn set_delay(&self, delay: Duration) {
+        *self.delay.lock() = delay;
+    }
+
+    /// Kills the transport: every subsequent call is `Unreachable`.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`kill`](Self::kill) has been called.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+}
+
+impl ClientTransport for FaultyTransport {
+    fn call(
+        &self,
+        request: &ScheduleRequest,
+        timeout: Duration,
+    ) -> Result<ScheduleReply, TransportError> {
+        if self.killed.load(Ordering::SeqCst) {
+            return Err(TransportError::Unreachable("injected crash".to_string()));
+        }
+        if self
+            .drop_next
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(TransportError::Closed("injected drop".to_string()));
+        }
+        let delay = *self.delay.lock();
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
+            if delay >= timeout {
+                return Err(TransportError::Timeout(timeout));
+            }
+        }
+        self.inner.call(request, timeout)
+    }
+
+    fn describe(&self) -> String {
+        format!("faulty({})", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ExecOutcome;
+    use hetsec_graphs::Value;
+
+    /// A transport answering every call successfully.
+    struct EchoTransport;
+
+    impl ClientTransport for EchoTransport {
+        fn call(
+            &self,
+            request: &ScheduleRequest,
+            _timeout: Duration,
+        ) -> Result<ScheduleReply, TransportError> {
+            Ok(ScheduleReply {
+                op_id: request.op_id,
+                client: "echo".to_string(),
+                outcome: ExecOutcome::Ok(Value::Unit),
+            })
+        }
+    }
+
+    fn request(op_id: u64) -> ScheduleRequest {
+        use hetsec_middleware::component::ComponentRef;
+        use hetsec_middleware::naming::MiddlewareKind;
+        ScheduleRequest {
+            op_id,
+            action: crate::authz::ScheduledAction::new(
+                ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+                "Dom",
+                "Worker",
+            ),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+            master_key: "Kmaster".to_string(),
+            credentials: vec![],
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn faulty_transport_drops_then_recovers() {
+        let t = FaultyTransport::new(EchoTransport);
+        t.drop_next(2);
+        assert!(matches!(
+            t.call(&request(1), Duration::from_secs(1)),
+            Err(TransportError::Closed(_))
+        ));
+        assert!(matches!(
+            t.call(&request(2), Duration::from_secs(1)),
+            Err(TransportError::Closed(_))
+        ));
+        assert!(t.call(&request(3), Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn killed_transport_stays_dead() {
+        let t = FaultyTransport::new(EchoTransport);
+        assert!(t.call(&request(1), Duration::from_secs(1)).is_ok());
+        t.kill();
+        for op in 2..5 {
+            assert!(matches!(
+                t.call(&request(op), Duration::from_secs(1)),
+                Err(TransportError::Unreachable(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn delay_beyond_deadline_times_out() {
+        let t = FaultyTransport::new(EchoTransport);
+        t.set_delay(Duration::from_millis(20));
+        let err = t.call(&request(1), Duration::from_millis(5)).unwrap_err();
+        assert!(err.is_timeout());
+        // A deadline longer than the delay still succeeds.
+        assert!(t.call(&request(2), Duration::from_millis(200)).is_ok());
+    }
+
+    #[test]
+    fn transport_errors_map_to_exec_errors() {
+        use crate::protocol::ExecErrorKind;
+        let timeout = TransportError::Timeout(Duration::from_secs(1)).to_exec_error();
+        assert_eq!(timeout.kind, ExecErrorKind::Timeout);
+        assert!(timeout.retryable);
+        let lost = TransportError::Closed("x".into()).to_exec_error();
+        assert_eq!(lost.kind, ExecErrorKind::Transport);
+        assert!(lost.retryable);
+        let proto = TransportError::Protocol("x".into()).to_exec_error();
+        assert_eq!(proto.kind, ExecErrorKind::Protocol);
+        assert!(!proto.retryable);
+    }
+}

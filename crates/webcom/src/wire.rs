@@ -1,0 +1,155 @@
+//! Length-prefixed wire framing for the scheduling protocol.
+//!
+//! A frame is a 4-byte big-endian length followed by that many bytes of
+//! UTF-8 serde_json. The format is deliberately boring: framing errors
+//! must be *errors* — truncated, oversized and garbage frames all
+//! surface as [`WireError`], never as a panic — because the master must
+//! keep scheduling when a client feeds it junk.
+
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Upper bound on a single frame. A schedule request is a component
+/// reference, a handful of credentials and the operand values; anything
+/// beyond this is a corrupt length prefix or an attack, and must not
+/// make the receiver allocate gigabytes.
+pub const MAX_FRAME_LEN: usize = 4 * 1024 * 1024;
+
+/// Why a frame could not be encoded or decoded.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended inside the length prefix or the payload.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized(usize),
+    /// The payload was not valid UTF-8 JSON for the expected type.
+    Malformed(String),
+    /// The underlying stream failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds maximum {MAX_FRAME_LEN}")
+            }
+            WireError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+            WireError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// True when the error means the peer timed out rather than sent
+    /// garbage (read timeouts surface as `Io(WouldBlock|TimedOut)`).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+fn io_error(e: std::io::Error) -> WireError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        WireError::Truncated
+    } else {
+        WireError::Io(e)
+    }
+}
+
+/// Encodes one value as a frame: 4-byte big-endian length + JSON bytes.
+pub fn encode_frame<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
+    let body = serde_json::to_string(value).map_err(|e| WireError::Malformed(e.to_string()))?;
+    let body = body.into_bytes();
+    if body.len() > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(body.len()));
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame<T: Serialize, W: Write>(writer: &mut W, value: &T) -> Result<(), WireError> {
+    let frame = encode_frame(value)?;
+    writer.write_all(&frame).map_err(io_error)?;
+    writer.flush().map_err(io_error)
+}
+
+/// Reads one frame from a stream. A short read is [`WireError::Truncated`],
+/// an absurd length prefix is [`WireError::Oversized`], and a payload
+/// that is not UTF-8 JSON of the expected shape is
+/// [`WireError::Malformed`].
+pub fn read_frame<T: for<'de> Deserialize<'de>, R: Read>(reader: &mut R) -> Result<T, WireError> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf).map_err(io_error)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(io_error)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| WireError::Malformed(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Decodes one frame from a byte slice (convenience for tests/fuzzing).
+pub fn decode_frame<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut cursor = bytes;
+    read_frame(&mut cursor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{WireRequest, WireResponse};
+
+    #[test]
+    fn roundtrip() {
+        let frame = encode_frame(&WireRequest::Identify).unwrap();
+        let back: WireRequest = decode_frame(&frame).unwrap();
+        assert_eq!(back, WireRequest::Identify);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let frame = encode_frame(&WireRequest::Identify).unwrap();
+        for cut in 0..frame.len() {
+            let err = decode_frame::<WireRequest>(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_errors_without_allocating() {
+        let mut frame = vec![0xFF, 0xFF, 0xFF, 0xFF];
+        frame.extend_from_slice(b"ignored");
+        match decode_frame::<WireResponse>(&frame) {
+            Err(WireError::Oversized(n)) => assert!(n > MAX_FRAME_LEN),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_malformed() {
+        let mut frame = (7u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(b"not-js\xFF");
+        assert!(matches!(
+            decode_frame::<WireRequest>(&frame),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

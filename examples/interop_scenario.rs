@@ -23,7 +23,7 @@ use hetsec_rbac::{PermissionGrant, RoleAssignment};
 use hetsec_translate::{
     decode_policy, encode_policy, migrate, MigrationSpec, SymbolicDirectory, APP_DOMAIN,
 };
-use hetsec_webcom::TrustManager;
+use hetsec_webcom::{AuthzRequest, TrustManager};
 
 fn main() {
     let directory = SymbolicDirectory::default();
@@ -65,8 +65,8 @@ fn main() {
         .into_iter()
         .collect()
     };
-    let claire_access = x_tm.query(&["Kclaire"], &attrs("Access"));
-    let claire_runas = x_tm.query(&["Kclaire"], &attrs("RunAs"));
+    let claire_access = x_tm.decide(&AuthzRequest::principal("Kclaire").attributes(attrs("Access")));
+    let claire_runas = x_tm.decide(&AuthzRequest::principal("Kclaire").attributes(attrs("RunAs")));
     println!("System X (no middleware): Kclaire Access -> {claire_access}, RunAs -> {claire_runas}");
     assert!(claire_access);
     assert!(!claire_runas);

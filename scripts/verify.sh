@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate plus lint pass on the crates this change
-# touches most. Run from the repo root: ./scripts/verify.sh
+# Tier-1 verification gate plus workspace-wide lint pass.
+# Run from the repo root: ./scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +10,10 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-echo "== clippy (-D warnings): hetsec-keynote, hetsec-webcom =="
-cargo clippy --no-deps -p hetsec-keynote -p hetsec-webcom --all-targets -- -D warnings
+echo "== network fabric tests (bounded: must not hang on a dead socket) =="
+timeout 120 cargo test -q --test network_fabric
+
+echo "== clippy (-D warnings): whole workspace, all targets =="
+cargo clippy --no-deps --workspace --all-targets -- -D warnings
 
 echo "verify.sh: all gates passed"

@@ -6,7 +6,7 @@ use hetsec_keynote::parser::parse_assertion;
 use hetsec_middleware::component::ComponentRef;
 use hetsec_middleware::naming::MiddlewareKind;
 use hetsec_webcom::stack::{AuthzContext, AuthzStack, TrustLayer};
-use hetsec_webcom::{ScheduledAction, TrustManager};
+use hetsec_webcom::{AuthzRequest, ScheduledAction, TrustManager};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -181,14 +181,14 @@ fn large_store_with_request_scoped_chain() {
     )
     .unwrap();
     let attrs = hetsec_keynote::ActionAttributes::new();
-    assert!(tm.query(&["K63"], &attrs));
+    assert!(tm.decide(&AuthzRequest::principal("K63").attributes(attrs.clone())));
     // A request-scoped extension of the chain works for one request...
     let extra = parse_assertion("Authorizer: \"K63\"\nLicensees: \"Kguest\"\n").unwrap();
-    assert!(tm.query_with_credentials(
-        &["Kguest"],
-        &attrs,
-        std::slice::from_ref(&extra)
+    assert!(tm.decide(
+        &AuthzRequest::principal("Kguest")
+            .attributes(attrs.clone())
+            .credentials(std::slice::from_ref(&extra))
     ));
     // ...and only that request.
-    assert!(!tm.query(&["Kguest"], &attrs));
+    assert!(!tm.decide(&AuthzRequest::principal("Kguest").attributes(attrs)));
 }

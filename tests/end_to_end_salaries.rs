@@ -94,9 +94,9 @@ fn keynote_view_agrees_with_all_three_middlewares() {
             let roles = mw.export_policy().roles_of(&user.into());
             let key = format!("K{}", user.to_lowercase());
             let tm_says = roles.iter().any(|dr| {
-                tm.query(
-                    &[key.as_str()],
-                    &attrs(dr.domain.as_str(), dr.role.as_str(), "SalariesDB", perm),
+                tm.decide(
+                    &hetsec_webcom::AuthzRequest::principal(key.as_str())
+                        .attributes(attrs(dr.domain.as_str(), dr.role.as_str(), "SalariesDB", perm)),
                 )
             });
             assert_eq!(tm_says, expect, "{} keynote {user} {perm}", mw.instance_name());
@@ -174,9 +174,9 @@ fn delegation_is_keynote_only_but_effective() {
         &dir,
     ))
     .unwrap();
-    assert!(tm.query(
-        &["Kfred"],
-        &attrs("Sales", "Manager", "SalariesDB", "read")
+    assert!(tm.decide(
+        &hetsec_webcom::AuthzRequest::principal("Kfred")
+            .attributes(attrs("Sales", "Manager", "SalariesDB", "read"))
     ));
     // But the RBAC relations themselves never mention Fred.
     assert!(policy.roles_of(&"Fred".into()).is_empty());

@@ -1,0 +1,318 @@
+//! Integration tests for the networked scheduling fabric: the
+//! length-prefixed wire protocol, the TCP master/client pair, and the
+//! master's retry/timeout/failover dispatch loop under injected faults.
+
+use hetsec_webcom::stack::TrustLayer;
+use hetsec_webcom::{
+    decode_frame, encode_frame, serve_tcp, ArithComponentExecutor, AuthzStack, Binding,
+    ClientConfig, ClientEngine, ClientTransport, ExecOutcome, FaultyTransport, ScheduleRequest,
+    ScheduledAction, TcpClientServer, TcpTransport, TrustManager, WebComMaster, WireError,
+    WireRequest, WireResponse,
+};
+use hetsec_graphs::Value;
+use hetsec_middleware::component::ComponentRef;
+use hetsec_middleware::naming::MiddlewareKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tm(policy: &str) -> Arc<TrustManager> {
+    let t = TrustManager::permissive();
+    t.add_policy(policy).unwrap();
+    Arc::new(t)
+}
+
+fn engine(name: &str, key: &str) -> Arc<ClientEngine> {
+    let master_trust = tm(
+        "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+    );
+    let user_tm = tm(
+        "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+    );
+    let mut stack = AuthzStack::new();
+    stack.push(Arc::new(TrustLayer::new(user_tm)));
+    Arc::new(ClientEngine::new(ClientConfig {
+        name: name.to_string(),
+        key_text: key.to_string(),
+        master_trust,
+        stack: Arc::new(stack),
+        executor: Arc::new(ArithComponentExecutor),
+    }))
+}
+
+fn serve(name: &str, key: &str) -> TcpClientServer {
+    serve_tcp(engine(name, key), vec!["Dom".into()], "127.0.0.1:0").unwrap()
+}
+
+fn master_trusting(keys: &[&str]) -> WebComMaster {
+    let mut policy = String::new();
+    for k in keys {
+        policy.push_str(&format!(
+            "Authorizer: POLICY\nLicensees: \"{k}\"\nConditions: app_domain==\"WebCom\";\n\n"
+        ));
+    }
+    let master = WebComMaster::new("Kmaster", tm(&policy))
+        .with_op_timeout(Duration::from_secs(2));
+    master.bind(
+        "add",
+        Binding {
+            component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+            domain: "Dom".into(),
+            role: "Worker".into(),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+        },
+    );
+    master
+}
+
+// ---- The acceptance scenario: a multi-op workload over TCP with an
+// injected client death completes 100% via failover. ----
+
+#[test]
+fn tcp_burst_survives_client_death_mid_burst() {
+    let c1 = serve("c1", "Kc1");
+    let c2 = serve("c2", "Kc2");
+    let master = master_trusting(&["Kc1", "Kc2"]);
+    master.register_tcp(c1.local_addr()).unwrap();
+    master.register_tcp(c2.local_addr()).unwrap();
+    assert_eq!(master.client_names(), vec!["c1", "c2"]);
+
+    let total = 30usize;
+    let mut first = Some(c1);
+    let mut completed = 0usize;
+    for i in 0..total {
+        if i == 10 {
+            // Crash the client currently doing all the work.
+            first.take().unwrap().kill();
+        }
+        let out = master.schedule_primitive("add", vec![Value::Int(i as i64), Value::Int(1)]);
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(i as i64 + 1)), "op {i}");
+        completed += 1;
+    }
+    assert_eq!(completed, total, "every operation must complete");
+    let stats = master.stats();
+    assert_eq!(stats.scheduled, total);
+    assert!(stats.failovers > 0, "stats: {stats:?}");
+    assert!(stats.rescheduled > 0, "stats: {stats:?}");
+    assert_eq!(stats.unschedulable, 0, "stats: {stats:?}");
+    assert_eq!(stats.in_flight, 0, "gauge must return to zero");
+    // The survivor picked up everything scheduled after the crash.
+    assert!(c2.served() >= total - 10, "survivor served {}", c2.served());
+    c2.stop();
+}
+
+#[test]
+fn concurrent_masters_share_one_tcp_client() {
+    let server = serve("c1", "Kc1");
+    let master = Arc::new({
+        let m = master_trusting(&["Kc1"]);
+        m.register_tcp(server.local_addr()).unwrap();
+        m
+    });
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let master = Arc::clone(&master);
+            std::thread::spawn(move || {
+                for i in 0..10 {
+                    let v = (t * 100 + i) as i64;
+                    let out =
+                        master.schedule_primitive("add", vec![Value::Int(v), Value::Int(1)]);
+                    assert_eq!(out, ExecOutcome::Ok(Value::Int(v + 1)));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let stats = master.stats();
+    assert_eq!(stats.scheduled, 40);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(server.served(), 40);
+    server.stop();
+}
+
+#[test]
+fn delayed_transport_times_out_and_fails_over() {
+    // c1 is reachable but slow (every call delayed past the deadline);
+    // c2 is healthy. The master must count the timeout and reschedule.
+    let c2 = serve("c2", "Kc2");
+    let master = WebComMaster::new("Kmaster", tm(
+        "Authorizer: POLICY\nLicensees: \"Kc1\"\nConditions: app_domain==\"WebCom\";\n\n\
+         Authorizer: POLICY\nLicensees: \"Kc2\"\nConditions: app_domain==\"WebCom\";\n",
+    ))
+    .with_op_timeout(Duration::from_millis(50));
+    // The injected delay exceeds the deadline, so the wrapped transport
+    // is never consulted — any peer address will do.
+    let slow = FaultyTransport::new(TcpTransport::new(c2.local_addr()));
+    slow.set_delay(Duration::from_millis(80));
+    master.register_transport("slow", "Kc1", Arc::new(slow), vec!["Dom".into()]);
+    master.register_tcp(c2.local_addr()).unwrap();
+    master.bind(
+        "add",
+        Binding {
+            component: ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+            domain: "Dom".into(),
+            role: "Worker".into(),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+        },
+    );
+    let out = master.schedule_primitive("add", vec![Value::Int(2), Value::Int(3)]);
+    assert_eq!(out, ExecOutcome::Ok(Value::Int(5)));
+    let stats = master.stats();
+    assert!(stats.timeouts >= 1, "stats: {stats:?}");
+    assert_eq!(stats.failovers, 1, "stats: {stats:?}");
+    assert_eq!(stats.rescheduled, 1, "stats: {stats:?}");
+    c2.stop();
+}
+
+#[test]
+fn master_rejects_wrong_client_identity_politely() {
+    // A master whose policy does not license the serving client's key
+    // still completes the handshake, then never selects the client.
+    let c1 = serve("c1", "Kc1");
+    let master = master_trusting(&["Ksomeoneelse"]);
+    master.register_tcp(c1.local_addr()).unwrap();
+    let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(1)]);
+    assert!(matches!(out, ExecOutcome::Denied(ref m) if m.contains("no authorised client")));
+    c1.stop();
+}
+
+#[test]
+fn register_tcp_against_dead_port_errors() {
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap();
+    drop(probe);
+    let master = master_trusting(&["Kc1"]);
+    let err = master.register_tcp(addr).unwrap_err();
+    assert!(err.retryable, "transport-level failure: {err:?}");
+}
+
+// ---- Wire-protocol robustness: truncation, oversize, garbage. ----
+
+#[test]
+fn wire_roundtrip_of_every_message_shape() {
+    let request = WireRequest::Schedule(Box::new(ScheduleRequest {
+        op_id: 7,
+        action: ScheduledAction::new(
+            ComponentRef::new(MiddlewareKind::Corba, "Dom", "Stats", "read"),
+            "Dom",
+            "Worker",
+        ),
+        user: "worker".into(),
+        principal: "Kworker".to_string(),
+        master_key: "Kmaster".to_string(),
+        credentials: vec![],
+        args: vec![Value::Int(-3), Value::Str("x\"y\\z".into()), Value::Bool(true)],
+    }));
+    let frame = encode_frame(&request).unwrap();
+    assert_eq!(decode_frame::<WireRequest>(&frame).unwrap(), request);
+
+    let identify = encode_frame(&WireRequest::Identify).unwrap();
+    assert_eq!(
+        decode_frame::<WireRequest>(&identify).unwrap(),
+        WireRequest::Identify
+    );
+}
+
+#[test]
+fn truncated_schedule_frames_error_at_every_cut() {
+    let frame = encode_frame(&WireRequest::Schedule(Box::new(ScheduleRequest {
+        op_id: 1,
+        action: ScheduledAction::new(
+            ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+            "Dom",
+            "Worker",
+        ),
+        user: "worker".into(),
+        principal: "Kworker".to_string(),
+        master_key: "Kmaster".to_string(),
+        credentials: vec![],
+        args: vec![Value::Int(1)],
+    })))
+    .unwrap();
+    for cut in 0..frame.len() {
+        match decode_frame::<WireRequest>(&frame[..cut]) {
+            Err(WireError::Truncated) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_and_garbage_frames_error_never_panic() {
+    // Oversized length prefix.
+    let mut oversized = vec![0x7F, 0xFF, 0xFF, 0xFF];
+    oversized.extend_from_slice(b"whatever");
+    assert!(matches!(
+        decode_frame::<WireResponse>(&oversized),
+        Err(WireError::Oversized(_))
+    ));
+    // Deterministic pseudo-random garbage at many lengths: decoding
+    // must return an error (or, absurdly unlikely, a value) — never
+    // panic or allocate absurdly.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 16, 64, 256, 1024] {
+        for _ in 0..64 {
+            let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let _ = decode_frame::<WireRequest>(&bytes);
+            let _ = decode_frame::<WireResponse>(&bytes);
+        }
+    }
+    // Valid JSON of the wrong shape is Malformed, not a panic.
+    let wrong_shape = encode_frame(&vec![1u64, 2, 3]).unwrap();
+    assert!(matches!(
+        decode_frame::<WireRequest>(&wrong_shape),
+        Err(WireError::Malformed(_))
+    ));
+}
+
+#[test]
+fn tcp_transport_reports_protocol_violation_for_alien_replies() {
+    // A fake "client" that answers every frame with an Identity frame:
+    // schedule calls must surface a protocol error, not hang or panic.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        if let Ok((mut s, _)) = listener.accept() {
+            while hetsec_webcom::read_frame::<WireRequest, _>(&mut s).is_ok() {
+                let id = hetsec_webcom::ClientIdentity {
+                    name: "alien".to_string(),
+                    key_text: "Kalien".to_string(),
+                    domains: vec![],
+                };
+                if hetsec_webcom::write_frame(&mut s, &WireResponse::Identity(id)).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    let transport = TcpTransport::new(addr);
+    let request = ScheduleRequest {
+        op_id: 3,
+        action: ScheduledAction::new(
+            ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+            "Dom",
+            "Worker",
+        ),
+        user: "worker".into(),
+        principal: "Kworker".to_string(),
+        master_key: "Kmaster".to_string(),
+        credentials: vec![],
+        args: vec![],
+    };
+    let err = transport
+        .call(&request, Duration::from_secs(2))
+        .unwrap_err();
+    assert!(
+        matches!(err, hetsec_webcom::TransportError::Protocol(_)),
+        "{err:?}"
+    );
+}

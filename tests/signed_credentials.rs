@@ -9,7 +9,7 @@ use hetsec_rbac::fixtures::salaries_policy;
 use hetsec_rbac::User;
 use hetsec_translate::batch::sign_owned;
 use hetsec_translate::{encode_policy, KeyStoreDirectory, PrincipalDirectory, APP_DOMAIN};
-use hetsec_webcom::{ScheduledAction, TrustManager};
+use hetsec_webcom::{AuthzRequest, ScheduledAction, TrustManager};
 
 fn attrs(d: &str, r: &str, t: &str, p: &str) -> hetsec_keynote::ActionAttributes {
     [
@@ -81,7 +81,7 @@ fn strict_delegation_chain_with_real_signatures() {
         "Sales",
         "Manager",
     );
-    assert!(tm.authorizes(&fred_key, &action));
+    assert!(tm.decide(&AuthzRequest::principal(&fred_key).action(&action)));
     // Tampered chains fail closed: a forged delegation is rejected.
     let mut forged = Assertion::new(
         Principal::key(&claire_key),
