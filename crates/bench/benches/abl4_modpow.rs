@@ -1,0 +1,62 @@
+//! abl4 — modular-exponentiation microbenchmark.
+//!
+//! Isolates the arithmetic underneath RSA sign/verify: Montgomery
+//! fixed-window exponentiation (the path `U512::modpow` now dispatches
+//! to for odd moduli) against the bit-serial schoolbook ladder it
+//! replaced, plus the one-off Montgomery context setup and the
+//! end-to-end sign/verify pair that motivated the overhaul.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsec_crypto::bigint::{Montgomery, U512};
+use hetsec_crypto::{Drbg, KeyPair};
+use std::hint::black_box;
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl4_modpow");
+
+    // A representative RSA-sized instance: 256-bit odd modulus,
+    // full-width base, 256-bit exponent (the private-exponent shape).
+    let mut drbg = Drbg::from_label("abl4-modpow");
+    let mut bytes = [0u8; 32];
+    drbg.fill_bytes(&mut bytes);
+    let mut m = U512::from_be_bytes(&bytes);
+    let mut limbs = m.limbs();
+    limbs[0] |= 1; // odd
+    m = U512::from_limbs(limbs);
+    drbg.fill_bytes(&mut bytes);
+    let base = U512::from_be_bytes(&bytes);
+    drbg.fill_bytes(&mut bytes);
+    let exp = U512::from_be_bytes(&bytes);
+    let e_small = U512::from_u64(65_537);
+
+    group.bench_function("montgomery_256bit_exp", |b| {
+        b.iter(|| black_box(base.modpow(black_box(&exp), black_box(&m))))
+    });
+    group.bench_function("schoolbook_256bit_exp", |b| {
+        b.iter(|| black_box(base.modpow_schoolbook(black_box(&exp), black_box(&m))))
+    });
+    group.bench_function("montgomery_f4_exp", |b| {
+        b.iter(|| black_box(base.modpow(black_box(&e_small), black_box(&m))))
+    });
+    group.bench_function("schoolbook_f4_exp", |b| {
+        b.iter(|| black_box(base.modpow_schoolbook(black_box(&e_small), black_box(&m))))
+    });
+    group.bench_function("montgomery_context_setup", |b| {
+        b.iter(|| black_box(Montgomery::new(black_box(&m)).unwrap()))
+    });
+
+    // End-to-end: the RSA operations the trust layer actually calls.
+    let kp = KeyPair::from_label("abl4-rsa");
+    let payload = b"abl4 modpow microbench payload";
+    let sig = kp.sign(payload);
+    group.bench_function("rsa_sign", |b| {
+        b.iter(|| black_box(kp.sign(black_box(payload))))
+    });
+    group.bench_function("rsa_verify", |b| {
+        b.iter(|| black_box(kp.public().verify(black_box(payload), black_box(&sig))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modpow);
+criterion_main!(benches);

@@ -9,8 +9,11 @@
 //! epoch bump (revocation/reinstatement) must invalidate it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hetsec_crypto::KeyPair;
+use hetsec_keynote::ast::{Assertion, LicenseeExpr, Principal};
 use hetsec_keynote::parser::parse_assertions;
 use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::signing::sign_assertion;
 use hetsec_keynote::ActionAttributes;
 use hetsec_webcom::{AuthzRequest, TrustManager};
 use std::hint::black_box;
@@ -81,6 +84,51 @@ fn bench_fig2(c: &mut Criterion) {
     group.bench_function("decision_cached", |b| {
         b.iter(|| black_box(tm.decide(&AuthzRequest::principal("Kbob").attributes(read_attrs.clone()))))
     });
+
+    // Cold-path anatomy over the same 201-assertion store, without the
+    // decision cache in the way: the AST interpreter (the pre-overhaul
+    // cold path, kept as the reference implementation) against the
+    // compiled evaluator that `query_action` now runs.
+    let mut big = KeyNoteSession::permissive();
+    big.add_policy(FIG2).unwrap();
+    for i in 0..200 {
+        big.add_credentials(&format!(
+            "Authorizer: \"Kdept{i}\"\nLicensees: \"Kmember{i}\"\n\
+             Conditions: app_domain==\"SalariesDB\";\n"
+        ))
+        .unwrap();
+    }
+    group.bench_function("cold_ast_interpreted", |b| {
+        b.iter(|| black_box(big.query_action_interpreted(&["Kbob"], &read_attrs, &[])))
+    });
+    group.bench_function("cold_compiled", |b| {
+        b.iter(|| black_box(big.query_action(&["Kbob"], &read_attrs)))
+    });
+
+    // Request-presented signed credential: the interpreted path pays an
+    // RSA verification per query; the compiled path serves the verdict
+    // from the verified-credential memo after the first query.
+    let kp = KeyPair::from_label("fig2-delegator");
+    let key_text = kp.public().to_text();
+    let mut strict = KeyNoteSession::new();
+    strict
+        .add_policy(&format!(
+            "Authorizer: POLICY\nLicensees: \"{key_text}\"\n\
+             Conditions: app_domain==\"SalariesDB\";\n"
+        ))
+        .unwrap();
+    let mut signed = Assertion::new(
+        Principal::key(&key_text),
+        LicenseeExpr::Principal("Kworker".to_string()),
+    );
+    sign_assertion(&mut signed, &kp).unwrap();
+    let extra = std::slice::from_ref(&signed);
+    group.bench_function("signed_extra_verify_each", |b| {
+        b.iter(|| black_box(strict.query_action_interpreted(&["Kworker"], &read_attrs, extra)))
+    });
+    group.bench_function("signed_extra_memoized", |b| {
+        b.iter(|| black_box(strict.query_action_with_extra(&["Kworker"], &read_attrs, extra)))
+    });
     group.finish();
 
     // Report the measured ratio: the acceptance bar for this series is
@@ -89,6 +137,11 @@ fn bench_fig2(c: &mut Criterion) {
     println!(
         "fig2 decision cache: {} hits / {} misses / {} invalidations",
         stats.hits, stats.misses, stats.invalidations
+    );
+    let vstats = strict.verify_cache_stats();
+    println!(
+        "fig2 verify memo: {} hits / {} misses / {} entries",
+        vstats.hits, vstats.misses, vstats.entries
     );
 }
 

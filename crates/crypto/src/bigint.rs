@@ -297,12 +297,16 @@ impl U512 {
         let mut remainder = U512::ZERO;
         let bits = self.bits();
         for i in (0..bits).rev() {
+            // When the divisor exceeds 2^511 the shift can push the
+            // remainder past 512 bits; the wrapping subtraction absorbs
+            // that implicit high bit (2^512 + r - d < d, single step).
+            let overflow = remainder.bit(511);
             remainder = remainder.shl_small(1);
             if self.bit(i) {
                 remainder.limbs[0] |= 1;
             }
-            if remainder.cmp_val(divisor) != Ordering::Less {
-                remainder = remainder.sub(divisor);
+            if overflow || remainder.cmp_val(divisor) != Ordering::Less {
+                remainder = remainder.overflowing_sub(divisor).0;
                 let limb = (i / 64) as usize;
                 quotient.limbs[limb] |= 1u64 << (i % 64);
             }
@@ -315,8 +319,25 @@ impl U512 {
         self.divmod(m).1
     }
 
-    /// Modular exponentiation by square-and-multiply.
+    /// Modular exponentiation.
+    ///
+    /// Odd moduli (every RSA modulus and Miller-Rabin candidate) take
+    /// the Montgomery fixed-window path; even moduli fall back to the
+    /// bit-serial schoolbook loop, which remains the reference
+    /// implementation as [`U512::modpow_schoolbook`].
     pub fn modpow(&self, exp: &U512, m: &U512) -> U512 {
+        assert!(!m.is_zero(), "modpow by zero modulus");
+        match Montgomery::new(m) {
+            Some(ctx) => ctx.modpow(self, exp),
+            None => self.modpow_schoolbook(exp, m),
+        }
+    }
+
+    /// Modular exponentiation by bit-serial square-and-multiply, with
+    /// every step reduced through the 1024-bit long division. Kept as
+    /// the differential-testing reference for the Montgomery path and
+    /// as the fallback for even moduli.
+    pub fn modpow_schoolbook(&self, exp: &U512, m: &U512) -> U512 {
         assert!(!m.is_zero(), "modpow by zero modulus");
         if *m == U512::ONE {
             return U512::ZERO;
@@ -442,6 +463,9 @@ fn rem_1024(lo: &U512, hi: &U512, m: &U512) -> U512 {
     let mut remainder = U512::ZERO;
     let total_bits = 512 + hi.bits();
     for i in (0..total_bits).rev() {
+        // Same implicit-high-bit handling as `divmod`: for moduli above
+        // 2^511 the shift may carry out of the 512-bit window.
+        let overflow = remainder.bit(511);
         remainder = remainder.shl_small(1);
         let bit = if i >= 512 { hi.bit(i - 512) } else { lo.bit(i) };
         if bit {
@@ -449,11 +473,192 @@ fn rem_1024(lo: &U512, hi: &U512, m: &U512) -> U512 {
             l[0] |= 1;
             remainder = U512::from_limbs(l);
         }
-        if remainder.cmp_val(m) != Ordering::Less {
-            remainder = remainder.sub(m);
+        if overflow || remainder.cmp_val(m) != Ordering::Less {
+            remainder = remainder.overflowing_sub(m).0;
         }
     }
     remainder
+}
+
+/// Montgomery-form arithmetic context for a fixed odd modulus.
+///
+/// Montgomery multiplication replaces the bit-serial 1024-bit long
+/// division inside [`U512::mulmod`] with an interleaved
+/// multiply-and-reduce (CIOS) that costs one 8x8-limb product plus an
+/// 8-limb reduction per step — no per-bit division at all. Building the
+/// context costs a few hundred limb additions (computing `R mod m` and
+/// `R^2 mod m`), amortised over the dozens-to-hundreds of
+/// multiplications of a `modpow`, so RSA sign/verify and each
+/// Miller-Rabin witness round share a single context.
+///
+/// `R = 2^512`. Values in the Montgomery domain represent `x` as
+/// `x * R mod m`; [`Montgomery::mul`] computes `a * b / R mod m`.
+#[derive(Clone, Copy, Debug)]
+pub struct Montgomery {
+    m: U512,
+    /// `-m^-1 mod 2^64`, the per-limb reduction factor.
+    n0: u64,
+    /// `R mod m`, i.e. the Montgomery form of 1.
+    r1: U512,
+    /// `R^2 mod m`, the conversion factor into the Montgomery domain.
+    r2: U512,
+}
+
+impl Montgomery {
+    /// Builds a context for an odd modulus `m > 1`; returns `None` for
+    /// even or trivial moduli (callers fall back to schoolbook).
+    pub fn new(m: &U512) -> Option<Montgomery> {
+        if !m.is_odd() || *m == U512::ONE {
+            return None;
+        }
+        // n0 = -m^-1 mod 2^64 by Newton iteration: for odd m0,
+        // inv = m0 is correct mod 2^3 and each step doubles the bits.
+        let m0 = m.limbs[0];
+        let mut inv = m0;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let n0 = inv.wrapping_neg();
+
+        // r1 = 2^512 mod m without long division: start from
+        // 2^bits(m) mod m = 2^bits(m) - m (one subtraction; valid since
+        // 2^(bits-1) <= m < 2^bits), then double up to 2^512.
+        let b = m.bits();
+        let mut r1 = if b == 512 {
+            // 2^512 - m, computed as the wrapping negation of m.
+            U512::ZERO.overflowing_sub(m).0
+        } else {
+            U512::ONE.shl_small(b).sub(m)
+        };
+        for _ in b..512 {
+            r1 = r1.addmod(&r1, m);
+        }
+
+        let ctx = Montgomery { m: *m, n0, r1, r2: U512::ZERO };
+        // r2 = R^2 mod m via the context itself: mont_sq(2^k * R) =
+        // 2^2k * R, so starting from 2R nine squarings reach 2^512 * R.
+        let mut r2 = r1.addmod(&r1, m);
+        for _ in 0..9 {
+            r2 = ctx.mul(&r2, &r2);
+        }
+        Some(Montgomery { r2, ..ctx })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &U512 {
+        &self.m
+    }
+
+    /// Montgomery form of 1 (`R mod m`).
+    pub fn one(&self) -> U512 {
+        self.r1
+    }
+
+    /// Converts into the Montgomery domain: `a * R mod m`. Accepts any
+    /// `a` (not just `a < m`); the result is fully reduced.
+    pub fn to_mont(&self, a: &U512) -> U512 {
+        self.mul(a, &self.r2)
+    }
+
+    /// Converts out of the Montgomery domain: `a / R mod m`.
+    pub fn from_mont(&self, a: &U512) -> U512 {
+        self.mul(a, &U512::ONE)
+    }
+
+    /// Montgomery product `a * b / R mod m` by CIOS (coarsely
+    /// integrated operand scanning): the reduction is interleaved with
+    /// the multiplication limb by limb, so the intermediate never
+    /// exceeds `LIMBS + 2` limbs. Requires at least one operand `< m`;
+    /// the result is `< m`.
+    pub fn mul(&self, a: &U512, b: &U512) -> U512 {
+        let al = &a.limbs;
+        let bl = &b.limbs;
+        let ml = &self.m.limbs;
+        let mut t = [0u64; LIMBS + 2];
+        for &ai in al.iter() {
+            // t += ai * b
+            let ai = ai as u128;
+            let mut carry: u128 = 0;
+            for j in 0..LIMBS {
+                let s = t[j] as u128 + ai * (bl[j] as u128) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[LIMBS] as u128 + carry;
+            t[LIMBS] = s as u64;
+            t[LIMBS + 1] = (s >> 64) as u64;
+
+            // t = (t + mu * m) / 2^64, exact by choice of mu.
+            let mu = t[0].wrapping_mul(self.n0) as u128;
+            let s = t[0] as u128 + mu * (ml[0] as u128);
+            let mut carry = s >> 64;
+            for j in 1..LIMBS {
+                let s = t[j] as u128 + mu * (ml[j] as u128) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[LIMBS] as u128 + carry;
+            t[LIMBS - 1] = s as u64;
+            t[LIMBS] = t[LIMBS + 1] + (s >> 64) as u64;
+            t[LIMBS + 1] = 0;
+        }
+        let mut out = [0u64; LIMBS];
+        out.copy_from_slice(&t[..LIMBS]);
+        let out = U512 { limbs: out };
+        // CIOS guarantees t < 2m, so one conditional subtraction fully
+        // reduces; t[LIMBS] == 1 marks the value 2^512 + out, and the
+        // wrapping subtraction absorbs that implicit high bit.
+        if t[LIMBS] != 0 || out.cmp_val(&self.m) != Ordering::Less {
+            out.overflowing_sub(&self.m).0
+        } else {
+            out
+        }
+    }
+
+    /// Modular exponentiation by fixed 4-bit-window scanning: one table
+    /// of 16 powers, then four squarings plus at most one multiply per
+    /// window, all in the Montgomery domain.
+    pub fn modpow(&self, base: &U512, exp: &U512) -> U512 {
+        let bm = if base.cmp_val(&self.m) == Ordering::Less {
+            self.to_mont(base)
+        } else {
+            self.to_mont(&base.rem(&self.m))
+        };
+        self.from_mont(&self.pow(&bm, exp))
+    }
+
+    /// Exponentiation with base and result in the Montgomery domain.
+    pub fn pow(&self, base_m: &U512, exp: &U512) -> U512 {
+        let bits = exp.bits();
+        if bits == 0 {
+            return self.r1;
+        }
+        // table[i] = base^i in Montgomery form.
+        let mut table = [self.r1; 16];
+        for i in 1..16 {
+            table[i] = self.mul(&table[i - 1], base_m);
+        }
+        // 4 divides 64, so a window never straddles a limb boundary.
+        let nwin = bits.div_ceil(4);
+        let mut acc = self.r1;
+        let mut first = true;
+        for w in (0..nwin).rev() {
+            if !first {
+                for _ in 0..4 {
+                    acc = self.mul(&acc, &acc);
+                }
+            }
+            let shift = w * 4;
+            let idx = ((exp.limbs[(shift / 64) as usize] >> (shift % 64)) & 0xf) as usize;
+            if first {
+                acc = table[idx];
+                first = false;
+            } else if idx != 0 {
+                acc = self.mul(&acc, &table[idx]);
+            }
+        }
+        acc
+    }
 }
 
 impl PartialOrd for U512 {
@@ -618,6 +823,83 @@ mod tests {
     fn modinv_nonexistent() {
         assert!(U512::from_u64(6).modinv(&U512::from_u64(9)).is_none());
         assert!(U512::ZERO.modinv(&U512::from_u64(7)).is_none());
+    }
+
+    #[test]
+    fn divmod_full_width_divisor() {
+        // Regression: for divisors above 2^511 the bit-serial division
+        // used to drop the remainder's shifted-out high bit.
+        let m = U512::from_limbs([u64::MAX - 4, u64::MAX, u64::MAX, u64::MAX, u64::MAX, u64::MAX, u64::MAX, u64::MAX]); // 2^512 - 5
+        let big = U512::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff").unwrap(); // 2^256 - 1
+        // big^3 mod (2^512 - 5) = 8*2^256 - 16 (since 2^768 = 5*2^256,
+        // 3*2^512 = 15 mod m).
+        let sq = big.mulmod(&big, &m);
+        let cube = sq.mulmod(&big, &m);
+        let expected = U512::ONE.shl_small(259).sub(&U512::from_u64(16));
+        assert_eq!(cube, expected);
+        // divmod agrees: (q, r) reconstructs and r < m.
+        let x = U512::from_limbs([7, 0, 0, 0, 0, 0, 0, u64::MAX]);
+        let (q, r) = x.divmod(&m);
+        assert!(r.cmp_val(&m) == Ordering::Less);
+        assert_eq!(q.mul(&m).add(&r), x);
+    }
+
+    #[test]
+    fn montgomery_roundtrip_and_mul() {
+        let m = U512::from_u64(1_000_000_007);
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = U512::from_u64(123_456_789);
+        let b = U512::from_u64(987_654_321);
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a);
+        let prod = ctx.from_mont(&ctx.mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        assert_eq!(prod, a.mulmod(&b, &m));
+        assert_eq!(ctx.from_mont(&ctx.one()), U512::ONE);
+    }
+
+    #[test]
+    fn montgomery_rejects_even_or_trivial_modulus() {
+        assert!(Montgomery::new(&U512::from_u64(100)).is_none());
+        assert!(Montgomery::new(&U512::ONE).is_none());
+        assert!(Montgomery::new(&U512::from_u64(97)).is_some());
+    }
+
+    #[test]
+    fn montgomery_full_width_modulus() {
+        // bits(m) == 512 exercises the wrapping-negation branch of r1.
+        let m = U512::from_limbs([u64::MAX - 4, u64::MAX, u64::MAX, u64::MAX, u64::MAX, u64::MAX, u64::MAX, u64::MAX]);
+        assert!(m.is_odd());
+        assert_eq!(m.bits(), 512);
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = U512::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff").unwrap();
+        let e = U512::from_u64(65_537);
+        assert_eq!(ctx.modpow(&a, &e), a.modpow_schoolbook(&e, &m));
+    }
+
+    #[test]
+    fn montgomery_modpow_matches_schoolbook() {
+        let m = U512::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff1").unwrap();
+        let ctx = Montgomery::new(&m).unwrap();
+        let base = U512::from_hex("123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef").unwrap();
+        for e in [0u64, 1, 2, 3, 16, 65_537, u64::MAX] {
+            let exp = U512::from_u64(e);
+            assert_eq!(
+                ctx.modpow(&base, &exp),
+                base.modpow_schoolbook(&exp, &m),
+                "e={e}"
+            );
+        }
+        // Large exponent (full 256-bit) as well.
+        let exp = U512::from_hex("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855").unwrap();
+        assert_eq!(ctx.modpow(&base, &exp), base.modpow_schoolbook(&exp, &m));
+    }
+
+    #[test]
+    fn modpow_dispatch_even_modulus_falls_back() {
+        // Even modulus: the public modpow must agree with schoolbook.
+        let m = U512::from_u64(1 << 20);
+        let base = U512::from_u64(12_345);
+        let exp = U512::from_u64(77);
+        assert_eq!(base.modpow(&exp, &m), base.modpow_schoolbook(&exp, &m));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cryptographically secure and is documented as a simulation in
 //! DESIGN.md.
 
-use crate::bigint::U512;
+use crate::bigint::{Montgomery, U512};
 use crate::drbg::Drbg;
 use crate::sha256::sha256;
 
@@ -72,6 +72,12 @@ pub fn is_probable_prime(n: &U512, drbg: &mut Drbg) -> bool {
         d = d.shr_small(1);
         r += 1;
     }
+    // One Montgomery context serves all witness rounds: the witness
+    // exponentiation and the squaring chain both stay in the Montgomery
+    // domain, comparing against the precomputed forms of 1 and n-1.
+    let ctx = Montgomery::new(n).expect("odd modulus > 2");
+    let one_m = ctx.one();
+    let minus_one_m = ctx.to_mont(&n_minus_1);
     'witness: for _ in 0..MR_ROUNDS {
         // Random witness in [2, n-2].
         let bits = n.bits();
@@ -83,13 +89,13 @@ pub fn is_probable_prime(n: &U512, drbg: &mut Drbg) -> bool {
                 break;
             }
         }
-        let mut x = a.modpow(&d, n);
-        if x == U512::ONE || x == n_minus_1 {
+        let mut x = ctx.pow(&ctx.to_mont(&a), &d);
+        if x == one_m || x == minus_one_m {
             continue 'witness;
         }
         for _ in 0..r.saturating_sub(1) {
-            x = x.mulmod(&x, n);
-            if x == n_minus_1 {
+            x = ctx.mul(&x, &x);
+            if x == minus_one_m {
                 continue 'witness;
             }
         }

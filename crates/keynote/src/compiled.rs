@@ -1,0 +1,904 @@
+//! Compiled-assertion evaluation: the request-path form of the
+//! compliance checker.
+//!
+//! The AST produced by the parser is convenient for printing, signing,
+//! and inspection, but evaluating it per request repeats work that does
+//! not depend on the request at all: `~=` patterns were re-compiled on
+//! every evaluation, licensee formulas re-collected their principal
+//! lists, and the checker rebuilt the licensee index over the whole
+//! store for each query. A [`CompiledAssertion`] is built once, at
+//! `add_policy`/`add_credentials` time: regex literals are compiled (a
+//! malformed literal is reported once as a compile note and the
+//! enclosing test is evaluation-total `false`), principal texts are
+//! interned to dense `u32` ids, and the [`CompiledStore`] maintains the
+//! licensee index incrementally so a query starts from a prebuilt
+//! delegation graph.
+//!
+//! The compiled evaluator is behaviorally identical to the AST
+//! interpreter in [`crate::eval`] / [`crate::compliance`]; the
+//! differential and property suites in `tests/` hold the two
+//! implementations to the same answers.
+
+use crate::ast::{
+    ArithOp, Assertion, Clause, CmpOp, ConditionsProgram, Expr, LicenseeExpr, Principal, Term,
+};
+use crate::compliance::{Query, QueryResult, POLICY_KEY};
+use crate::eval::ActionAttributes;
+use crate::parser::format_num;
+use crate::regex::Regex;
+use crate::values::{ComplianceValue, ComplianceValues};
+use std::borrow::Cow;
+use std::collections::{HashMap, VecDeque};
+
+/// Dense id for an interned principal text.
+pub type PrincipalId = u32;
+
+/// Principal-text interner: text to dense id, id to text.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    ids: HashMap<String, PrincipalId>,
+    texts: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, text: &str) -> PrincipalId {
+        if let Some(&id) = self.ids.get(text) {
+            return id;
+        }
+        let id = self.texts.len() as PrincipalId;
+        self.ids.insert(text.to_string(), id);
+        self.texts.push(text.to_string());
+        id
+    }
+
+    fn get(&self, text: &str) -> Option<PrincipalId> {
+        self.ids.get(text).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.texts.len()
+    }
+}
+
+/// Resolves principal texts to ids during compilation. The store path
+/// interns into the persistent [`Interner`]; the per-query path for
+/// request-presented credentials layers a scratch map on top without
+/// mutating the store.
+trait Resolve {
+    fn resolve(&mut self, text: &str) -> PrincipalId;
+}
+
+impl Resolve for Interner {
+    fn resolve(&mut self, text: &str) -> PrincipalId {
+        self.intern(text)
+    }
+}
+
+/// Read-only view over the store interner plus per-query overflow ids
+/// for principals that only request-presented credentials mention.
+struct ScopedResolver<'a> {
+    base: &'a Interner,
+    extra: HashMap<String, PrincipalId>,
+}
+
+impl<'a> ScopedResolver<'a> {
+    fn new(base: &'a Interner) -> Self {
+        ScopedResolver {
+            base,
+            extra: HashMap::new(),
+        }
+    }
+
+    fn lookup(&self, text: &str) -> Option<PrincipalId> {
+        self.base
+            .get(text)
+            .or_else(|| self.extra.get(text).copied())
+    }
+
+    fn total_ids(&self) -> usize {
+        self.base.len() + self.extra.len()
+    }
+}
+
+impl Resolve for ScopedResolver<'_> {
+    fn resolve(&mut self, text: &str) -> PrincipalId {
+        if let Some(id) = self.base.get(text) {
+            return id;
+        }
+        let next = (self.base.len() + self.extra.len()) as PrincipalId;
+        *self.extra.entry(text.to_string()).or_insert(next)
+    }
+}
+
+/// Compiled term. Structurally mirrors [`Term`]; owned strings live in
+/// the compiled assertion so evaluation borrows instead of cloning.
+#[derive(Clone, Debug)]
+enum CTerm {
+    Str(String),
+    Num(f64),
+    Attr(String),
+    Deref(Box<CTerm>),
+    Concat(Box<CTerm>, Box<CTerm>),
+    Arith {
+        op: ArithOp,
+        lhs: Box<CTerm>,
+        rhs: Box<CTerm>,
+    },
+    Neg(Box<CTerm>),
+}
+
+impl CTerm {
+    fn compile(t: &Term) -> CTerm {
+        match t {
+            Term::Str(s) => CTerm::Str(s.clone()),
+            Term::Num(n) => CTerm::Num(*n),
+            Term::Attr(name) => CTerm::Attr(name.clone()),
+            Term::Deref(inner) => CTerm::Deref(Box::new(CTerm::compile(inner))),
+            Term::Concat(a, b) => {
+                CTerm::Concat(Box::new(CTerm::compile(a)), Box::new(CTerm::compile(b)))
+            }
+            Term::Arith { op, lhs, rhs } => CTerm::Arith {
+                op: *op,
+                lhs: Box::new(CTerm::compile(lhs)),
+                rhs: Box::new(CTerm::compile(rhs)),
+            },
+            Term::Neg(inner) => CTerm::Neg(Box::new(CTerm::compile(inner))),
+        }
+    }
+}
+
+/// Compiled boolean expression. Comparisons carry the precomputed
+/// numeric-mode flag; `~=` against a literal pattern holds the compiled
+/// regex (or [`CExpr::BadRegex`] when the literal does not compile).
+#[derive(Clone, Debug)]
+enum CExpr {
+    Const(bool),
+    Or(Box<CExpr>, Box<CExpr>),
+    And(Box<CExpr>, Box<CExpr>),
+    Not(Box<CExpr>),
+    Cmp {
+        op: CmpOp,
+        numeric: bool,
+        lhs: CTerm,
+        rhs: CTerm,
+    },
+    /// `lhs ~= "literal"` with the pattern compiled once.
+    RegexStatic { lhs: CTerm, re: Regex },
+    /// Pattern derived from attributes: compiled per evaluation, as the
+    /// interpreter does.
+    RegexDynamic { lhs: CTerm, pattern: CTerm },
+    /// Literal pattern that failed to compile: evaluation-total `false`,
+    /// reported once as a compile note.
+    BadRegex,
+}
+
+impl CExpr {
+    fn compile(e: &Expr, notes: &mut Vec<String>, origin: &str) -> CExpr {
+        match e {
+            Expr::True => CExpr::Const(true),
+            Expr::False => CExpr::Const(false),
+            Expr::Or(a, b) => CExpr::Or(
+                Box::new(CExpr::compile(a, notes, origin)),
+                Box::new(CExpr::compile(b, notes, origin)),
+            ),
+            Expr::And(a, b) => CExpr::And(
+                Box::new(CExpr::compile(a, notes, origin)),
+                Box::new(CExpr::compile(b, notes, origin)),
+            ),
+            Expr::Not(inner) => CExpr::Not(Box::new(CExpr::compile(inner, notes, origin))),
+            Expr::Cmp { op, lhs, rhs } => CExpr::Cmp {
+                op: *op,
+                numeric: lhs.is_numeric_syntax() || rhs.is_numeric_syntax(),
+                lhs: CTerm::compile(lhs),
+                rhs: CTerm::compile(rhs),
+            },
+            Expr::RegexMatch { lhs, pattern } => match pattern {
+                Term::Str(pat) => match Regex::new(pat) {
+                    Ok(re) => CExpr::RegexStatic {
+                        lhs: CTerm::compile(lhs),
+                        re,
+                    },
+                    Err(err) => {
+                        notes.push(format!(
+                            "{origin}: bad regex pattern {pat:?} ({err:?}); \
+                             the enclosing test always evaluates to false"
+                        ));
+                        CExpr::BadRegex
+                    }
+                },
+                other => CExpr::RegexDynamic {
+                    lhs: CTerm::compile(lhs),
+                    pattern: CTerm::compile(other),
+                },
+            },
+        }
+    }
+}
+
+/// Compiled conditions clause; `Arrow` keeps the value *name* so that
+/// `set_values` never forces a recompile (value sets are tiny and the
+/// name is resolved per evaluation, exactly as the interpreter does).
+#[derive(Clone, Debug)]
+enum CClause {
+    Bare(CExpr),
+    Arrow(CExpr, String),
+    Nested(CExpr, CProgram),
+}
+
+/// Compiled conditions program.
+#[derive(Clone, Debug, Default)]
+struct CProgram {
+    clauses: Vec<CClause>,
+}
+
+impl CProgram {
+    fn compile(p: &ConditionsProgram, notes: &mut Vec<String>, origin: &str) -> CProgram {
+        CProgram {
+            clauses: p
+                .clauses
+                .iter()
+                .map(|c| match c {
+                    Clause::Bare(e) => CClause::Bare(CExpr::compile(e, notes, origin)),
+                    Clause::Arrow(e, v) => {
+                        CClause::Arrow(CExpr::compile(e, notes, origin), v.clone())
+                    }
+                    Clause::Nested(e, inner) => CClause::Nested(
+                        CExpr::compile(e, notes, origin),
+                        CProgram::compile(inner, notes, origin),
+                    ),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Compiled licensees formula over interned principal ids.
+#[derive(Clone, Debug)]
+enum CLicensees {
+    Principal(PrincipalId),
+    And(Box<CLicensees>, Box<CLicensees>),
+    Or(Box<CLicensees>, Box<CLicensees>),
+    KOf(usize, Vec<CLicensees>),
+}
+
+impl CLicensees {
+    fn compile(l: &LicenseeExpr, resolver: &mut dyn Resolve) -> CLicensees {
+        match l {
+            LicenseeExpr::Principal(p) => CLicensees::Principal(resolver.resolve(p)),
+            LicenseeExpr::And(a, b) => CLicensees::And(
+                Box::new(CLicensees::compile(a, resolver)),
+                Box::new(CLicensees::compile(b, resolver)),
+            ),
+            LicenseeExpr::Or(a, b) => CLicensees::Or(
+                Box::new(CLicensees::compile(a, resolver)),
+                Box::new(CLicensees::compile(b, resolver)),
+            ),
+            LicenseeExpr::KOf(k, items) => CLicensees::KOf(
+                *k,
+                items
+                    .iter()
+                    .map(|i| CLicensees::compile(i, resolver))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn collect_ids(&self, out: &mut Vec<PrincipalId>) {
+        match self {
+            CLicensees::Principal(id) => out.push(*id),
+            CLicensees::And(a, b) | CLicensees::Or(a, b) => {
+                a.collect_ids(out);
+                b.collect_ids(out);
+            }
+            CLicensees::KOf(_, items) => {
+                for i in items {
+                    i.collect_ids(out);
+                }
+            }
+        }
+    }
+
+    fn value(&self, support: &[ComplianceValue], min: ComplianceValue) -> ComplianceValue {
+        match self {
+            CLicensees::Principal(id) => support.get(*id as usize).copied().unwrap_or(min),
+            CLicensees::And(a, b) => a.value(support, min).and(b.value(support, min)),
+            CLicensees::Or(a, b) => a.value(support, min).or(b.value(support, min)),
+            CLicensees::KOf(k, items) => {
+                let mut vals: Vec<ComplianceValue> =
+                    items.iter().map(|i| i.value(support, min)).collect();
+                vals.sort_unstable_by(|a, b| b.cmp(a));
+                match k.checked_sub(1) {
+                    Some(i) => vals.get(i).copied().unwrap_or(min),
+                    None => min,
+                }
+            }
+        }
+    }
+}
+
+/// An assertion compiled for evaluation: interned authorizer, compiled
+/// licensees with the deduplicated principal ids the licensee index
+/// needs, and the compiled conditions program.
+#[derive(Clone, Debug)]
+pub struct CompiledAssertion {
+    /// Interned authorizer id (`POLICY` interns its sentinel text).
+    authorizer: PrincipalId,
+    licensees: Option<CLicensees>,
+    /// Deduplicated ids mentioned by the licensees formula — the edges
+    /// of the delegation graph.
+    licensee_ids: Vec<PrincipalId>,
+    conditions: Option<CProgram>,
+    local_constants: Vec<(String, String)>,
+}
+
+impl CompiledAssertion {
+    fn compile(a: &Assertion, resolver: &mut dyn Resolve, notes: &mut Vec<String>) -> Self {
+        let authorizer_text = match &a.authorizer {
+            Principal::Policy => POLICY_KEY,
+            Principal::Key(k) => k.as_str(),
+        };
+        let origin = format!("assertion by {}", a.authorizer);
+        let authorizer = resolver.resolve(authorizer_text);
+        let licensees = a.licensees.as_ref().map(|l| CLicensees::compile(l, resolver));
+        let mut licensee_ids = Vec::new();
+        if let Some(lic) = &licensees {
+            lic.collect_ids(&mut licensee_ids);
+            licensee_ids.sort_unstable();
+            licensee_ids.dedup();
+        }
+        let conditions = a
+            .conditions
+            .as_ref()
+            .map(|p| CProgram::compile(p, notes, &origin));
+        CompiledAssertion {
+            authorizer,
+            licensees,
+            licensee_ids,
+            conditions,
+            local_constants: a.local_constants.clone(),
+        }
+    }
+}
+
+/// The session-resident compiled store: every stored assertion in
+/// compiled form, a persistent interner, and the incrementally
+/// maintained licensee index (`principal id -> assertions mentioning it
+/// as a licensee`).
+#[derive(Clone, Debug, Default)]
+pub struct CompiledStore {
+    interner: Interner,
+    assertions: Vec<CompiledAssertion>,
+    /// Indexed by `PrincipalId`; extended as the interner grows.
+    by_licensee: Vec<Vec<u32>>,
+    notes: Vec<String>,
+}
+
+impl CompiledStore {
+    /// Compiles and stores one assertion, updating the licensee index.
+    pub fn add(&mut self, a: &Assertion) {
+        let idx = self.assertions.len() as u32;
+        let compiled = CompiledAssertion::compile(a, &mut self.interner, &mut self.notes);
+        if self.by_licensee.len() < self.interner.len() {
+            self.by_licensee.resize(self.interner.len(), Vec::new());
+        }
+        for &id in &compiled.licensee_ids {
+            self.by_licensee[id as usize].push(idx);
+        }
+        self.assertions.push(compiled);
+    }
+
+    /// Number of compiled assertions.
+    pub fn len(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// True when no assertions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.assertions.is_empty()
+    }
+
+    /// Compile-time diagnostics (currently: malformed regex literals),
+    /// in the order the offending assertions were added.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+}
+
+/// A term's value during compiled evaluation: borrows attribute and
+/// literal text instead of cloning per lookup.
+enum CValue<'a> {
+    Str(Cow<'a, str>),
+    Num(f64),
+}
+
+impl<'a> CValue<'a> {
+    fn as_str(&self) -> Cow<'a, str> {
+        match self {
+            CValue::Str(s) => s.clone(),
+            CValue::Num(n) => Cow::Owned(format_num(*n)),
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            CValue::Num(n) => Some(*n),
+            CValue::Str(s) => s.trim().parse::<f64>().ok(),
+        }
+    }
+}
+
+/// Compiled-evaluation environment; reserved-name strings are
+/// precomputed once per query instead of per lookup.
+struct CEnv<'a> {
+    attrs: &'a ActionAttributes,
+    locals: &'a [(String, String)],
+    values: &'a ComplianceValues,
+    authorizers_text: &'a str,
+    values_attr: &'a str,
+}
+
+impl<'a> CEnv<'a> {
+    fn lookup(&self, name: &str) -> Cow<'a, str> {
+        if let Some((_, v)) = self.locals.iter().find(|(n, _)| n == name) {
+            return Cow::Borrowed(v.as_str());
+        }
+        match name {
+            "_MIN_TRUST" => Cow::Borrowed(
+                self.values.names().first().map(String::as_str).unwrap_or(""),
+            ),
+            "_MAX_TRUST" => Cow::Borrowed(
+                self.values.names().last().map(String::as_str).unwrap_or(""),
+            ),
+            "_VALUES" => Cow::Borrowed(self.values_attr),
+            "_ACTION_AUTHORIZERS" => Cow::Borrowed(self.authorizers_text),
+            other => Cow::Borrowed(self.attrs.get(other)),
+        }
+    }
+}
+
+/// Evaluation failures conservatively fail the enclosing test, exactly
+/// as in the interpreter.
+enum CFail {
+    NotNumeric,
+    DivByZero,
+}
+
+fn eval_cterm<'a>(t: &'a CTerm, env: &CEnv<'a>) -> Result<CValue<'a>, CFail> {
+    match t {
+        CTerm::Str(s) => Ok(CValue::Str(Cow::Borrowed(s.as_str()))),
+        CTerm::Num(n) => Ok(CValue::Num(*n)),
+        CTerm::Attr(name) => Ok(CValue::Str(env.lookup(name))),
+        CTerm::Deref(inner) => {
+            let name = eval_cterm(inner, env)?.as_str();
+            Ok(CValue::Str(env.lookup(&name)))
+        }
+        CTerm::Concat(a, b) => {
+            let av = eval_cterm(a, env)?.as_str();
+            let bv = eval_cterm(b, env)?.as_str();
+            Ok(CValue::Str(Cow::Owned(format!("{av}{bv}"))))
+        }
+        CTerm::Arith { op, lhs, rhs } => {
+            let a = eval_cterm(lhs, env)?.as_num().ok_or(CFail::NotNumeric)?;
+            let b = eval_cterm(rhs, env)?.as_num().ok_or(CFail::NotNumeric)?;
+            let r = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Err(CFail::DivByZero);
+                    }
+                    a / b
+                }
+                ArithOp::Mod => {
+                    if b == 0.0 {
+                        return Err(CFail::DivByZero);
+                    }
+                    a % b
+                }
+                ArithOp::Pow => a.powf(b),
+            };
+            Ok(CValue::Num(r))
+        }
+        CTerm::Neg(inner) => {
+            let v = eval_cterm(inner, env)?.as_num().ok_or(CFail::NotNumeric)?;
+            Ok(CValue::Num(-v))
+        }
+    }
+}
+
+fn cmp_bool<T: PartialOrd>(op: CmpOp, a: T, b: T) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Gt => a > b,
+        CmpOp::Le => a <= b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn eval_cexpr(e: &CExpr, env: &CEnv<'_>) -> bool {
+    match e {
+        CExpr::Const(b) => *b,
+        CExpr::Or(a, b) => eval_cexpr(a, env) || eval_cexpr(b, env),
+        CExpr::And(a, b) => eval_cexpr(a, env) && eval_cexpr(b, env),
+        CExpr::Not(inner) => !eval_cexpr(inner, env),
+        CExpr::Cmp {
+            op,
+            numeric,
+            lhs,
+            rhs,
+        } => {
+            let (Ok(lv), Ok(rv)) = (eval_cterm(lhs, env), eval_cterm(rhs, env)) else {
+                return false;
+            };
+            if *numeric {
+                let (Some(a), Some(b)) = (lv.as_num(), rv.as_num()) else {
+                    return false;
+                };
+                cmp_bool(*op, a, b)
+            } else {
+                cmp_bool(*op, lv.as_str().as_ref(), rv.as_str().as_ref())
+            }
+        }
+        CExpr::RegexStatic { lhs, re } => {
+            let Ok(subject) = eval_cterm(lhs, env) else {
+                return false;
+            };
+            re.is_match(&subject.as_str())
+        }
+        CExpr::RegexDynamic { lhs, pattern } => {
+            let (Ok(subject), Ok(pat)) = (eval_cterm(lhs, env), eval_cterm(pattern, env)) else {
+                return false;
+            };
+            match Regex::new(&pat.as_str()) {
+                Ok(re) => re.is_match(&subject.as_str()),
+                Err(_) => false,
+            }
+        }
+        CExpr::BadRegex => false,
+    }
+}
+
+fn eval_cprogram(prog: &CProgram, env: &CEnv<'_>, values: &ComplianceValues) -> ComplianceValue {
+    let mut best = values.min();
+    for clause in &prog.clauses {
+        let contributed = match clause {
+            CClause::Bare(test) => {
+                if eval_cexpr(test, env) {
+                    values.max()
+                } else {
+                    continue;
+                }
+            }
+            CClause::Arrow(test, value_name) => {
+                if eval_cexpr(test, env) {
+                    values.index_of(value_name).unwrap_or_else(|| values.min())
+                } else {
+                    continue;
+                }
+            }
+            CClause::Nested(test, inner) => {
+                if eval_cexpr(test, env) {
+                    eval_cprogram(inner, env, values)
+                } else {
+                    continue;
+                }
+            }
+        };
+        best = best.or(contributed);
+    }
+    best
+}
+
+/// Runs the compliance fixpoint over the compiled store, optionally
+/// extended with request-presented credentials (compiled against a
+/// scratch id space layered over the store's interner — the store is
+/// not mutated). The caller vets `extra` (signature policy, no POLICY
+/// authorizers) exactly as for the AST path.
+pub fn query_compiled(store: &CompiledStore, extra: &[&Assertion], query: &Query) -> QueryResult {
+    let values = &query.values;
+    let min = values.min();
+    let max = values.max();
+    let authorizers_text = query.action_authorizers.join(",");
+    let values_attr = values.values_attribute();
+
+    // Compile the request-presented credentials into an overlay id
+    // space; notes about their bad regex literals are request-scoped
+    // and intentionally dropped with the overlay.
+    let mut resolver = ScopedResolver::new(&store.interner);
+    let mut extra_notes = Vec::new();
+    let extra_compiled: Vec<CompiledAssertion> = extra
+        .iter()
+        .map(|a| CompiledAssertion::compile(a, &mut resolver, &mut extra_notes))
+        .collect();
+    let base_count = store.assertions.len();
+    let total_assertions = base_count + extra_compiled.len();
+    let mut extra_by_licensee: HashMap<PrincipalId, Vec<u32>> = HashMap::new();
+    for (i, c) in extra_compiled.iter().enumerate() {
+        for &id in &c.licensee_ids {
+            extra_by_licensee
+                .entry(id)
+                .or_default()
+                .push((base_count + i) as u32);
+        }
+    }
+    let assertion = |idx: u32| -> &CompiledAssertion {
+        let idx = idx as usize;
+        if idx < base_count {
+            &store.assertions[idx]
+        } else {
+            &extra_compiled[idx - base_count]
+        }
+    };
+
+    let n_ids = resolver.total_ids();
+    let mut revoked = vec![false; n_ids];
+    for key in &query.revoked {
+        if let Some(id) = resolver.lookup(key) {
+            revoked[id as usize] = true;
+        }
+    }
+
+    // Support assignment over ids; requesters start at max. A requester
+    // the interner has never seen cannot appear in any licensees
+    // formula, so it cannot influence the fixpoint and is skipped.
+    let mut support = vec![min; n_ids];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut queued = vec![false; total_assertions];
+    let enqueue_deps = |id: PrincipalId,
+                            queue: &mut VecDeque<u32>,
+                            queued: &mut Vec<bool>| {
+        if let Some(deps) = store.by_licensee.get(id as usize) {
+            for &dep in deps {
+                if !queued[dep as usize] {
+                    queued[dep as usize] = true;
+                    queue.push_back(dep);
+                }
+            }
+        }
+        if let Some(deps) = extra_by_licensee.get(&id) {
+            for &dep in deps {
+                if !queued[dep as usize] {
+                    queued[dep as usize] = true;
+                    queue.push_back(dep);
+                }
+            }
+        }
+    };
+    for a in &query.action_authorizers {
+        let Some(id) = resolver.lookup(a) else {
+            continue;
+        };
+        if revoked[id as usize] || support[id as usize] == max {
+            continue;
+        }
+        support[id as usize] = max;
+        enqueue_deps(id, &mut queue, &mut queued);
+    }
+
+    let mut cond_values: Vec<Option<ComplianceValue>> = vec![None; total_assertions];
+    let mut evaluations = 0usize;
+    while let Some(idx) = queue.pop_front() {
+        queued[idx as usize] = false;
+        let a = assertion(idx);
+        if revoked[a.authorizer as usize] {
+            continue; // revoked keys convey nothing
+        }
+        let Some(lic) = &a.licensees else {
+            continue;
+        };
+        let cond = *cond_values[idx as usize].get_or_insert_with(|| {
+            evaluations += 1;
+            let env = CEnv {
+                attrs: &query.attributes,
+                locals: &a.local_constants,
+                values,
+                authorizers_text: &authorizers_text,
+                values_attr: &values_attr,
+            };
+            match &a.conditions {
+                None => max,
+                Some(prog) => eval_cprogram(prog, &env, values),
+            }
+        });
+        if cond == min {
+            continue;
+        }
+        let assertion_val = cond.and(lic.value(&support, min));
+        let cur = support[a.authorizer as usize];
+        if assertion_val > cur {
+            support[a.authorizer as usize] = assertion_val;
+            enqueue_deps(a.authorizer, &mut queue, &mut queued);
+        }
+    }
+
+    let value = resolver
+        .lookup(POLICY_KEY)
+        .map(|id| support[id as usize])
+        .unwrap_or(min);
+    QueryResult {
+        value,
+        value_name: values.name_of(value).to_string(),
+        iterations: evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compliance::check_compliance;
+    use crate::parser::parse_assertions;
+
+    fn store_from(text: &str) -> (CompiledStore, Vec<Assertion>) {
+        let assertions = parse_assertions(text).unwrap();
+        let mut store = CompiledStore::default();
+        for a in &assertions {
+            store.add(a);
+        }
+        (store, assertions)
+    }
+
+    fn both(text: &str, q: &Query) -> (QueryResult, QueryResult) {
+        let (store, assertions) = store_from(text);
+        let compiled = query_compiled(&store, &[], q);
+        let interpreted = check_compliance(&assertions, q);
+        (compiled, interpreted)
+    }
+
+    fn query(authorizers: &[&str], attrs: &[(&str, &str)]) -> Query {
+        Query::new(
+            authorizers.iter().map(|s| s.to_string()).collect(),
+            attrs.iter().copied().collect(),
+        )
+    }
+
+    const FIG2_AND_4: &str = "\
+Authorizer: POLICY
+licensees: \"Kbob\"
+Conditions: app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\");
+
+Authorizer: \"Kbob\"
+licensees: \"Kalice\"
+Conditions: app_domain==\"SalariesDB\" && oper==\"write\";
+";
+
+    #[test]
+    fn agrees_with_interpreter_on_paper_examples() {
+        for (who, oper) in [
+            ("Kbob", "read"),
+            ("Kbob", "write"),
+            ("Kbob", "drop"),
+            ("Kalice", "write"),
+            ("Kalice", "read"),
+            ("Kmallory", "read"),
+        ] {
+            let q = query(&[who], &[("app_domain", "SalariesDB"), ("oper", oper)]);
+            let (c, i) = both(FIG2_AND_4, &q);
+            assert_eq!(c.value, i.value, "{who}/{oper}");
+            assert_eq!(c.value_name, i.value_name, "{who}/{oper}");
+        }
+    }
+
+    #[test]
+    fn delegation_and_revocation_agree() {
+        let text = "\
+Authorizer: POLICY
+Licensees: \"Ka\"
+
+Authorizer: \"Ka\"
+Licensees: \"Kb\"
+";
+        let q = query(&["Kb"], &[]);
+        let (c, i) = both(text, &q);
+        assert!(c.is_authorized() && i.is_authorized());
+        let q = query(&["Kb"], &[]).with_revoked(["Ka".to_string()]);
+        let (c, i) = both(text, &q);
+        assert!(!c.is_authorized() && !i.is_authorized());
+    }
+
+    #[test]
+    fn threshold_and_cycles_agree() {
+        let text = "\
+Authorizer: POLICY
+Licensees: 2-of(\"Ka\", \"Kb\", \"Kc\")
+
+Authorizer: \"Ka\"
+Licensees: \"Kb\"
+
+Authorizer: \"Kb\"
+Licensees: \"Ka\"
+";
+        for reqs in [
+            vec!["Ka"],
+            vec!["Kb"],
+            vec!["Ka", "Kc"],
+            vec!["Ka", "Kb", "Kc"],
+            vec!["Kz"],
+        ] {
+            let q = query(&reqs, &[]);
+            let (c, i) = both(text, &q);
+            assert_eq!(c.value, i.value, "{reqs:?}");
+        }
+    }
+
+    #[test]
+    fn extra_credentials_overlay_does_not_mutate_store() {
+        let (store, _) = store_from("Authorizer: POLICY\nLicensees: \"Ka\"\n");
+        let interned_before = store.interner.len();
+        let delegation = Assertion::new(
+            Principal::key("Ka"),
+            LicenseeExpr::Principal("Kb".to_string()),
+        );
+        let q = query(&["Kb"], &[]);
+        let r = query_compiled(&store, &[&delegation], &q);
+        assert!(r.is_authorized());
+        assert_eq!(store.interner.len(), interned_before);
+        // Without the overlay the request is denied again.
+        assert!(!query_compiled(&store, &[], &q).is_authorized());
+    }
+
+    #[test]
+    fn bad_regex_literal_is_reported_once_and_always_false() {
+        let (store, assertions) = store_from(
+            "Authorizer: POLICY\nLicensees: \"Ka\"\nConditions: oper ~= \"(unclosed\";\n",
+        );
+        assert_eq!(store.notes().len(), 1);
+        assert!(store.notes()[0].contains("bad regex"), "{}", store.notes()[0]);
+        let q = query(&["Ka"], &[("oper", "read")]);
+        let r = query_compiled(&store, &[], &q);
+        assert!(!r.is_authorized());
+        // And the interpreter agrees on the verdict.
+        assert!(!check_compliance(&assertions, &q).is_authorized());
+    }
+
+    #[test]
+    fn dynamic_regex_pattern_still_per_evaluation() {
+        let (store, _) = store_from(
+            "Authorizer: POLICY\nLicensees: \"Ka\"\nConditions: oper ~= pat;\n",
+        );
+        assert!(store.notes().is_empty());
+        let q = query(&["Ka"], &[("oper", "read"), ("pat", "^read$")]);
+        assert!(query_compiled(&store, &[], &q).is_authorized());
+        let q = query(&["Ka"], &[("oper", "read"), ("pat", "(unclosed")]);
+        assert!(!query_compiled(&store, &[], &q).is_authorized());
+    }
+
+    #[test]
+    fn evaluations_counter_matches_worklist_reachability() {
+        let mut text = String::from(
+            "Authorizer: POLICY\nLicensees: \"Ka\"\nConditions: op==\"go\";\n\n",
+        );
+        for i in 0..50 {
+            text.push_str(&format!(
+                "Authorizer: \"Kother{i}\"\nLicensees: \"Kother{}\"\nConditions: op==\"go\";\n\n",
+                i + 1
+            ));
+        }
+        let (store, _) = store_from(&text);
+        let q = query(&["Ka"], &[("op", "go")]);
+        let r = query_compiled(&store, &[], &q);
+        assert!(r.is_authorized());
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn non_binary_values_agree() {
+        let values = ComplianceValues::with_middle(&["log"]).unwrap();
+        let text = "\
+Authorizer: POLICY
+Licensees: \"Ka\"
+Conditions: amount < 10 -> \"_MAX_TRUST\"; amount < 100 -> \"log\";
+";
+        for amount in ["5", "50", "5000"] {
+            let q = Query::new(
+                vec!["Ka".to_string()],
+                [("amount", amount)].into_iter().collect(),
+            )
+            .with_values(values.clone());
+            let (c, i) = both(text, &q);
+            assert_eq!(c.value_name, i.value_name, "amount={amount}");
+        }
+    }
+}

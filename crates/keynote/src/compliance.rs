@@ -109,7 +109,7 @@ fn licensees_value(
 
 /// Sentinel key for the `POLICY` root in the support map. The NUL
 /// prefix cannot collide with any licensee principal text.
-const POLICY_KEY: &str = "\u{0}POLICY";
+pub(crate) const POLICY_KEY: &str = "\u{0}POLICY";
 
 fn authorizer_key(a: &Assertion) -> &str {
     match &a.authorizer {

@@ -16,6 +16,8 @@
 //! * [`eval`] — condition evaluation against action attribute sets;
 //! * [`signing`] — credential signatures over the canonical text;
 //! * [`compliance`] — the delegation fixpoint / compliance checker;
+//! * [`compiled`] — the precompiled request-path form of assertions;
+//! * [`verify_cache`] — sharded memo cache for signature verdicts;
 //! * [`explain`] — proof-trace variant of the compliance checker;
 //! * [`session`] — the `kn_*`-style application API.
 //!
@@ -42,6 +44,7 @@
 //! ```
 
 pub mod ast;
+pub mod compiled;
 pub mod compliance;
 pub mod eval;
 pub mod explain;
@@ -52,11 +55,14 @@ pub mod regex;
 pub mod session;
 pub mod signing;
 pub mod values;
+pub mod verify_cache;
 
 pub use ast::{Assertion, Clause, ConditionsProgram, Expr, LicenseeExpr, Principal, Term};
+pub use compiled::{query_compiled, CompiledStore};
 pub use compliance::{check_compliance, check_compliance_refs, Query, QueryResult};
 pub use eval::ActionAttributes;
 pub use explain::{explain_compliance, Explanation, TraceStep};
 pub use session::{KeyNoteSession, SessionError, SignaturePolicy};
 pub use signing::{sign_assertion, verify_assertion, SignatureStatus};
 pub use values::{ComplianceValue, ComplianceValues, MAX_TRUST, MIN_TRUST};
+pub use verify_cache::{VerifyCache, VerifyCacheStats};

@@ -6,13 +6,16 @@
 //! and authorizers, and ask for the compliance value.
 
 use crate::ast::{Assertion, Principal};
+use crate::compiled::{query_compiled, CompiledStore};
 use crate::compliance::{check_compliance_refs, Query, QueryResult};
 use crate::eval::ActionAttributes;
 use crate::parser::{parse_assertions, ParseError};
-use crate::signing::{verify_assertion, SignatureStatus};
+use crate::signing::SignatureStatus;
 use crate::values::ComplianceValues;
+use crate::verify_cache::{VerifyCache, VerifyCacheStats};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from session operations.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,6 +74,15 @@ pub enum SignaturePolicy {
 pub struct KeyNoteSession {
     policies: Vec<Assertion>,
     credentials: Vec<Assertion>,
+    /// Request-path form of `policies ++ credentials`, maintained
+    /// incrementally as assertions are added. The AST vectors above stay
+    /// the source of truth for printing, signing, and the interpreted
+    /// reference path.
+    compiled: CompiledStore,
+    /// Signature-verdict memo for request-presented credentials. Shared
+    /// across clones: a verdict is a fact about credential bytes, not
+    /// about this session's state.
+    verify_cache: Arc<VerifyCache>,
     attributes: ActionAttributes,
     authorizers: Vec<String>,
     values: ComplianceValues,
@@ -95,6 +107,8 @@ impl KeyNoteSession {
         KeyNoteSession {
             policies: Vec::new(),
             credentials: Vec::new(),
+            compiled: CompiledStore::default(),
+            verify_cache: Arc::new(VerifyCache::new()),
             attributes: ActionAttributes::new(),
             authorizers: Vec::new(),
             values: ComplianceValues::binary(),
@@ -166,6 +180,7 @@ impl KeyNoteSession {
                 // are treated as bundled credentials.
                 self.add_credential_parsed(a)?;
             } else {
+                self.compiled.add(&a);
                 self.policies.push(a);
                 self.bump_epoch();
             }
@@ -179,6 +194,7 @@ impl KeyNoteSession {
         if assertion.authorizer != Principal::Policy {
             return self.add_credential_parsed(assertion);
         }
+        self.compiled.add(&assertion);
         self.policies.push(assertion);
         self.bump_epoch();
         Ok(())
@@ -201,7 +217,7 @@ impl KeyNoteSession {
             return Err(SessionError::PolicyViaCredential);
         }
         if self.signature_policy == SignaturePolicy::Require {
-            let status = verify_assertion(&assertion);
+            let status = self.verify_cache.verify(&assertion);
             if status != SignatureStatus::Valid {
                 let authorizer = assertion
                     .authorizer
@@ -211,6 +227,7 @@ impl KeyNoteSession {
                 return Err(SessionError::BadSignature { authorizer, status });
             }
         }
+        self.compiled.add(&assertion);
         self.credentials.push(assertion);
         self.bump_epoch();
         Ok(())
@@ -238,40 +255,36 @@ impl KeyNoteSession {
         self.authorizers.clear();
     }
 
-    /// All session assertions by reference (policies then credentials),
-    /// optionally extended with request-presented credentials.
-    fn assertion_refs<'a>(&'a self, extra: &'a [Assertion]) -> Vec<&'a Assertion> {
-        let mut refs: Vec<&Assertion> =
-            Vec::with_capacity(self.policies.len() + self.credentials.len() + extra.len());
-        refs.extend(self.policies.iter());
-        refs.extend(self.credentials.iter());
-        for a in extra {
-            // Request-presented assertions get the same vetting as
-            // `add_credential_parsed`, but failures are skipped rather
-            // than stored: invalid credentials are simply not taken
-            // into account (RFC 2704 §5), and nothing is persisted.
-            if a.authorizer == Principal::Policy {
-                continue;
-            }
-            if self.signature_policy == SignaturePolicy::Require
-                && verify_assertion(a) != SignatureStatus::Valid
-            {
-                continue;
-            }
-            refs.push(a);
+    /// Vets request-presented assertions exactly as
+    /// `add_credential_parsed` would, but failures are skipped rather
+    /// than stored: invalid credentials are simply not taken into
+    /// account (RFC 2704 §5), and nothing is persisted. Signature
+    /// verdicts come from the memo cache, so re-presenting the same
+    /// credential does not pay a fresh RSA verification.
+    fn vetted_extra<'a>(&self, extra: &'a [Assertion]) -> Vec<&'a Assertion> {
+        extra
+            .iter()
+            .filter(|a| {
+                a.authorizer != Principal::Policy
+                    && (self.signature_policy != SignaturePolicy::Require
+                        || self.verify_cache.verify(a) == SignatureStatus::Valid)
+            })
+            .collect()
+    }
+
+    fn build_query(&self, authorizers: Vec<String>, attrs: &ActionAttributes) -> Query {
+        Query {
+            action_authorizers: authorizers,
+            attributes: attrs.clone(),
+            values: self.values.clone(),
+            revoked: self.revoked.clone(),
         }
-        refs
     }
 
     /// Runs the compliance checker (`kn_do_query`).
     pub fn query(&self) -> QueryResult {
-        let q = Query {
-            action_authorizers: self.authorizers.clone(),
-            attributes: self.attributes.clone(),
-            values: self.values.clone(),
-            revoked: self.revoked.clone(),
-        };
-        check_compliance_refs(&self.assertion_refs(&[]), &q)
+        let q = self.build_query(self.authorizers.clone(), &self.attributes);
+        query_compiled(&self.compiled, &[], &q)
     }
 
     /// One-shot convenience: query with explicit authorizers/attributes
@@ -293,13 +306,50 @@ impl KeyNoteSession {
         attrs: &ActionAttributes,
         extra: &[Assertion],
     ) -> QueryResult {
-        let q = Query {
-            action_authorizers: authorizers.iter().map(|s| s.to_string()).collect(),
-            attributes: attrs.clone(),
-            values: self.values.clone(),
-            revoked: self.revoked.clone(),
-        };
-        check_compliance_refs(&self.assertion_refs(extra), &q)
+        let q = self.build_query(authorizers.iter().map(|s| s.to_string()).collect(), attrs);
+        query_compiled(&self.compiled, &self.vetted_extra(extra), &q)
+    }
+
+    /// Reference path: evaluates the same query by interpreting the AST
+    /// directly, with no compiled forms and no signature memoization.
+    /// Exists so differential tests (and the cold-baseline benchmark
+    /// series) can hold the compiled engine to the interpreter's
+    /// answers; applications should use
+    /// [`query_action_with_extra`](Self::query_action_with_extra).
+    pub fn query_action_interpreted(
+        &self,
+        authorizers: &[&str],
+        attrs: &ActionAttributes,
+        extra: &[Assertion],
+    ) -> QueryResult {
+        let mut refs: Vec<&Assertion> =
+            Vec::with_capacity(self.policies.len() + self.credentials.len() + extra.len());
+        refs.extend(self.policies.iter());
+        refs.extend(self.credentials.iter());
+        for a in extra {
+            if a.authorizer == Principal::Policy {
+                continue;
+            }
+            if self.signature_policy == SignaturePolicy::Require
+                && crate::signing::verify_assertion(a) != SignatureStatus::Valid
+            {
+                continue;
+            }
+            refs.push(a);
+        }
+        let q = self.build_query(authorizers.iter().map(|s| s.to_string()).collect(), attrs);
+        check_compliance_refs(&refs, &q)
+    }
+
+    /// Compile-time diagnostics from the stored assertions (currently:
+    /// malformed `~=` pattern literals, whose tests evaluate to `false`).
+    pub fn compile_notes(&self) -> &[String] {
+        self.compiled.notes()
+    }
+
+    /// Hit/miss counters of the signature-verdict memo cache.
+    pub fn verify_cache_stats(&self) -> VerifyCacheStats {
+        self.verify_cache.stats()
     }
 
     /// The locally-trusted policy assertions.
@@ -561,6 +611,80 @@ mod tests {
         assert!(!s
             .query_action_with_extra(&["Kmallory"], &attrs, std::slice::from_ref(&forged))
             .is_authorized());
+    }
+
+    #[test]
+    fn revoked_key_rejected_even_with_memoized_signature() {
+        // The memo cache answers the *signature* question; revocation is
+        // enforced afterwards by the compliance checker. A key whose
+        // valid verdict is cached must still lose all authority once
+        // revoked.
+        let kp = KeyPair::from_label("memo-revoked");
+        let key_text = kp.public().to_text();
+        let mut s = KeyNoteSession::new();
+        s.add_policy(&format!("Authorizer: POLICY\nLicensees: \"{key_text}\"\n"))
+            .unwrap();
+        let mut signed = Assertion::new(
+            Principal::key(&key_text),
+            LicenseeExpr::Principal("Kb".to_string()),
+        );
+        sign_assertion(&mut signed, &kp).unwrap();
+        let attrs = ActionAttributes::new();
+        let extra = std::slice::from_ref(&signed);
+        // Warm the memo: first query verifies, second hits the cache.
+        assert!(s.query_action_with_extra(&["Kb"], &attrs, extra).is_authorized());
+        assert!(s.query_action_with_extra(&["Kb"], &attrs, extra).is_authorized());
+        let stats = s.verify_cache_stats();
+        assert!(stats.hits >= 1, "expected a memo hit, got {stats:?}");
+        // Revoke the signer: the cached Valid verdict must not keep the
+        // delegation alive.
+        s.revoke_key(&key_text);
+        assert!(!s.query_action_with_extra(&["Kb"], &attrs, extra).is_authorized());
+        // The verdict is still served from the cache — only compliance
+        // changed its mind.
+        let after = s.verify_cache_stats();
+        assert_eq!(after.misses, stats.misses);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_paths_agree_via_session() {
+        let mut s = KeyNoteSession::permissive();
+        s.add_policy(
+            "Authorizer: POLICY\nlicensees: \"Kbob\"\n\
+             Conditions: app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\");\n",
+        )
+        .unwrap();
+        s.add_credentials(
+            "Authorizer: \"Kbob\"\nlicensees: \"Kalice\"\n\
+             Conditions: app_domain==\"SalariesDB\" && oper==\"write\";\n",
+        )
+        .unwrap();
+        for (who, oper) in [
+            ("Kbob", "read"),
+            ("Kbob", "drop"),
+            ("Kalice", "write"),
+            ("Kalice", "read"),
+            ("Kmallory", "write"),
+        ] {
+            let attrs: ActionAttributes =
+                [("app_domain", "SalariesDB"), ("oper", oper)].into_iter().collect();
+            let compiled = s.query_action(&[who], &attrs);
+            let interpreted = s.query_action_interpreted(&[who], &attrs, &[]);
+            assert_eq!(compiled.value, interpreted.value, "{who}/{oper}");
+            assert_eq!(compiled.value_name, interpreted.value_name, "{who}/{oper}");
+        }
+    }
+
+    #[test]
+    fn bad_regex_surfaces_as_compile_note() {
+        let mut s = KeyNoteSession::permissive();
+        s.add_policy(
+            "Authorizer: POLICY\nLicensees: \"Ka\"\nConditions: oper ~= \"(unclosed\";\n",
+        )
+        .unwrap();
+        assert_eq!(s.compile_notes().len(), 1);
+        let attrs: ActionAttributes = [("oper", "read")].into_iter().collect();
+        assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Sharded memo cache for credential signature verdicts.
+//!
+//! Verifying a signed credential costs an RSA exponentiation, and
+//! request-presented credentials (`query_action_with_extra`) were
+//! re-verified on every query. A verdict is a pure function of the
+//! credential's signable text, its authorizer key, and the signature
+//! bytes, so it can be memoized indefinitely: tampering with any of the
+//! three changes the cache key, and *revocation* is deliberately not a
+//! cache concern — the compliance checker rejects revoked authorizers
+//! after the (possibly memoized) signature check, so a revoked key is
+//! refused even when its verdict is cached.
+//!
+//! Unsigned assertions are not cached: their verdict is free to compute
+//! and caching them would only add hash traffic.
+
+use crate::ast::Assertion;
+use crate::print::signable_text;
+use crate::signing::{verify_assertion, SignatureStatus};
+use hetsec_crypto::sha256;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards; must be a power of two.
+const SHARDS: usize = 16;
+
+/// Per-shard entry cap. The cache stores 33-byte entries, so the bound
+/// is generous; eviction drops an arbitrary entry (verdicts are cheap
+/// to recompute, so precision is not worth an LRU list).
+const SHARD_CAPACITY: usize = 4096;
+
+/// Counters describing cache effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran a real signature verification.
+    pub misses: u64,
+    /// Verdicts currently stored.
+    pub entries: usize,
+}
+
+/// Sharded map from credential fingerprint to signature verdict.
+///
+/// Interior mutability keeps the session API `&self`-friendly; the
+/// cache is shared (via `Arc`) across session clones because verdicts
+/// are immutable facts about credential bytes, not session state.
+pub struct VerifyCache {
+    shards: Vec<Mutex<HashMap<[u8; 32], SignatureStatus>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for VerifyCache {
+    fn default() -> Self {
+        VerifyCache::new()
+    }
+}
+
+impl std::fmt::Debug for VerifyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("VerifyCache")
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("entries", &stats.entries)
+            .finish()
+    }
+}
+
+/// Fingerprint over the three inputs the verdict depends on, each
+/// length-prefixed so field boundaries cannot be confused.
+fn fingerprint(signable: &str, key_text: &str, sig_text: &str) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(signable.len() + key_text.len() + sig_text.len() + 24);
+    for part in [signable, key_text, sig_text] {
+        buf.extend_from_slice(&(part.len() as u64).to_be_bytes());
+        buf.extend_from_slice(part.as_bytes());
+    }
+    sha256(&buf)
+}
+
+impl VerifyCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        VerifyCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Verifies `assertion`, answering from the cache when the same
+    /// (signable text, authorizer key, signature) triple has been
+    /// verified before. Behaviorally identical to
+    /// [`verify_assertion`].
+    pub fn verify(&self, assertion: &Assertion) -> SignatureStatus {
+        let (Some(sig_text), Some(key_text)) =
+            (&assertion.signature, assertion.authorizer.key_text())
+        else {
+            // Unsigned / POLICY-authored: the plain path is already
+            // trivial, nothing worth caching.
+            return verify_assertion(assertion);
+        };
+        let key = fingerprint(&signable_text(assertion), key_text, sig_text);
+        let shard = &self.shards[(key[0] as usize) & (SHARDS - 1)];
+        if let Some(status) = shard.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return status.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let status = verify_assertion(assertion);
+        let mut map = shard.lock().unwrap();
+        if map.len() >= SHARD_CAPACITY {
+            if let Some(&evict) = map.keys().next() {
+                map.remove(&evict);
+            }
+        }
+        map.insert(key, status.clone());
+        status
+    }
+
+    /// Hit/miss/occupancy counters.
+    pub fn stats(&self) -> VerifyCacheStats {
+        VerifyCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{LicenseeExpr, Principal};
+    use crate::signing::sign_assertion;
+    use hetsec_crypto::KeyPair;
+
+    fn signed_credential(label: &str, licensee: &str) -> Assertion {
+        let kp = KeyPair::from_label(label);
+        let mut a = Assertion::new(
+            Principal::key(kp.public().to_text()),
+            LicenseeExpr::Principal(licensee.to_string()),
+        );
+        sign_assertion(&mut a, &kp).unwrap();
+        a
+    }
+
+    #[test]
+    fn memoizes_valid_verdicts() {
+        let cache = VerifyCache::new();
+        let a = signed_credential("vc-1", "Kalice");
+        assert_eq!(cache.verify(&a), SignatureStatus::Valid);
+        assert_eq!(cache.verify(&a), SignatureStatus::Valid);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn tampering_changes_the_cache_key() {
+        let cache = VerifyCache::new();
+        let a = signed_credential("vc-2", "Kalice");
+        assert_eq!(cache.verify(&a), SignatureStatus::Valid);
+        let mut tampered = a.clone();
+        tampered.licensees = Some(LicenseeExpr::Principal("Kmallory".to_string()));
+        // The tampered text hashes to a different key: fresh miss,
+        // fresh (Invalid) verdict — the Valid memo cannot be reused.
+        assert_eq!(cache.verify(&tampered), SignatureStatus::Invalid);
+        assert_eq!(cache.verify(&tampered), SignatureStatus::Invalid);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn unsigned_assertions_bypass_the_cache() {
+        let cache = VerifyCache::new();
+        let a = Assertion::new(
+            Principal::key("Kbob"),
+            LicenseeExpr::Principal("Kalice".to_string()),
+        );
+        assert_eq!(cache.verify(&a), SignatureStatus::Unsigned);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn invalid_verdicts_are_memoized_too() {
+        let cache = VerifyCache::new();
+        let mut a = signed_credential("vc-3", "Kalice");
+        a.signature = Some("garbage".to_string());
+        assert_eq!(cache.verify(&a), SignatureStatus::Invalid);
+        assert_eq!(cache.verify(&a), SignatureStatus::Invalid);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}

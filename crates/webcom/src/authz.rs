@@ -207,48 +207,6 @@ impl TrustManager {
         permitted
     }
 
-    /// Is `principal` authorised for `action`?
-    #[deprecated(note = "build an `AuthzRequest` and call `decide`; shim kept for one PR")]
-    pub fn authorizes(&self, principal: &str, action: &ScheduledAction) -> bool {
-        self.decide(&AuthzRequest::principal(principal).action(action))
-    }
-
-    /// Like `authorizes`, but with request-scoped credentials.
-    #[deprecated(note = "build an `AuthzRequest` and call `decide`; shim kept for one PR")]
-    pub fn authorizes_with_credentials(
-        &self,
-        principal: &str,
-        action: &ScheduledAction,
-        credentials: &[Assertion],
-    ) -> bool {
-        self.decide(
-            &AuthzRequest::principal(principal)
-                .action(action)
-                .credentials(credentials),
-        )
-    }
-
-    /// Raw query against arbitrary attributes.
-    #[deprecated(note = "build an `AuthzRequest` and call `decide`; shim kept for one PR")]
-    pub fn query(&self, principals: &[&str], attrs: &ActionAttributes) -> bool {
-        self.decide(&AuthzRequest::principals(principals).attributes(attrs.clone()))
-    }
-
-    /// Raw query with request-scoped extra credentials.
-    #[deprecated(note = "build an `AuthzRequest` and call `decide`; shim kept for one PR")]
-    pub fn query_with_credentials(
-        &self,
-        principals: &[&str],
-        attrs: &ActionAttributes,
-        credentials: &[Assertion],
-    ) -> bool {
-        self.decide(
-            &AuthzRequest::principals(principals)
-                .attributes(attrs.clone())
-                .credentials(credentials),
-        )
-    }
-
     /// The underlying session's mutation epoch: rises whenever policies,
     /// credentials, the value set, or revocations change.
     pub fn epoch(&self) -> u64 {
@@ -259,6 +217,18 @@ impl TrustManager {
     /// evictions).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Signature-verdict memo counters from the underlying session's
+    /// verified-credential cache.
+    pub fn verify_cache_stats(&self) -> hetsec_keynote::VerifyCacheStats {
+        self.session.read().verify_cache_stats()
+    }
+
+    /// Assertion-compile diagnostics from the underlying session
+    /// (e.g. malformed `~=` pattern literals).
+    pub fn compile_notes(&self) -> Vec<String> {
+        self.session.read().compile_notes().to_vec()
     }
 
     /// Number of stored credentials (diagnostic).
@@ -403,18 +373,6 @@ mod tests {
         assert!(!allowed(&tm, "Kfred", &action));
         // Presenting again still works (served from cache or not).
         assert!(with_cred(&tm));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_answer_like_decide() {
-        let tm = manager_with_salaries();
-        let action = ScheduledAction::new(component(), "Sales", "Manager");
-        assert!(tm.authorizes("Kclaire", &action));
-        assert!(!tm.authorizes("Kdave", &action));
-        assert!(tm.authorizes_with_credentials("Kclaire", &action, &[]));
-        assert!(tm.query(&["Kclaire"], &action.attributes()));
-        assert!(tm.query_with_credentials(&["Kclaire"], &action.attributes(), &[]));
     }
 
     #[test]

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the headline criterion benches and emits machine-readable
+# summaries (BENCH_fig2.json, BENCH_fig3.json) at the repo root, so the
+# perf trajectory can be tracked across commits.
+#
+# Usage: ./scripts/bench.sh            full measured run
+#        ./scripts/bench.sh --smoke    correctness-only pass (no JSON),
+#                                      used by verify.sh so the benches
+#                                      cannot bitrot
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    echo "== bench smoke: every bench target, single-iteration =="
+    cargo bench -q -- --test
+    echo "bench.sh: smoke pass complete"
+    exit 0
+fi
+
+for fig in fig2_query_latency fig3_sched_throughput; do
+    short="${fig%%_*}"
+    out="BENCH_${short}.json"
+    echo "== bench: ${fig} -> ${out} =="
+    # Absolute path: cargo runs bench binaries from the package dir.
+    CRITERION_JSON="${PWD}/${out}" cargo bench -q --bench "${fig}"
+done
+
+echo "bench.sh: wrote BENCH_fig2.json BENCH_fig3.json"

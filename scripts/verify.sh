@@ -16,4 +16,7 @@ timeout 120 cargo test -q --test network_fabric
 echo "== clippy (-D warnings): whole workspace, all targets =="
 cargo clippy --no-deps --workspace --all-targets -- -D warnings
 
+echo "== bench smoke (--test mode: run once, no timing) =="
+./scripts/bench.sh --smoke
+
 echo "verify.sh: all gates passed"

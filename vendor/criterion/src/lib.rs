@@ -10,7 +10,19 @@
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results of every benchmark run so far, for [`finalize`].
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Smoke mode: run each routine a handful of times and skip the timed
+/// measurement window. Enabled by passing `--test` to the bench binary
+/// (as `cargo bench -- --test` does) or setting `BENCH_SMOKE=1`; lets
+/// CI execute every bench cheaply so they cannot bitrot.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("BENCH_SMOKE").is_some()
+}
 
 /// Re-export of `std::hint::black_box` under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -153,11 +165,20 @@ impl BenchmarkGroup<'_> {
 /// Timer handed to each benchmark closure.
 pub struct Bencher {
     measurement_time: Duration,
+    smoke: bool,
     best_ns_per_iter: f64,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            // Correctness-only pass: exercise the routine, record a
+            // single rough timing, skip the measurement window.
+            let start = Instant::now();
+            std_black_box(routine());
+            self.best_ns_per_iter = start.elapsed().as_nanos() as f64;
+            return;
+        }
         // Warm up and find an iteration count whose batch is long
         // enough to time reliably.
         let mut iters: u64 = 1;
@@ -197,9 +218,16 @@ fn run_one<F: FnMut(&mut Bencher)>(
     measurement_time: Duration,
     mut f: F,
 ) {
-    let mut b = Bencher { measurement_time, best_ns_per_iter: f64::NAN };
+    let mut b = Bencher {
+        measurement_time,
+        smoke: smoke_mode(),
+        best_ns_per_iter: f64::NAN,
+    };
     f(&mut b);
     let ns = b.best_ns_per_iter;
+    if !ns.is_nan() && !b.smoke {
+        RESULTS.lock().unwrap().push((id.to_string(), ns));
+    }
     let time = format_ns(ns);
     match throughput {
         Some(Throughput::Elements(n)) if ns > 0.0 => {
@@ -211,6 +239,35 @@ fn run_one<F: FnMut(&mut Bencher)>(
             println!("{id:<60} time: {time:>12}   thrpt: {per_sec:.0} B/s");
         }
         _ => println!("{id:<60} time: {time:>12}"),
+    }
+}
+
+/// Writes every recorded result as JSON to the path in the
+/// `CRITERION_JSON` environment variable (no-op when unset). Called by
+/// `criterion_main!` after all groups have run; scripts/bench.sh uses
+/// it to build the repo's machine-readable `BENCH_*.json` summaries.
+pub fn finalize() {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        let escaped: String = id
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{ \"id\": \"{escaped}\", \"ns_per_iter\": {ns:.1} }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: failed to write {}: {e}", path.to_string_lossy());
     }
 }
 
@@ -245,6 +302,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
