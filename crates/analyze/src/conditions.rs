@@ -1,0 +1,573 @@
+//! Abstract reasoning over KeyNote condition expressions.
+//!
+//! The engine normalizes a comparison AST into disjunctive normal form
+//! over per-attribute atoms and decides satisfiability with numeric
+//! interval reasoning and string equality/inequality sets. Everything
+//! it cannot model — dereferences, attribute-vs-attribute comparisons,
+//! regex matches, arithmetic over attributes — becomes an opaque atom
+//! that is assumed satisfiable, so the analyzer only ever claims
+//! `unsatisfiable` or `tautological` when that is provable under
+//! KeyNote's evaluation semantics (including its failure rule: a
+//! numeric comparison over a non-numeric operand is *false*, which is
+//! why numeric atoms are never classically negated).
+
+use hetsec_keynote::ast::{CmpOp, Expr, Term};
+
+/// Guard against DNF blowup; expressions bigger than this are treated
+/// as unknown (satisfiable, not tautological).
+const MAX_CONJUNCTS: usize = 512;
+
+/// One literal an attribute is compared against.
+#[derive(Clone, Debug)]
+enum Lit {
+    Num(f64),
+    Str(String),
+}
+
+/// An atomic constraint in a conjunct.
+#[derive(Clone, Debug)]
+enum Atom {
+    Const(bool),
+    /// `attr op literal`, with the evaluator's numeric-mode flag.
+    Cmp {
+        attr: String,
+        op: CmpOp,
+        lit: Lit,
+        numeric: bool,
+    },
+    /// Anything the engine cannot model.
+    Opaque,
+}
+
+/// Three-valued verdict for one clause test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Provably never true.
+    Unsat,
+    /// Provably always true.
+    Taut,
+    /// Neither provable.
+    Sat,
+}
+
+fn lit_of(t: &Term) -> Option<Lit> {
+    match t {
+        Term::Num(n) => Some(Lit::Num(*n)),
+        Term::Str(s) => Some(Lit::Str(s.clone())),
+        Term::Neg(inner) => match lit_of(inner)? {
+            Lit::Num(n) => Some(Lit::Num(-n)),
+            Lit::Str(_) => None,
+        },
+        _ => None,
+    }
+}
+
+fn lit_num(l: &Lit) -> Option<f64> {
+    match l {
+        Lit::Num(n) => Some(*n),
+        Lit::Str(s) => s.trim().parse::<f64>().ok(),
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Builds the atom for a comparison, constant-folding literal-only
+/// comparisons the way the evaluator would run them.
+fn cmp_atom(op: CmpOp, lhs: &Term, rhs: &Term) -> Atom {
+    let numeric = lhs.is_numeric_syntax() || rhs.is_numeric_syntax();
+    match (lit_of(lhs), lit_of(rhs)) {
+        (Some(a), Some(b)) => {
+            // Both sides literal: fold to a constant.
+            let verdict = if numeric {
+                match (lit_num(&a), lit_num(&b)) {
+                    (Some(x), Some(y)) => cmp_values(op, x, y),
+                    _ => false, // evaluation failure -> test is false
+                }
+            } else {
+                let (Lit::Str(x), Lit::Str(y)) = (&a, &b) else {
+                    return Atom::Opaque;
+                };
+                cmp_values(op, x.as_str(), y.as_str())
+            };
+            Atom::Const(verdict)
+        }
+        (None, Some(lit)) | (Some(lit), None) => {
+            // One attribute side, one literal side. Normalize so the
+            // attribute is on the left (flipping the operator when the
+            // literal was on the left).
+            let (attr_term, op) = if lit_of(lhs).is_none() {
+                (lhs, op)
+            } else {
+                (rhs, flip(op))
+            };
+            match attr_term {
+                Term::Attr(name) => Atom::Cmp {
+                    attr: name.clone(),
+                    op,
+                    lit,
+                    numeric,
+                },
+                _ => Atom::Opaque,
+            }
+        }
+        (None, None) => Atom::Opaque,
+    }
+}
+
+fn cmp_values<T: PartialOrd>(op: CmpOp, a: T, b: T) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Gt => a > b,
+        CmpOp::Le => a <= b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// Negates one atom. Numeric comparisons are *not* total (a non-numeric
+/// operand fails the test rather than satisfying its negation), so only
+/// string equality/inequality — which is total — negates precisely;
+/// everything else degrades to [`Atom::Opaque`].
+fn negate_atom(a: &Atom) -> Atom {
+    match a {
+        Atom::Const(b) => Atom::Const(!b),
+        Atom::Cmp {
+            attr,
+            op,
+            lit,
+            numeric: false,
+        } if matches!(op, CmpOp::Eq | CmpOp::Ne) => Atom::Cmp {
+            attr: attr.clone(),
+            op: if *op == CmpOp::Eq { CmpOp::Ne } else { CmpOp::Eq },
+            lit: lit.clone(),
+            numeric: false,
+        },
+        _ => Atom::Opaque,
+    }
+}
+
+/// DNF: a disjunction of conjunctions of atoms. `None` means "too big
+/// to normalize" and is treated as unknown.
+type Dnf = Vec<Vec<Atom>>;
+
+fn to_dnf(e: &Expr, negated: bool) -> Option<Dnf> {
+    let dnf = match (e, negated) {
+        (Expr::True, false) | (Expr::False, true) => vec![vec![Atom::Const(true)]],
+        (Expr::True, true) | (Expr::False, false) => vec![vec![Atom::Const(false)]],
+        (Expr::Not(inner), _) => to_dnf(inner, !negated)?,
+        (Expr::Or(a, b), false) | (Expr::And(a, b), true) => {
+            let mut out = to_dnf(a, negated)?;
+            out.extend(to_dnf(b, negated)?);
+            out
+        }
+        (Expr::And(a, b), false) | (Expr::Or(a, b), true) => {
+            let left = to_dnf(a, negated)?;
+            let right = to_dnf(b, negated)?;
+            if left.len().saturating_mul(right.len()) > MAX_CONJUNCTS {
+                return None;
+            }
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for l in &left {
+                for r in &right {
+                    let mut c = l.clone();
+                    c.extend(r.iter().cloned());
+                    out.push(c);
+                }
+            }
+            out
+        }
+        (Expr::Cmp { op, lhs, rhs }, false) => vec![vec![cmp_atom(*op, lhs, rhs)]],
+        (Expr::Cmp { op, lhs, rhs }, true) => {
+            vec![vec![negate_atom(&cmp_atom(*op, lhs, rhs))]]
+        }
+        (Expr::RegexMatch { .. }, _) => vec![vec![Atom::Opaque]],
+    };
+    if dnf.len() > MAX_CONJUNCTS {
+        return None;
+    }
+    Some(dnf)
+}
+
+/// A numeric interval with open/closed bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Interval {
+    pub lo: f64,
+    pub lo_strict: bool,
+    pub hi: f64,
+    pub hi_strict: bool,
+}
+
+impl Interval {
+    fn full() -> Interval {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            lo_strict: false,
+            hi: f64::INFINITY,
+            hi_strict: false,
+        }
+    }
+
+    fn narrow(&mut self, op: CmpOp, v: f64) {
+        match op {
+            CmpOp::Eq => {
+                self.narrow(CmpOp::Ge, v);
+                self.narrow(CmpOp::Le, v);
+            }
+            CmpOp::Ne => {} // handled by the exclusion list
+            CmpOp::Lt => {
+                if v < self.hi || (v == self.hi && !self.hi_strict) {
+                    self.hi = v;
+                    self.hi_strict = true;
+                }
+            }
+            CmpOp::Le => {
+                if v < self.hi {
+                    self.hi = v;
+                    self.hi_strict = false;
+                }
+            }
+            CmpOp::Gt => {
+                if v > self.lo || (v == self.lo && !self.lo_strict) {
+                    self.lo = v;
+                    self.lo_strict = true;
+                }
+            }
+            CmpOp::Ge => {
+                if v > self.lo {
+                    self.lo = v;
+                    self.lo_strict = false;
+                }
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && (self.lo_strict || self.hi_strict))
+    }
+
+    fn contains(&self, v: f64) -> bool {
+        let above = v > self.lo || (v == self.lo && !self.lo_strict);
+        let below = v < self.hi || (v == self.hi && !self.hi_strict);
+        above && below
+    }
+}
+
+/// Per-attribute constraint state while deciding one conjunct.
+#[derive(Default)]
+struct AttrState {
+    interval: Option<Interval>,
+    ne_nums: Vec<f64>,
+    eq_str: Option<String>,
+    ne_strs: Vec<String>,
+    has_numeric: bool,
+}
+
+impl AttrState {
+    fn unsat(&self) -> bool {
+        // String equality conflicts.
+        if let Some(eq) = &self.eq_str {
+            if self.ne_strs.iter().any(|n| n == eq) {
+                return true;
+            }
+            if self.has_numeric {
+                // The attribute is pinned to a string that must also
+                // satisfy a numeric comparison: a non-numeric value
+                // fails that comparison outright.
+                let Some(v) = eq.trim().parse::<f64>().ok() else {
+                    return true;
+                };
+                if let Some(iv) = &self.interval {
+                    if !iv.contains(v) || self.ne_nums.contains(&v) {
+                        return true;
+                    }
+                }
+            }
+        }
+        if let Some(iv) = &self.interval {
+            if iv.is_empty() {
+                return true;
+            }
+            // A point interval excluded by a numeric !=.
+            if iv.lo == iv.hi
+                && !iv.lo_strict
+                && !iv.hi_strict
+                && self.ne_nums.contains(&iv.lo)
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Decides one conjunct. Returns false (unsat) only when provable.
+fn conjunct_sat(conjunct: &[Atom]) -> bool {
+    use std::collections::HashMap;
+    let mut states: HashMap<&str, AttrState> = HashMap::new();
+    for atom in conjunct {
+        match atom {
+            Atom::Const(false) => return false,
+            Atom::Const(true) | Atom::Opaque => {}
+            Atom::Cmp {
+                attr,
+                op,
+                lit,
+                numeric,
+            } => {
+                let st = states.entry(attr.as_str()).or_default();
+                if *numeric {
+                    let Some(v) = lit_num(lit) else {
+                        // Non-numeric literal in a numeric comparison:
+                        // the test is false for every attribute value.
+                        return false;
+                    };
+                    st.has_numeric = true;
+                    if *op == CmpOp::Ne {
+                        st.ne_nums.push(v);
+                    } else {
+                        st.interval.get_or_insert_with(Interval::full).narrow(*op, v);
+                    }
+                } else {
+                    let Lit::Str(s) = lit else { continue };
+                    match op {
+                        CmpOp::Eq => {
+                            if let Some(prev) = &st.eq_str {
+                                if prev != s {
+                                    return false;
+                                }
+                            } else {
+                                st.eq_str = Some(s.clone());
+                            }
+                        }
+                        CmpOp::Ne => st.ne_strs.push(s.clone()),
+                        // String ordering comparisons: not modelled.
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    states.values().all(|st| !st.unsat())
+}
+
+fn dnf_unsat(dnf: &Dnf) -> bool {
+    dnf.iter().all(|c| !conjunct_sat(c))
+}
+
+/// Classifies one clause test.
+pub fn status(e: &Expr) -> Status {
+    if let Some(dnf) = to_dnf(e, false) {
+        if dnf_unsat(&dnf) {
+            return Status::Unsat;
+        }
+    }
+    if let Some(neg) = to_dnf(e, true) {
+        if dnf_unsat(&neg) {
+            return Status::Taut;
+        }
+    }
+    Status::Sat
+}
+
+/// Collects every attribute name an expression reads directly
+/// (dereference *targets* are dynamic and cannot be collected, but the
+/// name-producing subterm's own attribute reads are).
+pub fn referenced_attributes(e: &Expr, out: &mut Vec<String>) {
+    fn term(t: &Term, out: &mut Vec<String>) {
+        match t {
+            Term::Attr(name) => out.push(name.clone()),
+            Term::Deref(inner) | Term::Neg(inner) => term(inner, out),
+            Term::Concat(a, b) => {
+                term(a, out);
+                term(b, out);
+            }
+            Term::Arith { lhs, rhs, .. } => {
+                term(lhs, out);
+                term(rhs, out);
+            }
+            Term::Str(_) | Term::Num(_) => {}
+        }
+    }
+    match e {
+        Expr::True | Expr::False => {}
+        Expr::Or(a, b) | Expr::And(a, b) => {
+            referenced_attributes(a, out);
+            referenced_attributes(b, out);
+        }
+        Expr::Not(inner) => referenced_attributes(inner, out),
+        Expr::Cmp { lhs, rhs, .. } => {
+            term(lhs, out);
+            term(rhs, out);
+        }
+        Expr::RegexMatch { lhs, pattern } => {
+            term(lhs, out);
+            term(pattern, out);
+        }
+    }
+}
+
+/// How a clause test constrains the conventional `now` attribute.
+pub enum NowVerdict {
+    /// The test does not mention `now`.
+    Unconstrained,
+    /// Some satisfiable conjunct admits `now = t`.
+    LiveAt,
+    /// No conjunct admits `now = t`; the payload says whether every
+    /// window lies entirely before t (expired), entirely after
+    /// (not yet valid), or mixed.
+    DeadAt { expired: bool, future: bool },
+}
+
+/// Evaluates the validity of a test at time `t`, where validity windows
+/// follow the `now` comparison convention.
+pub fn now_verdict(e: &Expr, t: f64) -> NowVerdict {
+    let mut names = Vec::new();
+    referenced_attributes(e, &mut names);
+    if !names.iter().any(|n| n == "now") {
+        return NowVerdict::Unconstrained;
+    }
+    let Some(dnf) = to_dnf(e, false) else {
+        return NowVerdict::LiveAt; // too big: assume live
+    };
+    let mut all_past = true;
+    let mut all_future = true;
+    let mut any_window = false;
+    for conjunct in &dnf {
+        if !conjunct_sat(conjunct) {
+            continue;
+        }
+        // The interval `now` is constrained to in this conjunct.
+        let mut iv = Interval::full();
+        let mut mentions_now = false;
+        for atom in conjunct {
+            if let Atom::Cmp {
+                attr,
+                op,
+                lit,
+                numeric: true,
+            } = atom
+            {
+                if attr == "now" {
+                    if let Some(v) = lit_num(lit) {
+                        mentions_now = true;
+                        if *op != CmpOp::Ne {
+                            iv.narrow(*op, v);
+                        }
+                    }
+                }
+            }
+        }
+        if !mentions_now {
+            // A live conjunct without a now-constraint keeps the
+            // assertion valid at any time.
+            return NowVerdict::LiveAt;
+        }
+        if iv.is_empty() {
+            continue;
+        }
+        any_window = true;
+        if iv.contains(t) {
+            return NowVerdict::LiveAt;
+        }
+        if !(iv.hi < t || (iv.hi == t && iv.hi_strict)) {
+            all_past = false;
+        }
+        if !(iv.lo > t || (iv.lo == t && iv.lo_strict)) {
+            all_future = false;
+        }
+    }
+    if !any_window {
+        // Every conjunct was unsatisfiable; HS005 reports that.
+        return NowVerdict::LiveAt;
+    }
+    NowVerdict::DeadAt {
+        expired: all_past,
+        future: all_future,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_keynote::parser::parse_expression;
+
+    fn st(src: &str) -> Status {
+        status(&parse_expression(src).unwrap())
+    }
+
+    #[test]
+    fn contradictory_intervals_are_unsat() {
+        assert_eq!(st("level > 5 && level < 3"), Status::Unsat);
+        assert_eq!(st("level >= 4 && level < 4"), Status::Unsat);
+        assert_eq!(st("level == 2 && level > 7"), Status::Unsat);
+    }
+
+    #[test]
+    fn contradictory_equalities_are_unsat() {
+        assert_eq!(st("oper == \"read\" && oper == \"write\""), Status::Unsat);
+        assert_eq!(st("oper == \"read\" && oper != \"read\""), Status::Unsat);
+        assert_eq!(st("oper == \"read\" && level > 1 && oper == \"w\""), Status::Unsat);
+    }
+
+    #[test]
+    fn string_pinned_to_non_number_fails_numeric_test() {
+        assert_eq!(st("oper == \"read\" && oper > 3"), Status::Unsat);
+        assert_eq!(st("oper == \"7\" && oper > 3"), Status::Sat);
+    }
+
+    #[test]
+    fn satisfiable_stays_sat() {
+        assert_eq!(st("level > 3 && level < 9"), Status::Sat);
+        assert_eq!(st("oper == \"read\" || oper == \"write\""), Status::Sat);
+        assert_eq!(st("oper ~= \"^r\" && level < 1"), Status::Sat);
+    }
+
+    #[test]
+    fn string_tautology_detected() {
+        assert_eq!(st("oper == \"x\" || oper != \"x\""), Status::Taut);
+        assert_eq!(st("true"), Status::Taut);
+    }
+
+    #[test]
+    fn numeric_disjunction_is_not_claimed_tautological() {
+        // level = "" fails both arms at runtime; claiming Taut would be
+        // wrong, and the engine knows not to negate numeric atoms.
+        assert_eq!(st("level > 5 || level <= 5"), Status::Sat);
+    }
+
+    #[test]
+    fn literal_folding() {
+        assert_eq!(st("1 < 2"), Status::Taut);
+        assert_eq!(st("\"a\" == \"b\""), Status::Unsat);
+        assert_eq!(st("2 + 2 == 5"), Status::Sat); // arithmetic is opaque
+    }
+
+    #[test]
+    fn now_windows() {
+        let e = parse_expression("app_domain == \"WebCom\" && now < 100").unwrap();
+        assert!(matches!(
+            now_verdict(&e, 200.0),
+            NowVerdict::DeadAt { expired: true, .. }
+        ));
+        assert!(matches!(now_verdict(&e, 50.0), NowVerdict::LiveAt));
+        let e = parse_expression("now > 1000 && now < 2000").unwrap();
+        assert!(matches!(
+            now_verdict(&e, 200.0),
+            NowVerdict::DeadAt { future: true, .. }
+        ));
+        let e = parse_expression("oper == \"read\"").unwrap();
+        assert!(matches!(now_verdict(&e, 0.0), NowVerdict::Unconstrained));
+        let e = parse_expression("now < 100 || oper == \"read\"").unwrap();
+        assert!(matches!(now_verdict(&e, 200.0), NowVerdict::LiveAt));
+    }
+}

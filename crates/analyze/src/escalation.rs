@@ -1,0 +1,190 @@
+//! Escalation detection: diff the authority the credential store
+//! actually conveys against the RBAC relations it is supposed to
+//! encode.
+//!
+//! For every candidate principal and every (Domain, Role, ObjectType,
+//! Permission) tuple in the combined universe, the pass runs the
+//! compiled compliance fixpoint — the very checker the middleware
+//! consults at request time — and compares the verdict with
+//! `RbacPolicy::check_access_as`. A verdict the RBAC policy never
+//! granted is an escalation (`HS004`); an RBAC grant the store does
+//! not honour is decode drift (`HS014`). On a faithful
+//! `encode_policy` round-trip both directions are empty, which is the
+//! analyzer's own differential oracle.
+
+use crate::diag::{Finding, LintCode};
+use hetsec_keynote::ast::{Assertion, Clause};
+use hetsec_keynote::compiled::{query_compiled, CompiledStore};
+use hetsec_keynote::eval::ActionAttributes;
+use hetsec_keynote::Query;
+use hetsec_rbac::{Domain, ObjectType, Permission, RbacPolicy, Role, User};
+use hetsec_translate::{decode_policy, PrincipalDirectory, APP_DOMAIN};
+use std::collections::{BTreeMap, BTreeSet};
+
+type Tuple = (String, String, String, String);
+
+/// Harvests candidate (Domain, Role, ObjectType, Permission) tuples
+/// from the equality conjuncts of the store's condition programs, so
+/// drifted stores granting tuples the RBAC policy never listed are
+/// still probed.
+fn tuples_from_conditions(assertions: &[Assertion], out: &mut BTreeSet<Tuple>) {
+    fn conjuncts(e: &hetsec_keynote::ast::Expr) -> Vec<BTreeMap<String, String>> {
+        use hetsec_keynote::ast::{CmpOp, Expr, Term};
+        match e {
+            Expr::Or(a, b) => {
+                let mut out = conjuncts(a);
+                out.extend(conjuncts(b));
+                out
+            }
+            Expr::And(a, b) => {
+                let left = conjuncts(a);
+                let right = conjuncts(b);
+                let mut out = Vec::new();
+                for l in &left {
+                    for r in &right {
+                        let mut c = l.clone();
+                        c.extend(r.iter().map(|(k, v)| (k.clone(), v.clone())));
+                        out.push(c);
+                    }
+                }
+                out
+            }
+            Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Term::Attr(name),
+                rhs: Term::Str(value),
+            } => vec![[(name.clone(), value.clone())].into_iter().collect()],
+            _ => vec![BTreeMap::new()],
+        }
+    }
+    for a in assertions {
+        let Some(program) = &a.conditions else { continue };
+        for clause in &program.clauses {
+            let (Clause::Bare(test) | Clause::Arrow(test, _) | Clause::Nested(test, _)) = clause;
+            for c in conjuncts(test) {
+                if let (Some(d), Some(r), Some(t), Some(p)) = (
+                    c.get("Domain"),
+                    c.get("Role"),
+                    c.get("ObjectType"),
+                    c.get("Permission"),
+                ) {
+                    out.insert((d.clone(), r.clone(), t.clone(), p.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Runs the escalation diff. `revoked` keys are honoured exactly as at
+/// request time.
+pub fn analyze_escalation(
+    assertions: &[Assertion],
+    store: &CompiledStore,
+    rbac: &RbacPolicy,
+    webcom_key: &str,
+    directory: &dyn PrincipalDirectory,
+    revoked: &BTreeSet<String>,
+) -> Vec<Finding> {
+    // Candidate users: everyone the RBAC policy mentions, everyone a
+    // decode of the store recovers, and every store principal the
+    // directory can resolve (catching credentials for users the RBAC
+    // side has never heard of — the classic escalation).
+    let mut users: BTreeSet<User> = rbac.users();
+    users.extend(decode_policy(assertions, webcom_key, directory).policy.users());
+    let admin_user = directory.user_of(webcom_key);
+    for id in 0..store.principals().len() as u32 {
+        let Some(text) = store.principals().text(id) else {
+            continue;
+        };
+        if text == webcom_key {
+            continue;
+        }
+        if let Some(u) = directory.user_of(text) {
+            users.insert(u);
+        }
+    }
+    if let Some(admin) = &admin_user {
+        users.remove(admin);
+    }
+
+    // Tuple universe: RBAC grants plus tuples harvested from the store.
+    let mut tuples: BTreeSet<Tuple> = rbac
+        .grants()
+        .map(|g| {
+            (
+                g.domain.as_str().to_string(),
+                g.role.as_str().to_string(),
+                g.object_type.as_str().to_string(),
+                g.permission.as_str().to_string(),
+            )
+        })
+        .collect();
+    tuples_from_conditions(assertions, &mut tuples);
+
+    let mut escalations: BTreeMap<User, Vec<String>> = BTreeMap::new();
+    let mut missing: BTreeMap<User, Vec<String>> = BTreeMap::new();
+    for user in &users {
+        let key = directory.key_of(user);
+        for (d, r, t, p) in &tuples {
+            let attrs: ActionAttributes = [
+                ("app_domain", APP_DOMAIN),
+                ("Domain", d.as_str()),
+                ("Role", r.as_str()),
+                ("ObjectType", t.as_str()),
+                ("Permission", p.as_str()),
+            ]
+            .into_iter()
+            .collect();
+            let query = Query::new(vec![key.clone()], attrs)
+                .with_revoked(revoked.iter().cloned());
+            let keynote = query_compiled(store, &[], &query).is_authorized();
+            let rbac_ok = rbac.check_access_as(
+                user,
+                &Domain::new(d.as_str()),
+                &Role::new(r.as_str()),
+                &ObjectType::new(t.as_str()),
+                &Permission::new(p.as_str()),
+            );
+            let point = format!("{d}/{r}: {p} on {t}");
+            if keynote && !rbac_ok {
+                escalations.entry(user.clone()).or_default().push(point);
+            } else if !keynote && rbac_ok {
+                missing.entry(user.clone()).or_default().push(point);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (user, points) in escalations {
+        let key = directory.key_of(&user);
+        findings.push(Finding {
+            code: LintCode::Escalation,
+            assertion: None,
+            line_start: None,
+            line_end: None,
+            message: format!(
+                "principal {key:?} (user {user}) can reach verdicts the RBAC policy \
+                 never granted: {}",
+                points.join("; ")
+            ),
+            hint: "revoke or narrow the credential chain, or add the matching RBAC rows"
+                .to_string(),
+        });
+    }
+    for (user, points) in missing {
+        let key = directory.key_of(&user);
+        findings.push(Finding {
+            code: LintCode::MissingGrant,
+            assertion: None,
+            line_start: None,
+            line_end: None,
+            message: format!(
+                "RBAC grants for user {user} (key {key:?}) that the credential store \
+                 does not honour: {}",
+                points.join("; ")
+            ),
+            hint: "re-encode the policy or issue the missing membership credential".to_string(),
+        });
+    }
+    findings
+}

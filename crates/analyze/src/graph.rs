@@ -1,0 +1,219 @@
+//! Delegation-graph analysis over the compiled store's interned
+//! principal ids.
+//!
+//! The graph has one node per interned principal and one edge
+//! `authorizer -> licensee` per (assertion, licensee) pair — the same
+//! edges the compliance fixpoint propagates support along (in the
+//! opposite direction). Three findings come out of it: cycles
+//! (harmless to the monotone fixpoint but almost always a policy
+//! mistake), credentials whose authorizer can never be reached from
+//! `POLICY` (they can never contribute to a verdict), and licensees
+//! never bound to any key, user, or authorizer (requests naming them
+//! can never be granted anything).
+
+use crate::diag::{Finding, LintCode};
+use hetsec_keynote::compiled::{CompiledStore, PrincipalId};
+use hetsec_translate::PrincipalDirectory;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Display text for an interned principal.
+fn name(store: &CompiledStore, id: PrincipalId) -> String {
+    if store.policy_id() == Some(id) {
+        return "POLICY".to_string();
+    }
+    store
+        .principals()
+        .text(id)
+        .unwrap_or("<unknown>")
+        .to_string()
+}
+
+/// Tarjan's strongly-connected components, iteratively.
+fn sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // (node, next child position)
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, ci)) = call.last() {
+            if ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if ci < adj[v].len() {
+                call.last_mut().expect("non-empty").1 += 1;
+                let w = adj[v][ci];
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    out
+}
+
+pub struct GraphAnalysis {
+    pub findings: Vec<Finding>,
+    /// Principals reachable from POLICY along delegation edges.
+    pub reachable: Vec<bool>,
+}
+
+/// Runs the delegation-graph pass.
+pub fn analyze_graph(
+    store: &CompiledStore,
+    directory: &dyn PrincipalDirectory,
+    webcom_key: &str,
+) -> GraphAnalysis {
+    let n = store.principals().len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    let mut authors: Vec<bool> = vec![false; n];
+    for (_, authorizer, licensees) in store.delegations() {
+        authors[authorizer as usize] = true;
+        for &l in licensees {
+            adj[authorizer as usize].push(l as usize);
+            if l == authorizer {
+                self_loop[l as usize] = true;
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+
+    // Cycles: SCCs with more than one node, or an explicit self-loop.
+    for comp in sccs(n, &adj) {
+        let cyclic = comp.len() > 1 || (comp.len() == 1 && self_loop[comp[0]]);
+        if !cyclic {
+            continue;
+        }
+        let mut names: Vec<String> = comp
+            .iter()
+            .map(|&v| name(store, v as PrincipalId))
+            .collect();
+        names.sort();
+        findings.push(Finding {
+            code: LintCode::DelegationCycle,
+            assertion: None,
+            line_start: None,
+            line_end: None,
+            message: format!(
+                "delegation cycle among {{{}}}: these principals only re-license each other",
+                names.join(", ")
+            ),
+            hint: "break the cycle by removing one delegation, or anchor one member under POLICY"
+                .to_string(),
+        });
+    }
+
+    // Reachability from POLICY: POLICY licenses its licensees, who
+    // license theirs. A credential whose authorizer is outside this
+    // set can never raise the POLICY verdict.
+    let mut reachable = vec![false; n];
+    if let Some(policy) = store.policy_id() {
+        let mut queue = VecDeque::new();
+        reachable[policy as usize] = true;
+        queue.push_back(policy as usize);
+        while let Some(v) = queue.pop_front() {
+            for &w in &adj[v] {
+                if !reachable[w] {
+                    reachable[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    for (idx, authorizer, _) in store.delegations() {
+        if store.policy_id() == Some(authorizer) {
+            continue;
+        }
+        if !reachable[authorizer as usize] {
+            findings.push(Finding {
+                code: LintCode::UnreachableCredential,
+                assertion: Some(idx),
+                line_start: None,
+                line_end: None,
+                message: format!(
+                    "credential authorizer {:?} is unreachable from POLICY, so the \
+                     credential can never contribute to a verdict",
+                    name(store, authorizer)
+                ),
+                hint: "add a delegation chain from POLICY to this authorizer, or delete \
+                       the credential"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Dangling licensees: mentioned in some licensees formula, but the
+    // text is not key material, not a directory-resolvable principal,
+    // and never authors an assertion — no request can ever present it.
+    let mut dangling: BTreeMap<PrincipalId, BTreeSet<usize>> = BTreeMap::new();
+    for (idx, _, licensees) in store.delegations() {
+        for &l in licensees {
+            if authors[l as usize] || store.policy_id() == Some(l) {
+                continue;
+            }
+            let text = store.principals().text(l).unwrap_or("");
+            let is_key_material = text.starts_with("rsa-sim:");
+            if is_key_material || text == webcom_key || directory.user_of(text).is_some() {
+                continue;
+            }
+            dangling.entry(l).or_default().insert(idx);
+        }
+    }
+    for (id, assertions) in dangling {
+        let first = assertions.iter().next().copied();
+        findings.push(Finding {
+            code: LintCode::DanglingLicensee,
+            assertion: first,
+            line_start: None,
+            line_end: None,
+            message: format!(
+                "licensee {:?} is never bound to a key: it is not key material, not a \
+                 directory-resolvable user, and authors no assertion (mentioned by {})",
+                name(store, id),
+                assertions
+                    .iter()
+                    .map(|i| format!("#{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            hint: "fix the licensee spelling or register the principal in the directory"
+                .to_string(),
+        });
+    }
+
+    GraphAnalysis {
+        findings,
+        reachable,
+    }
+}

@@ -1,0 +1,419 @@
+//! `hetsec-analyze` — static analysis over a KeyNote assertion store
+//! plus an optional source RBAC policy, without evaluating any request.
+//!
+//! The paper treats middleware RBAC and KeyNote credentials as two
+//! encodings of one authorization state (§4); nothing in the runtime
+//! stack checks a credential store *before* deployment, so a bad
+//! delegation or decompile drift only surfaces at query time. This
+//! crate is that missing audit layer. Four passes:
+//!
+//! 1. **Delegation graph** ([`graph`]) — cycles, credentials
+//!    unreachable from `POLICY`, dangling licensees, over the compiled
+//!    store's interned principal ids;
+//! 2. **Escalation** ([`escalation`]) — the maximal verdict each
+//!    principal can reach, diffed against the RBAC
+//!    `HasPermission`/`UserRole` relations;
+//! 3. **Condition lints** ([`conditions`]) — unsatisfiable or
+//!    tautological tests (interval/equality reasoning), shadowed
+//!    clauses, unknown action attributes, malformed regex literals;
+//! 4. **Credential hygiene** — validity windows (`now` convention),
+//!    revoked/unknown authorizers, duplicate assertions.
+//!
+//! Diagnostics carry a severity, a stable `HS0xx` code, the offending
+//! assertion's index/span, and a one-line fix hint; [`Report`] renders
+//! human text (`Display`) and JSON ([`Report::to_json`]).
+
+pub mod conditions;
+pub mod diag;
+pub mod escalation;
+pub mod graph;
+
+pub use diag::{Finding, JsonFinding, JsonReport, LintCode, Report, Severity};
+
+use hetsec_keynote::ast::{Assertion, Clause, ConditionsProgram, Expr, Principal, Term};
+use hetsec_keynote::compiled::CompiledStore;
+use hetsec_keynote::parser::{parse_assertion, ParseError};
+use hetsec_keynote::print::{print_assertion, print_expr};
+use hetsec_keynote::regex::Regex;
+use hetsec_translate::{PrincipalDirectory, SymbolicDirectory};
+use std::collections::{BTreeSet, HashMap};
+
+/// Attributes the bundled adapters are known to set on action
+/// environments (the WebCom scheduler's vocabulary plus the `now`
+/// validity convention). [`AnalysisOptions::default`] starts from this
+/// list; callers with custom adapters extend it.
+pub const DEFAULT_KNOWN_ATTRIBUTES: &[&str] = &[
+    "app_domain",
+    "Domain",
+    "Role",
+    "ObjectType",
+    "Permission",
+    "component",
+    "middleware",
+    "oper",
+    "now",
+];
+
+/// Analyzer configuration.
+pub struct AnalysisOptions {
+    /// The source RBAC policy; enables the escalation pass.
+    pub rbac: Option<hetsec_rbac::RbacPolicy>,
+    /// The administration key the RBAC policy is encoded under.
+    pub webcom_key: String,
+    /// Analysis time for validity-window checks (`now` convention);
+    /// `None` skips the check.
+    pub now: Option<f64>,
+    /// Keys to treat as revoked, exactly as at request time.
+    pub revoked: BTreeSet<String>,
+    /// Action attributes some adapter sets; references outside this
+    /// set are reported as `HS008`.
+    pub known_attributes: BTreeSet<String>,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            rbac: None,
+            webcom_key: "KWebCom".to_string(),
+            now: None,
+            revoked: BTreeSet::new(),
+            known_attributes: DEFAULT_KNOWN_ATTRIBUTES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+/// Analyzes parsed assertions with the paper's symbolic key directory.
+pub fn analyze(assertions: &[Assertion], opts: &AnalysisOptions) -> Report {
+    analyze_with_directory(assertions, opts, &SymbolicDirectory::default())
+}
+
+/// Analyzes parsed assertions against an explicit principal directory.
+pub fn analyze_with_directory(
+    assertions: &[Assertion],
+    opts: &AnalysisOptions,
+    directory: &dyn PrincipalDirectory,
+) -> Report {
+    let mut store = CompiledStore::default();
+    for a in assertions {
+        store.add(a);
+    }
+
+    let mut findings = Vec::new();
+
+    // Pass 1: delegation graph.
+    findings.extend(graph::analyze_graph(&store, directory, &opts.webcom_key).findings);
+
+    // Pass 2: escalation vs the RBAC relations.
+    if let Some(rbac) = &opts.rbac {
+        findings.extend(escalation::analyze_escalation(
+            assertions,
+            &store,
+            rbac,
+            &opts.webcom_key,
+            directory,
+            &opts.revoked,
+        ));
+    }
+
+    // Passes 3 & 4 work per assertion.
+    let mut seen_texts: HashMap<String, usize> = HashMap::new();
+    for (idx, a) in assertions.iter().enumerate() {
+        condition_lints(idx, a, opts, &mut findings);
+        hygiene_lints(idx, a, opts, directory, &mut findings);
+        validity_lints(idx, a, opts, &mut findings);
+
+        let text = print_assertion(a);
+        match seen_texts.get(&text) {
+            Some(&first) => findings.push(Finding {
+                code: LintCode::DuplicateAssertion,
+                assertion: Some(idx),
+                line_start: None,
+                line_end: None,
+                message: format!("assertion is byte-identical to assertion #{first}"),
+                hint: "delete the duplicate; it cannot change any verdict".to_string(),
+            }),
+            None => {
+                seen_texts.insert(text, idx);
+            }
+        }
+    }
+
+    Report { findings }.finish()
+}
+
+/// Analyzes a multi-assertion text, attaching 1-based line spans to
+/// per-assertion findings.
+pub fn analyze_text(text: &str, opts: &AnalysisOptions) -> Result<Report, ParseError> {
+    // Mirror `parse_assertions`' blank-line chunking, but remember
+    // where each chunk started and ended.
+    let mut assertions = Vec::new();
+    let mut spans = Vec::new();
+    let mut chunk = String::new();
+    let mut chunk_start = 0usize;
+    let mut chunk_end = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            if !chunk.trim().is_empty() {
+                assertions.push(parse_assertion(&chunk)?);
+                spans.push((chunk_start + 1, chunk_end + 1));
+            }
+            chunk.clear();
+        } else {
+            if chunk.is_empty() {
+                chunk_start = lineno;
+            }
+            chunk_end = lineno;
+            chunk.push_str(line);
+            chunk.push('\n');
+        }
+    }
+    if !chunk.trim().is_empty() {
+        assertions.push(parse_assertion(&chunk)?);
+        spans.push((chunk_start + 1, chunk_end + 1));
+    }
+
+    let mut report = analyze(&assertions, opts);
+    for f in &mut report.findings {
+        if let Some(idx) = f.assertion {
+            if let Some(&(start, end)) = spans.get(idx) {
+                f.line_start = Some(start);
+                f.line_end = Some(end);
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn origin(a: &Assertion) -> String {
+    match &a.authorizer {
+        Principal::Policy => "POLICY".to_string(),
+        Principal::Key(k) => format!("{k:?}"),
+    }
+}
+
+/// Flattened view of a conditions program: each test with its nesting
+/// depth, grouped per program so shadowing stays within one program.
+fn each_program(p: &ConditionsProgram, out: &mut Vec<Vec<Expr>>) {
+    let mut tests = Vec::new();
+    for c in &p.clauses {
+        let (Clause::Bare(t) | Clause::Arrow(t, _) | Clause::Nested(t, _)) = c;
+        tests.push(t.clone());
+        if let Clause::Nested(_, inner) = c {
+            each_program(inner, out);
+        }
+    }
+    out.push(tests);
+}
+
+fn condition_lints(
+    idx: usize,
+    a: &Assertion,
+    opts: &AnalysisOptions,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(program) = &a.conditions else { return };
+    let who = origin(a);
+
+    let mut programs = Vec::new();
+    each_program(program, &mut programs);
+    for tests in &programs {
+        for (ci, test) in tests.iter().enumerate() {
+            match conditions::status(test) {
+                conditions::Status::Unsat => findings.push(Finding {
+                    code: LintCode::UnsatisfiableCondition,
+                    assertion: Some(idx),
+                    line_start: None,
+                    line_end: None,
+                    message: format!(
+                        "clause {ci} of the assertion by {who} can never be true: `{}`",
+                        print_expr(test)
+                    ),
+                    hint: "the clause grants nothing; fix the contradictory bounds or delete it"
+                        .to_string(),
+                }),
+                conditions::Status::Taut => findings.push(Finding {
+                    code: LintCode::TautologicalCondition,
+                    assertion: Some(idx),
+                    line_start: None,
+                    line_end: None,
+                    message: format!(
+                        "clause {ci} of the assertion by {who} is always true: `{}`",
+                        print_expr(test)
+                    ),
+                    hint: "an unconditional grant is clearer without a vacuous test".to_string(),
+                }),
+                conditions::Status::Sat => {}
+            }
+            for earlier in &tests[..ci] {
+                if earlier == test {
+                    findings.push(Finding {
+                        code: LintCode::ShadowedClause,
+                        assertion: Some(idx),
+                        line_start: None,
+                        line_end: None,
+                        message: format!(
+                            "clause {ci} of the assertion by {who} repeats an earlier \
+                             clause's test: `{}`",
+                            print_expr(test)
+                        ),
+                        hint: "merge the clauses; under max-semantics only the strongest \
+                               value survives"
+                            .to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // Unknown attributes (HS008) and bad regex literals (HS009).
+    let locals: BTreeSet<&str> = a.local_constants.iter().map(|(n, _)| n.as_str()).collect();
+    let mut names = Vec::new();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for tests in &programs {
+        for test in tests {
+            conditions::referenced_attributes(test, &mut names);
+            bad_regex_lints(idx, test, &who, findings);
+        }
+    }
+    for name in names {
+        if name.starts_with('_') || locals.contains(name.as_str()) {
+            continue; // reserved names and local constants
+        }
+        if opts.known_attributes.contains(&name) || !reported.insert(name.clone()) {
+            continue;
+        }
+        findings.push(Finding {
+            code: LintCode::UnknownAttribute,
+            assertion: Some(idx),
+            line_start: None,
+            line_end: None,
+            message: format!(
+                "the assertion by {who} tests action attribute {name:?}, which no \
+                 adapter ever sets (the test sees the empty string)"
+            ),
+            hint: "fix the attribute spelling or register it in the adapter vocabulary"
+                .to_string(),
+        });
+    }
+}
+
+fn bad_regex_lints(idx: usize, e: &Expr, who: &str, findings: &mut Vec<Finding>) {
+    match e {
+        Expr::Or(a, b) | Expr::And(a, b) => {
+            bad_regex_lints(idx, a, who, findings);
+            bad_regex_lints(idx, b, who, findings);
+        }
+        Expr::Not(inner) => bad_regex_lints(idx, inner, who, findings),
+        Expr::RegexMatch {
+            pattern: Term::Str(pat),
+            ..
+        } => {
+            if let Err(err) = Regex::new(pat) {
+                findings.push(Finding {
+                    code: LintCode::BadRegex,
+                    assertion: Some(idx),
+                    line_start: None,
+                    line_end: None,
+                    message: format!(
+                        "the assertion by {who} matches against malformed regex literal \
+                         {pat:?} ({err:?}); the enclosing test always evaluates to false"
+                    ),
+                    hint: "fix the pattern; as written the clause can never grant".to_string(),
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+fn validity_lints(
+    idx: usize,
+    a: &Assertion,
+    opts: &AnalysisOptions,
+    findings: &mut Vec<Finding>,
+) {
+    let (Some(t), Some(program)) = (opts.now, &a.conditions) else {
+        return;
+    };
+    let mut saw_window = false;
+    let mut all_expired = true;
+    let mut all_future = true;
+    for c in &program.clauses {
+        let (Clause::Bare(test) | Clause::Arrow(test, _) | Clause::Nested(test, _)) = c;
+        match conditions::now_verdict(test, t) {
+            conditions::NowVerdict::Unconstrained | conditions::NowVerdict::LiveAt => return,
+            conditions::NowVerdict::DeadAt { expired, future } => {
+                saw_window = true;
+                all_expired &= expired;
+                all_future &= future;
+            }
+        }
+    }
+    if !saw_window {
+        return;
+    }
+    let what = if all_expired {
+        "has expired"
+    } else if all_future {
+        "is not yet valid"
+    } else {
+        "is outside its validity window"
+    };
+    findings.push(Finding {
+        code: LintCode::OutsideValidity,
+        assertion: Some(idx),
+        line_start: None,
+        line_end: None,
+        message: format!(
+            "the assertion by {} {what} at analysis time now={t}",
+            origin(a)
+        ),
+        hint: "re-issue the credential with a current validity window, or retire it"
+            .to_string(),
+    });
+}
+
+fn hygiene_lints(
+    idx: usize,
+    a: &Assertion,
+    opts: &AnalysisOptions,
+    directory: &dyn PrincipalDirectory,
+    findings: &mut Vec<Finding>,
+) {
+    if let Principal::Key(k) = &a.authorizer {
+        let known = k == &opts.webcom_key
+            || k.starts_with("rsa-sim:")
+            || directory.user_of(k).is_some();
+        if !known {
+            findings.push(Finding {
+                code: LintCode::UnknownAuthorizer,
+                assertion: Some(idx),
+                line_start: None,
+                line_end: None,
+                message: format!(
+                    "authorizer {k:?} is neither POLICY, key material, nor a \
+                     directory-resolvable principal"
+                ),
+                hint: "register the key in the principal directory or fix the authorizer"
+                    .to_string(),
+            });
+        }
+        if opts.revoked.contains(k) {
+            findings.push(Finding {
+                code: LintCode::RevokedPrincipal,
+                assertion: Some(idx),
+                line_start: None,
+                line_end: None,
+                message: format!(
+                    "authorizer {k:?} is revoked; the assertion conveys nothing until \
+                     the key is reinstated"
+                ),
+                hint: "remove the credential or reinstate the key".to_string(),
+            });
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hetsec_crypto::bigint::{Montgomery, U512};
+use hetsec_crypto::rsa;
 use hetsec_crypto::{Drbg, KeyPair};
 use std::hint::black_box;
 
@@ -46,6 +47,9 @@ fn bench_modpow(c: &mut Criterion) {
     });
 
     // End-to-end: the RSA operations the trust layer actually calls.
+    // `rsa_sign`/`rsa_verify` now hit the per-key Montgomery context
+    // memo; the `_fresh_ctx` series rebuilds the context per call (the
+    // pre-memo behavior), so the pair shows the cached-context delta.
     let kp = KeyPair::from_label("abl4-rsa");
     let payload = b"abl4 modpow microbench payload";
     let sig = kp.sign(payload);
@@ -54,6 +58,32 @@ fn bench_modpow(c: &mut Criterion) {
     });
     group.bench_function("rsa_verify", |b| {
         b.iter(|| black_box(kp.public().verify(black_box(payload), black_box(&sig))))
+    });
+    let (raw_public, raw_secret) = rsa::generate_keypair(&mut Drbg::from_label("abl4-rsa-raw"));
+    let raw_sig = rsa::sign(&raw_secret, payload);
+    group.bench_function("rsa_sign_cached_ctx", |b| {
+        b.iter(|| black_box(rsa::sign(black_box(&raw_secret), black_box(payload))))
+    });
+    group.bench_function("rsa_sign_fresh_ctx", |b| {
+        b.iter(|| black_box(rsa::sign_uncached(black_box(&raw_secret), black_box(payload))))
+    });
+    group.bench_function("rsa_verify_cached_ctx", |b| {
+        b.iter(|| {
+            black_box(rsa::verify(
+                black_box(&raw_public),
+                black_box(payload),
+                black_box(&raw_sig),
+            ))
+        })
+    });
+    group.bench_function("rsa_verify_fresh_ctx", |b| {
+        b.iter(|| {
+            black_box(rsa::verify_uncached(
+                black_box(&raw_public),
+                black_box(payload),
+                black_box(&raw_sig),
+            ))
+        })
     });
     group.finish();
 }

@@ -9,6 +9,10 @@
 //!   — answer one authorisation query through the KeyNote back-end;
 //! * `migrate <policy.json> <from-domain> <to-domain> [from-kind to-kind]`
 //!   — domain remap + kind-level permission interpretation;
+//! * `lint <store.kn> [--rbac <policy.json>] [--format text|json]
+//!   [--now <num>] [--revoked <key>]...` — static analysis of a
+//!   credential store: delegation-graph reachability, escalation vs the
+//!   RBAC policy, condition lints, credential hygiene (`HS0xx` codes);
 //! * `spki-encode <policy.json>` — RBAC → SPKI/SDSI certificates;
 //! * `example-policy` — print the paper's Figure 1 policy as JSON;
 //! * `serve <addr> [name] [key] [ops]` — run a WebCom client serving
@@ -199,7 +203,7 @@ pub fn connect_command(addr: &str, n: usize, client_key: &str) -> Result<String,
 /// Runs one CLI invocation; returns the text to print on stdout.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let usage =
-        "hetsec <encode|decode|check|migrate|spki-encode|example-policy|serve|connect> ...";
+        "hetsec <encode|decode|check|lint|migrate|spki-encode|example-policy|serve|connect> ...";
     let cmd = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match cmd.as_str() {
         "example-policy" => Ok(serde_json::to_string_pretty(&salaries_policy())?),
@@ -263,6 +267,65 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 "{}: {user} as {domain}/{role} requesting {permission} on {object}",
                 result.value_name
             ))
+        }
+        "lint" => {
+            let lint_usage = "hetsec lint <store.kn> [--rbac <policy.json>] \
+                              [--format text|json] [--now <num>] [--revoked <key>]...";
+            let path = args
+                .get(1)
+                .filter(|p| !p.starts_with("--"))
+                .ok_or_else(|| CliError::Usage(lint_usage.into()))?;
+            let mut opts = hetsec_analyze::AnalysisOptions {
+                webcom_key: CLI_WEBCOM_KEY.to_string(),
+                ..Default::default()
+            };
+            // The adapters the CLI ships are WebCom's: their attribute
+            // vocabulary is what HS008 checks references against.
+            opts.known_attributes
+                .extend(hetsec_webcom::ADAPTER_ATTRIBUTES.iter().map(|s| s.to_string()));
+            let mut json = false;
+            let mut rest = args[2..].iter();
+            while let Some(flag) = rest.next() {
+                let mut value = |name: &str| {
+                    rest.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage(format!("{name} needs a value; {lint_usage}")))
+                };
+                match flag.as_str() {
+                    "--rbac" => opts.rbac = Some(read_policy(&value("--rbac")?)?),
+                    "--now" => {
+                        let v = value("--now")?;
+                        opts.now = Some(v.parse::<f64>().map_err(|_| {
+                            CliError::Usage(format!("--now must be a number, got `{v}`"))
+                        })?);
+                    }
+                    "--revoked" => {
+                        opts.revoked.insert(value("--revoked")?);
+                    }
+                    "--format" => match value("--format")?.as_str() {
+                        "json" => json = true,
+                        "text" => json = false,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "unknown format `{other}` (use text|json)"
+                            )))
+                        }
+                    },
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown lint flag `{other}`; {lint_usage}"
+                        )))
+                    }
+                }
+            }
+            let text = std::fs::read_to_string(path)?;
+            let report = hetsec_analyze::analyze_text(&text, &opts)
+                .map_err(|e| CliError::KeyNote(e.to_string()))?;
+            Ok(if json {
+                report.to_json()
+            } else {
+                report.to_string()
+            })
         }
         "migrate" => {
             let (path, from_d, to_d) = match (args.get(1), args.get(2), args.get(3)) {
@@ -419,6 +482,66 @@ mod tests {
             assert!(out.contains("(acl-entry"));
             assert!(out.contains("(cert (issuer (name Kwebcom"));
         })
+    }
+
+    fn fixture_path(name: &str) -> String {
+        format!("{}/../../fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn lint_reports_clean_store() {
+        let out = run(&args(&[
+            "lint",
+            &fixture_path("figures_clean.kn"),
+            "--rbac",
+            &fixture_path("figures_clean.rbac.json"),
+        ]))
+        .unwrap();
+        assert_eq!(out, "clean: no findings");
+    }
+
+    #[test]
+    fn lint_reports_defects_in_both_formats() {
+        let common = [
+            "lint".to_string(),
+            fixture_path("defects.kn"),
+            "--rbac".to_string(),
+            fixture_path("defects.rbac.json"),
+            "--now".to_string(),
+            "200".to_string(),
+            "--revoked".to_string(),
+            "Kdave".to_string(),
+        ];
+        let text = run(&common).unwrap();
+        assert!(text.contains("error[HS005]"), "{text}");
+        assert!(text.contains("warn[HS001]"), "{text}");
+        let mut jargs = common.to_vec();
+        jargs.extend(args(&["--format", "json"]));
+        let json = run(&jargs).unwrap();
+        let report: hetsec_analyze::JsonReport = serde_json::from_str(&json).unwrap();
+        assert!(report.errors > 0 && report.warnings > 0);
+        assert!(report.findings.iter().any(|f| f.code == "HS013"));
+    }
+
+    #[test]
+    fn lint_usage_errors() {
+        assert!(matches!(run(&args(&["lint"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["lint", "store.kn", "--format", "xml"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["lint", "store.kn", "--now", "soon"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["lint", "store.kn", "--revoked"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["lint", "store.kn", "--bogus"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

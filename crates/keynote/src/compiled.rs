@@ -51,12 +51,32 @@ impl Interner {
         id
     }
 
-    fn get(&self, text: &str) -> Option<PrincipalId> {
+    /// Id of an already-interned text, if any.
+    pub fn get(&self, text: &str) -> Option<PrincipalId> {
         self.ids.get(text).copied()
     }
 
-    fn len(&self) -> usize {
+    /// Text behind an id minted by this interner.
+    pub fn text(&self, id: PrincipalId) -> Option<&str> {
+        self.texts.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned texts.
+    pub fn len(&self) -> usize {
         self.texts.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// `(text, id)` pairs in id order.
+    fn entries(&self) -> impl Iterator<Item = (&str, PrincipalId)> {
+        self.texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.as_str(), i as PrincipalId))
     }
 }
 
@@ -98,6 +118,11 @@ impl<'a> ScopedResolver<'a> {
     fn total_ids(&self) -> usize {
         self.base.len() + self.extra.len()
     }
+
+    /// `(text, id)` pairs for overlay-only ids, in arbitrary order.
+    fn extra_entries(&self) -> impl Iterator<Item = (&str, PrincipalId)> {
+        self.extra.iter().map(|(t, &id)| (t.as_str(), id))
+    }
 }
 
 impl Resolve for ScopedResolver<'_> {
@@ -110,13 +135,53 @@ impl Resolve for ScopedResolver<'_> {
     }
 }
 
-/// Compiled term. Structurally mirrors [`Term`]; owned strings live in
-/// the compiled assertion so evaluation borrows instead of cloning.
+/// Dense id for an interned action-attribute name.
+pub type AttrId = u32;
+
+/// Reserved KeyNote names, classified once at compile time.
+#[derive(Clone, Copy, Debug)]
+enum RName {
+    MinTrust,
+    MaxTrust,
+    Values,
+    ActionAuthorizers,
+}
+
+impl RName {
+    fn classify(name: &str) -> Option<RName> {
+        match name {
+            "_MIN_TRUST" => Some(RName::MinTrust),
+            "_MAX_TRUST" => Some(RName::MaxTrust),
+            "_VALUES" => Some(RName::Values),
+            "_ACTION_AUTHORIZERS" => Some(RName::ActionAuthorizers),
+            _ => None,
+        }
+    }
+}
+
+/// Everything term/expression compilation needs: the attribute-name
+/// interner, the enclosing assertion's local constants (they shadow
+/// attributes, so direct references fold to literals at compile time),
+/// and the compile-note sink.
+struct CompileCtx<'a> {
+    attrs: &'a mut dyn Resolve,
+    locals: &'a [(String, String)],
+    notes: &'a mut Vec<String>,
+    origin: &'a str,
+}
+
+/// Compiled term. Structurally mirrors [`Term`], except that direct
+/// attribute references are resolved at compile time: local constants
+/// fold to string literals, reserved names to [`RName`], and everything
+/// else to a dense [`AttrId`] slot so evaluation indexes a per-query
+/// vector instead of hashing the name. `Deref` keeps the dynamic
+/// name-based lookup, as the name is only known per evaluation.
 #[derive(Clone, Debug)]
 enum CTerm {
     Str(String),
     Num(f64),
-    Attr(String),
+    Slot(AttrId),
+    Reserved(RName),
     Deref(Box<CTerm>),
     Concat(Box<CTerm>, Box<CTerm>),
     Arith {
@@ -128,21 +193,32 @@ enum CTerm {
 }
 
 impl CTerm {
-    fn compile(t: &Term) -> CTerm {
+    fn compile(t: &Term, ctx: &mut CompileCtx<'_>) -> CTerm {
         match t {
             Term::Str(s) => CTerm::Str(s.clone()),
             Term::Num(n) => CTerm::Num(*n),
-            Term::Attr(name) => CTerm::Attr(name.clone()),
-            Term::Deref(inner) => CTerm::Deref(Box::new(CTerm::compile(inner))),
-            Term::Concat(a, b) => {
-                CTerm::Concat(Box::new(CTerm::compile(a)), Box::new(CTerm::compile(b)))
+            Term::Attr(name) => {
+                // Mirror the interpreter's lookup order: locals shadow
+                // reserved names, which shadow action attributes.
+                if let Some((_, v)) = ctx.locals.iter().find(|(n, _)| n == name) {
+                    CTerm::Str(v.clone())
+                } else if let Some(r) = RName::classify(name) {
+                    CTerm::Reserved(r)
+                } else {
+                    CTerm::Slot(ctx.attrs.resolve(name))
+                }
             }
+            Term::Deref(inner) => CTerm::Deref(Box::new(CTerm::compile(inner, ctx))),
+            Term::Concat(a, b) => CTerm::Concat(
+                Box::new(CTerm::compile(a, ctx)),
+                Box::new(CTerm::compile(b, ctx)),
+            ),
             Term::Arith { op, lhs, rhs } => CTerm::Arith {
                 op: *op,
-                lhs: Box::new(CTerm::compile(lhs)),
-                rhs: Box::new(CTerm::compile(rhs)),
+                lhs: Box::new(CTerm::compile(lhs, ctx)),
+                rhs: Box::new(CTerm::compile(rhs, ctx)),
             },
-            Term::Neg(inner) => CTerm::Neg(Box::new(CTerm::compile(inner))),
+            Term::Neg(inner) => CTerm::Neg(Box::new(CTerm::compile(inner, ctx))),
         }
     }
 }
@@ -173,33 +249,34 @@ enum CExpr {
 }
 
 impl CExpr {
-    fn compile(e: &Expr, notes: &mut Vec<String>, origin: &str) -> CExpr {
+    fn compile(e: &Expr, ctx: &mut CompileCtx<'_>) -> CExpr {
         match e {
             Expr::True => CExpr::Const(true),
             Expr::False => CExpr::Const(false),
             Expr::Or(a, b) => CExpr::Or(
-                Box::new(CExpr::compile(a, notes, origin)),
-                Box::new(CExpr::compile(b, notes, origin)),
+                Box::new(CExpr::compile(a, ctx)),
+                Box::new(CExpr::compile(b, ctx)),
             ),
             Expr::And(a, b) => CExpr::And(
-                Box::new(CExpr::compile(a, notes, origin)),
-                Box::new(CExpr::compile(b, notes, origin)),
+                Box::new(CExpr::compile(a, ctx)),
+                Box::new(CExpr::compile(b, ctx)),
             ),
-            Expr::Not(inner) => CExpr::Not(Box::new(CExpr::compile(inner, notes, origin))),
+            Expr::Not(inner) => CExpr::Not(Box::new(CExpr::compile(inner, ctx))),
             Expr::Cmp { op, lhs, rhs } => CExpr::Cmp {
                 op: *op,
                 numeric: lhs.is_numeric_syntax() || rhs.is_numeric_syntax(),
-                lhs: CTerm::compile(lhs),
-                rhs: CTerm::compile(rhs),
+                lhs: CTerm::compile(lhs, ctx),
+                rhs: CTerm::compile(rhs, ctx),
             },
             Expr::RegexMatch { lhs, pattern } => match pattern {
                 Term::Str(pat) => match Regex::new(pat) {
                     Ok(re) => CExpr::RegexStatic {
-                        lhs: CTerm::compile(lhs),
+                        lhs: CTerm::compile(lhs, ctx),
                         re,
                     },
                     Err(err) => {
-                        notes.push(format!(
+                        let origin = ctx.origin;
+                        ctx.notes.push(format!(
                             "{origin}: bad regex pattern {pat:?} ({err:?}); \
                              the enclosing test always evaluates to false"
                         ));
@@ -207,8 +284,8 @@ impl CExpr {
                     }
                 },
                 other => CExpr::RegexDynamic {
-                    lhs: CTerm::compile(lhs),
-                    pattern: CTerm::compile(other),
+                    lhs: CTerm::compile(lhs, ctx),
+                    pattern: CTerm::compile(other, ctx),
                 },
             },
         }
@@ -232,20 +309,17 @@ struct CProgram {
 }
 
 impl CProgram {
-    fn compile(p: &ConditionsProgram, notes: &mut Vec<String>, origin: &str) -> CProgram {
+    fn compile(p: &ConditionsProgram, ctx: &mut CompileCtx<'_>) -> CProgram {
         CProgram {
             clauses: p
                 .clauses
                 .iter()
                 .map(|c| match c {
-                    Clause::Bare(e) => CClause::Bare(CExpr::compile(e, notes, origin)),
-                    Clause::Arrow(e, v) => {
-                        CClause::Arrow(CExpr::compile(e, notes, origin), v.clone())
+                    Clause::Bare(e) => CClause::Bare(CExpr::compile(e, ctx)),
+                    Clause::Arrow(e, v) => CClause::Arrow(CExpr::compile(e, ctx), v.clone()),
+                    Clause::Nested(e, inner) => {
+                        CClause::Nested(CExpr::compile(e, ctx), CProgram::compile(inner, ctx))
                     }
-                    Clause::Nested(e, inner) => CClause::Nested(
-                        CExpr::compile(e, notes, origin),
-                        CProgram::compile(inner, notes, origin),
-                    ),
                 })
                 .collect(),
         }
@@ -332,24 +406,35 @@ pub struct CompiledAssertion {
 }
 
 impl CompiledAssertion {
-    fn compile(a: &Assertion, resolver: &mut dyn Resolve, notes: &mut Vec<String>) -> Self {
+    fn compile(
+        a: &Assertion,
+        principals: &mut dyn Resolve,
+        attrs: &mut dyn Resolve,
+        notes: &mut Vec<String>,
+    ) -> Self {
         let authorizer_text = match &a.authorizer {
             Principal::Policy => POLICY_KEY,
             Principal::Key(k) => k.as_str(),
         };
         let origin = format!("assertion by {}", a.authorizer);
-        let authorizer = resolver.resolve(authorizer_text);
-        let licensees = a.licensees.as_ref().map(|l| CLicensees::compile(l, resolver));
+        let authorizer = principals.resolve(authorizer_text);
+        let licensees = a
+            .licensees
+            .as_ref()
+            .map(|l| CLicensees::compile(l, principals));
         let mut licensee_ids = Vec::new();
         if let Some(lic) = &licensees {
             lic.collect_ids(&mut licensee_ids);
             licensee_ids.sort_unstable();
             licensee_ids.dedup();
         }
-        let conditions = a
-            .conditions
-            .as_ref()
-            .map(|p| CProgram::compile(p, notes, &origin));
+        let mut ctx = CompileCtx {
+            attrs,
+            locals: &a.local_constants,
+            notes,
+            origin: &origin,
+        };
+        let conditions = a.conditions.as_ref().map(|p| CProgram::compile(p, &mut ctx));
         CompiledAssertion {
             authorizer,
             licensees,
@@ -367,6 +452,10 @@ impl CompiledAssertion {
 #[derive(Clone, Debug, Default)]
 pub struct CompiledStore {
     interner: Interner,
+    /// Action-attribute name interner: every directly referenced
+    /// attribute gets a dense slot id so evaluation indexes a per-query
+    /// value vector instead of hashing the name.
+    attr_names: Interner,
     assertions: Vec<CompiledAssertion>,
     /// Indexed by `PrincipalId`; extended as the interner grows.
     by_licensee: Vec<Vec<u32>>,
@@ -377,7 +466,12 @@ impl CompiledStore {
     /// Compiles and stores one assertion, updating the licensee index.
     pub fn add(&mut self, a: &Assertion) {
         let idx = self.assertions.len() as u32;
-        let compiled = CompiledAssertion::compile(a, &mut self.interner, &mut self.notes);
+        let compiled = CompiledAssertion::compile(
+            a,
+            &mut self.interner,
+            &mut self.attr_names,
+            &mut self.notes,
+        );
         if self.by_licensee.len() < self.interner.len() {
             self.by_licensee.resize(self.interner.len(), Vec::new());
         }
@@ -401,6 +495,33 @@ impl CompiledStore {
     /// in the order the offending assertions were added.
     pub fn notes(&self) -> &[String] {
         &self.notes
+    }
+
+    /// The principal-text interner: static analyses reuse the same
+    /// dense ids the evaluator runs on.
+    pub fn principals(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Interned id of the `POLICY` sentinel, if any stored assertion is
+    /// a policy assertion.
+    pub fn policy_id(&self) -> Option<PrincipalId> {
+        self.interner.get(POLICY_KEY)
+    }
+
+    /// Delegation edges, one tuple per stored assertion:
+    /// `(assertion index, authorizer id, licensee ids)`. An assertion
+    /// with no licensees contributes an empty id slice.
+    pub fn delegations(&self) -> impl Iterator<Item = (usize, PrincipalId, &[PrincipalId])> {
+        self.assertions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i, a.authorizer, a.licensee_ids.as_slice()))
+    }
+
+    /// Number of distinct directly-referenced action-attribute names.
+    pub fn attr_name_count(&self) -> usize {
+        self.attr_names.len()
     }
 }
 
@@ -428,30 +549,46 @@ impl<'a> CValue<'a> {
 }
 
 /// Compiled-evaluation environment; reserved-name strings are
-/// precomputed once per query instead of per lookup.
+/// precomputed once per query, and directly-referenced attributes are
+/// read from the per-query slot vector (one hash lookup per distinct
+/// name per query, done while building `slots`).
 struct CEnv<'a> {
     attrs: &'a ActionAttributes,
     locals: &'a [(String, String)],
     values: &'a ComplianceValues,
     authorizers_text: &'a str,
     values_attr: &'a str,
+    /// Indexed by [`AttrId`]: the query's value for each interned
+    /// attribute name (`""` when the query does not set it).
+    slots: &'a [&'a str],
 }
 
 impl<'a> CEnv<'a> {
+    /// Slot-indexed attribute read — the compiled fast path.
+    fn slot(&self, id: AttrId) -> &'a str {
+        self.slots.get(id as usize).copied().unwrap_or("")
+    }
+
+    fn reserved(&self, r: RName) -> &'a str {
+        match r {
+            RName::MinTrust => self.values.names().first().map(String::as_str).unwrap_or(""),
+            RName::MaxTrust => self.values.names().last().map(String::as_str).unwrap_or(""),
+            RName::Values => self.values_attr,
+            RName::ActionAuthorizers => self.authorizers_text,
+        }
+    }
+
+    /// Full name-based lookup, used only by `Deref` (the name is
+    /// computed per evaluation, so it cannot be slotted at compile
+    /// time). Mirrors the interpreter's order: locals, reserved names,
+    /// then action attributes.
     fn lookup(&self, name: &str) -> Cow<'a, str> {
         if let Some((_, v)) = self.locals.iter().find(|(n, _)| n == name) {
             return Cow::Borrowed(v.as_str());
         }
-        match name {
-            "_MIN_TRUST" => Cow::Borrowed(
-                self.values.names().first().map(String::as_str).unwrap_or(""),
-            ),
-            "_MAX_TRUST" => Cow::Borrowed(
-                self.values.names().last().map(String::as_str).unwrap_or(""),
-            ),
-            "_VALUES" => Cow::Borrowed(self.values_attr),
-            "_ACTION_AUTHORIZERS" => Cow::Borrowed(self.authorizers_text),
-            other => Cow::Borrowed(self.attrs.get(other)),
+        match RName::classify(name) {
+            Some(r) => Cow::Borrowed(self.reserved(r)),
+            None => Cow::Borrowed(self.attrs.get(name)),
         }
     }
 }
@@ -467,7 +604,8 @@ fn eval_cterm<'a>(t: &'a CTerm, env: &CEnv<'a>) -> Result<CValue<'a>, CFail> {
     match t {
         CTerm::Str(s) => Ok(CValue::Str(Cow::Borrowed(s.as_str()))),
         CTerm::Num(n) => Ok(CValue::Num(*n)),
-        CTerm::Attr(name) => Ok(CValue::Str(env.lookup(name))),
+        CTerm::Slot(id) => Ok(CValue::Str(Cow::Borrowed(env.slot(*id)))),
+        CTerm::Reserved(r) => Ok(CValue::Str(Cow::Borrowed(env.reserved(*r)))),
         CTerm::Deref(inner) => {
             let name = eval_cterm(inner, env)?.as_str();
             Ok(CValue::Str(env.lookup(&name)))
@@ -608,11 +746,22 @@ pub fn query_compiled(store: &CompiledStore, extra: &[&Assertion], query: &Query
     // space; notes about their bad regex literals are request-scoped
     // and intentionally dropped with the overlay.
     let mut resolver = ScopedResolver::new(&store.interner);
+    let mut attr_resolver = ScopedResolver::new(&store.attr_names);
     let mut extra_notes = Vec::new();
     let extra_compiled: Vec<CompiledAssertion> = extra
         .iter()
-        .map(|a| CompiledAssertion::compile(a, &mut resolver, &mut extra_notes))
+        .map(|a| CompiledAssertion::compile(a, &mut resolver, &mut attr_resolver, &mut extra_notes))
         .collect();
+
+    // One hash lookup per distinct attribute name per query: slot id ->
+    // the query's value for that name ("" when unset).
+    let mut slots: Vec<&str> = vec![""; attr_resolver.total_ids()];
+    for (name, id) in store.attr_names.entries() {
+        slots[id as usize] = query.attributes.get(name);
+    }
+    for (name, id) in attr_resolver.extra_entries() {
+        slots[id as usize] = query.attributes.get(name);
+    }
     let base_count = store.assertions.len();
     let total_assertions = base_count + extra_compiled.len();
     let mut extra_by_licensee: HashMap<PrincipalId, Vec<u32>> = HashMap::new();
@@ -697,6 +846,7 @@ pub fn query_compiled(store: &CompiledStore, extra: &[&Assertion], query: &Query
                 values,
                 authorizers_text: &authorizers_text,
                 values_attr: &values_attr,
+                slots: &slots,
             };
             match &a.conditions {
                 None => max,

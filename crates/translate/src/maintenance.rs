@@ -46,6 +46,27 @@ pub struct PropagationReport {
     pub propagated_to: Vec<String>,
     /// Endpoint failures: (instance name, error text).
     pub failures: Vec<(String, String)>,
+    /// Post-propagation consistency audit over every endpoint (the
+    /// analyzer's pass 4 run from the maintenance flow): each entry is
+    /// one endpoint diffed against the unified view.
+    pub consistency: Vec<EndpointConsistency>,
+}
+
+impl PropagationReport {
+    /// True when every endpoint agreed with the unified policy after
+    /// the propagation.
+    pub fn is_consistent(&self) -> bool {
+        self.consistency.iter().all(|c| c.is_consistent())
+    }
+
+    /// Instance names of endpoints that disagree with the unified view.
+    pub fn inconsistent_endpoints(&self) -> Vec<&str> {
+        self.consistency
+            .iter()
+            .filter(|c| !c.is_consistent())
+            .map(|c| c.instance.as_str())
+            .collect()
+    }
 }
 
 /// Consistency audit result for one endpoint.
@@ -141,6 +162,10 @@ impl PolicyBus {
                 Err(e) => report.failures.push((ep.instance_name(), e.to_string())),
             }
         }
+        // Audit every endpoint right away, so a change that silently
+        // failed to land (or out-of-band drift) surfaces with the
+        // propagation that noticed it, not at the next manual audit.
+        report.consistency = self.consistency_report();
         report
     }
 
@@ -268,6 +293,8 @@ mod tests {
         assert!(report.unified_changed);
         assert_eq!(report.propagated_to, vec![com.instance_name()]);
         assert!(report.failures.is_empty());
+        assert!(report.is_consistent());
+        assert_eq!(report.consistency.len(), 2);
         assert!(com.allows(&"carol".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
         // EJB untouched.
         assert!(!ejb.allows(
@@ -309,6 +336,21 @@ mod tests {
         assert_eq!(changed, 1);
         assert!(bus.consistency_report().iter().all(|c| c.is_consistent()));
         assert!(!com.allows(&"mallory".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
+    }
+
+    #[test]
+    fn apply_surfaces_out_of_band_drift() {
+        let (bus, com, _, _) = two_endpoint_bus();
+        // Drift introduced behind the bus's back ...
+        com.catalog().add_role_member("Manager", "mallory");
+        // ... is reported by the very next propagation, without a
+        // separate audit call.
+        let change = PolicyChange::Assign(RoleAssignment::new("carol", "CORP", "Manager"));
+        let report = bus.apply(&change);
+        assert!(!report.is_consistent());
+        let bad = report.inconsistent_endpoints();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("COM+"), "{bad:?}");
     }
 
     #[test]

@@ -31,6 +31,21 @@ pub struct ScheduledAction {
     pub permission: Permission,
 }
 
+/// Every action-attribute name the WebCom adapters set on a KeyNote
+/// environment: [`ScheduledAction::attributes`] plus the key-commit
+/// adapter's `oper`. Static analyzers use this as the vocabulary an
+/// assertion may reference without tripping an unknown-attribute lint.
+pub const ADAPTER_ATTRIBUTES: &[&str] = &[
+    "app_domain",
+    "Domain",
+    "Role",
+    "ObjectType",
+    "Permission",
+    "component",
+    "middleware",
+    "oper",
+];
+
 impl ScheduledAction {
     /// Builds an action for a component under a (domain, role), using
     /// the component's own required permission.

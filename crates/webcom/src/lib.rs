@@ -37,7 +37,7 @@ pub mod transport;
 pub mod wire;
 
 pub use audit::{AuditLog, AuditRecord, AuditedStack};
-pub use authz::{AuthzRequest, ScheduledAction, TrustManager};
+pub use authz::{AuthzRequest, ScheduledAction, TrustManager, ADAPTER_ATTRIBUTES};
 pub use cache::{decision_fingerprint, CacheKey, CacheStats, DecisionCache};
 pub use client::{
     spawn_client, spawn_engine, ClientConfig, ClientEngine, ClientHandle, ClientMessage,

@@ -13,6 +13,16 @@ cargo test -q
 echo "== network fabric tests (bounded: must not hang on a dead socket) =="
 timeout 120 cargo test -q --test network_fabric
 
+echo "== hetsec lint: clean fixtures stay clean, defect fixture matches golden =="
+LINT=./target/release/hetsec
+out="$($LINT lint fixtures/figures_clean.kn --rbac fixtures/figures_clean.rbac.json)"
+if [ "$out" != "clean: no findings" ]; then
+    echo "figures_clean.kn is no longer lint-clean:"; echo "$out"; exit 1
+fi
+$LINT lint fixtures/defects.kn --rbac fixtures/defects.rbac.json \
+    --now 200 --revoked Kdave --format json | diff -u fixtures/defects.golden.json - \
+    || { echo "defects.kn lint output drifted from fixtures/defects.golden.json"; exit 1; }
+
 echo "== clippy (-D warnings): whole workspace, all targets =="
 cargo clippy --no-deps --workspace --all-targets -- -D warnings
 
