@@ -18,9 +18,9 @@ use hetsec_middleware::component::ComponentRef;
 use hetsec_middleware::naming::MiddlewareKind;
 use hetsec_webcom::stack::TrustLayer;
 use hetsec_webcom::{
-    serve_tcp, spawn_client, ArithComponentExecutor, AuthzStack, Binding, ClientConfig,
-    ClientEngine, ClientHandle, FaultyTransport, TcpClientServer, TcpTransport, TrustManager,
-    WebComMaster,
+    serve_tcp, spawn_client, ArithComponentExecutor, AuthzStack, Binding, ChannelTransport,
+    ClientConfig, ClientEngine, ClientHandle, ClientTransport, FaultyTransport, TcpClientServer,
+    TcpTransport, TrustManager, WebComMaster,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -215,5 +215,108 @@ fn bench_transport(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig3, bench_transport);
+/// A two-client channel fabric where each link can misbehave: the
+/// churn series measures the steady-state cost of a bad client in the
+/// fleet. Health-aware dispatch routes around it (breaker + ranking),
+/// so every series should converge towards the healthy single-client
+/// round-trip rather than paying the fault once per operation.
+fn churn_fabric() -> (WebComMaster, Vec<ClientHandle>, Vec<Arc<FaultyTransport>>) {
+    let master = WebComMaster::new("Kmaster", tm(&client_policy(2)))
+        .with_op_timeout(Duration::from_millis(5))
+        // Roomy whole-op budget: the first ops pay the slow client's
+        // timeouts *and* still reach the healthy one.
+        .with_schedule_deadline(Duration::from_millis(500));
+    let mut handles = Vec::new();
+    let mut links = Vec::new();
+    for i in 0..2 {
+        let master_trust = tm(
+            "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let user_tm = tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(user_tm)));
+        let handle = spawn_client(ClientConfig {
+            name: format!("c{i}"),
+            key_text: format!("Kc{i}"),
+            master_trust,
+            stack: Arc::new(stack),
+            executor: Arc::new(ArithComponentExecutor),
+        });
+        let link = Arc::new(FaultyTransport::new(ChannelTransport::new(handle.sender())));
+        master.register_transport(
+            format!("c{i}"),
+            format!("Kc{i}"),
+            Arc::clone(&link) as Arc<dyn ClientTransport>,
+            vec!["Dom".into()],
+        );
+        handles.push(handle);
+        links.push(link);
+    }
+    bind_add(&master);
+    (master, handles, links)
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_churn");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+
+    // c0's link resets every request aimed at it; after the breaker
+    // opens the fleet rides c1, with a cheap re-arm per element.
+    {
+        let (master, handles, links) = churn_fabric();
+        group.bench_function("flapping_client", |b| {
+            b.iter(|| {
+                links[0].drop_next(1);
+                let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+                assert!(out.is_ok());
+                black_box(out)
+            })
+        });
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    // c0 answers slower than the op deadline: the first op pays the
+    // timeouts, then ranking + breaker keep the fleet on c1 (modulo the
+    // occasional half-open probe).
+    {
+        let (master, handles, links) = churn_fabric();
+        links[0].set_delay(Duration::from_millis(50));
+        group.bench_function("slow_client", |b| {
+            b.iter(|| {
+                let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+                assert!(out.is_ok());
+                black_box(out)
+            })
+        });
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    // c0 is dead before the run starts: the cost of a corpse in the
+    // registration list should be ~zero per op.
+    {
+        let (master, handles, links) = churn_fabric();
+        links[0].kill();
+        group.bench_function("killed_client", |b| {
+            b.iter(|| {
+                let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(2)]);
+                assert!(out.is_ok());
+                black_box(out)
+            })
+        });
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_transport, bench_churn);
 criterion_main!(benches);

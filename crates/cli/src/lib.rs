@@ -151,8 +151,9 @@ pub fn serve_command(
             let stats = server.engine().stats();
             server.stop();
             Ok(format!(
-                "served {served} operations (executed {}, master_rejected {}, stack_denied {}, failed {})",
-                stats.executed, stats.master_rejected, stats.stack_denied, stats.failed
+                "served {served} operations (executed {}, master_rejected {}, stack_denied {}, failed {}, replayed {})",
+                stats.executed, stats.master_rejected, stats.stack_denied, stats.failed,
+                stats.replayed
             ))
         }
         None => loop {
@@ -193,10 +194,24 @@ pub fn connect_command(addr: &str, n: usize, client_key: &str) -> Result<String,
         }
     }
     let stats = master.stats();
+    let health = master
+        .client_health()
+        .into_iter()
+        .map(|h| format!("{}={}", h.client, h.state))
+        .collect::<Vec<_>>()
+        .join(", ");
     Ok(format!(
         "scheduled {ok}/{n} operations to `{name}` at {addr} \
-         (retries {}, timeouts {}, failovers {}, rescheduled {})",
-        stats.retries, stats.timeouts, stats.failovers, stats.rescheduled
+         (retries {}, timeouts {}, failovers {}, rescheduled {}, \
+         exhausted {}, shed {}, replayed {}, breaker trips {}; health: {health})",
+        stats.retries,
+        stats.timeouts,
+        stats.failovers,
+        stats.rescheduled,
+        stats.exhausted,
+        stats.shed,
+        stats.replayed,
+        stats.breaker_trips
     ))
 }
 

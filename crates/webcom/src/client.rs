@@ -13,6 +13,15 @@
 //!    middleware / trust-management layers, §5) must permit the
 //!    executing user;
 //! 3. only then is the component invoked.
+//!
+//! The engine also keeps an *executed-op memo*: the recorded outcome of
+//! every operation it has run, keyed by `(master_key, op_id)`. When a
+//! master re-asks about an operation — its first call timed out after
+//! the client had already executed, so the master cannot know whether
+//! the work happened — the memo replays the recorded result instead of
+//! executing a second time. This is what makes the master's
+//! retry-after-timeout path duplicate-safe for non-idempotent
+//! components.
 
 use crate::audit::AuditLog;
 use crate::authz::{AuthzRequest, TrustManager};
@@ -20,8 +29,14 @@ use crate::protocol::{ComponentExecutor, ExecOutcome, ScheduleReply, ScheduleReq
 use crate::stack::{AuthzContext, AuthzStack};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// How many executed-op outcomes the memo retains (FIFO eviction). Far
+/// more than any plausible in-flight window; bounds memory on
+/// long-lived clients.
+const OP_MEMO_CAPACITY: usize = 1024;
 
 /// The envelope the in-process fabric delivers to a client thread: work
 /// plus the reply path, or an orderly shutdown marker. The reply sender
@@ -46,6 +61,36 @@ pub struct ClientStats {
     pub stack_denied: usize,
     /// Component invocation failures.
     pub failed: usize,
+    /// Requests answered from the executed-op memo instead of running
+    /// again (the master re-asked after a timeout or failover).
+    pub replayed: usize,
+}
+
+/// The executed-op memo: recorded outcomes keyed by `(master_key,
+/// op_id)`, evicted FIFO at [`OP_MEMO_CAPACITY`]. Only *executions*
+/// are recorded (success or deterministic failure) — refusals are
+/// re-decided, and retryable failures are re-run on purpose.
+#[derive(Default)]
+struct OpMemo {
+    map: HashMap<(String, u64), ExecOutcome>,
+    order: VecDeque<(String, u64)>,
+}
+
+impl OpMemo {
+    fn get(&self, key: &(String, u64)) -> Option<ExecOutcome> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: (String, u64), outcome: ExecOutcome) {
+        if self.map.insert(key.clone(), outcome).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > OP_MEMO_CAPACITY {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 /// Configuration for a client engine.
@@ -69,6 +114,7 @@ pub struct ClientEngine {
     config: ClientConfig,
     stats: Mutex<ClientStats>,
     audit: Option<Arc<AuditLog>>,
+    memo: Mutex<OpMemo>,
 }
 
 impl ClientEngine {
@@ -78,6 +124,7 @@ impl ClientEngine {
             config,
             stats: Mutex::new(ClientStats::default()),
             audit: None,
+            memo: Mutex::new(OpMemo::default()),
         }
     }
 
@@ -106,14 +153,16 @@ impl ClientEngine {
 
     /// Handles one request end to end and builds the correlated reply.
     pub fn handle(&self, req: &ScheduleRequest) -> ScheduleReply {
+        let (outcome, replayed) = self.decide_and_execute(req);
         ScheduleReply {
             op_id: req.op_id,
             client: self.config.name.clone(),
-            outcome: self.decide_and_execute(req),
+            outcome,
+            replayed,
         }
     }
 
-    fn decide_and_execute(&self, req: &ScheduleRequest) -> ExecOutcome {
+    fn decide_and_execute(&self, req: &ScheduleRequest) -> (ExecOutcome, bool) {
         let config = &self.config;
         // 1. Authenticate/authorise the master. Credentials presented
         // with the request are evaluated request-scoped: they support
@@ -125,11 +174,24 @@ impl ClientEngine {
         );
         if !master_authorised {
             self.stats.lock().master_rejected += 1;
-            return ExecOutcome::Denied(format!(
-                "client {}: master key not authorised to schedule {}",
-                config.name,
-                req.action.component.identifier()
-            ));
+            return (
+                ExecOutcome::Denied(format!(
+                    "client {}: master key not authorised to schedule {}",
+                    config.name,
+                    req.action.component.identifier()
+                )),
+                false,
+            );
+        }
+        // 1b. Executed-op memo: if this (master, op) already ran here,
+        // replay the recorded outcome instead of executing twice. The
+        // check deliberately sits *after* master mediation — a replay
+        // still requires an authorised master — but before the stack,
+        // because the stack already permitted the recorded execution.
+        let memo_key = (req.master_key.clone(), req.op_id);
+        if let Some(outcome) = self.memo.lock().get(&memo_key) {
+            self.stats.lock().replayed += 1;
+            return (outcome, true);
         }
         // 2. Local stacked mediation for the executing user.
         let ctx = AuthzContext {
@@ -152,14 +214,20 @@ impl ClientEngine {
                     _ => None,
                 })
                 .collect();
-            return ExecOutcome::Denied(format!(
-                "client {}: stack denied [{}]",
-                config.name,
-                reasons.join("; ")
-            ));
+            return (
+                ExecOutcome::Denied(format!(
+                    "client {}: stack denied [{}]",
+                    config.name,
+                    reasons.join("; ")
+                )),
+                false,
+            );
         }
-        // 3. Execute.
-        match config
+        // 3. Execute, and memoise what actually ran: successes and
+        // deterministic failures replay on a re-ask; transient
+        // (retryable) failures are *not* memoised — the master retries
+        // those on purpose, expecting a fresh attempt.
+        let outcome = match config
             .executor
             .invoke(&req.user, &req.action.component, &req.args)
         {
@@ -171,7 +239,16 @@ impl ClientEngine {
                 self.stats.lock().failed += 1;
                 ExecOutcome::Failed(e)
             }
+        };
+        let memoise = match &outcome {
+            ExecOutcome::Ok(_) => true,
+            ExecOutcome::Failed(e) => !e.retryable,
+            ExecOutcome::Denied(_) => false,
+        };
+        if memoise {
+            self.memo.lock().insert(memo_key, outcome.clone());
         }
+        (outcome, false)
     }
 }
 
@@ -391,6 +468,116 @@ mod tests {
             engine.handle(&req).outcome,
             ExecOutcome::Denied(ref m) if m.contains("master")
         ));
+    }
+
+    /// Counts invocations so tests can detect duplicate executions.
+    struct CountingExecutor(std::sync::atomic::AtomicUsize);
+
+    impl ComponentExecutor for CountingExecutor {
+        fn invoke(
+            &self,
+            user: &hetsec_rbac::User,
+            component: &ComponentRef,
+            args: &[Value],
+        ) -> Result<Value, crate::protocol::ExecError> {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            ArithComponentExecutor.invoke(user, component, args)
+        }
+    }
+
+    fn counting_engine() -> (ClientEngine, Arc<CountingExecutor>) {
+        let master_trust = permissive_tm(
+            "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let user_tm = permissive_tm(
+            "Authorizer: POLICY\nLicensees: \"Kworker\"\nConditions: app_domain==\"WebCom\";\n",
+        );
+        let mut stack = AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(user_tm)));
+        let executor = Arc::new(CountingExecutor(std::sync::atomic::AtomicUsize::new(0)));
+        let engine = ClientEngine::new(ClientConfig {
+            name: "c1".to_string(),
+            key_text: "Kc1".to_string(),
+            master_trust,
+            stack: Arc::new(stack),
+            executor: Arc::clone(&executor) as Arc<dyn ComponentExecutor>,
+        });
+        (engine, executor)
+    }
+
+    fn request(op_id: u64, op: &str) -> ScheduleRequest {
+        ScheduleRequest {
+            op_id,
+            action: action(op),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+            master_key: "Kmaster".to_string(),
+            credentials: vec![],
+            args: vec![Value::Int(20), Value::Int(22)],
+        }
+    }
+
+    #[test]
+    fn memo_replays_instead_of_double_executing() {
+        let (engine, executor) = counting_engine();
+        let req = request(11, "add");
+        let first = engine.handle(&req);
+        assert_eq!(first.outcome, ExecOutcome::Ok(Value::Int(42)));
+        assert!(!first.replayed);
+        // The master re-asks (its first call timed out): same result,
+        // flagged as a replay, with no second execution.
+        let second = engine.handle(&req);
+        assert_eq!(second.outcome, ExecOutcome::Ok(Value::Int(42)));
+        assert!(second.replayed);
+        assert_eq!(executor.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+        let stats = engine.stats();
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.replayed, 1);
+    }
+
+    #[test]
+    fn memo_records_deterministic_failures_but_is_keyed_by_op() {
+        let (engine, executor) = counting_engine();
+        // A deterministic component failure replays too: re-running a
+        // known-bad op buys nothing and may have side effects.
+        let bad = request(21, "no-such-op");
+        assert!(matches!(engine.handle(&bad).outcome, ExecOutcome::Failed(_)));
+        let again = engine.handle(&bad);
+        assert!(again.replayed);
+        // A different op id executes fresh.
+        let good = request(22, "add");
+        assert!(!engine.handle(&good).replayed);
+        assert_eq!(executor.0.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn memo_replay_still_requires_an_authorised_master() {
+        let (engine, _executor) = counting_engine();
+        assert!(engine.handle(&request(31, "add")).outcome.is_ok());
+        // An imposter re-asking about the same op id is rejected before
+        // the memo is consulted: replay is not an authorisation bypass.
+        let mut imposter = request(31, "add");
+        imposter.master_key = "Kimposter".to_string();
+        let reply = engine.handle(&imposter);
+        assert!(matches!(reply.outcome, ExecOutcome::Denied(_)));
+        assert!(!reply.replayed);
+    }
+
+    #[test]
+    fn memo_evicts_fifo_at_capacity() {
+        let (engine, executor) = counting_engine();
+        assert!(engine.handle(&request(0, "add")).outcome.is_ok());
+        // Push op 0 out of the memo window.
+        for i in 1..=(OP_MEMO_CAPACITY as u64) {
+            assert!(engine.handle(&request(i, "add")).outcome.is_ok());
+        }
+        // Op 0 was evicted: a re-ask executes again (the memo is a
+        // bounded window, not a permanent ledger).
+        assert!(!engine.handle(&request(0, "add")).replayed);
+        assert_eq!(
+            executor.0.load(std::sync::atomic::Ordering::SeqCst),
+            OP_MEMO_CAPACITY + 2
+        );
     }
 
     #[test]

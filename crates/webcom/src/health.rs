@@ -1,0 +1,452 @@
+//! Per-client health for the master's dispatch loop: EWMA latency and
+//! error-rate tracking fed by every transport call, a three-state
+//! circuit breaker (closed → open → half-open probe), and bounded
+//! in-flight quotas for backpressure.
+//!
+//! The master keeps one [`ClientHealth`] per registered client. Before
+//! every transport call it asks for a [`CallPermit`]
+//! ([`ClientHealth::try_begin`]): a client whose breaker is open is
+//! skipped outright (no per-op timeout rediscovering a dead peer), a
+//! client at its in-flight quota sheds the operation to the next
+//! eligible client instead of queueing, and a client whose open
+//! cooldown has elapsed admits exactly one half-open *probe* call — a
+//! probe success closes the breaker, a probe failure re-opens it for
+//! another cooldown. Every call's latency and outcome is recorded back
+//! through the permit, which is also a drop guard: a panic between
+//! admission and recording cannot leak the in-flight slot or wedge the
+//! breaker in a probing state.
+//!
+//! Health feeds target *ordering* too: [`ClientHealth::rank`] sorts the
+//! eligible clients by breaker state, then error rate, then latency, so
+//! `schedule` prefers observed behaviour over registration order
+//! (adaptive selection in the sense of Dearle et al.'s policy-free
+//! middleware, with endpoint health as first-class scheduling input as
+//! in de Leusse & Dimitrakos's governance middleware).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Tunables for the per-client health model.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Weight of the newest sample in the EWMA latency / error-rate
+    /// estimates (0 < alpha <= 1).
+    pub ewma_alpha: f64,
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// EWMA error rate that trips the breaker open (once `min_samples`
+    /// calls have been observed).
+    pub error_rate_threshold: f64,
+    /// Calls observed before the error-rate threshold may trip.
+    pub min_samples: u64,
+    /// How long an open breaker waits before admitting a half-open
+    /// probe.
+    pub open_cooldown: Duration,
+    /// In-flight calls one client may carry before further operations
+    /// are shed to the next eligible client.
+    pub max_in_flight: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            ewma_alpha: 0.2,
+            failure_threshold: 3,
+            error_rate_threshold: 0.6,
+            min_samples: 8,
+            open_cooldown: Duration::from_millis(250),
+            max_in_flight: 64,
+        }
+    }
+}
+
+/// Circuit-breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// The client is ejected; calls are refused until the cooldown
+    /// elapses.
+    Open,
+    /// The cooldown elapsed; a single trial call is in flight (or
+    /// admissible) to decide between closing and re-opening.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Why [`ClientHealth::try_begin`] refused a call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Refusal {
+    /// The breaker is open (and the cooldown has not elapsed, or a
+    /// half-open probe is already in flight).
+    Open,
+    /// The client is at its in-flight quota; shed to the next client.
+    Saturated,
+}
+
+/// A point-in-time view of one client's health (accessor:
+/// `WebComMaster::client_health`).
+#[derive(Clone, Debug)]
+pub struct HealthSnapshot {
+    /// Client name.
+    pub client: String,
+    /// Breaker state.
+    pub state: BreakerState,
+    /// EWMA of observed call latency.
+    pub ewma_latency: Duration,
+    /// EWMA of the per-call failure indicator (0.0 = all succeeding,
+    /// 1.0 = all failing).
+    pub error_rate: f64,
+    /// Current consecutive-failure run.
+    pub consecutive_failures: u32,
+    /// Calls currently in flight.
+    pub in_flight: usize,
+    /// Calls observed.
+    pub samples: u64,
+    /// Closed → open transitions.
+    pub trips: u64,
+    /// Half-open probe calls admitted.
+    pub probes: u64,
+    /// Operations shed off this client because it was at quota.
+    pub shed: u64,
+}
+
+struct HealthInner {
+    state: BreakerState,
+    opened_at: Option<Instant>,
+    /// A half-open probe is in flight (only one trial at a time).
+    probing: bool,
+    consecutive_failures: u32,
+    ewma_latency_us: f64,
+    ewma_error_rate: f64,
+    samples: u64,
+    trips: u64,
+    probes: u64,
+    shed: u64,
+}
+
+/// One client's health record, shared between the master's dispatch
+/// loop and its stats accessors.
+pub struct ClientHealth {
+    cfg: HealthConfig,
+    in_flight: AtomicUsize,
+    inner: Mutex<HealthInner>,
+}
+
+impl ClientHealth {
+    /// A fresh record (breaker closed, no samples).
+    pub fn new(cfg: HealthConfig) -> Self {
+        ClientHealth {
+            cfg,
+            in_flight: AtomicUsize::new(0),
+            inner: Mutex::new(HealthInner {
+                state: BreakerState::Closed,
+                opened_at: None,
+                probing: false,
+                consecutive_failures: 0,
+                ewma_latency_us: 0.0,
+                ewma_error_rate: 0.0,
+                samples: 0,
+                trips: 0,
+                probes: 0,
+                shed: 0,
+            }),
+        }
+    }
+
+    /// Admission control for one call. `force` bypasses the breaker and
+    /// the quota (the dispatch loop's last resort when *every* eligible
+    /// client is refused — an op must not die solely to open breakers);
+    /// a forced call through a non-closed breaker still counts as a
+    /// probe so its outcome resolves the breaker.
+    pub fn try_begin(&self, force: bool) -> Result<CallPermit<'_>, Refusal> {
+        let mut inner = self.inner.lock();
+        if self.in_flight.load(Ordering::SeqCst) >= self.cfg.max_in_flight && !force {
+            inner.shed += 1;
+            return Err(Refusal::Saturated);
+        }
+        let probe = match inner.state {
+            BreakerState::Closed => false,
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .is_some_and(|t| t.elapsed() >= self.cfg.open_cooldown);
+                if !cooled && !force {
+                    return Err(Refusal::Open);
+                }
+                inner.state = BreakerState::HalfOpen;
+                inner.probing = true;
+                inner.probes += 1;
+                true
+            }
+            BreakerState::HalfOpen => {
+                if inner.probing && !force {
+                    return Err(Refusal::Open);
+                }
+                inner.probing = true;
+                inner.probes += 1;
+                true
+            }
+        };
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        Ok(CallPermit {
+            health: self,
+            probe,
+            resolved: false,
+        })
+    }
+
+    /// Sort key: breaker state first (closed < half-open < open), then
+    /// EWMA error rate, then EWMA latency. Lower is healthier.
+    pub fn rank(&self) -> (u8, f64, f64) {
+        let inner = self.inner.lock();
+        let state = match inner.state {
+            BreakerState::Closed => 0u8,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        };
+        (state, inner.ewma_error_rate, inner.ewma_latency_us)
+    }
+
+    /// The current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// A point-in-time snapshot labelled with `client`.
+    pub fn snapshot(&self, client: &str) -> HealthSnapshot {
+        let inner = self.inner.lock();
+        HealthSnapshot {
+            client: client.to_string(),
+            state: inner.state,
+            ewma_latency: Duration::from_micros(inner.ewma_latency_us as u64),
+            error_rate: inner.ewma_error_rate,
+            consecutive_failures: inner.consecutive_failures,
+            in_flight: self.in_flight.load(Ordering::SeqCst),
+            samples: inner.samples,
+            trips: inner.trips,
+            probes: inner.probes,
+            shed: inner.shed,
+        }
+    }
+
+    fn record(&self, latency: Duration, ok: bool, probe: bool) {
+        let alpha = self.cfg.ewma_alpha.clamp(0.0, 1.0);
+        let mut inner = self.inner.lock();
+        let latency_us = latency.as_secs_f64() * 1e6;
+        if inner.samples == 0 {
+            inner.ewma_latency_us = latency_us;
+        } else {
+            inner.ewma_latency_us += alpha * (latency_us - inner.ewma_latency_us);
+        }
+        let indicator = if ok { 0.0 } else { 1.0 };
+        inner.ewma_error_rate += alpha * (indicator - inner.ewma_error_rate);
+        inner.samples += 1;
+        if probe {
+            inner.probing = false;
+            if ok {
+                // Trial call succeeded: the client is back.
+                inner.state = BreakerState::Closed;
+                inner.opened_at = None;
+                inner.consecutive_failures = 0;
+                inner.ewma_error_rate = 0.0;
+            } else {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+            }
+            return;
+        }
+        if ok {
+            inner.consecutive_failures = 0;
+            return;
+        }
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let tripped_by_run = inner.consecutive_failures >= self.cfg.failure_threshold;
+        let tripped_by_rate = inner.samples >= self.cfg.min_samples
+            && inner.ewma_error_rate >= self.cfg.error_rate_threshold;
+        if inner.state == BreakerState::Closed && (tripped_by_run || tripped_by_rate) {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(Instant::now());
+            inner.trips += 1;
+        }
+    }
+
+    /// Abandoned permit (dropped without recording): release the slot
+    /// and, if this was the probe, re-open so another probe can run.
+    fn abandon(&self, probe: bool) {
+        if probe {
+            let mut inner = self.inner.lock();
+            if inner.state == BreakerState::HalfOpen {
+                inner.probing = false;
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+            }
+        }
+    }
+}
+
+/// An admitted call: holds the client's in-flight slot until dropped,
+/// and carries the probe flag so the outcome resolves a half-open
+/// breaker. Record each call's result with [`CallPermit::record`].
+pub struct CallPermit<'a> {
+    health: &'a ClientHealth,
+    probe: bool,
+    resolved: bool,
+}
+
+impl std::fmt::Debug for CallPermit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallPermit")
+            .field("probe", &self.probe)
+            .field("resolved", &self.resolved)
+            .finish()
+    }
+}
+
+impl CallPermit<'_> {
+    /// True when this call is the half-open trial.
+    pub fn is_probe(&self) -> bool {
+        self.probe
+    }
+
+    /// Feeds one call's latency and outcome into the EWMA estimates and
+    /// the breaker. May be called once per transport attempt while the
+    /// permit is held (the dispatch loop's same-client retries).
+    pub fn record(&mut self, latency: Duration, ok: bool) {
+        self.health.record(latency, ok, self.probe);
+        self.resolved = true;
+    }
+}
+
+impl Drop for CallPermit<'_> {
+    fn drop(&mut self) {
+        self.health.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if !self.resolved {
+            self.health.abandon(self.probe);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(20),
+            max_in_flight: 2,
+            ..HealthConfig::default()
+        }
+    }
+
+    fn fail(h: &ClientHealth) {
+        let mut p = h.try_begin(false).expect("admitted");
+        p.record(Duration::from_millis(1), false);
+    }
+
+    fn succeed(h: &ClientHealth) {
+        let mut p = h.try_begin(false).expect("admitted");
+        p.record(Duration::from_millis(1), true);
+    }
+
+    #[test]
+    fn trips_open_after_consecutive_failures() {
+        let h = ClientHealth::new(cfg());
+        fail(&h);
+        fail(&h);
+        assert_eq!(h.breaker_state(), BreakerState::Closed);
+        fail(&h);
+        assert_eq!(h.breaker_state(), BreakerState::Open);
+        assert_eq!(h.try_begin(false).unwrap_err(), Refusal::Open);
+        assert_eq!(h.snapshot("c").trips, 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let h = ClientHealth::new(cfg());
+        for _ in 0..3 {
+            fail(&h);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        // Cooldown elapsed: exactly one probe is admitted.
+        let mut probe = h.try_begin(false).expect("probe admitted");
+        assert!(probe.is_probe());
+        assert_eq!(h.try_begin(false).unwrap_err(), Refusal::Open);
+        probe.record(Duration::from_millis(1), false);
+        drop(probe); // release the slot (shadowing would keep it held)
+        assert_eq!(h.breaker_state(), BreakerState::Open);
+        // Second cooldown, second probe — this one succeeds.
+        std::thread::sleep(Duration::from_millis(25));
+        let mut probe = h.try_begin(false).expect("probe admitted");
+        probe.record(Duration::from_millis(1), true);
+        drop(probe);
+        assert_eq!(h.breaker_state(), BreakerState::Closed);
+        succeed(&h);
+        assert_eq!(h.snapshot("c").probes, 2);
+    }
+
+    #[test]
+    fn quota_saturation_sheds() {
+        let h = ClientHealth::new(cfg());
+        let a = h.try_begin(false).unwrap();
+        let b = h.try_begin(false).unwrap();
+        assert_eq!(h.try_begin(false).unwrap_err(), Refusal::Saturated);
+        assert_eq!(h.snapshot("c").shed, 1);
+        drop(a);
+        assert!(h.try_begin(false).is_ok());
+        drop(b);
+    }
+
+    #[test]
+    fn forced_admission_bypasses_open_breaker_as_probe() {
+        let h = ClientHealth::new(cfg());
+        for _ in 0..3 {
+            fail(&h);
+        }
+        let mut p = h.try_begin(true).expect("forced");
+        assert!(p.is_probe());
+        p.record(Duration::from_millis(1), true);
+        assert_eq!(h.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn abandoned_probe_reopens_and_releases_slot() {
+        let h = ClientHealth::new(cfg());
+        for _ in 0..3 {
+            fail(&h);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        let probe = h.try_begin(false).expect("probe");
+        drop(probe); // dropped without recording (panic path)
+        assert_eq!(h.breaker_state(), BreakerState::Open);
+        assert_eq!(h.snapshot("c").in_flight, 0);
+    }
+
+    #[test]
+    fn rank_orders_by_state_then_error_rate() {
+        let healthy = ClientHealth::new(cfg());
+        succeed(&healthy);
+        let flaky = ClientHealth::new(cfg());
+        succeed(&flaky);
+        fail(&flaky);
+        let dead = ClientHealth::new(cfg());
+        for _ in 0..3 {
+            fail(&dead);
+        }
+        assert!(healthy.rank() < flaky.rank());
+        assert!(flaky.rank() < dead.rank());
+    }
+}

@@ -11,6 +11,9 @@
 //!   (Figure 3): mutual mediation, component execution, and the master
 //!   as a condensed-graph [`hetsec_graphs::OpExecutor`] so evaluating a
 //!   graph distributes the application;
+//! * [`health`] — per-client health tracking for the master's
+//!   dispatcher: EWMA latency/error-rate, a three-state circuit
+//!   breaker, and bounded in-flight quotas (backpressure);
 //! * [`wire`] / [`transport`] / [`net`] — the transport-agnostic
 //!   scheduling protocol: length-prefixed framing, the
 //!   [`transport::ClientTransport`] abstraction (in-process channels,
@@ -27,6 +30,7 @@ pub mod cache;
 pub mod environment;
 pub mod executor;
 pub mod client;
+pub mod health;
 pub mod ide;
 pub mod keycom;
 pub mod master;
@@ -45,6 +49,7 @@ pub use client::{
 };
 pub use environment::EnvironmentBuilder;
 pub use executor::MiddlewareExecutor;
+pub use health::{BreakerState, ClientHealth, HealthConfig, HealthSnapshot};
 pub use ide::{interrogate, resolve_spec, Combo, ComponentPalette, PaletteEntry, PartialSpec};
 pub use keycom::{KeyComError, KeyComService, PolicyUpdateRequest};
 pub use master::{Binding, MasterStats, RetryPolicy, WebComMaster};

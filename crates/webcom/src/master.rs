@@ -10,9 +10,21 @@
 //! crashes has its operation rescheduled on another client registered
 //! for the same domain (the paper's "failed operations are
 //! rescheduled").
+//!
+//! Dispatch is *health-aware* (see [`crate::health`]): every transport
+//! call feeds a per-client EWMA latency / error-rate record, eligible
+//! clients are tried in health order rather than registration order, a
+//! circuit breaker ejects a client that keeps failing (so a dead peer
+//! is discovered once, not once per operation) and probes it back with
+//! a single half-open trial call after a cooldown, and bounded
+//! per-client in-flight quotas shed load to the next eligible client
+//! instead of queueing. Each `schedule` call is additionally bounded by
+//! a whole-operation deadline so one operation can never block for
+//! `targets × max_attempts × op_timeout`.
 
 use crate::authz::{AuthzRequest, ScheduledAction, TrustManager};
 use crate::client::ClientHandle;
+use crate::health::{ClientHealth, HealthConfig, HealthSnapshot, Refusal};
 use crate::protocol::{ExecError, ExecErrorKind, ExecOutcome, ScheduleRequest};
 use crate::transport::{ChannelTransport, ClientTransport, TcpTransport};
 use hetsec_graphs::{EngineError, OpExecutor, Value};
@@ -24,16 +36,52 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A client as the master sees it: an identity, the domains it serves,
-/// and the transport to reach it.
+/// the transport to reach it, and its observed health.
 struct ClientEntry {
     name: String,
     key_text: String,
     transport: Arc<dyn ClientTransport>,
     /// Domains this client can serve.
     domains: Vec<Domain>,
+    /// Observed behaviour: EWMA latency/error rate, breaker, quota.
+    health: Arc<ClientHealth>,
+}
+
+/// One eligible dispatch target for a scheduling decision.
+struct Target {
+    transport: Arc<dyn ClientTransport>,
+    health: Arc<ClientHealth>,
+}
+
+/// Panic-safe increment/decrement of the in-flight gauge.
+struct GaugeGuard<'a>(&'a AtomicUsize);
+
+impl<'a> GaugeGuard<'a> {
+    fn new(gauge: &'a AtomicUsize) -> Self {
+        gauge.fetch_add(1, Ordering::SeqCst);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Time left before a whole-operation deadline, or `None` once it has
+/// passed (a zero remainder counts as passed: there is no budget left
+/// to give a transport call).
+fn remaining_budget(started: Instant, deadline: Duration) -> Option<Duration> {
+    let remaining = deadline.checked_sub(started.elapsed())?;
+    if remaining.is_zero() {
+        None
+    } else {
+        Some(remaining)
+    }
 }
 
 /// The binding of a graph primitive onto a component and an execution
@@ -100,8 +148,17 @@ impl RetryPolicy {
 pub struct MasterStats {
     /// Operations scheduled successfully.
     pub scheduled: usize,
-    /// Operations with no authorised client.
+    /// Operations with no authorised client at selection time (nobody
+    /// serves the domain, or the trust policy licenses no registered
+    /// key). Dispatch exhaustion is counted separately in `exhausted`.
     pub unschedulable: usize,
+    /// Operations whose every authorised client was tried (or refused
+    /// by its breaker/quota) without success — the dispatch loop ran
+    /// out of targets.
+    pub exhausted: usize,
+    /// Operations aborted because the whole-operation scheduling
+    /// deadline elapsed mid-dispatch.
+    pub deadline_exceeded: usize,
     /// Denials returned by clients.
     pub client_denials: usize,
     /// Operations that completed only after failing over off their first
@@ -116,6 +173,15 @@ pub struct MasterStats {
     pub failovers: usize,
     /// Operations currently inside the dispatch loop (gauge).
     pub in_flight: usize,
+    /// Closed → open circuit-breaker transitions across all clients.
+    pub breaker_trips: u64,
+    /// Half-open probe calls admitted across all clients.
+    pub half_open_probes: u64,
+    /// Operations shed off a client at its in-flight quota (backpressure).
+    pub shed: u64,
+    /// Replies served from a client's executed-op memo instead of a
+    /// second execution (idempotent replay after a timed-out call).
+    pub replayed: usize,
     /// Client-selection authorization decisions served from the trust
     /// manager's decision cache.
     pub cache_hits: u64,
@@ -142,6 +208,11 @@ pub struct WebComMaster {
     retry: RetryPolicy,
     /// Per-call reply deadline.
     op_timeout: Duration,
+    /// Whole-operation deadline for one `schedule` call; defaults to
+    /// 4 × `op_timeout` when unset.
+    schedule_deadline: Option<Duration>,
+    /// Health model applied to clients registered from here on.
+    health_cfg: HealthConfig,
     in_flight: AtomicUsize,
     stats: Mutex<MasterStats>,
 }
@@ -158,6 +229,8 @@ impl WebComMaster {
             op_counter: AtomicU64::new(0),
             retry: RetryPolicy::default(),
             op_timeout: Duration::from_secs(5),
+            schedule_deadline: None,
+            health_cfg: HealthConfig::default(),
             in_flight: AtomicUsize::new(0),
             stats: Mutex::new(MasterStats::default()),
         }
@@ -173,6 +246,29 @@ impl WebComMaster {
     pub fn with_op_timeout(mut self, timeout: Duration) -> Self {
         self.op_timeout = timeout;
         self
+    }
+
+    /// Overrides the whole-operation scheduling deadline (default:
+    /// 4 × the per-call `op_timeout`). One `schedule` call never blocks
+    /// longer than this, regardless of how many targets and retries the
+    /// dispatch loop walks.
+    pub fn with_schedule_deadline(mut self, deadline: Duration) -> Self {
+        self.schedule_deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the health model (breaker thresholds, cooldown, EWMA
+    /// weight, in-flight quota). Applies to clients registered *after*
+    /// this call — configure the master before registering clients.
+    pub fn with_health_config(mut self, cfg: HealthConfig) -> Self {
+        self.health_cfg = cfg;
+        self
+    }
+
+    /// The effective whole-operation deadline.
+    fn schedule_deadline(&self) -> Duration {
+        self.schedule_deadline
+            .unwrap_or_else(|| self.op_timeout.saturating_mul(4))
     }
 
     /// Registers an in-process client as serving `domains` (channel
@@ -199,6 +295,7 @@ impl WebComMaster {
             key_text: key_text.into(),
             transport,
             domains,
+            health: Arc::new(ClientHealth::new(self.health_cfg)),
         });
     }
 
@@ -246,17 +343,38 @@ impl WebComMaster {
         stats.cache_hits = cache.hits;
         stats.cache_misses = cache.misses;
         stats.cache_invalidations = cache.invalidations;
+        for c in self.clients.read().iter() {
+            let h = c.health.snapshot(&c.name);
+            stats.breaker_trips += h.trips;
+            stats.half_open_probes += h.probes;
+            stats.shed += h.shed;
+        }
         stats
+    }
+
+    /// Per-client health snapshots (breaker state, EWMA latency and
+    /// error rate, in-flight, trip/probe/shed counters), in
+    /// registration order.
+    pub fn client_health(&self) -> Vec<HealthSnapshot> {
+        self.clients
+            .read()
+            .iter()
+            .map(|c| c.health.snapshot(&c.name))
+            .collect()
     }
 
     /// Schedules one action, blocking for the reply. Every client that
     /// (a) serves the action's domain and (b) whose key the master's
     /// trust policy authorises for the action is eligible. Dispatch
-    /// walks the eligible clients in registration order: retryable
-    /// failures are retried on the same client under the
-    /// [`RetryPolicy`], and a client that times out, crashes or
+    /// walks the eligible clients in *health order* (breaker state,
+    /// then observed error rate, then EWMA latency; registration order
+    /// breaks ties): retryable failures and timeouts are retried on the
+    /// same client under the [`RetryPolicy`], a client that crashes or
     /// exhausts its retries has the operation failed over to the next
-    /// eligible client.
+    /// eligible client, a client with an open breaker or a full
+    /// in-flight quota is skipped, and the whole operation is bounded
+    /// by the scheduling deadline
+    /// ([`with_schedule_deadline`](Self::with_schedule_deadline)).
     pub fn schedule(
         &self,
         action: &ScheduledAction,
@@ -265,7 +383,7 @@ impl WebComMaster {
         args: Vec<Value>,
     ) -> ExecOutcome {
         let op_id = self.op_counter.fetch_add(1, Ordering::Relaxed);
-        let targets: Vec<(String, Arc<dyn ClientTransport>)> = {
+        let targets: Vec<Target> = {
             let clients = self.clients.read();
             clients
                 .iter()
@@ -275,7 +393,10 @@ impl WebComMaster {
                             .client_trust
                             .decide(&AuthzRequest::principal(&c.key_text).action(action))
                 })
-                .map(|c| (c.name.clone(), Arc::clone(&c.transport)))
+                .map(|c| Target {
+                    transport: Arc::clone(&c.transport),
+                    health: Arc::clone(&c.health),
+                })
                 .collect()
         };
         if targets.is_empty() {
@@ -286,6 +407,14 @@ impl WebComMaster {
                 action.domain
             ));
         }
+        // Health-ordered selection: healthiest first; the sort is
+        // stable, so untouched clients keep registration order.
+        let mut keyed: Vec<((u8, f64, f64), Target)> = targets
+            .into_iter()
+            .map(|t| (t.health.rank(), t))
+            .collect();
+        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let targets: Vec<Target> = keyed.into_iter().map(|(_, t)| t).collect();
         let request = ScheduleRequest {
             op_id,
             action: action.clone(),
@@ -295,71 +424,128 @@ impl WebComMaster {
             credentials: self.forwarded_credentials.read().clone(),
             args,
         };
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
-        let outcome = self.dispatch(&request, &targets);
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
-        outcome
+        let _gauge = GaugeGuard::new(&self.in_flight);
+        self.dispatch(&request, &targets)
     }
 
-    /// The dispatch loop: per-target retry, cross-target failover.
-    fn dispatch(
-        &self,
-        request: &ScheduleRequest,
-        targets: &[(String, Arc<dyn ClientTransport>)],
-    ) -> ExecOutcome {
+    /// The dispatch loop: health admission, per-target retry,
+    /// cross-target failover, all under one whole-operation deadline.
+    fn dispatch(&self, request: &ScheduleRequest, targets: &[Target]) -> ExecOutcome {
+        let started = Instant::now();
+        let deadline = self.schedule_deadline();
         let mut last_error: Option<ExecError> = None;
-        for (idx, (_name, transport)) in targets.iter().enumerate() {
-            let mut attempt = 0usize;
-            let target_error = loop {
-                attempt += 1;
-                match transport.call(request, self.op_timeout) {
-                    Ok(reply) => match reply.outcome {
-                        ExecOutcome::Ok(v) => {
-                            let mut stats = self.stats.lock();
-                            stats.scheduled += 1;
-                            if idx > 0 {
-                                stats.rescheduled += 1;
-                            }
-                            return ExecOutcome::Ok(v);
-                        }
-                        ExecOutcome::Denied(reason) => {
-                            // An authorisation denial is authoritative:
-                            // policy does not change because we ask a
-                            // different client.
-                            self.stats.lock().client_denials += 1;
-                            return ExecOutcome::Denied(reason);
-                        }
-                        ExecOutcome::Failed(e) if !e.retryable => {
-                            // Deterministic failure: every client would
-                            // fail the same way.
-                            return ExecOutcome::Failed(e);
-                        }
-                        ExecOutcome::Failed(e) => {
-                            if attempt < self.retry.max_attempts {
-                                self.stats.lock().retries += 1;
-                                std::thread::sleep(self.retry.backoff(attempt));
-                                continue;
-                            }
-                            break e; // retries exhausted: fail over
-                        }
-                    },
-                    Err(te) => {
-                        if te.is_timeout() {
-                            self.stats.lock().timeouts += 1;
-                        }
-                        // The client is unreachable, hung, or spoke the
-                        // protocol wrong; its fate for this op is
-                        // unknown. Reschedule on another client.
-                        break te.to_exec_error();
-                    }
+        let mut attempted_targets = 0usize;
+        for force in [false, true] {
+            for (idx, target) in targets.iter().enumerate() {
+                if remaining_budget(started, deadline).is_none() {
+                    return self.deadline_exceeded(request, deadline, last_error);
                 }
-            };
-            last_error = Some(target_error);
-            if idx + 1 < targets.len() {
-                self.stats.lock().failovers += 1;
+                let mut permit = match target.health.try_begin(force) {
+                    Ok(p) => p,
+                    // Open breaker or saturated quota: skip to the next
+                    // eligible client (sheds are counted per client and
+                    // aggregated into `MasterStats::shed`).
+                    Err(Refusal::Open | Refusal::Saturated) => continue,
+                };
+                attempted_targets += 1;
+                // A half-open probe gets exactly one trial call.
+                let max_attempts = if permit.is_probe() {
+                    1
+                } else {
+                    self.retry.max_attempts
+                };
+                let mut attempt = 0usize;
+                let target_error = loop {
+                    attempt += 1;
+                    let Some(remaining) = remaining_budget(started, deadline) else {
+                        drop(permit);
+                        return self.deadline_exceeded(request, deadline, last_error);
+                    };
+                    let budget = remaining.min(self.op_timeout);
+                    let call_started = Instant::now();
+                    match target.transport.call(request, budget) {
+                        Ok(reply) => match reply.outcome {
+                            ExecOutcome::Ok(v) => {
+                                permit.record(call_started.elapsed(), true);
+                                let mut stats = self.stats.lock();
+                                stats.scheduled += 1;
+                                if reply.replayed {
+                                    stats.replayed += 1;
+                                }
+                                if attempted_targets > 1 {
+                                    stats.rescheduled += 1;
+                                }
+                                return ExecOutcome::Ok(v);
+                            }
+                            ExecOutcome::Denied(reason) => {
+                                // An authorisation denial is
+                                // authoritative: policy does not change
+                                // because we ask a different client.
+                                // The client answered, so its transport
+                                // is healthy.
+                                permit.record(call_started.elapsed(), true);
+                                self.stats.lock().client_denials += 1;
+                                return ExecOutcome::Denied(reason);
+                            }
+                            ExecOutcome::Failed(e) if !e.retryable => {
+                                // Deterministic failure: every client
+                                // would fail the same way.
+                                permit.record(call_started.elapsed(), true);
+                                if reply.replayed {
+                                    self.stats.lock().replayed += 1;
+                                }
+                                return ExecOutcome::Failed(e);
+                            }
+                            ExecOutcome::Failed(e) => {
+                                permit.record(call_started.elapsed(), false);
+                                if attempt < max_attempts {
+                                    self.stats.lock().retries += 1;
+                                    self.backoff_sleep(attempt, started, deadline);
+                                    continue;
+                                }
+                                break e; // retries exhausted: fail over
+                            }
+                        },
+                        Err(te) => {
+                            permit.record(call_started.elapsed(), false);
+                            if te.is_timeout() {
+                                self.stats.lock().timeouts += 1;
+                                // A timed-out client may already have
+                                // executed the op. Re-ask it first —
+                                // its executed-op memo replays the
+                                // recorded result instead of a second
+                                // execution — before failing over.
+                                if attempt < max_attempts {
+                                    self.stats.lock().retries += 1;
+                                    self.backoff_sleep(attempt, started, deadline);
+                                    continue;
+                                }
+                            }
+                            // Unreachable, hung past its retries, or a
+                            // protocol violation: reschedule elsewhere.
+                            break te.to_exec_error();
+                        }
+                    }
+                };
+                drop(permit);
+                last_error = Some(target_error);
+                if idx + 1 < targets.len() {
+                    self.stats.lock().failovers += 1;
+                }
             }
+            if attempted_targets > 0 {
+                break;
+            }
+            // Nothing was even attempted — every breaker open or quota
+            // full. One forced pass (admissions become probes) so an
+            // operation never dies to ejection alone; the deadline
+            // still bounds it.
         }
-        self.stats.lock().unschedulable += 1;
+        self.stats.lock().exhausted += 1;
+        let kind = last_error
+            .as_ref()
+            .map(|e| e.kind)
+            .unwrap_or(ExecErrorKind::Transport);
         let detail = match last_error {
             Some(e) => format!(
                 "all {} authorised clients for {} are unreachable or failing (last: {e})",
@@ -367,16 +553,46 @@ impl WebComMaster {
                 request.action.component.identifier()
             ),
             None => format!(
-                "all {} authorised clients for {} are unreachable",
+                "all {} authorised clients for {} are unreachable or failing",
                 targets.len(),
                 request.action.component.identifier()
             ),
         };
         ExecOutcome::Failed(ExecError {
-            kind: ExecErrorKind::Transport,
+            kind,
             retryable: false,
             detail,
         })
+    }
+
+    /// Accounts a whole-operation deadline expiry and builds its error.
+    fn deadline_exceeded(
+        &self,
+        request: &ScheduleRequest,
+        deadline: Duration,
+        last_error: Option<ExecError>,
+    ) -> ExecOutcome {
+        self.stats.lock().deadline_exceeded += 1;
+        let last = last_error
+            .map(|e| format!(" (last: {e})"))
+            .unwrap_or_default();
+        ExecOutcome::Failed(ExecError {
+            kind: ExecErrorKind::Timeout,
+            retryable: false,
+            detail: format!(
+                "schedule deadline {deadline:?} exceeded dispatching {}{last}",
+                request.action.component.identifier()
+            ),
+        })
+    }
+
+    /// Sleeps the retry backoff, clipped to the remaining deadline.
+    fn backoff_sleep(&self, attempt: usize, started: Instant, deadline: Duration) {
+        let remaining = deadline.saturating_sub(started.elapsed());
+        let sleep = self.retry.backoff(attempt).min(remaining);
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
     }
 
     /// Schedules the binding registered for a primitive.
@@ -608,8 +824,9 @@ mod tests {
 #[cfg(test)]
 mod dispatch_tests {
     use super::*;
+    use crate::health::BreakerState;
     use crate::protocol::ScheduleReply;
-    use crate::transport::{ClientTransport, TransportError};
+    use crate::transport::{ClientTransport, FaultyTransport, TransportError};
     use hetsec_middleware::naming::MiddlewareKind;
 
     fn tm(policy: &str) -> Arc<TrustManager> {
@@ -660,6 +877,7 @@ mod dispatch_tests {
                     op_id: request.op_id,
                     client: self.name.clone(),
                     outcome,
+                    replayed: false,
                 }),
                 Err(TransportError::Timeout(_)) => Err(TransportError::Timeout(timeout)),
                 Err(e) => Err(e),
@@ -667,28 +885,49 @@ mod dispatch_tests {
         }
     }
 
-    fn master_with(
-        entries: Vec<(&str, Arc<ScriptedTransport>)>,
+    /// A master over arbitrary `(name, key, transport)` targets, with a
+    /// hook to adjust builders (health config, deadline) before the
+    /// clients register.
+    /// A master over arbitrary `(name, key, transport)` targets, with a
+    /// hook to adjust builders (health config, deadline) before the
+    /// clients register.
+    fn master_of(
+        entries: Vec<(String, String, Arc<dyn ClientTransport>)>,
         retry: RetryPolicy,
+        configure: impl FnOnce(WebComMaster) -> WebComMaster,
     ) -> WebComMaster {
         let mut policy = String::new();
-        for (key, _) in &entries {
+        for (_, key, _) in &entries {
             policy.push_str(&format!(
                 "Authorizer: POLICY\nLicensees: \"{key}\"\nConditions: app_domain==\"WebCom\";\n\n"
             ));
         }
-        let master = WebComMaster::new("Kmaster", tm(&policy))
-            .with_retry_policy(retry)
-            .with_op_timeout(Duration::from_millis(200));
-        for (key, t) in entries {
-            master.register_transport(
-                t.name.clone(),
-                key.to_string(),
-                t as Arc<dyn ClientTransport>,
-                vec!["Dom".into()],
-            );
+        let master = configure(
+            WebComMaster::new("Kmaster", tm(&policy))
+                .with_retry_policy(retry)
+                .with_op_timeout(Duration::from_millis(200)),
+        );
+        for (name, key, t) in entries {
+            master.register_transport(name, key, t, vec!["Dom".into()]);
         }
         master
+    }
+
+    fn master_with(
+        entries: Vec<(&str, Arc<ScriptedTransport>)>,
+        retry: RetryPolicy,
+    ) -> WebComMaster {
+        let entries = entries
+            .into_iter()
+            .map(|(key, t)| {
+                (
+                    t.name.clone(),
+                    key.to_string(),
+                    t as Arc<dyn ClientTransport>,
+                )
+            })
+            .collect();
+        master_of(entries, retry, |m| m)
     }
 
     fn action() -> ScheduledAction {
@@ -747,6 +986,7 @@ mod dispatch_tests {
 
     #[test]
     fn timeout_fails_over_and_is_counted() {
+        // With retries disabled a timeout fails over immediately.
         let t1 = ScriptedTransport::new(
             "c1",
             vec![Err(TransportError::Timeout(Duration::from_millis(1)))],
@@ -754,7 +994,7 @@ mod dispatch_tests {
         let t2 = ScriptedTransport::new("c2", vec![Ok(ExecOutcome::Ok(Value::Int(9)))]);
         let master = master_with(
             vec![("Kc1", Arc::clone(&t1)), ("Kc2", Arc::clone(&t2))],
-            fast_retry(),
+            RetryPolicy::none(),
         );
         let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
         assert_eq!(out, ExecOutcome::Ok(Value::Int(9)));
@@ -763,6 +1003,35 @@ mod dispatch_tests {
         assert_eq!(stats.failovers, 1);
         assert_eq!(stats.rescheduled, 1);
         assert_eq!(stats.scheduled, 1);
+    }
+
+    #[test]
+    fn timeout_is_retried_on_the_same_client_before_failover() {
+        // Under a retry policy a timed-out client is re-asked first:
+        // it may already have executed, and its executed-op memo makes
+        // the re-ask cheap and duplicate-safe. Only when retries are
+        // exhausted does the op fail over.
+        let t1 = ScriptedTransport::new(
+            "c1",
+            vec![
+                Err(TransportError::Timeout(Duration::from_millis(1))),
+                Ok(ExecOutcome::Ok(Value::Int(5))),
+            ],
+        );
+        let t2 = ScriptedTransport::new("c2", vec![]);
+        let master = master_with(
+            vec![("Kc1", Arc::clone(&t1)), ("Kc2", Arc::clone(&t2))],
+            fast_retry(),
+        );
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(5)));
+        assert_eq!(t1.calls(), 2);
+        assert_eq!(t2.calls(), 0, "retry must stay on the timed-out client");
+        let stats = master.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.failovers, 0);
+        assert_eq!(stats.rescheduled, 0);
     }
 
     #[test]
@@ -809,10 +1078,269 @@ mod dispatch_tests {
             "{out:?}"
         );
         let stats = master.stats();
-        assert_eq!(stats.unschedulable, 1);
+        // Exhaustion (every authorised target tried and failed) is
+        // counted separately from "no authorised client at all".
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.unschedulable, 0);
         // Only target switches count as failovers — giving up entirely
         // after the last target is not one.
         assert_eq!(stats.failovers, 1);
+    }
+
+    #[test]
+    fn no_authorised_client_is_unschedulable_not_exhausted() {
+        // The only client's key is not in the master's policy, so
+        // selection itself finds nothing: that is `unschedulable`,
+        // distinct from exhaustion after trying real targets.
+        let t1 = ScriptedTransport::new("c1", vec![]);
+        let master = WebComMaster::new(
+            "Kmaster",
+            tm("Authorizer: POLICY\nLicensees: \"Knobody\"\nConditions: app_domain==\"WebCom\";\n"),
+        );
+        master.register_transport(
+            "c1".to_string(),
+            "Kc1".to_string(),
+            Arc::clone(&t1) as Arc<dyn ClientTransport>,
+            vec!["Dom".into()],
+        );
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert!(matches!(out, ExecOutcome::Denied(_)));
+        let stats = master.stats();
+        assert_eq!(stats.unschedulable, 1);
+        assert_eq!(stats.exhausted, 0);
+        assert_eq!(t1.calls(), 0);
+    }
+
+    #[test]
+    fn exhaustion_error_carries_the_last_error_kind() {
+        // Both clients time out: the terminal error must say Timeout,
+        // not a generic Transport.
+        let t1 = ScriptedTransport::new(
+            "c1",
+            vec![Err(TransportError::Timeout(Duration::from_millis(1)))],
+        );
+        let t2 = ScriptedTransport::new(
+            "c2",
+            vec![Err(TransportError::Timeout(Duration::from_millis(1)))],
+        );
+        let master = master_with(
+            vec![("Kc1", Arc::clone(&t1)), ("Kc2", Arc::clone(&t2))],
+            RetryPolicy::none(),
+        );
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        let ExecOutcome::Failed(e) = out else {
+            panic!("expected failure, got {out:?}");
+        };
+        assert_eq!(e.kind, ExecErrorKind::Timeout);
+        assert!(!e.retryable);
+        assert!(e.detail.contains("unreachable or failing"));
+        assert_eq!(master.stats().exhausted, 1);
+    }
+
+    /// A transport that hangs for the full per-call budget every time.
+    struct HangingTransport {
+        calls: AtomicUsize,
+    }
+
+    impl ClientTransport for HangingTransport {
+        fn call(
+            &self,
+            _request: &ScheduleRequest,
+            timeout: Duration,
+        ) -> Result<ScheduleReply, TransportError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(timeout);
+            Err(TransportError::Timeout(timeout))
+        }
+    }
+
+    #[test]
+    fn schedule_deadline_bounds_the_whole_operation() {
+        let hanging = Arc::new(HangingTransport {
+            calls: AtomicUsize::new(0),
+        });
+        // Generous retries, short op timeout, a deadline that allows
+        // only a couple of attempts: without the deadline this schedule
+        // would hang for max_attempts × op_timeout.
+        let master = master_of(
+            vec![(
+                "c1".to_string(),
+                "Kc1".to_string(),
+                Arc::clone(&hanging) as Arc<dyn ClientTransport>,
+            )],
+            RetryPolicy {
+                max_attempts: 50,
+                base_delay: Duration::ZERO,
+                max_delay: Duration::ZERO,
+            },
+            |m| {
+                m.with_op_timeout(Duration::from_millis(30))
+                    .with_schedule_deadline(Duration::from_millis(80))
+            },
+        );
+        let started = Instant::now();
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        let elapsed = started.elapsed();
+        let ExecOutcome::Failed(e) = out else {
+            panic!("expected deadline failure, got {out:?}");
+        };
+        assert_eq!(e.kind, ExecErrorKind::Timeout);
+        assert!(e.detail.contains("deadline"), "{}", e.detail);
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "schedule ran {elapsed:?}, deadline was 80ms"
+        );
+        let stats = master.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert!(
+            hanging.calls.load(Ordering::SeqCst) <= 4,
+            "deadline should cap attempts, saw {}",
+            hanging.calls.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn breaker_trips_then_probes_and_recovers() {
+        // One client that crashes, trips its breaker, is revived, and
+        // is re-admitted through a half-open probe.
+        let faulty = Arc::new(FaultyTransport::new(ScriptedOk));
+        faulty.kill();
+        let master = master_of(
+            vec![(
+                "c0".to_string(),
+                "Kc0".to_string(),
+                Arc::clone(&faulty) as Arc<dyn ClientTransport>,
+            )],
+            RetryPolicy::none(),
+            |m| {
+                m.with_health_config(HealthConfig {
+                    failure_threshold: 3,
+                    open_cooldown: Duration::from_millis(40),
+                    ..HealthConfig::default()
+                })
+            },
+        );
+        // Three failures trip the breaker.
+        for _ in 0..3 {
+            let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+            assert!(matches!(out, ExecOutcome::Failed(_)));
+        }
+        let snap = &master.client_health()[0];
+        assert_eq!(snap.state, BreakerState::Open);
+        assert_eq!(master.stats().breaker_trips, 1);
+        // While open (cooldown not elapsed) the only client is refused
+        // on the normal pass, so the forced pass probes it — an op is
+        // never abandoned solely because breakers are open.
+        let calls_before = faulty.calls();
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert!(matches!(out, ExecOutcome::Failed(_)));
+        assert_eq!(faulty.calls(), calls_before + 1);
+        assert!(master.stats().half_open_probes >= 1);
+        // Revive the client; after the cooldown a probe closes the
+        // breaker again.
+        faulty.revive();
+        std::thread::sleep(Duration::from_millis(50));
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert!(out.is_ok(), "{out:?}");
+        assert_eq!(master.client_health()[0].state, BreakerState::Closed);
+        assert_eq!(master.stats().exhausted, 4);
+    }
+
+    /// A transport that always answers Ok(Unit) (for wrapping in
+    /// fault injectors).
+    struct ScriptedOk;
+
+    impl ClientTransport for ScriptedOk {
+        fn call(
+            &self,
+            request: &ScheduleRequest,
+            _timeout: Duration,
+        ) -> Result<ScheduleReply, TransportError> {
+            Ok(ScheduleReply {
+                op_id: request.op_id,
+                client: "ok".to_string(),
+                outcome: ExecOutcome::Ok(Value::Unit),
+                replayed: false,
+            })
+        }
+    }
+
+    /// Blocks until released (or the call budget expires), then
+    /// answers Ok.
+    struct BlockingTransport {
+        release: Mutex<crossbeam::channel::Receiver<()>>,
+        calls: AtomicUsize,
+    }
+
+    impl ClientTransport for BlockingTransport {
+        fn call(
+            &self,
+            request: &ScheduleRequest,
+            timeout: Duration,
+        ) -> Result<ScheduleReply, TransportError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let _ = self.release.lock().recv_timeout(timeout);
+            Ok(ScheduleReply {
+                op_id: request.op_id,
+                client: "blocking".to_string(),
+                outcome: ExecOutcome::Ok(Value::Unit),
+                replayed: false,
+            })
+        }
+    }
+
+    #[test]
+    fn saturated_client_sheds_to_next_eligible() {
+        let (release_tx, release_rx) = crossbeam::channel::unbounded::<()>();
+        let blocking = Arc::new(BlockingTransport {
+            release: Mutex::new(release_rx),
+            calls: AtomicUsize::new(0),
+        });
+        let fallback = ScriptedTransport::new("c1", vec![Ok(ExecOutcome::Ok(Value::Int(3)))]);
+        let master = Arc::new(master_of(
+            vec![
+                (
+                    "c0".to_string(),
+                    "Kc0".to_string(),
+                    Arc::clone(&blocking) as Arc<dyn ClientTransport>,
+                ),
+                (
+                    "c1".to_string(),
+                    "Kc1".to_string(),
+                    Arc::clone(&fallback) as Arc<dyn ClientTransport>,
+                ),
+            ],
+            RetryPolicy::none(),
+            |m| {
+                m.with_health_config(HealthConfig {
+                    max_in_flight: 1,
+                    ..HealthConfig::default()
+                })
+            },
+        ));
+        // Occupy c0's single in-flight slot from another thread.
+        let m2 = Arc::clone(&master);
+        let holder = std::thread::spawn(move || {
+            m2.schedule(&action(), &"worker".into(), "Kworker", vec![])
+        });
+        // Wait until the blocked call is actually in flight.
+        for _ in 0..200 {
+            if blocking.calls.load(Ordering::SeqCst) > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(blocking.calls.load(Ordering::SeqCst), 1);
+        // This schedule finds c0 saturated and sheds to c1.
+        let out = master.schedule(&action(), &"worker".into(), "Kworker", vec![]);
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(3)));
+        assert_eq!(blocking.calls.load(Ordering::SeqCst), 1);
+        release_tx.send(()).unwrap();
+        assert!(holder.join().unwrap().is_ok());
+        let stats = master.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.scheduled, 2);
+        assert_eq!(stats.exhausted, 0);
     }
 
     #[test]
@@ -917,7 +1445,9 @@ mod failover_tests {
         c2.shutdown();
         let out = master.schedule_primitive("add", vec![Value::Int(1), Value::Int(1)]);
         assert!(matches!(out, ExecOutcome::Failed(ref e) if e.detail.contains("unreachable")));
-        assert_eq!(master.stats().unschedulable, 1);
+        let stats = master.stats();
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.unschedulable, 0);
     }
 
     #[test]

@@ -58,6 +58,13 @@ impl TcpClientServer {
         self.shared.served.load(Ordering::SeqCst)
     }
 
+    /// Requests answered from the engine's executed-op memo instead of
+    /// executing again — masters re-asking after timeouts/failovers
+    /// (duplicate-execution protection at work).
+    pub fn replayed(&self) -> usize {
+        self.engine.stats().replayed
+    }
+
     /// Stops accepting and closes every connection, then joins the
     /// accept thread. In-flight requests on severed connections surface
     /// to the master as transport errors (it reschedules them).

@@ -172,6 +172,13 @@ pub struct ScheduleReply {
     pub client: String,
     /// The outcome.
     pub outcome: ExecOutcome,
+    /// True when the client served this reply from its executed-op memo
+    /// instead of executing again — i.e. the master re-asked about an
+    /// operation the client had already run (typically after a
+    /// timed-out first call). Defaults to `false` on the wire so
+    /// replies from older clients still parse.
+    #[serde(default)]
+    pub replayed: bool,
 }
 
 /// What a serving client tells a connecting master about itself — the
@@ -302,9 +309,20 @@ mod tests {
             op_id: 42,
             client: "c1".to_string(),
             outcome: ExecOutcome::Failed(ExecError::timeout("slow backend")),
+            replayed: false,
         });
         let text = serde_json::to_string(&reply).unwrap();
         let back: WireResponse = serde_json::from_str(&text).unwrap();
         assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn reply_without_replayed_field_still_parses() {
+        // Wire compatibility: clients predating the executed-op memo
+        // omit `replayed`; the master must default it to false.
+        let text = r#"{"op_id":7,"client":"c0","outcome":{"Ok":"Unit"}}"#;
+        let reply: ScheduleReply = serde_json::from_str(text).unwrap();
+        assert!(!reply.replayed);
+        assert_eq!(reply.op_id, 7);
     }
 }

@@ -18,7 +18,7 @@ use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a transport call failed.
 #[derive(Debug)]
@@ -239,10 +239,15 @@ impl ClientTransport for TcpTransport {
         request: &ScheduleRequest,
         timeout: Duration,
     ) -> Result<ScheduleReply, TransportError> {
+        let started = Instant::now();
         let mut response =
             self.exchange(&WireRequest::Schedule(Box::new(request.clone())), timeout)?;
         // Correlate by op_id: skip stale replies (an earlier call that
-        // timed out after the client already queued its answer).
+        // timed out after the client already queued its answer). The
+        // whole drain runs under the call's single deadline — each
+        // skipped frame shrinks the next read's budget rather than
+        // re-arming the full timeout, so a misbehaving peer cannot
+        // stretch one call to `MAX_STALE_REPLIES × timeout`.
         for _ in 0..MAX_STALE_REPLIES {
             match response {
                 WireResponse::Reply(reply) if reply.op_id == request.op_id => return Ok(reply),
@@ -251,6 +256,17 @@ impl ClientTransport for TcpTransport {
                     let Some(stream) = guard.as_mut() else {
                         return Err(TransportError::Closed("connection dropped".to_string()));
                     };
+                    let Some(remaining) = timeout
+                        .checked_sub(started.elapsed())
+                        .filter(|r| !r.is_zero())
+                    else {
+                        *guard = None;
+                        return Err(TransportError::Timeout(timeout));
+                    };
+                    if let Err(e) = stream.set_read_timeout(Some(remaining)) {
+                        *guard = None;
+                        return Err(TransportError::Protocol(format!("set_read_timeout: {e}")));
+                    }
                     response = read_frame(stream).map_err(|e| {
                         *guard = None;
                         if e.is_timeout() {
@@ -302,6 +318,8 @@ pub struct FaultyTransport {
     delay: Mutex<Duration>,
     /// Once set, every call fails with `Unreachable` (a crashed client).
     killed: AtomicBool,
+    /// Calls attempted against this transport (including faulted ones).
+    calls: AtomicUsize,
 }
 
 impl FaultyTransport {
@@ -312,6 +330,7 @@ impl FaultyTransport {
             drop_next: AtomicUsize::new(0),
             delay: Mutex::new(Duration::ZERO),
             killed: AtomicBool::new(false),
+            calls: AtomicUsize::new(0),
         }
     }
 
@@ -334,6 +353,19 @@ impl FaultyTransport {
     pub fn is_killed(&self) -> bool {
         self.killed.load(Ordering::SeqCst)
     }
+
+    /// Revives a killed transport (a partitioned client coming back):
+    /// subsequent calls pass through again.
+    pub fn revive(&self) {
+        self.killed.store(false, Ordering::SeqCst);
+    }
+
+    /// How many calls have been attempted, faulted or not. Lets tests
+    /// assert a breaker ejected a dead client after a bounded number of
+    /// probes rather than paying one call per operation.
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::SeqCst)
+    }
 }
 
 impl ClientTransport for FaultyTransport {
@@ -342,6 +374,7 @@ impl ClientTransport for FaultyTransport {
         request: &ScheduleRequest,
         timeout: Duration,
     ) -> Result<ScheduleReply, TransportError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
         if self.killed.load(Ordering::SeqCst) {
             return Err(TransportError::Unreachable("injected crash".to_string()));
         }
@@ -354,10 +387,15 @@ impl ClientTransport for FaultyTransport {
         }
         let delay = *self.delay.lock();
         if delay > Duration::ZERO {
-            std::thread::sleep(delay);
+            // A real slow link costs the caller at most its deadline:
+            // sleep min(delay, timeout) and report the timeout at the
+            // deadline rather than charging the full injected delay.
             if delay >= timeout {
+                std::thread::sleep(timeout);
                 return Err(TransportError::Timeout(timeout));
             }
+            std::thread::sleep(delay);
+            return self.inner.call(request, timeout - delay);
         }
         self.inner.call(request, timeout)
     }
@@ -386,6 +424,7 @@ mod tests {
                 op_id: request.op_id,
                 client: "echo".to_string(),
                 outcome: ExecOutcome::Ok(Value::Unit),
+                replayed: false,
             })
         }
     }
@@ -444,6 +483,33 @@ mod tests {
         assert!(err.is_timeout());
         // A deadline longer than the delay still succeeds.
         assert!(t.call(&request(2), Duration::from_millis(200)).is_ok());
+    }
+
+    #[test]
+    fn injected_delay_is_charged_at_most_the_deadline() {
+        // A huge injected delay must cost the caller only its timeout:
+        // the old behaviour slept the full delay before reporting.
+        let t = FaultyTransport::new(EchoTransport);
+        t.set_delay(Duration::from_secs(30));
+        let started = std::time::Instant::now();
+        let err = t.call(&request(1), Duration::from_millis(20)).unwrap_err();
+        assert!(err.is_timeout());
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "slept {:?}, should be ~the 20ms deadline",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn revive_restores_a_killed_transport() {
+        let t = FaultyTransport::new(EchoTransport);
+        t.kill();
+        assert!(t.call(&request(1), Duration::from_secs(1)).is_err());
+        t.revive();
+        assert!(!t.is_killed());
+        assert!(t.call(&request(2), Duration::from_secs(1)).is_ok());
+        assert_eq!(t.calls(), 2);
     }
 
     #[test]

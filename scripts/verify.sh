@@ -13,6 +13,9 @@ cargo test -q
 echo "== network fabric tests (bounded: must not hang on a dead socket) =="
 timeout 120 cargo test -q --test network_fabric
 
+echo "== churn smoke (breaker + memo under injected faults) =="
+timeout 120 cargo test -q --test network_fabric -- churn_burst timed_out_op
+
 echo "== hetsec lint: clean fixtures stay clean, defect fixture matches golden =="
 LINT=./target/release/hetsec
 out="$($LINT lint fixtures/figures_clean.kn --rbac fixtures/figures_clean.rbac.json)"

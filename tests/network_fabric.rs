@@ -4,15 +4,19 @@
 
 use hetsec_webcom::stack::TrustLayer;
 use hetsec_webcom::{
-    decode_frame, encode_frame, serve_tcp, ArithComponentExecutor, AuthzStack, Binding,
-    ClientConfig, ClientEngine, ClientTransport, ExecOutcome, FaultyTransport, ScheduleRequest,
-    ScheduledAction, TcpClientServer, TcpTransport, TrustManager, WebComMaster, WireError,
-    WireRequest, WireResponse,
+    decode_frame, encode_frame, serve_tcp, spawn_client, ArithComponentExecutor, AuthzStack,
+    Binding, BreakerState, ChannelTransport, ClientConfig, ClientEngine, ClientTransport,
+    ComponentExecutor, ExecError, ExecOutcome, FaultyTransport, HealthConfig, RetryPolicy,
+    ScheduleRequest, ScheduledAction, TcpClientServer, TcpTransport, TrustManager, WebComMaster,
+    WireError, WireRequest, WireResponse,
 };
 use hetsec_graphs::Value;
 use hetsec_middleware::component::ComponentRef;
 use hetsec_middleware::naming::MiddlewareKind;
-use std::sync::Arc;
+use hetsec_rbac::User;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 fn tm(policy: &str) -> Arc<TrustManager> {
@@ -21,7 +25,7 @@ fn tm(policy: &str) -> Arc<TrustManager> {
     Arc::new(t)
 }
 
-fn engine(name: &str, key: &str) -> Arc<ClientEngine> {
+fn config_with(name: &str, key: &str, executor: Arc<dyn ComponentExecutor>) -> ClientConfig {
     let master_trust = tm(
         "Authorizer: POLICY\nLicensees: \"Kmaster\"\nConditions: app_domain==\"WebCom\";\n",
     );
@@ -30,13 +34,21 @@ fn engine(name: &str, key: &str) -> Arc<ClientEngine> {
     );
     let mut stack = AuthzStack::new();
     stack.push(Arc::new(TrustLayer::new(user_tm)));
-    Arc::new(ClientEngine::new(ClientConfig {
+    ClientConfig {
         name: name.to_string(),
         key_text: key.to_string(),
         master_trust,
         stack: Arc::new(stack),
-        executor: Arc::new(ArithComponentExecutor),
-    }))
+        executor,
+    }
+}
+
+fn engine(name: &str, key: &str) -> Arc<ClientEngine> {
+    Arc::new(ClientEngine::new(config_with(
+        name,
+        key,
+        Arc::new(ArithComponentExecutor),
+    )))
 }
 
 fn serve(name: &str, key: &str) -> TcpClientServer {
@@ -92,11 +104,12 @@ fn tcp_burst_survives_client_death_mid_burst() {
     assert_eq!(completed, total, "every operation must complete");
     let stats = master.stats();
     assert_eq!(stats.scheduled, total);
-    assert!(stats.failovers > 0, "stats: {stats:?}");
-    assert!(stats.rescheduled > 0, "stats: {stats:?}");
+    // Health-ordered selection may route around the dead client without
+    // ever touching it (no forced failover), but nothing may be lost:
     assert_eq!(stats.unschedulable, 0, "stats: {stats:?}");
+    assert_eq!(stats.exhausted, 0, "stats: {stats:?}");
     assert_eq!(stats.in_flight, 0, "gauge must return to zero");
-    // The survivor picked up everything scheduled after the crash.
+    // Everything the dead client did not serve, the survivor did.
     assert!(c2.served() >= total - 10, "survivor served {}", c2.served());
     c2.stop();
 }
@@ -141,7 +154,10 @@ fn delayed_transport_times_out_and_fails_over() {
         "Authorizer: POLICY\nLicensees: \"Kc1\"\nConditions: app_domain==\"WebCom\";\n\n\
          Authorizer: POLICY\nLicensees: \"Kc2\"\nConditions: app_domain==\"WebCom\";\n",
     ))
-    .with_op_timeout(Duration::from_millis(50));
+    .with_op_timeout(Duration::from_millis(50))
+    // One attempt per client pins the counters: exactly one timeout on
+    // the slow client, then one failover.
+    .with_retry_policy(RetryPolicy::none());
     // The injected delay exceeds the deadline, so the wrapped transport
     // is never consulted — any peer address will do.
     let slow = FaultyTransport::new(TcpTransport::new(c2.local_addr()));
@@ -161,10 +177,170 @@ fn delayed_transport_times_out_and_fails_over() {
     let out = master.schedule_primitive("add", vec![Value::Int(2), Value::Int(3)]);
     assert_eq!(out, ExecOutcome::Ok(Value::Int(5)));
     let stats = master.stats();
-    assert!(stats.timeouts >= 1, "stats: {stats:?}");
+    assert_eq!(stats.timeouts, 1, "stats: {stats:?}");
     assert_eq!(stats.failovers, 1, "stats: {stats:?}");
     assert_eq!(stats.rescheduled, 1, "stats: {stats:?}");
     c2.stop();
+}
+
+// ---- Churn: a flapping link plus a killed client must cost neither
+// completeness, nor duplicate executions, nor one wasted call per op on
+// the corpse. ----
+
+/// Wraps the arithmetic executor and counts executions per argument
+/// vector — fleet-wide duplicate detection for the churn scenario.
+#[derive(Default)]
+struct CountingExecutor {
+    counts: Mutex<HashMap<String, usize>>,
+}
+
+impl ComponentExecutor for CountingExecutor {
+    fn invoke(
+        &self,
+        user: &User,
+        component: &ComponentRef,
+        args: &[Value],
+    ) -> Result<Value, ExecError> {
+        *self
+            .counts
+            .lock()
+            .unwrap()
+            .entry(format!("{args:?}"))
+            .or_insert(0) += 1;
+        ArithComponentExecutor.invoke(user, component, args)
+    }
+}
+
+#[test]
+fn churn_burst_completes_without_duplicates_and_ejects_the_dead_client() {
+    let exec = Arc::new(CountingExecutor::default());
+    let master = master_trusting(&["Kc0", "Kc1", "Kc2"])
+        .with_op_timeout(Duration::from_millis(500))
+        .with_health_config(HealthConfig {
+            failure_threshold: 3,
+            // Long cooldown: once open, a breaker stays open for the
+            // whole test — no half-open probes muddying call counts.
+            open_cooldown: Duration::from_secs(60),
+            ..HealthConfig::default()
+        });
+    let mut handles = Vec::new();
+    let mut links = Vec::new();
+    for (i, key) in ["Kc0", "Kc1", "Kc2"].iter().enumerate() {
+        let name = format!("c{i}");
+        let handle = spawn_client(config_with(&name, key, exec.clone()));
+        let link = Arc::new(FaultyTransport::new(ChannelTransport::new(handle.sender())));
+        master.register_transport(
+            &name,
+            *key,
+            Arc::clone(&link) as Arc<dyn ClientTransport>,
+            vec!["Dom".into()],
+        );
+        handles.push(handle);
+        links.push(link);
+    }
+
+    let total = 200usize;
+    let mut calls_at_kill = 0usize;
+    for i in 0..total {
+        if i % 9 == 4 {
+            // c0 flaps: its next call fails with a connection reset.
+            links[0].drop_next(1);
+        }
+        if i == 50 {
+            links[1].kill();
+            calls_at_kill = links[1].calls();
+        }
+        let out = master.schedule_primitive("add", vec![Value::Int(i as i64), Value::Int(1000)]);
+        assert_eq!(out, ExecOutcome::Ok(Value::Int(i as i64 + 1000)), "op {i}");
+    }
+
+    let stats = master.stats();
+    assert_eq!(stats.scheduled, total, "stats: {stats:?}");
+    assert_eq!(stats.exhausted, 0, "stats: {stats:?}");
+    assert_eq!(stats.unschedulable, 0, "stats: {stats:?}");
+    assert_eq!(stats.in_flight, 0, "gauge must return to zero");
+    // Health-aware selection plus the breaker eject the corpse after at
+    // most `failure_threshold` wasted calls — not one per remaining op.
+    let wasted = links[1].calls() - calls_at_kill;
+    assert!(wasted <= 3, "dead client saw {wasted} calls after the kill");
+    // If the master did burn all three calls, the breaker must be open.
+    let health = master.client_health();
+    let dead = health.iter().find(|h| h.client == "c1").unwrap();
+    if wasted >= 3 {
+        assert_eq!(dead.state, BreakerState::Open, "{dead:?}");
+    }
+    // Every op executed exactly once across the whole fleet: drops and
+    // crashes fail over *before* execution, so churn never duplicates.
+    let counts = exec.counts.lock().unwrap();
+    assert_eq!(counts.len(), total, "every op executed somewhere");
+    let dupes: Vec<_> = counts.iter().filter(|(_, &n)| n > 1).collect();
+    assert!(dupes.is_empty(), "duplicate executions: {dupes:?}");
+    drop(counts);
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+// ---- The fixed fault-handling path: a timed-out op that *did* execute
+// must be replayed from the client's memo on retry, never re-executed. ----
+
+/// An executor whose first invocation blocks until released — the
+/// master's first call times out while the op still completes on the
+/// client, so the retry must be answered from the executed-op memo.
+struct GatedExecutor {
+    gate: Mutex<Option<std::sync::mpsc::Receiver<()>>>,
+    invocations: AtomicUsize,
+}
+
+impl ComponentExecutor for GatedExecutor {
+    fn invoke(
+        &self,
+        user: &User,
+        component: &ComponentRef,
+        args: &[Value],
+    ) -> Result<Value, ExecError> {
+        self.invocations.fetch_add(1, Ordering::SeqCst);
+        if let Some(gate) = self.gate.lock().unwrap().take() {
+            let _ = gate.recv_timeout(Duration::from_secs(5));
+        }
+        ArithComponentExecutor.invoke(user, component, args)
+    }
+}
+
+#[test]
+fn timed_out_op_is_replayed_from_the_memo_not_executed_twice() {
+    let (release, gate) = std::sync::mpsc::channel();
+    let exec = Arc::new(GatedExecutor {
+        gate: Mutex::new(Some(gate)),
+        invocations: AtomicUsize::new(0),
+    });
+    let handle = spawn_client(config_with("c1", "Kc1", exec.clone()));
+    let master = master_trusting(&["Kc1"])
+        .with_op_timeout(Duration::from_millis(80))
+        .with_schedule_deadline(Duration::from_secs(5))
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(20),
+        });
+    master.register_client(&handle, vec!["Dom".into()]);
+    // Release the gate after the first attempt has timed out: the op
+    // then completes on the client and lands in its memo.
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        let _ = release.send(());
+    });
+    let out = master.schedule_primitive("add", vec![Value::Int(40), Value::Int(2)]);
+    releaser.join().unwrap();
+    assert_eq!(out, ExecOutcome::Ok(Value::Int(42)));
+    let stats = master.stats();
+    assert!(stats.timeouts >= 1, "stats: {stats:?}");
+    assert!(stats.replayed >= 1, "stats: {stats:?}");
+    // The component itself ran exactly once — every re-ask after the
+    // timeout was answered from the client's executed-op memo.
+    assert_eq!(exec.invocations.load(Ordering::SeqCst), 1);
+    let client_stats = handle.shutdown();
+    assert!(client_stats.replayed >= 1, "{client_stats:?}");
 }
 
 #[test]

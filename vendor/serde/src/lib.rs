@@ -167,6 +167,23 @@ pub mod __private {
         }
     }
 
+    /// Pull a named field out of a struct map, falling back to the
+    /// type's `Default` when absent — the shim's implementation of
+    /// `#[serde(default)]` (lets message types grow fields without
+    /// breaking older peers).
+    pub fn take_field_default<'de, T: Deserialize<'de> + Default, E: de::Error>(
+        map: &mut Vec<(Content, Content)>,
+        name: &str,
+    ) -> Result<T, E> {
+        let pos = map
+            .iter()
+            .position(|(k, _)| matches!(k, Content::Str(s) if s == name));
+        match pos {
+            Some(i) => de_content(map.remove(i).1),
+            None => Ok(T::default()),
+        }
+    }
+
     /// Pull the next element from a sequence being deserialized into a
     /// tuple (struct/variant).
     pub fn next_elem<'de, T: Deserialize<'de>, E: de::Error>(

@@ -13,16 +13,26 @@
 //! * unit structs → null
 //! * enums with unit / newtype / tuple / struct variants →
 //!   externally tagged, exactly serde's default representation
+//! * `#[serde(default)]` on named struct/variant fields → the field
+//!   deserializes from the type's `Default` when absent (wire
+//!   compatibility for newly added fields)
 //!
 //! Generics are not supported (no derived type in the workspace is
 //! generic); the macro panics with a clear message if one appears.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its name and whether it carries `#[serde(default)]`.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
 #[derive(Debug)]
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -69,6 +79,13 @@ impl Cursor {
 
     /// Skip `#[...]` attributes (doc comments arrive in this form too).
     fn skip_attributes(&mut self) {
+        self.consume_attributes();
+    }
+
+    /// Skip `#[...]` attributes, reporting whether one of them was
+    /// `#[serde(default)]`.
+    fn consume_attributes(&mut self) -> bool {
+        let mut has_default = false;
         while let Some(TokenTree::Punct(p)) = self.peek() {
             if p.as_char() != '#' {
                 break;
@@ -76,10 +93,14 @@ impl Cursor {
             self.pos += 1;
             if let Some(TokenTree::Group(g)) = self.peek() {
                 if g.delimiter() == Delimiter::Bracket {
+                    if attr_is_serde_default(g.stream()) {
+                        has_default = true;
+                    }
                     self.pos += 1;
                 }
             }
         }
+        has_default
     }
 
     /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
@@ -142,11 +163,28 @@ impl Cursor {
     }
 }
 
-fn parse_named_fields(group: TokenStream) -> Vec<String> {
+/// True for a `serde(...)` attribute body containing a bare `default`
+/// (the only serde field attribute the shim implements).
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(ref id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(group);
     let mut fields = Vec::new();
     loop {
-        c.skip_attributes();
+        let default = c.consume_attributes();
         c.skip_visibility();
         if c.at_end() {
             break;
@@ -163,7 +201,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<String> {
                 c.pos += 1;
             }
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -287,6 +325,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 "let mut __map: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n",
             );
             for f in fields {
+                let f = &f.name;
                 s.push_str(&format!(
                     "__map.push((::serde::Content::Str(String::from(\"{f}\")), \
                      ::serde::__private::ser_content(&self.{f})?));\n"
@@ -329,12 +368,14 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     Fields::Named(fnames) => {
-                        let binds = fnames.join(", ");
+                        let binds =
+                            fnames.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                         let mut inner = String::from(
                             "let mut __inner: Vec<(::serde::Content, ::serde::Content)> = \
                              Vec::new();\n",
                         );
                         for f in fnames {
+                            let f = &f.name;
                             inner.push_str(&format!(
                                 "__inner.push((::serde::Content::Str(String::from(\"{f}\")), \
                                  ::serde::__private::ser_content({f})?));\n"
@@ -362,10 +403,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("serde derive: generated Serialize impl failed to parse")
 }
 
-fn gen_named_construct(path: &str, fields: &[String], map_var: &str) -> String {
+fn gen_named_construct(path: &str, fields: &[Field], map_var: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| format!("{f}: ::serde::__private::take_field(&mut {map_var}, \"{f}\")?"))
+        .map(|f| {
+            let (name, taker) = (
+                &f.name,
+                if f.default { "take_field_default" } else { "take_field" },
+            );
+            format!("{name}: ::serde::__private::{taker}(&mut {map_var}, \"{name}\")?")
+        })
         .collect();
     format!("{path} {{ {} }}", inits.join(", "))
 }
