@@ -14,11 +14,12 @@
 
 use crate::diag::{Finding, LintCode};
 use hetsec_keynote::ast::{Assertion, Clause};
-use hetsec_keynote::compiled::{query_compiled, CompiledStore};
+use hetsec_keynote::compiled::{CompiledStore, QueryView, ViewQuery};
 use hetsec_keynote::eval::ActionAttributes;
-use hetsec_keynote::Query;
+use hetsec_keynote::values::ComplianceValues;
 use hetsec_rbac::{Domain, ObjectType, Permission, RbacPolicy, Role, User};
 use hetsec_translate::{decode_policy, PrincipalDirectory, APP_DOMAIN};
+use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
 type Tuple = (String, String, String, String);
@@ -121,36 +122,75 @@ pub fn analyze_escalation(
         .collect();
     tuples_from_conditions(assertions, &mut tuples);
 
+    // The user × tuple probe matrix is embarrassingly parallel across
+    // users, so fan the outer loop out with rayon. Each worker owns one
+    // [`QueryView`] and pushes its whole tuple sweep through a single
+    // `query_batch` call, paying for worklist scratch once per user
+    // instead of once per probe. Per-user results come back in `users`
+    // (BTreeSet) order — `map().collect()` preserves input order under
+    // rayon's work-stealing — so findings are deterministic regardless
+    // of how the sweep is scheduled.
+    let values = ComplianceValues::binary();
+    let users_list: Vec<&User> = users.iter().collect();
+    let per_user: Vec<(Vec<String>, Vec<String>)> = users_list
+        .par_iter()
+        .map(|user| {
+            let key = directory.key_of(user);
+            let authorizers = [key.as_str()];
+            let attr_sets: Vec<ActionAttributes> = tuples
+                .iter()
+                .map(|(d, r, t, p)| {
+                    [
+                        ("app_domain", APP_DOMAIN),
+                        ("Domain", d.as_str()),
+                        ("Role", r.as_str()),
+                        ("ObjectType", t.as_str()),
+                        ("Permission", p.as_str()),
+                    ]
+                    .into_iter()
+                    .collect()
+                })
+                .collect();
+            let probes: Vec<ViewQuery<'_>> = attr_sets
+                .iter()
+                .map(|attrs| ViewQuery {
+                    authorizers: &authorizers,
+                    attributes: attrs,
+                    extra: &[],
+                })
+                .collect();
+            let mut view = QueryView::new(store, &values, revoked);
+            let results = view.query_batch(&probes);
+            let mut esc = Vec::new();
+            let mut miss = Vec::new();
+            for ((d, r, t, p), result) in tuples.iter().zip(results) {
+                let keynote = result.is_authorized();
+                let rbac_ok = rbac.check_access_as(
+                    user,
+                    &Domain::new(d.as_str()),
+                    &Role::new(r.as_str()),
+                    &ObjectType::new(t.as_str()),
+                    &Permission::new(p.as_str()),
+                );
+                let point = format!("{d}/{r}: {p} on {t}");
+                if keynote && !rbac_ok {
+                    esc.push(point);
+                } else if !keynote && rbac_ok {
+                    miss.push(point);
+                }
+            }
+            (esc, miss)
+        })
+        .collect();
+
     let mut escalations: BTreeMap<User, Vec<String>> = BTreeMap::new();
     let mut missing: BTreeMap<User, Vec<String>> = BTreeMap::new();
-    for user in &users {
-        let key = directory.key_of(user);
-        for (d, r, t, p) in &tuples {
-            let attrs: ActionAttributes = [
-                ("app_domain", APP_DOMAIN),
-                ("Domain", d.as_str()),
-                ("Role", r.as_str()),
-                ("ObjectType", t.as_str()),
-                ("Permission", p.as_str()),
-            ]
-            .into_iter()
-            .collect();
-            let query = Query::new(vec![key.clone()], attrs)
-                .with_revoked(revoked.iter().cloned());
-            let keynote = query_compiled(store, &[], &query).is_authorized();
-            let rbac_ok = rbac.check_access_as(
-                user,
-                &Domain::new(d.as_str()),
-                &Role::new(r.as_str()),
-                &ObjectType::new(t.as_str()),
-                &Permission::new(p.as_str()),
-            );
-            let point = format!("{d}/{r}: {p} on {t}");
-            if keynote && !rbac_ok {
-                escalations.entry(user.clone()).or_default().push(point);
-            } else if !keynote && rbac_ok {
-                missing.entry(user.clone()).or_default().push(point);
-            }
+    for (user, (esc, miss)) in users_list.iter().zip(per_user) {
+        if !esc.is_empty() {
+            escalations.insert((*user).clone(), esc);
+        }
+        if !miss.is_empty() {
+            missing.insert((*user).clone(), miss);
         }
     }
 

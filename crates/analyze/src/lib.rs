@@ -336,7 +336,40 @@ fn validity_lints(
     opts: &AnalysisOptions,
     findings: &mut Vec<Finding>,
 ) {
-    let (Some(t), Some(program)) = (opts.now, &a.conditions) else {
+    let Some(t) = opts.now else {
+        return;
+    };
+    // Explicit per-credential validity fields take precedence over the
+    // blanket `now` convention: an assertion declaring `@not-before` /
+    // `@not-after` in Local-Constants states its window outright, so
+    // the analyzer need not reverse-engineer it from the conditions.
+    let not_before = local_constant_num(a, "@not-before");
+    let not_after = local_constant_num(a, "@not-after");
+    if not_before.is_some() || not_after.is_some() {
+        let expired = not_after.is_some_and(|end| t > end);
+        let future = not_before.is_some_and(|start| t < start);
+        if expired || future {
+            let what = if expired {
+                "has expired"
+            } else {
+                "is not yet valid"
+            };
+            findings.push(Finding {
+                code: LintCode::OutsideValidity,
+                assertion: Some(idx),
+                line_start: None,
+                line_end: None,
+                message: format!(
+                    "the assertion by {} {what} at analysis time now={t}",
+                    origin(a)
+                ),
+                hint: "re-issue the credential with a current validity window, or retire it"
+                    .to_string(),
+            });
+        }
+        return;
+    }
+    let Some(program) = &a.conditions else {
         return;
     };
     let mut saw_window = false;
@@ -375,6 +408,17 @@ fn validity_lints(
         hint: "re-issue the credential with a current validity window, or retire it"
             .to_string(),
     });
+}
+
+/// Reads a numeric `Local-Constants` entry (e.g. the `@not-before` /
+/// `@not-after` validity fields). Non-numeric values are ignored — the
+/// evaluator treats them as opaque strings, so the analyzer must not
+/// guess a window from them.
+fn local_constant_num(a: &Assertion, name: &str) -> Option<f64> {
+    a.local_constants
+        .iter()
+        .find(|(n, _)| n == name)
+        .and_then(|(_, v)| v.trim().parse::<f64>().ok())
 }
 
 fn hygiene_lints(

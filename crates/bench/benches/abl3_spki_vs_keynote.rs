@@ -6,7 +6,7 @@
 //! as the policy grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
 use hetsec_rbac::fixtures::synthetic_policy;
 use hetsec_spki::encode_rbac;
 use hetsec_translate::{encode_policy, SymbolicDirectory, APP_DOMAIN};
@@ -45,7 +45,7 @@ fn bench_abl3(c: &mut Criterion) {
         .collect();
         group.bench_with_input(BenchmarkId::new("query_keynote", rows), &rows, |b, _| {
             b.iter(|| {
-                let r = kn.query_action(&["Kuser-0-0-0"], &attrs);
+                let r = kn.evaluate(&ActionQuery::principals(&["Kuser-0-0-0"]).attributes(&attrs));
                 assert!(r.is_authorized());
                 black_box(r)
             })

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hetsec_keynote::parser::parse_assertions;
-use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
 use hetsec_keynote::ActionAttributes;
 use std::hint::black_box;
 
@@ -41,7 +41,7 @@ fn bench_fig4(c: &mut Criterion) {
         let leaf = format!("K{depth}");
         group.bench_with_input(BenchmarkId::new("chain_depth", depth), &depth, |b, _| {
             b.iter(|| {
-                let r = session.query_action(&[leaf.as_str()], &attrs);
+                let r = session.evaluate(&ActionQuery::principals(&[leaf.as_str()]).attributes(&attrs));
                 assert!(r.is_authorized());
                 black_box(r)
             })
@@ -53,10 +53,10 @@ fn bench_fig4(c: &mut Criterion) {
     let read_attrs: ActionAttributes = [("app_domain", "SalariesDB"), ("oper", "read")]
         .into_iter()
         .collect();
-    assert!(fig4.query_action(&["K1"], &attrs).is_authorized());
-    assert!(!fig4.query_action(&["K1"], &read_attrs).is_authorized());
+    assert!(fig4.evaluate(&ActionQuery::principals(&["K1"]).attributes(&attrs)).is_authorized());
+    assert!(!fig4.evaluate(&ActionQuery::principals(&["K1"]).attributes(&read_attrs)).is_authorized());
     group.bench_function("fig4_exact_denied_read", |b| {
-        b.iter(|| black_box(fig4.query_action(&["K1"], &read_attrs)))
+        b.iter(|| black_box(fig4.evaluate(&ActionQuery::principals(&["K1"]).attributes(&read_attrs))))
     });
     group.finish();
 }

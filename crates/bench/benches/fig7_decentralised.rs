@@ -7,7 +7,7 @@
 //! one user).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
 use hetsec_keynote::ActionAttributes;
 use hetsec_rbac::{DomainRole, PermissionGrant, RbacPolicy, RoleAssignment};
 use hetsec_translate::{delegate_role, encode_policy, SymbolicDirectory};
@@ -78,7 +78,7 @@ fn bench_fig7(c: &mut Criterion) {
             &users,
             |b, _| {
                 b.iter(|| {
-                    let r = central.query_action(&[last.as_str()], &a);
+                    let r = central.evaluate(&ActionQuery::principals(&[last.as_str()]).attributes(&a));
                     assert!(r.is_authorized());
                     black_box(r)
                 })
@@ -89,7 +89,7 @@ fn bench_fig7(c: &mut Criterion) {
             &users,
             |b, _| {
                 b.iter(|| {
-                    let r = decentral.query_action(&[last.as_str()], &a);
+                    let r = decentral.evaluate(&ActionQuery::principals(&[last.as_str()]).attributes(&a));
                     assert!(r.is_authorized());
                     black_box(r)
                 })

@@ -29,7 +29,7 @@
 
 use hetsec_keynote::parser::parse_assertions;
 use hetsec_keynote::print::print_assertion;
-use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
 use hetsec_middleware::MiddlewareKind;
 use hetsec_rbac::fixtures::salaries_policy;
 use hetsec_rbac::RbacPolicy;
@@ -277,7 +277,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             .into_iter()
             .collect();
             let key = format!("K{}", user.to_lowercase());
-            let result = session.query_action(&[key.as_str()], &attrs);
+            let result = session.evaluate(&ActionQuery::principals(&[key.as_str()]).attributes(&attrs));
             Ok(format!(
                 "{}: {user} as {domain}/{role} requesting {permission} on {object}",
                 result.value_name

@@ -28,7 +28,7 @@ use crate::parser::format_num;
 use crate::regex::Regex;
 use crate::values::{ComplianceValue, ComplianceValues};
 use std::borrow::Cow;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Dense id for an interned principal text.
 pub type PrincipalId = u32;
@@ -122,6 +122,13 @@ impl<'a> ScopedResolver<'a> {
     /// `(text, id)` pairs for overlay-only ids, in arbitrary order.
     fn extra_entries(&self) -> impl Iterator<Item = (&str, PrincipalId)> {
         self.extra.iter().map(|(t, &id)| (t.as_str(), id))
+    }
+
+    /// Drops the overlay entries, keeping the map's allocation so a
+    /// batch can reuse one resolver across requests with different
+    /// request-presented credential sets.
+    fn reset(&mut self) {
+        self.extra.clear();
     }
 }
 
@@ -735,144 +742,314 @@ fn eval_cprogram(prog: &CProgram, env: &CEnv<'_>, values: &ComplianceValues) -> 
 /// scratch id space layered over the store's interner — the store is
 /// not mutated). The caller vets `extra` (signature policy, no POLICY
 /// authorizers) exactly as for the AST path.
-pub fn query_compiled(store: &CompiledStore, extra: &[&Assertion], query: &Query) -> QueryResult {
-    let values = &query.values;
-    let min = values.min();
-    let max = values.max();
-    let authorizers_text = query.action_authorizers.join(",");
-    let values_attr = values.values_attribute();
+/// One borrowed query for [`QueryView`]: who asks, the action
+/// attributes, and the (already vetted) request-presented credentials.
+/// Nothing is cloned — every field borrows the caller's data for the
+/// duration of the batch call.
+pub struct ViewQuery<'q> {
+    /// The requesting principals.
+    pub authorizers: &'q [&'q str],
+    /// The action attribute set.
+    pub attributes: &'q ActionAttributes,
+    /// Request-scoped credentials. Callers are expected to have vetted
+    /// them already (the session's signature policy); the view treats
+    /// them as trustworthy overlay assertions.
+    pub extra: &'q [&'q Assertion],
+}
 
-    // Compile the request-presented credentials into an overlay id
-    // space; notes about their bad regex literals are request-scoped
-    // and intentionally dropped with the overlay.
-    let mut resolver = ScopedResolver::new(&store.interner);
-    let mut attr_resolver = ScopedResolver::new(&store.attr_names);
-    let mut extra_notes = Vec::new();
-    let extra_compiled: Vec<CompiledAssertion> = extra
-        .iter()
-        .map(|a| CompiledAssertion::compile(a, &mut resolver, &mut attr_resolver, &mut extra_notes))
-        .collect();
+impl ViewQuery<'_> {
+    /// True when `other` is the *same* query by identity: equal
+    /// requester lists, the same attribute map (by address) and the
+    /// same extra-credential slice (by address). Identity, not
+    /// equality, so the check is O(principals) — batch producers that
+    /// want coincident requests collapsed sort them adjacent and share
+    /// the borrowed attribute set.
+    fn coincides_with(&self, other: &ViewQuery<'_>) -> bool {
+        self.authorizers == other.authorizers
+            && std::ptr::eq(self.attributes, other.attributes)
+            && std::ptr::eq(self.extra.as_ptr(), other.extra.as_ptr())
+            && self.extra.len() == other.extra.len()
+    }
+}
 
-    // One hash lookup per distinct attribute name per query: slot id ->
-    // the query's value for that name ("" when unset).
-    let mut slots: Vec<&str> = vec![""; attr_resolver.total_ids()];
-    for (name, id) in store.attr_names.entries() {
-        slots[id as usize] = query.attributes.get(name);
-    }
-    for (name, id) in attr_resolver.extra_entries() {
-        slots[id as usize] = query.attributes.get(name);
-    }
-    let base_count = store.assertions.len();
-    let total_assertions = base_count + extra_compiled.len();
-    let mut extra_by_licensee: HashMap<PrincipalId, Vec<u32>> = HashMap::new();
-    for (i, c) in extra_compiled.iter().enumerate() {
-        for &id in &c.licensee_ids {
-            extra_by_licensee
-                .entry(id)
-                .or_default()
-                .push((base_count + i) as u32);
-        }
-    }
-    let assertion = |idx: u32| -> &CompiledAssertion {
-        let idx = idx as usize;
-        if idx < base_count {
-            &store.assertions[idx]
-        } else {
-            &extra_compiled[idx - base_count]
-        }
-    };
+/// A borrowed, reusable evaluation context over a [`CompiledStore`]:
+/// the batch-first decision path.
+///
+/// [`query_compiled`] allocates its worklist scratch (support vector,
+/// queue, per-assertion condition memo, attribute slot table, overlay
+/// resolvers) afresh on every call, and a [`Query`] clones the
+/// attribute map, value set and revocation list per request. A
+/// `QueryView` borrows the store, value set and revocation list once
+/// and keeps every scratch buffer across requests, so a batch of
+/// queries pays for setup once: buffers are cleared, not reallocated;
+/// the request-credential id overlay is rebuilt only when the
+/// presented-credential set changes between consecutive requests; and
+/// consecutive *coincident* requests (same principals, same borrowed
+/// attribute set, same credentials) are collapsed into a single
+/// fixpoint pass.
+pub struct QueryView<'a> {
+    store: &'a CompiledStore,
+    values: &'a ComplianceValues,
+    revoked: &'a BTreeSet<String>,
+    /// `_VALUES` pseudo-attribute, rendered once per view.
+    values_attr: String,
+    /// Revocation flags over the store's interned ids, computed once
+    /// per view; overlay ids are appended per credential set.
+    base_revoked: Vec<bool>,
+    // ---- lifetime-free scratch, reused across requests ----
+    support: Vec<ComplianceValue>,
+    queue: VecDeque<u32>,
+    queued: Vec<bool>,
+    cond_values: Vec<Option<ComplianceValue>>,
+    extra_notes: Vec<String>,
+}
 
-    let n_ids = resolver.total_ids();
-    let mut revoked = vec![false; n_ids];
-    for key in &query.revoked {
-        if let Some(id) = resolver.lookup(key) {
-            revoked[id as usize] = true;
-        }
-    }
-
-    // Support assignment over ids; requesters start at max. A requester
-    // the interner has never seen cannot appear in any licensees
-    // formula, so it cannot influence the fixpoint and is skipped.
-    let mut support = vec![min; n_ids];
-    let mut queue: VecDeque<u32> = VecDeque::new();
-    let mut queued = vec![false; total_assertions];
-    let enqueue_deps = |id: PrincipalId,
-                            queue: &mut VecDeque<u32>,
-                            queued: &mut Vec<bool>| {
-        if let Some(deps) = store.by_licensee.get(id as usize) {
-            for &dep in deps {
-                if !queued[dep as usize] {
-                    queued[dep as usize] = true;
-                    queue.push_back(dep);
-                }
+impl<'a> QueryView<'a> {
+    /// A view borrowing the store, the compliance value set and the
+    /// revocation list. No part of the query state is cloned.
+    pub fn new(
+        store: &'a CompiledStore,
+        values: &'a ComplianceValues,
+        revoked: &'a BTreeSet<String>,
+    ) -> Self {
+        let mut base_revoked = vec![false; store.interner.len()];
+        for key in revoked {
+            if let Some(id) = store.interner.get(key) {
+                base_revoked[id as usize] = true;
             }
         }
-        if let Some(deps) = extra_by_licensee.get(&id) {
-            for &dep in deps {
-                if !queued[dep as usize] {
-                    queued[dep as usize] = true;
-                    queue.push_back(dep);
-                }
-            }
+        QueryView {
+            store,
+            values,
+            revoked,
+            values_attr: values.values_attribute(),
+            base_revoked,
+            support: Vec::new(),
+            queue: VecDeque::new(),
+            queued: Vec::new(),
+            cond_values: Vec::new(),
+            extra_notes: Vec::new(),
         }
-    };
-    for a in &query.action_authorizers {
-        let Some(id) = resolver.lookup(a) else {
-            continue;
-        };
-        if revoked[id as usize] || support[id as usize] == max {
-            continue;
-        }
-        support[id as usize] = max;
-        enqueue_deps(id, &mut queue, &mut queued);
     }
 
-    let mut cond_values: Vec<Option<ComplianceValue>> = vec![None; total_assertions];
-    let mut evaluations = 0usize;
-    while let Some(idx) = queue.pop_front() {
-        queued[idx as usize] = false;
-        let a = assertion(idx);
-        if revoked[a.authorizer as usize] {
-            continue; // revoked keys convey nothing
-        }
-        let Some(lic) = &a.licensees else {
-            continue;
-        };
-        let cond = *cond_values[idx as usize].get_or_insert_with(|| {
-            evaluations += 1;
-            let env = CEnv {
-                attrs: &query.attributes,
-                locals: &a.local_constants,
-                values,
-                authorizers_text: &authorizers_text,
-                values_attr: &values_attr,
-                slots: &slots,
+    /// Evaluates one query through the view (a batch of one).
+    pub fn query_one(&mut self, query: &ViewQuery<'_>) -> QueryResult {
+        self.query_batch(std::slice::from_ref(query))
+            .pop()
+            .expect("batch of one yields one result")
+    }
+
+    /// Evaluates a batch of queries, reusing every scratch buffer
+    /// across elements. Results are returned in input order and are
+    /// element-wise identical to evaluating each query on its own.
+    pub fn query_batch(&mut self, queries: &[ViewQuery<'_>]) -> Vec<QueryResult> {
+        let store = self.store;
+        let values = self.values;
+        let revoked_keys = self.revoked;
+        let values_attr = self.values_attr.as_str();
+        let base_revoked = &self.base_revoked;
+        let min = values.min();
+        let max = values.max();
+        let base_count = store.assertions.len();
+
+        let mut out: Vec<QueryResult> = Vec::with_capacity(queries.len());
+        // Overlay state shared across the batch, rebuilt only when the
+        // presented-credential slice changes between requests.
+        let mut resolver = ScopedResolver::new(&store.interner);
+        let mut attr_resolver = ScopedResolver::new(&store.attr_names);
+        let mut extra_compiled: Vec<CompiledAssertion> = Vec::new();
+        let mut extra_by_licensee: HashMap<PrincipalId, Vec<u32>> = HashMap::new();
+        let mut overlay_revoked: Vec<bool> = Vec::new();
+        let mut cur_extra: Option<(*const &Assertion, usize)> = None;
+        // Slot table: attribute id -> this request's value. Borrows the
+        // request's attribute strings, so it lives per batch call.
+        let mut slots: Vec<&str> = Vec::new();
+        let mut authorizers_text = String::new();
+
+        for (qi, q) in queries.iter().enumerate() {
+            // Coincident-request collapse: a request identical (by
+            // identity) to its predecessor reuses the predecessor's
+            // fixpoint result outright.
+            if qi > 0 && q.coincides_with(&queries[qi - 1]) {
+                let prev = out[qi - 1].clone();
+                out.push(prev);
+                continue;
+            }
+
+            let extra_id = (q.extra.as_ptr(), q.extra.len());
+            if cur_extra != Some(extra_id) {
+                // Compile the request-presented credentials into the
+                // overlay id space; notes about their bad regex
+                // literals are request-scoped and intentionally dropped
+                // with the overlay.
+                resolver.reset();
+                attr_resolver.reset();
+                extra_compiled.clear();
+                self.extra_notes.clear();
+                for a in q.extra {
+                    extra_compiled.push(CompiledAssertion::compile(
+                        a,
+                        &mut resolver,
+                        &mut attr_resolver,
+                        &mut self.extra_notes,
+                    ));
+                }
+                extra_by_licensee.clear();
+                for (i, c) in extra_compiled.iter().enumerate() {
+                    for &id in &c.licensee_ids {
+                        extra_by_licensee
+                            .entry(id)
+                            .or_default()
+                            .push((base_count + i) as u32);
+                    }
+                }
+                overlay_revoked.clear();
+                overlay_revoked.extend_from_slice(base_revoked);
+                overlay_revoked.resize(resolver.total_ids(), false);
+                for (name, id) in resolver.extra_entries() {
+                    if revoked_keys.contains(name) {
+                        overlay_revoked[id as usize] = true;
+                    }
+                }
+                cur_extra = Some(extra_id);
+            }
+
+            // One hash lookup per distinct attribute name per request:
+            // slot id -> the request's value for that name ("" unset).
+            slots.clear();
+            slots.resize(attr_resolver.total_ids(), "");
+            for (name, id) in store.attr_names.entries() {
+                slots[id as usize] = q.attributes.get(name);
+            }
+            for (name, id) in attr_resolver.extra_entries() {
+                slots[id as usize] = q.attributes.get(name);
+            }
+            authorizers_text.clear();
+            for (i, a) in q.authorizers.iter().enumerate() {
+                if i > 0 {
+                    authorizers_text.push(',');
+                }
+                authorizers_text.push_str(a);
+            }
+
+            let total_assertions = base_count + extra_compiled.len();
+            let n_ids = resolver.total_ids();
+            let revoked = &overlay_revoked;
+            let assertion = |idx: u32| -> &CompiledAssertion {
+                let idx = idx as usize;
+                if idx < base_count {
+                    &store.assertions[idx]
+                } else {
+                    &extra_compiled[idx - base_count]
+                }
             };
-            match &a.conditions {
-                None => max,
-                Some(prog) => eval_cprogram(prog, &env, values),
-            }
-        });
-        if cond == min {
-            continue;
-        }
-        let assertion_val = cond.and(lic.value(&support, min));
-        let cur = support[a.authorizer as usize];
-        if assertion_val > cur {
-            support[a.authorizer as usize] = assertion_val;
-            enqueue_deps(a.authorizer, &mut queue, &mut queued);
-        }
-    }
 
-    let value = resolver
-        .lookup(POLICY_KEY)
-        .map(|id| support[id as usize])
-        .unwrap_or(min);
-    QueryResult {
-        value,
-        value_name: values.name_of(value).to_string(),
-        iterations: evaluations,
+            // Support assignment over ids; requesters start at max. A
+            // requester the interner has never seen cannot appear in
+            // any licensees formula, so it cannot influence the
+            // fixpoint and is skipped.
+            let support = &mut self.support;
+            support.clear();
+            support.resize(n_ids, min);
+            let queue = &mut self.queue;
+            queue.clear();
+            let queued = &mut self.queued;
+            queued.clear();
+            queued.resize(total_assertions, false);
+            let enqueue_deps =
+                |id: PrincipalId, queue: &mut VecDeque<u32>, queued: &mut Vec<bool>| {
+                    if let Some(deps) = store.by_licensee.get(id as usize) {
+                        for &dep in deps {
+                            if !queued[dep as usize] {
+                                queued[dep as usize] = true;
+                                queue.push_back(dep);
+                            }
+                        }
+                    }
+                    if let Some(deps) = extra_by_licensee.get(&id) {
+                        for &dep in deps {
+                            if !queued[dep as usize] {
+                                queued[dep as usize] = true;
+                                queue.push_back(dep);
+                            }
+                        }
+                    }
+                };
+            for a in q.authorizers {
+                let Some(id) = resolver.lookup(a) else {
+                    continue;
+                };
+                if revoked[id as usize] || support[id as usize] == max {
+                    continue;
+                }
+                support[id as usize] = max;
+                enqueue_deps(id, queue, queued);
+            }
+
+            let cond_values = &mut self.cond_values;
+            cond_values.clear();
+            cond_values.resize(total_assertions, None);
+            let mut evaluations = 0usize;
+            while let Some(idx) = queue.pop_front() {
+                queued[idx as usize] = false;
+                let a = assertion(idx);
+                if revoked[a.authorizer as usize] {
+                    continue; // revoked keys convey nothing
+                }
+                let Some(lic) = &a.licensees else {
+                    continue;
+                };
+                let cond = *cond_values[idx as usize].get_or_insert_with(|| {
+                    evaluations += 1;
+                    let env = CEnv {
+                        attrs: q.attributes,
+                        locals: &a.local_constants,
+                        values,
+                        authorizers_text: &authorizers_text,
+                        values_attr,
+                        slots: &slots,
+                    };
+                    match &a.conditions {
+                        None => max,
+                        Some(prog) => eval_cprogram(prog, &env, values),
+                    }
+                });
+                if cond == min {
+                    continue;
+                }
+                let assertion_val = cond.and(lic.value(support, min));
+                let cur = support[a.authorizer as usize];
+                if assertion_val > cur {
+                    support[a.authorizer as usize] = assertion_val;
+                    enqueue_deps(a.authorizer, queue, queued);
+                }
+            }
+
+            let value = resolver
+                .lookup(POLICY_KEY)
+                .map(|id| support[id as usize])
+                .unwrap_or(min);
+            out.push(QueryResult {
+                value,
+                value_name: values.name_of(value).to_string(),
+                iterations: evaluations,
+            });
+        }
+        out
     }
+}
+
+/// Evaluates one [`Query`] against the compiled store: a thin wrapper
+/// over a [`QueryView`] batch of one. Callers on the hot path should
+/// build a view themselves and batch their requests.
+pub fn query_compiled(store: &CompiledStore, extra: &[&Assertion], query: &Query) -> QueryResult {
+    let authorizers: Vec<&str> = query.action_authorizers.iter().map(String::as_str).collect();
+    let mut view = QueryView::new(store, &query.values, &query.revoked);
+    view.query_one(&ViewQuery {
+        authorizers: &authorizers,
+        attributes: &query.attributes,
+        extra,
+    })
 }
 
 #[cfg(test)]

@@ -186,6 +186,24 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 tokens.push(Token::Ident(chars[start..i].iter().collect()));
             }
+            // `@`-prefixed identifiers name assertion metadata fields
+            // (e.g. the analyzer's `@not-before`/`@not-after` validity
+            // bounds in Local-Constants). `-` is allowed inside them so
+            // the conventional kebab-case names lex as one token; a
+            // bare `@` is still an error.
+            '@' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                {
+                    i += 1;
+                }
+                if i == start + 1 {
+                    return Err(LexError::UnexpectedChar('@', start));
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
             '&' => {
                 if chars.get(i + 1) == Some(&'&') {
                     tokens.push(Token::AndAnd);

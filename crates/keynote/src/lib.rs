@@ -58,11 +58,11 @@ pub mod values;
 pub mod verify_cache;
 
 pub use ast::{Assertion, Clause, ConditionsProgram, Expr, LicenseeExpr, Principal, Term};
-pub use compiled::{query_compiled, CompiledStore};
+pub use compiled::{query_compiled, CompiledStore, QueryView, ViewQuery};
 pub use compliance::{check_compliance, check_compliance_refs, Query, QueryResult};
 pub use eval::ActionAttributes;
 pub use explain::{explain_compliance, Explanation, TraceStep};
-pub use session::{KeyNoteSession, SessionError, SignaturePolicy};
+pub use session::{ActionQuery, KeyNoteSession, SessionError, SignaturePolicy};
 pub use signing::{sign_assertion, verify_assertion, SignatureStatus};
 pub use values::{ComplianceValue, ComplianceValues, MAX_TRUST, MIN_TRUST};
 pub use verify_cache::{VerifyCache, VerifyCacheStats};

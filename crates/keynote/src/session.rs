@@ -6,7 +6,7 @@
 //! and authorizers, and ask for the compliance value.
 
 use crate::ast::{Assertion, Principal};
-use crate::compiled::{query_compiled, CompiledStore};
+use crate::compiled::{CompiledStore, QueryView, ViewQuery};
 use crate::compliance::{check_compliance_refs, Query, QueryResult};
 use crate::eval::ActionAttributes;
 use crate::parser::{parse_assertions, ParseError};
@@ -67,6 +67,92 @@ pub enum SignaturePolicy {
     /// examples mirroring the paper's `Kbob`-style principals, and for
     /// policy translation pipelines that sign in a later step).
     Permissive,
+}
+
+/// The requesting principals of an [`ActionQuery`]: either one key or
+/// a borrowed list. Keeping the one-key case inline lets single-
+/// principal callers build a query with zero allocations.
+#[derive(Clone, Copy, Debug)]
+enum PrincipalSet<'a> {
+    One(&'a str),
+    Many(&'a [&'a str]),
+}
+
+/// A borrowed, builder-style action query — the single entry point that
+/// replaced `query_action` / `query_action_with_extra` /
+/// `query_action_interpreted`, mirroring webcom's `AuthzRequest`.
+/// Every field borrows the caller's data; nothing is cloned to ask a
+/// question.
+///
+/// ```
+/// # use hetsec_keynote::{ActionQuery, KeyNoteSession};
+/// # use hetsec_keynote::eval::ActionAttributes;
+/// # let session = KeyNoteSession::permissive();
+/// let attrs = ActionAttributes::new().with("app_domain", "SalariesDB").with("oper", "read");
+/// let result = session.evaluate(&ActionQuery::principal("Kalice").attributes(&attrs));
+/// # let _ = result;
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ActionQuery<'a> {
+    principals: PrincipalSet<'a>,
+    attributes: Option<&'a ActionAttributes>,
+    extra: &'a [Assertion],
+    interpreted: bool,
+}
+
+impl<'a> ActionQuery<'a> {
+    /// A query from a single requesting principal.
+    pub fn principal(key_text: &'a str) -> Self {
+        ActionQuery {
+            principals: PrincipalSet::One(key_text),
+            attributes: None,
+            extra: &[],
+            interpreted: false,
+        }
+    }
+
+    /// A query from several requesting principals.
+    pub fn principals(key_texts: &'a [&'a str]) -> Self {
+        ActionQuery {
+            principals: PrincipalSet::Many(key_texts),
+            attributes: None,
+            extra: &[],
+            interpreted: false,
+        }
+    }
+
+    /// Borrows the action attribute set (defaults to empty).
+    pub fn attributes(mut self, attrs: &'a ActionAttributes) -> Self {
+        self.attributes = Some(attrs);
+        self
+    }
+
+    /// Considers `extra` credentials for this one evaluation —
+    /// request-scoped: they are vetted like stored credentials
+    /// (POLICY-authored ones are ignored; under
+    /// [`SignaturePolicy::Require`] unverifiable ones are ignored) but
+    /// are never added to the session, so they cannot leak authority
+    /// into later queries.
+    pub fn extra(mut self, extra: &'a [Assertion]) -> Self {
+        self.extra = extra;
+        self
+    }
+
+    /// Routes this query through the AST-interpreting reference path
+    /// instead of the compiled engine (differential tests, cold
+    /// benchmark baselines). Extra credentials are re-verified without
+    /// the signature memo.
+    pub fn interpreted(mut self) -> Self {
+        self.interpreted = true;
+        self
+    }
+
+    fn principal_list(&self) -> &[&'a str] {
+        match &self.principals {
+            PrincipalSet::One(key) => std::slice::from_ref(key),
+            PrincipalSet::Many(keys) => keys,
+        }
+    }
 }
 
 /// A KeyNote evaluation session.
@@ -272,61 +358,88 @@ impl KeyNoteSession {
             .collect()
     }
 
-    fn build_query(&self, authorizers: Vec<String>, attrs: &ActionAttributes) -> Query {
-        Query {
-            action_authorizers: authorizers,
-            attributes: attrs.clone(),
-            values: self.values.clone(),
-            revoked: self.revoked.clone(),
-        }
-    }
-
     /// Runs the compliance checker (`kn_do_query`).
     pub fn query(&self) -> QueryResult {
-        let q = self.build_query(self.authorizers.clone(), &self.attributes);
-        query_compiled(&self.compiled, &[], &q)
+        let authorizers: Vec<&str> = self.authorizers.iter().map(String::as_str).collect();
+        self.evaluate(&ActionQuery::principals(&authorizers).attributes(&self.attributes))
     }
 
-    /// One-shot convenience: query with explicit authorizers/attributes
-    /// without mutating the session's action state.
-    pub fn query_action(&self, authorizers: &[&str], attrs: &ActionAttributes) -> QueryResult {
-        self.query_action_with_extra(authorizers, attrs, &[])
+    /// Evaluates one [`ActionQuery`] without mutating the session's
+    /// action state: a batch of one through
+    /// [`evaluate_batch`](Self::evaluate_batch).
+    pub fn evaluate(&self, query: &ActionQuery<'_>) -> QueryResult {
+        self.evaluate_batch(std::slice::from_ref(query))
+            .pop()
+            .expect("batch of one yields one result")
     }
 
-    /// Like [`query_action`](Self::query_action), but additionally
-    /// considers `extra` credentials for this one evaluation —
-    /// request-scoped: they are vetted like stored credentials
-    /// (POLICY-authored ones are ignored; under
-    /// [`SignaturePolicy::Require`] unverifiable ones are ignored) but
-    /// are never added to the session, so they cannot leak authority
-    /// into later queries.
-    pub fn query_action_with_extra(
-        &self,
-        authorizers: &[&str],
-        attrs: &ActionAttributes,
-        extra: &[Assertion],
-    ) -> QueryResult {
-        let q = self.build_query(authorizers.iter().map(|s| s.to_string()).collect(), attrs);
-        query_compiled(&self.compiled, &self.vetted_extra(extra), &q)
+    /// Evaluates a batch of [`ActionQuery`]s in one pass. All compiled
+    /// queries share a single [`QueryView`] — one scratch allocation, one
+    /// credential-overlay rebuild per distinct extra-credential set, and
+    /// coincident consecutive requests collapse into one fixpoint run.
+    /// Results come back in input order and are element-wise identical
+    /// to calling [`evaluate`](Self::evaluate) per query.
+    pub fn evaluate_batch(&self, queries: &[ActionQuery<'_>]) -> Vec<QueryResult> {
+        let empty_attrs = ActionAttributes::new();
+        // Vet each request's credentials once; consecutive queries
+        // presenting the same slice reuse the previous verdicts without
+        // re-consulting the memo cache.
+        let mut vetted: Vec<Vec<&Assertion>> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            if i > 0
+                && std::ptr::eq(q.extra.as_ptr(), queries[i - 1].extra.as_ptr())
+                && q.extra.len() == queries[i - 1].extra.len()
+            {
+                let prev = vetted[i - 1].clone();
+                vetted.push(prev);
+            } else {
+                vetted.push(self.vetted_extra(q.extra));
+            }
+        }
+        let mut view_queries: Vec<ViewQuery<'_>> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            if !q.interpreted {
+                view_queries.push(ViewQuery {
+                    authorizers: q.principal_list(),
+                    attributes: q.attributes.unwrap_or(&empty_attrs),
+                    extra: &vetted[i],
+                });
+            }
+        }
+        let compiled_results = if view_queries.is_empty() {
+            Vec::new()
+        } else {
+            let mut view = QueryView::new(&self.compiled, &self.values, &self.revoked);
+            view.query_batch(&view_queries)
+        };
+        let mut compiled_iter = compiled_results.into_iter();
+        queries
+            .iter()
+            .map(|q| {
+                if q.interpreted {
+                    self.evaluate_interpreted(q)
+                } else {
+                    compiled_iter
+                        .next()
+                        .expect("one result per compiled query")
+                }
+            })
+            .collect()
     }
 
-    /// Reference path: evaluates the same query by interpreting the AST
-    /// directly, with no compiled forms and no signature memoization.
-    /// Exists so differential tests (and the cold-baseline benchmark
-    /// series) can hold the compiled engine to the interpreter's
-    /// answers; applications should use
-    /// [`query_action_with_extra`](Self::query_action_with_extra).
-    pub fn query_action_interpreted(
-        &self,
-        authorizers: &[&str],
-        attrs: &ActionAttributes,
-        extra: &[Assertion],
-    ) -> QueryResult {
+    /// Reference path: evaluates by interpreting the AST directly, with
+    /// no compiled forms and no signature memoization. Exists so
+    /// differential tests (and the cold-baseline benchmark series) can
+    /// hold the compiled engine to the interpreter's answers; the
+    /// reference path may clone freely.
+    fn evaluate_interpreted(&self, q: &ActionQuery<'_>) -> QueryResult {
+        let empty_attrs = ActionAttributes::new();
+        let attrs = q.attributes.unwrap_or(&empty_attrs);
         let mut refs: Vec<&Assertion> =
-            Vec::with_capacity(self.policies.len() + self.credentials.len() + extra.len());
+            Vec::with_capacity(self.policies.len() + self.credentials.len() + q.extra.len());
         refs.extend(self.policies.iter());
         refs.extend(self.credentials.iter());
-        for a in extra {
+        for a in q.extra {
             if a.authorizer == Principal::Policy {
                 continue;
             }
@@ -337,8 +450,53 @@ impl KeyNoteSession {
             }
             refs.push(a);
         }
-        let q = self.build_query(authorizers.iter().map(|s| s.to_string()).collect(), attrs);
-        check_compliance_refs(&refs, &q)
+        let query = Query {
+            action_authorizers: q.principal_list().iter().map(|s| s.to_string()).collect(),
+            attributes: attrs.clone(),
+            values: self.values.clone(),
+            revoked: self.revoked.clone(),
+        };
+        check_compliance_refs(&refs, &query)
+    }
+
+    /// One-shot convenience: query with explicit authorizers/attributes
+    /// without mutating the session's action state.
+    #[deprecated(note = "build an ActionQuery and call evaluate(); shim kept for one PR")]
+    pub fn query_action(&self, authorizers: &[&str], attrs: &ActionAttributes) -> QueryResult {
+        self.evaluate(&ActionQuery::principals(authorizers).attributes(attrs))
+    }
+
+    /// Like `query_action`, but additionally considers `extra`
+    /// credentials for this one evaluation.
+    #[deprecated(note = "build an ActionQuery and call evaluate(); shim kept for one PR")]
+    pub fn query_action_with_extra(
+        &self,
+        authorizers: &[&str],
+        attrs: &ActionAttributes,
+        extra: &[Assertion],
+    ) -> QueryResult {
+        self.evaluate(
+            &ActionQuery::principals(authorizers)
+                .attributes(attrs)
+                .extra(extra),
+        )
+    }
+
+    /// Reference path: evaluates the same query by interpreting the AST
+    /// directly.
+    #[deprecated(note = "build an ActionQuery and call evaluate(); shim kept for one PR")]
+    pub fn query_action_interpreted(
+        &self,
+        authorizers: &[&str],
+        attrs: &ActionAttributes,
+        extra: &[Assertion],
+    ) -> QueryResult {
+        self.evaluate(
+            &ActionQuery::principals(authorizers)
+                .attributes(attrs)
+                .extra(extra)
+                .interpreted(),
+        )
     }
 
     /// Compile-time diagnostics from the stored assertions (currently:
@@ -420,7 +578,7 @@ mod tests {
         .unwrap();
         s.add_credential_parsed(a).unwrap();
         let attrs = ActionAttributes::new();
-        assert!(s.query_action(&["Kalice"], &attrs).is_authorized());
+        assert!(s.evaluate(&ActionQuery::principals(&["Kalice"]).attributes(&attrs)).is_authorized());
     }
 
     #[test]
@@ -465,7 +623,7 @@ mod tests {
         assert_eq!(s.policies().len(), 1);
         assert_eq!(s.credentials().len(), 1);
         assert!(s
-            .query_action(&["Kb"], &ActionAttributes::new())
+            .evaluate(&ActionQuery::principals(&["Kb"]).attributes(&ActionAttributes::new()))
             .is_authorized());
     }
 
@@ -474,13 +632,13 @@ mod tests {
         let mut s = KeyNoteSession::permissive();
         s.add_policy("Authorizer: POLICY\nLicensees: \"Ka\"\n").unwrap();
         let attrs = ActionAttributes::new();
-        assert!(s.query_action(&["Ka"], &attrs).is_authorized());
+        assert!(s.evaluate(&ActionQuery::principals(&["Ka"]).attributes(&attrs)).is_authorized());
         s.revoke_key("Ka");
-        assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
+        assert!(!s.evaluate(&ActionQuery::principals(&["Ka"]).attributes(&attrs)).is_authorized());
         assert_eq!(s.revoked_keys().collect::<Vec<_>>(), vec!["Ka"]);
         assert!(s.reinstate_key("Ka"));
         assert!(!s.reinstate_key("Ka"));
-        assert!(s.query_action(&["Ka"], &attrs).is_authorized());
+        assert!(s.evaluate(&ActionQuery::principals(&["Ka"]).attributes(&attrs)).is_authorized());
     }
 
     #[test]
@@ -492,12 +650,12 @@ mod tests {
         )
         .unwrap();
         let attrs = ActionAttributes::new();
-        assert!(s.query_action(&["Kb"], &attrs).is_authorized());
+        assert!(s.evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs)).is_authorized());
         s.revoke_key("Ka");
         // Kb's authority flowed through Ka; revoking Ka kills the chain.
-        assert!(!s.query_action(&["Kb"], &attrs).is_authorized());
+        assert!(!s.evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs)).is_authorized());
         // Ka itself is of course also denied.
-        assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
+        assert!(!s.evaluate(&ActionQuery::principals(&["Ka"]).attributes(&attrs)).is_authorized());
     }
 
     #[test]
@@ -509,8 +667,8 @@ mod tests {
         .unwrap();
         s.revoke_key("Ka");
         let attrs = ActionAttributes::new();
-        assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
-        assert!(s.query_action(&["Kb"], &attrs).is_authorized());
+        assert!(!s.evaluate(&ActionQuery::principals(&["Ka"]).attributes(&attrs)).is_authorized());
+        assert!(s.evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs)).is_authorized());
     }
 
     #[test]
@@ -540,7 +698,7 @@ mod tests {
         s.reset_action();
         assert_eq!(s.epoch(), e4);
         // Queries do not move the epoch.
-        let _ = s.query_action(&["Kb"], &ActionAttributes::new());
+        let _ = s.evaluate(&ActionQuery::principals(&["Kb"]).attributes(&ActionAttributes::new()));
         assert_eq!(s.epoch(), e4);
     }
 
@@ -555,15 +713,15 @@ mod tests {
         );
         let attrs = ActionAttributes::new();
         // Without the presented credential, Kb has no authority.
-        assert!(!s.query_action(&["Kb"], &attrs).is_authorized());
+        assert!(!s.evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs)).is_authorized());
         // Presenting it authorises this one request...
         let epoch_before = s.epoch();
         assert!(s
-            .query_action_with_extra(&["Kb"], &attrs, std::slice::from_ref(&delegation))
+            .evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs).extra(std::slice::from_ref(&delegation)))
             .is_authorized());
         // ...without persisting anything: the next request is back to
         // denied, nothing was stored, and the epoch did not move.
-        assert!(!s.query_action(&["Kb"], &attrs).is_authorized());
+        assert!(!s.evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs)).is_authorized());
         assert_eq!(s.credentials().len(), 0);
         assert_eq!(s.epoch(), epoch_before);
     }
@@ -580,7 +738,7 @@ mod tests {
         );
         let attrs = ActionAttributes::new();
         assert!(!s
-            .query_action_with_extra(&["Kb"], &attrs, std::slice::from_ref(&unsigned))
+            .evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs).extra(std::slice::from_ref(&unsigned)))
             .is_authorized());
         // A validly signed one is honoured.
         let kp = KeyPair::from_label("scoped-delegator");
@@ -593,7 +751,7 @@ mod tests {
         );
         sign_assertion(&mut signed, &kp).unwrap();
         assert!(s
-            .query_action_with_extra(&["Kb"], &attrs, std::slice::from_ref(&signed))
+            .evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs).extra(std::slice::from_ref(&signed)))
             .is_authorized());
         assert_eq!(s.credentials().len(), 0);
     }
@@ -609,7 +767,7 @@ mod tests {
         );
         let attrs = ActionAttributes::new();
         assert!(!s
-            .query_action_with_extra(&["Kmallory"], &attrs, std::slice::from_ref(&forged))
+            .evaluate(&ActionQuery::principals(&["Kmallory"]).attributes(&attrs).extra(std::slice::from_ref(&forged)))
             .is_authorized());
     }
 
@@ -632,14 +790,14 @@ mod tests {
         let attrs = ActionAttributes::new();
         let extra = std::slice::from_ref(&signed);
         // Warm the memo: first query verifies, second hits the cache.
-        assert!(s.query_action_with_extra(&["Kb"], &attrs, extra).is_authorized());
-        assert!(s.query_action_with_extra(&["Kb"], &attrs, extra).is_authorized());
+        assert!(s.evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs).extra(extra)).is_authorized());
+        assert!(s.evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs).extra(extra)).is_authorized());
         let stats = s.verify_cache_stats();
         assert!(stats.hits >= 1, "expected a memo hit, got {stats:?}");
         // Revoke the signer: the cached Valid verdict must not keep the
         // delegation alive.
         s.revoke_key(&key_text);
-        assert!(!s.query_action_with_extra(&["Kb"], &attrs, extra).is_authorized());
+        assert!(!s.evaluate(&ActionQuery::principals(&["Kb"]).attributes(&attrs).extra(extra)).is_authorized());
         // The verdict is still served from the cache — only compliance
         // changed its mind.
         let after = s.verify_cache_stats();
@@ -668,8 +826,8 @@ mod tests {
         ] {
             let attrs: ActionAttributes =
                 [("app_domain", "SalariesDB"), ("oper", oper)].into_iter().collect();
-            let compiled = s.query_action(&[who], &attrs);
-            let interpreted = s.query_action_interpreted(&[who], &attrs, &[]);
+            let compiled = s.evaluate(&ActionQuery::principals(&[who]).attributes(&attrs));
+            let interpreted = s.evaluate(&ActionQuery::principals(&[who]).attributes(&attrs).interpreted());
             assert_eq!(compiled.value, interpreted.value, "{who}/{oper}");
             assert_eq!(compiled.value_name, interpreted.value_name, "{who}/{oper}");
         }
@@ -684,7 +842,7 @@ mod tests {
         .unwrap();
         assert_eq!(s.compile_notes().len(), 1);
         let attrs: ActionAttributes = [("oper", "read")].into_iter().collect();
-        assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
+        assert!(!s.evaluate(&ActionQuery::principals(&["Ka"]).attributes(&attrs)).is_authorized());
     }
 
     #[test]
@@ -693,7 +851,7 @@ mod tests {
         s.add_policy("Authorizer: POLICY\nLicensees: \"Ka\"\n")
             .unwrap();
         let attrs = ActionAttributes::new();
-        assert!(s.query_action(&["Ka"], &attrs).is_authorized());
+        assert!(s.evaluate(&ActionQuery::principals(&["Ka"]).attributes(&attrs)).is_authorized());
         // Session-level action state is untouched.
         assert!(!s.query().is_authorized());
     }

@@ -69,7 +69,7 @@ pub fn sign_owned(assertions: &mut [Assertion], directory: &KeyStoreDirectory) -
 mod tests {
     use super::*;
     use crate::directory::SymbolicDirectory;
-    use hetsec_keynote::session::KeyNoteSession;
+    use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
     use hetsec_keynote::signing::{verify_assertion, SignatureStatus};
     use hetsec_rbac::fixtures::{salaries_policy, synthetic_policy};
     use hetsec_rbac::User;
@@ -127,7 +127,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert!(s.query_action(&[claire.as_str()], &attrs).is_authorized());
+        assert!(s.evaluate(&ActionQuery::principals(&[claire.as_str()]).attributes(&attrs)).is_authorized());
     }
 
     #[test]

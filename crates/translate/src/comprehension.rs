@@ -150,7 +150,7 @@ mod tests {
     use super::*;
     use crate::directory::SymbolicDirectory;
     use hetsec_keynote::eval::ActionAttributes;
-    use hetsec_keynote::session::KeyNoteSession;
+    use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
     use hetsec_rbac::fixtures::salaries_policy;
 
     fn attrs(d: &str, r: &str, t: &str, p: &str) -> ActionAttributes {
@@ -189,7 +189,7 @@ mod tests {
             ("Sales", "Assistant", "read", false),
             ("Finance", "Clerk", "read", false),
         ] {
-            let q = s.query_action(&["KWebCom"], &attrs(d, r, "SalariesDB", p));
+            let q = s.evaluate(&ActionQuery::principals(&["KWebCom"]).attributes(&attrs(d, r, "SalariesDB", p)));
             assert_eq!(q.is_authorized(), expect, "{d}/{r} {p}");
         }
     }
@@ -199,14 +199,14 @@ mod tests {
         let s = session_for_salaries();
         // Claire (Sales/Manager) gets read through the chain
         // POLICY -> KWebCom -> Kclaire.
-        let q = s.query_action(&["Kclaire"], &attrs("Sales", "Manager", "SalariesDB", "read"));
+        let q = s.evaluate(&ActionQuery::principals(&["Kclaire"]).attributes(&attrs("Sales", "Manager", "SalariesDB", "read")));
         assert!(q.is_authorized());
         // But not write (table), and not Finance (membership).
         assert!(!s
-            .query_action(&["Kclaire"], &attrs("Sales", "Manager", "SalariesDB", "write"))
+            .evaluate(&ActionQuery::principals(&["Kclaire"]).attributes(&attrs("Sales", "Manager", "SalariesDB", "write")))
             .is_authorized());
         assert!(!s
-            .query_action(&["Kclaire"], &attrs("Finance", "Manager", "SalariesDB", "read"))
+            .evaluate(&ActionQuery::principals(&["Kclaire"]).attributes(&attrs("Finance", "Manager", "SalariesDB", "read")))
             .is_authorized());
     }
 
@@ -215,7 +215,7 @@ mod tests {
         let s = session_for_salaries();
         let mut a = attrs("Sales", "Manager", "SalariesDB", "read");
         a.set("app_domain", "SomethingElse");
-        assert!(!s.query_action(&["Kclaire"], &a).is_authorized());
+        assert!(!s.evaluate(&ActionQuery::principals(&["Kclaire"]).attributes(&a)).is_authorized());
     }
 
     #[test]
@@ -229,11 +229,11 @@ mod tests {
             &dir,
         );
         s.add_credential_parsed(cred).unwrap();
-        let q = s.query_action(&["Kfred"], &attrs("Sales", "Manager", "SalariesDB", "read"));
+        let q = s.evaluate(&ActionQuery::principals(&["Kfred"]).attributes(&attrs("Sales", "Manager", "SalariesDB", "read")));
         assert!(q.is_authorized());
         // Fred's delegated role cannot exceed Claire's authorisation.
         assert!(!s
-            .query_action(&["Kfred"], &attrs("Sales", "Manager", "SalariesDB", "write"))
+            .evaluate(&ActionQuery::principals(&["Kfred"]).attributes(&attrs("Sales", "Manager", "SalariesDB", "write")))
             .is_authorized());
     }
 
@@ -251,7 +251,7 @@ mod tests {
         );
         s.add_credential_parsed(cred).unwrap();
         assert!(!s
-            .query_action(&["Kmallory"], &attrs("Sales", "Manager", "SalariesDB", "read"))
+            .evaluate(&ActionQuery::principals(&["Kmallory"]).attributes(&attrs("Sales", "Manager", "SalariesDB", "read")))
             .is_authorized());
     }
 

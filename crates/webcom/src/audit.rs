@@ -92,6 +92,54 @@ impl AuditLog {
         seq
     }
 
+    /// Records a burst of decisions in one pass: the sequence counter
+    /// advances once for the whole burst, grant/denial totals are
+    /// updated with one atomic add each, and the ring lock is taken
+    /// once for all pushes. Returns the first sequence number assigned
+    /// (records get consecutive numbers from it).
+    pub fn record_batch(&self, entries: &[(&AuthzContext, &StackDecision)]) -> u64 {
+        let n = entries.len() as u64;
+        let seq_base = self.seq.fetch_add(n, Ordering::Relaxed);
+        let grants = entries.iter().filter(|(_, d)| d.permitted).count() as u64;
+        if grants > 0 {
+            self.grants.fetch_add(grants, Ordering::Relaxed);
+        }
+        if n > grants {
+            self.denials.fetch_add(n - grants, Ordering::Relaxed);
+        }
+        let batch: Vec<AuditRecord> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (ctx, decision))| AuditRecord {
+                seq: seq_base + i as u64,
+                principal: ctx.principal.clone(),
+                user: ctx.user.to_string(),
+                component: ctx.action.component.identifier(),
+                permitted: decision.permitted,
+                trace: decision
+                    .trace
+                    .iter()
+                    .map(|(name, v)| {
+                        let summary = match v {
+                            Verdict::Grant => "grant".to_string(),
+                            Verdict::Abstain => "abstain".to_string(),
+                            Verdict::Deny(r) => format!("deny: {r}"),
+                        };
+                        (name.clone(), summary)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut records = self.records.lock();
+        for rec in batch {
+            if records.len() == self.capacity {
+                records.pop_front();
+            }
+            records.push_back(rec);
+        }
+        seq_base
+    }
+
     /// The most recent `n` records, oldest first.
     pub fn recent(&self, n: usize) -> Vec<AuditRecord> {
         let records = self.records.lock();
@@ -156,6 +204,19 @@ impl AuditedStack {
             self.log.set_cache_stats(stats);
         }
         decision
+    }
+
+    /// Decides a burst and records it with batched counters
+    /// ([`AuditLog::record_batch`]).
+    pub fn decide_batch(&self, ctxs: &[AuthzContext]) -> Vec<StackDecision> {
+        let decisions = self.stack.decide_batch(ctxs);
+        let entries: Vec<(&AuthzContext, &StackDecision)> =
+            ctxs.iter().zip(decisions.iter()).collect();
+        self.log.record_batch(&entries);
+        if let Some(stats) = self.stack.cache_stats() {
+            self.log.set_cache_stats(stats);
+        }
+        decisions
     }
 }
 

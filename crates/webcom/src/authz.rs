@@ -10,12 +10,13 @@
 use crate::cache::{decision_fingerprint, CacheKey, CacheStats, DecisionCache};
 use hetsec_keynote::ast::Assertion;
 use hetsec_keynote::eval::ActionAttributes;
-use hetsec_keynote::session::{KeyNoteSession, SessionError};
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession, SessionError};
 use hetsec_middleware::component::ComponentRef;
 use hetsec_rbac::{Domain, Permission, Role};
 use hetsec_translate::APP_DOMAIN;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// A mediated WebCom action: schedule/execute a component under a
 /// (domain, role) pair.
@@ -98,7 +99,7 @@ const DEFAULT_CACHE_CAPACITY: usize = 1024;
 /// ```
 pub struct AuthzRequest<'a> {
     principals: Vec<&'a str>,
-    attrs: ActionAttributes,
+    attrs: Cow<'a, ActionAttributes>,
     credentials: &'a [Assertion],
 }
 
@@ -107,7 +108,7 @@ impl<'a> AuthzRequest<'a> {
     pub fn principal(principal: &'a str) -> Self {
         AuthzRequest {
             principals: vec![principal],
-            attrs: ActionAttributes::new(),
+            attrs: Cow::Owned(ActionAttributes::new()),
             credentials: &[],
         }
     }
@@ -117,7 +118,7 @@ impl<'a> AuthzRequest<'a> {
     pub fn principals(principals: &[&'a str]) -> Self {
         AuthzRequest {
             principals: principals.to_vec(),
-            attrs: ActionAttributes::new(),
+            attrs: Cow::Owned(ActionAttributes::new()),
             credentials: &[],
         }
     }
@@ -126,14 +127,23 @@ impl<'a> AuthzRequest<'a> {
     /// set: `app_domain`, `Domain`, `Role`, `ObjectType`, `Permission`,
     /// `component`, `middleware`).
     pub fn action(mut self, action: &ScheduledAction) -> Self {
-        self.attrs = action.attributes();
+        self.attrs = Cow::Owned(action.attributes());
         self
     }
 
     /// Asks about an arbitrary attribute set (escape hatch for callers
     /// that build their own attributes, e.g. KeyCom's admin checks).
     pub fn attributes(mut self, attrs: ActionAttributes) -> Self {
-        self.attrs = attrs;
+        self.attrs = Cow::Owned(attrs);
+        self
+    }
+
+    /// Borrows an attribute set the caller keeps alive. Batch producers
+    /// should prefer this: requests sharing one borrowed attribute set
+    /// are recognised as coincident by [`TrustManager::decide_batch`]
+    /// (one fingerprint, one fixpoint pass) where owned copies are not.
+    pub fn attributes_ref(mut self, attrs: &'a ActionAttributes) -> Self {
+        self.attrs = Cow::Borrowed(attrs);
         self
     }
 
@@ -149,6 +159,19 @@ impl<'a> AuthzRequest<'a> {
     /// The comma-joined principal list (cache key component).
     fn principal_key(&self) -> String {
         self.principals.join(",")
+    }
+
+    /// True when `other` presents the same attribute set (by address —
+    /// only borrowed sets can match) and the same credential slice, so
+    /// its fingerprint can be reused without rehashing.
+    fn shares_inputs(&self, other: &AuthzRequest<'_>) -> bool {
+        let same_attrs = match (&self.attrs, &other.attrs) {
+            (Cow::Borrowed(a), Cow::Borrowed(b)) => std::ptr::eq(*a, *b),
+            _ => false,
+        };
+        same_attrs
+            && std::ptr::eq(self.credentials.as_ptr(), other.credentials.as_ptr())
+            && self.credentials.len() == other.credentials.len()
     }
 }
 
@@ -201,25 +224,86 @@ impl TrustManager {
         self.session.write().add_credentials(text)
     }
 
-    /// Answers one [`AuthzRequest`]. Decisions are served from the
-    /// cache when one exists for the current session epoch; the read
-    /// lock is held across the epoch read, evaluation and insert, so a
-    /// concurrent mutation can never produce an entry that outlives it.
+    /// Answers one [`AuthzRequest`]: a batch of one through
+    /// [`decide_batch`](Self::decide_batch).
     pub fn decide(&self, request: &AuthzRequest<'_>) -> bool {
-        let key = CacheKey {
-            principal: request.principal_key(),
-            fingerprint: decision_fingerprint(&request.attrs, request.credentials, ""),
-        };
+        self.decide_batch(std::slice::from_ref(request))[0]
+    }
+
+    /// Answers a burst of [`AuthzRequest`]s in one run. The session
+    /// read lock is taken once and held across the epoch read, all
+    /// evaluations and the cache refill, so a concurrent mutation can
+    /// never produce an entry that outlives it; each cache shard's lock
+    /// is taken at most once for the lookups and once for the inserts.
+    /// A request that is *fully* coincident with its predecessor (same
+    /// principals, same borrowed attribute set, same credential slice)
+    /// shares the predecessor's representative outright — one key, one
+    /// cache probe, one verdict for the whole run; a request sharing
+    /// only inputs reuses the fingerprint hash. Cache misses are sorted
+    /// by (principal, fingerprint) before evaluation so coincident
+    /// requests sit adjacent and collapse into a single fixpoint pass
+    /// inside the session's batch evaluator. Results are positionally
+    /// aligned with `requests` and identical to calling
+    /// [`decide`](Self::decide) per request.
+    pub fn decide_batch(&self, requests: &[AuthzRequest<'_>]) -> Vec<bool> {
+        // rep[i] = dense index of the representative request whose key
+        // (and therefore verdict) request i shares.
+        let mut rep: Vec<usize> = Vec::with_capacity(requests.len());
+        let mut keys: Vec<CacheKey> = Vec::new();
+        let mut rep_req: Vec<usize> = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let fingerprint = if i > 0 && r.shares_inputs(&requests[i - 1]) {
+                let prev = rep[i - 1];
+                if r.principals == requests[i - 1].principals {
+                    rep.push(prev);
+                    continue;
+                }
+                keys[prev].fingerprint
+            } else {
+                decision_fingerprint(&r.attrs, r.credentials, "")
+            };
+            keys.push(CacheKey {
+                principal: r.principal_key(),
+                fingerprint,
+            });
+            rep_req.push(i);
+            rep.push(keys.len() - 1);
+        }
         let session = self.session.read();
         let epoch = session.epoch();
-        if let Some(permitted) = self.cache.get(&key, epoch) {
-            return permitted;
+        let cached = self.cache.get_many(&keys, epoch);
+        let mut verdicts: Vec<bool> = cached.iter().map(|c| c.unwrap_or(false)).collect();
+        let mut miss_idx: Vec<usize> = cached
+            .iter()
+            .enumerate()
+            .filter_map(|(k, c)| c.is_none().then_some(k))
+            .collect();
+        if !miss_idx.is_empty() {
+            miss_idx.sort_by(|&a, &b| {
+                keys[a]
+                    .principal
+                    .cmp(&keys[b].principal)
+                    .then(keys[a].fingerprint.cmp(&keys[b].fingerprint))
+            });
+            let queries: Vec<ActionQuery<'_>> = miss_idx
+                .iter()
+                .map(|&k| {
+                    let r = &requests[rep_req[k]];
+                    ActionQuery::principals(&r.principals)
+                        .attributes(&r.attrs)
+                        .extra(r.credentials)
+                })
+                .collect();
+            let results = session.evaluate_batch(&queries);
+            let mut inserts: Vec<(CacheKey, bool)> = Vec::with_capacity(miss_idx.len());
+            for (&k, result) in miss_idx.iter().zip(results) {
+                let permitted = result.is_authorized();
+                verdicts[k] = permitted;
+                inserts.push((keys[k].clone(), permitted));
+            }
+            self.cache.insert_many(inserts, epoch);
         }
-        let permitted = session
-            .query_action_with_extra(&request.principals, &request.attrs, request.credentials)
-            .is_authorized();
-        self.cache.insert(key, epoch, permitted);
-        permitted
+        rep.iter().map(|&k| verdicts[k]).collect()
     }
 
     /// The underlying session's mutation epoch: rises whenever policies,

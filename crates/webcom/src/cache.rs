@@ -90,10 +90,14 @@ impl DecisionCache {
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry>> {
+    fn shard_index(key: &CacheKey) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        (h.finish() as usize) % SHARDS
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry>> {
+        &self.shards[Self::shard_index(key)]
     }
 
     /// Looks up a decision computed under exactly `epoch`. A stale entry
@@ -142,6 +146,91 @@ impl DecisionCache {
             }
         }
         shard.insert(key, Entry { epoch, permitted, last_used });
+    }
+
+    /// Batched [`get`](Self::get): looks up every key, taking each
+    /// shard's lock at most once per run. Results are positionally
+    /// aligned with `keys`; counters are flushed to the shared atomics
+    /// once per shard rather than once per lookup.
+    pub fn get_many(&self, keys: &[CacheKey], epoch: u64) -> Vec<Option<bool>> {
+        let mut out = vec![None; keys.len()];
+        // Group lookups by shard so each lock is taken once.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[Self::shard_index(key)].push(i);
+        }
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut invalidations = 0u64;
+        let mut ticks = 0u64;
+        let tick_base = self.tick.load(Ordering::Relaxed);
+        for (si, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[si].lock();
+            for &i in idxs {
+                let key = &keys[i];
+                match shard.get_mut(key) {
+                    Some(entry) if entry.epoch == epoch => {
+                        entry.last_used = tick_base + ticks;
+                        ticks += 1;
+                        hits += 1;
+                        out[i] = Some(entry.permitted);
+                    }
+                    Some(_) => {
+                        shard.remove(key);
+                        invalidations += 1;
+                        misses += 1;
+                    }
+                    None => misses += 1,
+                }
+            }
+        }
+        self.tick.fetch_add(ticks, Ordering::Relaxed);
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.invalidations.fetch_add(invalidations, Ordering::Relaxed);
+        out
+    }
+
+    /// Batched [`insert`](Self::insert): stores every decision, taking
+    /// each shard's lock at most once per run. Same epoch discipline as
+    /// the single-entry form: read the epoch before evaluating.
+    pub fn insert_many(&self, entries: Vec<(CacheKey, bool)>, epoch: u64) {
+        let n = entries.len() as u64;
+        if n == 0 {
+            return;
+        }
+        let tick_base = self.tick.fetch_add(n, Ordering::Relaxed);
+        let mut by_shard: Vec<Vec<(CacheKey, bool, u64)>> = vec![Vec::new(); SHARDS];
+        for (i, (key, permitted)) in entries.into_iter().enumerate() {
+            let si = Self::shard_index(&key);
+            by_shard[si].push((key, permitted, tick_base + i as u64));
+        }
+        let mut evictions = 0u64;
+        for (si, batch) in by_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[si].lock();
+            for (key, permitted, last_used) in batch {
+                if shard.len() >= self.capacity_per_shard && !shard.contains_key(&key) {
+                    if let Some(victim) = shard
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone())
+                    {
+                        shard.remove(&victim);
+                        evictions += 1;
+                    }
+                }
+                shard.insert(key, Entry { epoch, permitted, last_used });
+            }
+        }
+        if evictions > 0 {
+            self.evictions.fetch_add(evictions, Ordering::Relaxed);
+        }
     }
 
     /// Number of live entries (any epoch).

@@ -52,7 +52,7 @@ pub use executor::MiddlewareExecutor;
 pub use health::{BreakerState, ClientHealth, HealthConfig, HealthSnapshot};
 pub use ide::{interrogate, resolve_spec, Combo, ComponentPalette, PaletteEntry, PartialSpec};
 pub use keycom::{KeyComError, KeyComService, PolicyUpdateRequest};
-pub use master::{Binding, MasterStats, RetryPolicy, WebComMaster};
+pub use master::{Binding, BurstOp, MasterStats, RetryPolicy, WebComMaster};
 pub use net::{serve_tcp, TcpClientServer};
 pub use protocol::{
     ArithComponentExecutor, ClientIdentity, ComponentExecutor, ExecError, ExecErrorKind,

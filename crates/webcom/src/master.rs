@@ -101,6 +101,21 @@ pub struct Binding {
     pub principal: String,
 }
 
+/// One operation of a burst handed to
+/// [`WebComMaster::schedule_burst`]: the per-op arguments of
+/// [`WebComMaster::schedule`], owned so a burst can be built up front.
+#[derive(Clone, Debug)]
+pub struct BurstOp {
+    /// The action to schedule.
+    pub action: ScheduledAction,
+    /// The executing user.
+    pub user: User,
+    /// The requesting principal's key text.
+    pub principal: String,
+    /// Operand values for the component.
+    pub args: Vec<Value>,
+}
+
 /// How the master retries retryable failures on one client before
 /// failing over to the next.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -382,29 +397,80 @@ impl WebComMaster {
         principal: &str,
         args: Vec<Value>,
     ) -> ExecOutcome {
-        let op_id = self.op_counter.fetch_add(1, Ordering::Relaxed);
-        let targets: Vec<Target> = {
+        self.schedule_burst(vec![BurstOp {
+            action: action.clone(),
+            user: user.clone(),
+            principal: principal.to_string(),
+            args,
+        }])
+        .pop()
+        .expect("burst of one yields one outcome")
+    }
+
+    /// Schedules a whole burst of operations, pre-authorising every
+    /// (client × operation) pair in a single
+    /// [`TrustManager::decide_batch`] call before any dispatch begins —
+    /// the client registry is read once and each trust-cache shard lock
+    /// is taken once for the whole burst, instead of once per
+    /// operation. Operations are then dispatched in order, each through
+    /// the same health-ordered retry/failover loop as
+    /// [`schedule`](Self::schedule); outcomes are positionally aligned
+    /// with `ops`.
+    pub fn schedule_burst(&self, ops: Vec<BurstOp>) -> Vec<ExecOutcome> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let per_op_targets: Vec<Vec<Target>> = {
             let clients = self.clients.read();
-            clients
-                .iter()
-                .filter(|c| {
-                    c.domains.contains(&action.domain)
-                        && self
-                            .client_trust
-                            .decide(&AuthzRequest::principal(&c.key_text).action(action))
-                })
-                .map(|c| Target {
-                    transport: Arc::clone(&c.transport),
-                    health: Arc::clone(&c.health),
-                })
-                .collect()
+            // One attribute set per op, lent to every client's request:
+            // requests for the same op share the set by address, so the
+            // trust manager hashes one fingerprint per op and collapses
+            // op-coincident evaluations into one fixpoint pass.
+            let attr_sets: Vec<_> = ops.iter().map(|op| op.action.attributes()).collect();
+            let mut requests: Vec<AuthzRequest<'_>> = Vec::new();
+            let mut slots: Vec<(usize, usize)> = Vec::new();
+            for (oi, op) in ops.iter().enumerate() {
+                for (ci, c) in clients.iter().enumerate() {
+                    if c.domains.contains(&op.action.domain) {
+                        requests.push(
+                            AuthzRequest::principal(&c.key_text).attributes_ref(&attr_sets[oi]),
+                        );
+                        slots.push((oi, ci));
+                    }
+                }
+            }
+            let verdicts = self.client_trust.decide_batch(&requests);
+            let mut targets: Vec<Vec<Target>> = ops.iter().map(|_| Vec::new()).collect();
+            for ((oi, ci), authorised) in slots.into_iter().zip(verdicts) {
+                if authorised {
+                    let c = &clients[ci];
+                    targets[oi].push(Target {
+                        transport: Arc::clone(&c.transport),
+                        health: Arc::clone(&c.health),
+                    });
+                }
+            }
+            targets
         };
+        ops.into_iter()
+            .zip(per_op_targets)
+            .map(|(op, targets)| {
+                let op_id = self.op_counter.fetch_add(1, Ordering::Relaxed);
+                self.schedule_on(op_id, op, targets)
+            })
+            .collect()
+    }
+
+    /// Dispatches one already-authorised operation: health-ordered
+    /// target selection, request construction, and the retry/failover
+    /// loop.
+    fn schedule_on(&self, op_id: u64, op: BurstOp, targets: Vec<Target>) -> ExecOutcome {
         if targets.is_empty() {
             self.stats.lock().unschedulable += 1;
             return ExecOutcome::Denied(format!(
                 "no authorised client for {} in {}",
-                action.component.identifier(),
-                action.domain
+                op.action.component.identifier(),
+                op.action.domain
             ));
         }
         // Health-ordered selection: healthiest first; the sort is
@@ -417,12 +483,12 @@ impl WebComMaster {
         let targets: Vec<Target> = keyed.into_iter().map(|(_, t)| t).collect();
         let request = ScheduleRequest {
             op_id,
-            action: action.clone(),
-            user: user.clone(),
-            principal: principal.to_string(),
+            action: op.action,
+            user: op.user,
+            principal: op.principal,
             master_key: self.key_text.clone(),
             credentials: self.forwarded_credentials.read().clone(),
-            args,
+            args: op.args,
         };
         let _gauge = GaugeGuard::new(&self.in_flight);
         self.dispatch(&request, &targets)

@@ -16,6 +16,7 @@
 
 use crate::authz::{AuthzRequest, ScheduledAction, TrustManager};
 use crate::cache::{decision_fingerprint, CacheKey, CacheStats, DecisionCache};
+use hetsec_keynote::eval::ActionAttributes;
 use hetsec_middleware::security::MiddlewareSecurity;
 use hetsec_os::unix::{UnixAccess, UnixSecurity};
 use hetsec_os::windows::{AccessMask, WindowsSecurity};
@@ -97,6 +98,16 @@ pub trait AuthzLayer: Send + Sync {
 
     /// The layer's verdict for a request.
     fn decide(&self, ctx: &AuthzContext) -> Verdict;
+
+    /// The layer's verdicts for a burst of requests, positionally
+    /// aligned with `ctxs`. The default consults
+    /// [`decide`](Self::decide) per request; layers with batch-aware
+    /// backends (trust management) override it to amortise lock
+    /// acquisition and evaluation setup across the burst. Overrides
+    /// must be element-wise equivalent to the sequential default.
+    fn decide_batch(&self, ctxs: &[&AuthzContext]) -> Vec<Verdict> {
+        ctxs.iter().map(|c| self.decide(c)).collect()
+    }
 
     /// Version of the layer's decision-relevant state. A layer whose
     /// verdicts can change over time (e.g. trust management as
@@ -201,72 +212,141 @@ impl AuthzStack {
         self.layers.is_empty()
     }
 
-    /// Evaluates the stack for a request, consulting the decision cache
-    /// first when one is configured. The combined epoch is read *before*
-    /// the layers run, so a mutation racing with the evaluation leaves
-    /// the cached entry stale rather than wrong.
+    /// Evaluates the stack for one request: a batch of one through
+    /// [`decide_batch`](Self::decide_batch).
     pub fn decide(&self, ctx: &AuthzContext) -> StackDecision {
-        let Some(cache) = &self.cache else {
-            return self.evaluate(ctx);
-        };
-        let key = CacheKey {
-            principal: ctx.principal.clone(),
-            fingerprint: decision_fingerprint(
-                &ctx.action.attributes(),
-                &ctx.credentials,
-                &format!("{}\u{0}{:?}", ctx.user, self.rule),
-            ),
-        };
-        let epoch = self.combined_epoch();
-        if let Some(permitted) = cache.get(&key, epoch) {
-            let verdict = if permitted {
-                Verdict::Grant
-            } else {
-                Verdict::Deny("cached stack denial".to_string())
-            };
-            return StackDecision {
-                permitted,
-                trace: vec![("cache".to_string(), verdict)],
-            };
-        }
-        let decision = self.evaluate(ctx);
-        cache.insert(key, epoch, decision.permitted);
-        decision
+        self.decide_batch(std::slice::from_ref(ctx))
+            .pop()
+            .expect("batch of one yields one decision")
     }
 
-    fn evaluate(&self, ctx: &AuthzContext) -> StackDecision {
-        let mut trace = Vec::with_capacity(self.layers.len());
-        let mut grants = 0usize;
-        let mut denied = false;
-        let mut first_opinion: Option<bool> = None;
+    /// Evaluates the stack for a burst of requests, consulting the
+    /// decision cache first when one is configured. The combined epoch
+    /// is read once *before* any layer runs, so a mutation racing with
+    /// the evaluation leaves cached entries stale rather than wrong;
+    /// cache lookups and refills take each shard's lock at most once
+    /// per burst, and every layer sees the still-undecided requests as
+    /// one [`AuthzLayer::decide_batch`] call. Results are positionally
+    /// aligned with `ctxs` and identical to deciding each request on
+    /// its own.
+    pub fn decide_batch(&self, ctxs: &[AuthzContext]) -> Vec<StackDecision> {
+        let Some(cache) = &self.cache else {
+            let refs: Vec<&AuthzContext> = ctxs.iter().collect();
+            return self.evaluate_batch(&refs);
+        };
+        let keys: Vec<CacheKey> = ctxs
+            .iter()
+            .map(|ctx| CacheKey {
+                principal: ctx.principal.clone(),
+                fingerprint: decision_fingerprint(
+                    &ctx.action.attributes(),
+                    &ctx.credentials,
+                    &format!("{}\u{0}{:?}", ctx.user, self.rule),
+                ),
+            })
+            .collect();
+        let epoch = self.combined_epoch();
+        let cached = cache.get_many(&keys, epoch);
+        let mut out: Vec<Option<StackDecision>> = cached
+            .iter()
+            .map(|c| {
+                c.map(|permitted| StackDecision {
+                    permitted,
+                    trace: vec![(
+                        "cache".to_string(),
+                        if permitted {
+                            Verdict::Grant
+                        } else {
+                            Verdict::Deny("cached stack denial".to_string())
+                        },
+                    )],
+                })
+            })
+            .collect();
+        let miss_idx: Vec<usize> = cached
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_none().then_some(i))
+            .collect();
+        if !miss_idx.is_empty() {
+            let miss_ctxs: Vec<&AuthzContext> = miss_idx.iter().map(|&i| &ctxs[i]).collect();
+            let decisions = self.evaluate_batch(&miss_ctxs);
+            let mut inserts: Vec<(CacheKey, bool)> = Vec::with_capacity(miss_idx.len());
+            for (&i, decision) in miss_idx.iter().zip(decisions) {
+                inserts.push((keys[i].clone(), decision.permitted));
+                out[i] = Some(decision);
+            }
+            cache.insert_many(inserts, epoch);
+        }
+        out.into_iter()
+            .map(|d| d.expect("every request decided"))
+            .collect()
+    }
+
+    fn evaluate_batch(&self, ctxs: &[&AuthzContext]) -> Vec<StackDecision> {
+        struct Acc {
+            trace: Vec<(String, Verdict)>,
+            grants: usize,
+            denied: bool,
+            first_opinion: Option<bool>,
+        }
+        let mut accs: Vec<Acc> = ctxs
+            .iter()
+            .map(|_| Acc {
+                trace: Vec::with_capacity(self.layers.len()),
+                grants: 0,
+                denied: false,
+                first_opinion: None,
+            })
+            .collect();
+        // Requests a layer still needs to see. Under FirstOpinion the
+        // decision is fixed by the highest non-abstaining layer, so a
+        // decided request drops out of the burst handed to lower
+        // layers; the other rules consult every layer for every
+        // request.
+        let mut live: Vec<usize> = (0..ctxs.len()).collect();
         for layer in &self.layers {
-            // Under FirstOpinion the decision is fixed by the highest
-            // non-abstaining layer; lower layers are not consulted.
-            if self.rule == CombinationRule::FirstOpinion && first_opinion.is_some() {
+            if live.is_empty() {
                 break;
             }
-            let v = layer.decide(ctx);
-            match &v {
-                Verdict::Grant => {
-                    grants += 1;
-                    first_opinion.get_or_insert(true);
+            let burst: Vec<&AuthzContext> = live.iter().map(|&i| ctxs[i]).collect();
+            let verdicts = layer.decide_batch(&burst);
+            debug_assert_eq!(verdicts.len(), burst.len());
+            let name = layer.name();
+            for (&i, v) in live.iter().zip(verdicts) {
+                let acc = &mut accs[i];
+                match &v {
+                    Verdict::Grant => {
+                        acc.grants += 1;
+                        acc.first_opinion.get_or_insert(true);
+                    }
+                    Verdict::Deny(_) => {
+                        acc.denied = true;
+                        acc.first_opinion.get_or_insert(false);
+                    }
+                    Verdict::Abstain => {}
                 }
-                Verdict::Deny(_) => {
-                    denied = true;
-                    first_opinion.get_or_insert(false);
-                }
-                Verdict::Abstain => {}
+                acc.trace.push((name.clone(), v));
             }
-            trace.push((layer.name(), v));
+            if self.rule == CombinationRule::FirstOpinion {
+                live.retain(|&i| accs[i].first_opinion.is_none());
+            }
         }
-        let permitted = match self.rule {
-            CombinationRule::AllPresentMustGrant => !denied && grants > 0,
-            CombinationRule::Conjunctive => {
-                !denied && grants == self.layers.len() && !self.layers.is_empty()
-            }
-            CombinationRule::FirstOpinion => first_opinion.unwrap_or(false),
-        };
-        StackDecision { permitted, trace }
+        accs.into_iter()
+            .map(|acc| {
+                let permitted = match self.rule {
+                    CombinationRule::AllPresentMustGrant => !acc.denied && acc.grants > 0,
+                    CombinationRule::Conjunctive => {
+                        !acc.denied && acc.grants == self.layers.len() && !self.layers.is_empty()
+                    }
+                    CombinationRule::FirstOpinion => acc.first_opinion.unwrap_or(false),
+                };
+                StackDecision {
+                    permitted,
+                    trace: acc.trace,
+                }
+            })
+            .collect()
     }
 }
 
@@ -317,6 +397,39 @@ impl AuthzLayer for TrustLayer {
                 ctx.action.component.identifier()
             ))
         }
+    }
+
+    fn decide_batch(&self, ctxs: &[&AuthzContext]) -> Vec<Verdict> {
+        // Attribute sets are materialised once per request and lent to
+        // the trust manager, which answers the whole burst under one
+        // session lock / one cache pass.
+        let attr_sets: Vec<ActionAttributes> =
+            ctxs.iter().map(|c| c.action.attributes()).collect();
+        let requests: Vec<AuthzRequest<'_>> = ctxs
+            .iter()
+            .zip(&attr_sets)
+            .map(|(c, attrs)| {
+                AuthzRequest::principal(&c.principal)
+                    .attributes_ref(attrs)
+                    .credentials(&c.credentials)
+            })
+            .collect();
+        self.tm
+            .decide_batch(&requests)
+            .into_iter()
+            .zip(ctxs)
+            .map(|(permitted, c)| {
+                if permitted {
+                    Verdict::Grant
+                } else {
+                    Verdict::Deny(format!(
+                        "KeyNote: {} not authorised for {}",
+                        c.principal,
+                        c.action.component.identifier()
+                    ))
+                }
+            })
+            .collect()
     }
 
     fn epoch(&self) -> u64 {

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use hetsec_keynote::print::print_assertion;
-use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
 use hetsec_rbac::fixtures::salaries_policy;
 use hetsec_rbac::{DomainRole, User};
 use hetsec_translate::{delegate_role, encode_policy, SymbolicDirectory, APP_DOMAIN};
@@ -77,7 +77,7 @@ fn main() {
         ]
         .into_iter()
         .collect();
-        let result = session.query_action(&[key], &attrs);
+        let result = session.evaluate(&ActionQuery::principals(&[key]).attributes(&attrs));
         println!(
             "  {key:9} as {domain}/{role:9} {permission:5} on SalariesDB -> {}",
             result.value_name
@@ -95,7 +95,7 @@ fn main() {
         ]
         .into_iter()
         .collect();
-        session.query_action(&[key], &attrs).is_authorized()
+        session.evaluate(&ActionQuery::principals(&[key]).attributes(&attrs)).is_authorized()
     };
     assert!(check("Kbob", "Finance", "Manager", "read"));
     assert!(check("Kbob", "Finance", "Manager", "write"));

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example spki_backend`
 
-use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
 use hetsec_rbac::fixtures::salaries_policy;
 use hetsec_rbac::{DomainRole, User};
 use hetsec_spki::{authorize, delegate_role_spki, encode_rbac, rbac::request, user_key};
@@ -75,7 +75,7 @@ fn main() {
                 .into_iter()
                 .collect();
                 let key = format!("K{}", user.to_lowercase());
-                let kn_says = kn.query_action(&[key.as_str()], &attrs).is_authorized();
+                let kn_says = kn.evaluate(&ActionQuery::principals(&[key.as_str()]).attributes(&attrs)).is_authorized();
                 let spki_says = spki.check(
                     &user.into(),
                     &dr.0.into(),

@@ -25,4 +25,12 @@ for fig in fig2_query_latency fig3_sched_throughput; do
     CRITERION_JSON="${PWD}/${out}" cargo bench -q --bench "${fig}"
 done
 
+# The fig2 summary must carry the batch-first decision series alongside
+# the single-shot ones — the batch path's perf claim is only checkable
+# if every batch size lands in the JSON.
+for series in decision_batched_b1 decision_batched_b16 decision_batched_b256; do
+    grep -q "\"id\": \"fig2_query_latency/${series}\"" BENCH_fig2.json \
+        || { echo "bench.sh: BENCH_fig2.json is missing the ${series} series"; exit 1; }
+done
+
 echo "bench.sh: wrote BENCH_fig2.json BENCH_fig3.json"

@@ -26,6 +26,10 @@ $LINT lint fixtures/defects.kn --rbac fixtures/defects.rbac.json \
     --now 200 --revoked Kdave --format json | diff -u fixtures/defects.golden.json - \
     || { echo "defects.kn lint output drifted from fixtures/defects.golden.json"; exit 1; }
 
+echo "== batch-equivalence smoke (decide_batch === per-request decide) =="
+timeout 120 cargo test -q --test batch_equivalence
+timeout 120 cargo test -q --test hotpath_equivalence -- batch
+
 echo "== clippy (-D warnings): whole workspace, all targets =="
 cargo clippy --no-deps --workspace --all-targets -- -D warnings
 

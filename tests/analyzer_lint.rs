@@ -138,6 +138,22 @@ fn decode_report_roundtrips_through_the_analyzer() {
     }
 }
 
+#[test]
+fn escalation_findings_are_deterministic_across_runs() {
+    // The escalation pass fans the user × tuple sweep out with rayon;
+    // findings must come back in the same order on every run regardless
+    // of scheduling. Run the full defect lint repeatedly and require
+    // byte-identical reports.
+    let text = fixture("defects.kn");
+    let opts = defect_options();
+    let baseline = format!("{}", analyze_text(&text, &opts).expect("fixture parses"));
+    assert!(baseline.contains("HS004"), "sweep must produce escalation findings");
+    for run in 1..4 {
+        let report = format!("{}", analyze_text(&text, &opts).expect("fixture parses"));
+        assert_eq!(baseline, report, "run {run} reordered findings");
+    }
+}
+
 // ---- random delegation DAGs (deterministic splitmix64 harness) ----
 
 struct Rng(u64);

@@ -3,7 +3,7 @@
 //! and never silent grants.
 
 use hetsec_keynote::parser::{parse_assertion, parse_assertions};
-use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
 use hetsec_middleware::naming::MiddlewareKind;
 use hetsec_middleware::security::{Decision, MiddlewareError, MiddlewareSecurity};
 use hetsec_rbac::{
@@ -181,8 +181,8 @@ fn keynote_regex_pathological_patterns_terminate() {
     )
     .unwrap();
     let attrs = [("x", "aaaaaaaaaaaaaaaaaaaac")].into_iter().collect();
-    let r = s.query_action(&["Ka"], &attrs);
+    let r = s.evaluate(&ActionQuery::principals(&["Ka"]).attributes(&attrs));
     assert!(!r.is_authorized());
     let attrs = [("x", "aaaaب")].into_iter().collect();
-    assert!(!s.query_action(&["Ka"], &attrs).is_authorized());
+    assert!(!s.evaluate(&ActionQuery::principals(&["Ka"]).attributes(&attrs)).is_authorized());
 }

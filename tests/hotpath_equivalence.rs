@@ -11,7 +11,7 @@
 use hetsec_crypto::bigint::{Montgomery, U512};
 use hetsec_keynote::ast::Assertion;
 use hetsec_keynote::parser::parse_assertions;
-use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
 use hetsec_keynote::signing::sign_assertion;
 use hetsec_keynote::ActionAttributes;
 use hetsec_crypto::KeyPair;
@@ -206,8 +206,8 @@ fn compiled_evaluation_matches_interpreter_on_random_stores() {
             ]
             .into_iter()
             .collect();
-            let compiled = session.query_action(&[who], &attrs);
-            let interpreted = session.query_action_interpreted(&[who], &attrs, &[]);
+            let compiled = session.evaluate(&ActionQuery::principals(&[who]).attributes(&attrs));
+            let interpreted = session.evaluate(&ActionQuery::principals(&[who]).attributes(&attrs).interpreted());
             assert_eq!(
                 compiled.value, interpreted.value,
                 "case {case}: verdict diverged for {who} over:\n{text}"
@@ -236,13 +236,82 @@ fn compiled_evaluation_matches_interpreter_with_extra_credentials() {
         let extra_text = format!("Authorizer: \"{from}\"\nLicensees: \"Kx\"\n");
         let extra: Vec<Assertion> = parse_assertions(&extra_text).unwrap();
         let attrs: ActionAttributes = [("oper", "read"), ("level", "3")].into_iter().collect();
-        let compiled = session.query_action_with_extra(&["Kx"], &attrs, &extra);
-        let interpreted = session.query_action_interpreted(&["Kx"], &attrs, &extra);
+        let compiled = session.evaluate(&ActionQuery::principals(&["Kx"]).attributes(&attrs).extra(&extra));
+        let interpreted = session.evaluate(&ActionQuery::principals(&["Kx"]).attributes(&attrs).extra(&extra).interpreted());
         assert_eq!(
             compiled.value, interpreted.value,
             "case {case}: extra-credential verdict diverged over:\n{text}"
         );
     }
+}
+
+#[test]
+fn batch_evaluation_matches_sequential_on_random_stores() {
+    const PRINCIPALS: [&str; 6] = ["Ka", "Kb", "Kc", "Kd", "Ke", "Kf"];
+    const OPS: [&str; 4] = ["read", "write", "grant", "delete"];
+    let mut rng = Rng::new(0x4b65_794e_6f74_6503);
+    let mut checked = 0usize;
+    for case in 0..80 {
+        let text = random_policy_text(&mut rng);
+        let mut session = KeyNoteSession::permissive();
+        if session.add_policy(&text).is_err() {
+            continue;
+        }
+        if rng.below(4) == 0 {
+            session.revoke_key(PRINCIPALS[rng.below(PRINCIPALS.len())]);
+        }
+        // A mixed batch: varied principals and attribute sets, some
+        // items carrying request-scoped credentials, some forced onto
+        // the interpreted path, and occasional coincident repeats of
+        // the predecessor (same borrowed attrs — the collapse case).
+        let extra_text = format!(
+            "Authorizer: \"{}\"\nLicensees: \"Kx\"\n",
+            PRINCIPALS[rng.below(3)]
+        );
+        let extra: Vec<Assertion> = parse_assertions(&extra_text).unwrap();
+        let n = rng.below(12) + 2;
+        let attr_sets: Vec<ActionAttributes> = (0..n)
+            .map(|_| {
+                [
+                    ("oper", OPS[rng.below(OPS.len())].to_string()),
+                    ("level", rng.below(12).to_string()),
+                ]
+                .into_iter()
+                .collect()
+            })
+            .collect();
+        let mut queries: Vec<ActionQuery<'_>> = Vec::with_capacity(n);
+        for i in 0..n {
+            if i > 0 && rng.below(4) == 0 {
+                queries.push(queries[i - 1]);
+                continue;
+            }
+            let mut q = ActionQuery::principal(PRINCIPALS[rng.below(PRINCIPALS.len())])
+                .attributes(&attr_sets[i]);
+            if rng.below(3) == 0 {
+                q = q.extra(&extra);
+            }
+            if rng.below(4) == 0 {
+                q = q.interpreted();
+            }
+            queries.push(q);
+        }
+        let batch = session.evaluate_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let single = session.evaluate(q);
+            assert_eq!(
+                batch[i].value, single.value,
+                "case {case} item {i}: batch verdict diverged over:\n{text}"
+            );
+            assert_eq!(
+                batch[i].value_name, single.value_name,
+                "case {case} item {i}: value name diverged"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 200, "generator degenerated: only {checked} cases");
 }
 
 // ---- Memoized signature verdicts vs revocation ----
@@ -266,17 +335,17 @@ fn memoized_signature_verdict_does_not_defeat_revocation() {
     // Warm the verdict memo, then revoke the signer: both the compiled
     // and the interpreted path must flip to denied, while the memoized
     // verdict keeps being served (no new misses).
-    assert!(session.query_action_with_extra(&["Kworker"], &attrs, extra).is_authorized());
-    assert!(session.query_action_with_extra(&["Kworker"], &attrs, extra).is_authorized());
+    assert!(session.evaluate(&ActionQuery::principals(&["Kworker"]).attributes(&attrs).extra(extra)).is_authorized());
+    assert!(session.evaluate(&ActionQuery::principals(&["Kworker"]).attributes(&attrs).extra(extra)).is_authorized());
     let warm = session.verify_cache_stats();
     assert!(warm.hits >= 1);
     session.revoke_key(&key_text);
-    assert!(!session.query_action_with_extra(&["Kworker"], &attrs, extra).is_authorized());
-    assert!(!session.query_action_interpreted(&["Kworker"], &attrs, extra).is_authorized());
+    assert!(!session.evaluate(&ActionQuery::principals(&["Kworker"]).attributes(&attrs).extra(extra)).is_authorized());
+    assert!(!session.evaluate(&ActionQuery::principals(&["Kworker"]).attributes(&attrs).extra(extra).interpreted()).is_authorized());
     assert_eq!(session.verify_cache_stats().misses, warm.misses);
 
     // Reinstating restores authority — with the verdict still memoized.
     session.reinstate_key(&key_text);
-    assert!(session.query_action_with_extra(&["Kworker"], &attrs, extra).is_authorized());
+    assert!(session.evaluate(&ActionQuery::principals(&["Kworker"]).attributes(&attrs).extra(extra)).is_authorized());
     assert_eq!(session.verify_cache_stats().misses, warm.misses);
 }

@@ -11,6 +11,7 @@ use hetsec_keynote::ast::{CmpOp, Expr, LicenseeExpr, Term};
 use hetsec_keynote::parser::{parse_expression, parse_licensees};
 use hetsec_keynote::print::{print_expr, print_licensees};
 use hetsec_keynote::regex::Regex;
+use hetsec_keynote::session::ActionQuery;
 use hetsec_rbac::policy::{PermissionGrant, RbacPolicy, RoleAssignment};
 use hetsec_translate::{decode_policy, encode_policy, SymbolicDirectory};
 
@@ -411,10 +412,10 @@ fn adding_credentials_is_monotone() {
                 .into_iter()
                 .collect();
                 let key = format!("K{}", asg.user.as_str().to_lowercase());
-                let before = base.query_action(&[key.as_str()], &attrs).is_authorized();
+                let before = base.evaluate(&ActionQuery::principals(&[key.as_str()]).attributes(&attrs)).is_authorized();
                 if before {
                     assert!(
-                        extended.query_action(&[key.as_str()], &attrs).is_authorized(),
+                        extended.evaluate(&ActionQuery::principals(&[key.as_str()]).attributes(&attrs)).is_authorized(),
                         "case {case}: user {key} lost access to {g}"
                     );
                 }

@@ -3,7 +3,7 @@
 
 use hetsec_crypto::KeyPair;
 use hetsec_keynote::ast::{Assertion, LicenseeExpr, Principal};
-use hetsec_keynote::session::{KeyNoteSession, SessionError};
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession, SessionError};
 use hetsec_keynote::signing::sign_assertion;
 use hetsec_rbac::fixtures::salaries_policy;
 use hetsec_rbac::User;
@@ -36,10 +36,10 @@ fn strict_end_to_end_with_signed_figure_1() {
     }
     let claire = dir.key_of(&User::new("Claire"));
     assert!(session
-        .query_action(&[claire.as_str()], &attrs("Sales", "Manager", "SalariesDB", "read"))
+        .evaluate(&ActionQuery::principals(&[claire.as_str()]).attributes(&attrs("Sales", "Manager", "SalariesDB", "read")))
         .is_authorized());
     assert!(!session
-        .query_action(&[claire.as_str()], &attrs("Sales", "Manager", "SalariesDB", "write"))
+        .evaluate(&ActionQuery::principals(&[claire.as_str()]).attributes(&attrs("Sales", "Manager", "SalariesDB", "write")))
         .is_authorized());
 }
 

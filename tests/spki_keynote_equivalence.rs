@@ -2,7 +2,7 @@
 //! KeyNote encoding and the SPKI/SDSI encoding of the same RBAC policy
 //! yield identical authorisation decisions, including under delegation.
 
-use hetsec_keynote::session::KeyNoteSession;
+use hetsec_keynote::session::{ActionQuery, KeyNoteSession};
 use hetsec_rbac::fixtures::{salaries_policy, synthetic_policy};
 use hetsec_rbac::{DomainRole, RbacPolicy, User};
 use hetsec_spki::{delegate_role_spki, encode_rbac};
@@ -28,7 +28,7 @@ fn keynote_check(s: &KeyNoteSession, user: &str, d: &str, r: &str, t: &str, p: &
     .into_iter()
     .collect();
     let key = format!("K{}", user.to_lowercase());
-    s.query_action(&[key.as_str()], &attrs).is_authorized()
+    s.evaluate(&ActionQuery::principals(&[key.as_str()]).attributes(&attrs)).is_authorized()
 }
 
 /// Enumerates every (user, domain-role, object, permission) combination

@@ -210,6 +210,37 @@ impl Bencher {
         }
         self.best_ns_per_iter = best.as_nanos() as f64 / iters as f64;
     }
+
+    /// Criterion's escape hatch for routines that time themselves: the
+    /// closure receives an iteration count and returns the elapsed wall
+    /// time for that many iterations. Same adaptive sizing and
+    /// best-batch selection as [`Bencher::iter`], but the caller owns
+    /// the clock — the repo's batch benches use it to report
+    /// per-element rather than per-call time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        if self.smoke {
+            self.best_ns_per_iter = routine(1).as_nanos() as f64;
+            return;
+        }
+        let mut iters: u64 = 1;
+        let batch_floor = Duration::from_micros(200);
+        let elapsed = loop {
+            let elapsed = routine(iters);
+            if elapsed >= batch_floor || iters >= 1 << 30 {
+                break elapsed;
+            }
+            iters *= 2;
+        };
+        let mut best = elapsed;
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let elapsed = routine(iters);
+            if elapsed < best {
+                best = elapsed;
+            }
+        }
+        self.best_ns_per_iter = best.as_nanos() as f64 / iters as f64;
+    }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(
