@@ -1,0 +1,152 @@
+//! The lint admission gate: static analysis as a pre-commit check on
+//! policy propagation (closes the ROADMAP analyzer follow-on).
+//!
+//! [`LintAdmissionGate`] plugs the four-pass analyzer into
+//! `PolicyBus::apply` via the `AdmissionGate` trait from
+//! `hetsec-translate`: each candidate unified policy is encoded to its
+//! KeyNote credential form (the same `encode_policy` the `hetsec
+//! encode` CLI uses) and linted; findings the *candidate* trips that
+//! the *current* policy did not are returned as objections, in the
+//! same `HS0xx`-code + severity shape as `hetsec lint --format json`.
+//! The bus rejects on any new `error`-severity finding, so a change
+//! that would grant authority to a revoked key — or otherwise
+//! introduce an error-class defect into the credential store — never
+//! commits and never reaches an endpoint. Pre-existing findings are
+//! grandfathered: the gate only blocks regressions, so standing debt
+//! does not freeze all maintenance.
+
+use crate::{analyze_with_directory, AnalysisOptions, Report};
+use hetsec_rbac::RbacPolicy;
+use hetsec_translate::{
+    encode_policy, AdmissionFinding, AdmissionGate, SymbolicDirectory,
+};
+use std::collections::BTreeSet;
+
+/// An [`AdmissionGate`] that lints the KeyNote encoding of each
+/// candidate policy and objects to every *new* finding.
+pub struct LintAdmissionGate {
+    webcom_key: String,
+    now: Option<f64>,
+    revoked: BTreeSet<String>,
+    known_attributes: BTreeSet<String>,
+}
+
+impl Default for LintAdmissionGate {
+    fn default() -> Self {
+        let base = AnalysisOptions::default();
+        LintAdmissionGate {
+            webcom_key: base.webcom_key,
+            now: base.now,
+            revoked: base.revoked,
+            known_attributes: base.known_attributes,
+        }
+    }
+}
+
+impl LintAdmissionGate {
+    /// A gate with the default analyzer vocabulary and no revocations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the analysis time for validity-window checks.
+    pub fn with_now(mut self, now: f64) -> Self {
+        self.now = Some(now);
+        self
+    }
+
+    /// Marks a key as revoked, exactly as at request time.
+    pub fn revoke(mut self, key: impl Into<String>) -> Self {
+        self.revoked.insert(key.into());
+        self
+    }
+
+    /// Lints the KeyNote encoding of `policy` with this gate's options.
+    /// The analysis shares the encoding directory, so every key the
+    /// encoder issued resolves back to its exact user.
+    fn lint(&self, policy: &RbacPolicy) -> Report {
+        let directory = SymbolicDirectory::default();
+        let assertions = encode_policy(policy, &self.webcom_key, &directory);
+        let opts = AnalysisOptions {
+            rbac: Some(policy.clone()),
+            webcom_key: self.webcom_key.clone(),
+            now: self.now,
+            revoked: self.revoked.clone(),
+            known_attributes: self.known_attributes.clone(),
+        };
+        analyze_with_directory(&assertions, &opts, &directory)
+    }
+}
+
+/// Identity of a finding across two lint runs. Assertion indices shift
+/// when rows are added or removed, so findings are keyed by what they
+/// say, not where they point.
+fn key(code: &str, severity: &str, message: &str) -> (String, String, String) {
+    (code.to_string(), severity.to_string(), message.to_string())
+}
+
+impl AdmissionGate for LintAdmissionGate {
+    fn review(&self, current: &RbacPolicy, candidate: &RbacPolicy) -> Vec<AdmissionFinding> {
+        let before: BTreeSet<_> = self
+            .lint(current)
+            .findings
+            .iter()
+            .map(|f| key(f.code.as_str(), f.severity().as_str(), &f.message))
+            .collect();
+        self.lint(candidate)
+            .findings
+            .iter()
+            .filter(|f| !before.contains(&key(f.code.as_str(), f.severity().as_str(), &f.message)))
+            .map(|f| AdmissionFinding {
+                code: f.code.as_str().to_string(),
+                severity: f.severity().as_str().to_string(),
+                message: f.message.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsec_rbac::fixtures::salaries_policy;
+    use hetsec_rbac::RoleAssignment;
+
+    #[test]
+    fn clean_change_raises_no_objection() {
+        let gate = LintAdmissionGate::new();
+        let current = salaries_policy();
+        let mut candidate = current.clone();
+        candidate.assign(RoleAssignment::new("carol", "CORP", "Manager"));
+        assert!(gate.review(&current, &candidate).is_empty());
+    }
+
+    #[test]
+    fn granting_to_a_revoked_key_is_a_new_error() {
+        let gate = LintAdmissionGate::new().revoke("Kmallory");
+        let current = salaries_policy();
+        let mut candidate = current.clone();
+        candidate.assign(RoleAssignment::new("mallory", "CORP", "Manager"));
+        let findings = gate.review(&current, &candidate);
+        assert!(
+            findings.iter().any(|f| f.code == "HS013" && f.is_error()),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn standing_debt_is_grandfathered() {
+        // The revoked key is already licensed in the *current* policy:
+        // re-linting must not object to unrelated changes.
+        let gate = LintAdmissionGate::new().revoke("Kmallory");
+        let mut current = salaries_policy();
+        current.assign(RoleAssignment::new("mallory", "CORP", "Manager"));
+        let mut candidate = current.clone();
+        candidate.assign(RoleAssignment::new("carol", "CORP", "Manager"));
+        let findings = gate.review(&current, &candidate);
+        assert!(
+            !findings.iter().any(AdmissionFinding::is_error),
+            "{findings:?}"
+        );
+    }
+}

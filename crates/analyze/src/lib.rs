@@ -23,11 +23,13 @@
 //! assertion's index/span, and a one-line fix hint; [`Report`] renders
 //! human text (`Display`) and JSON ([`Report::to_json`]).
 
+pub mod admission;
 pub mod conditions;
 pub mod diag;
 pub mod escalation;
 pub mod graph;
 
+pub use admission::LintAdmissionGate;
 pub use diag::{Finding, JsonFinding, JsonReport, LintCode, Report, Severity};
 
 use hetsec_keynote::ast::{Assertion, Clause, ConditionsProgram, Expr, Principal, Term};
@@ -458,6 +460,27 @@ fn hygiene_lints(
                 ),
                 hint: "remove the credential or reinstate the key".to_string(),
             });
+        }
+    }
+    // Revoked licensees: granting *to* a dead key is as suspect as
+    // granting *from* one — the credential is a standing escalation the
+    // moment the key is reinstated by mistake.
+    if let Some(licensees) = &a.licensees {
+        let mut reported: BTreeSet<&str> = BTreeSet::new();
+        for k in licensees.principals() {
+            if opts.revoked.contains(k) && reported.insert(k) {
+                findings.push(Finding {
+                    code: LintCode::RevokedPrincipal,
+                    assertion: Some(idx),
+                    line_start: None,
+                    line_end: None,
+                    message: format!(
+                        "licensee {k:?} is revoked; the assertion grants authority to a \
+                         key the operator has withdrawn"
+                    ),
+                    hint: "remove the credential or reinstate the key".to_string(),
+                });
+            }
         }
     }
 }

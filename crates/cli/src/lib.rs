@@ -15,14 +15,25 @@
 //!   RBAC policy, condition lints, credential hygiene (`HS0xx` codes);
 //! * `spki-encode <policy.json>` — RBAC → SPKI/SDSI certificates;
 //! * `example-policy` — print the paper's Figure 1 policy as JSON;
-//! * `serve <addr> [name] [key] [ops]` — run a WebCom client serving
-//!   the scheduling protocol over TCP (the right side of Figure 3);
+//! * `serve <addr> [name] [key] [ops] [--shards N] [--pipeline P]` —
+//!   run a WebCom client serving the scheduling protocol over TCP (the
+//!   right side of Figure 3); with `--shards N > 1`, a whole sharded
+//!   fabric in one process: N pipelined serving clients, N masters on a
+//!   consistent-hash ring linked over real TCP `Forward` frames, and a
+//!   demo burst driven through shard 0 so cross-shard ops forward;
 //! * `connect <addr> [n] [client-key]` — run a WebCom master that
-//!   dials a serving client and schedules `n` operations to it.
+//!   dials a serving client and schedules `n` operations to it,
+//!   reporting dispatch counters and the dispatch-latency histogram;
+//! * `loadgen [--principals N] [--ops N] [--shards N] [--lockstep]
+//!   [--window W] [--callers C] [--pipeline P] [--service-us U]
+//!   [--zipf E] [--open RATE] [--seed S] [--json]` — the closed-loop
+//!   load harness: builds an in-process sharded fabric and drives a
+//!   Zipf-distributed synthetic-principal workload through it.
 //!
 //! `serve` and `connect` make the master/client fabric runnable as two
-//! OS processes (see the README quick-start); everything else is
-//! single-process policy tooling.
+//! OS processes (see the README quick-start); `loadgen` is the
+//! single-process load harness behind `BENCH_load.json`; everything
+//! else is single-process policy tooling.
 //!
 //! The dispatch logic lives here (library) so it is unit-testable; the
 //! binary in `main.rs` is a thin wrapper.
@@ -203,7 +214,8 @@ pub fn connect_command(addr: &str, n: usize, client_key: &str) -> Result<String,
     Ok(format!(
         "scheduled {ok}/{n} operations to `{name}` at {addr} \
          (retries {}, timeouts {}, failovers {}, rescheduled {}, \
-         exhausted {}, shed {}, replayed {}, breaker trips {}; health: {health})",
+         exhausted {}, shed {}, replayed {}, breaker trips {}; health: {health})\n\
+         dispatch latency: {}",
         stats.retries,
         stats.timeouts,
         stats.failovers,
@@ -211,14 +223,197 @@ pub fn connect_command(addr: &str, n: usize, client_key: &str) -> Result<String,
         stats.exhausted,
         stats.shed,
         stats.replayed,
-        stats.breaker_trips
+        stats.breaker_trips,
+        stats.dispatch_latency.summary()
+    ))
+}
+
+/// `hetsec serve --shards N`: a whole sharded fabric in one process —
+/// N pipelined serving clients, N masters on a shared consistent-hash
+/// ring linked over real TCP `Forward` frames — plus a demo burst of
+/// `ops` additions under rotating principals driven through shard 0's
+/// master, so every op owned by another shard crosses a real socket.
+pub fn sharded_serve_command(
+    addr: &str,
+    name: &str,
+    key: &str,
+    shards: usize,
+    ops: usize,
+    pipeline: usize,
+) -> Result<String, CliError> {
+    use hetsec_graphs::Value;
+    use hetsec_middleware::component::ComponentRef;
+    use hetsec_webcom::stack::TrustLayer;
+    use hetsec_webcom::{
+        serve_master, PeerLink, ServeOptions, ShardInfo, ShardRing, ShardRouter, TcpPeerLink,
+    };
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    if shards < 2 {
+        return Err(CliError::Usage("--shards needs at least 2".into()));
+    }
+    // Rotating demo principals: enough distinct keys that every shard
+    // owns some of them.
+    let users: Vec<String> = (0..4 * shards).map(|u| format!("Kuser{u}")).collect();
+    let user_trust = {
+        let tm = hetsec_webcom::TrustManager::permissive();
+        for u in &users {
+            tm.add_policy(&format!(
+                "Authorizer: POLICY\nLicensees: \"{u}\"\nConditions: app_domain==\"WebCom\";\n"
+            ))
+            .expect("demo policy parses");
+        }
+        std::sync::Arc::new(tm)
+    };
+    let client_keys: Vec<String> = (0..shards).map(|s| format!("{key}{s}")).collect();
+    let client_trust = hetsec_webcom::TrustManager::permissive();
+    for k in &client_keys {
+        client_trust
+            .add_policy(&format!(
+                "Authorizer: POLICY\nLicensees: \"{k}\"\nConditions: app_domain==\"WebCom\";\n"
+            ))
+            .expect("demo policy parses");
+    }
+    let client_trust = std::sync::Arc::new(client_trust);
+    let mut report = String::new();
+    let mut servers = Vec::new();
+    let mut masters = Vec::new();
+    for (s, client_key) in client_keys.iter().enumerate() {
+        let mut stack = hetsec_webcom::AuthzStack::new();
+        stack.push(Arc::new(TrustLayer::new(Arc::clone(&user_trust))));
+        let engine = Arc::new(hetsec_webcom::ClientEngine::new(hetsec_webcom::ClientConfig {
+            name: format!("{name}{s}"),
+            key_text: client_key.clone(),
+            master_trust: demo_trust(CLI_MASTER_KEY),
+            stack: Arc::new(stack),
+            executor: Arc::new(hetsec_webcom::ArithComponentExecutor),
+        }));
+        // The given address binds shard 0; the rest take ephemeral
+        // ports (a fixed port cannot be bound N times).
+        let bind = if s == 0 { addr } else { "127.0.0.1:0" };
+        let server = hetsec_webcom::serve_tcp_with(
+            engine,
+            vec!["Dom".into()],
+            bind,
+            ServeOptions { pipeline },
+        )
+        .map_err(|e| CliError::Net(format!("bind {bind}: {e}")))?;
+        let master = hetsec_webcom::WebComMaster::new(CLI_MASTER_KEY, Arc::clone(&client_trust))
+            .with_op_timeout(std::time::Duration::from_secs(5))
+            .with_burst_parallelism(4);
+        master
+            .register_tcp(server.local_addr())
+            .map_err(|e| CliError::Net(e.to_string()))?;
+        servers.push(server);
+        masters.push(Arc::new(master));
+    }
+    // Expose each master's Forward endpoint and interlink the fleet.
+    let mut master_servers = Vec::new();
+    for m in &masters {
+        master_servers.push(
+            serve_master(Arc::clone(m), "127.0.0.1:0")
+                .map_err(|e| CliError::Net(format!("bind master endpoint: {e}")))?,
+        );
+    }
+    let ring = Arc::new(ShardRing::new(shards));
+    for (i, m) in masters.iter().enumerate() {
+        let peers: HashMap<usize, Arc<dyn PeerLink>> = (0..shards)
+            .filter(|&j| j != i)
+            .map(|j| {
+                (
+                    j,
+                    Arc::new(TcpPeerLink::new(master_servers[j].local_addr()))
+                        as Arc<dyn PeerLink>,
+                )
+            })
+            .collect();
+        m.set_shard(Arc::new(ShardInfo {
+            ring: Arc::clone(&ring),
+            shard_id: i,
+            peers,
+        }));
+    }
+    for (s, server) in servers.iter().enumerate() {
+        report.push_str(&format!(
+            "shard {s}: client `{name}{s}` (key {}) on {}, master forward endpoint {}\n",
+            client_keys[s],
+            server.local_addr(),
+            master_servers[s].local_addr()
+        ));
+    }
+    // Drive the demo burst through shard 0 only: ops whose principal
+    // hashes elsewhere must forward over the TCP peer links.
+    let burst: Vec<hetsec_webcom::BurstOp> = (0..ops)
+        .map(|i| hetsec_webcom::BurstOp {
+            action: hetsec_webcom::ScheduledAction::new(
+                ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+                "Dom",
+                "Worker",
+            ),
+            user: "worker".into(),
+            principal: users[i % users.len()].clone(),
+            args: vec![Value::Int(i as i64), Value::Int(1)],
+        })
+        .collect();
+    let outcomes = masters[0].schedule_burst(burst);
+    let ok = outcomes
+        .iter()
+        .filter(|o| matches!(o, hetsec_webcom::ExecOutcome::Ok(_)))
+        .count();
+    let router = ShardRouter::from_parts(ring, masters);
+    let stats = router.merged_stats();
+    report.push_str(&format!(
+        "demo burst via shard 0: {ok}/{ops} ok; forwarded {}, forward_received {}, \
+         forward_rejected {}\ndispatch latency: {}",
+        stats.forwarded,
+        stats.forward_received,
+        stats.forward_rejected,
+        stats.dispatch_latency.summary()
+    ));
+    for ms in master_servers {
+        ms.stop();
+    }
+    for s in servers {
+        s.stop();
+    }
+    if ok != ops {
+        return Err(CliError::Net(format!(
+            "sharded demo burst dropped ops: {report}"
+        )));
+    }
+    Ok(report)
+}
+
+/// `hetsec loadgen`: runs the closed-loop load harness in-process and
+/// reports throughput plus the dispatch-latency distribution.
+pub fn loadgen_command(cfg: &hetsec_webcom::LoadConfig, json: bool) -> Result<String, CliError> {
+    let report = hetsec_webcom::run_load(cfg);
+    if json {
+        return Ok(serde_json::to_string_pretty(&report)?);
+    }
+    Ok(format!(
+        "loadgen: {}/{} ops ok over {} shard(s), {} transport, {} principals\n\
+         throughput: {:.0} ops/s (wall {:.3}s)\n\
+         dispatch latency: {}\n\
+         forwarded {}, timeouts {}, failovers {}",
+        report.completed,
+        report.ops,
+        report.shards,
+        if report.mux { "mux" } else { "lockstep" },
+        report.principals,
+        report.throughput,
+        report.elapsed().as_secs_f64(),
+        report.latency.summary(),
+        report.forwarded,
+        report.timeouts,
+        report.failovers
     ))
 }
 
 /// Runs one CLI invocation; returns the text to print on stdout.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage =
-        "hetsec <encode|decode|check|lint|migrate|spki-encode|example-policy|serve|connect> ...";
+    let usage = "hetsec <encode|decode|check|lint|migrate|spki-encode|example-policy\
+                 |serve|connect|loadgen> ...";
     let cmd = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match cmd.as_str() {
         "example-policy" => Ok(serde_json::to_string_pretty(&salaries_policy())?),
@@ -382,19 +577,118 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "serve" => {
-            let addr = args.get(1).ok_or_else(|| {
-                CliError::Usage("hetsec serve <addr> [name] [key] [ops]".into())
-            })?;
-            let name = args.get(2).map(String::as_str).unwrap_or("c1");
-            let key = args.get(3).map(String::as_str).unwrap_or("Kc1");
-            let ops = args
-                .get(4)
+            let serve_usage =
+                "hetsec serve <addr> [name] [key] [ops] [--shards N] [--pipeline P]";
+            let addr = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage(serve_usage.into()))?;
+            // Positionals first, then flags in any order.
+            let positional: Vec<&String> =
+                args[2..].iter().take_while(|a| !a.starts_with("--")).collect();
+            let name = positional.first().map(|s| s.as_str()).unwrap_or("c1");
+            let key = positional.get(1).map(|s| s.as_str()).unwrap_or("Kc1");
+            let ops = positional
+                .get(2)
                 .map(|s| {
                     s.parse::<usize>()
                         .map_err(|_| CliError::Usage(format!("ops must be a number, got `{s}`")))
                 })
                 .transpose()?;
-            serve_command(addr, name, key, ops)
+            let mut shards = 1usize;
+            let mut pipeline = 4usize;
+            let mut i = 2 + positional.len();
+            while i < args.len() {
+                let flag = args[i].as_str();
+                let value = args.get(i + 1).ok_or_else(|| {
+                    CliError::Usage(format!("{flag} needs a value; {serve_usage}"))
+                })?;
+                let parsed = value.parse::<usize>().map_err(|_| {
+                    CliError::Usage(format!("{flag} must be a number, got `{value}`"))
+                });
+                match flag {
+                    "--shards" => shards = parsed?,
+                    "--pipeline" => pipeline = parsed?,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown serve flag `{other}`; {serve_usage}"
+                        )))
+                    }
+                }
+                i += 2;
+            }
+            if shards > 1 {
+                sharded_serve_command(addr, name, key, shards, ops.unwrap_or(16), pipeline)
+            } else {
+                serve_command(addr, name, key, ops)
+            }
+        }
+        "loadgen" => {
+            let loadgen_usage = "hetsec loadgen [--principals N] [--ops N] [--shards N] \
+                 [--lockstep] [--window W] [--callers C] [--pipeline P] [--service-us U] \
+                 [--zipf E] [--open RATE] [--seed S] [--json]";
+            let mut cfg = hetsec_webcom::LoadConfig {
+                principals: 10_000,
+                ops: 500,
+                shards: 2,
+                service_time: std::time::Duration::from_micros(500),
+                ..hetsec_webcom::LoadConfig::default()
+            };
+            let mut json = false;
+            let mut i = 1usize;
+            while i < args.len() {
+                let flag = args[i].as_str();
+                match flag {
+                    "--lockstep" => {
+                        cfg.mux = false;
+                        i += 1;
+                        continue;
+                    }
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                let value = args.get(i + 1).ok_or_else(|| {
+                    CliError::Usage(format!("{flag} needs a value; {loadgen_usage}"))
+                })?;
+                let num = || {
+                    value.parse::<usize>().map_err(|_| {
+                        CliError::Usage(format!("{flag} must be a number, got `{value}`"))
+                    })
+                };
+                let float = || {
+                    value.parse::<f64>().map_err(|_| {
+                        CliError::Usage(format!("{flag} must be a number, got `{value}`"))
+                    })
+                };
+                match flag {
+                    "--principals" => cfg.principals = num()?.max(1),
+                    "--ops" => cfg.ops = num()?,
+                    "--shards" => cfg.shards = num()?.max(1),
+                    "--window" => cfg.window = num()?.max(1),
+                    "--callers" => cfg.callers = num()?.max(1),
+                    "--pipeline" => cfg.pipeline = num()?.max(1),
+                    "--service-us" => {
+                        cfg.service_time = std::time::Duration::from_micros(num()? as u64)
+                    }
+                    "--zipf" => cfg.zipf_exponent = float()?,
+                    "--open" => {
+                        cfg.arrival = hetsec_webcom::Arrival::Open {
+                            ops_per_sec: float()?,
+                        }
+                    }
+                    "--seed" => cfg.seed = num()? as u64,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown loadgen flag `{other}`; {loadgen_usage}"
+                        )))
+                    }
+                }
+                i += 2;
+            }
+            loadgen_command(&cfg, json)
         }
         "connect" => {
             let addr = args.get(1).ok_or_else(|| {
@@ -614,6 +908,116 @@ mod tests {
         let err = connect_command(&server.local_addr().to_string(), 1, "Kother").unwrap_err();
         assert!(matches!(err, CliError::Net(ref m) if m.contains("failed")), "{err:?}");
         server.stop();
+    }
+
+    #[test]
+    fn connect_reports_dispatch_latency_histogram() {
+        let server = hetsec_webcom::serve_tcp(
+            demo_client_engine("c1", "Kc1"),
+            vec!["Dom".into()],
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let out = connect_command(&server.local_addr().to_string(), 3, "Kc1").unwrap();
+        assert!(out.contains("dispatch latency: p50 "), "{out}");
+        assert!(out.contains("p999 "), "{out}");
+        server.stop();
+    }
+
+    #[test]
+    fn sharded_serve_runs_a_forwarding_fabric() {
+        let out = run(&args(&[
+            "serve",
+            "127.0.0.1:0",
+            "c",
+            "Kc",
+            "12",
+            "--shards",
+            "2",
+            "--pipeline",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("shard 0:"), "{out}");
+        assert!(out.contains("shard 1:"), "{out}");
+        assert!(out.contains("12/12 ok"), "{out}");
+        // The burst went through shard 0 only; everything shard 1 owns
+        // crossed a TCP Forward link.
+        let forwarded: usize = out
+            .split("forwarded ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap();
+        assert!(forwarded > 0, "no cross-shard forwards: {out}");
+    }
+
+    #[test]
+    fn loadgen_runs_and_reports() {
+        let out = run(&args(&[
+            "loadgen",
+            "--principals",
+            "200",
+            "--ops",
+            "40",
+            "--shards",
+            "2",
+            "--service-us",
+            "100",
+        ]))
+        .unwrap();
+        assert!(out.contains("40/40 ops ok over 2 shard(s), mux transport"), "{out}");
+        assert!(out.contains("dispatch latency: p50 "), "{out}");
+    }
+
+    #[test]
+    fn loadgen_emits_json_reports() {
+        let out = run(&args(&[
+            "loadgen",
+            "--principals",
+            "100",
+            "--ops",
+            "20",
+            "--shards",
+            "1",
+            "--lockstep",
+            "--service-us",
+            "50",
+            "--json",
+        ]))
+        .unwrap();
+        let report: hetsec_webcom::LoadReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.completed, 20);
+        assert!(!report.mux);
+        assert_eq!(report.latency.count(), 20);
+    }
+
+    #[test]
+    fn serve_and_loadgen_flag_usage_errors() {
+        assert!(matches!(
+            run(&args(&["serve", "127.0.0.1:0", "--shards", "zero?"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["serve", "127.0.0.1:0", "--shards"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["serve", "127.0.0.1:0", "--bogus", "3"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["loadgen", "--ops"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["loadgen", "--ops", "many"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["loadgen", "--bogus", "1"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

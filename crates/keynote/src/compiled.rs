@@ -78,6 +78,37 @@ impl Interner {
             .enumerate()
             .map(|(i, t)| (t.as_str(), i as PrincipalId))
     }
+
+    /// Stable fingerprint of an id minted by this interner — see
+    /// [`principal_fingerprint`].
+    pub fn fingerprint(&self, id: PrincipalId) -> Option<u64> {
+        self.text(id).map(principal_fingerprint)
+    }
+}
+
+/// Stable 64-bit fingerprint of a principal's canonical text (FNV-1a).
+///
+/// Dense [`PrincipalId`]s are an artifact of interning order and differ
+/// between processes, so anything that must agree *across* nodes — the
+/// scheduling fabric's consistent-hash ring partitioning principals
+/// over shards — keys off this fingerprint instead. It is not
+/// cryptographic; it only needs to be deterministic, well-mixed, and
+/// identical on every node that computes it.
+pub fn principal_fingerprint(text: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // One final avalanche round (splitmix64 finalizer) so short,
+    // similar keys ("K0", "K1", ...) still spread over the ring.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
 }
 
 /// Resolves principal texts to ids during compilation. The store path

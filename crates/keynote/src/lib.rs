@@ -57,8 +57,8 @@ pub mod signing;
 pub mod values;
 pub mod verify_cache;
 
-pub use ast::{Assertion, Clause, ConditionsProgram, Expr, LicenseeExpr, Principal, Term};
-pub use compiled::{query_compiled, CompiledStore, QueryView, ViewQuery};
+pub use ast::{Assertion, Clause, CmpOp, ConditionsProgram, Expr, LicenseeExpr, Principal, Term};
+pub use compiled::{principal_fingerprint, query_compiled, CompiledStore, QueryView, ViewQuery};
 pub use compliance::{check_compliance, check_compliance_refs, Query, QueryResult};
 pub use eval::ActionAttributes;
 pub use explain::{explain_compliance, Explanation, TraceStep};

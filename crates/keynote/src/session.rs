@@ -459,46 +459,6 @@ impl KeyNoteSession {
         check_compliance_refs(&refs, &query)
     }
 
-    /// One-shot convenience: query with explicit authorizers/attributes
-    /// without mutating the session's action state.
-    #[deprecated(note = "build an ActionQuery and call evaluate(); shim kept for one PR")]
-    pub fn query_action(&self, authorizers: &[&str], attrs: &ActionAttributes) -> QueryResult {
-        self.evaluate(&ActionQuery::principals(authorizers).attributes(attrs))
-    }
-
-    /// Like `query_action`, but additionally considers `extra`
-    /// credentials for this one evaluation.
-    #[deprecated(note = "build an ActionQuery and call evaluate(); shim kept for one PR")]
-    pub fn query_action_with_extra(
-        &self,
-        authorizers: &[&str],
-        attrs: &ActionAttributes,
-        extra: &[Assertion],
-    ) -> QueryResult {
-        self.evaluate(
-            &ActionQuery::principals(authorizers)
-                .attributes(attrs)
-                .extra(extra),
-        )
-    }
-
-    /// Reference path: evaluates the same query by interpreting the AST
-    /// directly.
-    #[deprecated(note = "build an ActionQuery and call evaluate(); shim kept for one PR")]
-    pub fn query_action_interpreted(
-        &self,
-        authorizers: &[&str],
-        attrs: &ActionAttributes,
-        extra: &[Assertion],
-    ) -> QueryResult {
-        self.evaluate(
-            &ActionQuery::principals(authorizers)
-                .attributes(attrs)
-                .extra(extra)
-                .interpreted(),
-        )
-    }
-
     /// Compile-time diagnostics from the stored assertions (currently:
     /// malformed `~=` pattern literals, whose tests evaluate to `false`).
     pub fn compile_notes(&self) -> &[String] {
@@ -846,7 +806,7 @@ mod tests {
     }
 
     #[test]
-    fn query_action_does_not_mutate_session() {
+    fn evaluate_does_not_mutate_session() {
         let mut s = KeyNoteSession::permissive();
         s.add_policy("Authorizer: POLICY\nLicensees: \"Ka\"\n")
             .unwrap();

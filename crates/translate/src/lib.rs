@@ -33,5 +33,8 @@ pub mod similarity;
 pub use comprehension::{delegate_role, encode_has_permission, encode_policy, encode_user_role, APP_DOMAIN};
 pub use configuration::{decode_policy, expr_to_dnf, DecodeReport};
 pub use directory::{KeyStoreDirectory, PrincipalDirectory, SymbolicDirectory};
-pub use maintenance::{EndpointConsistency, PolicyBus, PolicyChange, PropagationReport};
+pub use maintenance::{
+    AdmissionFinding, AdmissionGate, EndpointConsistency, PolicyBus, PolicyChange,
+    PropagationReport,
+};
 pub use migration::{migrate, transform_policy, MigrationReport, MigrationSpec};

@@ -37,11 +37,47 @@ impl PolicyChange {
     }
 }
 
+/// One objection raised by an [`AdmissionGate`] reviewing a candidate
+/// unified policy. Mirrors the analyzer's JSON finding shape (stable
+/// `HS0xx` code, lowercase severity label) without depending on the
+/// analyzer crate — the gate implementation lives above this crate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionFinding {
+    /// Stable lint code (`HS0xx`).
+    pub code: String,
+    /// Severity label: `error`, `warn` or `info`.
+    pub severity: String,
+    /// Human-readable description of the objection.
+    pub message: String,
+}
+
+impl AdmissionFinding {
+    /// True for findings that block admission.
+    pub fn is_error(&self) -> bool {
+        self.severity == "error"
+    }
+}
+
+/// Pre-commit review of a candidate unified policy. [`PolicyBus::apply`]
+/// evaluates the candidate (current policy + change) through the gate
+/// *before* committing; any `error`-severity finding rejects the change
+/// outright — nothing is committed and nothing propagates.
+pub trait AdmissionGate: Send + Sync {
+    /// Reviews `candidate` against `current`, returning objections.
+    /// Implementations should report only *new* problems the change
+    /// introduces, so pre-existing debt does not freeze the policy.
+    fn review(&self, current: &RbacPolicy, candidate: &RbacPolicy) -> Vec<AdmissionFinding>;
+}
+
 /// What happened when a change was propagated.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct PropagationReport {
     /// Whether the unified policy actually changed.
     pub unified_changed: bool,
+    /// Admission-gate objections. Non-empty means the change was
+    /// rejected before commit: the unified policy is untouched and
+    /// nothing propagated.
+    pub rejected: Vec<AdmissionFinding>,
     /// Endpoints (by instance name) that accepted the change.
     pub propagated_to: Vec<String>,
     /// Endpoint failures: (instance name, error text).
@@ -53,6 +89,12 @@ pub struct PropagationReport {
 }
 
 impl PropagationReport {
+    /// True when the change passed the admission gate (or no gate is
+    /// installed).
+    pub fn admitted(&self) -> bool {
+        self.rejected.is_empty()
+    }
+
     /// True when every endpoint agreed with the unified policy after
     /// the propagation.
     pub fn is_consistent(&self) -> bool {
@@ -90,6 +132,17 @@ impl EndpointConsistency {
 pub struct PolicyBus {
     unified: RwLock<RbacPolicy>,
     endpoints: RwLock<Vec<Arc<dyn MiddlewareSecurity>>>,
+    gate: RwLock<Option<Arc<dyn AdmissionGate>>>,
+}
+
+/// Applies `change` to `policy`, returning whether anything changed.
+fn apply_change(policy: &mut RbacPolicy, change: &PolicyChange) -> bool {
+    match change {
+        PolicyChange::Grant(g) => policy.grant(g.clone()),
+        PolicyChange::Revoke(g) => policy.revoke(g),
+        PolicyChange::Assign(a) => policy.assign(a.clone()),
+        PolicyChange::Unassign(a) => policy.unassign(a),
+    }
 }
 
 impl Default for PolicyBus {
@@ -104,6 +157,7 @@ impl PolicyBus {
         PolicyBus {
             unified: RwLock::new(RbacPolicy::new()),
             endpoints: RwLock::new(Vec::new()),
+            gate: RwLock::new(None),
         }
     }
 
@@ -112,7 +166,18 @@ impl PolicyBus {
         PolicyBus {
             unified: RwLock::new(policy),
             endpoints: RwLock::new(Vec::new()),
+            gate: RwLock::new(None),
         }
+    }
+
+    /// Installs an admission gate reviewed on every [`PolicyBus::apply`].
+    pub fn set_gate(&self, gate: Arc<dyn AdmissionGate>) {
+        *self.gate.write() = Some(gate);
+    }
+
+    /// Removes the admission gate.
+    pub fn clear_gate(&self) {
+        *self.gate.write() = None;
     }
 
     /// Registers a middleware endpoint and commissions it with the
@@ -137,14 +202,25 @@ impl PolicyBus {
     /// top-down maintenance flow).
     pub fn apply(&self, change: &PolicyChange) -> PropagationReport {
         let mut report = PropagationReport::default();
+        // Admission review: evaluate the candidate policy *before*
+        // committing, so a rejected change never reaches the unified
+        // view or any endpoint.
+        let gate = self.gate.read().clone();
+        if let Some(gate) = gate {
+            let current = self.unified.read().clone();
+            let mut candidate = current.clone();
+            if apply_change(&mut candidate, change) {
+                let findings = gate.review(&current, &candidate);
+                if findings.iter().any(AdmissionFinding::is_error) {
+                    report.rejected = findings;
+                    report.consistency = self.consistency_report();
+                    return report;
+                }
+            }
+        }
         {
             let mut unified = self.unified.write();
-            report.unified_changed = match change {
-                PolicyChange::Grant(g) => unified.grant(g.clone()),
-                PolicyChange::Revoke(g) => unified.revoke(g),
-                PolicyChange::Assign(a) => unified.assign(a.clone()),
-                PolicyChange::Unassign(a) => unified.unassign(a),
-            };
+            report.unified_changed = apply_change(&mut unified, change);
         }
         let domain = change.domain();
         for ep in self.endpoints.read().iter() {
@@ -351,6 +427,78 @@ mod tests {
         let bad = report.inconsistent_endpoints();
         assert_eq!(bad.len(), 1);
         assert!(bad[0].contains("COM+"), "{bad:?}");
+    }
+
+    /// A gate that objects (with the given severity) to any change
+    /// touching the named user.
+    struct UserBan {
+        user: &'static str,
+        severity: &'static str,
+    }
+
+    impl AdmissionGate for UserBan {
+        fn review(&self, current: &RbacPolicy, candidate: &RbacPolicy) -> Vec<AdmissionFinding> {
+            let had = current.assignments().any(|a| a.user.as_str() == self.user);
+            let has = candidate.assignments().any(|a| a.user.as_str() == self.user);
+            if has && !had {
+                vec![AdmissionFinding {
+                    code: "HS013".to_string(),
+                    severity: self.severity.to_string(),
+                    message: format!("user {:?} is banned", self.user),
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn gate_rejects_before_commit_and_propagation() {
+        let (bus, com, _, _) = two_endpoint_bus();
+        bus.set_gate(Arc::new(UserBan { user: "mallory", severity: "error" }));
+        let before = bus.unified();
+        let report = bus.apply(&PolicyChange::Assign(RoleAssignment::new(
+            "mallory", "CORP", "Manager",
+        )));
+        assert!(!report.admitted());
+        assert!(!report.unified_changed);
+        assert!(report.propagated_to.is_empty());
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].code, "HS013");
+        assert!(report.rejected[0].is_error());
+        // Nothing committed, nothing propagated.
+        assert_eq!(bus.unified(), before);
+        assert!(!com.allows(&"mallory".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
+        // The fabric is still consistent — the rejection left no drift.
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn gate_admits_clean_changes_and_non_error_findings() {
+        let (bus, com, _, _) = two_endpoint_bus();
+        bus.set_gate(Arc::new(UserBan { user: "mallory", severity: "warn" }));
+        // A change the gate has no objection to goes through untouched.
+        let clean = bus.apply(&PolicyChange::Assign(RoleAssignment::new(
+            "carol", "CORP", "Manager",
+        )));
+        assert!(clean.admitted() && clean.unified_changed);
+        // Warn-severity objections do not block.
+        let warned = bus.apply(&PolicyChange::Assign(RoleAssignment::new(
+            "mallory", "CORP", "Manager",
+        )));
+        assert!(warned.admitted() && warned.unified_changed);
+        assert!(com.allows(&"mallory".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
+    }
+
+    #[test]
+    fn cleared_gate_stops_reviewing() {
+        let (bus, _, _, _) = two_endpoint_bus();
+        bus.set_gate(Arc::new(UserBan { user: "mallory", severity: "error" }));
+        bus.clear_gate();
+        let report = bus.apply(&PolicyChange::Assign(RoleAssignment::new(
+            "mallory", "CORP", "Manager",
+        )));
+        assert!(report.admitted() && report.unified_changed);
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Log-bucketed latency histogram (HDR-style) for the dispatch path.
+//!
+//! The master previously exposed only counters, which answer "how many"
+//! but not "how slow": a p999 regression hides completely behind a
+//! stable mean. [`LatencyHistogram`] records each dispatch latency into
+//! one of a fixed set of logarithmic buckets — 16 sub-buckets per
+//! power-of-two octave, i.e. ≤ 6.25 % relative error — using only
+//! relaxed atomic increments, so recording costs a few nanoseconds and
+//! never takes a lock on the hot path. [`LatencySnapshot`] is the
+//! immutable, mergeable read-side view with percentile accessors; the
+//! load harness merges per-shard snapshots into fleet-wide p50/p99/p999.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Values below 2^LINEAR_BITS ns are recorded exactly (one bucket per
+/// nanosecond); above that, each octave splits into `SUB_BUCKETS`
+/// log-spaced buckets.
+const LINEAR_BITS: u32 = 4;
+const SUB_BUCKETS: u64 = 16;
+/// Octaves 4..=47 (16 ns .. ~2.3 min) after the linear region; samples
+/// beyond the top octave clamp into the last bucket.
+const OCTAVES: u32 = 44;
+const BUCKETS: usize = (1 << LINEAR_BITS) + (OCTAVES as usize) * (SUB_BUCKETS as usize);
+
+fn bucket_index(ns: u64) -> usize {
+    if ns < (1 << LINEAR_BITS) {
+        return ns as usize;
+    }
+    let octave = 63 - ns.leading_zeros(); // ns in [2^octave, 2^(octave+1))
+    let octave = octave.min(LINEAR_BITS + OCTAVES - 1);
+    let sub = (ns >> (octave - LINEAR_BITS)) & (SUB_BUCKETS - 1);
+    (1 << LINEAR_BITS) + ((octave - LINEAR_BITS) as usize) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Lower bound (ns) of the values a bucket holds — the value reported
+/// for any percentile that lands in it.
+fn bucket_floor(index: usize) -> u64 {
+    if index < (1 << LINEAR_BITS) {
+        return index as u64;
+    }
+    let rest = index - (1 << LINEAR_BITS);
+    let octave = LINEAR_BITS + (rest as u32) / (SUB_BUCKETS as u32);
+    let sub = (rest as u64) & (SUB_BUCKETS - 1);
+    (1u64 << octave) + (sub << (octave - LINEAR_BITS))
+}
+
+/// Concurrent log-bucketed histogram of operation latencies.
+///
+/// Write side: [`LatencyHistogram::record`], lock-free. Read side:
+/// [`LatencyHistogram::snapshot`], which is O(buckets) and may run
+/// concurrently with writers (it sees some consistent-enough interleaving;
+/// buckets are monotone counters so percentiles are never fabricated).
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `[AtomicU64::new(0); N]` needs Copy; build through a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = v.into_boxed_slice().try_into().unwrap();
+        LatencyHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        let mut total = 0u64;
+        for (c, b) in counts.iter_mut().zip(self.buckets.iter()) {
+            *c = b.load(Ordering::Relaxed);
+            total += *c;
+        }
+        // Trim trailing empty buckets: an untouched histogram snapshots
+        // to exactly `LatencySnapshot::default()`, which keeps
+        // `MasterStats`' derived `PartialEq` meaningful.
+        let last = counts.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+        counts.truncate(last);
+        LatencySnapshot {
+            counts,
+            // Derive the count from the buckets actually read so the
+            // snapshot is internally consistent under concurrent writes.
+            count: total,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable view of a [`LatencyHistogram`]: percentiles, mean, max.
+/// Empty (`Default`) snapshots compare equal, so this can sit inside
+/// `MasterStats` without breaking its `PartialEq`-based tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencySnapshot {
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Latency at quantile `q` in [0, 1] (0.5 = median). Returns zero
+    /// for an empty snapshot. The answer is the lower bound of the
+    /// bucket containing the q-th sample (≤ 6.25 % below the true
+    /// value).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q=1.0 maps to the last.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_floor(i));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+
+    /// Arithmetic mean latency.
+    pub fn mean(&self) -> Duration {
+        match self.sum_ns.checked_div(self.count) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Folds another snapshot into this one (per-shard → fleet-wide).
+    pub fn merge(&mut self, other: &LatencySnapshot) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// `p50/p99/p999 max` one-liner for CLI output.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "no samples".to_string();
+        }
+        format!(
+            "p50 {:?}  p99 {:?}  p999 {:?}  max {:?}  (n={})",
+            self.p50(),
+            self.p99(),
+            self.p999(),
+            self.max(),
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_consistent() {
+        // Every representative value must land back in its own bucket,
+        // and floors must be strictly increasing.
+        let mut prev = None;
+        for i in 0..BUCKETS {
+            let floor = bucket_floor(i);
+            assert_eq!(bucket_index(floor), i, "floor of bucket {i} maps back");
+            if let Some(p) = prev {
+                assert!(floor > p, "bucket {i} floor {floor} not > {p}");
+            }
+            prev = Some(floor);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for ns in [1u64, 17, 100, 999, 12_345, 1_000_000, 123_456_789] {
+            let floor = bucket_floor(bucket_index(ns));
+            assert!(floor <= ns);
+            assert!(
+                (ns - floor) as f64 <= ns as f64 / 16.0 + 1.0,
+                "ns={ns} floor={floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 1000 samples: 990 at 100µs, 9 at 1ms, 1 at 100ms.
+        for _ in 0..990 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_millis(1));
+        }
+        h.record(Duration::from_millis(100));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        let near = |d: Duration, us: u64| {
+            let lo = Duration::from_micros(us).mul_f64(0.9375);
+            d >= lo && d <= Duration::from_micros(us)
+        };
+        assert!(near(s.p50(), 100), "p50={:?}", s.p50());
+        assert!(near(s.p99(), 100), "p99={:?}", s.p99());
+        assert!(near(s.p999(), 1000), "p999={:?}", s.p999());
+        assert!(near(s.quantile(1.0), 100_000), "max q={:?}", s.quantile(1.0));
+        assert_eq!(s.max(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroes_and_equals_default() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.p50(), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.summary(), "no samples");
+        // MasterStats derives PartialEq; a fresh histogram snapshot must
+        // equal the Default one or every stats assertion would break.
+        assert_eq!(s.count, LatencySnapshot::default().count);
+        assert_eq!(s.quantile(0.5), LatencySnapshot::default().quantile(0.5));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for _ in 0..50 {
+            a.record(Duration::from_micros(10));
+            b.record(Duration::from_micros(1000));
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 100);
+        assert!(m.p50() <= Duration::from_micros(10));
+        assert!(m.quantile(0.99) >= Duration::from_micros(900));
+        // Merging into an empty default works too.
+        let mut e = LatencySnapshot::default();
+        e.merge(&a.snapshot());
+        assert_eq!(e.count(), 50);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    h.record(Duration::from_nanos(100 + t * 7 + i));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 4000);
+    }
+}

@@ -30,10 +30,14 @@ pub mod cache;
 pub mod environment;
 pub mod executor;
 pub mod client;
+pub mod fabric;
 pub mod health;
+pub mod histogram;
 pub mod ide;
 pub mod keycom;
+pub mod load;
 pub mod master;
+pub mod mux;
 pub mod net;
 pub mod protocol;
 pub mod stack;
@@ -49,14 +53,24 @@ pub use client::{
 };
 pub use environment::EnvironmentBuilder;
 pub use executor::MiddlewareExecutor;
+pub use fabric::{
+    serve_master, LocalPeerLink, MasterServer, PeerLink, ShardInfo, ShardRing, ShardRouter,
+    TcpPeerLink, DEFAULT_VNODES,
+};
 pub use health::{BreakerState, ClientHealth, HealthConfig, HealthSnapshot};
+pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use ide::{interrogate, resolve_spec, Combo, ComponentPalette, PaletteEntry, PartialSpec};
 pub use keycom::{KeyComError, KeyComService, PolicyUpdateRequest};
+pub use load::{
+    principal_key, run_load, run_load_with_stack, synthetic_stack, Arrival, LoadConfig,
+    LoadReport, SleepingExecutor, ZipfSampler,
+};
 pub use master::{Binding, BurstOp, MasterStats, RetryPolicy, WebComMaster};
-pub use net::{serve_tcp, TcpClientServer};
+pub use mux::{MuxTransport, DEFAULT_WINDOW};
+pub use net::{serve_tcp, serve_tcp_with, ServeOptions, TcpClientServer};
 pub use protocol::{
     ArithComponentExecutor, ClientIdentity, ComponentExecutor, ExecError, ExecErrorKind,
-    ExecOutcome, ScheduleReply, ScheduleRequest, WireRequest, WireResponse,
+    ExecOutcome, ScheduleReply, ScheduleRequest, WireRequest, WireResponse, MAX_FORWARD_HOPS,
 };
 pub use transport::{
     ChannelTransport, ClientTransport, FaultyTransport, TcpTransport, TransportError,

@@ -24,8 +24,12 @@
 
 use crate::authz::{AuthzRequest, ScheduledAction, TrustManager};
 use crate::client::ClientHandle;
+use crate::fabric::ShardInfo;
 use crate::health::{ClientHealth, HealthConfig, HealthSnapshot, Refusal};
-use crate::protocol::{ExecError, ExecErrorKind, ExecOutcome, ScheduleRequest};
+use crate::histogram::{LatencyHistogram, LatencySnapshot};
+use crate::protocol::{
+    ExecError, ExecErrorKind, ExecOutcome, ScheduleReply, ScheduleRequest, MAX_FORWARD_HOPS,
+};
 use crate::transport::{ChannelTransport, ClientTransport, TcpTransport};
 use hetsec_graphs::{EngineError, OpExecutor, Value};
 use hetsec_keynote::ast::Assertion;
@@ -55,6 +59,10 @@ struct Target {
     transport: Arc<dyn ClientTransport>,
     health: Arc<ClientHealth>,
 }
+
+/// A routed burst op awaiting dispatch: original position, wire op id,
+/// the op, its home shard (if off-shard), and the authorised targets.
+type IndexedJob = (usize, u64, BurstOp, Option<usize>, Vec<Target>);
 
 /// Panic-safe increment/decrement of the in-flight gauge.
 struct GaugeGuard<'a>(&'a AtomicUsize);
@@ -205,6 +213,48 @@ pub struct MasterStats {
     /// Cached decisions discarded because the trust policy's epoch had
     /// moved (policy/credential/revocation change).
     pub cache_invalidations: u64,
+    /// Operations this master handed to the peer master owning the
+    /// principal's shard (sharded fabric only).
+    pub forwarded: usize,
+    /// Operations received from a peer master and dispatched locally
+    /// because this master owns the principal's shard.
+    pub forward_received: usize,
+    /// Forwards rejected by the hop-count guard — the shard rings of
+    /// two masters disagree and the op would otherwise loop.
+    pub forward_rejected: usize,
+    /// Log-bucketed distribution of whole-dispatch latencies (queue +
+    /// retries + failover per op); `dispatch_latency.p50()/p99()/p999()`
+    /// read the percentiles.
+    pub dispatch_latency: LatencySnapshot,
+}
+
+impl MasterStats {
+    /// Folds another master's stats into this one: counters summed,
+    /// gauges summed, latency histograms merged. Used for fleet-wide
+    /// views over a sharded fabric.
+    pub fn merge(&mut self, other: &MasterStats) {
+        self.scheduled += other.scheduled;
+        self.unschedulable += other.unschedulable;
+        self.exhausted += other.exhausted;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.client_denials += other.client_denials;
+        self.rescheduled += other.rescheduled;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.failovers += other.failovers;
+        self.in_flight += other.in_flight;
+        self.breaker_trips += other.breaker_trips;
+        self.half_open_probes += other.half_open_probes;
+        self.shed += other.shed;
+        self.replayed += other.replayed;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
+        self.forwarded += other.forwarded;
+        self.forward_received += other.forward_received;
+        self.forward_rejected += other.forward_rejected;
+        self.dispatch_latency.merge(&other.dispatch_latency);
+    }
 }
 
 /// The WebCom master.
@@ -228,6 +278,14 @@ pub struct WebComMaster {
     schedule_deadline: Option<Duration>,
     /// Health model applied to clients registered from here on.
     health_cfg: HealthConfig,
+    /// Worker threads a `schedule_burst` call may use to dispatch its
+    /// operations concurrently (1 = the classic sequential loop).
+    burst_parallelism: usize,
+    /// This master's place in a sharded fabric, if any: the consistent-
+    /// hash ring, its own shard id, and links to its peers.
+    shard: RwLock<Option<Arc<ShardInfo>>>,
+    /// Dispatch-latency histogram behind `MasterStats::dispatch_latency`.
+    dispatch_hist: LatencyHistogram,
     in_flight: AtomicUsize,
     stats: Mutex<MasterStats>,
 }
@@ -246,6 +304,9 @@ impl WebComMaster {
             op_timeout: Duration::from_secs(5),
             schedule_deadline: None,
             health_cfg: HealthConfig::default(),
+            burst_parallelism: 1,
+            shard: RwLock::new(None),
+            dispatch_hist: LatencyHistogram::new(),
             in_flight: AtomicUsize::new(0),
             stats: Mutex::new(MasterStats::default()),
         }
@@ -278,6 +339,31 @@ impl WebComMaster {
     pub fn with_health_config(mut self, cfg: HealthConfig) -> Self {
         self.health_cfg = cfg;
         self
+    }
+
+    /// Lets one [`schedule_burst`](Self::schedule_burst) call dispatch
+    /// up to `n` operations concurrently. The default of 1 keeps the
+    /// sequential loop (and its deterministic call ordering, which the
+    /// scripted-transport tests rely on); the sharded fabric and the
+    /// load harness raise it so a burst's ops overlap in flight — the
+    /// whole point of the multiplexed transport.
+    pub fn with_burst_parallelism(mut self, n: usize) -> Self {
+        self.burst_parallelism = n.max(1);
+        self
+    }
+
+    /// Places this master in a sharded fabric. Ops whose principal
+    /// hashes to a different shard are forwarded over the peer links in
+    /// `info` instead of being dispatched locally. May be called after
+    /// construction because peer links typically reference the other
+    /// masters, which must exist first.
+    pub fn set_shard(&self, info: Arc<ShardInfo>) {
+        *self.shard.write() = Some(info);
+    }
+
+    /// This master's shard id, when sharded.
+    pub fn shard_id(&self) -> Option<usize> {
+        self.shard.read().as_ref().map(|s| s.shard_id)
     }
 
     /// The effective whole-operation deadline.
@@ -354,6 +440,7 @@ impl WebComMaster {
     pub fn stats(&self) -> MasterStats {
         let mut stats = self.stats.lock().clone();
         stats.in_flight = self.in_flight.load(Ordering::Relaxed);
+        stats.dispatch_latency = self.dispatch_hist.snapshot();
         let cache = self.client_trust.cache_stats();
         stats.cache_hits = cache.hits;
         stats.cache_misses = cache.misses;
@@ -420,6 +507,21 @@ impl WebComMaster {
         if ops.is_empty() {
             return Vec::new();
         }
+        let shard = self.shard.read().clone();
+        // Route each op: `Some(home)` means the principal hashes to a
+        // peer's shard and the op is forwarded there — the owner
+        // authorises against its own policy and cache, so forwarded ops
+        // are excluded from the local authorisation matrix entirely
+        // (share-nothing hot path).
+        let route: Vec<Option<usize>> = ops
+            .iter()
+            .map(|op| {
+                shard.as_ref().and_then(|s| {
+                    let home = s.ring.owner_of(&op.principal);
+                    (home != s.shard_id).then_some(home)
+                })
+            })
+            .collect();
         let per_op_targets: Vec<Vec<Target>> = {
             let clients = self.clients.read();
             // One attribute set per op, lent to every client's request:
@@ -430,6 +532,9 @@ impl WebComMaster {
             let mut requests: Vec<AuthzRequest<'_>> = Vec::new();
             let mut slots: Vec<(usize, usize)> = Vec::new();
             for (oi, op) in ops.iter().enumerate() {
+                if route[oi].is_some() {
+                    continue;
+                }
                 for (ci, c) in clients.iter().enumerate() {
                     if c.domains.contains(&op.action.domain) {
                         requests.push(
@@ -452,13 +557,196 @@ impl WebComMaster {
             }
             targets
         };
-        ops.into_iter()
+        let jobs: Vec<(u64, BurstOp, Option<usize>, Vec<Target>)> = ops
+            .into_iter()
+            .zip(route)
             .zip(per_op_targets)
-            .map(|(op, targets)| {
+            .map(|((op, home), targets)| {
                 let op_id = self.op_counter.fetch_add(1, Ordering::Relaxed);
-                self.schedule_on(op_id, op, targets)
+                (op_id, op, home, targets)
+            })
+            .collect();
+        let par = self.burst_parallelism.min(jobs.len()).max(1);
+        if par == 1 {
+            return jobs
+                .into_iter()
+                .map(|(op_id, op, home, targets)| {
+                    self.run_op(shard.as_deref(), op_id, op, home, targets)
+                })
+                .collect();
+        }
+        // Round-robin the jobs over `par` scoped workers and reassemble
+        // positionally, so outcomes stay aligned with `ops` while up to
+        // `par` dispatches are in flight at once (a pipelined transport
+        // turns that into many requests down one socket).
+        let total = jobs.len();
+        let mut worker_jobs: Vec<Vec<IndexedJob>> = (0..par).map(|_| Vec::new()).collect();
+        for (i, (op_id, op, home, targets)) in jobs.into_iter().enumerate() {
+            worker_jobs[i % par].push((i, op_id, op, home, targets));
+        }
+        let mut outcomes: Vec<Option<ExecOutcome>> = (0..total).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let shard = &shard;
+            let handles: Vec<_> = worker_jobs
+                .into_iter()
+                .map(|jobs| {
+                    s.spawn(move || {
+                        jobs.into_iter()
+                            .map(|(i, op_id, op, home, targets)| {
+                                (i, self.run_op(shard.as_deref(), op_id, op, home, targets))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, out) in h.join().expect("burst worker panicked") {
+                    outcomes[i] = Some(out);
+                }
+            }
+        });
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every burst op produces an outcome"))
+            .collect()
+    }
+
+    /// Runs one routed burst op: forwards it to its home shard or
+    /// dispatches it locally.
+    fn run_op(
+        &self,
+        shard: Option<&ShardInfo>,
+        op_id: u64,
+        op: BurstOp,
+        home: Option<usize>,
+        targets: Vec<Target>,
+    ) -> ExecOutcome {
+        match (shard, home) {
+            (Some(info), Some(home)) => self.forward_op(info, home, op_id, op),
+            _ => self.schedule_on(op_id, op, targets),
+        }
+    }
+
+    /// Hands an op to the peer master owning `home`. One forward
+    /// attempt — the owner runs the full retry/failover loop among its
+    /// own clients, so re-forwarding would only double the work.
+    fn forward_op(&self, info: &ShardInfo, home: usize, op_id: u64, op: BurstOp) -> ExecOutcome {
+        let Some(peer) = info.peers.get(&home) else {
+            self.stats.lock().unschedulable += 1;
+            return ExecOutcome::Failed(ExecError::transport(format!(
+                "principal shard {home} has no peer link from shard {}",
+                info.shard_id
+            )));
+        };
+        let request = self.build_request(op_id, op);
+        self.stats.lock().forwarded += 1;
+        match peer.forward(&request, 1, self.schedule_deadline()) {
+            Ok(reply) => reply.outcome,
+            Err(te) => ExecOutcome::Failed(te.to_exec_error()),
+        }
+    }
+
+    /// Serves a peer's [`WireRequest::Forward`](crate::WireRequest):
+    /// dispatches locally when this master owns the principal's shard,
+    /// re-forwards (with the hop guard) when it does not — which only
+    /// happens when peers disagree about ring layout.
+    pub fn handle_forward(&self, request: ScheduleRequest, hops: u8) -> ScheduleReply {
+        let op_id = request.op_id;
+        let shard = self.shard.read().clone();
+        let shard_name = shard
+            .as_ref()
+            .map(|s| format!("shard-{}", s.shard_id))
+            .unwrap_or_else(|| "unsharded".to_string());
+        if let Some(info) = shard.as_deref() {
+            let home = info.ring.owner_of(&request.principal);
+            if home != info.shard_id {
+                if hops >= MAX_FORWARD_HOPS {
+                    self.stats.lock().forward_rejected += 1;
+                    return ScheduleReply {
+                        op_id,
+                        client: shard_name,
+                        outcome: ExecOutcome::Failed(ExecError::protocol(format!(
+                            "forward hop limit ({MAX_FORWARD_HOPS}) reached for principal \
+                             `{}`: peer shard rings disagree about its owner",
+                            request.principal
+                        ))),
+                        replayed: false,
+                    };
+                }
+                if let Some(peer) = info.peers.get(&home) {
+                    self.stats.lock().forwarded += 1;
+                    return match peer.forward(&request, hops + 1, self.schedule_deadline()) {
+                        Ok(reply) => reply,
+                        Err(te) => ScheduleReply {
+                            op_id,
+                            client: shard_name,
+                            outcome: ExecOutcome::Failed(te.to_exec_error()),
+                            replayed: false,
+                        },
+                    };
+                }
+                // No link to the owner: dispatch locally as a degraded
+                // fallback rather than dropping the op.
+            }
+        }
+        self.stats.lock().forward_received += 1;
+        let targets = self.authorised_targets(&request.action);
+        let outcome = if targets.is_empty() {
+            self.stats.lock().unschedulable += 1;
+            ExecOutcome::Denied(format!(
+                "no authorised client for {} in {}",
+                request.action.component.identifier(),
+                request.action.domain
+            ))
+        } else {
+            self.dispatch_to(&request, targets)
+        };
+        ScheduleReply {
+            op_id,
+            client: shard_name,
+            outcome,
+            replayed: false,
+        }
+    }
+
+    /// Clients that serve `action`'s domain and whose key the trust
+    /// policy authorises for it (one decide_batch over the registry).
+    fn authorised_targets(&self, action: &ScheduledAction) -> Vec<Target> {
+        let clients = self.clients.read();
+        let attrs = action.attributes();
+        let mut requests: Vec<AuthzRequest<'_>> = Vec::new();
+        let mut idx: Vec<usize> = Vec::new();
+        for (ci, c) in clients.iter().enumerate() {
+            if c.domains.contains(&action.domain) {
+                requests.push(AuthzRequest::principal(&c.key_text).attributes_ref(&attrs));
+                idx.push(ci);
+            }
+        }
+        let verdicts = self.client_trust.decide_batch(&requests);
+        idx.into_iter()
+            .zip(verdicts)
+            .filter(|&(_, authorised)| authorised)
+            .map(|(ci, _)| {
+                let c = &clients[ci];
+                Target {
+                    transport: Arc::clone(&c.transport),
+                    health: Arc::clone(&c.health),
+                }
             })
             .collect()
+    }
+
+    /// Builds the wire request for one op.
+    fn build_request(&self, op_id: u64, op: BurstOp) -> ScheduleRequest {
+        ScheduleRequest {
+            op_id,
+            action: op.action,
+            user: op.user,
+            principal: op.principal,
+            master_key: self.key_text.clone(),
+            credentials: self.forwarded_credentials.read().clone(),
+            args: op.args,
+        }
     }
 
     /// Dispatches one already-authorised operation: health-ordered
@@ -473,6 +761,13 @@ impl WebComMaster {
                 op.action.domain
             ));
         }
+        let request = self.build_request(op_id, op);
+        self.dispatch_to(&request, targets)
+    }
+
+    /// Health-sorts the targets, then runs the dispatch loop under the
+    /// in-flight gauge, recording the whole-dispatch latency.
+    fn dispatch_to(&self, request: &ScheduleRequest, targets: Vec<Target>) -> ExecOutcome {
         // Health-ordered selection: healthiest first; the sort is
         // stable, so untouched clients keep registration order.
         let mut keyed: Vec<((u8, f64, f64), Target)> = targets
@@ -481,17 +776,11 @@ impl WebComMaster {
             .collect();
         keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let targets: Vec<Target> = keyed.into_iter().map(|(_, t)| t).collect();
-        let request = ScheduleRequest {
-            op_id,
-            action: op.action,
-            user: op.user,
-            principal: op.principal,
-            master_key: self.key_text.clone(),
-            credentials: self.forwarded_credentials.read().clone(),
-            args: op.args,
-        };
         let _gauge = GaugeGuard::new(&self.in_flight);
-        self.dispatch(&request, &targets)
+        let started = Instant::now();
+        let outcome = self.dispatch(request, &targets);
+        self.dispatch_hist.record(started.elapsed());
+        outcome
     }
 
     /// The dispatch loop: health admission, per-target retry,

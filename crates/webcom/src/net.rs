@@ -15,7 +15,10 @@
 //! simulate a crashed client for the master's failover path.
 
 use crate::client::ClientEngine;
-use crate::protocol::{ClientIdentity, WireRequest, WireResponse};
+use crate::protocol::{
+    ClientIdentity, ExecError, ExecOutcome, ScheduleReply, ScheduleRequest, WireRequest,
+    WireResponse,
+};
 use crate::wire::{read_frame, write_frame};
 use hetsec_rbac::Domain;
 use parking_lot::Mutex;
@@ -102,12 +105,42 @@ impl Drop for TcpClientServer {
     }
 }
 
+/// Per-connection serving options.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Schedule frames a single connection may be executing at once.
+    /// 1 (the default) keeps the classic sequential read→handle→write
+    /// loop; larger values give each connection a worker pool so a
+    /// pipelined transport ([`crate::MuxTransport`]) can keep many ops
+    /// in flight down one socket. Replies are then written as they
+    /// complete — out of order — which only a transport that correlates
+    /// by `op_id` may consume.
+    pub pipeline: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { pipeline: 1 }
+    }
+}
+
 /// Serves `engine` on `addr` (e.g. `"127.0.0.1:0"` to let the OS pick a
-/// port), announcing `domains` in the Identify handshake.
+/// port), announcing `domains` in the Identify handshake. Sequential
+/// per-connection handling; see [`serve_tcp_with`] for pipelining.
 pub fn serve_tcp(
     engine: Arc<ClientEngine>,
     domains: Vec<Domain>,
     addr: &str,
+) -> std::io::Result<TcpClientServer> {
+    serve_tcp_with(engine, domains, addr, ServeOptions::default())
+}
+
+/// [`serve_tcp`] with explicit [`ServeOptions`].
+pub fn serve_tcp_with(
+    engine: Arc<ClientEngine>,
+    domains: Vec<Domain>,
+    addr: &str,
+    opts: ServeOptions,
 ) -> std::io::Result<TcpClientServer> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
@@ -127,7 +160,7 @@ pub fn serve_tcp(
     let accept_thread = std::thread::Builder::new()
         .name(format!("webcom-serve-{}", engine.name()))
         .spawn(move || {
-            accept_loop(listener, accept_engine, identity, accept_shared);
+            accept_loop(listener, accept_engine, identity, accept_shared, opts);
         })?;
     Ok(TcpClientServer {
         engine,
@@ -142,6 +175,7 @@ fn accept_loop(
     engine: Arc<ClientEngine>,
     identity: ClientIdentity,
     shared: Arc<ServerShared>,
+    opts: ServeOptions,
 ) {
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -164,7 +198,19 @@ fn accept_loop(
                 let shared = Arc::clone(&shared);
                 let _ = std::thread::Builder::new()
                     .name("webcom-conn".to_string())
-                    .spawn(move || serve_connection(stream, engine, identity, shared));
+                    .spawn(move || {
+                        if opts.pipeline > 1 {
+                            serve_connection_pipelined(
+                                stream,
+                                engine,
+                                identity,
+                                shared,
+                                opts.pipeline,
+                            )
+                        } else {
+                            serve_connection(stream, engine, identity, shared)
+                        }
+                    });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -172,6 +218,19 @@ fn accept_loop(
             Err(_) => break,
         }
     }
+}
+
+/// The answer a client gives a peer-routed `Forward` frame: clients
+/// execute for masters; only masters route for masters.
+fn forward_misdirected(req: &ScheduleRequest) -> WireResponse {
+    WireResponse::ForwardReply(ScheduleReply {
+        op_id: req.op_id,
+        client: "client".to_string(),
+        outcome: ExecOutcome::Failed(ExecError::protocol(
+            "Forward frames are master-to-master; this endpoint is a client",
+        )),
+        replayed: false,
+    })
 }
 
 /// Serves one connection until the peer hangs up, sends garbage, or the
@@ -193,6 +252,7 @@ fn serve_connection(
                 shared.served.fetch_add(1, Ordering::SeqCst);
                 WireResponse::Reply(reply)
             }
+            WireRequest::Forward { request, .. } => forward_misdirected(&request),
         };
         if write_frame(&mut stream, &response).is_err() {
             break;
@@ -200,6 +260,81 @@ fn serve_connection(
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Pipelined variant: one reader (this thread) plus `pipeline` workers
+/// executing Schedule frames concurrently and writing replies — in
+/// completion order — through a shared writer half. The transport on
+/// the other side must correlate replies by `op_id`.
+fn serve_connection_pipelined(
+    mut stream: TcpStream,
+    engine: Arc<ClientEngine>,
+    identity: ClientIdentity,
+    shared: Arc<ServerShared>,
+    pipeline: usize,
+) {
+    let Ok(writer) = stream.try_clone() else {
+        // Cannot split the socket: fall back to sequential serving.
+        return serve_connection(stream, engine, identity, shared);
+    };
+    let writer = Arc::new(Mutex::new(writer));
+    let (tx, rx) = crossbeam::channel::unbounded::<Box<ScheduleRequest>>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(pipeline);
+    for _ in 0..pipeline {
+        let rx = Arc::clone(&rx);
+        let writer = Arc::clone(&writer);
+        let engine = Arc::clone(&engine);
+        let shared = Arc::clone(&shared);
+        let Ok(worker) = std::thread::Builder::new()
+            .name("webcom-conn-worker".to_string())
+            .spawn(move || loop {
+                // Hold the receiver lock only while dequeueing so
+                // workers handle requests concurrently.
+                let req = match rx.lock().recv() {
+                    Ok(req) => req,
+                    Err(_) => break, // reader gone, queue drained
+                };
+                let reply = engine.handle(&req);
+                shared.served.fetch_add(1, Ordering::SeqCst);
+                let mut w = writer.lock();
+                if write_frame(&mut *w, &WireResponse::Reply(reply)).is_err() {
+                    let _ = w.shutdown(Shutdown::Both);
+                    break;
+                }
+            })
+        else {
+            break;
+        };
+        workers.push(worker);
+    }
+    while let Ok(request) = read_frame::<WireRequest, _>(&mut stream) {
+        let response = match request {
+            WireRequest::Identify => Some(WireResponse::Identity(identity.clone())),
+            WireRequest::Schedule(req) => {
+                if tx.send(req).is_err() {
+                    break; // every worker died
+                }
+                None
+            }
+            WireRequest::Forward { request, .. } => Some(forward_misdirected(&request)),
+        };
+        if let Some(response) = response {
+            let mut w = writer.lock();
+            if write_frame(&mut *w, &response).is_err() {
+                break;
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    // Closing the queue lets workers drain in-flight requests and exit.
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
     }
     let _ = stream.shutdown(Shutdown::Both);
 }

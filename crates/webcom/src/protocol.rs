@@ -194,6 +194,12 @@ pub struct ClientIdentity {
     pub domains: Vec<Domain>,
 }
 
+/// Maximum number of peer-to-peer forwards an op may take before a
+/// master rejects it as mis-routed. With consistent rings every op
+/// reaches its home shard in one hop; anything deeper means the peers
+/// disagree about ring layout and the op would loop forever.
+pub const MAX_FORWARD_HOPS: u8 = 3;
+
 /// One frame from master to client.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WireRequest {
@@ -202,6 +208,18 @@ pub enum WireRequest {
     /// Schedule an operation (boxed: requests dwarf the handshake
     /// variant).
     Schedule(Box<ScheduleRequest>),
+    /// Master-to-master: schedule an operation on behalf of a peer
+    /// that received it but does not own the principal's shard. `hops`
+    /// counts forwards already taken; a receiver at
+    /// [`MAX_FORWARD_HOPS`] rejects instead of forwarding again, which
+    /// turns a ring-configuration loop into an error rather than a
+    /// livelock.
+    Forward {
+        /// The operation being forwarded (unchanged from the original).
+        request: Box<ScheduleRequest>,
+        /// Forwards taken so far, including the one carrying this frame.
+        hops: u8,
+    },
 }
 
 /// One frame from client to master.
@@ -211,6 +229,9 @@ pub enum WireResponse {
     Identity(ClientIdentity),
     /// Answer to [`WireRequest::Schedule`].
     Reply(ScheduleReply),
+    /// Answer to [`WireRequest::Forward`]: the owning shard's reply,
+    /// relayed verbatim back toward the originating master.
+    ForwardReply(ScheduleReply),
 }
 
 /// Executes middleware components on a client. Implementations wrap the

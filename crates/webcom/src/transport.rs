@@ -172,10 +172,12 @@ impl TcpTransport {
     pub fn identify(&self, timeout: Duration) -> Result<ClientIdentity, TransportError> {
         match self.exchange(&WireRequest::Identify, timeout)? {
             WireResponse::Identity(id) => Ok(id),
-            WireResponse::Reply(r) => Err(TransportError::Protocol(format!(
-                "expected identity, got reply for op {}",
-                r.op_id
-            ))),
+            WireResponse::Reply(r) | WireResponse::ForwardReply(r) => {
+                Err(TransportError::Protocol(format!(
+                    "expected identity, got reply for op {}",
+                    r.op_id
+                )))
+            }
         }
     }
 
@@ -283,10 +285,10 @@ impl ClientTransport for TcpTransport {
                         reply.op_id, request.op_id
                     )));
                 }
-                WireResponse::Identity(_) => {
+                WireResponse::Identity(_) | WireResponse::ForwardReply(_) => {
                     *self.stream.lock() = None;
                     return Err(TransportError::Protocol(
-                        "identity frame while awaiting a schedule reply".to_string(),
+                        "unexpected frame while awaiting a schedule reply".to_string(),
                     ));
                 }
             }

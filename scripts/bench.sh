@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the headline criterion benches and emits machine-readable
-# summaries (BENCH_fig2.json, BENCH_fig3.json) at the repo root, so the
-# perf trajectory can be tracked across commits.
+# summaries (BENCH_fig2.json, BENCH_fig3.json, BENCH_load.json) at the
+# repo root, so the perf trajectory can be tracked across commits.
 #
 # Usage: ./scripts/bench.sh            full measured run
 #        ./scripts/bench.sh --smoke    correctness-only pass (no JSON),
@@ -17,8 +17,11 @@ if [[ "${1:-}" == "--smoke" ]]; then
     exit 0
 fi
 
-for fig in fig2_query_latency fig3_sched_throughput; do
-    short="${fig%%_*}"
+for fig in fig2_query_latency fig3_sched_throughput fig_load; do
+    case "${fig}" in
+        fig_load) short="load" ;;
+        *)        short="${fig%%_*}" ;;
+    esac
     out="BENCH_${short}.json"
     echo "== bench: ${fig} -> ${out} =="
     # Absolute path: cargo runs bench binaries from the package dir.
@@ -33,4 +36,15 @@ for series in decision_batched_b1 decision_batched_b16 decision_batched_b256; do
         || { echo "bench.sh: BENCH_fig2.json is missing the ${series} series"; exit 1; }
 done
 
-echo "bench.sh: wrote BENCH_fig2.json BENCH_fig3.json"
+# The load summary must carry throughput and latency-quantile series
+# for every fabric shape the scaling claims compare: lockstep vs mux at
+# 1/2/4 shards.
+for shape in lockstep_shards1 lockstep_shards2 lockstep_shards4 \
+             mux_shards1 mux_shards2 mux_shards4; do
+    for metric in throughput p50 p99 p999; do
+        grep -q "\"id\": \"fig_load/${metric}/${shape}\"" BENCH_load.json \
+            || { echo "bench.sh: BENCH_load.json is missing fig_load/${metric}/${shape}"; exit 1; }
+    done
+done
+
+echo "bench.sh: wrote BENCH_fig2.json BENCH_fig3.json BENCH_load.json"

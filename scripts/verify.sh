@@ -26,6 +26,17 @@ $LINT lint fixtures/defects.kn --rbac fixtures/defects.rbac.json \
     --now 200 --revoked Kdave --format json | diff -u fixtures/defects.golden.json - \
     || { echo "defects.kn lint output drifted from fixtures/defects.golden.json"; exit 1; }
 
+echo "== sharded fabric tests (bounded: mux + forwarding must not hang) =="
+timeout 120 cargo test -q --test sharded_fabric
+
+echo "== 2-shard mux smoke (small principal count, real TCP fabric) =="
+out="$(timeout 120 ./target/release/hetsec loadgen \
+    --principals 500 --ops 60 --shards 2 --window 8 --callers 2 \
+    --pipeline 4 --service-us 200)"
+echo "$out"
+echo "$out" | grep -q "60/60 ops ok over 2 shard(s), mux transport" \
+    || { echo "verify.sh: 2-shard mux smoke dropped ops"; exit 1; }
+
 echo "== batch-equivalence smoke (decide_batch === per-request decide) =="
 timeout 120 cargo test -q --test batch_equivalence
 timeout 120 cargo test -q --test hotpath_equivalence -- batch

@@ -171,3 +171,45 @@ fn keycom_updates_flow_through_to_the_bus_view() {
         .apply(&PolicyChange::Assign(RoleAssignment::new("kc-user", "CORP", "Manager")));
     assert!(f.bus.consistency_report().iter().all(|c| c.is_consistent()));
 }
+
+#[test]
+fn lint_gate_blocks_propagation_to_revoked_keys_end_to_end() {
+    use hetsec_analyze::LintAdmissionGate;
+
+    let f = fixture();
+    f.bus
+        .set_gate(Arc::new(LintAdmissionGate::new().revoke("Kmallory")));
+
+    // A clean change still flows to its owning endpoint.
+    let ok = f
+        .bus
+        .apply(&PolicyChange::Assign(RoleAssignment::new("dave", "CORP", "Manager")));
+    assert!(ok.admitted() && ok.unified_changed, "{ok:?}");
+    assert!(f.com.allows(&"dave".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
+
+    // Granting a role to the revoked key's user introduces a new
+    // error-severity HS013 in the candidate's credential encoding, so
+    // the bus rejects before commit: no endpoint ever sees the row.
+    let before = f.bus.unified();
+    let rejected = f
+        .bus
+        .apply(&PolicyChange::Assign(RoleAssignment::new("mallory", "CORP", "Manager")));
+    assert!(!rejected.admitted());
+    assert!(!rejected.unified_changed);
+    assert!(rejected.propagated_to.is_empty());
+    assert!(
+        rejected.rejected.iter().any(|x| x.code == "HS013" && x.is_error()),
+        "{rejected:?}"
+    );
+    assert_eq!(f.bus.unified(), before);
+    assert!(!f.com.allows(&"mallory".into(), &"CORP".into(), &"SalariesDB".into(), &"Access".into()));
+    assert!(rejected.is_consistent());
+
+    // With the gate cleared the same change commits again — the gate is
+    // policy, not capability.
+    f.bus.clear_gate();
+    let ungated = f
+        .bus
+        .apply(&PolicyChange::Assign(RoleAssignment::new("mallory", "CORP", "Manager")));
+    assert!(ungated.admitted() && ungated.unified_changed);
+}
