@@ -1,34 +1,70 @@
 //! The lint admission gate: static analysis as a pre-commit check on
 //! policy propagation (closes the ROADMAP analyzer follow-on).
 //!
-//! [`LintAdmissionGate`] plugs the four-pass analyzer into
-//! `PolicyBus::apply` via the `AdmissionGate` trait from
-//! `hetsec-translate`: each candidate unified policy is encoded to its
-//! KeyNote credential form (the same `encode_policy` the `hetsec
-//! encode` CLI uses) and linted; findings the *candidate* trips that
-//! the *current* policy did not are returned as objections, in the
-//! same `HS0xx`-code + severity shape as `hetsec lint --format json`.
-//! The bus rejects on any new `error`-severity finding, so a change
-//! that would grant authority to a revoked key — or otherwise
-//! introduce an error-class defect into the credential store — never
-//! commits and never reaches an endpoint. Pre-existing findings are
-//! grandfathered: the gate only blocks regressions, so standing debt
-//! does not freeze all maintenance.
+//! [`LintAdmissionGate`] plugs the analyzer into `PolicyBus::apply`
+//! via the `AdmissionGate` trait from `hetsec-translate`: each
+//! candidate unified policy is encoded to its KeyNote credential form
+//! (the same `encode_policy` the `hetsec encode` CLI uses) and linted;
+//! findings the *candidate* trips that the *current* policy did not
+//! are returned as objections, in the same `HS0xx`-code + severity
+//! shape as `hetsec lint --format json`. The bus rejects on any new
+//! `error`-severity finding. Pre-existing findings are grandfathered:
+//! the gate only blocks regressions, so standing debt does not freeze
+//! all maintenance.
+//!
+//! Two things make the gate scale with the *change*, not the store:
+//!
+//! * reviews run on a cached [`IncrementalAnalyzer`] — the candidate
+//!   engine evolves from the current one by applying the fingerprint
+//!   delta between the two encodings, so only the dirtied passes
+//!   re-run;
+//! * finding identity is `(code, assertion fingerprint)`, not message
+//!   text, so renamed principals or reworded messages can neither mask
+//!   a new objection nor resurrect a grandfathered one.
+//!
+//! On top of the syntactic diff, the gate runs the semantic verdict
+//! diff ([`crate::semdiff`]) and attaches concrete witnesses: the
+//! exact (principal, request) pairs whose verdict the change flips.
+//! Flips that mirror the declared RBAC change are reported as `info`
+//! notes (they are the intent); flips the RBAC relations do *not*
+//! explain keep their native HS015 (error) / HS016 (warn) severity.
 
-use crate::{analyze_with_directory, AnalysisOptions, Report};
-use hetsec_rbac::RbacPolicy;
+use crate::diag::Severity;
+use crate::incremental::{IncrementalAnalyzer, StoreEdit};
+use crate::semdiff::{self, Witness};
+use crate::{AnalysisOptions, Finding, Report};
+use hetsec_keynote::compiled::CompiledStore;
+use hetsec_rbac::{Domain, ObjectType, Permission, RbacPolicy, Role};
 use hetsec_translate::{
-    encode_policy, AdmissionFinding, AdmissionGate, SymbolicDirectory,
+    encode_policy, AdmissionFinding, AdmissionGate, AdmissionWitness, PrincipalDirectory,
+    SymbolicDirectory,
 };
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Most recently reviewed policies kept warm, as (policy hash, engine,
+/// report) entries. Two covers the steady state (current + last
+/// candidate, which becomes the next current on commit); four absorbs
+/// rejected candidates without evicting the current policy.
+const CACHE_CAPACITY: usize = 4;
+
+struct GateCache {
+    policy_hash: u64,
+    engine: IncrementalAnalyzer,
+    report: Report,
+}
 
 /// An [`AdmissionGate`] that lints the KeyNote encoding of each
-/// candidate policy and objects to every *new* finding.
+/// candidate policy and objects to every *new* finding, with verdict
+/// witnesses.
 pub struct LintAdmissionGate {
     webcom_key: String,
     now: Option<f64>,
     revoked: BTreeSet<String>,
     known_attributes: BTreeSet<String>,
+    cache: Mutex<Vec<GateCache>>,
 }
 
 impl Default for LintAdmissionGate {
@@ -39,8 +75,16 @@ impl Default for LintAdmissionGate {
             now: base.now,
             revoked: base.revoked,
             known_attributes: base.known_attributes,
+            cache: Mutex::new(Vec::new()),
         }
     }
+}
+
+fn policy_hash(policy: &RbacPolicy) -> u64 {
+    let json = serde_json::to_string(policy).expect("policy serializes");
+    let mut h = DefaultHasher::new();
+    json.hash(&mut h);
+    h.finish()
 }
 
 impl LintAdmissionGate {
@@ -61,48 +105,196 @@ impl LintAdmissionGate {
         self
     }
 
-    /// Lints the KeyNote encoding of `policy` with this gate's options.
-    /// The analysis shares the encoding directory, so every key the
-    /// encoder issued resolves back to its exact user.
-    fn lint(&self, policy: &RbacPolicy) -> Report {
-        let directory = SymbolicDirectory::default();
-        let assertions = encode_policy(policy, &self.webcom_key, &directory);
-        let opts = AnalysisOptions {
+    fn options(&self, policy: &RbacPolicy) -> AnalysisOptions {
+        AnalysisOptions {
             rbac: Some(policy.clone()),
             webcom_key: self.webcom_key.clone(),
             now: self.now,
             revoked: self.revoked.clone(),
             known_attributes: self.known_attributes.clone(),
+        }
+    }
+
+    /// Returns the analyzed engine + report for `policy`, served from
+    /// the gate cache when the policy was reviewed before, otherwise
+    /// evolved incrementally from the closest cached engine (or built
+    /// cold on first contact). The returned entry is moved to the
+    /// cache front.
+    fn analyzed(
+        &self,
+        policy: &RbacPolicy,
+        directory: &SymbolicDirectory,
+    ) -> (IncrementalAnalyzer, Report) {
+        let hash = policy_hash(policy);
+        let mut cache = self.cache.lock().expect("gate cache lock");
+        if let Some(pos) = cache.iter().position(|e| e.policy_hash == hash) {
+            let entry = cache.remove(pos);
+            let out = (entry.engine.clone(), entry.report.clone());
+            cache.insert(0, entry);
+            return out;
+        }
+
+        let target = encode_policy(policy, &self.webcom_key, directory);
+        let (mut engine, seeded) = match cache.first() {
+            Some(nearest) => {
+                // Evolve: apply the fingerprint delta between the cached
+                // store and the target encoding, so unchanged assertions
+                // keep their cached pass results.
+                let mut engine = nearest.engine.clone();
+                engine.set_rbac(Some(policy.clone()));
+                let mut target_store = CompiledStore::default();
+                for a in &target {
+                    target_store.add(a);
+                }
+                let delta = engine.store().delta(&target_store);
+                for &idx in delta.removed.iter().rev() {
+                    engine.apply(StoreEdit::Remove(idx));
+                }
+                for &idx in &delta.added {
+                    engine.apply(StoreEdit::Add(target[idx].clone()));
+                }
+                (engine, true)
+            }
+            None => (
+                IncrementalAnalyzer::new(target, self.options(policy)),
+                false,
+            ),
         };
-        analyze_with_directory(&assertions, &opts, &directory)
+        let _ = seeded;
+        let report = engine.analyze(directory);
+        cache.insert(
+            0,
+            GateCache {
+                policy_hash: hash,
+                engine: engine.clone(),
+                report: report.clone(),
+            },
+        );
+        cache.truncate(CACHE_CAPACITY);
+        (engine, report)
     }
 }
 
-/// Identity of a finding across two lint runs. Assertion indices shift
-/// when rows are added or removed, so findings are keyed by what they
-/// say, not where they point.
-fn key(code: &str, severity: &str, message: &str) -> (String, String, String) {
-    (code.to_string(), severity.to_string(), message.to_string())
+/// Identity of a finding across two lint runs: its code plus the
+/// *fingerprint* of the assertion it points at (hex), falling back to
+/// the message for store-level findings (escalation, cycles) that name
+/// no assertion. Assertion indices shift when rows are added or
+/// removed, and messages change when principals are renamed — the
+/// fingerprint tracks the credential itself.
+fn finding_key(f: &Finding, fingerprints: &[[u8; 32]]) -> (String, String) {
+    let anchor = match f.assertion.and_then(|idx| fingerprints.get(idx)) {
+        Some(fp) => fp.iter().map(|b| format!("{b:02x}")).collect::<String>(),
+        None => f.message.clone(),
+    };
+    (f.code.as_str().to_string(), anchor)
+}
+
+/// True when the RBAC relations themselves explain the flip: the
+/// witness's (user, tuple) verdict moves in the same direction between
+/// the two policies. Such flips are the declared intent of the change,
+/// not drift.
+fn change_explains(w: &Witness, current: &RbacPolicy, candidate: &RbacPolicy) -> bool {
+    // Resolve the witness principal to an RBAC user by forward-mapping
+    // the policies' own user sets (exact), rather than reversing the
+    // key text (heuristic and dependent on what the directory has
+    // issued so far).
+    let directory = SymbolicDirectory::default();
+    let mut users = current.users();
+    users.extend(candidate.users());
+    let Some(user) = users.into_iter().find(|u| directory.key_of(u) == w.principal) else {
+        return false;
+    };
+    let attr = |name: &str| {
+        w.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let (Some(d), Some(r), Some(t), Some(p)) = (
+        attr("Domain"),
+        attr("Role"),
+        attr("ObjectType"),
+        attr("Permission"),
+    ) else {
+        return false;
+    };
+    let verdict = |policy: &RbacPolicy| {
+        policy.check_access_as(
+            &user,
+            &Domain::new(d),
+            &Role::new(r),
+            &ObjectType::new(t),
+            &Permission::new(p),
+        )
+    };
+    verdict(current) == w.before && verdict(candidate) == w.after
 }
 
 impl AdmissionGate for LintAdmissionGate {
     fn review(&self, current: &RbacPolicy, candidate: &RbacPolicy) -> Vec<AdmissionFinding> {
-        let before: BTreeSet<_> = self
-            .lint(current)
+        let directory = SymbolicDirectory::default();
+        let (current_engine, current_report) = self.analyzed(current, &directory);
+        let (candidate_engine, candidate_report) = self.analyzed(candidate, &directory);
+
+        let before: BTreeSet<(String, String)> = current_report
             .findings
             .iter()
-            .map(|f| key(f.code.as_str(), f.severity().as_str(), &f.message))
+            .map(|f| finding_key(f, current_engine.store().fingerprints()))
             .collect();
-        self.lint(candidate)
+        let mut findings: Vec<AdmissionFinding> = candidate_report
             .findings
             .iter()
-            .filter(|f| !before.contains(&key(f.code.as_str(), f.severity().as_str(), &f.message)))
+            .filter(|f| !before.contains(&finding_key(f, candidate_engine.store().fingerprints())))
             .map(|f| AdmissionFinding {
                 code: f.code.as_str().to_string(),
                 severity: f.severity().as_str().to_string(),
                 message: f.message.clone(),
+                witnesses: Vec::new(),
             })
-            .collect()
+            .collect();
+
+        // Semantic verdict diff: which requests decide differently.
+        let opts = self.options(candidate);
+        let diff = semdiff::diff_verdicts(
+            current_engine.assertions(),
+            candidate_engine.assertions(),
+            &opts,
+        );
+        for w in &diff.witnesses {
+            let f = semdiff::witness_finding(w);
+            let severity = if change_explains(w, current, candidate) {
+                Severity::Info.as_str()
+            } else {
+                f.severity().as_str()
+            };
+            let verdict = |granted: bool| if granted { "GRANT" } else { "DENY" };
+            findings.push(AdmissionFinding {
+                code: f.code.as_str().to_string(),
+                severity: severity.to_string(),
+                message: f.message,
+                witnesses: vec![AdmissionWitness {
+                    principal: w.principal.clone(),
+                    attributes: w.attributes_display(),
+                    before: verdict(w.before).to_string(),
+                    after: verdict(w.after).to_string(),
+                }],
+            });
+        }
+
+        // Satellite of the validity pass: without an analysis time the
+        // HS010 window checks cannot run — say so instead of silently
+        // passing expired credentials.
+        if self.now.is_none() {
+            findings.push(AdmissionFinding {
+                code: "HS010".to_string(),
+                severity: Severity::Warn.as_str().to_string(),
+                message: "analysis time not set: validity-window checks (HS010) were \
+                          skipped; construct the gate with with_now to enable them"
+                    .to_string(),
+                witnesses: Vec::new(),
+            });
+        }
+        findings
     }
 }
 
@@ -114,16 +306,59 @@ mod tests {
 
     #[test]
     fn clean_change_raises_no_objection() {
+        let gate = LintAdmissionGate::new().with_now(100.0);
+        let current = salaries_policy();
+        let mut candidate = current.clone();
+        candidate.assign(RoleAssignment::new("carol", "Sales", "Manager"));
+        let findings = gate.review(&current, &candidate);
+        assert!(
+            !findings.iter().any(AdmissionFinding::is_error),
+            "{findings:?}"
+        );
+        // The widening the change *declares* is reported as an info
+        // note with a concrete witness, not as a blocking objection.
+        let widenings: Vec<_> = findings.iter().filter(|f| f.code == "HS015").collect();
+        assert!(!widenings.is_empty(), "{findings:?}");
+        assert!(widenings.iter().all(|f| f.severity == "info"), "{widenings:?}");
+        assert!(
+            widenings.iter().any(|f| {
+                f.witnesses.iter().any(|w| {
+                    w.principal == "Kcarol"
+                        && w.before == "DENY"
+                        && w.after == "GRANT"
+                        && w.attributes.contains("Role=\"Manager\"")
+                })
+            }),
+            "{widenings:?}"
+        );
+    }
+
+    #[test]
+    fn missing_analysis_time_is_called_out() {
+        // Satellite: `now: None` silently skips HS010 — the gate must
+        // say so with a warning-severity note.
         let gate = LintAdmissionGate::new();
         let current = salaries_policy();
         let mut candidate = current.clone();
         candidate.assign(RoleAssignment::new("carol", "CORP", "Manager"));
-        assert!(gate.review(&current, &candidate).is_empty());
+        let findings = gate.review(&current, &candidate);
+        let note = findings
+            .iter()
+            .find(|f| f.code == "HS010" && f.severity == "warn")
+            .expect("skip note present");
+        assert!(note.message.contains("skipped"), "{note:?}");
+        // And it never appears once a time is supplied.
+        let gate = LintAdmissionGate::new().with_now(100.0);
+        let findings = gate.review(&current, &candidate);
+        assert!(
+            !findings.iter().any(|f| f.code == "HS010"),
+            "{findings:?}"
+        );
     }
 
     #[test]
     fn granting_to_a_revoked_key_is_a_new_error() {
-        let gate = LintAdmissionGate::new().revoke("Kmallory");
+        let gate = LintAdmissionGate::new().with_now(100.0).revoke("Kmallory");
         let current = salaries_policy();
         let mut candidate = current.clone();
         candidate.assign(RoleAssignment::new("mallory", "CORP", "Manager"));
@@ -138,7 +373,7 @@ mod tests {
     fn standing_debt_is_grandfathered() {
         // The revoked key is already licensed in the *current* policy:
         // re-linting must not object to unrelated changes.
-        let gate = LintAdmissionGate::new().revoke("Kmallory");
+        let gate = LintAdmissionGate::new().with_now(100.0).revoke("Kmallory");
         let mut current = salaries_policy();
         current.assign(RoleAssignment::new("mallory", "CORP", "Manager"));
         let mut candidate = current.clone();
@@ -148,5 +383,48 @@ mod tests {
             !findings.iter().any(AdmissionFinding::is_error),
             "{findings:?}"
         );
+    }
+
+    #[test]
+    fn repeated_message_does_not_mask_a_new_finding() {
+        // Satellite regression: the old gate keyed findings on
+        // (code, severity, message). A second credential licensing the
+        // same revoked key produces a byte-identical HS013 message, so
+        // message keying grandfathers it away; fingerprint keying sees
+        // a different assertion and objects.
+        let gate = LintAdmissionGate::new().with_now(100.0).revoke("Kmallory");
+        let mut current = salaries_policy();
+        current.assign(RoleAssignment::new("mallory", "CORP", "Manager"));
+        let mut candidate = current.clone();
+        candidate.assign(RoleAssignment::new("mallory", "CORP", "Clerk"));
+        let findings = gate.review(&current, &candidate);
+        assert!(
+            findings.iter().any(|f| f.code == "HS013"
+                && f.is_error()
+                && f.message.contains("Kmallory")),
+            "fingerprint keying must surface the second revoked-licensee \
+             credential: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn review_is_served_incrementally_after_warmup() {
+        let gate = LintAdmissionGate::new().with_now(100.0);
+        let current = salaries_policy();
+        let mut candidate = current.clone();
+        candidate.assign(RoleAssignment::new("carol", "CORP", "Manager"));
+        gate.review(&current, &candidate);
+        // Second review of the same pair: both policies come from the
+        // gate cache and no pass re-runs at all.
+        gate.review(&current, &candidate);
+        let cache = gate.cache.lock().unwrap();
+        assert!(cache.len() >= 2, "both policies cached");
+        for entry in cache.iter() {
+            let s = entry.engine.stats();
+            assert!(
+                s.assertions_cached + s.assertions_relinted > 0,
+                "engines analyzed at least once"
+            );
+        }
     }
 }

@@ -379,6 +379,115 @@ pub fn status(e: &Expr) -> Status {
     Status::Sat
 }
 
+/// Formats a witness number the way KeyNote renders numeric values:
+/// integral values print without a fractional part.
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Picks a concrete value inside `iv` avoiding the `ne` exclusions.
+fn pick_in_interval(iv: &Interval, ne: &[f64]) -> Option<f64> {
+    let mut candidates = Vec::new();
+    if iv.lo.is_finite() {
+        if !iv.lo_strict {
+            candidates.push(iv.lo);
+        }
+        candidates.push(iv.lo + 1.0);
+        candidates.push(iv.lo + 0.5);
+    }
+    if iv.hi.is_finite() {
+        if !iv.hi_strict {
+            candidates.push(iv.hi);
+        }
+        candidates.push(iv.hi - 1.0);
+        candidates.push(iv.hi - 0.5);
+    }
+    if iv.lo.is_finite() && iv.hi.is_finite() {
+        candidates.push((iv.lo + iv.hi) / 2.0);
+    }
+    if !iv.lo.is_finite() && !iv.hi.is_finite() {
+        candidates.push(0.0);
+        candidates.push(ne.iter().cloned().fold(0.0, f64::max) + 1.0);
+    }
+    candidates
+        .into_iter()
+        .find(|v| iv.contains(*v) && !ne.contains(v))
+}
+
+/// Harvests concrete satisfying assignments from the satisfiable DNF
+/// conjuncts of `e`: one sorted `(attribute, value)` list per conjunct
+/// the engine can solve. Opaque atoms are skipped (the assignment may
+/// not satisfy them — callers validate candidate witnesses against the
+/// real evaluator, so over-approximation only costs wasted probes).
+pub(crate) fn witness_valuations(e: &Expr, out: &mut std::collections::BTreeSet<Vec<(String, String)>>) {
+    use std::collections::BTreeMap;
+    let Some(dnf) = to_dnf(e, false) else { return };
+    'conjuncts: for conjunct in &dnf {
+        if !conjunct_sat(conjunct) {
+            continue;
+        }
+        // Re-derive the per-attribute state the sat check used.
+        let mut states: BTreeMap<&str, AttrState> = BTreeMap::new();
+        for atom in conjunct {
+            let Atom::Cmp {
+                attr,
+                op,
+                lit,
+                numeric,
+            } = atom
+            else {
+                continue;
+            };
+            let st = states.entry(attr.as_str()).or_default();
+            if *numeric {
+                let Some(v) = lit_num(lit) else {
+                    continue 'conjuncts;
+                };
+                st.has_numeric = true;
+                if *op == CmpOp::Ne {
+                    st.ne_nums.push(v);
+                } else {
+                    st.interval.get_or_insert_with(Interval::full).narrow(*op, v);
+                }
+            } else if let Lit::Str(s) = lit {
+                match op {
+                    CmpOp::Eq => st.eq_str = Some(s.clone()),
+                    CmpOp::Ne => st.ne_strs.push(s.clone()),
+                    _ => {}
+                }
+            }
+        }
+        let mut valuation = Vec::new();
+        for (attr, st) in &states {
+            if let Some(eq) = &st.eq_str {
+                valuation.push((attr.to_string(), eq.clone()));
+            } else if st.has_numeric {
+                let iv = st.interval.unwrap_or_else(Interval::full);
+                match pick_in_interval(&iv, &st.ne_nums) {
+                    Some(v) => valuation.push((attr.to_string(), fmt_num(v))),
+                    None => continue 'conjuncts,
+                }
+            } else if !st.ne_strs.is_empty() {
+                // An absent attribute reads as the empty string; only
+                // materialize a value when "" is itself excluded.
+                if st.ne_strs.iter().any(|s| s.is_empty()) {
+                    let v = (0..)
+                        .map(|i| format!("w{i}"))
+                        .find(|c| !st.ne_strs.contains(c))
+                        .expect("finite exclusion list");
+                    valuation.push((attr.to_string(), v));
+                }
+            }
+        }
+        valuation.sort();
+        out.insert(valuation);
+    }
+}
+
 /// Collects every attribute name an expression reads directly
 /// (dereference *targets* are dynamic and cannot be collected, but the
 /// name-producing subterm's own attribute reads are).

@@ -61,11 +61,19 @@ pub enum LintCode {
     RevokedPrincipal,
     /// RBAC grant the credential store does not honour (decode drift).
     MissingGrant,
+    /// Semantic diff: the candidate store authorizes a request the
+    /// current store denies (witness-backed grant widening).
+    GrantWidening,
+    /// Semantic diff: the candidate store denies a request the current
+    /// store authorizes (witness-backed grant narrowing).
+    GrantNarrowing,
 }
 
 impl LintCode {
-    /// All codes, in code order.
-    pub const ALL: [LintCode; 14] = [
+    /// All codes, in code order. The last two ([`LintCode::is_diff`])
+    /// only arise from the two-store verdict diff, never from linting a
+    /// single store.
+    pub const ALL: [LintCode; 16] = [
         LintCode::DelegationCycle,
         LintCode::UnreachableCredential,
         LintCode::DanglingLicensee,
@@ -80,7 +88,15 @@ impl LintCode {
         LintCode::DuplicateAssertion,
         LintCode::RevokedPrincipal,
         LintCode::MissingGrant,
+        LintCode::GrantWidening,
+        LintCode::GrantNarrowing,
     ];
+
+    /// True for the verdict-diff codes, which compare two stores and
+    /// can never be tripped by analyzing one store in isolation.
+    pub fn is_diff(self) -> bool {
+        matches!(self, LintCode::GrantWidening | LintCode::GrantNarrowing)
+    }
 
     /// The stable code string (`HS001` ...).
     pub fn as_str(self) -> &'static str {
@@ -99,6 +115,8 @@ impl LintCode {
             LintCode::DuplicateAssertion => "HS012",
             LintCode::RevokedPrincipal => "HS013",
             LintCode::MissingGrant => "HS014",
+            LintCode::GrantWidening => "HS015",
+            LintCode::GrantNarrowing => "HS016",
         }
     }
 
@@ -111,14 +129,16 @@ impl LintCode {
             | LintCode::ShadowedClause
             | LintCode::UnknownAttribute
             | LintCode::DuplicateAssertion
-            | LintCode::MissingGrant => Severity::Warn,
+            | LintCode::MissingGrant
+            | LintCode::GrantNarrowing => Severity::Warn,
             LintCode::TautologicalCondition => Severity::Info,
             LintCode::Escalation
             | LintCode::UnsatisfiableCondition
             | LintCode::BadRegex
             | LintCode::OutsideValidity
             | LintCode::UnknownAuthorizer
-            | LintCode::RevokedPrincipal => Severity::Error,
+            | LintCode::RevokedPrincipal
+            | LintCode::GrantWidening => Severity::Error,
         }
     }
 
@@ -139,6 +159,8 @@ impl LintCode {
             LintCode::DuplicateAssertion => "duplicate assertion",
             LintCode::RevokedPrincipal => "revoked principal",
             LintCode::MissingGrant => "RBAC grant the store does not honour",
+            LintCode::GrantWidening => "candidate store grants a request the current denies",
+            LintCode::GrantNarrowing => "candidate store denies a request the current grants",
         }
     }
 }

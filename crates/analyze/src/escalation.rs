@@ -11,6 +11,12 @@
 //! not honour is decode drift (`HS014`). On a faithful
 //! `encode_policy` round-trip both directions are empty, which is the
 //! analyzer's own differential oracle.
+//!
+//! The pass is factored into `user_universe` / `tuple_universe` /
+//! `probe_user` / `materialize` so the incremental engine can re-probe
+//! only the users whose delegation neighbourhood changed while reusing
+//! cached sweeps for everyone else, and still assemble findings that
+//! are byte-identical to this cold path.
 
 use crate::diag::{Finding, LintCode};
 use hetsec_keynote::ast::{Assertion, Clause};
@@ -22,7 +28,7 @@ use hetsec_translate::{decode_policy, PrincipalDirectory, APP_DOMAIN};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
-type Tuple = (String, String, String, String);
+pub(crate) type Tuple = (String, String, String, String);
 
 /// Harvests candidate (Domain, Role, ObjectType, Permission) tuples
 /// from the equality conjuncts of the store's condition programs, so
@@ -76,24 +82,29 @@ fn tuples_from_conditions(assertions: &[Assertion], out: &mut BTreeSet<Tuple>) {
     }
 }
 
-/// Runs the escalation diff. `revoked` keys are honoured exactly as at
-/// request time.
-pub fn analyze_escalation(
+/// Candidate users: everyone the RBAC policy mentions, everyone a
+/// decode of the store recovers, and every *live* store principal the
+/// directory can resolve (catching credentials for users the RBAC side
+/// has never heard of — the classic escalation). Live means the
+/// principal is the authorizer or a licensee of some stored assertion:
+/// after incremental removals the interner may still hold retired
+/// names, and those must not widen the probe matrix beyond what a cold
+/// compile of the same assertions would produce.
+pub(crate) fn user_universe(
     assertions: &[Assertion],
     store: &CompiledStore,
     rbac: &RbacPolicy,
     webcom_key: &str,
     directory: &dyn PrincipalDirectory,
-    revoked: &BTreeSet<String>,
-) -> Vec<Finding> {
-    // Candidate users: everyone the RBAC policy mentions, everyone a
-    // decode of the store recovers, and every store principal the
-    // directory can resolve (catching credentials for users the RBAC
-    // side has never heard of — the classic escalation).
+) -> BTreeSet<User> {
     let mut users: BTreeSet<User> = rbac.users();
     users.extend(decode_policy(assertions, webcom_key, directory).policy.users());
-    let admin_user = directory.user_of(webcom_key);
-    for id in 0..store.principals().len() as u32 {
+    let mut live: BTreeSet<u32> = BTreeSet::new();
+    for (_, authorizer, licensees) in store.delegations() {
+        live.insert(authorizer);
+        live.extend(licensees.iter().copied());
+    }
+    for id in live {
         let Some(text) = store.principals().text(id) else {
             continue;
         };
@@ -104,11 +115,14 @@ pub fn analyze_escalation(
             users.insert(u);
         }
     }
-    if let Some(admin) = &admin_user {
-        users.remove(admin);
+    if let Some(admin) = directory.user_of(webcom_key) {
+        users.remove(&admin);
     }
+    users
+}
 
-    // Tuple universe: RBAC grants plus tuples harvested from the store.
+/// Tuple universe: RBAC grants plus tuples harvested from the store.
+pub(crate) fn tuple_universe(assertions: &[Assertion], rbac: &RbacPolicy) -> BTreeSet<Tuple> {
     let mut tuples: BTreeSet<Tuple> = rbac
         .grants()
         .map(|g| {
@@ -121,82 +135,78 @@ pub fn analyze_escalation(
         })
         .collect();
     tuples_from_conditions(assertions, &mut tuples);
+    tuples
+}
 
-    // The user × tuple probe matrix is embarrassingly parallel across
-    // users, so fan the outer loop out with rayon. Each worker owns one
-    // [`QueryView`] and pushes its whole tuple sweep through a single
-    // `query_batch` call, paying for worklist scratch once per user
-    // instead of once per probe. Per-user results come back in `users`
-    // (BTreeSet) order — `map().collect()` preserves input order under
-    // rayon's work-stealing — so findings are deterministic regardless
-    // of how the sweep is scheduled.
-    let values = ComplianceValues::binary();
-    let users_list: Vec<&User> = users.iter().collect();
-    let per_user: Vec<(Vec<String>, Vec<String>)> = users_list
-        .par_iter()
-        .map(|user| {
-            let key = directory.key_of(user);
-            let authorizers = [key.as_str()];
-            let attr_sets: Vec<ActionAttributes> = tuples
-                .iter()
-                .map(|(d, r, t, p)| {
-                    [
-                        ("app_domain", APP_DOMAIN),
-                        ("Domain", d.as_str()),
-                        ("Role", r.as_str()),
-                        ("ObjectType", t.as_str()),
-                        ("Permission", p.as_str()),
-                    ]
-                    .into_iter()
-                    .collect()
-                })
-                .collect();
-            let probes: Vec<ViewQuery<'_>> = attr_sets
-                .iter()
-                .map(|attrs| ViewQuery {
-                    authorizers: &authorizers,
-                    attributes: attrs,
-                    extra: &[],
-                })
-                .collect();
-            let mut view = QueryView::new(store, &values, revoked);
-            let results = view.query_batch(&probes);
-            let mut esc = Vec::new();
-            let mut miss = Vec::new();
-            for ((d, r, t, p), result) in tuples.iter().zip(results) {
-                let keynote = result.is_authorized();
-                let rbac_ok = rbac.check_access_as(
-                    user,
-                    &Domain::new(d.as_str()),
-                    &Role::new(r.as_str()),
-                    &ObjectType::new(t.as_str()),
-                    &Permission::new(p.as_str()),
-                );
-                let point = format!("{d}/{r}: {p} on {t}");
-                if keynote && !rbac_ok {
-                    esc.push(point);
-                } else if !keynote && rbac_ok {
-                    miss.push(point);
-                }
-            }
-            (esc, miss)
+/// Sweeps one user across the whole tuple universe through a single
+/// `query_batch` call (paying for worklist scratch once per user) and
+/// returns the escalated and missing probe points, each formatted as
+/// `"{d}/{r}: {p} on {t}"` in tuple order.
+pub(crate) fn probe_user(
+    store: &CompiledStore,
+    rbac: &RbacPolicy,
+    directory: &dyn PrincipalDirectory,
+    revoked: &BTreeSet<String>,
+    values: &ComplianceValues,
+    tuples: &BTreeSet<Tuple>,
+    user: &User,
+) -> (Vec<String>, Vec<String>) {
+    let key = directory.key_of(user);
+    let authorizers = [key.as_str()];
+    let attr_sets: Vec<ActionAttributes> = tuples
+        .iter()
+        .map(|(d, r, t, p)| {
+            [
+                ("app_domain", APP_DOMAIN),
+                ("Domain", d.as_str()),
+                ("Role", r.as_str()),
+                ("ObjectType", t.as_str()),
+                ("Permission", p.as_str()),
+            ]
+            .into_iter()
+            .collect()
         })
         .collect();
-
-    let mut escalations: BTreeMap<User, Vec<String>> = BTreeMap::new();
-    let mut missing: BTreeMap<User, Vec<String>> = BTreeMap::new();
-    for (user, (esc, miss)) in users_list.iter().zip(per_user) {
-        if !esc.is_empty() {
-            escalations.insert((*user).clone(), esc);
-        }
-        if !miss.is_empty() {
-            missing.insert((*user).clone(), miss);
+    let probes: Vec<ViewQuery<'_>> = attr_sets
+        .iter()
+        .map(|attrs| ViewQuery {
+            authorizers: &authorizers,
+            attributes: attrs,
+            extra: &[],
+        })
+        .collect();
+    let mut view = QueryView::new(store, values, revoked);
+    let results = view.query_batch(&probes);
+    let mut esc = Vec::new();
+    let mut miss = Vec::new();
+    for ((d, r, t, p), result) in tuples.iter().zip(results) {
+        let keynote = result.is_authorized();
+        let rbac_ok = rbac.check_access_as(
+            user,
+            &Domain::new(d.as_str()),
+            &Role::new(r.as_str()),
+            &ObjectType::new(t.as_str()),
+            &Permission::new(p.as_str()),
+        );
+        let point = format!("{d}/{r}: {p} on {t}");
+        if keynote && !rbac_ok {
+            esc.push(point);
+        } else if !keynote && rbac_ok {
+            miss.push(point);
         }
     }
+    (esc, miss)
+}
 
+/// Expands per-user probe results into findings, in user order.
+pub(crate) fn materialize(
+    escalations: &BTreeMap<User, Vec<String>>,
+    missing: &BTreeMap<User, Vec<String>>,
+    directory: &dyn PrincipalDirectory,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (user, points) in escalations {
-        let key = directory.key_of(&user);
+        let key = directory.key_of(user);
         findings.push(Finding {
             code: LintCode::Escalation,
             assertion: None,
@@ -212,7 +222,7 @@ pub fn analyze_escalation(
         });
     }
     for (user, points) in missing {
-        let key = directory.key_of(&user);
+        let key = directory.key_of(user);
         findings.push(Finding {
             code: LintCode::MissingGrant,
             assertion: None,
@@ -227,4 +237,42 @@ pub fn analyze_escalation(
         });
     }
     findings
+}
+
+/// Runs the escalation diff cold. `revoked` keys are honoured exactly
+/// as at request time.
+pub fn analyze_escalation(
+    assertions: &[Assertion],
+    store: &CompiledStore,
+    rbac: &RbacPolicy,
+    webcom_key: &str,
+    directory: &dyn PrincipalDirectory,
+    revoked: &BTreeSet<String>,
+) -> Vec<Finding> {
+    let users = user_universe(assertions, store, rbac, webcom_key, directory);
+    let tuples = tuple_universe(assertions, rbac);
+
+    // The user × tuple probe matrix is embarrassingly parallel across
+    // users, so fan the outer loop out with rayon. Per-user results
+    // come back in `users` (BTreeSet) order — `map().collect()`
+    // preserves input order under rayon's work-stealing — so findings
+    // are deterministic regardless of how the sweep is scheduled.
+    let values = ComplianceValues::binary();
+    let users_list: Vec<&User> = users.iter().collect();
+    let per_user: Vec<(Vec<String>, Vec<String>)> = users_list
+        .par_iter()
+        .map(|user| probe_user(store, rbac, directory, revoked, &values, &tuples, user))
+        .collect();
+
+    let mut escalations: BTreeMap<User, Vec<String>> = BTreeMap::new();
+    let mut missing: BTreeMap<User, Vec<String>> = BTreeMap::new();
+    for (user, (esc, miss)) in users_list.iter().zip(per_user) {
+        if !esc.is_empty() {
+            escalations.insert((*user).clone(), esc);
+        }
+        if !miss.is_empty() {
+            missing.insert((*user).clone(), miss);
+        }
+    }
+    materialize(&escalations, &missing, directory)
 }

@@ -87,56 +87,270 @@ pub struct GraphAnalysis {
     pub reachable: Vec<bool>,
 }
 
-/// Runs the delegation-graph pass.
-pub fn analyze_graph(
+/// Weakly-connected components of the delegation graph, as lists of
+/// *assertion indices*: two assertions are connected when they share a
+/// principal (authorizer or licensee). Each component's member list is
+/// ascending; components are ordered by smallest member. Assertions
+/// whose principals overlap transitively land in one component, so
+/// every graph finding is decidable within a single component.
+pub(crate) fn weak_components(store: &CompiledStore) -> Vec<Vec<usize>> {
+    let n = store.principals().len();
+    // Union-find over principal ids.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (_, authorizer, licensees) in store.delegations() {
+        let a = find(&mut parent, authorizer as usize);
+        for &l in licensees {
+            let b = find(&mut parent, l as usize);
+            if a != b {
+                parent[b] = a;
+            }
+        }
+    }
+    let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    for (idx, authorizer, _) in store.delegations() {
+        let root = find(&mut parent, authorizer as usize);
+        let members = by_root.entry(root).or_insert_with(|| {
+            order.push(root);
+            Vec::new()
+        });
+        members.push(idx);
+    }
+    order
+        .into_iter()
+        .map(|root| by_root.remove(&root).expect("component registered"))
+        .collect()
+}
+
+/// Structured graph findings for one weak component, expressed without
+/// assertion indices so the result can be cached across store edits:
+/// member *positions* refer into the `members` slice the component was
+/// analyzed with, and messages that embed indices are regenerated at
+/// materialization time.
+#[derive(Clone, Debug)]
+pub(crate) struct ComponentFindings {
+    /// Fully-formatted cycle messages (they name principals only).
+    pub cycles: Vec<String>,
+    /// `(member position, authorizer display name)` of every credential
+    /// whose authorizer is unreachable from POLICY.
+    pub unreachable: Vec<(usize, String)>,
+    /// `(licensee display name, member positions mentioning it)` for
+    /// every licensee never bound to a key; positions ascending.
+    pub dangling: Vec<(String, Vec<usize>)>,
+}
+
+/// Runs the three graph checks on one weak component. The result
+/// depends only on the member assertions' contents (plus the fixed
+/// directory and admin key), never on where the members sit in the
+/// store — the contract the incremental engine's component cache
+/// relies on.
+pub(crate) fn component_findings(
     store: &CompiledStore,
     directory: &dyn PrincipalDirectory,
     webcom_key: &str,
-) -> GraphAnalysis {
-    let n = store.principals().len();
+    members: &[usize],
+) -> ComponentFindings {
+    // Local principal universe, in deterministic (id) order.
+    let mut ids: BTreeSet<PrincipalId> = BTreeSet::new();
+    for &m in members {
+        if let Some(a) = store.authorizer_of(m) {
+            ids.insert(a);
+        }
+        for &l in store.licensees_of(m).unwrap_or(&[]) {
+            ids.insert(l);
+        }
+    }
+    let locals: Vec<PrincipalId> = ids.iter().copied().collect();
+    let local_of: BTreeMap<PrincipalId, usize> = locals
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+    let n = locals.len();
+
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut self_loop = vec![false; n];
-    let mut authors: Vec<bool> = vec![false; n];
-    for (_, authorizer, licensees) in store.delegations() {
-        authors[authorizer as usize] = true;
-        for &l in licensees {
-            adj[authorizer as usize].push(l as usize);
-            if l == authorizer {
-                self_loop[l as usize] = true;
+    let mut authors = vec![false; n];
+    for &m in members {
+        let a = local_of[&store.authorizer_of(m).expect("member exists")];
+        authors[a] = true;
+        for &l in store.licensees_of(m).unwrap_or(&[]) {
+            let b = local_of[&l];
+            adj[a].push(b);
+            if a == b {
+                self_loop[b] = true;
             }
         }
     }
 
-    let mut findings = Vec::new();
-
     // Cycles: SCCs with more than one node, or an explicit self-loop.
+    let mut cycles = Vec::new();
     for comp in sccs(n, &adj) {
         let cyclic = comp.len() > 1 || (comp.len() == 1 && self_loop[comp[0]]);
         if !cyclic {
             continue;
         }
-        let mut names: Vec<String> = comp
-            .iter()
-            .map(|&v| name(store, v as PrincipalId))
-            .collect();
+        let mut names: Vec<String> = comp.iter().map(|&v| name(store, locals[v])).collect();
         names.sort();
+        cycles.push(format!(
+            "delegation cycle among {{{}}}: these principals only re-license each other",
+            names.join(", ")
+        ));
+    }
+    cycles.sort();
+
+    // Reachability from POLICY: POLICY licenses its licensees, who
+    // license theirs. A credential whose authorizer is outside this
+    // set can never raise the POLICY verdict. Directed reachability
+    // never leaves the weak component, so the BFS is local.
+    let mut reachable = vec![false; n];
+    if let Some(policy) = store.policy_id() {
+        if let Some(&p) = local_of.get(&policy) {
+            let mut queue = VecDeque::new();
+            reachable[p] = true;
+            queue.push_back(p);
+            while let Some(v) = queue.pop_front() {
+                for &w in &adj[v] {
+                    if !reachable[w] {
+                        reachable[w] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+    }
+    let mut unreachable = Vec::new();
+    for (pos, &m) in members.iter().enumerate() {
+        let authorizer = store.authorizer_of(m).expect("member exists");
+        if store.policy_id() == Some(authorizer) {
+            continue;
+        }
+        if !reachable[local_of[&authorizer]] {
+            unreachable.push((pos, name(store, authorizer)));
+        }
+    }
+
+    // Dangling licensees: mentioned in some licensees formula, but the
+    // text is not key material, not a directory-resolvable principal,
+    // and never authors an assertion — no request can ever present it.
+    let mut dangling_map: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (pos, &m) in members.iter().enumerate() {
+        for &l in store.licensees_of(m).unwrap_or(&[]) {
+            let lv = local_of[&l];
+            if authors[lv] || store.policy_id() == Some(l) {
+                continue;
+            }
+            let text = store.principals().text(l).unwrap_or("");
+            let is_key_material = text.starts_with("rsa-sim:");
+            if is_key_material || text == webcom_key || directory.user_of(text).is_some() {
+                continue;
+            }
+            dangling_map.entry(lv).or_default().insert(pos);
+        }
+    }
+    let mut dangling: Vec<(String, Vec<usize>)> = dangling_map
+        .into_iter()
+        .map(|(lv, positions)| {
+            (
+                name(store, locals[lv]),
+                positions.into_iter().collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    dangling.sort();
+
+    ComponentFindings {
+        cycles,
+        unreachable,
+        dangling,
+    }
+}
+
+/// Expands one component's structured findings into [`Finding`]s, with
+/// member positions resolved against the (possibly shifted) current
+/// assertion indices in `members`.
+pub(crate) fn materialize_component(cf: &ComponentFindings, members: &[usize]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for message in &cf.cycles {
         findings.push(Finding {
             code: LintCode::DelegationCycle,
             assertion: None,
             line_start: None,
             line_end: None,
-            message: format!(
-                "delegation cycle among {{{}}}: these principals only re-license each other",
-                names.join(", ")
-            ),
+            message: message.clone(),
             hint: "break the cycle by removing one delegation, or anchor one member under POLICY"
                 .to_string(),
         });
     }
+    for (pos, authorizer_name) in &cf.unreachable {
+        findings.push(Finding {
+            code: LintCode::UnreachableCredential,
+            assertion: Some(members[*pos]),
+            line_start: None,
+            line_end: None,
+            message: format!(
+                "credential authorizer {authorizer_name:?} is unreachable from POLICY, so the \
+                 credential can never contribute to a verdict"
+            ),
+            hint: "add a delegation chain from POLICY to this authorizer, or delete \
+                   the credential"
+                .to_string(),
+        });
+    }
+    for (licensee_name, positions) in &cf.dangling {
+        let mut indices: Vec<usize> = positions.iter().map(|&p| members[p]).collect();
+        indices.sort_unstable();
+        findings.push(Finding {
+            code: LintCode::DanglingLicensee,
+            assertion: indices.first().copied(),
+            line_start: None,
+            line_end: None,
+            message: format!(
+                "licensee {licensee_name:?} is never bound to a key: it is not key material, \
+                 not a directory-resolvable user, and authors no assertion (mentioned by {})",
+                indices
+                    .iter()
+                    .map(|i| format!("#{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            hint: "fix the licensee spelling or register the principal in the directory"
+                .to_string(),
+        });
+    }
+    findings
+}
 
-    // Reachability from POLICY: POLICY licenses its licensees, who
-    // license theirs. A credential whose authorizer is outside this
-    // set can never raise the POLICY verdict.
+/// Runs the delegation-graph pass: analyzes every weak component and
+/// assembles the findings (component order does not matter — the
+/// report's `finish()` sort canonicalizes it).
+pub fn analyze_graph(
+    store: &CompiledStore,
+    directory: &dyn PrincipalDirectory,
+    webcom_key: &str,
+) -> GraphAnalysis {
+    let mut findings = Vec::new();
+    for members in weak_components(store) {
+        let cf = component_findings(store, directory, webcom_key, &members);
+        findings.extend(materialize_component(&cf, &members));
+    }
+
+    // Global POLICY reachability, kept for callers inspecting the
+    // delegation frontier directly.
+    let n = store.principals().len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (_, authorizer, licensees) in store.delegations() {
+        for &l in licensees {
+            adj[authorizer as usize].push(l as usize);
+        }
+    }
     let mut reachable = vec![false; n];
     if let Some(policy) = store.policy_id() {
         let mut queue = VecDeque::new();
@@ -150,66 +364,6 @@ pub fn analyze_graph(
                 }
             }
         }
-    }
-    for (idx, authorizer, _) in store.delegations() {
-        if store.policy_id() == Some(authorizer) {
-            continue;
-        }
-        if !reachable[authorizer as usize] {
-            findings.push(Finding {
-                code: LintCode::UnreachableCredential,
-                assertion: Some(idx),
-                line_start: None,
-                line_end: None,
-                message: format!(
-                    "credential authorizer {:?} is unreachable from POLICY, so the \
-                     credential can never contribute to a verdict",
-                    name(store, authorizer)
-                ),
-                hint: "add a delegation chain from POLICY to this authorizer, or delete \
-                       the credential"
-                    .to_string(),
-            });
-        }
-    }
-
-    // Dangling licensees: mentioned in some licensees formula, but the
-    // text is not key material, not a directory-resolvable principal,
-    // and never authors an assertion — no request can ever present it.
-    let mut dangling: BTreeMap<PrincipalId, BTreeSet<usize>> = BTreeMap::new();
-    for (idx, _, licensees) in store.delegations() {
-        for &l in licensees {
-            if authors[l as usize] || store.policy_id() == Some(l) {
-                continue;
-            }
-            let text = store.principals().text(l).unwrap_or("");
-            let is_key_material = text.starts_with("rsa-sim:");
-            if is_key_material || text == webcom_key || directory.user_of(text).is_some() {
-                continue;
-            }
-            dangling.entry(l).or_default().insert(idx);
-        }
-    }
-    for (id, assertions) in dangling {
-        let first = assertions.iter().next().copied();
-        findings.push(Finding {
-            code: LintCode::DanglingLicensee,
-            assertion: first,
-            line_start: None,
-            line_end: None,
-            message: format!(
-                "licensee {:?} is never bound to a key: it is not key material, not a \
-                 directory-resolvable user, and authors no assertion (mentioned by {})",
-                name(store, id),
-                assertions
-                    .iter()
-                    .map(|i| format!("#{i}"))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ),
-            hint: "fix the licensee spelling or register the principal in the directory"
-                .to_string(),
-        });
     }
 
     GraphAnalysis {

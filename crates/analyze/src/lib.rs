@@ -28,9 +28,13 @@ pub mod conditions;
 pub mod diag;
 pub mod escalation;
 pub mod graph;
+pub mod incremental;
+pub mod semdiff;
 
 pub use admission::LintAdmissionGate;
 pub use diag::{Finding, JsonFinding, JsonReport, LintCode, Report, Severity};
+pub use incremental::{IncrementalAnalyzer, IncrementalStats, StoreEdit};
+pub use semdiff::{diff_verdicts, VerdictDiff, Witness};
 
 use hetsec_keynote::ast::{Assertion, Clause, ConditionsProgram, Expr, Principal, Term};
 use hetsec_keynote::compiled::CompiledStore;
@@ -57,6 +61,7 @@ pub const DEFAULT_KNOWN_ATTRIBUTES: &[&str] = &[
 ];
 
 /// Analyzer configuration.
+#[derive(Clone)]
 pub struct AnalysisOptions {
     /// The source RBAC policy; enables the escalation pass.
     pub rbac: Option<hetsec_rbac::RbacPolicy>,
@@ -123,9 +128,10 @@ pub fn analyze_with_directory(
     // Passes 3 & 4 work per assertion.
     let mut seen_texts: HashMap<String, usize> = HashMap::new();
     for (idx, a) in assertions.iter().enumerate() {
-        condition_lints(idx, a, opts, &mut findings);
-        hygiene_lints(idx, a, opts, directory, &mut findings);
-        validity_lints(idx, a, opts, &mut findings);
+        for mut f in per_assertion_findings(a, opts, directory) {
+            f.assertion = Some(idx);
+            findings.push(f);
+        }
 
         let text = print_assertion(a);
         match seen_texts.get(&text) {
@@ -189,6 +195,23 @@ pub fn analyze_text(text: &str, opts: &AnalysisOptions) -> Result<Report, ParseE
     Ok(report)
 }
 
+/// Runs the per-assertion passes (conditions, hygiene, validity) for
+/// one assertion in isolation. The returned findings carry a
+/// placeholder `assertion` index — callers set the real one — and no
+/// message embeds the assertion's own store index, which is what makes
+/// the result cacheable by content fingerprint across store edits.
+pub(crate) fn per_assertion_findings(
+    a: &Assertion,
+    opts: &AnalysisOptions,
+    directory: &dyn PrincipalDirectory,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    condition_lints(0, a, opts, &mut findings);
+    hygiene_lints(0, a, opts, directory, &mut findings);
+    validity_lints(0, a, opts, &mut findings);
+    findings
+}
+
 fn origin(a: &Assertion) -> String {
     match &a.authorizer {
         Principal::Policy => "POLICY".to_string(),
@@ -198,7 +221,7 @@ fn origin(a: &Assertion) -> String {
 
 /// Flattened view of a conditions program: each test with its nesting
 /// depth, grouped per program so shadowing stays within one program.
-fn each_program(p: &ConditionsProgram, out: &mut Vec<Vec<Expr>>) {
+pub(crate) fn each_program(p: &ConditionsProgram, out: &mut Vec<Vec<Expr>>) {
     let mut tests = Vec::new();
     for c in &p.clauses {
         let (Clause::Bare(t) | Clause::Arrow(t, _) | Clause::Nested(t, _)) = c;

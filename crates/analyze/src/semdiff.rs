@@ -1,0 +1,330 @@
+//! Semantic verdict diff between two stores, with concrete witnesses.
+//!
+//! Syntactic findings say *a credential changed*; operators need to
+//! know *which requests now decide differently*. This pass compares a
+//! current and a candidate store by actually evaluating both: it
+//! harvests candidate requests — (principal, action-attribute
+//! valuation) tuples — from the satisfiable DNF conjuncts of the
+//! assertions near the change, runs each request through both stores'
+//! compliance fixpoints, and reports every verdict flip as a witness.
+//! A request the candidate grants but the current denies is grant
+//! widening (`HS015`, error); the reverse is grant narrowing (`HS016`,
+//! warning).
+//!
+//! The probe frontier is delta-directed: only principals downstream
+//! (in delegation direction) of the changed assertions can flip, so
+//! the pass scales with the blast radius of the edit, not the store.
+//! Witness harvesting is sound but deliberately incomplete — every
+//! reported flip really happens (both fixpoints ran), but a flip whose
+//! witness valuation is not expressible as a single harvested conjunct
+//! can be missed. For stores shaped like `encode_policy` output (each
+//! credential carries its full tuple conjunct) the harvest covers all
+//! reachable verdict points.
+
+use crate::conditions;
+use crate::diag::{Finding, LintCode, Report};
+use crate::AnalysisOptions;
+use hetsec_keynote::ast::Assertion;
+use hetsec_keynote::compiled::{CompiledStore, QueryView, ViewQuery};
+use hetsec_keynote::eval::ActionAttributes;
+use hetsec_keynote::values::ComplianceValues;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One verdict flip: a concrete request the two stores decide
+/// differently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// The requesting principal (key text).
+    pub principal: String,
+    /// The action-attribute valuation of the request, sorted by name.
+    pub attributes: Vec<(String, String)>,
+    /// The current store's verdict for the request.
+    pub before: bool,
+    /// The candidate store's verdict for the request.
+    pub after: bool,
+}
+
+impl Witness {
+    /// `Attr="value", ...` rendering of the valuation (empty valuations
+    /// render as an empty string — the bare-request probe).
+    pub fn attributes_display(&self) -> String {
+        self.attributes
+            .iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// The result of a verdict diff: findings (capped) plus the full
+/// witness list.
+#[derive(Debug, Default)]
+pub struct VerdictDiff {
+    /// HS015/HS016 findings, ready for a report or the admission gate.
+    pub report: Report,
+    /// Every verdict flip found, widening and narrowing, in
+    /// (principal, valuation) order.
+    pub witnesses: Vec<Witness>,
+}
+
+/// Most valuations probed per diff; harvesting stops beyond this.
+const MAX_VALUATIONS: usize = 512;
+/// Most principals probed per diff.
+const MAX_PRINCIPALS: usize = 2048;
+/// Most witnesses reported as findings, per direction.
+const MAX_REPORTED: usize = 64;
+/// Most witnesses collected in total.
+const MAX_WITNESSES: usize = 10_000;
+
+/// Live principal texts of a store (authorizer or licensee of some
+/// assertion), excluding the POLICY sentinel.
+fn live_principals(store: &CompiledStore, out: &mut BTreeSet<String>) {
+    for (_, authorizer, licensees) in store.delegations() {
+        for id in std::iter::once(authorizer).chain(licensees.iter().copied()) {
+            if store.policy_id() == Some(id) {
+                continue;
+            }
+            if let Some(t) = store.principals().text(id) {
+                out.insert(t.to_string());
+            }
+        }
+    }
+}
+
+/// Delegation edges of a store in text space: authorizer -> licensees.
+fn text_edges(store: &CompiledStore, adj: &mut BTreeMap<String, BTreeSet<String>>) {
+    for (_, authorizer, licensees) in store.delegations() {
+        let Some(a) = store.principals().text(authorizer) else {
+            continue;
+        };
+        let entry = adj.entry(a.to_string()).or_default();
+        for &l in licensees {
+            if let Some(t) = store.principals().text(l) {
+                entry.insert(t.to_string());
+            }
+        }
+    }
+}
+
+/// Principals of one assertion, as texts.
+fn assertion_principals(store: &CompiledStore, idx: usize, out: &mut BTreeSet<String>) {
+    if let Some(a) = store.authorizer_of(idx) {
+        if let Some(t) = store.principals().text(a) {
+            out.insert(t.to_string());
+        }
+    }
+    for &l in store.licensees_of(idx).unwrap_or(&[]) {
+        if let Some(t) = store.principals().text(l) {
+            out.insert(t.to_string());
+        }
+    }
+}
+
+/// Harvests witness valuations from one assertion's condition program.
+fn harvest(a: &Assertion, out: &mut BTreeSet<Vec<(String, String)>>) {
+    let Some(program) = &a.conditions else {
+        return;
+    };
+    let mut programs = Vec::new();
+    crate::each_program(program, &mut programs);
+    for tests in &programs {
+        for test in tests {
+            conditions::witness_valuations(test, out);
+        }
+    }
+}
+
+/// Diffs the verdicts of `current` vs `candidate`. `opts` supplies the
+/// evaluation environment (revocations and, when set, the `now`
+/// timestamp folded into every probe that does not bind `now` itself).
+pub fn diff_verdicts(
+    current: &[Assertion],
+    candidate: &[Assertion],
+    opts: &AnalysisOptions,
+) -> VerdictDiff {
+    let mut old_store = CompiledStore::default();
+    for a in current {
+        old_store.add(a);
+    }
+    let mut new_store = CompiledStore::default();
+    for a in candidate {
+        new_store.add(a);
+    }
+
+    let delta = old_store.delta(&new_store);
+    if delta.is_empty() {
+        return VerdictDiff::default();
+    }
+
+    // Affected frontier: principals of the changed assertions plus
+    // every principal whose licensee-edge multiset moved, closed
+    // downstream along the delegation edges of both stores (support
+    // flows authorizer -> licensee, so only downstream verdicts can
+    // change).
+    let mut seeds: BTreeSet<String> = delta.touched_principals.clone();
+    for &idx in &delta.removed {
+        assertion_principals(&old_store, idx, &mut seeds);
+    }
+    for &idx in &delta.added {
+        assertion_principals(&new_store, idx, &mut seeds);
+    }
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    text_edges(&old_store, &mut adj);
+    text_edges(&new_store, &mut adj);
+    let mut affected: BTreeSet<String> = BTreeSet::new();
+    let mut queue: Vec<String> = seeds.into_iter().collect();
+    while let Some(p) = queue.pop() {
+        if !affected.insert(p.clone()) {
+            continue;
+        }
+        if let Some(next) = adj.get(&p) {
+            queue.extend(next.iter().cloned());
+        }
+    }
+
+    let mut live: BTreeSet<String> = BTreeSet::new();
+    live_principals(&old_store, &mut live);
+    live_principals(&new_store, &mut live);
+    let principals: Vec<String> = live
+        .intersection(&affected)
+        .take(MAX_PRINCIPALS)
+        .cloned()
+        .collect();
+
+    // Witness valuations: the changed assertions' conjuncts plus the
+    // conjuncts of every assertion touching an affected principal —
+    // the conditions a flipped chain must pass through.
+    let mut vals: BTreeSet<Vec<(String, String)>> = BTreeSet::new();
+    vals.insert(Vec::new());
+    for &idx in &delta.removed {
+        harvest(&current[idx], &mut vals);
+    }
+    for &idx in &delta.added {
+        harvest(&candidate[idx], &mut vals);
+    }
+    for (assertions, store) in [(current, &old_store), (candidate, &new_store)] {
+        for (idx, a) in assertions.iter().enumerate() {
+            if vals.len() >= MAX_VALUATIONS {
+                break;
+            }
+            let mut ps = BTreeSet::new();
+            assertion_principals(store, idx, &mut ps);
+            if ps.iter().any(|p| affected.contains(p)) {
+                harvest(a, &mut vals);
+            }
+        }
+    }
+
+    // Fold the analysis time into every valuation that does not bind
+    // `now` itself, then re-deduplicate.
+    let vals: BTreeSet<Vec<(String, String)>> = vals
+        .into_iter()
+        .take(MAX_VALUATIONS)
+        .map(|mut v| {
+            if let Some(t) = opts.now {
+                if !v.iter().any(|(k, _)| k == "now") {
+                    let rendered = if t.fract() == 0.0 && t.abs() < 1e15 {
+                        format!("{}", t as i64)
+                    } else {
+                        format!("{t}")
+                    };
+                    v.push(("now".to_string(), rendered));
+                    v.sort();
+                }
+            }
+            v
+        })
+        .collect();
+    let vals: Vec<Vec<(String, String)>> = vals.into_iter().collect();
+
+    // Probe both stores. One batch per principal sweeps all valuations
+    // through a single fixpoint-scratch allocation.
+    let values = ComplianceValues::binary();
+    let mut view_old = QueryView::new(&old_store, &values, &opts.revoked);
+    let mut view_new = QueryView::new(&new_store, &values, &opts.revoked);
+    let attr_sets: Vec<ActionAttributes> = vals
+        .iter()
+        .map(|v| v.iter().map(|(k, val)| (k.as_str(), val.as_str())).collect())
+        .collect();
+    let mut witnesses = Vec::new();
+    'principals: for p in &principals {
+        let authorizers = [p.as_str()];
+        let probes: Vec<ViewQuery<'_>> = attr_sets
+            .iter()
+            .map(|attrs| ViewQuery {
+                authorizers: &authorizers,
+                attributes: attrs,
+                extra: &[],
+            })
+            .collect();
+        let before = view_old.query_batch(&probes);
+        let after = view_new.query_batch(&probes);
+        for ((v, b), a) in vals.iter().zip(before).zip(after) {
+            let (b, a) = (b.is_authorized(), a.is_authorized());
+            if b != a {
+                witnesses.push(Witness {
+                    principal: p.clone(),
+                    attributes: v.clone(),
+                    before: b,
+                    after: a,
+                });
+                if witnesses.len() >= MAX_WITNESSES {
+                    break 'principals;
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut widened = 0usize;
+    let mut narrowed = 0usize;
+    for w in &witnesses {
+        let counter = if w.after { &mut widened } else { &mut narrowed };
+        *counter += 1;
+        if *counter > MAX_REPORTED {
+            continue;
+        }
+        findings.push(witness_finding(w));
+    }
+
+    VerdictDiff {
+        report: Report { findings }.finish(),
+        witnesses,
+    }
+}
+
+/// The canonical HS015/HS016 finding for one witness — shared by the
+/// diff report and the admission gate so both surfaces render a flip
+/// identically.
+pub fn witness_finding(w: &Witness) -> Finding {
+    let (code, verb, flip, hint) = if w.after {
+        (
+            LintCode::GrantWidening,
+            "widens",
+            "DENY -> GRANT",
+            "confirm the added authority is intended; the candidate store authorizes \
+             a request the current store denies",
+        )
+    } else {
+        (
+            LintCode::GrantNarrowing,
+            "narrows",
+            "GRANT -> DENY",
+            "confirm the removed authority is intended; requests relying on it will \
+             start failing",
+        )
+    };
+    Finding {
+        code,
+        assertion: None,
+        line_start: None,
+        line_end: None,
+        message: format!(
+            "grant {verb} for principal {:?}: request {{{}}} flips {flip} in the \
+             candidate store",
+            w.principal,
+            w.attributes_display()
+        ),
+        hint: hint.to_string(),
+    }
+}

@@ -1,0 +1,204 @@
+//! fig_analyze — incremental policy analysis (PR 9).
+//!
+//! Measures the static-analysis engine on synthetic WebCom-shaped
+//! stores (one Figure 5 policy table plus n membership credentials) at
+//! n in {100, 1k, 10k}:
+//!
+//! * `fig_analyze/cold/nN` — full `analyze` from scratch;
+//! * `fig_analyze/incremental/nN` — re-analysis after a
+//!   single-assertion `Modify` through a warm `IncrementalAnalyzer`;
+//! * `fig_analyze/gate/nN` — a warm `LintAdmissionGate::review` of one
+//!   role assignment against an RBAC policy with ~N users.
+//!
+//! The acceptance claim reads off the first two series: incremental
+//! re-analysis after a one-assertion edit of the 10k store must be at
+//! least 10x faster than the cold run (asserted below in full mode;
+//! the smoke pass only proves the bench still runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsec_analyze::{AnalysisOptions, IncrementalAnalyzer, LintAdmissionGate, StoreEdit};
+use hetsec_keynote::ast::Assertion;
+use hetsec_keynote::parser::parse_assertions;
+use hetsec_rbac::{PermissionGrant, RbacPolicy, RoleAssignment};
+use hetsec_translate::maintenance::{AdmissionGate, PolicyChange};
+use hetsec_translate::SymbolicDirectory;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+const DOMAINS: usize = 8;
+const ROLES: usize = 4;
+
+/// The Figure 5 policy table over 8 synthetic grants: role R{d%4} in
+/// domain D{d} may read SalariesDB.
+fn policy_conditions() -> String {
+    let grants: Vec<String> = (0..DOMAINS)
+        .map(|d| {
+            format!(
+                "(ObjectType == \"SalariesDB\" && (Domain == \"D{d}\" && (Role == \"R{}\" \
+                 && Permission == \"read\")))",
+                d % ROLES
+            )
+        })
+        .collect();
+    format!("(app_domain == \"WebCom\" && ({}))", grants.join(" || "))
+}
+
+/// A WebCom-shaped store: the policy table plus `n` membership
+/// credentials, each binding one synthetic user key to a (domain,
+/// role) pair.
+fn store_text(n: usize) -> String {
+    let mut s = format!(
+        "KeyNote-Version: 2\nAuthorizer: POLICY\nLicensees: \"KWebCom\"\n\
+         Conditions: {};\n",
+        policy_conditions()
+    );
+    for i in 0..n {
+        write!(
+            s,
+            "\nKeyNote-Version: 2\nAuthorizer: \"KWebCom\"\nLicensees: \"Ku{i}\"\n\
+             Conditions: (app_domain == \"WebCom\" && (Domain == \"D{}\" && Role == \"R{}\"));\n",
+            i % DOMAINS,
+            i % ROLES
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// The membership credential for user `i`, re-bound to role R{role} —
+/// the single-assertion edit the incremental series applies.
+fn variant(i: usize, role: usize) -> Assertion {
+    let text = format!(
+        "KeyNote-Version: 2\nAuthorizer: \"KWebCom\"\nLicensees: \"Ku{i}\"\n\
+         Conditions: (app_domain == \"WebCom\" && (Domain == \"D{}\" && Role == \"R{role}\"));\n",
+        i % DOMAINS
+    );
+    parse_assertions(&text).unwrap().remove(0)
+}
+
+fn options() -> AnalysisOptions {
+    AnalysisOptions {
+        webcom_key: "KWebCom".to_string(),
+        ..Default::default()
+    }
+}
+
+/// An RBAC policy mirroring the synthetic store: 8 grants, one
+/// assignment per user.
+fn rbac_policy(users: usize) -> RbacPolicy {
+    let mut p = RbacPolicy::new();
+    for d in 0..DOMAINS {
+        p.grant(PermissionGrant::new(
+            format!("D{d}"),
+            format!("R{}", d % ROLES),
+            "SalariesDB",
+            "read",
+        ));
+    }
+    for i in 0..users {
+        p.assign(RoleAssignment::new(
+            format!("u{i}"),
+            format!("D{}", i % DOMAINS),
+            format!("R{}", i % ROLES),
+        ));
+    }
+    p
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let sizes: &[usize] = if smoke { &[20] } else { &[100, 1_000, 10_000] };
+    let mut group = c.benchmark_group("fig_analyze");
+    group.measurement_time(Duration::from_millis(if smoke { 20 } else { 400 }));
+    let dir = SymbolicDirectory::default();
+    let mut speedup_at_largest = 0.0f64;
+
+    for &n in sizes {
+        let assertions = parse_assertions(&store_text(n)).unwrap();
+        let opts = options();
+
+        group.bench_function(format!("cold/n{n}"), |b| {
+            b.iter(|| black_box(hetsec_analyze::analyze(black_box(&assertions), &opts)))
+        });
+
+        // Warm engine; each iteration modifies the middle credential
+        // (alternating between two role bindings so the store really
+        // changes every time) and re-analyzes.
+        let mut engine = IncrementalAnalyzer::new(assertions.clone(), opts.clone());
+        engine.analyze(&dir);
+        let mid = n / 2 + 1; // credential index: assertion 0 is the policy
+        let variants = [variant(n / 2, ROLES), variant(n / 2, n / 2 % ROLES)];
+        let mut flip = 0usize;
+        group.bench_function(format!("incremental/n{n}"), |b| {
+            b.iter(|| {
+                engine.apply(StoreEdit::Modify(mid, variants[flip & 1].clone()));
+                flip += 1;
+                black_box(engine.analyze(&dir))
+            })
+        });
+
+        // The acceptance ratio, measured outside criterion so the two
+        // sides see identical stores: one cold run vs one incremental
+        // re-analysis after a single-assertion edit.
+        if !smoke && n == *sizes.last().unwrap() {
+            // Best-of-N on both sides to keep the ratio stable against
+            // scheduler noise on a one-shot measurement.
+            let cold = (0..3)
+                .map(|_| {
+                    let t = Instant::now();
+                    black_box(hetsec_analyze::analyze(&assertions, &opts));
+                    t.elapsed()
+                })
+                .min()
+                .unwrap();
+            let incremental = (0..5)
+                .map(|_| {
+                    engine.apply(StoreEdit::Modify(mid, variants[flip & 1].clone()));
+                    flip += 1;
+                    let t = Instant::now();
+                    black_box(engine.analyze(&dir));
+                    t.elapsed()
+                })
+                .min()
+                .unwrap();
+            speedup_at_largest =
+                cold.as_secs_f64() / incremental.as_secs_f64().max(f64::EPSILON);
+        }
+
+        // Warm admission-gate review of a single role assignment, with
+        // the escalation pass running against an RBAC policy of ~n
+        // users. The gate serves the current policy's analysis from its
+        // cache and evolves the candidate incrementally.
+        let users = n.min(2_000); // escalation probes are the dominant cost
+        let current = rbac_policy(users);
+        let mut candidate = current.clone();
+        let change = PolicyChange::Assign(RoleAssignment::new("u1", "D2", "R2"));
+        candidate.assign(RoleAssignment::new("u1", "D2", "R2"));
+        let gate = LintAdmissionGate::new();
+        gate.review_delta(&current, &candidate, &change); // warm the cache
+        group.bench_function(format!("gate/n{n}"), |b| {
+            b.iter(|| black_box(gate.review_delta(black_box(&current), &candidate, &change)))
+        });
+    }
+    group.finish();
+
+    if !smoke {
+        println!(
+            "fig_analyze: incremental speedup at n={} is {speedup_at_largest:.1}x (bar: >= 10x)",
+            sizes.last().unwrap()
+        );
+        assert!(
+            speedup_at_largest >= 10.0,
+            "incremental re-analysis must be >= 10x faster than cold at n={}, got {speedup_at_largest:.1}x",
+            sizes.last().unwrap()
+        );
+    }
+}
+
+criterion_group!(benches, bench_analyze);
+criterion_main!(benches);

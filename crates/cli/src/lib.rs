@@ -10,9 +10,17 @@
 //! * `migrate <policy.json> <from-domain> <to-domain> [from-kind to-kind]`
 //!   — domain remap + kind-level permission interpretation;
 //! * `lint <store.kn> [--rbac <policy.json>] [--format text|json]
-//!   [--now <num>] [--revoked <key>]...` — static analysis of a
-//!   credential store: delegation-graph reachability, escalation vs the
-//!   RBAC policy, condition lints, credential hygiene (`HS0xx` codes);
+//!   [--now <num>] [--revoked <key>]... [--incremental-check]` — static
+//!   analysis of a credential store: delegation-graph reachability,
+//!   escalation vs the RBAC policy, condition lints, credential hygiene
+//!   (`HS0xx` codes); `--incremental-check` additionally replays the
+//!   store through the incremental engine and fails if its report ever
+//!   diverges from the cold analysis;
+//! * `diff <old.kn> <new.kn> [--format text|json] [--now <num>]
+//!   [--revoked <key>]...` — semantic verdict diff between two stores:
+//!   evaluates both compliance fixpoints and reports every request
+//!   whose verdict flips, as grant-widening errors (`HS015`) or
+//!   grant-narrowing warnings (`HS016`) with concrete witnesses;
 //! * `spki-encode <policy.json>` — RBAC → SPKI/SDSI certificates;
 //! * `example-policy` — print the paper's Figure 1 policy as JSON;
 //! * `serve <addr> [name] [key] [ops] [--shards N] [--pipeline P]` —
@@ -93,6 +101,41 @@ impl From<serde_json::Error> for CliError {
 fn read_policy(path: &str) -> Result<RbacPolicy, CliError> {
     let text = std::fs::read_to_string(path)?;
     Ok(serde_json::from_str(&text)?)
+}
+
+/// Proves the incremental analyzer agrees with a cold run on this
+/// store: replays the store assertion-by-assertion (plus one
+/// modify-and-revert round trip on the first assertion) and compares
+/// the final incremental report byte-for-byte against a cold analysis.
+fn incremental_equivalence_check(
+    text: &str,
+    opts: &hetsec_analyze::AnalysisOptions,
+) -> Result<(), CliError> {
+    use hetsec_analyze::StoreEdit;
+    let assertions = parse_assertions(text).map_err(|e| CliError::KeyNote(e.to_string()))?;
+    let dir = SymbolicDirectory::default();
+    let cold = hetsec_analyze::analyze(&assertions, opts).to_json();
+
+    // Grow the store edit by edit, then exercise Modify and a
+    // Remove/re-Add round trip so every cache path runs at least once.
+    // The round trip targets the last assertion, so the final store
+    // order matches the input and the reports are directly comparable.
+    let mut edits: Vec<StoreEdit> = assertions.iter().cloned().map(StoreEdit::Add).collect();
+    if let Some(first) = assertions.first() {
+        edits.push(StoreEdit::Modify(0, first.clone()));
+    }
+    if let Some(last) = assertions.last() {
+        edits.push(StoreEdit::Remove(assertions.len() - 1));
+        edits.push(StoreEdit::Add(last.clone()));
+    }
+    let (report, replayed) = hetsec_analyze::incremental::replay(Vec::new(), edits, opts, &dir);
+    debug_assert_eq!(replayed.len(), assertions.len());
+    if report.to_json() != cold {
+        return Err(CliError::KeyNote(
+            "incremental-check failed: incremental report diverges from cold analysis".into(),
+        ));
+    }
+    Ok(())
 }
 
 fn parse_kind(s: &str) -> Result<MiddlewareKind, CliError> {
@@ -412,7 +455,7 @@ pub fn loadgen_command(cfg: &hetsec_webcom::LoadConfig, json: bool) -> Result<St
 
 /// Runs one CLI invocation; returns the text to print on stdout.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let usage = "hetsec <encode|decode|check|lint|migrate|spki-encode|example-policy\
+    let usage = "hetsec <encode|decode|check|lint|diff|migrate|spki-encode|example-policy\
                  |serve|connect|loadgen> ...";
     let cmd = args.first().ok_or_else(|| CliError::Usage(usage.into()))?;
     match cmd.as_str() {
@@ -480,7 +523,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "lint" => {
             let lint_usage = "hetsec lint <store.kn> [--rbac <policy.json>] \
-                              [--format text|json] [--now <num>] [--revoked <key>]...";
+                              [--format text|json] [--now <num>] [--revoked <key>]... \
+                              [--incremental-check]";
             let path = args
                 .get(1)
                 .filter(|p| !p.starts_with("--"))
@@ -494,6 +538,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             opts.known_attributes
                 .extend(hetsec_webcom::ADAPTER_ATTRIBUTES.iter().map(|s| s.to_string()));
             let mut json = false;
+            let mut incremental_check = false;
             let mut rest = args[2..].iter();
             while let Some(flag) = rest.next() {
                 let mut value = |name: &str| {
@@ -521,6 +566,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             )))
                         }
                     },
+                    "--incremental-check" => incremental_check = true,
                     other => {
                         return Err(CliError::Usage(format!(
                             "unknown lint flag `{other}`; {lint_usage}"
@@ -529,12 +575,75 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
             }
             let text = std::fs::read_to_string(path)?;
+            if incremental_check {
+                incremental_equivalence_check(&text, &opts)?;
+            }
             let report = hetsec_analyze::analyze_text(&text, &opts)
                 .map_err(|e| CliError::KeyNote(e.to_string()))?;
             Ok(if json {
                 report.to_json()
             } else {
                 report.to_string()
+            })
+        }
+        "diff" => {
+            let diff_usage = "hetsec diff <old.kn> <new.kn> [--format text|json] \
+                              [--now <num>] [--revoked <key>]...";
+            let (old_path, new_path) = match (args.get(1), args.get(2)) {
+                (Some(a), Some(b)) if !a.starts_with("--") && !b.starts_with("--") => (a, b),
+                _ => return Err(CliError::Usage(diff_usage.into())),
+            };
+            let mut opts = hetsec_analyze::AnalysisOptions {
+                webcom_key: CLI_WEBCOM_KEY.to_string(),
+                ..Default::default()
+            };
+            opts.known_attributes
+                .extend(hetsec_webcom::ADAPTER_ATTRIBUTES.iter().map(|s| s.to_string()));
+            let mut json = false;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                let mut value = |name: &str| {
+                    rest.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage(format!("{name} needs a value; {diff_usage}")))
+                };
+                match flag.as_str() {
+                    "--now" => {
+                        let v = value("--now")?;
+                        opts.now = Some(v.parse::<f64>().map_err(|_| {
+                            CliError::Usage(format!("--now must be a number, got `{v}`"))
+                        })?);
+                    }
+                    "--revoked" => {
+                        opts.revoked.insert(value("--revoked")?);
+                    }
+                    "--format" => match value("--format")?.as_str() {
+                        "json" => json = true,
+                        "text" => json = false,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "unknown format `{other}` (use text|json)"
+                            )))
+                        }
+                    },
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown diff flag `{other}`; {diff_usage}"
+                        )))
+                    }
+                }
+            }
+            let old_text = std::fs::read_to_string(old_path)?;
+            let new_text = std::fs::read_to_string(new_path)?;
+            let old = parse_assertions(&old_text).map_err(|e| CliError::KeyNote(e.to_string()))?;
+            let new = parse_assertions(&new_text).map_err(|e| CliError::KeyNote(e.to_string()))?;
+            let diff = hetsec_analyze::diff_verdicts(&old, &new, &opts);
+            Ok(if json {
+                diff.report.to_json()
+            } else if diff.report.is_clean() {
+                "clean: no verdict changes".to_string()
+            } else {
+                diff.report.to_string()
             })
         }
         "migrate" => {
@@ -849,6 +958,89 @@ mod tests {
         ));
         assert!(matches!(
             run(&args(&["lint", "store.kn", "--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn lint_incremental_check_is_silent_on_agreement() {
+        // The flag must not change the output when the incremental
+        // engine agrees with the cold run -- on a defect-ridden store
+        // exercising every pass, and on a clean one.
+        let common = [
+            "lint".to_string(),
+            fixture_path("defects.kn"),
+            "--rbac".to_string(),
+            fixture_path("defects.rbac.json"),
+            "--now".to_string(),
+            "200".to_string(),
+            "--revoked".to_string(),
+            "Kdave".to_string(),
+        ];
+        let plain = run(&common).unwrap();
+        let mut checked_args = common.to_vec();
+        checked_args.push("--incremental-check".to_string());
+        let checked = run(&checked_args).unwrap();
+        assert_eq!(plain, checked);
+        let out = run(&args(&[
+            "lint",
+            &fixture_path("figures_clean.kn"),
+            "--incremental-check",
+        ]))
+        .unwrap();
+        assert_eq!(out, "clean: no findings");
+    }
+
+    #[test]
+    fn diff_reports_witnessed_verdict_flips() {
+        let common = [
+            "diff".to_string(),
+            fixture_path("defects.kn"),
+            fixture_path("defects_v2.kn"),
+            "--now".to_string(),
+            "200".to_string(),
+            "--revoked".to_string(),
+            "Kdave".to_string(),
+        ];
+        let text = run(&common).unwrap();
+        assert!(text.contains("error[HS015]"), "{text}");
+        assert!(text.contains("\"Ktrent\""), "{text}");
+        assert!(text.contains("DENY -> GRANT"), "{text}");
+        assert!(text.contains("warn[HS016]"), "{text}");
+        let mut jargs = common.to_vec();
+        jargs.extend(args(&["--format", "json"]));
+        let json = run(&jargs).unwrap();
+        let report: hetsec_analyze::JsonReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.warnings, 2);
+        let golden = std::fs::read_to_string(fixture_path("semdiff.golden.json")).unwrap();
+        assert_eq!(json.trim_end(), golden.trim_end());
+    }
+
+    #[test]
+    fn diff_of_identical_stores_is_clean() {
+        let path = fixture_path("defects.kn");
+        let out = run(&args(&["diff", &path, &path, "--now", "200"])).unwrap();
+        assert_eq!(out, "clean: no verdict changes");
+    }
+
+    #[test]
+    fn diff_usage_errors() {
+        assert!(matches!(run(&args(&["diff"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["diff", "old.kn"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["diff", "old.kn", "new.kn", "--format", "xml"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["diff", "old.kn", "new.kn", "--now", "soon"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["diff", "old.kn", "new.kn", "--bogus"])),
             Err(CliError::Usage(_))
         ));
     }

@@ -25,7 +25,9 @@ use crate::ast::{
 use crate::compliance::{Query, QueryResult, POLICY_KEY};
 use crate::eval::ActionAttributes;
 use crate::parser::format_num;
+use crate::print::print_assertion;
 use crate::regex::Regex;
+use hetsec_crypto::sha256;
 use crate::values::{ComplianceValue, ComplianceValues};
 use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -495,9 +497,36 @@ pub struct CompiledStore {
     /// value vector instead of hashing the name.
     attr_names: Interner,
     assertions: Vec<CompiledAssertion>,
+    /// Per-assertion content fingerprint: SHA-256 over the normalized
+    /// (`print_assertion`) source text. Index-parallel to `assertions`;
+    /// the identity incremental analyses key their caches on.
+    fingerprints: Vec<[u8; 32]>,
     /// Indexed by `PrincipalId`; extended as the interner grows.
     by_licensee: Vec<Vec<u32>>,
     notes: Vec<String>,
+}
+
+/// The difference between two stores in fingerprint space, as computed
+/// by [`CompiledStore::delta`]. Indices refer to each store's own
+/// assertion list; principal deltas are reported as text because the
+/// two stores intern independently.
+#[derive(Clone, Debug, Default)]
+pub struct StoreDelta {
+    /// Indices (in the *old* store) of assertions absent from the new.
+    pub removed: Vec<usize>,
+    /// Indices (in the *new* store) of assertions absent from the old.
+    pub added: Vec<usize>,
+    /// Principal texts whose licensee-edge set (the assertions
+    /// mentioning them as a licensee, by fingerprint) differs between
+    /// the stores — the dirty frontier of the delegation graph.
+    pub touched_principals: BTreeSet<String>,
+}
+
+impl StoreDelta {
+    /// True when the stores hold the same assertion multiset.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
 }
 
 impl CompiledStore {
@@ -516,7 +545,162 @@ impl CompiledStore {
         for &id in &compiled.licensee_ids {
             self.by_licensee[id as usize].push(idx);
         }
+        self.fingerprints.push(sha256(print_assertion(a).as_bytes()));
         self.assertions.push(compiled);
+    }
+
+    /// Removes the assertion at `idx`, shifting later assertions down
+    /// one slot (exactly like `Vec::remove`) and rewriting the licensee
+    /// index in place. Interned principal texts are never reclaimed —
+    /// ids stay stable — but a stale principal with no remaining edges
+    /// is invisible to evaluation and to the delegation iterator.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds.
+    pub fn remove(&mut self, idx: usize) {
+        assert!(idx < self.assertions.len(), "remove past end of store");
+        self.assertions.remove(idx);
+        self.fingerprints.remove(idx);
+        let removed = idx as u32;
+        for list in &mut self.by_licensee {
+            list.retain(|&i| i != removed);
+            for i in list.iter_mut() {
+                if *i > removed {
+                    *i -= 1;
+                }
+            }
+        }
+    }
+
+    /// Replaces the assertion at `idx` with a recompile of `a`, keeping
+    /// every other slot (and the interner) untouched.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds.
+    pub fn replace(&mut self, idx: usize, a: &Assertion) {
+        assert!(idx < self.assertions.len(), "replace past end of store");
+        let compiled = CompiledAssertion::compile(
+            a,
+            &mut self.interner,
+            &mut self.attr_names,
+            &mut self.notes,
+        );
+        if self.by_licensee.len() < self.interner.len() {
+            self.by_licensee.resize(self.interner.len(), Vec::new());
+        }
+        let slot = idx as u32;
+        for &old in &self.assertions[idx].licensee_ids {
+            self.by_licensee[old as usize].retain(|&i| i != slot);
+        }
+        for &id in &compiled.licensee_ids {
+            self.by_licensee[id as usize].push(slot);
+            self.by_licensee[id as usize].sort_unstable();
+        }
+        self.fingerprints[idx] = sha256(print_assertion(a).as_bytes());
+        self.assertions[idx] = compiled;
+    }
+
+    /// The SHA-256 fingerprint of the assertion at `idx`: a hash of its
+    /// normalized source text, stable across stores and sessions.
+    pub fn fingerprint(&self, idx: usize) -> Option<&[u8; 32]> {
+        self.fingerprints.get(idx)
+    }
+
+    /// All assertion fingerprints, index-parallel to the store.
+    pub fn fingerprints(&self) -> &[[u8; 32]] {
+        &self.fingerprints
+    }
+
+    /// The interned authorizer id of the assertion at `idx`.
+    pub fn authorizer_of(&self, idx: usize) -> Option<PrincipalId> {
+        self.assertions.get(idx).map(|a| a.authorizer)
+    }
+
+    /// The deduplicated licensee ids of the assertion at `idx` — its
+    /// out-edges in the delegation graph.
+    pub fn licensees_of(&self, idx: usize) -> Option<&[PrincipalId]> {
+        self.assertions.get(idx).map(|a| a.licensee_ids.as_slice())
+    }
+
+    /// The licensee index entry for a principal: indices of every
+    /// stored assertion mentioning it as a licensee, ascending.
+    pub fn assertions_licensing(&self, id: PrincipalId) -> &[u32] {
+        self.by_licensee
+            .get(id as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Diffs this store (old) against `new` in fingerprint space:
+    /// which assertions were removed/added, and which principals'
+    /// licensee-edge sets changed. Cost is O(old + new) hashmap work —
+    /// no recompilation, no evaluation.
+    pub fn delta(&self, new: &CompiledStore) -> StoreDelta {
+        // Multiset diff over fingerprints. Count occurrences in the new
+        // store, then drain them with the old store's — leftovers on
+        // either side are the added/removed sets.
+        let mut counts: HashMap<&[u8; 32], isize> = HashMap::new();
+        for fp in &new.fingerprints {
+            *counts.entry(fp).or_insert(0) += 1;
+        }
+        let mut removed = Vec::new();
+        for (idx, fp) in self.fingerprints.iter().enumerate() {
+            match counts.get_mut(fp) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => removed.push(idx),
+            }
+        }
+        let mut counts_old: HashMap<&[u8; 32], isize> = HashMap::new();
+        for fp in &self.fingerprints {
+            *counts_old.entry(fp).or_insert(0) += 1;
+        }
+        let mut added = Vec::new();
+        for (idx, fp) in new.fingerprints.iter().enumerate() {
+            match counts_old.get_mut(fp) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => added.push(idx),
+            }
+        }
+
+        // Licensee-edge deltas, in text space: for each principal, the
+        // multiset of fingerprints of assertions licensing it.
+        let mut touched_principals = BTreeSet::new();
+        let edges = |store: &CompiledStore| {
+            let mut map: HashMap<String, Vec<[u8; 32]>> = HashMap::new();
+            for (idx, list) in store.by_licensee.iter().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let Some(text) = store.interner.text(idx as PrincipalId) else {
+                    continue;
+                };
+                let mut fps: Vec<[u8; 32]> = list
+                    .iter()
+                    .map(|&i| store.fingerprints[i as usize])
+                    .collect();
+                fps.sort_unstable();
+                map.insert(text.to_string(), fps);
+            }
+            map
+        };
+        let old_edges = edges(self);
+        let new_edges = edges(new);
+        for (p, fps) in &old_edges {
+            if new_edges.get(p) != Some(fps) {
+                touched_principals.insert(p.clone());
+            }
+        }
+        for p in new_edges.keys() {
+            if !old_edges.contains_key(p) {
+                touched_principals.insert(p.clone());
+            }
+        }
+
+        StoreDelta {
+            removed,
+            added,
+            touched_principals,
+        }
     }
 
     /// Number of compiled assertions.

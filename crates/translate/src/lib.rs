@@ -34,7 +34,7 @@ pub use comprehension::{delegate_role, encode_has_permission, encode_policy, enc
 pub use configuration::{decode_policy, expr_to_dnf, DecodeReport};
 pub use directory::{KeyStoreDirectory, PrincipalDirectory, SymbolicDirectory};
 pub use maintenance::{
-    AdmissionFinding, AdmissionGate, EndpointConsistency, PolicyBus, PolicyChange,
+    AdmissionFinding, AdmissionGate, AdmissionWitness, EndpointConsistency, PolicyBus, PolicyChange,
     PropagationReport,
 };
 pub use migration::{migrate, transform_policy, MigrationReport, MigrationSpec};

@@ -37,6 +37,23 @@ impl PolicyChange {
     }
 }
 
+/// A concrete verdict-flip witness attached to a semantic-diff
+/// objection (`HS015`/`HS016`): the exact request the candidate policy
+/// decides differently from the current one. All fields are
+/// pre-rendered strings so the type stays serialization-stable without
+/// depending on the analyzer crate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionWitness {
+    /// The requesting principal (key text).
+    pub principal: String,
+    /// The request's action-attribute valuation, `Attr="value", ...`.
+    pub attributes: String,
+    /// The current policy's verdict: `GRANT` or `DENY`.
+    pub before: String,
+    /// The candidate policy's verdict: `GRANT` or `DENY`.
+    pub after: String,
+}
+
 /// One objection raised by an [`AdmissionGate`] reviewing a candidate
 /// unified policy. Mirrors the analyzer's JSON finding shape (stable
 /// `HS0xx` code, lowercase severity label) without depending on the
@@ -49,6 +66,11 @@ pub struct AdmissionFinding {
     pub severity: String,
     /// Human-readable description of the objection.
     pub message: String,
+    /// Verdict-flip witnesses, for semantic-diff objections. Empty for
+    /// syntactic findings (and for payloads serialized before the field
+    /// existed).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub witnesses: Vec<AdmissionWitness>,
 }
 
 impl AdmissionFinding {
@@ -67,6 +89,21 @@ pub trait AdmissionGate: Send + Sync {
     /// Implementations should report only *new* problems the change
     /// introduces, so pre-existing debt does not freeze the policy.
     fn review(&self, current: &RbacPolicy, candidate: &RbacPolicy) -> Vec<AdmissionFinding>;
+
+    /// Delta-aware review: like [`AdmissionGate::review`], but also
+    /// told *which* change produced the candidate, so incremental
+    /// implementations can dirty only what the change touches instead
+    /// of re-deriving the edit by diffing the two policies. The default
+    /// ignores the change and falls back to the full review.
+    fn review_delta(
+        &self,
+        current: &RbacPolicy,
+        candidate: &RbacPolicy,
+        change: &PolicyChange,
+    ) -> Vec<AdmissionFinding> {
+        let _ = change;
+        self.review(current, candidate)
+    }
 }
 
 /// What happened when a change was propagated.
@@ -210,7 +247,7 @@ impl PolicyBus {
             let current = self.unified.read().clone();
             let mut candidate = current.clone();
             if apply_change(&mut candidate, change) {
-                let findings = gate.review(&current, &candidate);
+                let findings = gate.review_delta(&current, &candidate, change);
                 if findings.iter().any(AdmissionFinding::is_error) {
                     report.rejected = findings;
                     report.consistency = self.consistency_report();
@@ -445,6 +482,7 @@ mod tests {
                     code: "HS013".to_string(),
                     severity: self.severity.to_string(),
                     message: format!("user {:?} is banned", self.user),
+                    witnesses: Vec::new(),
                 }]
             } else {
                 Vec::new()

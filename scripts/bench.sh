@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the headline criterion benches and emits machine-readable
-# summaries (BENCH_fig2.json, BENCH_fig3.json, BENCH_load.json) at the
-# repo root, so the perf trajectory can be tracked across commits.
+# summaries (BENCH_fig2.json, BENCH_fig3.json, BENCH_load.json,
+# BENCH_analyze.json) at the repo root, so the perf trajectory can be
+# tracked across commits.
 #
 # Usage: ./scripts/bench.sh            full measured run
 #        ./scripts/bench.sh --smoke    correctness-only pass (no JSON),
@@ -17,10 +18,11 @@ if [[ "${1:-}" == "--smoke" ]]; then
     exit 0
 fi
 
-for fig in fig2_query_latency fig3_sched_throughput fig_load; do
+for fig in fig2_query_latency fig3_sched_throughput fig_load fig_analyze; do
     case "${fig}" in
-        fig_load) short="load" ;;
-        *)        short="${fig%%_*}" ;;
+        fig_load)    short="load" ;;
+        fig_analyze) short="analyze" ;;
+        *)           short="${fig%%_*}" ;;
     esac
     out="BENCH_${short}.json"
     echo "== bench: ${fig} -> ${out} =="
@@ -47,4 +49,14 @@ for shape in lockstep_shards1 lockstep_shards2 lockstep_shards4 \
     done
 done
 
-echo "bench.sh: wrote BENCH_fig2.json BENCH_fig3.json BENCH_load.json"
+# The analyze summary must carry the cold / incremental / gate series
+# at every store size the incremental-speedup claim compares (the
+# >= 10x bar itself is asserted inside the bench binary).
+for size in 100 1000 10000; do
+    for series in cold incremental gate; do
+        grep -q "\"id\": \"fig_analyze/${series}/n${size}\"" BENCH_analyze.json \
+            || { echo "bench.sh: BENCH_analyze.json is missing fig_analyze/${series}/n${size}"; exit 1; }
+    done
+done
+
+echo "bench.sh: wrote BENCH_fig2.json BENCH_fig3.json BENCH_load.json BENCH_analyze.json"

@@ -26,6 +26,18 @@ $LINT lint fixtures/defects.kn --rbac fixtures/defects.rbac.json \
     --now 200 --revoked Kdave --format json | diff -u fixtures/defects.golden.json - \
     || { echo "defects.kn lint output drifted from fixtures/defects.golden.json"; exit 1; }
 
+echo "== incremental analysis: warm engine must agree with the cold run =="
+$LINT lint fixtures/defects.kn --rbac fixtures/defects.rbac.json \
+    --now 200 --revoked Kdave --incremental-check > /dev/null \
+    || { echo "verify.sh: incremental-check diverged on defects.kn"; exit 1; }
+$LINT lint fixtures/figures_clean.kn --incremental-check > /dev/null \
+    || { echo "verify.sh: incremental-check diverged on figures_clean.kn"; exit 1; }
+
+echo "== hetsec diff: semantic verdict diff matches golden =="
+$LINT diff fixtures/defects.kn fixtures/defects_v2.kn \
+    --now 200 --revoked Kdave --format json | diff -u fixtures/semdiff.golden.json - \
+    || { echo "hetsec diff output drifted from fixtures/semdiff.golden.json"; exit 1; }
+
 echo "== sharded fabric tests (bounded: mux + forwarding must not hang) =="
 timeout 120 cargo test -q --test sharded_fabric
 
