@@ -284,11 +284,13 @@ pub fn sharded_serve_command(
     ops: usize,
     pipeline: usize,
 ) -> Result<String, CliError> {
+    use hetsec_crypto::KeyPair;
     use hetsec_graphs::Value;
     use hetsec_middleware::component::ComponentRef;
     use hetsec_webcom::stack::TrustLayer;
     use hetsec_webcom::{
-        serve_master, PeerLink, ServeOptions, ShardInfo, ShardRing, ShardRouter, TcpPeerLink,
+        serve_master, PeerLink, ServeOptions, ShardInfo, ShardRing, ShardRouter, StampIssuer,
+        StampVerifier, TcpPeerLink,
     };
     use std::collections::HashMap;
     use std::sync::Arc;
@@ -296,17 +298,38 @@ pub fn sharded_serve_command(
         return Err(CliError::Usage("--shards needs at least 2".into()));
     }
     // Rotating demo principals: enough distinct keys that every shard
-    // owns some of them.
+    // owns some of them. They are authorised through *signed* RSA
+    // delegations (one per principal, signed by the demo delegator key
+    // that POLICY licenses) so the verdict-stamp machinery has real
+    // signature verdicts to amortise across the fleet.
     let users: Vec<String> = (0..4 * shards).map(|u| format!("Kuser{u}")).collect();
-    let user_trust = {
-        let tm = hetsec_webcom::TrustManager::permissive();
-        for u in &users {
-            tm.add_policy(&format!(
-                "Authorizer: POLICY\nLicensees: \"{u}\"\nConditions: app_domain==\"WebCom\";\n"
-            ))
-            .expect("demo policy parses");
+    let delegator = KeyPair::from_label("hetsec-demo-delegator");
+    let delegator_key = delegator.public().to_text();
+    let delegations: Vec<hetsec_keynote::Assertion> = users
+        .iter()
+        .map(|u| {
+            let mut a = hetsec_keynote::Assertion::new(
+                hetsec_keynote::Principal::key(delegator_key.clone()),
+                hetsec_keynote::LicenseeExpr::Principal(u.clone()),
+            );
+            hetsec_keynote::sign_assertion(&mut a, &delegator).expect("demo delegation signs");
+            a
+        })
+        .collect();
+    let user_policy = format!(
+        "Authorizer: POLICY\nLicensees: \"{delegator_key}\"\nConditions: app_domain==\"WebCom\";\n"
+    );
+    // One stamp-signing identity per master; every node's fleet trust
+    // set lists all of them.
+    let stamp_issuers: Vec<Arc<StampIssuer>> = (0..shards)
+        .map(|s| Arc::new(StampIssuer::new(KeyPair::from_label(&format!("hetsec-stamp-{s}")))))
+        .collect();
+    let fleet_verifier = |cache| {
+        let mut v = StampVerifier::new(cache);
+        for issuer in &stamp_issuers {
+            v = v.trust_issuer(issuer.key_text());
         }
-        std::sync::Arc::new(tm)
+        Arc::new(v)
     };
     let client_keys: Vec<String> = (0..shards).map(|s| format!("{key}{s}")).collect();
     let client_trust = hetsec_webcom::TrustManager::permissive();
@@ -322,15 +345,24 @@ pub fn sharded_serve_command(
     let mut servers = Vec::new();
     let mut masters = Vec::new();
     for (s, client_key) in client_keys.iter().enumerate() {
+        // Each client vets the signed delegations through its own
+        // strict trust manager; its stamp verifier shares that
+        // manager's verify cache, so admitted stamp verdicts answer
+        // the per-credential checks without local RSA.
+        let user_trust = Arc::new(hetsec_webcom::TrustManager::strict());
+        user_trust.add_policy(&user_policy).expect("demo policy parses");
         let mut stack = hetsec_webcom::AuthzStack::new();
         stack.push(Arc::new(TrustLayer::new(Arc::clone(&user_trust))));
-        let engine = Arc::new(hetsec_webcom::ClientEngine::new(hetsec_webcom::ClientConfig {
-            name: format!("{name}{s}"),
-            key_text: client_key.clone(),
-            master_trust: demo_trust(CLI_MASTER_KEY),
-            stack: Arc::new(stack),
-            executor: Arc::new(hetsec_webcom::ArithComponentExecutor),
-        }));
+        let engine = Arc::new(
+            hetsec_webcom::ClientEngine::new(hetsec_webcom::ClientConfig {
+                name: format!("{name}{s}"),
+                key_text: client_key.clone(),
+                master_trust: demo_trust(CLI_MASTER_KEY),
+                stack: Arc::new(stack),
+                executor: Arc::new(hetsec_webcom::ArithComponentExecutor),
+            })
+            .with_stamp_verifier(fleet_verifier(user_trust.verify_cache())),
+        );
         // The given address binds shard 0; the rest take ephemeral
         // ports (a fixed port cannot be bound N times).
         let bind = if s == 0 { addr } else { "127.0.0.1:0" };
@@ -343,7 +375,12 @@ pub fn sharded_serve_command(
         .map_err(|e| CliError::Net(format!("bind {bind}: {e}")))?;
         let master = hetsec_webcom::WebComMaster::new(CLI_MASTER_KEY, Arc::clone(&client_trust))
             .with_op_timeout(std::time::Duration::from_secs(5))
-            .with_burst_parallelism(4);
+            .with_burst_parallelism(4)
+            .with_stamp_issuer(Arc::clone(&stamp_issuers[s]))
+            .with_stamp_verifier(fleet_verifier(client_trust.verify_cache()));
+        for d in &delegations {
+            master.forward_credential(d.clone());
+        }
         master
             .register_tcp(server.local_addr())
             .map_err(|e| CliError::Net(e.to_string()))?;
@@ -405,12 +442,26 @@ pub fn sharded_serve_command(
         .count();
     let router = ShardRouter::from_parts(ring, masters);
     let stats = router.merged_stats();
+    let mut client_stamps = hetsec_webcom::StampStats::default();
+    for server in &servers {
+        client_stamps.merge(&server.engine().stats().stamps);
+    }
     report.push_str(&format!(
         "demo burst via shard 0: {ok}/{ops} ok; forwarded {}, forward_received {}, \
-         forward_rejected {}\ndispatch latency: {}",
+         forward_rejected {}\n\
+         verdict stamps: issued {}, clients admitted {} (rejected {}, stale {}), \
+         masters admitted {} (rejected {}, stale {})\n\
+         dispatch latency: {}",
         stats.forwarded,
         stats.forward_received,
         stats.forward_rejected,
+        stats.stamps_issued,
+        client_stamps.admitted,
+        client_stamps.rejected,
+        client_stamps.stale,
+        stats.stamps_admitted,
+        stats.stamps_rejected,
+        stats.stamps_stale,
         stats.dispatch_latency.summary()
     ));
     for ms in master_servers {

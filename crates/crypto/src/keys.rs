@@ -124,6 +124,12 @@ impl Signature {
     pub fn to_text(&self) -> String {
         format!("{SIG_PREFIX}:{}", self.inner.0.to_hex())
     }
+
+    /// Raw RSA signature, mirroring [`PublicKey::raw`]. Lets callers
+    /// reach the uncached [`rsa`] entry points for baselines.
+    pub fn raw(&self) -> &RsaSignature {
+        &self.inner
+    }
 }
 
 impl FromStr for Signature {

@@ -25,8 +25,10 @@ pub mod keys;
 pub mod keystore;
 pub mod rsa;
 pub mod sha256;
+pub mod stamp;
 
 pub use drbg::Drbg;
 pub use keys::{KeyError, KeyPair, PublicKey, Signature};
 pub use keystore::KeyStore;
 pub use sha256::{hex_digest, sha256};
+pub use stamp::{sign_stamp, stamp_payload, verify_stamp};

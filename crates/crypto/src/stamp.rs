@@ -1,0 +1,110 @@
+//! Verdict-stamp signing primitives.
+//!
+//! A verdict stamp is a compact token a master signs over the verdict
+//! it reached when verifying a credential: `(credential fingerprint,
+//! signature-status code, session epoch, issued-at)`. Receiving nodes
+//! check one stamp signature against the already-known master key —
+//! whose Montgomery context is cached process-wide — instead of paying
+//! a fresh RSA verification (key parse + context build + modpow) per
+//! credential.
+//!
+//! This module owns only the canonical byte encoding and the sign /
+//! verify wrappers; the stamp *semantics* (which statuses exist, who is
+//! trusted to issue, epoch staleness) live in the keynote and webcom
+//! layers. The payload is domain-separated so a stamp signature can
+//! never be confused with a credential signature made by the same key,
+//! and every field is fixed-width so no delimiter ambiguity exists.
+
+use crate::keys::{KeyPair, PublicKey, Signature};
+
+/// Domain-separation tag; bump the suffix on any layout change.
+const STAMP_DOMAIN: &[u8] = b"hetsec-verdict-stamp-v1";
+
+/// Canonical signable encoding of a stamp's fields.
+///
+/// Layout: `domain || fingerprint(32) || status(1) || epoch(8 BE) ||
+/// issued_at(8 BE)` — 62 bytes, fixed width throughout.
+pub fn stamp_payload(fingerprint: &[u8; 32], status: u8, epoch: u64, issued_at: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(STAMP_DOMAIN.len() + 32 + 1 + 8 + 8);
+    buf.extend_from_slice(STAMP_DOMAIN);
+    buf.extend_from_slice(fingerprint);
+    buf.push(status);
+    buf.extend_from_slice(&epoch.to_be_bytes());
+    buf.extend_from_slice(&issued_at.to_be_bytes());
+    buf
+}
+
+/// Signs a stamp payload with the issuing master's key.
+pub fn sign_stamp(
+    key: &KeyPair,
+    fingerprint: &[u8; 32],
+    status: u8,
+    epoch: u64,
+    issued_at: u64,
+) -> Signature {
+    key.sign(&stamp_payload(fingerprint, status, epoch, issued_at))
+}
+
+/// Verifies a stamp signature against the issuer's public key. One
+/// modpow using the per-key cached Montgomery context.
+pub fn verify_stamp(
+    key: &PublicKey,
+    fingerprint: &[u8; 32],
+    status: u8,
+    epoch: u64,
+    issued_at: u64,
+    sig: &Signature,
+) -> bool {
+    key.verify(&stamp_payload(fingerprint, status, epoch, issued_at), sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let kp = KeyPair::from_label("stamp-master");
+        let fp = [7u8; 32];
+        let sig = sign_stamp(&kp, &fp, 1, 3, 1_700_000_000);
+        assert!(verify_stamp(kp.public(), &fp, 1, 3, 1_700_000_000, &sig));
+    }
+
+    #[test]
+    fn any_field_change_invalidates() {
+        let kp = KeyPair::from_label("stamp-master-2");
+        let fp = [9u8; 32];
+        let sig = sign_stamp(&kp, &fp, 1, 5, 42);
+        let mut other_fp = fp;
+        other_fp[0] ^= 1;
+        assert!(!verify_stamp(kp.public(), &other_fp, 1, 5, 42, &sig));
+        assert!(!verify_stamp(kp.public(), &fp, 2, 5, 42, &sig));
+        assert!(!verify_stamp(kp.public(), &fp, 1, 6, 42, &sig));
+        assert!(!verify_stamp(kp.public(), &fp, 1, 5, 43, &sig));
+        let other = KeyPair::from_label("stamp-imposter");
+        assert!(!verify_stamp(other.public(), &fp, 1, 5, 42, &sig));
+    }
+
+    #[test]
+    fn domain_separated_from_plain_signing() {
+        // A signature over the raw payload bytes (no domain tag) must
+        // not verify as a stamp, and vice versa.
+        let kp = KeyPair::from_label("stamp-domain");
+        let fp = [3u8; 32];
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&fp);
+        raw.push(1);
+        raw.extend_from_slice(&0u64.to_be_bytes());
+        raw.extend_from_slice(&0u64.to_be_bytes());
+        let plain = kp.sign(&raw);
+        assert!(!verify_stamp(kp.public(), &fp, 1, 0, 0, &plain));
+    }
+
+    #[test]
+    fn payload_is_fixed_width() {
+        let a = stamp_payload(&[0u8; 32], 0, 0, 0);
+        let b = stamp_payload(&[0xff; 32], 255, u64::MAX, u64::MAX);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), STAMP_DOMAIN.len() + 32 + 1 + 8 + 8);
+    }
+}

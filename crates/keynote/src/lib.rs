@@ -18,6 +18,7 @@
 //! * [`compliance`] — the delegation fixpoint / compliance checker;
 //! * [`compiled`] — the precompiled request-path form of assertions;
 //! * [`verify_cache`] — sharded memo cache for signature verdicts;
+//! * [`stamp`] — signed verdict stamps (portable verify-cache entries);
 //! * [`explain`] — proof-trace variant of the compliance checker;
 //! * [`session`] — the `kn_*`-style application API.
 //!
@@ -54,6 +55,7 @@ pub mod print;
 pub mod regex;
 pub mod session;
 pub mod signing;
+pub mod stamp;
 pub mod values;
 pub mod verify_cache;
 
@@ -64,5 +66,6 @@ pub use eval::ActionAttributes;
 pub use explain::{explain_compliance, Explanation, TraceStep};
 pub use session::{ActionQuery, KeyNoteSession, SessionError, SignaturePolicy};
 pub use signing::{sign_assertion, verify_assertion, SignatureStatus};
+pub use stamp::{status_code, status_from_code, VerdictStamp};
 pub use values::{ComplianceValue, ComplianceValues, MAX_TRUST, MIN_TRUST};
-pub use verify_cache::{VerifyCache, VerifyCacheStats};
+pub use verify_cache::{credential_fingerprint, VerifyCache, VerifyCacheStats};

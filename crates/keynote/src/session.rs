@@ -470,6 +470,21 @@ impl KeyNoteSession {
         self.verify_cache.stats()
     }
 
+    /// The session's signature-verdict memo cache. Exposed so verdict
+    /// stamps can admit attested verdicts ([`VerifyCache::admit_stamped`])
+    /// and so several sessions on one node can share a cache.
+    pub fn verify_cache(&self) -> &Arc<VerifyCache> {
+        &self.verify_cache
+    }
+
+    /// Replaces the session's verify cache with a shared one. Verdicts
+    /// are immutable facts about credential bytes, so swapping caches
+    /// never changes query results and does not move the epoch; stored
+    /// credentials were already vetted at add time.
+    pub fn share_verify_cache(&mut self, cache: Arc<VerifyCache>) {
+        self.verify_cache = cache;
+    }
+
     /// The locally-trusted policy assertions.
     pub fn policies(&self) -> &[Assertion] {
         &self.policies

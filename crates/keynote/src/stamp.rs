@@ -1,0 +1,217 @@
+//! Signed verdict stamps: portable signature-verdict attestations.
+//!
+//! PR 3's [`crate::verify_cache`] amortises credential verification
+//! *per process*; in a sharded fabric every master and client a
+//! credential touches still pays its own first RSA exponentiation. A
+//! `VerdictStamp` makes the verdict portable: the node that performed
+//! the cache-miss verify (the credential's home master) signs
+//! `(credential fingerprint, status, session epoch, issued-at)` with
+//! its own key, and any node that trusts that key admits the verdict
+//! into its local cache after a single stamp-signature check — one
+//! modpow against a key whose Montgomery context is already cached,
+//! instead of a full per-credential verify (key parse + fresh context
+//! + modpow) per credential.
+//!
+//! The stamp attests only the *signature verdict*, never authorisation:
+//! compliance checking — including revoked-authorizer refusal — runs
+//! unchanged on every node, so a stamp for a revoked key's credential
+//! is still refused at compliance time. Deciding *which* issuer keys to
+//! trust and how to treat stale epochs is the transport layer's job
+//! (see `hetsec-webcom`'s stamp verifier).
+
+use crate::signing::SignatureStatus;
+use hetsec_crypto::stamp::{sign_stamp, verify_stamp};
+use hetsec_crypto::{hex_digest, KeyPair, PublicKey, Signature};
+use serde::{Deserialize, Serialize};
+
+/// Wire code for a [`SignatureStatus`]; stable across releases (the
+/// stamp signature covers it, so both ends must agree byte-for-byte).
+pub fn status_code(status: &SignatureStatus) -> u8 {
+    match status {
+        SignatureStatus::Unsigned => 0,
+        SignatureStatus::Valid => 1,
+        SignatureStatus::Invalid => 2,
+        SignatureStatus::Unverifiable => 3,
+    }
+}
+
+/// Inverse of [`status_code`]; `None` for unknown codes (a stamp from
+/// a newer protocol revision — reject rather than guess).
+pub fn status_from_code(code: u8) -> Option<SignatureStatus> {
+    match code {
+        0 => Some(SignatureStatus::Unsigned),
+        1 => Some(SignatureStatus::Valid),
+        2 => Some(SignatureStatus::Invalid),
+        3 => Some(SignatureStatus::Unverifiable),
+        _ => None,
+    }
+}
+
+fn decode_fingerprint(hex: &str) -> Option<[u8; 32]> {
+    if hex.len() != 64 {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for (i, byte) in out.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(hex.get(2 * i..2 * i + 2)?, 16).ok()?;
+    }
+    Some(out)
+}
+
+/// A signed, self-describing verdict attestation. All fields are
+/// printable so the stamp rides JSON wire frames unchanged.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictStamp {
+    /// Hex of the credential's verify-cache fingerprint
+    /// ([`crate::verify_cache::credential_fingerprint`]).
+    pub fingerprint: String,
+    /// [`status_code`] of the attested verdict.
+    pub status: u8,
+    /// The issuer's trust-session epoch at issue time; receivers treat
+    /// stamps older than the issuer's highest seen epoch as stale.
+    pub epoch: u64,
+    /// Seconds since the Unix epoch at issue time (informational).
+    pub issued_at: u64,
+    /// Printable public key of the issuing master — the fleet-trust
+    /// lookup key.
+    pub issuer: String,
+    /// Printable signature over the canonical stamp payload.
+    pub signature: String,
+}
+
+impl VerdictStamp {
+    /// Issues a stamp: signs the verdict with the issuing master's key.
+    pub fn issue(
+        key: &KeyPair,
+        fingerprint: [u8; 32],
+        status: &SignatureStatus,
+        epoch: u64,
+        issued_at: u64,
+    ) -> VerdictStamp {
+        let code = status_code(status);
+        let sig = sign_stamp(key, &fingerprint, code, epoch, issued_at);
+        VerdictStamp {
+            fingerprint: hex_digest(&fingerprint),
+            status: code,
+            epoch,
+            issued_at,
+            issuer: key.public().to_text(),
+            signature: sig.to_text(),
+        }
+    }
+
+    /// Decoded fingerprint, or `None` if the hex is malformed.
+    pub fn fingerprint_bytes(&self) -> Option<[u8; 32]> {
+        decode_fingerprint(&self.fingerprint)
+    }
+
+    /// Decoded verdict, or `None` for unknown status codes.
+    pub fn status(&self) -> Option<SignatureStatus> {
+        status_from_code(self.status)
+    }
+
+    /// Checks the stamp signature against `issuer` — which the caller
+    /// must already have resolved *and trusted* (fleet membership is
+    /// decided before, not by, this check). Returns the attested
+    /// `(fingerprint, status)` on success; `None` if any field is
+    /// malformed or the signature does not verify.
+    pub fn verify_with(&self, issuer: &PublicKey) -> Option<([u8; 32], SignatureStatus)> {
+        let fingerprint = self.fingerprint_bytes()?;
+        let status = self.status()?;
+        let sig: Signature = self.signature.parse().ok()?;
+        if !verify_stamp(
+            issuer,
+            &fingerprint,
+            self.status,
+            self.epoch,
+            self.issued_at,
+            &sig,
+        ) {
+            return None;
+        }
+        Some((fingerprint, status))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Assertion, LicenseeExpr, Principal};
+    use crate::signing::sign_assertion;
+    use crate::verify_cache::credential_fingerprint;
+
+    fn master() -> KeyPair {
+        KeyPair::from_label("stamp-test-master")
+    }
+
+    fn signed_credential(label: &str) -> Assertion {
+        let kp = KeyPair::from_label(label);
+        let mut a = Assertion::new(
+            Principal::key(kp.public().to_text()),
+            LicenseeExpr::Principal("Kworker".to_string()),
+        );
+        sign_assertion(&mut a, &kp).unwrap();
+        a
+    }
+
+    #[test]
+    fn issue_then_verify() {
+        let kp = master();
+        let cred = signed_credential("stamp-cred");
+        let fp = credential_fingerprint(&cred).unwrap();
+        let stamp = VerdictStamp::issue(&kp, fp, &SignatureStatus::Valid, 4, 99);
+        let (got_fp, got_status) = stamp.verify_with(kp.public()).unwrap();
+        assert_eq!(got_fp, fp);
+        assert_eq!(got_status, SignatureStatus::Valid);
+    }
+
+    #[test]
+    fn wrong_issuer_rejected() {
+        let kp = master();
+        let other = KeyPair::from_label("stamp-test-imposter");
+        let stamp = VerdictStamp::issue(&kp, [5u8; 32], &SignatureStatus::Valid, 0, 0);
+        assert!(stamp.verify_with(other.public()).is_none());
+    }
+
+    #[test]
+    fn malformed_fields_rejected() {
+        let kp = master();
+        let good = VerdictStamp::issue(&kp, [1u8; 32], &SignatureStatus::Valid, 1, 2);
+        let mut short_fp = good.clone();
+        short_fp.fingerprint.truncate(10);
+        assert!(short_fp.verify_with(kp.public()).is_none());
+        let mut bad_hex = good.clone();
+        bad_hex.fingerprint = "zz".repeat(32);
+        assert!(bad_hex.verify_with(kp.public()).is_none());
+        let mut unknown_status = good.clone();
+        unknown_status.status = 200;
+        assert!(unknown_status.verify_with(kp.public()).is_none());
+        let mut bad_sig = good.clone();
+        bad_sig.signature = "garbage".to_string();
+        assert!(bad_sig.verify_with(kp.public()).is_none());
+        assert!(good.verify_with(kp.public()).is_some());
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for status in [
+            SignatureStatus::Unsigned,
+            SignatureStatus::Valid,
+            SignatureStatus::Invalid,
+            SignatureStatus::Unverifiable,
+        ] {
+            assert_eq!(status_from_code(status_code(&status)), Some(status));
+        }
+        assert_eq!(status_from_code(4), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let kp = master();
+        let stamp = VerdictStamp::issue(&kp, [8u8; 32], &SignatureStatus::Valid, 7, 123);
+        let json = serde_json::to_string(&stamp).unwrap();
+        let back: VerdictStamp = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stamp);
+        assert!(back.verify_with(kp.public()).is_some());
+    }
+}

@@ -36,6 +36,9 @@ pub struct VerifyCacheStats {
     pub hits: u64,
     /// Lookups that ran a real signature verification.
     pub misses: u64,
+    /// Verdicts admitted from verdict stamps rather than local
+    /// verification ([`VerifyCache::admit_stamped`]).
+    pub stamped: u64,
     /// Verdicts currently stored.
     pub entries: usize,
 }
@@ -49,6 +52,7 @@ pub struct VerifyCache {
     shards: Vec<Mutex<HashMap<[u8; 32], SignatureStatus>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    stamped: AtomicU64,
 }
 
 impl Default for VerifyCache {
@@ -79,6 +83,19 @@ fn fingerprint(signable: &str, key_text: &str, sig_text: &str) -> [u8; 32] {
     sha256(&buf)
 }
 
+/// The cache key a signed credential verifies under — the same
+/// fingerprint [`VerifyCache::verify`] memoizes by, exposed so verdict
+/// stamps can name a credential without shipping its bytes. `None` for
+/// unsigned or POLICY-authored assertions, which have no cacheable
+/// verdict.
+pub fn credential_fingerprint(assertion: &Assertion) -> Option<[u8; 32]> {
+    let (Some(sig_text), Some(key_text)) = (&assertion.signature, assertion.authorizer.key_text())
+    else {
+        return None;
+    };
+    Some(fingerprint(&signable_text(assertion), key_text, sig_text))
+}
+
 impl VerifyCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
@@ -86,6 +103,7 @@ impl VerifyCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            stamped: AtomicU64::new(0),
         }
     }
 
@@ -94,14 +112,11 @@ impl VerifyCache {
     /// verified before. Behaviorally identical to
     /// [`verify_assertion`].
     pub fn verify(&self, assertion: &Assertion) -> SignatureStatus {
-        let (Some(sig_text), Some(key_text)) =
-            (&assertion.signature, assertion.authorizer.key_text())
-        else {
+        let Some(key) = credential_fingerprint(assertion) else {
             // Unsigned / POLICY-authored: the plain path is already
             // trivial, nothing worth caching.
             return verify_assertion(assertion);
         };
-        let key = fingerprint(&signable_text(assertion), key_text, sig_text);
         let shard = &self.shards[(key[0] as usize) & (SHARDS - 1)];
         if let Some(status) = shard.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -119,11 +134,44 @@ impl VerifyCache {
         status
     }
 
+    /// Admits an externally attested verdict under `fingerprint`, as
+    /// computed by [`credential_fingerprint`]. Subsequent [`verify`]
+    /// calls for the same credential bytes answer from the cache —
+    /// *authenticating the attestation is the caller's job* (the webcom
+    /// stamp verifier checks the issuing master's signature and fleet
+    /// membership before calling this). Revocation is unaffected: the
+    /// compliance checker refuses revoked authorizers after the
+    /// (cached or stamped) signature verdict, exactly as for locally
+    /// computed verdicts.
+    ///
+    /// [`verify`]: VerifyCache::verify
+    pub fn admit_stamped(&self, fingerprint: [u8; 32], status: SignatureStatus) {
+        let shard = &self.shards[(fingerprint[0] as usize) & (SHARDS - 1)];
+        let mut map = shard.lock().unwrap();
+        if map.len() >= SHARD_CAPACITY {
+            if let Some(&evict) = map.keys().next() {
+                map.remove(&evict);
+            }
+        }
+        map.insert(fingerprint, status);
+        self.stamped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Peeks at the stored verdict for `fingerprint` without verifying
+    /// anything or moving the hit/miss counters. Stamp verifiers use
+    /// this to skip re-checking a stamp whose verdict is already
+    /// admitted.
+    pub fn lookup(&self, fingerprint: &[u8; 32]) -> Option<SignatureStatus> {
+        let shard = &self.shards[(fingerprint[0] as usize) & (SHARDS - 1)];
+        shard.lock().unwrap().get(fingerprint).cloned()
+    }
+
     /// Hit/miss/occupancy counters.
     pub fn stats(&self) -> VerifyCacheStats {
         VerifyCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            stamped: self.stamped.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
         }
     }
@@ -181,6 +229,30 @@ mod tests {
         assert_eq!(cache.verify(&a), SignatureStatus::Unsigned);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn admitted_stamped_verdict_answers_without_verification() {
+        let cache = VerifyCache::new();
+        let a = signed_credential("vc-stamp", "Kalice");
+        let fp = credential_fingerprint(&a).unwrap();
+        cache.admit_stamped(fp, SignatureStatus::Valid);
+        // The first verify is already a hit: no RSA was paid locally.
+        assert_eq!(cache.verify(&a), SignatureStatus::Valid);
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.stamped, stats.entries),
+            (1, 0, 1, 1)
+        );
+    }
+
+    #[test]
+    fn unsigned_assertions_have_no_fingerprint() {
+        let a = Assertion::new(
+            Principal::key("Kbob"),
+            LicenseeExpr::Principal("Kalice".to_string()),
+        );
+        assert_eq!(credential_fingerprint(&a), None);
     }
 
     #[test]

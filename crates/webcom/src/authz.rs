@@ -324,6 +324,21 @@ impl TrustManager {
         self.session.read().verify_cache_stats()
     }
 
+    /// The underlying session's signature-verdict memo cache. The stamp
+    /// verifier admits attested verdicts through this handle; the cache
+    /// has interior mutability, so no session write lock is involved.
+    pub fn verify_cache(&self) -> std::sync::Arc<hetsec_keynote::VerifyCache> {
+        std::sync::Arc::clone(self.session.read().verify_cache())
+    }
+
+    /// Points the underlying session at a shared verify cache, so every
+    /// trust manager on a node can be fed by one stamp admission.
+    /// Verdicts are immutable facts about credential bytes — sharing
+    /// never changes decisions and does not move the epoch.
+    pub fn share_verify_cache(&self, cache: std::sync::Arc<hetsec_keynote::VerifyCache>) {
+        self.session.write().share_verify_cache(cache);
+    }
+
     /// Assertion-compile diagnostics from the underlying session
     /// (e.g. malformed `~=` pattern literals).
     pub fn compile_notes(&self) -> Vec<String> {

@@ -64,6 +64,10 @@ pub struct ClientStats {
     /// Requests answered from the executed-op memo instead of running
     /// again (the master re-asked after a timeout or failover).
     pub replayed: usize,
+    /// Verdict-stamp admissions: credential verdicts accepted from
+    /// request stamps, verification skips (already cached), rejections
+    /// (bad signature or untrusted issuer), and stale-epoch drops.
+    pub stamps: crate::stamp::StampStats,
 }
 
 /// The executed-op memo: recorded outcomes keyed by `(master_key,
@@ -115,6 +119,7 @@ pub struct ClientEngine {
     stats: Mutex<ClientStats>,
     audit: Option<Arc<AuditLog>>,
     memo: Mutex<OpMemo>,
+    stamp_verifier: Option<Arc<crate::stamp::StampVerifier>>,
 }
 
 impl ClientEngine {
@@ -125,7 +130,19 @@ impl ClientEngine {
             stats: Mutex::new(ClientStats::default()),
             audit: None,
             memo: Mutex::new(OpMemo::default()),
+            stamp_verifier: None,
         }
+    }
+
+    /// Admits verdict stamps presented with requests through `verifier`.
+    /// For the amortisation to reach the master-trust decision, the
+    /// verifier's cache must be the one `master_trust` (and any
+    /// [`TrustLayer`](crate::stack::TrustLayer) in the stack) verifies
+    /// through — share it with
+    /// [`TrustManager::share_verify_cache`](crate::authz::TrustManager::share_verify_cache).
+    pub fn with_stamp_verifier(mut self, verifier: Arc<crate::stamp::StampVerifier>) -> Self {
+        self.stamp_verifier = Some(verifier);
+        self
     }
 
     /// Records every local-stack decision into `log` (the network
@@ -164,6 +181,16 @@ impl ClientEngine {
 
     fn decide_and_execute(&self, req: &ScheduleRequest) -> (ExecOutcome, bool) {
         let config = &self.config;
+        // 0. Admit verdict stamps before any credential is verified, so
+        // the per-credential signature checks below become cache hits.
+        // Stamps only ever pre-answer signature verdicts — both
+        // mediation steps still run in full.
+        if let Some(verifier) = &self.stamp_verifier {
+            if !req.stamps.is_empty() {
+                let delta = verifier.admit(&req.stamps);
+                self.stats.lock().stamps.merge(&delta);
+            }
+        }
         // 1. Authenticate/authorise the master. Credentials presented
         // with the request are evaluated request-scoped: they support
         // this decision but are never persisted into the client's store.
@@ -377,6 +404,7 @@ mod tests {
                     principal: principal.to_string(),
                     master_key: master.to_string(),
                     credentials: vec![],
+                    stamps: vec![],
                     args: vec![Value::Int(20), Value::Int(22)],
                 }),
                 tx,
@@ -457,6 +485,7 @@ mod tests {
             principal: "Kworker".to_string(),
             master_key: "Ksub".to_string(),
             credentials: vec![delegation],
+            stamps: vec![],
             args: vec![Value::Int(1), Value::Int(1)],
         };
         assert!(engine.handle(&req).outcome.is_ok());
@@ -513,6 +542,7 @@ mod tests {
             principal: "Kworker".to_string(),
             master_key: "Kmaster".to_string(),
             credentials: vec![],
+            stamps: vec![],
             args: vec![Value::Int(20), Value::Int(22)],
         }
     }
@@ -606,6 +636,7 @@ mod tests {
             principal: "Kworker".to_string(),
             master_key: "Kmaster".to_string(),
             credentials: vec![],
+            stamps: vec![],
             args: vec![Value::Int(2), Value::Int(2)],
         };
         assert!(engine.handle(&req).outcome.is_ok());

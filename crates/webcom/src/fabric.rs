@@ -361,14 +361,13 @@ fn serve_peer_connection(
                 )),
                 replayed: false,
             }),
-            WireRequest::Identify => WireResponse::ForwardReply(ScheduleReply {
-                op_id: 0,
-                client: "master".to_string(),
-                outcome: ExecOutcome::Failed(ExecError::protocol(
-                    "this endpoint serves master-to-master forwards, not client identify",
-                )),
-                replayed: false,
-            }),
+            // A typed error frame, not a fabricated ForwardReply: a
+            // lockstep/mux client that misdials a peer port must get a
+            // protocol error it can surface, never something that looks
+            // like a schedule reply.
+            WireRequest::Identify => WireResponse::Error(ExecError::protocol(
+                "this endpoint serves master-to-master forwards, not client identify",
+            )),
         };
         if write_frame(&mut stream, &response).is_err() {
             break;

@@ -41,6 +41,7 @@ pub mod mux;
 pub mod net;
 pub mod protocol;
 pub mod stack;
+pub mod stamp;
 pub mod transport;
 pub mod wire;
 
@@ -75,6 +76,7 @@ pub use protocol::{
 pub use transport::{
     ChannelTransport, ClientTransport, FaultyTransport, TcpTransport, TransportError,
 };
+pub use stamp::{StampIssuer, StampStats, StampVerifier};
 pub use wire::{decode_frame, encode_frame, read_frame, write_frame, WireError, MAX_FRAME_LEN};
 pub use stack::{
     ApplicationLayer, AuthzContext, AuthzLayer, AuthzStack, CombinationRule, LayerLevel,

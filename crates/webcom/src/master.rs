@@ -27,6 +27,7 @@ use crate::client::ClientHandle;
 use crate::fabric::ShardInfo;
 use crate::health::{ClientHealth, HealthConfig, HealthSnapshot, Refusal};
 use crate::histogram::{LatencyHistogram, LatencySnapshot};
+use crate::stamp::{StampIssuer, StampVerifier};
 use crate::protocol::{
     ExecError, ExecErrorKind, ExecOutcome, ScheduleReply, ScheduleRequest, MAX_FORWARD_HOPS,
 };
@@ -222,6 +223,20 @@ pub struct MasterStats {
     /// Forwards rejected by the hop-count guard — the shard rings of
     /// two masters disagree and the op would otherwise loop.
     pub forward_rejected: usize,
+    /// Verdict stamps this master signed over its forwarded credentials
+    /// (fresh signings only; memoized re-attachment is free).
+    pub stamps_issued: u64,
+    /// Stamps arriving on forwarded requests whose signature checked
+    /// out against a fleet key; their verdicts were admitted into this
+    /// master's verify cache.
+    pub stamps_admitted: u64,
+    /// Incoming stamps refused: issuer outside the fleet trust set,
+    /// malformed fields, or a signature that does not verify.
+    pub stamps_rejected: u64,
+    /// Incoming stamps ignored as stale (older than the issuer's
+    /// highest seen epoch); their credentials fall back to full
+    /// verification.
+    pub stamps_stale: u64,
     /// Log-bucketed distribution of whole-dispatch latencies (queue +
     /// retries + failover per op); `dispatch_latency.p50()/p99()/p999()`
     /// read the percentiles.
@@ -253,6 +268,10 @@ impl MasterStats {
         self.forwarded += other.forwarded;
         self.forward_received += other.forward_received;
         self.forward_rejected += other.forward_rejected;
+        self.stamps_issued += other.stamps_issued;
+        self.stamps_admitted += other.stamps_admitted;
+        self.stamps_rejected += other.stamps_rejected;
+        self.stamps_stale += other.stamps_stale;
         self.dispatch_latency.merge(&other.dispatch_latency);
     }
 }
@@ -281,6 +300,12 @@ pub struct WebComMaster {
     /// Worker threads a `schedule_burst` call may use to dispatch its
     /// operations concurrently (1 = the classic sequential loop).
     burst_parallelism: usize,
+    /// Signs verdict stamps over the forwarded credentials so receiving
+    /// nodes can admit their verdicts without per-credential RSA.
+    stamp_issuer: Option<Arc<StampIssuer>>,
+    /// Admits stamps riding forwarded requests into this master's
+    /// verify cache (fleet trust set + epoch watermarks).
+    stamp_verifier: Option<Arc<StampVerifier>>,
     /// This master's place in a sharded fabric, if any: the consistent-
     /// hash ring, its own shard id, and links to its peers.
     shard: RwLock<Option<Arc<ShardInfo>>>,
@@ -305,6 +330,8 @@ impl WebComMaster {
             schedule_deadline: None,
             health_cfg: HealthConfig::default(),
             burst_parallelism: 1,
+            stamp_issuer: None,
+            stamp_verifier: None,
             shard: RwLock::new(None),
             dispatch_hist: LatencyHistogram::new(),
             in_flight: AtomicUsize::new(0),
@@ -349,6 +376,22 @@ impl WebComMaster {
     /// whole point of the multiplexed transport.
     pub fn with_burst_parallelism(mut self, n: usize) -> Self {
         self.burst_parallelism = n.max(1);
+        self
+    }
+
+    /// Gives this master a stamp-signing identity: every request it
+    /// builds carries verdict stamps over its forwarded credentials, so
+    /// receiving nodes that trust `issuer`'s key skip per-credential
+    /// RSA verification.
+    pub fn with_stamp_issuer(mut self, issuer: Arc<StampIssuer>) -> Self {
+        self.stamp_issuer = Some(issuer);
+        self
+    }
+
+    /// Lets this master admit verdict stamps riding forwarded requests
+    /// into its own verify cache, per `verifier`'s fleet trust set.
+    pub fn with_stamp_verifier(mut self, verifier: Arc<StampVerifier>) -> Self {
+        self.stamp_verifier = Some(verifier);
         self
     }
 
@@ -445,6 +488,9 @@ impl WebComMaster {
         stats.cache_hits = cache.hits;
         stats.cache_misses = cache.misses;
         stats.cache_invalidations = cache.invalidations;
+        if let Some(issuer) = &self.stamp_issuer {
+            stats.stamps_issued = issuer.issued();
+        }
         for c in self.clients.read().iter() {
             let h = c.health.snapshot(&c.name);
             stats.breaker_trips += h.trips;
@@ -651,6 +697,19 @@ impl WebComMaster {
     /// re-forwards (with the hop guard) when it does not — which only
     /// happens when peers disagree about ring layout.
     pub fn handle_forward(&self, request: ScheduleRequest, hops: u8) -> ScheduleReply {
+        // Admit the originating master's verdict stamps before any
+        // dispatch: verdicts land in this node's verify cache so its
+        // own credential vetting (and anything sharing the cache) skips
+        // per-credential RSA.
+        if let Some(verifier) = &self.stamp_verifier {
+            if !request.stamps.is_empty() {
+                let delta = verifier.admit(&request.stamps);
+                let mut stats = self.stats.lock();
+                stats.stamps_admitted += delta.admitted;
+                stats.stamps_rejected += delta.rejected;
+                stats.stamps_stale += delta.stale;
+            }
+        }
         let op_id = request.op_id;
         let shard = self.shard.read().clone();
         let shard_name = shard
@@ -736,15 +795,27 @@ impl WebComMaster {
             .collect()
     }
 
-    /// Builds the wire request for one op.
+    /// Builds the wire request for one op, attaching verdict stamps
+    /// over the forwarded credentials when an issuer is configured
+    /// (memoized in the issuer — steady-state requests re-attach the
+    /// same stamps without re-signing).
     fn build_request(&self, op_id: u64, op: BurstOp) -> ScheduleRequest {
+        let credentials = self.forwarded_credentials.read().clone();
+        let stamps = match &self.stamp_issuer {
+            Some(issuer) if !credentials.is_empty() => issuer
+                .stamps_for(self.client_trust.epoch(), &credentials)
+                .as_ref()
+                .clone(),
+            _ => Vec::new(),
+        };
         ScheduleRequest {
             op_id,
             action: op.action,
             user: op.user,
             principal: op.principal,
             master_key: self.key_text.clone(),
-            credentials: self.forwarded_credentials.read().clone(),
+            credentials,
+            stamps,
             args: op.args,
         }
     }

@@ -113,6 +113,25 @@ impl ConnState {
             ))));
         }
     }
+
+    /// Registers a caller's reply channel under `op_id`, closing the
+    /// race with [`poison`]: the insert lands first, then `dead` is
+    /// re-checked. `poison` sets `dead` before draining the table, so
+    /// either this sees `dead` and withdraws the entry itself, or the
+    /// drain finds the entry and fails it — the entry can never be
+    /// orphaned with a caller blocked on it for the full timeout.
+    ///
+    /// [`poison`]: ConnState::poison
+    fn register(&self, op_id: u64, tx: Sender<ReplyResult>) -> Result<(), TransportError> {
+        self.pending.lock().insert(op_id, tx);
+        if self.dead.load(Ordering::SeqCst) {
+            self.pending.lock().remove(&op_id);
+            return Err(TransportError::Closed(format!(
+                "mux connection died while registering op {op_id}"
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Returns its window slot when the caller is done with it — on reply,
@@ -250,9 +269,12 @@ impl ClientTransport for MuxTransport {
             ));
         }
         // Register interest before writing, so the reply cannot race
-        // past an unregistered op_id.
+        // past an unregistered op_id. `register` re-checks `dead` after
+        // the insert: a poison() between the check above and the insert
+        // would otherwise orphan the entry and block us for the full
+        // timeout.
         let (reply_tx, reply_rx) = channel::unbounded::<ReplyResult>();
-        conn.pending.lock().insert(request.op_id, reply_tx);
+        conn.register(request.op_id, reply_tx)?;
         let frame = WireRequest::Schedule(Box::new(request.clone()));
         {
             let mut writer = conn.writer.lock();
@@ -294,5 +316,66 @@ impl Drop for MuxTransport {
         if let Some(conn) = self.conn.lock().take() {
             conn.poison("transport dropped");
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A ConnState over a real loopback socket pair (no reader thread:
+    /// these tests drive poison() and register() directly).
+    fn loopback_conn() -> (Arc<ConnState>, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let (peer_half, _) = listener.accept().unwrap();
+        let conn = Arc::new(ConnState {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            window: Window::new(4),
+            dead: AtomicBool::new(false),
+        });
+        (conn, peer_half)
+    }
+
+    #[test]
+    fn poison_between_admission_and_registration_fails_fast() {
+        let (conn, _peer) = loopback_conn();
+        // The caller has passed the pre-insert dead check (dead is still
+        // false here) when poison() sets the flag and drains the table —
+        // the exact interleaving that used to orphan the entry.
+        assert!(!conn.dead.load(Ordering::SeqCst));
+        conn.poison("peer reset during registration");
+        let (tx, rx) = channel::unbounded::<ReplyResult>();
+        let started = Instant::now();
+        let err = conn.register(7, tx).unwrap_err();
+        // Fails immediately — far inside any op timeout — instead of
+        // leaving the caller to block out the deadline.
+        assert!(started.elapsed() < Duration::from_secs(1));
+        assert!(matches!(err, TransportError::Closed(_)));
+        // Retryable: the dispatch loop may fail over to another client.
+        assert!(err.to_exec_error().retryable);
+        // The entry was withdrawn, not orphaned.
+        assert!(conn.pending.lock().is_empty());
+        drop(rx);
+    }
+
+    #[test]
+    fn registration_before_poison_is_drained() {
+        // The complementary interleaving: the insert lands first, then
+        // poison() drains it — the caller gets the drained error.
+        let (conn, _peer) = loopback_conn();
+        let (tx, rx) = channel::unbounded::<ReplyResult>();
+        conn.register(9, tx).unwrap();
+        conn.poison("peer reset");
+        match rx.try_recv() {
+            Ok(Err(TransportError::Closed(reason))) => {
+                assert!(reason.contains("op 9"), "unexpected reason: {reason}");
+            }
+            other => panic!("expected drained Closed error, got {other:?}"),
+        }
+        assert!(conn.pending.lock().is_empty());
     }
 }

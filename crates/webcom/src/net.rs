@@ -389,6 +389,7 @@ mod tests {
             principal: "Kworker".to_string(),
             master_key: "Kmaster".to_string(),
             credentials: vec![],
+            stamps: vec![],
             args: vec![Value::Int(20), Value::Int(22)],
         }
     }

@@ -13,6 +13,7 @@
 use crate::authz::ScheduledAction;
 use hetsec_graphs::Value;
 use hetsec_keynote::ast::Assertion;
+use hetsec_keynote::stamp::VerdictStamp;
 use hetsec_rbac::{Domain, User};
 use serde::{Deserialize, Serialize};
 
@@ -159,6 +160,14 @@ pub struct ScheduleRequest {
     pub master_key: String,
     /// Credentials supporting the request (e.g. delegation chains).
     pub credentials: Vec<Assertion>,
+    /// Verdict stamps: the home master's signed attestations of the
+    /// signature verdicts it reached for `credentials`, letting the
+    /// receiving node admit them into its verify cache after one
+    /// cached-context stamp check instead of a full RSA verify per
+    /// credential. Defaults to empty on the wire, so requests from
+    /// masters predating stamps still parse.
+    #[serde(default)]
+    pub stamps: Vec<VerdictStamp>,
     /// Operand values.
     pub args: Vec<Value>,
 }
@@ -232,6 +241,12 @@ pub enum WireResponse {
     /// Answer to [`WireRequest::Forward`]: the owning shard's reply,
     /// relayed verbatim back toward the originating master.
     ForwardReply(ScheduleReply),
+    /// A typed protocol refusal: the endpoint understood the frame but
+    /// does not serve it — e.g. a client `Identify` dialled at a
+    /// master-to-master peer port. Carrying a structured [`ExecError`]
+    /// instead of a fabricated reply lets the misdialling side fail
+    /// fast with an accurate diagnostic.
+    Error(ExecError),
 }
 
 /// Executes middleware components on a client. Implementations wrap the
@@ -320,6 +335,7 @@ mod tests {
             principal: "Kworker".to_string(),
             master_key: "Kmaster".to_string(),
             credentials: vec![],
+            stamps: vec![],
             args: vec![Value::Int(1), Value::Str("x".into())],
         };
         let text = serde_json::to_string(&WireRequest::Schedule(Box::new(req.clone()))).unwrap();
@@ -335,6 +351,39 @@ mod tests {
         let text = serde_json::to_string(&reply).unwrap();
         let back: WireResponse = serde_json::from_str(&text).unwrap();
         assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn request_without_stamps_field_still_parses() {
+        // Wire compatibility: masters predating verdict stamps omit
+        // `stamps`; receivers must default it to empty.
+        let req = ScheduleRequest {
+            op_id: 9,
+            action: ScheduledAction::new(
+                ComponentRef::new(MiddlewareKind::Ejb, "Dom", "Calc", "add"),
+                "Dom",
+                "Worker",
+            ),
+            user: "worker".into(),
+            principal: "Kworker".to_string(),
+            master_key: "Kmaster".to_string(),
+            credentials: vec![],
+            stamps: vec![],
+            args: vec![],
+        };
+        let text = serde_json::to_string(&req).unwrap();
+        assert!(text.contains("\"stamps\":[]"));
+        let old_wire = text.replace("\"stamps\":[],", "");
+        let back: ScheduleRequest = serde_json::from_str(&old_wire).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn error_frame_roundtrips() {
+        let frame = WireResponse::Error(ExecError::protocol("peer port, not a client"));
+        let text = serde_json::to_string(&frame).unwrap();
+        let back: WireResponse = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, frame);
     }
 
     #[test]

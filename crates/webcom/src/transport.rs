@@ -172,6 +172,7 @@ impl TcpTransport {
     pub fn identify(&self, timeout: Duration) -> Result<ClientIdentity, TransportError> {
         match self.exchange(&WireRequest::Identify, timeout)? {
             WireResponse::Identity(id) => Ok(id),
+            WireResponse::Error(e) => Err(TransportError::Protocol(e.detail)),
             WireResponse::Reply(r) | WireResponse::ForwardReply(r) => {
                 Err(TransportError::Protocol(format!(
                     "expected identity, got reply for op {}",
@@ -284,6 +285,10 @@ impl ClientTransport for TcpTransport {
                         "reply for future op {} while awaiting op {}",
                         reply.op_id, request.op_id
                     )));
+                }
+                WireResponse::Error(e) => {
+                    *self.stream.lock() = None;
+                    return Err(TransportError::Protocol(e.detail));
                 }
                 WireResponse::Identity(_) | WireResponse::ForwardReply(_) => {
                     *self.stream.lock() = None;
@@ -445,6 +450,7 @@ mod tests {
             principal: "Kworker".to_string(),
             master_key: "Kmaster".to_string(),
             credentials: vec![],
+            stamps: vec![],
             args: vec![],
         }
     }

@@ -38,6 +38,15 @@ for series in decision_batched_b1 decision_batched_b16 decision_batched_b256; do
         || { echo "bench.sh: BENCH_fig2.json is missing the ${series} series"; exit 1; }
 done
 
+# The fig2 summary must also carry the verdict-stamp series: the
+# stamped-re-presentation claim (>= 5x cheaper than cold verification,
+# asserted inside the bench binary) is only reviewable if all three
+# sides land in the JSON.
+for series in stamp_cold_verify stamp_represent stamp_memoized; do
+    grep -q "\"id\": \"fig2_query_latency/${series}\"" BENCH_fig2.json \
+        || { echo "bench.sh: BENCH_fig2.json is missing the ${series} series"; exit 1; }
+done
+
 # The load summary must carry throughput and latency-quantile series
 # for every fabric shape the scaling claims compare: lockstep vs mux at
 # 1/2/4 shards.

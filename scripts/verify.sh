@@ -49,6 +49,17 @@ echo "$out"
 echo "$out" | grep -q "60/60 ops ok over 2 shard(s), mux transport" \
     || { echo "verify.sh: 2-shard mux smoke dropped ops"; exit 1; }
 
+echo "== two-node verdict-stamp smoke (stamps must amortise across a real fabric) =="
+out="$(timeout 120 ./target/release/hetsec serve 127.0.0.1:0 smoke Kc 24 --shards 2)"
+echo "$out"
+echo "$out" | grep -q "24/24 ok" \
+    || { echo "verify.sh: two-node stamp smoke dropped ops"; exit 1; }
+echo "$out" | grep -Eq "verdict stamps: issued [1-9][0-9]*, clients admitted [1-9][0-9]* \(rejected 0, stale 0\)" \
+    || { echo "verify.sh: two-node stamp smoke issued/admitted no verdict stamps"; exit 1; }
+
+echo "== verdict-stamp tests (tamper property, revocation, cross-node amortisation) =="
+timeout 120 cargo test -q --test verdict_stamps
+
 echo "== batch-equivalence smoke (decide_batch === per-request decide) =="
 timeout 120 cargo test -q --test batch_equivalence
 timeout 120 cargo test -q --test hotpath_equivalence -- batch

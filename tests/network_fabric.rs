@@ -380,6 +380,7 @@ fn wire_roundtrip_of_every_message_shape() {
         principal: "Kworker".to_string(),
         master_key: "Kmaster".to_string(),
         credentials: vec![],
+        stamps: vec![],
         args: vec![Value::Int(-3), Value::Str("x\"y\\z".into()), Value::Bool(true)],
     }));
     let frame = encode_frame(&request).unwrap();
@@ -405,6 +406,7 @@ fn truncated_schedule_frames_error_at_every_cut() {
         principal: "Kworker".to_string(),
         master_key: "Kmaster".to_string(),
         credentials: vec![],
+        stamps: vec![],
         args: vec![Value::Int(1)],
     })))
     .unwrap();
@@ -482,6 +484,7 @@ fn tcp_transport_reports_protocol_violation_for_alien_replies() {
         principal: "Kworker".to_string(),
         master_key: "Kmaster".to_string(),
         credentials: vec![],
+        stamps: vec![],
         args: vec![],
     };
     let err = transport

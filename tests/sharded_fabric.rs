@@ -172,6 +172,7 @@ fn raw_request(op_id: u64) -> ScheduleRequest {
         principal: principal_key(0),
         master_key: "Km".to_string(),
         credentials: vec![],
+        stamps: vec![],
         args: vec![Value::Int(1), Value::Int(2)],
     }
 }
@@ -417,6 +418,28 @@ fn hop_guard_trips_on_ring_disagreement() {
     // The guard really is the configured constant, not an accident of
     // the bounce count.
     assert_eq!(MAX_FORWARD_HOPS, 3);
+}
+
+#[test]
+fn peer_endpoint_answers_identify_with_a_typed_error() {
+    // A master's Forward endpoint is not a serving client. A transport
+    // pointed at it by mistake must get a protocol error naming the
+    // mismatch — not a fabricated identity that would register the
+    // master's own port as a schedulable client.
+    let master = Arc::new(
+        WebComMaster::new("Km".to_string(), trust(&[])).with_op_timeout(Duration::from_secs(5)),
+    );
+    let server = hetsec_webcom::serve_master(Arc::clone(&master), "127.0.0.1:0")
+        .expect("bind master peer endpoint");
+    let transport = hetsec_webcom::TcpTransport::new(server.local_addr());
+    match transport.identify(Duration::from_secs(5)) {
+        Err(TransportError::Protocol(detail)) => assert!(
+            detail.contains("master-to-master"),
+            "error should name the endpoint mismatch, got {detail:?}"
+        ),
+        other => panic!("expected a typed protocol error, got {other:?}"),
+    }
+    server.stop();
 }
 
 /// Count completions across an atomic so the slow path (lockstep) and
